@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for the data-frame kernels that dominate
+//! Wake's per-partition cost: filter masks, gathers, sorts, expression
+//! evaluation, and CSV decode.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use wake_data::{Column, DataFrame, DataType, Field, Schema};
+use wake_expr::{col, eval, eval_mask, lit_f64};
+
+fn frame(n: usize) -> DataFrame {
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Float64),
+        Field::new("s", DataType::Utf8),
+    ]));
+    DataFrame::new(
+        schema,
+        vec![
+            Column::from_i64((0..n as i64).map(|i| i % 97).collect()),
+            Column::from_f64((0..n).map(|i| (i % 1013) as f64 * 0.5).collect()),
+            Column::from_str_iter((0..n).map(|i| format!("string-{}", i % 31))),
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        let df = frame(n);
+        let mask: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        group.bench_with_input(BenchmarkId::new("filter", n), &df, |b, df| {
+            b.iter(|| black_box(df.filter(&mask).unwrap()))
+        });
+        let idx: Vec<usize> = (0..n).step_by(7).collect();
+        group.bench_with_input(BenchmarkId::new("take", n), &df, |b, df| {
+            b.iter(|| black_box(df.take(&idx)))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_two_keys", n), &df, |b, df| {
+            b.iter(|| black_box(df.sort_by(&["k", "v"], &[false, true]).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("concat_self", n), &df, |b, df| {
+            b.iter(|| black_box(DataFrame::concat(&[df, df]).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_expressions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expressions");
+    group.sample_size(30);
+    let df = frame(100_000);
+    let arith = col("v").mul(lit_f64(2.0)).add(col("k").mul(lit_f64(0.1)));
+    group.bench_function("arith_fast_path", |b| {
+        b.iter(|| black_box(eval(&arith, &df).unwrap()))
+    });
+    let pred = col("v").gt(lit_f64(100.0)).and(col("k").lt(wake_expr::lit_i64(50)));
+    group.bench_function("predicate_mask", |b| {
+        b.iter(|| black_box(eval_mask(&pred, &df).unwrap()))
+    });
+    let like = col("s").like("string-1%");
+    group.bench_function("like_scan", |b| {
+        b.iter(|| black_box(eval_mask(&like, &df).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let df = frame(20_000);
+    let mut buf = Vec::new();
+    wake_data::csv::write_csv(&df, &mut buf).unwrap();
+    let schema = df.schema().clone();
+    c.bench_function("csv/read_20k_rows", |b| {
+        b.iter(|| black_box(wake_data::csv::read_csv(schema.clone(), &buf[..]).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_expressions, bench_csv);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! # wake-baseline
+//!
+//! The comparator systems from the paper's evaluation (§8.1), rebuilt at
+//! laptop scale (see DESIGN.md "Substitutions"):
+//!
+//! - [`naive`]: an independent, all-at-once exact query engine (hash joins
+//!   over `BTreeMap`s, single-pass group-by). It stands in for the exact
+//!   systems of Fig 7 (Polars/Presto/Postgres/...) *and* serves as an
+//!   implementation-independent ground truth for cross-checking Wake's
+//!   final answers.
+//! - [`progressive`]: a ProgressiveDB-style middleware aggregator —
+//!   single-table, partition-progressive, linear `1/t` scaling, no growth
+//!   model, no nesting (Fig 9a's opponent).
+//! - [`wanderjoin`]: a WanderJoin-style random-walk join sampler with
+//!   per-path Horvitz–Thompson weighting — fast early estimates that
+//!   plateau around a sampling floor instead of converging to the exact
+//!   answer (Fig 9b's opponent).
+
+pub mod naive;
+pub mod progressive;
+pub mod wanderjoin;
+
+pub use naive::Table;
+pub use progressive::ProgressiveAgg;
+pub use wanderjoin::{WanderJoin, WalkStep};
+
+pub type Result<T> = std::result::Result<T, wake_data::DataError>;

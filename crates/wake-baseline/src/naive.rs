@@ -1,0 +1,308 @@
+//! An independent all-at-once exact engine.
+//!
+//! Deliberately written with different algorithms and data structures from
+//! `wake-core`'s operators (BTreeMap group-by, build-probe hash join over
+//! owned rows) so that agreement between the two engines is meaningful
+//! evidence of correctness, not self-confirmation. It doubles as the
+//! "conventional exact system" baseline of Fig 7.
+
+use crate::Result;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use wake_data::{Column, DataError, DataFrame, DataType, Field, Row, Schema, Value};
+use wake_expr::{eval, eval_mask, infer_type, Expr};
+
+/// Aggregate functions supported by the naive engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NaiveAgg {
+    Count,
+    CountStar,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    CountDistinct,
+}
+
+/// Join kinds (mirrors the relational semantics of `wake-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NaiveJoin {
+    Inner,
+    Left,
+    Semi,
+    Anti,
+}
+
+/// An eagerly-evaluated table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    frame: DataFrame,
+}
+
+impl Table {
+    pub fn new(frame: DataFrame) -> Self {
+        Table { frame }
+    }
+
+    pub fn frame(&self) -> &DataFrame {
+        &self.frame
+    }
+
+    pub fn into_frame(self) -> DataFrame {
+        self.frame
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.frame.num_rows()
+    }
+
+    pub fn filter(&self, predicate: &Expr) -> Result<Table> {
+        let mask = eval_mask(predicate, &self.frame)?;
+        Ok(Table::new(self.frame.filter(&mask)?))
+    }
+
+    pub fn map(&self, exprs: &[(Expr, &str)]) -> Result<Table> {
+        let mut fields = Vec::with_capacity(exprs.len());
+        let mut cols = Vec::with_capacity(exprs.len());
+        for (e, name) in exprs {
+            let dtype = infer_type(e, self.frame.schema())?;
+            fields.push(Field::new(*name, dtype));
+            cols.push(eval(e, &self.frame)?);
+        }
+        Ok(Table::new(DataFrame::new(Arc::new(Schema::new(fields)), cols)?))
+    }
+
+    /// Build-probe hash join (right side is the build side).
+    pub fn join(
+        &self,
+        right: &Table,
+        left_on: &[&str],
+        right_on: &[&str],
+        kind: NaiveJoin,
+    ) -> Result<Table> {
+        if left_on.len() != right_on.len() || left_on.is_empty() {
+            return Err(DataError::Invalid("bad join keys".into()));
+        }
+        let l_idx = self.frame.key_indices(left_on)?;
+        let r_idx = right.frame.key_indices(right_on)?;
+        let mut build: HashMap<Row, Vec<usize>> = HashMap::new();
+        for i in 0..right.frame.num_rows() {
+            let key = right.frame.key_at(i, &r_idx);
+            if !key.has_null() {
+                build.entry(key).or_default().push(i);
+            }
+        }
+        match kind {
+            NaiveJoin::Semi | NaiveJoin::Anti => {
+                let mut keep_rows = Vec::new();
+                for i in 0..self.frame.num_rows() {
+                    let key = self.frame.key_at(i, &l_idx);
+                    let hit = !key.has_null() && build.contains_key(&key);
+                    if hit == (kind == NaiveJoin::Semi) {
+                        keep_rows.push(i);
+                    }
+                }
+                Ok(Table::new(self.frame.take(&keep_rows)))
+            }
+            NaiveJoin::Inner | NaiveJoin::Left => {
+                let out_schema = Arc::new(self.frame.schema().join(right.frame.schema()));
+                let mut rows: Vec<Vec<Value>> = Vec::new();
+                let r_cols = right.frame.num_columns();
+                for i in 0..self.frame.num_rows() {
+                    let key = self.frame.key_at(i, &l_idx);
+                    let matches = if key.has_null() { None } else { build.get(&key) };
+                    match matches {
+                        Some(ms) => {
+                            for &m in ms {
+                                let mut row = self.frame.row(i);
+                                row.extend(right.frame.row(m));
+                                rows.push(row);
+                            }
+                        }
+                        None if kind == NaiveJoin::Left => {
+                            let mut row = self.frame.row(i);
+                            row.extend(std::iter::repeat_n(Value::Null, r_cols));
+                            rows.push(row);
+                        }
+                        None => {}
+                    }
+                }
+                Ok(Table::new(DataFrame::from_rows(out_schema, &rows)?))
+            }
+        }
+    }
+
+    /// Single-pass group-by with BTreeMap ordering (deterministic output).
+    pub fn group_by(
+        &self,
+        keys: &[&str],
+        aggs: &[(NaiveAgg, Expr, &str)],
+    ) -> Result<Table> {
+        let key_idx = self.frame.key_indices(keys)?;
+        let value_cols: Vec<Column> = aggs
+            .iter()
+            .map(|(_, e, _)| eval(e, &self.frame))
+            .collect::<Result<_>>()?;
+
+        #[derive(Default)]
+        struct Acc {
+            count: f64,
+            nonnull: f64,
+            sum: f64,
+            min: Option<Value>,
+            max: Option<Value>,
+            distinct: HashSet<Value>,
+        }
+        let mut groups: BTreeMap<Row, Vec<Acc>> = BTreeMap::new();
+        for i in 0..self.frame.num_rows() {
+            let key = self.frame.key_at(i, &key_idx);
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| (0..aggs.len()).map(|_| Acc::default()).collect());
+            for (ai, acc) in accs.iter_mut().enumerate() {
+                let v = value_cols[ai].value(i);
+                acc.count += 1.0;
+                if v.is_null() {
+                    continue;
+                }
+                acc.nonnull += 1.0;
+                if let Some(x) = v.as_f64() {
+                    acc.sum += x;
+                }
+                if acc.min.as_ref().is_none_or(|m| v < *m) {
+                    acc.min = Some(v.clone());
+                }
+                if acc.max.as_ref().is_none_or(|m| v > *m) {
+                    acc.max = Some(v.clone());
+                }
+                if aggs[ai].0 == NaiveAgg::CountDistinct {
+                    acc.distinct.insert(v);
+                }
+            }
+        }
+        // Output schema: keys + agg columns.
+        let mut fields = Vec::with_capacity(keys.len() + aggs.len());
+        for k in keys {
+            fields.push(Field::new(*k, self.frame.schema().field(k)?.dtype));
+        }
+        for (func, e, alias) in aggs {
+            let in_type = infer_type(e, self.frame.schema())?;
+            let dtype = match func {
+                NaiveAgg::Min | NaiveAgg::Max => in_type,
+                _ => DataType::Float64,
+            };
+            fields.push(Field::mutable(*alias, dtype));
+        }
+        let schema = Arc::new(Schema::new(fields));
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+        for (key, accs) in groups {
+            let mut row = key.into_values();
+            for ((func, _, _), acc) in aggs.iter().zip(accs) {
+                let v = match func {
+                    NaiveAgg::CountStar => Value::Float(acc.count),
+                    NaiveAgg::Count => Value::Float(acc.nonnull),
+                    NaiveAgg::Sum => Value::Float(acc.sum),
+                    NaiveAgg::Avg => {
+                        if acc.nonnull > 0.0 {
+                            Value::Float(acc.sum / acc.nonnull)
+                        } else {
+                            Value::Null
+                        }
+                    }
+                    NaiveAgg::Min => acc.min.unwrap_or(Value::Null),
+                    NaiveAgg::Max => acc.max.unwrap_or(Value::Null),
+                    NaiveAgg::CountDistinct => Value::Float(acc.distinct.len() as f64),
+                };
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        Ok(Table::new(DataFrame::from_rows(schema, &rows)?))
+    }
+
+    pub fn sort(&self, by: &[&str], descending: &[bool]) -> Result<Table> {
+        Ok(Table::new(self.frame.sort_by(by, descending)?))
+    }
+
+    pub fn head(&self, n: usize) -> Table {
+        Table::new(self.frame.head(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wake_expr::{col, lit_f64};
+
+    fn t(ks: Vec<i64>, vs: Vec<f64>) -> Table {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]));
+        Table::new(
+            DataFrame::new(schema, vec![Column::from_i64(ks), Column::from_f64(vs)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn filter_map_sort() {
+        let tab = t(vec![1, 2, 3], vec![1.0, 2.0, 3.0]);
+        let f = tab.filter(&col("v").gt(lit_f64(1.5))).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        let m = f.map(&[(col("v").mul(lit_f64(2.0)), "v2")]).unwrap();
+        assert_eq!(m.frame().value(0, "v2").unwrap(), Value::Float(4.0));
+        let s = tab.sort(&["v"], &[true]).unwrap();
+        assert_eq!(s.frame().value(0, "v").unwrap(), Value::Float(3.0));
+        assert_eq!(tab.head(1).num_rows(), 1);
+    }
+
+    #[test]
+    fn joins_all_kinds() {
+        let left = t(vec![1, 2, 3], vec![10.0, 20.0, 30.0]);
+        let right = t(vec![2, 3, 3], vec![0.2, 0.3, 0.33]);
+        let inner = left.join(&right, &["k"], &["k"], NaiveJoin::Inner).unwrap();
+        assert_eq!(inner.num_rows(), 3); // 2 matches once, 3 matches twice
+        let lj = left.join(&right, &["k"], &["k"], NaiveJoin::Left).unwrap();
+        assert_eq!(lj.num_rows(), 4);
+        assert!(lj.frame().value(0, "v_right").unwrap().is_null());
+        let semi = left.join(&right, &["k"], &["k"], NaiveJoin::Semi).unwrap();
+        assert_eq!(semi.num_rows(), 2);
+        let anti = left.join(&right, &["k"], &["k"], NaiveJoin::Anti).unwrap();
+        assert_eq!(anti.num_rows(), 1);
+        assert_eq!(anti.frame().value(0, "k").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let tab = t(vec![1, 1, 2, 2, 2], vec![1.0, 3.0, 5.0, 5.0, 7.0]);
+        let gb = tab
+            .group_by(
+                &["k"],
+                &[
+                    (NaiveAgg::Sum, col("v"), "s"),
+                    (NaiveAgg::Avg, col("v"), "a"),
+                    (NaiveAgg::Min, col("v"), "mn"),
+                    (NaiveAgg::Max, col("v"), "mx"),
+                    (NaiveAgg::CountStar, col("v"), "n"),
+                    (NaiveAgg::CountDistinct, col("v"), "d"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(gb.num_rows(), 2);
+        let f = gb.frame();
+        assert_eq!(f.value(0, "s").unwrap(), Value::Float(4.0));
+        assert_eq!(f.value(1, "a").unwrap(), Value::Float(17.0 / 3.0));
+        assert_eq!(f.value(1, "mn").unwrap(), Value::Float(5.0));
+        assert_eq!(f.value(1, "mx").unwrap(), Value::Float(7.0));
+        assert_eq!(f.value(1, "n").unwrap(), Value::Float(3.0));
+        assert_eq!(f.value(1, "d").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn global_group_by() {
+        let tab = t(vec![1, 2], vec![4.0, 6.0]);
+        let gb = tab.group_by(&[], &[(NaiveAgg::Sum, col("v"), "s")]).unwrap();
+        assert_eq!(gb.num_rows(), 1);
+        assert_eq!(gb.frame().value(0, "s").unwrap(), Value::Float(10.0));
+    }
+}

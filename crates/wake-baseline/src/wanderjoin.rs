@@ -1,0 +1,344 @@
+//! A WanderJoin-style OLA baseline (Li et al., SIGMOD'16) for Fig 9b.
+//!
+//! WanderJoin estimates multi-join aggregates by random walks over index
+//! lookups: sample a row from the first table, follow the join key to a
+//! uniformly-chosen matching row in the next table, and so on; each
+//! complete path contributes `value(path) × Π fanout` (Horvitz–Thompson
+//! weighting). Estimates improve like `1/√samples` but — as the paper
+//! observes (§8.4) — never converge to the exact answer, unlike Wake.
+
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use wake_data::{DataError, DataFrame, Row, Value};
+use wake_expr::{eval, eval_mask, Expr};
+
+/// One hop of a walk: from a column on the current path to a keyed table.
+pub struct WalkStep {
+    /// Column (of the *path so far*) holding the join value.
+    pub from_col: &'static str,
+    /// Target table.
+    pub table: DataFrame,
+    /// Key column in the target table (indexed).
+    pub key: &'static str,
+    /// Optional predicate rows of the target table must satisfy.
+    pub predicate: Option<Expr>,
+}
+
+/// A random-walk join estimator for `SUM(value_expr)` group-by queries.
+pub struct WanderJoin {
+    start: DataFrame,
+    steps: Vec<PreparedStep>,
+    /// Group key column (on the start table or any joined table), or None
+    /// for a global aggregate.
+    group_col: Option<&'static str>,
+    value_expr: Expr,
+    rng: StdRng,
+    /// Per-group running totals of weighted samples.
+    sums: HashMap<Row, (f64, u64)>,
+    global: (f64, u64),
+    samples: u64,
+}
+
+struct PreparedStep {
+    from_col: &'static str,
+    table: DataFrame,
+    index: HashMap<Value, Vec<usize>>,
+}
+
+impl WanderJoin {
+    /// Prepare indexes (WanderJoin requires indexes on all join keys).
+    pub fn new(
+        start: DataFrame,
+        start_predicate: Option<Expr>,
+        steps: Vec<WalkStep>,
+        group_col: Option<&'static str>,
+        value_expr: Expr,
+        seed: u64,
+    ) -> Result<Self> {
+        let start = match start_predicate {
+            Some(p) => {
+                let mask = eval_mask(&p, &start)?;
+                start.filter(&mask)?
+            }
+            None => start,
+        };
+        if start.num_rows() == 0 {
+            return Err(DataError::Invalid("wander join: empty start table".into()));
+        }
+        let mut prepared = Vec::with_capacity(steps.len());
+        for s in steps {
+            let table = match &s.predicate {
+                Some(p) => {
+                    let mask = eval_mask(p, &s.table)?;
+                    s.table.filter(&mask)?
+                }
+                None => s.table,
+            };
+            let key_idx = table.schema().index_of(s.key)?;
+            let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+            for i in 0..table.num_rows() {
+                let v = table.column_at(key_idx).value(i);
+                if !v.is_null() {
+                    index.entry(v).or_default().push(i);
+                }
+            }
+            prepared.push(PreparedStep { from_col: s.from_col, table, index });
+        }
+        Ok(WanderJoin {
+            start,
+            steps: prepared,
+            group_col,
+            value_expr,
+            rng: StdRng::seed_from_u64(seed),
+            sums: HashMap::new(),
+            global: (0.0, 0),
+            samples: 0,
+        })
+    }
+
+    /// Perform one random walk; returns whether it completed.
+    fn walk(&mut self) -> Result<bool> {
+        self.samples += 1;
+        let n0 = self.start.num_rows();
+        let r0 = self.rng.gen_range(0..n0);
+        // Assemble the path as (column name -> value) over all hops.
+        let mut path: HashMap<&str, Value> = HashMap::new();
+        for (ci, field) in self.start.schema().fields().iter().enumerate() {
+            path.insert(field.name.as_str(), self.start.column_at(ci).value(r0));
+        }
+        let mut weight = n0 as f64;
+        // Borrow juggling: take steps out while walking.
+        let steps = std::mem::take(&mut self.steps);
+        let mut completed = true;
+        for step in &steps {
+            let Some(from) = path.get(step.from_col).cloned() else {
+                completed = false;
+                break;
+            };
+            let Some(matches) = step.index.get(&from) else {
+                completed = false;
+                break;
+            };
+            let pick = matches[self.rng.gen_range(0..matches.len())];
+            weight *= matches.len() as f64;
+            for (ci, field) in step.table.schema().fields().iter().enumerate() {
+                path.insert(field.name.as_str(), step.table.column_at(ci).value(pick));
+            }
+            if !completed {
+                break;
+            }
+        }
+        let contribution = if completed {
+            // Evaluate the value expression over the 1-row path frame.
+            let row = self.path_value(&path)?;
+            Some(row)
+        } else {
+            None
+        };
+        let group = self.group_col.and_then(|c| path.get(c).cloned());
+        self.steps = steps;
+        let weighted = contribution.map(|v| v * weight).unwrap_or(0.0);
+        match (self.group_col, group) {
+            (Some(_), Some(gv)) if contribution.is_some() => {
+                let e = self.sums.entry(Row::new(vec![gv])).or_insert((0.0, 0));
+                e.0 += weighted;
+            }
+            _ => {}
+        }
+        self.global.0 += weighted;
+        self.global.1 += 1;
+        Ok(contribution.is_some())
+    }
+
+    fn path_value(&self, path: &HashMap<&str, Value>) -> Result<f64> {
+        // Evaluate value_expr by resolving referenced columns from the path.
+        eval_scalar(&self.value_expr, path)
+    }
+
+    /// Run `n` walks, recording an estimate snapshot every `every` walks.
+    /// Each estimate is the HT estimator `(Σ weighted) / samples`.
+    pub fn run(&mut self, n: u64, every: u64) -> Result<Vec<WanderEstimate>> {
+        let start = Instant::now();
+        let mut out = Vec::new();
+        for i in 1..=n {
+            self.walk()?;
+            if i % every == 0 || i == n {
+                out.push(WanderEstimate {
+                    global: self.global.0 / self.samples as f64,
+                    groups: self
+                        .sums
+                        .iter()
+                        .map(|(k, (s, _))| (k.clone(), *s / self.samples as f64))
+                        .collect(),
+                    samples: self.samples,
+                    elapsed: start.elapsed(),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A point-in-time WanderJoin estimate.
+#[derive(Debug, Clone)]
+pub struct WanderEstimate {
+    /// Estimated global SUM.
+    pub global: f64,
+    /// Per-group estimated SUMs (when a group column was given).
+    pub groups: Vec<(Row, f64)>,
+    pub samples: u64,
+    pub elapsed: Duration,
+}
+
+/// Evaluate an expression against a single-row environment.
+fn eval_scalar(expr: &Expr, env: &HashMap<&str, Value>) -> Result<f64> {
+    use wake_data::{Column, Field, Schema};
+    use std::sync::Arc;
+    // Build a one-row frame containing exactly the referenced columns.
+    let cols = expr.referenced_columns();
+    let mut fields = Vec::with_capacity(cols.len());
+    let mut columns = Vec::with_capacity(cols.len());
+    for c in cols {
+        let v = env
+            .get(c)
+            .cloned()
+            .ok_or_else(|| DataError::ColumnNotFound(c.to_string()))?;
+        let dtype = v.data_type().unwrap_or(wake_data::DataType::Float64);
+        fields.push(Field::new(c, dtype));
+        columns.push(Column::from_values(dtype, &[v])?);
+    }
+    let frame = DataFrame::new(Arc::new(Schema::new(fields)), columns)?;
+    let out = eval(expr, &frame)?;
+    Ok(out.value(0).as_f64().unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wake_data::{Column, DataType, Field, Schema};
+    use wake_expr::col;
+
+    fn table(names: &[(&str, Vec<i64>)]) -> DataFrame {
+        let fields = names
+            .iter()
+            .map(|(n, _)| Field::new(*n, DataType::Int64))
+            .collect();
+        let cols = names.iter().map(|(_, v)| Column::from_i64(v.clone())).collect();
+        DataFrame::new(Arc::new(Schema::new(fields)), cols).unwrap()
+    }
+
+    #[test]
+    fn unbiased_single_join_sum() {
+        // fact(k, v) join dim(k, w): exact SUM(v*w) computable by hand.
+        let fact = table(&[("k", vec![1, 1, 2, 3]), ("v", vec![10, 20, 30, 40])]);
+        let dim = table(&[("dk", vec![1, 2, 2, 3]), ("w", vec![2, 3, 5, 7])]);
+        // Exact: k=1 rows match w=2 → (10+20)*2; k=2 matches w=3 and w=5 →
+        // 30*8; k=3 matches w=7 → 40*7. Total = 60 + 240 + 280 = 580.
+        let mut wj = WanderJoin::new(
+            fact,
+            None,
+            vec![WalkStep { from_col: "k", table: dim, key: "dk", predicate: None }],
+            None,
+            col("v").mul(col("w")),
+            7,
+        )
+        .unwrap();
+        let est = wj.run(60_000, 60_000).unwrap();
+        let got = est.last().unwrap().global;
+        assert!(
+            (got - 580.0).abs() / 580.0 < 0.05,
+            "HT estimate {got} too far from 580"
+        );
+    }
+
+    #[test]
+    fn error_shrinks_with_samples_but_not_to_zero() {
+        let fact = table(&[("k", (0..200).map(|i| i % 10).collect()), (
+            "v",
+            (0..200).map(|i| i % 13).collect(),
+        )]);
+        let dim = table(&[("dk", (0..10).collect()), ("w", (0..10).map(|i| i + 1).collect())]);
+        let exact: f64 = (0..200)
+            .map(|i| ((i % 13) * ((i % 10) + 1)) as f64)
+            .sum();
+        let mut wj = WanderJoin::new(
+            fact,
+            None,
+            vec![WalkStep { from_col: "k", table: dim, key: "dk", predicate: None }],
+            None,
+            col("v").mul(col("w")),
+            42,
+        )
+        .unwrap();
+        let series = wj.run(40_000, 2_000).unwrap();
+        let early = ((series[0].global - exact) / exact).abs();
+        let late = ((series.last().unwrap().global - exact) / exact).abs();
+        assert!(late <= early + 0.05, "error should tend to shrink");
+        // But it does NOT hit exactly zero (random-walk floor).
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn failed_walks_count_toward_denominator() {
+        // Half the fact rows have no match: estimates stay unbiased.
+        let fact = table(&[("k", vec![1, 9]), ("v", vec![100, 100])]);
+        let dim = table(&[("dk", vec![1]), ("w", vec![1])]);
+        let mut wj = WanderJoin::new(
+            fact,
+            None,
+            vec![WalkStep { from_col: "k", table: dim, key: "dk", predicate: None }],
+            None,
+            col("v").mul(col("w")),
+            5,
+        )
+        .unwrap();
+        let est = wj.run(20_000, 20_000).unwrap();
+        let got = est.last().unwrap().global;
+        assert!((got - 100.0).abs() / 100.0 < 0.1, "got {got}");
+    }
+
+    #[test]
+    fn group_estimates_and_predicates() {
+        let fact = table(&[("k", vec![1, 1, 2, 2]), ("v", vec![5, 5, 9, 9])]);
+        let dim = table(&[("dk", vec![1, 2]), ("w", vec![1, 1]), ("flag", vec![1, 1])]);
+        let mut wj = WanderJoin::new(
+            fact,
+            Some(col("v").gt(wake_expr::lit_i64(0))),
+            vec![WalkStep {
+                from_col: "k",
+                table: dim,
+                key: "dk",
+                predicate: Some(col("flag").eq(wake_expr::lit_i64(1))),
+            }],
+            Some("k"),
+            col("v"),
+            11,
+        )
+        .unwrap();
+        let est = wj.run(10_000, 10_000).unwrap();
+        let last = est.last().unwrap();
+        assert_eq!(last.groups.len(), 2);
+        let total: f64 = last.groups.iter().map(|(_, v)| v).sum();
+        assert!((total - 28.0).abs() / 28.0 < 0.15);
+        assert!(wj.run(0, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_start_is_error() {
+        let fact = table(&[("k", vec![]), ("v", vec![])]);
+        let dim = table(&[("dk", vec![1]), ("w", vec![1])]);
+        assert!(WanderJoin::new(
+            fact,
+            None,
+            vec![WalkStep { from_col: "k", table: dim, key: "dk", predicate: None }],
+            None,
+            col("v"),
+            1
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,663 @@
+//! Aggregate specifications and mergeable intrinsic states (§4.2–§4.3,
+//! Table 2) plus the aggregate estimators of §5.3.
+//!
+//! Each aggregate keeps an **intrinsic representation** that merges with a
+//! key-based `⊕` (count/sum: addition; min/max: extremum; count-distinct:
+//! the exact value set, per the paper's footnote 3; avg/var: `(count, sum,
+//! sum-of-squares)`), and a **finalizer** that turns raw partials into
+//! unbiased extrinsic estimates via growth-based scaling.
+
+use crate::Result;
+use std::collections::HashSet;
+use wake_data::{DataError, DataType, Value};
+use wake_expr::{lit_i64, Expr};
+use wake_stats::distinct::{distinct_variance, estimate_distinct};
+use wake_stats::Moments;
+
+/// Supported aggregation functions (§3.1 `agg := sum | count | avg | ...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(*)` — rows per group.
+    CountStar,
+    /// `count(expr)` — non-null values per group.
+    Count,
+    Sum,
+    Avg,
+    /// `sum(value·weight)/sum(weight)` — the paper's weighted average
+    /// (Eq. 5); covers ratio-of-sums queries like TPC-H Q14.
+    WeightedAvg,
+    Min,
+    Max,
+    CountDistinct,
+    Var,
+    Stddev,
+    /// `quantile(expr, q)` — k-th order statistic (§5.3 "Order Statistics:
+    /// min, max, median, quantiles"); `q` lives in [`AggSpec::quantile`].
+    Quantile,
+}
+
+/// One aggregate column: function, input expression(s), output name.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Input expression (ignored for `CountStar`).
+    pub expr: Expr,
+    /// Weight expression for `WeightedAvg`.
+    pub weight: Option<Expr>,
+    /// Quantile rank in [0, 1] for `Quantile` (0.5 = median).
+    pub quantile: Option<f64>,
+    pub alias: String,
+}
+
+impl AggSpec {
+    pub fn count_star(alias: &str) -> Self {
+        AggSpec { func: AggFunc::CountStar, expr: lit_i64(1), weight: None, quantile: None, alias: alias.into() }
+    }
+
+    pub fn count(expr: Expr, alias: &str) -> Self {
+        AggSpec { func: AggFunc::Count, expr, weight: None, quantile: None, alias: alias.into() }
+    }
+
+    pub fn sum(expr: Expr, alias: &str) -> Self {
+        AggSpec { func: AggFunc::Sum, expr, weight: None, quantile: None, alias: alias.into() }
+    }
+
+    pub fn avg(expr: Expr, alias: &str) -> Self {
+        AggSpec { func: AggFunc::Avg, expr, weight: None, quantile: None, alias: alias.into() }
+    }
+
+    pub fn weighted_avg(value: Expr, weight: Expr, alias: &str) -> Self {
+        AggSpec {
+            func: AggFunc::WeightedAvg,
+            expr: value,
+            weight: Some(weight),
+            quantile: None,
+            alias: alias.into(),
+        }
+    }
+
+    pub fn min(expr: Expr, alias: &str) -> Self {
+        AggSpec { func: AggFunc::Min, expr, weight: None, quantile: None, alias: alias.into() }
+    }
+
+    pub fn max(expr: Expr, alias: &str) -> Self {
+        AggSpec { func: AggFunc::Max, expr, weight: None, quantile: None, alias: alias.into() }
+    }
+
+    pub fn count_distinct(expr: Expr, alias: &str) -> Self {
+        AggSpec { func: AggFunc::CountDistinct, expr, weight: None, quantile: None, alias: alias.into() }
+    }
+
+    pub fn var(expr: Expr, alias: &str) -> Self {
+        AggSpec { func: AggFunc::Var, expr, weight: None, quantile: None, alias: alias.into() }
+    }
+
+    pub fn stddev(expr: Expr, alias: &str) -> Self {
+        AggSpec { func: AggFunc::Stddev, expr, weight: None, quantile: None, alias: alias.into() }
+    }
+
+    /// `q`-th sample quantile, `q` in [0, 1].
+    pub fn quantile(expr: Expr, q: f64, alias: &str) -> Self {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        AggSpec {
+            func: AggFunc::Quantile,
+            expr,
+            weight: None,
+            quantile: Some(q),
+            alias: alias.into(),
+        }
+    }
+
+    /// Median (the 0.5 quantile).
+    pub fn median(expr: Expr, alias: &str) -> Self {
+        Self::quantile(expr, 0.5, alias)
+    }
+
+    /// Output type of the aggregate column. Estimates of counts/sums can be
+    /// fractional mid-query, so everything numeric is `Float64`; min/max
+    /// keep the input type.
+    pub fn output_type(&self, input_type: DataType) -> DataType {
+        match self.func {
+            AggFunc::Min | AggFunc::Max => input_type,
+            _ => DataType::Float64,
+        }
+    }
+
+    /// Build the empty intrinsic state for this aggregate.
+    pub fn new_state(&self) -> AggState {
+        match self.func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count { n: 0.0 },
+            AggFunc::Sum => AggState::Sum { m: Moments::new() },
+            AggFunc::Avg => AggState::Avg { m: Moments::new() },
+            AggFunc::WeightedAvg => {
+                AggState::WeightedAvg { m_wv: Moments::new(), m_w: Moments::new() }
+            }
+            AggFunc::Min => AggState::Extreme { best: None, second: None, is_min: true },
+            AggFunc::Max => AggState::Extreme { best: None, second: None, is_min: false },
+            AggFunc::CountDistinct => AggState::Distinct { set: HashSet::new(), n: 0.0 },
+            AggFunc::Var => AggState::Dispersion { m: Moments::new(), stddev: false },
+            AggFunc::Stddev => AggState::Dispersion { m: Moments::new(), stddev: true },
+            AggFunc::Quantile => AggState::Sample {
+                values: Vec::new(),
+                q: self.quantile.expect("quantile spec carries q"),
+            },
+        }
+    }
+}
+
+/// Growth context passed to finalizers: the shared scale `t^{-w}` plus the
+/// terms needed for variance propagation (§6).
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleContext {
+    /// `t^{-w}`; 1.0 once the input is complete.
+    pub scale: f64,
+    /// Current progress `t`.
+    pub t: f64,
+    /// Variance of the fitted growth power `w`.
+    pub w_variance: f64,
+}
+
+impl ScaleContext {
+    /// No-scaling context (complete inputs / exact mode).
+    pub fn exact() -> Self {
+        ScaleContext { scale: 1.0, t: 1.0, w_variance: 0.0 }
+    }
+
+    /// `Var(x̂)` for a group with extrapolated cardinality `xhat` (Eq. 10's
+    /// inner term): `(x̂ · ln(1/t))² · Var(w)`.
+    pub fn cardinality_variance(&self, xhat: f64) -> f64 {
+        if self.t >= 1.0 || self.t <= 0.0 {
+            return 0.0;
+        }
+        let ln_inv_t = (1.0 / self.t).ln();
+        (xhat * ln_inv_t).powi(2) * self.w_variance
+    }
+}
+
+/// A finalized aggregate cell: point estimate plus (optional) variance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggOutput {
+    pub value: Value,
+    /// Variance of the estimator (None when not meaningful, e.g. strings).
+    pub variance: Option<f64>,
+}
+
+/// Mergeable per-group intrinsic state (Table 2 "intrinsic repr.").
+#[derive(Debug, Clone)]
+pub enum AggState {
+    /// count / count(*): a scalar count, merged by addition.
+    Count { n: f64 },
+    /// sum: `(count, sum, sum-of-squares)` so CIs get a CLT variance.
+    Sum { m: Moments },
+    /// avg: sum/count by key (Table 2), stored as moments.
+    Avg { m: Moments },
+    /// weighted avg: moments of `w·v` and of `w`.
+    WeightedAvg { m_wv: Moments, m_w: Moments },
+    /// min/max: the current extremum plus runner-up (runner-up feeds a
+    /// spacing-based variance heuristic; the paper fits a GEV — we use the
+    /// extreme-value spacing as a cheap stand-in and document it).
+    Extreme { best: Option<Value>, second: Option<Value>, is_min: bool },
+    /// count-distinct: the exact value set (paper §2.3 footnote 3: exact
+    /// sets, not sketches) plus the non-null observation count.
+    Distinct { set: HashSet<Value>, n: f64 },
+    /// var/stddev: `(count, sum, sum-of-squares)`.
+    Dispersion { m: Moments, stddev: bool },
+    /// quantiles/median: the exact sample, merged by concatenation (the
+    /// same exact-state policy as count-distinct; §5.5 explains why
+    /// KDE/eCDF reconstructions are rejected as too costly — holding the
+    /// sample and reading one order statistic is the cheap alternative).
+    Sample { values: Vec<f64>, q: f64 },
+}
+
+impl AggState {
+    /// Fold one input cell into the state. `value` is the evaluated
+    /// aggregate expression; `weight` only applies to `WeightedAvg`.
+    pub fn observe(&mut self, value: &Value, weight: Option<&Value>) {
+        match self {
+            AggState::Count { n } => {
+                if !value.is_null() {
+                    *n += 1.0;
+                }
+            }
+            AggState::Sum { m } | AggState::Avg { m } | AggState::Dispersion { m, .. } => {
+                if let Some(x) = value.as_f64() {
+                    m.observe(x);
+                }
+            }
+            AggState::WeightedAvg { m_wv, m_w } => {
+                let w = weight.and_then(Value::as_f64);
+                if let (Some(v), Some(w)) = (value.as_f64(), w) {
+                    m_wv.observe(w * v);
+                    m_w.observe(w);
+                }
+            }
+            AggState::Extreme { best, second, is_min } => {
+                if value.is_null() {
+                    return;
+                }
+                let better = |a: &Value, b: &Value| {
+                    if *is_min {
+                        a < b
+                    } else {
+                        a > b
+                    }
+                };
+                match best {
+                    None => *best = Some(value.clone()),
+                    Some(b) if better(value, b) => {
+                        *second = best.take();
+                        *best = Some(value.clone());
+                    }
+                    Some(_) => match second {
+                        None => *second = Some(value.clone()),
+                        Some(s) if better(value, s) => *second = Some(value.clone()),
+                        _ => {}
+                    },
+                }
+            }
+            AggState::Distinct { set, n } => {
+                if !value.is_null() {
+                    set.insert(value.clone());
+                    *n += 1.0;
+                }
+            }
+            AggState::Sample { values, .. } => {
+                if let Some(x) = value.as_f64() {
+                    values.push(x);
+                }
+            }
+        }
+    }
+
+    /// Key-based merge `⊕` (§2.2): combine another partial for the same key.
+    pub fn merge(&mut self, other: &AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count { n }, AggState::Count { n: o }) => *n += o,
+            (AggState::Sum { m }, AggState::Sum { m: o })
+            | (AggState::Avg { m }, AggState::Avg { m: o })
+            | (AggState::Dispersion { m, .. }, AggState::Dispersion { m: o, .. }) => m.merge(o),
+            (
+                AggState::WeightedAvg { m_wv, m_w },
+                AggState::WeightedAvg { m_wv: owv, m_w: ow },
+            ) => {
+                m_wv.merge(owv);
+                m_w.merge(ow);
+            }
+            (AggState::Extreme { best, second, is_min }, AggState::Extreme { best: ob, second: os, .. }) => {
+                let is_min = *is_min;
+                for v in [ob, os].into_iter().flatten() {
+                    // Re-observe the other side's extremes.
+                    let mut tmp = AggState::Extreme {
+                        best: best.take(),
+                        second: second.take(),
+                        is_min,
+                    };
+                    tmp.observe(v, None);
+                    if let AggState::Extreme { best: nb, second: ns, .. } = tmp {
+                        *best = nb;
+                        *second = ns;
+                    }
+                }
+            }
+            (AggState::Distinct { set, n }, AggState::Distinct { set: os, n: on }) => {
+                set.extend(os.iter().cloned());
+                *n += on;
+            }
+            (AggState::Sample { values, .. }, AggState::Sample { values: ov, .. }) => {
+                values.extend_from_slice(ov);
+            }
+            (a, b) => {
+                return Err(DataError::Invalid(format!(
+                    "cannot merge mismatched aggregate states {a:?} vs {b:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the extrinsic estimate (§5.3). `group_rows` is the group
+    /// cardinality `xᵢ,ₜ`; `ctx` carries the shared growth scale.
+    ///
+    /// Once the input is complete (`t = 1`) the estimate is the exact
+    /// finite-population answer, so the reported variance collapses to 0 —
+    /// the convergence property extends to the uncertainty itself.
+    pub fn finalize(&self, group_rows: f64, ctx: &ScaleContext) -> AggOutput {
+        let mut out = self.finalize_inner(group_rows, ctx);
+        if ctx.t >= 1.0 {
+            out.variance = out.variance.map(|_| 0.0);
+        }
+        out
+    }
+
+    fn finalize_inner(&self, group_rows: f64, ctx: &ScaleContext) -> AggOutput {
+        match self {
+            AggState::Count { n } => {
+                // f_count: scale the raw count by t^{-w} (x̂ = x / t^w).
+                let est = n * ctx.scale;
+                AggOutput { value: Value::Float(est), variance: Some(ctx.cardinality_variance(est)) }
+            }
+            AggState::Sum { m } => {
+                // f_sum = (y / x) · x̂ = y · t^{-w}  (Eq. against §5.3).
+                let est = m.sum * ctx.scale;
+                // Eq. 11: Var = (Var(y)·x̂² + Var(x̂)·y²) / x².
+                let variance = if m.count > 0.0 {
+                    let xhat = m.count * ctx.scale;
+                    let var_y = m.variance_of_sum();
+                    let var_xhat = ctx.cardinality_variance(xhat);
+                    Some((var_y * xhat * xhat + var_xhat * m.sum * m.sum) / (m.count * m.count))
+                } else {
+                    Some(0.0)
+                };
+                AggOutput { value: Value::Float(est), variance }
+            }
+            AggState::Avg { m } => {
+                // Eq. 5: scaling cancels; the estimator is the identity.
+                if m.count == 0.0 {
+                    return AggOutput { value: Value::Null, variance: None };
+                }
+                AggOutput {
+                    value: Value::Float(m.mean()),
+                    variance: Some(m.variance_of_mean()),
+                }
+            }
+            AggState::WeightedAvg { m_wv, m_w } => {
+                if m_w.sum == 0.0 {
+                    return AggOutput { value: Value::Null, variance: None };
+                }
+                let est = m_wv.sum / m_w.sum;
+                // Eq. 14: relative variances of numerator and denominator.
+                let n = m_wv.count.max(1.0);
+                let rel_num = if m_wv.sum != 0.0 {
+                    m_wv.variance_of_sum() / (m_wv.sum * m_wv.sum)
+                } else {
+                    0.0
+                };
+                let rel_den = if m_w.sum != 0.0 {
+                    m_w.variance_of_sum() / (m_w.sum * m_w.sum)
+                } else {
+                    0.0
+                };
+                let _ = n;
+                AggOutput { value: Value::Float(est), variance: Some(est * est * (rel_num + rel_den)) }
+            }
+            AggState::Extreme { best, second, .. } => {
+                // f_order: latest extremum (§5.3 "Order Statistics").
+                let value = best.clone().unwrap_or(Value::Null);
+                // Spacing heuristic: squared gap between the two most
+                // extreme observations, shrinking as the group fills in.
+                let variance = match (ctx.t < 1.0, best, second) {
+                    (true, Some(b), Some(s)) => match (b.as_f64(), s.as_f64()) {
+                        (Some(b), Some(s)) => Some((b - s) * (b - s)),
+                        _ => None,
+                    },
+                    _ => Some(0.0),
+                };
+                AggOutput { value, variance }
+            }
+            AggState::Distinct { set, n } => {
+                let y = set.len() as f64;
+                let x = *n;
+                let xhat = x * ctx.scale;
+                let est = estimate_distinct(y, x, xhat);
+                let var_xhat = ctx.cardinality_variance(xhat);
+                // Var(y) of the seen-distinct count: crude binomial bound.
+                let var_y = if ctx.t < 1.0 { y.max(1.0) * (1.0 - ctx.t) } else { 0.0 };
+                let variance = Some(distinct_variance(var_y, var_xhat, x, xhat, est));
+                AggOutput { value: Value::Float(est), variance }
+            }
+            AggState::Sample { values, q } => {
+                if values.is_empty() {
+                    return AggOutput { value: Value::Null, variance: None };
+                }
+                let mut sorted = values.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN quantile input"));
+                let n = sorted.len();
+                let rank = (q * (n - 1) as f64).round() as usize;
+                let est = sorted[rank.min(n - 1)];
+                // Rank-based CI half-width: the q-th sample quantile lies
+                // within ±sqrt(q(1-q)n) ranks of the population quantile
+                // w.h.p. (van der Vaart §21.2); map that rank band to value
+                // space and report its squared half-width as the variance.
+                let h = ((q * (1.0 - q) * n as f64).sqrt().ceil() as usize).max(1);
+                let lo = sorted[rank.saturating_sub(h)];
+                let hi = sorted[(rank + h).min(n - 1)];
+                let half = (hi - lo) / 2.0;
+                AggOutput { value: Value::Float(est), variance: Some(half * half) }
+            }
+            AggState::Dispersion { m, stddev } => {
+                if m.count < 2.0 {
+                    return AggOutput { value: Value::Null, variance: None };
+                }
+                let s2 = m.sample_variance();
+                let value = if *stddev { s2.sqrt() } else { s2 };
+                // Asymptotic Var(s²) ≈ 2σ⁴ / (n − 1) (normal approximation).
+                let var_s2 = 2.0 * s2 * s2 / (m.count - 1.0);
+                let variance = if *stddev {
+                    // Delta method: Var(s) ≈ Var(s²) / (4 s²).
+                    if s2 > 0.0 {
+                        Some(var_s2 / (4.0 * s2))
+                    } else {
+                        Some(0.0)
+                    }
+                } else {
+                    Some(var_s2)
+                };
+                AggOutput { value: Value::Float(value), variance }
+            }
+        }
+        .with_group(group_rows)
+    }
+}
+
+impl AggOutput {
+    // `group_rows` is currently only used for debug assertions; keep the
+    // hook so future estimators (e.g. quantiles) can use it.
+    fn with_group(self, _group_rows: f64) -> AggOutput {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wake_expr::col;
+
+    fn obs(state: &mut AggState, xs: &[f64]) {
+        for &x in xs {
+            state.observe(&Value::Float(x), None);
+        }
+    }
+
+    #[test]
+    fn sum_scaling_and_convergence() {
+        let spec = AggSpec::sum(col("x"), "s");
+        let mut st = spec.new_state();
+        obs(&mut st, &[1.0, 2.0, 3.0]);
+        // Halfway through a linear scan (w = 1): scale = 2.
+        let ctx = ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.0 };
+        let out = st.finalize(3.0, &ctx);
+        assert_eq!(out.value, Value::Float(12.0));
+        // At completion the raw value is exact.
+        let out = st.finalize(3.0, &ScaleContext::exact());
+        assert_eq!(out.value, Value::Float(6.0));
+    }
+
+    #[test]
+    fn merge_equals_single_stream_for_all_funcs() {
+        let specs = [
+            AggSpec::count_star("c"),
+            AggSpec::count(col("x"), "c2"),
+            AggSpec::sum(col("x"), "s"),
+            AggSpec::avg(col("x"), "a"),
+            AggSpec::min(col("x"), "mn"),
+            AggSpec::max(col("x"), "mx"),
+            AggSpec::count_distinct(col("x"), "cd"),
+            AggSpec::var(col("x"), "v"),
+            AggSpec::stddev(col("x"), "sd"),
+        ];
+        let xs = [5.0, 3.0, 3.0, 8.0, 1.0, 9.0, 9.0];
+        for spec in specs {
+            let mut whole = spec.new_state();
+            obs(&mut whole, &xs);
+            let mut left = spec.new_state();
+            obs(&mut left, &xs[..3]);
+            let mut right = spec.new_state();
+            obs(&mut right, &xs[3..]);
+            left.merge(&right).unwrap();
+            let ctx = ScaleContext::exact();
+            assert_eq!(
+                left.finalize(7.0, &ctx).value,
+                whole.finalize(7.0, &ctx).value,
+                "func {:?}",
+                spec.func
+            );
+        }
+    }
+
+    #[test]
+    fn avg_is_scale_free() {
+        let spec = AggSpec::avg(col("x"), "a");
+        let mut st = spec.new_state();
+        obs(&mut st, &[2.0, 4.0]);
+        let scaled = st.finalize(2.0, &ScaleContext { scale: 4.0, t: 0.25, w_variance: 0.1 });
+        assert_eq!(scaled.value, Value::Float(3.0));
+    }
+
+    #[test]
+    fn weighted_avg_matches_ratio_of_sums() {
+        let spec = AggSpec::weighted_avg(col("v"), col("w"), "wa");
+        let mut st = spec.new_state();
+        st.observe(&Value::Float(10.0), Some(&Value::Float(1.0)));
+        st.observe(&Value::Float(20.0), Some(&Value::Float(3.0)));
+        let out = st.finalize(2.0, &ScaleContext::exact());
+        // (10·1 + 20·3) / (1 + 3) = 17.5
+        assert_eq!(out.value, Value::Float(17.5));
+    }
+
+    #[test]
+    fn count_distinct_extrapolates_and_converges() {
+        let spec = AggSpec::count_distinct(col("x"), "cd");
+        let mut st = spec.new_state();
+        // 50 observations, 10 distinct values (5 copies each seen).
+        for i in 0..50 {
+            st.observe(&Value::Int(i % 10), None);
+        }
+        // Group expected to double: estimate should be >= seen distinct.
+        let ctx = ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.0 };
+        let est = st.finalize(50.0, &ctx);
+        let v = est.value.as_f64().unwrap();
+        assert!((10.0..=100.0).contains(&v));
+        // Complete: exact distinct count.
+        let exact = st.finalize(50.0, &ScaleContext::exact());
+        assert_eq!(exact.value, Value::Float(10.0));
+    }
+
+    #[test]
+    fn extreme_tracks_best_and_second() {
+        let spec = AggSpec::max(col("x"), "mx");
+        let mut st = spec.new_state();
+        obs(&mut st, &[3.0, 9.0, 7.0]);
+        let out = st.finalize(3.0, &ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.0 });
+        assert_eq!(out.value, Value::Float(9.0));
+        // Spacing heuristic: (9 − 7)².
+        assert_eq!(out.variance, Some(4.0));
+        // Min over strings works and reports no numeric variance.
+        let mut st = AggSpec::min(col("s"), "mn").new_state();
+        st.observe(&Value::str("pear"), None);
+        st.observe(&Value::str("apple"), None);
+        let out = st.finalize(2.0, &ScaleContext::exact());
+        assert_eq!(out.value, Value::str("apple"));
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let mut st = AggSpec::count(col("x"), "c").new_state();
+        st.observe(&Value::Null, None);
+        st.observe(&Value::Int(1), None);
+        let out = st.finalize(2.0, &ScaleContext::exact());
+        assert_eq!(out.value, Value::Float(1.0));
+        let mut st = AggSpec::avg(col("x"), "a").new_state();
+        st.observe(&Value::Null, None);
+        assert_eq!(st.finalize(1.0, &ScaleContext::exact()).value, Value::Null);
+    }
+
+    #[test]
+    fn dispersion_values() {
+        let mut st = AggSpec::var(col("x"), "v").new_state();
+        obs(&mut st, &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let v = st.finalize(8.0, &ScaleContext::exact()).value.as_f64().unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-9);
+        let mut st = AggSpec::stddev(col("x"), "sd").new_state();
+        obs(&mut st, &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let sd = st.finalize(8.0, &ScaleContext::exact()).value.as_f64().unwrap();
+        assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-9);
+        // Single observation: undefined.
+        let mut st = AggSpec::var(col("x"), "v").new_state();
+        obs(&mut st, &[1.0]);
+        assert_eq!(st.finalize(1.0, &ScaleContext::exact()).value, Value::Null);
+    }
+
+    #[test]
+    fn merge_type_mismatch_errors() {
+        let mut a = AggSpec::sum(col("x"), "s").new_state();
+        let b = AggSpec::count_star("c").new_state();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn quantiles_and_median() {
+        let spec = AggSpec::median(col("x"), "med");
+        let mut st = spec.new_state();
+        obs(&mut st, &[5.0, 1.0, 9.0, 3.0, 7.0]);
+        let out = st.finalize(5.0, &ScaleContext::exact());
+        assert_eq!(out.value, Value::Float(5.0));
+        // p90 of 1..=10.
+        let spec = AggSpec::quantile(col("x"), 0.9, "p90");
+        let mut st = spec.new_state();
+        obs(&mut st, &(1..=10).map(f64::from).collect::<Vec<_>>());
+        let out = st.finalize(10.0, &ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.0 });
+        let v = out.value.as_f64().unwrap();
+        assert!((9.0..=10.0).contains(&v), "p90 {v}");
+        assert!(out.variance.unwrap() >= 0.0);
+        // Merge = concatenation: split/merge equals single stream.
+        let xs: Vec<f64> = (0..21).map(|i| (i * 7 % 13) as f64).collect();
+        let mut whole = AggSpec::median(col("x"), "m").new_state();
+        obs(&mut whole, &xs);
+        let mut a = AggSpec::median(col("x"), "m").new_state();
+        obs(&mut a, &xs[..8]);
+        let mut b = AggSpec::median(col("x"), "m").new_state();
+        obs(&mut b, &xs[8..]);
+        a.merge(&b).unwrap();
+        let ctx = ScaleContext::exact();
+        assert_eq!(a.finalize(21.0, &ctx).value, whole.finalize(21.0, &ctx).value);
+        // Empty sample -> NULL.
+        let st = AggSpec::median(col("x"), "m").new_state();
+        assert_eq!(st.finalize(0.0, &ctx).value, Value::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_rank_validated() {
+        AggSpec::quantile(col("x"), 1.5, "bad");
+    }
+
+    #[test]
+    fn count_variance_grows_with_w_uncertainty() {
+        let mut st = AggSpec::count_star("c").new_state();
+        for _ in 0..10 {
+            st.observe(&Value::Int(1), None);
+        }
+        let lo = st
+            .finalize(10.0, &ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.01 })
+            .variance
+            .unwrap();
+        let hi = st
+            .finalize(10.0, &ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.09 })
+            .variance
+            .unwrap();
+        assert!(hi > lo && lo > 0.0);
+        // Complete input: zero variance.
+        let done = st.finalize(10.0, &ScaleContext::exact()).variance.unwrap();
+        assert_eq!(done, 0.0);
+    }
+}

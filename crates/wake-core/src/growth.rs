@@ -1,0 +1,199 @@
+//! Cardinality-growth modelling (§5.2).
+//!
+//! Wake models each aggregation's **average group cardinality** as a
+//! monomial in progress, `E[x̄_t] = b · t^w`, and fits `(log b, w)` with a
+//! streaming log-log regression (O(1) per observation). The fitted power
+//! extrapolates every group's final cardinality as `x̂ᵢ = xᵢ,ₜ / t^w`
+//! (Eq. 4; the group coefficient `cᵢ = xᵢ,ₜ / t^w` evaluated at `T = 1`).
+
+use crate::update::UpdateKind;
+use wake_stats::StreamingOls;
+
+/// Upper clamp on the fitted power: a cross join of three linear sources is
+/// cubic; anything above that is treated as a degenerate fit.
+const W_MAX: f64 = 3.0;
+
+/// Streaming fit of the growth power `w` with a mode-dependent prior.
+#[derive(Debug, Clone)]
+pub struct GrowthModel {
+    ols: StreamingOls,
+    /// Fallback power used before the fit has two distinct observations:
+    /// delta-mode inputs are samples of a growing population (`w = 1`,
+    /// like a base-table read), snapshot-mode inputs already carry
+    /// extrapolated estimates (`w = 0`, "the currently observed set is the
+    /// entire set", §2.2 Case 2).
+    prior_w: f64,
+    /// When set, the fit is ignored and `w` is pinned (ablation mode —
+    /// `Fixed(1.0)` reproduces the linear-only scaling of prior OLA
+    /// middleware, the alternative §5.5 argues against).
+    fixed_w: Option<f64>,
+    last_t: f64,
+}
+
+impl GrowthModel {
+    /// Build with the prior implied by the input stream kind.
+    pub fn for_input(kind: UpdateKind) -> Self {
+        let prior_w = match kind {
+            UpdateKind::Delta => 1.0,
+            UpdateKind::Snapshot => 0.0,
+        };
+        GrowthModel { ols: StreamingOls::new(), prior_w, fixed_w: None, last_t: 0.0 }
+    }
+
+    /// A model pinned to a constant power (no fitting).
+    pub fn fixed(w: f64) -> Self {
+        GrowthModel {
+            ols: StreamingOls::new(),
+            prior_w: w,
+            fixed_w: Some(w.clamp(0.0, W_MAX)),
+            last_t: 0.0,
+        }
+    }
+
+    /// Record the average group cardinality observed at progress `t`.
+    /// Observations at `t <= 0`, with no groups, or regressing `t` are
+    /// ignored (the log transform needs positive support and the model is
+    /// over monotone progress).
+    pub fn observe(&mut self, t: f64, avg_group_cardinality: f64) {
+        if t <= 0.0 || t > 1.0 || avg_group_cardinality <= 0.0 || t < self.last_t {
+            return;
+        }
+        self.last_t = t;
+        self.ols.observe(t.ln(), avg_group_cardinality.ln());
+    }
+
+    /// Current estimate of the power `w`, clamped to `[0, W_MAX]`. A
+    /// two-point log-log fit is numerically exact but statistically
+    /// meaningless and produces wild early scale factors on join outputs,
+    /// so the prior is kept until three observations are available.
+    pub fn w(&self) -> f64 {
+        if let Some(w) = self.fixed_w {
+            return w;
+        }
+        if self.ols.count() < 3 {
+            return self.prior_w;
+        }
+        match self.ols.slope() {
+            Some(s) => s.clamp(0.0, W_MAX),
+            None => self.prior_w,
+        }
+    }
+
+    /// Variance of the fitted power (0 until enough observations), used by
+    /// CI propagation (Eq. 10 needs `Var(w)`).
+    pub fn w_variance(&self) -> f64 {
+        if self.fixed_w.is_some() {
+            return 0.0;
+        }
+        self.ols.slope_variance().unwrap_or(0.0)
+    }
+
+    /// Extrapolate a group's final cardinality from its current cardinality
+    /// `x` at progress `t` (Eq. 4): `x̂ = x / t^w`. At `t = 1` this is the
+    /// identity, preserving convergence.
+    pub fn estimate_final_cardinality(&self, x: f64, t: f64) -> f64 {
+        if t <= 0.0 {
+            return x;
+        }
+        if t >= 1.0 {
+            return x;
+        }
+        x / t.powf(self.w())
+    }
+
+    /// The scale factor `x̂ / x = t^{-w}` applied to sum-like aggregates.
+    pub fn scale_factor(&self, t: f64) -> f64 {
+        if t <= 0.0 || t >= 1.0 {
+            return 1.0;
+        }
+        t.powf(-self.w())
+    }
+
+    pub fn observation_count(&self) -> u64 {
+        self.ols.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priors_match_input_kind() {
+        assert_eq!(GrowthModel::for_input(UpdateKind::Delta).w(), 1.0);
+        assert_eq!(GrowthModel::for_input(UpdateKind::Snapshot).w(), 0.0);
+    }
+
+    #[test]
+    fn fits_linear_growth() {
+        let mut g = GrowthModel::for_input(UpdateKind::Delta);
+        for i in 1..=10 {
+            let t = i as f64 / 10.0;
+            g.observe(t, 100.0 * t); // clean linear growth
+        }
+        assert!((g.w() - 1.0).abs() < 1e-9);
+        // At t=0.25 with w=1 a group of 5 extrapolates to 20.
+        assert!((g.estimate_final_cardinality(5.0, 0.25) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_flat_growth_for_low_cardinality_groups() {
+        let mut g = GrowthModel::for_input(UpdateKind::Delta);
+        for i in 1..=10 {
+            g.observe(i as f64 / 10.0, 400.0); // group count saturated early
+        }
+        assert!(g.w().abs() < 1e-9);
+        assert_eq!(g.estimate_final_cardinality(400.0, 0.5), 400.0);
+    }
+
+    #[test]
+    fn fits_quadratic_growth() {
+        let mut g = GrowthModel::for_input(UpdateKind::Delta);
+        for i in 1..=8 {
+            let t = i as f64 / 8.0;
+            g.observe(t, 50.0 * t * t);
+        }
+        assert!((g.w() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_and_guards() {
+        let mut g = GrowthModel::for_input(UpdateKind::Delta);
+        g.observe(0.0, 10.0); // ignored: t <= 0
+        g.observe(0.5, 0.0); // ignored: zero cardinality
+        g.observe(0.5, 10.0);
+        g.observe(0.25, 20.0); // ignored: regressing t
+        assert_eq!(g.observation_count(), 1);
+        assert_eq!(g.w(), 1.0); // still prior
+        // Explosive synthetic growth clamps at W_MAX (after the fit has
+        // enough observations to be trusted).
+        let mut g = GrowthModel::for_input(UpdateKind::Delta);
+        g.observe(0.1, 1.0);
+        g.observe(0.5, 1e6);
+        assert_eq!(g.w(), 1.0, "prior holds until 3 observations");
+        g.observe(1.0, 1e12);
+        assert_eq!(g.w(), 3.0);
+    }
+
+    #[test]
+    fn fixed_model_ignores_observations() {
+        let mut g = GrowthModel::fixed(1.0);
+        for i in 1..=10 {
+            let t = i as f64 / 10.0;
+            g.observe(t, 7.0 * t * t); // quadratic data
+        }
+        assert_eq!(g.w(), 1.0, "fixed model must not fit");
+        assert_eq!(g.w_variance(), 0.0);
+        // Out-of-range fixed powers are clamped.
+        assert_eq!(GrowthModel::fixed(99.0).w(), 3.0);
+    }
+
+    #[test]
+    fn identity_at_completion() {
+        let mut g = GrowthModel::for_input(UpdateKind::Delta);
+        g.observe(0.5, 5.0);
+        g.observe(1.0, 10.0);
+        assert_eq!(g.estimate_final_cardinality(10.0, 1.0), 10.0);
+        assert_eq!(g.scale_factor(1.0), 1.0);
+    }
+}

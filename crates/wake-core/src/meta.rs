@@ -1,0 +1,62 @@
+//! Static edf metadata: schema, keys, and stream kind.
+//!
+//! Every operator declares at build time what its output edf looks like:
+//! the (fixed) schema — the paper's *consistency* property — the primary
+//! key used for key-based merges, the clustering key if the physical row
+//! order is meaningful, and whether the stream is delta- or
+//! snapshot-mode (§4.3 "Primary Key" / "Clustering Key").
+
+use crate::update::UpdateKind;
+use std::sync::Arc;
+use wake_data::Schema;
+
+/// Compile-time description of one edf.
+#[derive(Debug, Clone)]
+pub struct EdfMeta {
+    pub schema: Arc<Schema>,
+    /// Constant attributes uniquely identifying tuples (§3.1). Empty for
+    /// edfs without a meaningful key (e.g. pre-aggregation fact streams
+    /// where the key is inherited but unused).
+    pub primary_key: Vec<String>,
+    /// Attributes governing physical ordering/partition placement, when the
+    /// producing operator preserves one.
+    pub clustering_key: Option<Vec<String>>,
+    /// Whether downstream sees deltas or snapshots.
+    pub kind: UpdateKind,
+}
+
+impl EdfMeta {
+    pub fn new(schema: Arc<Schema>, primary_key: Vec<String>, kind: UpdateKind) -> Self {
+        EdfMeta { schema, primary_key, clustering_key: None, kind }
+    }
+
+    pub fn with_clustering(mut self, clustering_key: Option<Vec<String>>) -> Self {
+        self.clustering_key = clustering_key;
+        self
+    }
+
+    /// Whether this edf is clustered on exactly the given attribute list.
+    pub fn clustered_on(&self, keys: &[String]) -> bool {
+        self.clustering_key.as_deref() == Some(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wake_data::{DataType, Field};
+
+    #[test]
+    fn clustering_checks() {
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        let meta = EdfMeta::new(schema, vec!["k".into()], UpdateKind::Delta)
+            .with_clustering(Some(vec!["k".into()]));
+        assert!(meta.clustered_on(&["k".into()]));
+        assert!(!meta.clustered_on(&["x".into()]));
+        let unclustered = EdfMeta {
+            clustering_key: None,
+            ..meta
+        };
+        assert!(!unclustered.clustered_on(&["k".into()]));
+    }
+}

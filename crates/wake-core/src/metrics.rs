@@ -1,0 +1,161 @@
+//! Approximation-error metrics (§8.1 "Metrics"): MAPE over matched groups,
+//! recall (fraction of final-result groups already produced), and precision
+//! (fraction of produced groups that survive to the final result).
+
+use crate::Result;
+use std::collections::HashMap;
+use wake_data::{DataFrame, Row};
+
+/// Error of one estimate frame against the exact answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorReport {
+    /// Mean absolute percentage error over numeric cells of matched rows
+    /// (cells with zero truth are skipped, the standard MAPE convention).
+    pub mape: f64,
+    /// |estimate keys ∩ truth keys| / |truth keys|.
+    pub recall: f64,
+    /// |estimate keys ∩ truth keys| / |estimate keys|.
+    pub precision: f64,
+    /// Number of cells that entered the MAPE average.
+    pub cells: usize,
+}
+
+impl ErrorReport {
+    /// A perfect score (used for empty-truth corner cases).
+    pub fn perfect() -> Self {
+        ErrorReport { mape: 0.0, recall: 1.0, precision: 1.0, cells: 0 }
+    }
+}
+
+/// Compare `estimate` to `truth`, matching rows on `key` columns and
+/// scoring `value_cols` numerically. MAPE is reported in percent.
+pub fn compare(
+    estimate: &DataFrame,
+    truth: &DataFrame,
+    key: &[&str],
+    value_cols: &[&str],
+) -> Result<ErrorReport> {
+    if truth.num_rows() == 0 {
+        return Ok(if estimate.num_rows() == 0 {
+            ErrorReport::perfect()
+        } else {
+            ErrorReport { mape: 0.0, recall: 1.0, precision: 0.0, cells: 0 }
+        });
+    }
+    let t_key = truth.key_indices(key)?;
+    let e_key = estimate.key_indices(key)?;
+    let mut truth_rows: HashMap<Row, usize> = HashMap::with_capacity(truth.num_rows());
+    for i in 0..truth.num_rows() {
+        truth_rows.insert(truth.key_at(i, &t_key), i);
+    }
+    let mut matched = 0usize;
+    let mut abs_pct_sum = 0.0;
+    let mut cells = 0usize;
+    for i in 0..estimate.num_rows() {
+        let k = estimate.key_at(i, &e_key);
+        let Some(&ti) = truth_rows.get(&k) else {
+            continue;
+        };
+        matched += 1;
+        for vc in value_cols {
+            let tv = truth.value(ti, vc)?;
+            let ev = estimate.value(i, vc)?;
+            let (Some(tv), Some(ev)) = (tv.as_f64(), ev.as_f64()) else {
+                continue;
+            };
+            if tv == 0.0 {
+                continue;
+            }
+            abs_pct_sum += ((ev - tv) / tv).abs() * 100.0;
+            cells += 1;
+        }
+    }
+    let mape = if cells > 0 { abs_pct_sum / cells as f64 } else { 0.0 };
+    let recall = matched as f64 / truth.num_rows() as f64;
+    let precision = if estimate.num_rows() > 0 {
+        matched as f64 / estimate.num_rows() as f64
+    } else {
+        0.0
+    };
+    Ok(ErrorReport { mape, recall, precision, cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wake_data::{Column, DataType, Field, Schema, Value};
+
+    fn frame(keys: Vec<i64>, vals: Vec<f64>) -> DataFrame {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::mutable("v", DataType::Float64),
+        ]));
+        DataFrame::new(schema, vec![Column::from_i64(keys), Column::from_f64(vals)]).unwrap()
+    }
+
+    #[test]
+    fn exact_match_scores_zero_error() {
+        let t = frame(vec![1, 2], vec![10.0, 20.0]);
+        let r = compare(&t, &t, &["k"], &["v"]).unwrap();
+        assert_eq!(r.mape, 0.0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.cells, 2);
+    }
+
+    #[test]
+    fn partial_estimate() {
+        let truth = frame(vec![1, 2, 3, 4], vec![10.0, 20.0, 30.0, 40.0]);
+        // Estimate has 2 of 4 groups; one is 10% high.
+        let est = frame(vec![1, 2], vec![11.0, 20.0]);
+        let r = compare(&est, &truth, &["k"], &["v"]).unwrap();
+        assert!((r.mape - 5.0).abs() < 1e-9); // (10% + 0%) / 2
+        assert_eq!(r.recall, 0.5);
+        assert_eq!(r.precision, 1.0);
+    }
+
+    #[test]
+    fn spurious_groups_hit_precision() {
+        let truth = frame(vec![1], vec![10.0]);
+        let est = frame(vec![1, 99], vec![10.0, 5.0]);
+        let r = compare(&est, &truth, &["k"], &["v"]).unwrap();
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.precision, 0.5);
+    }
+
+    #[test]
+    fn zero_truth_cells_skipped() {
+        let truth = frame(vec![1, 2], vec![0.0, 10.0]);
+        let est = frame(vec![1, 2], vec![5.0, 10.0]);
+        let r = compare(&est, &truth, &["k"], &["v"]).unwrap();
+        assert_eq!(r.cells, 1);
+        assert_eq!(r.mape, 0.0);
+    }
+
+    #[test]
+    fn null_estimate_cells_skipped() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::mutable("v", DataType::Float64),
+        ]));
+        let est = DataFrame::from_rows(
+            schema.clone(),
+            &[vec![Value::Int(1), Value::Null]],
+        )
+        .unwrap();
+        let truth = frame(vec![1], vec![10.0]);
+        let r = compare(&est, &truth, &["k"], &["v"]).unwrap();
+        assert_eq!(r.cells, 0);
+        assert_eq!(r.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_truth_conventions() {
+        let empty = frame(vec![], vec![]);
+        let est = frame(vec![1], vec![1.0]);
+        assert_eq!(compare(&empty, &empty, &["k"], &["v"]).unwrap(), ErrorReport::perfect());
+        let r = compare(&est, &empty, &["k"], &["v"]).unwrap();
+        assert_eq!(r.precision, 0.0);
+    }
+}

@@ -1,0 +1,494 @@
+//! Aggregation operator — paper §3.2 "Aggregate", §4.2–§4.3, §5.
+//!
+//! The operator keeps per-group intrinsic states (mergeable accumulators,
+//! Table 2) and publishes extrinsic snapshots after every consumed update:
+//!
+//! - **Delta input** (Case 2 "shuffle with inference"): each delta is
+//!   folded into the group states with the key-based merge `⊕` — no
+//!   recomputation of previously seen data.
+//! - **Snapshot input** (aggregation over aggregation): every refresh
+//!   replaces the intrinsic states entirely, i.e. a new *version* in the
+//!   paper's versions×partials state organisation.
+//!
+//! Extrinsic estimates apply growth-based scaling: a streaming log-log fit
+//! of average group cardinality against progress gives the power `w`, and
+//! sum-like aggregates scale by `t^{-w}` (§5.2–§5.3). At `t = 1` the scale
+//! is exactly 1, so the final answer is exact (convergence property).
+
+use crate::agg::{AggSpec, AggState, ScaleContext};
+use crate::ci::variance_column;
+use crate::growth::GrowthModel;
+use crate::meta::EdfMeta;
+use crate::ops::Operator;
+use crate::progress::Progress;
+use crate::update::{Update, UpdateKind};
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wake_data::{Column, DataError, DataFrame, DataType, Field, Row, Schema, Value};
+use wake_expr::{eval, infer_type, Expr};
+
+struct GroupData {
+    states: Vec<AggState>,
+    rows: f64,
+    /// Extra variance carried in from CI-enabled upstream aggregates
+    /// (summed per spec; see `ci` module docs).
+    carried_var: Vec<f64>,
+}
+
+/// Group-by aggregation with growth-based inference.
+pub struct AggOp {
+    keys: Vec<String>,
+    specs: Vec<AggSpec>,
+    /// Emit `{alias}__var` columns when set (confidence handled by caller).
+    with_variance: bool,
+    input_kind: UpdateKind,
+    input_schema: Arc<Schema>,
+    /// For each spec: the input variance column to fold in (CI chaining).
+    carried_var_cols: Vec<Option<String>>,
+    groups: HashMap<Row, GroupData>,
+    growth: GrowthModel,
+    progress: Progress,
+    emitted_complete: bool,
+    meta: EdfMeta,
+}
+
+impl AggOp {
+    pub fn new(
+        input: &EdfMeta,
+        keys: Vec<String>,
+        specs: Vec<AggSpec>,
+        with_variance: bool,
+    ) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(DataError::Invalid("aggregation needs at least one spec".into()));
+        }
+        let mut fields = Vec::with_capacity(keys.len() + specs.len());
+        for k in &keys {
+            let f = input.schema.field(k)?;
+            fields.push(Field::new(f.name.clone(), f.dtype));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for k in &keys {
+            if !seen.insert(k.clone()) {
+                return Err(DataError::Invalid(format!("duplicate group key {k}")));
+            }
+        }
+        for s in &specs {
+            let in_type = infer_type(&s.expr, &input.schema)?;
+            if let Some(w) = &s.weight {
+                infer_type(w, &input.schema)?;
+            }
+            fields.push(Field::mutable(s.alias.clone(), s.output_type(in_type)));
+        }
+        if with_variance {
+            for s in &specs {
+                fields.push(Field::mutable(variance_column(&s.alias), DataType::Float64));
+            }
+        }
+        // CI chaining: a Sum over a plain column that has an accompanying
+        // `{col}__var` column folds the upstream variance in.
+        let carried_var_cols = specs
+            .iter()
+            .map(|s| match (&s.func, &s.expr) {
+                (crate::agg::AggFunc::Sum, Expr::Col(c)) => {
+                    let vc = variance_column(c);
+                    input.schema.contains(&vc).then_some(vc)
+                }
+                _ => None,
+            })
+            .collect();
+        // Grouping on (a prefix of) the clustering key means group
+        // cardinalities do not grow once seen: prior w = 0 (§2.2 Case 1,
+        // Fig 4 "agg by clustering key").
+        let clustered = match &input.clustering_key {
+            Some(ck) => !keys.is_empty() && keys.len() <= ck.len() && ck[..keys.len()] == keys[..],
+            None => false,
+        };
+        let mut growth = GrowthModel::for_input(input.kind);
+        if clustered {
+            growth = GrowthModel::for_input(UpdateKind::Snapshot); // prior w = 0
+        }
+        let schema = Arc::new(Schema::new(fields));
+        let meta = EdfMeta::new(schema, keys.clone(), UpdateKind::Snapshot)
+            .with_clustering(None);
+        Ok(AggOp {
+            keys,
+            specs,
+            with_variance,
+            input_kind: input.kind,
+            input_schema: input.schema.clone(),
+            carried_var_cols,
+            groups: HashMap::new(),
+            growth,
+            progress: Progress::new(),
+            emitted_complete: false,
+            meta,
+        })
+    }
+
+    fn fold_frame(&mut self, frame: &DataFrame) -> Result<()> {
+        let n = frame.num_rows();
+        if n == 0 {
+            return Ok(());
+        }
+        let key_idx = frame.key_indices(&self.keys.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
+        // Evaluate aggregate input expressions once per frame.
+        let value_cols: Vec<Column> = self
+            .specs
+            .iter()
+            .map(|s| eval(&s.expr, frame))
+            .collect::<Result<_>>()?;
+        let weight_cols: Vec<Option<Column>> = self
+            .specs
+            .iter()
+            .map(|s| s.weight.as_ref().map(|w| eval(w, frame)).transpose())
+            .collect::<Result<_>>()?;
+        let carried_cols: Vec<Option<&Column>> = self
+            .carried_var_cols
+            .iter()
+            .map(|c| c.as_ref().and_then(|name| frame.column(name).ok()))
+            .collect();
+        for row in 0..n {
+            let key = frame.key_at(row, &key_idx);
+            let specs = &self.specs;
+            let entry = self.groups.entry(key).or_insert_with(|| GroupData {
+                states: specs.iter().map(|s| s.new_state()).collect(),
+                rows: 0.0,
+                carried_var: vec![0.0; specs.len()],
+            });
+            entry.rows += 1.0;
+            for (si, state) in entry.states.iter_mut().enumerate() {
+                let v = value_cols[si].value(row);
+                let w = weight_cols[si].as_ref().map(|c| c.value(row));
+                state.observe(&v, w.as_ref());
+                if let Some(vc) = carried_cols[si] {
+                    if let Some(var) = vc.f64_at(row) {
+                        entry.carried_var[si] += var;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit(&mut self, force_exact: bool) -> Result<Update> {
+        let t = self.progress.t();
+        let complete = self.progress.is_complete() || force_exact;
+        let ctx = if complete {
+            ScaleContext::exact()
+        } else {
+            ScaleContext {
+                scale: self.growth.scale_factor(t),
+                t,
+                w_variance: self.growth.w_variance(),
+            }
+        };
+        // Deterministic output order: sort groups by key.
+        let mut keys: Vec<&Row> = self.groups.keys().collect();
+        keys.sort();
+        let ncols = self.meta.schema.len();
+        let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(keys.len()); ncols];
+        for key in keys {
+            let g = &self.groups[key];
+            for (ci, kv) in key.values().iter().enumerate() {
+                cols[ci].push(kv.clone());
+            }
+            for (si, state) in g.states.iter().enumerate() {
+                let out = state.finalize(g.rows, &ctx);
+                cols[self.keys.len() + si].push(out.value);
+                if self.with_variance {
+                    let var = out.variance.unwrap_or(0.0) + g.carried_var[si];
+                    cols[self.keys.len() + self.specs.len() + si].push(Value::Float(var));
+                }
+            }
+        }
+        let columns = self
+            .meta
+            .schema
+            .fields()
+            .iter()
+            .zip(cols)
+            .map(|(f, vals)| Column::from_values(f.dtype, &vals))
+            .collect::<Result<Vec<_>>>()?;
+        let frame = DataFrame::new(self.meta.schema.clone(), columns)?;
+        if complete {
+            self.emitted_complete = true;
+        }
+        Ok(Update::snapshot(frame, self.progress.clone()))
+    }
+
+    fn observe_growth(&mut self) {
+        if self.groups.is_empty() {
+            return;
+        }
+        let total: f64 = self.groups.values().map(|g| g.rows).sum();
+        let avg = total / self.groups.len() as f64;
+        self.growth.observe(self.progress.t(), avg);
+    }
+}
+
+impl Operator for AggOp {
+    fn on_update(&mut self, port: usize, update: &Update) -> Result<Vec<Update>> {
+        debug_assert_eq!(port, 0);
+        self.progress.merge(&update.progress);
+        match self.input_kind {
+            UpdateKind::Delta => self.fold_frame(&update.frame)?,
+            UpdateKind::Snapshot => {
+                // New version: complete refresh of the intrinsic states.
+                self.groups.clear();
+                self.fold_frame(&update.frame)?;
+            }
+        }
+        self.observe_growth();
+        Ok(vec![self.emit(false)?])
+    }
+
+    fn on_eof(&mut self, _port: usize) -> Result<Vec<Update>> {
+        // Guarantee one complete (exact) emission even if the last update
+        // arrived before progress reached 1 (or no update arrived at all —
+        // an empty result is still a valid exact answer): EOF means the
+        // intrinsic state covers all data, so no scaling.
+        if !self.emitted_complete {
+            return Ok(vec![self.emit(true)?]);
+        }
+        Ok(Vec::new())
+    }
+
+    fn meta(&self) -> &EdfMeta {
+        &self.meta
+    }
+
+    fn state_bytes(&self) -> usize {
+        // Coarse: per-group constant plus distinct-set contents.
+        self.groups.len() * 64
+            + self
+                .groups
+                .values()
+                .flat_map(|g| g.states.iter())
+                .map(|s| match s {
+                    AggState::Distinct { set, .. } => set.len() * 24,
+                    _ => 32,
+                })
+                .sum::<usize>()
+    }
+}
+
+// Expose input schema for debugging/tests.
+impl AggOp {
+    pub fn input_schema(&self) -> &Arc<Schema> {
+        &self.input_schema
+    }
+
+    /// Pin the growth power instead of fitting it (ablation mode; no-op
+    /// when `fixed` is `None`).
+    pub fn with_fixed_growth(mut self, fixed: Option<f64>) -> Self {
+        if let Some(w) = fixed {
+            self.growth = GrowthModel::fixed(w);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::kv_frame;
+    use wake_expr::col;
+
+    fn delta_meta() -> EdfMeta {
+        EdfMeta::new(kv_frame(vec![], vec![]).schema().clone(), vec!["k".into()], UpdateKind::Delta)
+    }
+
+    fn clustered_meta() -> EdfMeta {
+        delta_meta().with_clustering(Some(vec!["k".into()]))
+    }
+
+    fn upd(ks: Vec<i64>, vs: Vec<f64>, processed: u64, total: u64) -> Update {
+        Update::delta(kv_frame(ks, vs), Progress::single(0, processed, total))
+    }
+
+    #[test]
+    fn incremental_sum_with_linear_scaling() {
+        let mut op = AggOp::new(
+            &delta_meta(),
+            vec!["k".into()],
+            vec![AggSpec::sum(col("v"), "s")],
+            false,
+        )
+        .unwrap();
+        // Half the data: raw per-group sums are 10 and 20; at t=0.5 with
+        // prior w=1 estimates double.
+        let out = op.on_update(0, &upd(vec![1, 2], vec![10.0, 20.0], 2, 4)).unwrap();
+        let f = &out[0].frame;
+        assert_eq!(out[0].kind, UpdateKind::Snapshot);
+        assert_eq!(f.value(0, "s").unwrap(), Value::Float(20.0));
+        assert_eq!(f.value(1, "s").unwrap(), Value::Float(40.0));
+        // Remaining data arrives: exact, unscaled.
+        let out = op.on_update(0, &upd(vec![1, 2], vec![1.0, 2.0], 4, 4)).unwrap();
+        let f = &out[0].frame;
+        assert_eq!(f.value(0, "s").unwrap(), Value::Float(11.0));
+        assert_eq!(f.value(1, "s").unwrap(), Value::Float(22.0));
+        assert!(out[0].progress.is_complete());
+    }
+
+    #[test]
+    fn group_on_clustering_key_is_unscaled() {
+        let mut op = AggOp::new(
+            &clustered_meta(),
+            vec!["k".into()],
+            vec![AggSpec::sum(col("v"), "s")],
+            false,
+        )
+        .unwrap();
+        // Prior w=0: raw values are already the right estimates.
+        let out = op.on_update(0, &upd(vec![1, 1], vec![3.0, 4.0], 2, 8)).unwrap();
+        assert_eq!(out[0].frame.value(0, "s").unwrap(), Value::Float(7.0));
+    }
+
+    #[test]
+    fn snapshot_input_is_recomputed_per_version() {
+        let meta = EdfMeta::new(
+            kv_frame(vec![], vec![]).schema().clone(),
+            vec!["k".into()],
+            UpdateKind::Snapshot,
+        );
+        let mut op = AggOp::new(
+            &meta,
+            vec![],
+            vec![AggSpec::sum(col("v"), "total")],
+            false,
+        )
+        .unwrap();
+        let s1 = Update::snapshot(kv_frame(vec![1, 2], vec![10.0, 10.0]), Progress::single(0, 1, 2));
+        let out = op.on_update(0, &s1).unwrap();
+        assert_eq!(out[0].frame.value(0, "total").unwrap(), Value::Float(20.0));
+        // Refreshed snapshot REPLACES, it does not accumulate.
+        let s2 = Update::snapshot(kv_frame(vec![1, 2], vec![7.0, 8.0]), Progress::single(0, 2, 2));
+        let out = op.on_update(0, &s2).unwrap();
+        assert_eq!(out[0].frame.value(0, "total").unwrap(), Value::Float(15.0));
+    }
+
+    #[test]
+    fn growth_fit_corrects_flat_groups() {
+        // Low-cardinality group-by where all groups appear immediately and
+        // keep growing linearly: w should stay near 1 and estimates track
+        // the final sums.
+        let mut op = AggOp::new(
+            &delta_meta(),
+            vec!["k".into()],
+            vec![AggSpec::sum(col("v"), "s")],
+            false,
+        )
+        .unwrap();
+        let mut last = None;
+        for p in 1..=10u64 {
+            let out = op
+                .on_update(0, &upd(vec![1, 2], vec![5.0, 5.0], p * 2, 20))
+                .unwrap();
+            last = Some(out[0].frame.clone());
+        }
+        let f = last.unwrap();
+        // Exact final sums: 50 per group.
+        assert_eq!(f.as_ref().value(0, "s").unwrap(), Value::Float(50.0));
+    }
+
+    #[test]
+    fn estimates_improve_monotonically_for_uniform_data() {
+        let mut op = AggOp::new(
+            &delta_meta(),
+            vec![],
+            vec![AggSpec::count_star("n")],
+            false,
+        )
+        .unwrap();
+        let mut errs = Vec::new();
+        for p in 1..=5u64 {
+            let out = op
+                .on_update(0, &upd(vec![1, 2, 3, 4], vec![0.0; 4], p * 4, 20))
+                .unwrap();
+            let est = out[0].frame.value(0, "n").unwrap().as_f64().unwrap();
+            errs.push((est - 20.0).abs());
+        }
+        // Uniform stream: every estimate is exact under linear growth.
+        for e in errs {
+            assert!(e < 1e-9);
+        }
+    }
+
+    #[test]
+    fn variance_columns_emitted_when_enabled() {
+        let mut op = AggOp::new(
+            &delta_meta(),
+            vec!["k".into()],
+            vec![AggSpec::sum(col("v"), "s")],
+            true,
+        )
+        .unwrap();
+        assert!(op.meta().schema.contains("s__var"));
+        let out = op.on_update(0, &upd(vec![1, 1], vec![1.0, 5.0], 2, 4)).unwrap();
+        let var = out[0].frame.value(0, "s__var").unwrap().as_f64().unwrap();
+        assert!(var >= 0.0);
+    }
+
+    #[test]
+    fn eof_guarantees_complete_emission() {
+        let mut op = AggOp::new(
+            &delta_meta(),
+            vec!["k".into()],
+            vec![AggSpec::sum(col("v"), "s")],
+            false,
+        )
+        .unwrap();
+        // Updates stop at t < 1 (source lied about totals / trailing empty
+        // partition); EOF must still flush an exact state.
+        op.on_update(0, &upd(vec![1], vec![2.0], 1, 2)).unwrap();
+        let out = op.on_eof(0).unwrap();
+        assert_eq!(out.len(), 1);
+        // After EOF flush the raw (unscaled) value is reported.
+        assert_eq!(out[0].frame.value(0, "s").unwrap(), Value::Float(2.0));
+        // Second EOF is a no-op.
+        assert!(op.on_eof(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_global_aggregate_emits_zero_rows() {
+        let mut op = AggOp::new(
+            &delta_meta(),
+            vec![],
+            vec![AggSpec::sum(col("v"), "s")],
+            false,
+        )
+        .unwrap();
+        let out = op.on_update(0, &upd(vec![], vec![], 0, 0)).unwrap();
+        assert_eq!(out[0].frame.num_rows(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = AggOp::new(
+            &delta_meta(),
+            vec!["k".into(), "k".into()],
+            vec![AggSpec::count_star("n")],
+            false,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn output_sorted_by_key() {
+        let mut op = AggOp::new(
+            &delta_meta(),
+            vec!["k".into()],
+            vec![AggSpec::count_star("n")],
+            false,
+        )
+        .unwrap();
+        let out = op
+            .on_update(0, &upd(vec![5, 1, 3, 1], vec![0.0; 4], 4, 4))
+            .unwrap();
+        let f = &out[0].frame;
+        let ks: Vec<Value> = f.column("k").unwrap().iter().collect();
+        assert_eq!(ks, vec![Value::Int(1), Value::Int(3), Value::Int(5)]);
+    }
+}

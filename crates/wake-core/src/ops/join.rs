@@ -1,0 +1,635 @@
+//! Join operator — paper §3.2 "Join".
+//!
+//! Two physical strategies, selected from the inputs' stream kinds:
+//!
+//! - **Streaming** (both inputs delta-mode): a *symmetric hash join* — each
+//!   side is indexed as it arrives and probes the other side's index, so
+//!   matches are emitted as deltas without blocking on either input. This
+//!   plays the role of the paper's non-blocking progressive joins (its
+//!   merge-join for co-clustered tables and pipelined hash joins, §3.2/§7.3),
+//!   trading memory for early output exactly as Table 1 concedes ("may need
+//!   more memory").
+//! - **Recompute** (either input snapshot-mode): the operator buffers the
+//!   latest state of both sides and re-joins in full on every refresh
+//!   (Case 2/3 semantics); output is snapshot-mode.
+//!
+//! Inner, left, semi, and anti joins are supported; semi/anti give the
+//! relational decomposition of `EXISTS` / `NOT EXISTS` sub-queries (TPC-H
+//! Q4, Q21, Q22). SQL null semantics: null keys never match.
+
+use crate::meta::EdfMeta;
+use crate::ops::{Operator, RowRef, RowStore};
+use crate::progress::Progress;
+use crate::update::{Update, UpdateKind};
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wake_data::{Column, DataError, DataFrame, Row, Schema, Value};
+
+/// Join flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    /// All left rows; unmatched get nulls on the right.
+    Left,
+    /// Left rows with at least one match (left columns only).
+    Semi,
+    /// Left rows with no match (left columns only).
+    Anti,
+}
+
+enum Mode {
+    Streaming,
+    Recompute,
+}
+
+/// Hash-based join over two edf inputs (port 0 = left, port 1 = right).
+pub struct JoinOp {
+    kind: JoinKind,
+    mode: Mode,
+    left_on: Vec<usize>,
+    right_on: Vec<usize>,
+    left_kind: UpdateKind,
+    right_kind: UpdateKind,
+    left: RowStore,
+    right: RowStore,
+    left_index: HashMap<Row, Vec<RowRef>>,
+    right_index: HashMap<Row, Vec<RowRef>>,
+    /// Streaming only: per-left-frame matched flags (Left/Semi/Anti).
+    matched: Vec<Vec<bool>>,
+    left_eof: bool,
+    right_eof: bool,
+    emitted_any: bool,
+    progress: Progress,
+    left_schema: Arc<Schema>,
+    right_schema: Arc<Schema>,
+    meta: EdfMeta,
+}
+
+impl JoinOp {
+    pub fn new(
+        left: &EdfMeta,
+        right: &EdfMeta,
+        left_on: Vec<String>,
+        right_on: Vec<String>,
+        kind: JoinKind,
+    ) -> Result<Self> {
+        if left_on.len() != right_on.len() || left_on.is_empty() {
+            return Err(DataError::Invalid(
+                "join keys must be non-empty and pairwise aligned".into(),
+            ));
+        }
+        let left_idx = left_on
+            .iter()
+            .map(|k| left.schema.index_of(k))
+            .collect::<Result<Vec<_>>>()?;
+        let right_idx = right_on
+            .iter()
+            .map(|k| right.schema.index_of(k))
+            .collect::<Result<Vec<_>>>()?;
+        for (l, r) in left_idx.iter().zip(&right_idx) {
+            let (lf, rf) = (&left.schema.fields()[*l], &right.schema.fields()[*r]);
+            let compatible = lf.dtype == rf.dtype
+                || (lf.dtype.is_numeric() && rf.dtype.is_numeric());
+            if !compatible {
+                return Err(DataError::TypeMismatch {
+                    expected: format!("join key {} : {}", lf.name, lf.dtype),
+                    found: format!("{} : {}", rf.name, rf.dtype),
+                });
+            }
+        }
+        let out_schema = match kind {
+            JoinKind::Inner | JoinKind::Left => Arc::new(left.schema.join(&right.schema)),
+            JoinKind::Semi | JoinKind::Anti => left.schema.clone(),
+        };
+        let streaming =
+            left.kind == UpdateKind::Delta && right.kind == UpdateKind::Delta;
+        let out_kind = if streaming { UpdateKind::Delta } else { UpdateKind::Snapshot };
+        // Probe-side (left) primary key survives FK-style joins (§4.3 /
+        // Fig 6 note: "The key is still orderkey").
+        let meta = EdfMeta::new(out_schema, left.primary_key.clone(), out_kind);
+        Ok(JoinOp {
+            kind,
+            mode: if streaming { Mode::Streaming } else { Mode::Recompute },
+            left_on: left_idx,
+            right_on: right_idx,
+            left_kind: left.kind,
+            right_kind: right.kind,
+            left: RowStore::new(),
+            right: RowStore::new(),
+            left_index: HashMap::new(),
+            right_index: HashMap::new(),
+            matched: Vec::new(),
+            left_eof: false,
+            right_eof: false,
+            emitted_any: false,
+            progress: Progress::new(),
+            left_schema: left.schema.clone(),
+            right_schema: right.schema.clone(),
+            meta,
+        })
+    }
+
+    /// Build an output frame from matched row pairs (`None` right = nulls).
+    fn build_pairs(&self, pairs: &[(RowRef, Option<RowRef>)]) -> Result<DataFrame> {
+        let schema = &self.meta.schema;
+        let left_cols = self.left_schema.len();
+        let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(pairs.len()); schema.len()];
+        for &(lref, rref) in pairs {
+            let lframe = self.left.frame(lref.0);
+            for (c, out) in cols.iter_mut().enumerate().take(left_cols) {
+                out.push(lframe.column_at(c).value(lref.1 as usize));
+            }
+            if schema.len() > left_cols {
+                match rref {
+                    Some(r) => {
+                        let rframe = self.right.frame(r.0);
+                        for c in 0..self.right_schema.len() {
+                            cols[left_cols + c].push(rframe.column_at(c).value(r.1 as usize));
+                        }
+                    }
+                    None => {
+                        for c in 0..self.right_schema.len() {
+                            cols[left_cols + c].push(Value::Null);
+                        }
+                    }
+                }
+            }
+        }
+        let columns = schema
+            .fields()
+            .iter()
+            .zip(cols)
+            .map(|(f, vals)| Column::from_values(f.dtype, &vals))
+            .collect::<Result<Vec<_>>>()?;
+        DataFrame::new(schema.clone(), columns)
+    }
+
+    /// Build a left-columns-only frame (semi/anti output).
+    fn build_left_only(&self, refs: &[RowRef]) -> Result<DataFrame> {
+        if refs.is_empty() {
+            return Ok(DataFrame::empty(self.meta.schema.clone()));
+        }
+        self.left.gather(refs)
+    }
+
+    fn emit(&mut self, frame: DataFrame) -> Vec<Update> {
+        if frame.num_rows() == 0 && self.meta.kind == UpdateKind::Delta {
+            return Vec::new();
+        }
+        self.emitted_any = true;
+        vec![Update {
+            frame: Arc::new(frame),
+            progress: self.progress.clone(),
+            kind: self.meta.kind,
+        }]
+    }
+
+    // ----- streaming mode -----
+
+    fn stream_left(&mut self, frame: &Arc<DataFrame>) -> Result<Vec<Update>> {
+        let fi = self.left.push(frame.clone());
+        self.matched.push(vec![false; frame.num_rows()]);
+        let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
+        let mut left_only: Vec<RowRef> = Vec::new();
+        for ri in 0..frame.num_rows() {
+            let key = frame.key_at(ri, &self.left_on);
+            let lref = (fi, ri as u32);
+            if !key.has_null() {
+                self.left_index.entry(key.clone()).or_default().push(lref);
+            }
+            let matches = if key.has_null() { None } else { self.right_index.get(&key) };
+            match self.kind {
+                JoinKind::Inner | JoinKind::Left => {
+                    if let Some(ms) = matches {
+                        self.matched[fi as usize][ri] = true;
+                        for &r in ms {
+                            pairs.push((lref, Some(r)));
+                        }
+                    } else if self.kind == JoinKind::Left && self.right_eof {
+                        self.matched[fi as usize][ri] = true;
+                        pairs.push((lref, None));
+                    }
+                }
+                JoinKind::Semi => {
+                    if matches.is_some() {
+                        self.matched[fi as usize][ri] = true;
+                        left_only.push(lref);
+                    }
+                }
+                JoinKind::Anti => {
+                    if self.right_eof && matches.is_none() {
+                        self.matched[fi as usize][ri] = true; // "handled"
+                        left_only.push(lref);
+                    }
+                }
+            }
+        }
+        let out = match self.kind {
+            JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs)?,
+            JoinKind::Semi | JoinKind::Anti => self.build_left_only(&left_only)?,
+        };
+        Ok(self.emit(out))
+    }
+
+    fn stream_right(&mut self, frame: &Arc<DataFrame>) -> Result<Vec<Update>> {
+        let fi = self.right.push(frame.clone());
+        let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
+        let mut left_only: Vec<RowRef> = Vec::new();
+        for ri in 0..frame.num_rows() {
+            let key = frame.key_at(ri, &self.right_on);
+            if key.has_null() {
+                continue;
+            }
+            let rref = (fi, ri as u32);
+            self.right_index.entry(key.clone()).or_default().push(rref);
+            if let Some(ls) = self.left_index.get(&key) {
+                match self.kind {
+                    JoinKind::Inner | JoinKind::Left => {
+                        for &l in ls {
+                            self.matched[l.0 as usize][l.1 as usize] = true;
+                            pairs.push((l, Some(rref)));
+                        }
+                    }
+                    JoinKind::Semi => {
+                        for &l in ls {
+                            let seen = &mut self.matched[l.0 as usize][l.1 as usize];
+                            if !*seen {
+                                *seen = true;
+                                left_only.push(l);
+                            }
+                        }
+                    }
+                    JoinKind::Anti => {}
+                }
+            }
+        }
+        let out = match self.kind {
+            JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs)?,
+            JoinKind::Semi | JoinKind::Anti => self.build_left_only(&left_only)?,
+        };
+        Ok(self.emit(out))
+    }
+
+    fn stream_right_eof(&mut self) -> Result<Vec<Update>> {
+        // Left join: flush accumulated unmatched rows with null right side;
+        // anti join: flush rows that now provably have no match.
+        let mut flush: Vec<RowRef> = Vec::new();
+        for (fi, flags) in self.matched.iter().enumerate() {
+            for (ri, &m) in flags.iter().enumerate() {
+                if !m {
+                    flush.push((fi as u32, ri as u32));
+                }
+            }
+        }
+        match self.kind {
+            JoinKind::Left => {
+                for &(fi, ri) in &flush {
+                    self.matched[fi as usize][ri as usize] = true;
+                }
+                let pairs: Vec<(RowRef, Option<RowRef>)> =
+                    flush.into_iter().map(|l| (l, None)).collect();
+                let out = self.build_pairs(&pairs)?;
+                Ok(self.emit(out))
+            }
+            JoinKind::Anti => {
+                // A pending row is anti iff its key misses the right index.
+                let mut anti: Vec<RowRef> = Vec::new();
+                for (fi, ri) in flush {
+                    let frame = self.left.frame(fi).clone();
+                    let key = frame.key_at(ri as usize, &self.left_on);
+                    if key.has_null() || !self.right_index.contains_key(&key) {
+                        anti.push((fi, ri));
+                    }
+                    self.matched[fi as usize][ri as usize] = true;
+                }
+                let out = self.build_left_only(&anti)?;
+                Ok(self.emit(out))
+            }
+            _ => Ok(Vec::new()),
+        }
+    }
+
+    // ----- recompute mode -----
+
+    fn recompute(&mut self) -> Result<Vec<Update>> {
+        // Index the right side, scan the left side.
+        let mut rindex: HashMap<Row, Vec<RowRef>> = HashMap::new();
+        for (fi, frame) in self.right.frames().iter().enumerate() {
+            for ri in 0..frame.num_rows() {
+                let key = frame.key_at(ri, &self.right_on);
+                if !key.has_null() {
+                    rindex.entry(key).or_default().push((fi as u32, ri as u32));
+                }
+            }
+        }
+        let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
+        let mut left_only: Vec<RowRef> = Vec::new();
+        for (fi, frame) in self.left.frames().iter().enumerate() {
+            for ri in 0..frame.num_rows() {
+                let key = frame.key_at(ri, &self.left_on);
+                let lref = (fi as u32, ri as u32);
+                let matches = if key.has_null() { None } else { rindex.get(&key) };
+                match (self.kind, matches) {
+                    (JoinKind::Inner, Some(ms)) => {
+                        pairs.extend(ms.iter().map(|&r| (lref, Some(r))))
+                    }
+                    (JoinKind::Inner, None) => {}
+                    (JoinKind::Left, Some(ms)) => {
+                        pairs.extend(ms.iter().map(|&r| (lref, Some(r))))
+                    }
+                    (JoinKind::Left, None) => pairs.push((lref, None)),
+                    (JoinKind::Semi, Some(_)) => left_only.push(lref),
+                    (JoinKind::Semi, None) => {}
+                    (JoinKind::Anti, None) => left_only.push(lref),
+                    (JoinKind::Anti, Some(_)) => {}
+                }
+            }
+        }
+        let out = match self.kind {
+            JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs)?,
+            JoinKind::Semi | JoinKind::Anti => {
+                if left_only.is_empty() {
+                    DataFrame::empty(self.meta.schema.clone())
+                } else {
+                    self.left.gather(&left_only)?
+                }
+            }
+        };
+        Ok(self.emit(out))
+    }
+
+    fn buffer_side(&mut self, port: usize, update: &Update) {
+        let (store, kind) = if port == 0 {
+            (&mut self.left, self.left_kind)
+        } else {
+            (&mut self.right, self.right_kind)
+        };
+        if kind == UpdateKind::Snapshot {
+            store.clear();
+        }
+        store.push(update.frame.clone());
+    }
+}
+
+impl Operator for JoinOp {
+    fn on_update(&mut self, port: usize, update: &Update) -> Result<Vec<Update>> {
+        self.progress.merge(&update.progress);
+        match self.mode {
+            Mode::Streaming => match port {
+                0 => self.stream_left(&update.frame),
+                1 => self.stream_right(&update.frame),
+                _ => Err(DataError::Invalid(format!("join has 2 ports, got {port}"))),
+            },
+            Mode::Recompute => {
+                self.buffer_side(port, update);
+                self.recompute()
+            }
+        }
+    }
+
+    fn on_eof(&mut self, port: usize) -> Result<Vec<Update>> {
+        let mut out = match port {
+            0 => {
+                self.left_eof = true;
+                Vec::new()
+            }
+            1 => {
+                self.right_eof = true;
+                match self.mode {
+                    Mode::Streaming => self.stream_right_eof()?,
+                    // Recompute mode already reflects the final right state.
+                    Mode::Recompute => Vec::new(),
+                }
+            }
+            _ => return Err(DataError::Invalid(format!("join has 2 ports, got {port}"))),
+        };
+        // Snapshot-mode joins must publish at least one (possibly empty)
+        // state so downstream consumers learn the final answer even when
+        // no input ever arrived.
+        if self.left_eof && self.right_eof && !self.emitted_any {
+            if let Mode::Recompute = self.mode {
+                out.extend(self.recompute()?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn meta(&self) -> &EdfMeta {
+        &self.meta
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.left.byte_size() + self.right.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::kv_frame;
+    use std::sync::Arc;
+    use wake_data::{DataType, Field};
+
+    fn left_meta() -> EdfMeta {
+        EdfMeta::new(kv_frame(vec![], vec![]).schema().clone(), vec!["k".into()], UpdateKind::Delta)
+    }
+
+    fn right_frame(ks: Vec<i64>, names: Vec<&str>) -> DataFrame {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("rk", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ]));
+        DataFrame::new(
+            schema,
+            vec![Column::from_i64(ks), Column::from_str_iter(names)],
+        )
+        .unwrap()
+    }
+
+    fn right_meta() -> EdfMeta {
+        EdfMeta::new(
+            right_frame(vec![], vec![]).schema().clone(),
+            vec!["rk".into()],
+            UpdateKind::Delta,
+        )
+    }
+
+    fn upd_l(ks: Vec<i64>, vs: Vec<f64>, p: u64, tot: u64) -> Update {
+        Update::delta(kv_frame(ks, vs), Progress::single(0, p, tot))
+    }
+
+    fn upd_r(ks: Vec<i64>, names: Vec<&str>, p: u64, tot: u64) -> Update {
+        Update::delta(right_frame(ks, names), Progress::single(1, p, tot))
+    }
+
+    fn join(kind: JoinKind) -> JoinOp {
+        JoinOp::new(
+            &left_meta(),
+            &right_meta(),
+            vec!["k".into()],
+            vec!["rk".into()],
+            kind,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn symmetric_streaming_inner_join() {
+        let mut op = join(JoinKind::Inner);
+        assert_eq!(op.meta().kind, UpdateKind::Delta);
+        // Left arrives first: no matches yet, no emission.
+        let out = op.on_update(0, &upd_l(vec![1, 2], vec![10.0, 20.0], 2, 4)).unwrap();
+        assert!(out.is_empty());
+        // Right delta matches one left row.
+        let out = op.on_update(1, &upd_r(vec![2, 9], vec!["b", "z"], 2, 4)).unwrap();
+        assert_eq!(out.len(), 1);
+        let f = &out[0].frame;
+        assert_eq!(f.num_rows(), 1);
+        assert_eq!(f.value(0, "k").unwrap(), Value::Int(2));
+        assert_eq!(f.value(0, "name").unwrap(), Value::str("b"));
+        // Later left delta joins against buffered right.
+        let out = op.on_update(0, &upd_l(vec![9], vec![90.0], 3, 4)).unwrap();
+        assert_eq!(out[0].frame.value(0, "name").unwrap(), Value::str("z"));
+        // Combined progress covers both sources.
+        assert!((out[0].t() - 5.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_keys_produce_cross_matches() {
+        let mut op = join(JoinKind::Inner);
+        op.on_update(0, &upd_l(vec![1, 1], vec![1.0, 2.0], 2, 2)).unwrap();
+        let out = op.on_update(1, &upd_r(vec![1, 1], vec!["x", "y"], 2, 2)).unwrap();
+        assert_eq!(out[0].frame.num_rows(), 4); // 2 × 2
+    }
+
+    #[test]
+    fn left_join_flushes_unmatched_at_right_eof() {
+        let mut op = join(JoinKind::Left);
+        op.on_update(0, &upd_l(vec![1, 2], vec![1.0, 2.0], 2, 3)).unwrap();
+        op.on_update(1, &upd_r(vec![1], vec!["a"], 1, 1)).unwrap();
+        let out = op.on_eof(1).unwrap();
+        assert_eq!(out.len(), 1);
+        let f = &out[0].frame;
+        assert_eq!(f.num_rows(), 1);
+        assert_eq!(f.value(0, "k").unwrap(), Value::Int(2));
+        assert!(f.value(0, "name").unwrap().is_null());
+        // Left rows arriving after right EOF resolve immediately.
+        let out = op.on_update(0, &upd_l(vec![3], vec![3.0], 3, 3)).unwrap();
+        assert!(out[0].frame.value(0, "name").unwrap().is_null());
+    }
+
+    #[test]
+    fn semi_join_emits_each_left_row_once() {
+        let mut op = join(JoinKind::Semi);
+        op.on_update(0, &upd_l(vec![1, 2], vec![1.0, 2.0], 2, 2)).unwrap();
+        let out = op.on_update(1, &upd_r(vec![1], vec!["a"], 1, 2)).unwrap();
+        assert_eq!(out[0].frame.num_rows(), 1);
+        assert_eq!(out[0].frame.schema().names(), vec!["k", "v"]);
+        // A second matching right row must NOT re-emit the left row.
+        let out = op.on_update(1, &upd_r(vec![1], vec!["dup"], 2, 2)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn anti_join_waits_for_right_eof() {
+        let mut op = join(JoinKind::Anti);
+        op.on_update(0, &upd_l(vec![1, 2, 3], vec![0.0; 3], 3, 5)).unwrap();
+        let out = op.on_update(1, &upd_r(vec![2], vec!["b"], 1, 1)).unwrap();
+        assert!(out.is_empty()); // cannot prove non-existence yet
+        let out = op.on_eof(1).unwrap();
+        let f = &out[0].frame;
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.value(0, "k").unwrap(), Value::Int(1));
+        assert_eq!(f.value(1, "k").unwrap(), Value::Int(3));
+        // Post-EOF left rows resolve instantly.
+        let out = op.on_update(0, &upd_l(vec![2], vec![0.0], 4, 5)).unwrap();
+        assert!(out.is_empty()); // matched -> dropped
+        let out = op.on_update(0, &upd_l(vec![7], vec![0.0], 5, 5)).unwrap();
+        assert_eq!(out[0].frame.num_rows(), 1);
+    }
+
+    #[test]
+    fn recompute_mode_for_snapshot_inputs() {
+        let snap_left = EdfMeta::new(
+            kv_frame(vec![], vec![]).schema().clone(),
+            vec!["k".into()],
+            UpdateKind::Snapshot,
+        );
+        let mut op = JoinOp::new(
+            &snap_left,
+            &right_meta(),
+            vec!["k".into()],
+            vec!["rk".into()],
+            JoinKind::Inner,
+        )
+        .unwrap();
+        assert_eq!(op.meta().kind, UpdateKind::Snapshot);
+        // Snapshot left state v1.
+        let s1 = Update::snapshot(kv_frame(vec![1, 2], vec![1.0, 2.0]), Progress::single(0, 1, 2));
+        let out = op.on_update(0, &s1).unwrap();
+        assert_eq!(out[0].frame.num_rows(), 0); // right empty so far
+        op.on_update(1, &upd_r(vec![1, 2], vec!["a", "b"], 2, 2)).unwrap();
+        // Refreshed snapshot drops key 1: the re-join must too.
+        let s2 = Update::snapshot(kv_frame(vec![2], vec![2.5]), Progress::single(0, 2, 2));
+        let out = op.on_update(0, &s2).unwrap();
+        let f = &out[0].frame;
+        assert_eq!(f.num_rows(), 1);
+        assert_eq!(f.value(0, "name").unwrap(), Value::str("b"));
+        assert_eq!(out[0].kind, UpdateKind::Snapshot);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut op = join(JoinKind::Inner);
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let left = DataFrame::from_rows(
+            schema,
+            &[vec![Value::Null, Value::Float(1.0)], vec![Value::Int(1), Value::Float(2.0)]],
+        )
+        .unwrap();
+        op.on_update(0, &Update::delta(left, Progress::single(0, 2, 2))).unwrap();
+        let out = op.on_update(1, &upd_r(vec![1], vec!["a"], 1, 1)).unwrap();
+        assert_eq!(out[0].frame.num_rows(), 1);
+    }
+
+    #[test]
+    fn schema_collision_renames_right() {
+        let meta_dup = EdfMeta::new(
+            kv_frame(vec![], vec![]).schema().clone(),
+            vec!["k".into()],
+            UpdateKind::Delta,
+        );
+        let op = JoinOp::new(
+            &meta_dup.clone(),
+            &meta_dup,
+            vec!["k".into()],
+            vec!["k".into()],
+            JoinKind::Inner,
+        )
+        .unwrap();
+        assert_eq!(op.meta().schema.names(), vec!["k", "v", "k_right", "v_right"]);
+    }
+
+    #[test]
+    fn key_validation() {
+        assert!(JoinOp::new(&left_meta(), &right_meta(), vec![], vec![], JoinKind::Inner).is_err());
+        assert!(JoinOp::new(
+            &left_meta(),
+            &right_meta(),
+            vec!["missing".into()],
+            vec!["rk".into()],
+            JoinKind::Inner
+        )
+        .is_err());
+        // v (Float64) vs name (Utf8) is incompatible.
+        assert!(JoinOp::new(
+            &left_meta(),
+            &right_meta(),
+            vec!["v".into()],
+            vec!["name".into()],
+            JoinKind::Inner
+        )
+        .is_err());
+    }
+}

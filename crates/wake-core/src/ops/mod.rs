@@ -1,0 +1,192 @@
+//! edf operators: state transformations from input extrinsic states to
+//! output intrinsic states, and onward to new extrinsic states (§4.3).
+//!
+//! Each operator is a push-driven state machine. The executor feeds it
+//! [`Update`]s per input port and signals per-port EOF; the operator returns
+//! the updates it publishes downstream. Operators declare their output
+//! [`EdfMeta`] (schema / keys / stream kind) at build time so the whole
+//! DAG's metadata is known before execution — the *consistency* closure
+//! property (§3.1).
+
+pub mod agg_op;
+pub mod filter;
+pub mod join;
+pub mod map;
+pub mod map_ci;
+pub mod sort;
+
+pub use agg_op::AggOp;
+pub use filter::FilterOp;
+pub use join::JoinOp;
+pub use map::MapOp;
+pub use sort::SortOp;
+
+use crate::meta::EdfMeta;
+use crate::update::Update;
+use crate::Result;
+use std::sync::Arc;
+use wake_data::{Column, DataFrame, Schema};
+
+/// A push-driven edf operator.
+pub trait Operator: Send {
+    /// Consume one update on `port`; return the updates to publish.
+    fn on_update(&mut self, port: usize, update: &Update) -> Result<Vec<Update>>;
+
+    /// Signal that `port`'s upstream is exhausted; return final flushes.
+    /// The executor forwards EOF downstream once *all* ports are closed.
+    fn on_eof(&mut self, port: usize) -> Result<Vec<Update>>;
+
+    /// Static description of the output edf.
+    fn meta(&self) -> &EdfMeta;
+
+    /// Approximate bytes of buffered operator state (peak-memory metric).
+    fn state_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A growable row store over shared frames: operators buffer their inputs
+/// as `Arc<DataFrame>`s and address rows as `(frame, row)` pairs, so
+/// buffering never copies payloads.
+#[derive(Debug, Default, Clone)]
+pub struct RowStore {
+    frames: Vec<Arc<DataFrame>>,
+    rows: usize,
+}
+
+/// Address of one buffered row.
+pub type RowRef = (u32, u32);
+
+impl RowStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a frame; returns the index assigned to it.
+    pub fn push(&mut self, frame: Arc<DataFrame>) -> u32 {
+        self.rows += frame.num_rows();
+        self.frames.push(frame);
+        (self.frames.len() - 1) as u32
+    }
+
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.rows = 0;
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn frames(&self) -> &[Arc<DataFrame>] {
+        &self.frames
+    }
+
+    pub fn frame(&self, idx: u32) -> &Arc<DataFrame> {
+        &self.frames[idx as usize]
+    }
+
+    /// Iterate all row refs in insertion order.
+    pub fn iter_refs(&self) -> impl Iterator<Item = RowRef> + '_ {
+        self.frames
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| (0..f.num_rows() as u32).map(move |ri| (fi as u32, ri)))
+    }
+
+    /// Materialise the whole store as one frame with the given schema.
+    pub fn concat(&self, schema: &Arc<Schema>) -> Result<DataFrame> {
+        if self.frames.is_empty() {
+            return Ok(DataFrame::empty(schema.clone()));
+        }
+        let refs: Vec<&DataFrame> = self.frames.iter().map(|f| f.as_ref()).collect();
+        DataFrame::concat(&refs)
+    }
+
+    /// Gather the given rows into fresh columns, in order, producing a
+    /// frame with this store's schema.
+    pub fn gather(&self, refs: &[RowRef]) -> Result<DataFrame> {
+        let schema = self
+            .frames
+            .first()
+            .map(|f| f.schema().clone())
+            .ok_or_else(|| {
+                wake_data::DataError::Invalid("gather from empty row store".into())
+            })?;
+        let ncols = schema.len();
+        let mut cols: Vec<Vec<wake_data::Value>> = vec![Vec::with_capacity(refs.len()); ncols];
+        for &(fi, ri) in refs {
+            let frame = &self.frames[fi as usize];
+            for (c, col) in frame.columns().iter().enumerate() {
+                cols[c].push(col.value(ri as usize));
+            }
+        }
+        let columns = schema
+            .fields()
+            .iter()
+            .zip(cols)
+            .map(|(f, vals)| Column::from_values(f.dtype, &vals))
+            .collect::<Result<Vec<Column>>>()?;
+        DataFrame::new(schema, columns)
+    }
+
+    /// Approximate buffered bytes.
+    pub fn byte_size(&self) -> usize {
+        self.frames.iter().map(|f| f.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::progress::Progress;
+    use crate::update::Update;
+    use std::sync::Arc;
+    use wake_data::{Column, DataFrame, DataType, Field, Schema};
+
+    /// Two-column (k: Int64, v: Float64) frame for operator tests.
+    pub fn kv_frame(ks: Vec<i64>, vs: Vec<f64>) -> DataFrame {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]));
+        DataFrame::new(schema, vec![Column::from_i64(ks), Column::from_f64(vs)]).unwrap()
+    }
+
+    pub fn delta(frame: DataFrame, processed: u64, total: u64) -> Update {
+        Update::delta(frame, Progress::single(0, processed, total))
+    }
+
+    pub fn snapshot(frame: DataFrame, processed: u64, total: u64) -> Update {
+        Update::snapshot(frame, Progress::single(0, processed, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::kv_frame;
+    use super::*;
+
+    #[test]
+    fn row_store_gather_and_concat() {
+        let mut store = RowStore::new();
+        store.push(Arc::new(kv_frame(vec![1, 2], vec![1.0, 2.0])));
+        store.push(Arc::new(kv_frame(vec![3], vec![3.0])));
+        assert_eq!(store.num_rows(), 3);
+        let gathered = store.gather(&[(1, 0), (0, 0)]).unwrap();
+        assert_eq!(gathered.num_rows(), 2);
+        assert_eq!(gathered.value(0, "k").unwrap(), wake_data::Value::Int(3));
+        let schema = store.frame(0).schema().clone();
+        let all = store.concat(&schema).unwrap();
+        assert_eq!(all.num_rows(), 3);
+        assert_eq!(store.iter_refs().count(), 3);
+        assert!(store.byte_size() > 0);
+    }
+
+    #[test]
+    fn empty_store_behaviour() {
+        let store = RowStore::new();
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        assert_eq!(store.concat(&schema).unwrap().num_rows(), 0);
+        assert!(store.gather(&[]).is_err());
+    }
+}

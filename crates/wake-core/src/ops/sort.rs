@@ -1,0 +1,181 @@
+//! Sort / limit operator — the paper's Case 3 "shuffle without inference"
+//! (§2.2): order-by and limit must consume their whole input, so every
+//! update triggers a full re-sort of the current state and the output is a
+//! snapshot. The paper notes these ops typically terminate a pipeline for
+//! user consumption, so the redundant recompute is cheap relative to the
+//! upstream work.
+
+use crate::meta::EdfMeta;
+use crate::ops::{Operator, RowStore};
+use crate::progress::Progress;
+use crate::update::{Update, UpdateKind};
+use crate::Result;
+use std::sync::Arc;
+use wake_data::DataFrame;
+
+/// Order-by (optionally descending per key) with an optional limit.
+pub struct SortOp {
+    by: Vec<String>,
+    descending: Vec<bool>,
+    limit: Option<usize>,
+    input_kind: UpdateKind,
+    buffer: RowStore,
+    progress: Progress,
+    emitted: bool,
+    meta: EdfMeta,
+}
+
+impl SortOp {
+    pub fn new(
+        input: &EdfMeta,
+        by: Vec<String>,
+        descending: Vec<bool>,
+        limit: Option<usize>,
+    ) -> Result<Self> {
+        if by.len() != descending.len() {
+            return Err(wake_data::DataError::Invalid(
+                "sort keys and directions must align".into(),
+            ));
+        }
+        for k in &by {
+            input.schema.index_of(k)?;
+        }
+        // Output is snapshot-mode; the sort keys define the physical order.
+        let clustering = if by.is_empty() { None } else { Some(by.clone()) };
+        let meta = EdfMeta::new(input.schema.clone(), input.primary_key.clone(), UpdateKind::Snapshot)
+            .with_clustering(clustering);
+        Ok(SortOp {
+            by,
+            descending,
+            limit,
+            input_kind: input.kind,
+            buffer: RowStore::new(),
+            progress: Progress::new(),
+            emitted: false,
+            meta,
+        })
+    }
+
+    fn emit(&self) -> Result<Vec<Update>> {
+        let all = self.buffer.concat(&self.meta.schema)?;
+        let sorted = if self.by.is_empty() {
+            all
+        } else {
+            let keys: Vec<&str> = self.by.iter().map(|s| s.as_str()).collect();
+            all.sort_by(&keys, &self.descending)?
+        };
+        let cut = match self.limit {
+            Some(n) => sorted.head(n),
+            None => sorted,
+        };
+        Ok(vec![Update::snapshot_from_arc(Arc::new(cut), self.progress.clone())])
+    }
+}
+
+impl Update {
+    fn snapshot_from_arc(frame: Arc<DataFrame>, progress: Progress) -> Update {
+        Update { frame, progress, kind: UpdateKind::Snapshot }
+    }
+}
+
+impl Operator for SortOp {
+    fn on_update(&mut self, port: usize, update: &Update) -> Result<Vec<Update>> {
+        debug_assert_eq!(port, 0);
+        self.progress.merge(&update.progress);
+        if self.input_kind == UpdateKind::Snapshot {
+            self.buffer.clear();
+        }
+        self.buffer.push(update.frame.clone());
+        self.emitted = true;
+        self.emit()
+    }
+
+    fn on_eof(&mut self, _port: usize) -> Result<Vec<Update>> {
+        // A query whose upstream produced nothing still has an answer: the
+        // empty frame. Guarantee at least one (final) emission.
+        if !self.emitted {
+            self.emitted = true;
+            return self.emit();
+        }
+        Ok(Vec::new())
+    }
+
+    fn meta(&self) -> &EdfMeta {
+        &self.meta
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.buffer.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{delta, kv_frame, snapshot};
+    use wake_data::Value;
+
+    fn meta(kind: UpdateKind) -> EdfMeta {
+        EdfMeta::new(kv_frame(vec![], vec![]).schema().clone(), vec!["k".into()], kind)
+    }
+
+    #[test]
+    fn accumulates_deltas_and_resorts() {
+        let mut op = SortOp::new(
+            &meta(UpdateKind::Delta),
+            vec!["v".into()],
+            vec![true],
+            Some(2),
+        )
+        .unwrap();
+        let out = op.on_update(0, &delta(kv_frame(vec![1, 2], vec![5.0, 9.0]), 2, 4)).unwrap();
+        assert_eq!(out[0].frame.num_rows(), 2);
+        assert_eq!(out[0].frame.value(0, "v").unwrap(), Value::Float(9.0));
+        // New delta displaces one of the current top-2.
+        let out = op.on_update(0, &delta(kv_frame(vec![3], vec![7.0]), 3, 4)).unwrap();
+        let f = &out[0].frame;
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.value(0, "v").unwrap(), Value::Float(9.0));
+        assert_eq!(f.value(1, "v").unwrap(), Value::Float(7.0));
+        assert_eq!(out[0].kind, UpdateKind::Snapshot);
+    }
+
+    #[test]
+    fn snapshot_input_replaces_state() {
+        let mut op =
+            SortOp::new(&meta(UpdateKind::Snapshot), vec!["v".into()], vec![false], None).unwrap();
+        op.on_update(0, &snapshot(kv_frame(vec![1, 2], vec![5.0, 1.0]), 1, 2)).unwrap();
+        let out = op.on_update(0, &snapshot(kv_frame(vec![9], vec![3.0]), 2, 2)).unwrap();
+        assert_eq!(out[0].frame.num_rows(), 1);
+        assert_eq!(out[0].frame.value(0, "k").unwrap(), Value::Int(9));
+    }
+
+    #[test]
+    fn pure_limit_without_sort() {
+        let mut op = SortOp::new(&meta(UpdateKind::Delta), vec![], vec![], Some(3)).unwrap();
+        let out = op
+            .on_update(0, &delta(kv_frame(vec![1, 2, 3, 4, 5], vec![0.0; 5]), 5, 5))
+            .unwrap();
+        assert_eq!(out[0].frame.num_rows(), 3);
+    }
+
+    #[test]
+    fn eof_without_input_emits_empty_final_state() {
+        let mut op =
+            SortOp::new(&meta(UpdateKind::Delta), vec!["v".into()], vec![false], Some(3)).unwrap();
+        let out = op.on_eof(0).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].frame.num_rows(), 0);
+        assert_eq!(out[0].kind, UpdateKind::Snapshot);
+        // Only once.
+        assert!(op.on_eof(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SortOp::new(&meta(UpdateKind::Delta), vec!["v".into()], vec![], None).is_err());
+        assert!(
+            SortOp::new(&meta(UpdateKind::Delta), vec!["nope".into()], vec![false], None).is_err()
+        );
+    }
+}

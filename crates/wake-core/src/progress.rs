@@ -1,0 +1,123 @@
+//! Query progress metadata (§4.1).
+//!
+//! Progress `t` is the ratio of *original input tuples* processed so far to
+//! the total that must be processed. Because a deep query can blend several
+//! base tables, [`Progress`] tracks per-source counters and combines them at
+//! multi-input operators by taking the per-source maximum (each source's
+//! tuples are counted once no matter how many paths fan out from it).
+
+/// Per-source progress counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceProgress {
+    /// Stable id of the reader node that produced these tuples.
+    pub source_id: u32,
+    /// Tuples emitted by that reader so far.
+    pub processed: u64,
+    /// Total tuples the reader will emit.
+    pub total: u64,
+}
+
+/// Combined progress over every source feeding an operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Progress {
+    sources: Vec<SourceProgress>,
+}
+
+impl Progress {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Progress of a single source.
+    pub fn single(source_id: u32, processed: u64, total: u64) -> Self {
+        Progress { sources: vec![SourceProgress { source_id, processed, total }] }
+    }
+
+    pub fn sources(&self) -> &[SourceProgress] {
+        &self.sources
+    }
+
+    /// Merge another progress vector in, keeping the max `processed` per
+    /// source (messages from different paths may be differently stale).
+    pub fn merge(&mut self, other: &Progress) {
+        for sp in &other.sources {
+            match self.sources.iter_mut().find(|s| s.source_id == sp.source_id) {
+                Some(mine) => {
+                    mine.processed = mine.processed.max(sp.processed);
+                    debug_assert_eq!(mine.total, sp.total, "source totals must agree");
+                }
+                None => self.sources.push(*sp),
+            }
+        }
+        self.sources.sort_by_key(|s| s.source_id);
+    }
+
+    /// Merged copy.
+    pub fn merged(&self, other: &Progress) -> Progress {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// The progress ratio `t = Σ processed / Σ total` (§4.1). Empty
+    /// progress (no sources yet) reports 0; zero-row sources report 1.
+    pub fn t(&self) -> f64 {
+        let total: u64 = self.sources.iter().map(|s| s.total).sum();
+        if self.sources.is_empty() {
+            return 0.0;
+        }
+        if total == 0 {
+            return 1.0;
+        }
+        let processed: u64 = self.sources.iter().map(|s| s.processed).sum();
+        (processed as f64 / total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Whether every source has been fully consumed.
+    pub fn is_complete(&self) -> bool {
+        !self.sources.is_empty() && self.sources.iter().all(|s| s.processed >= s.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_source_ratio() {
+        let p = Progress::single(0, 25, 100);
+        assert!((p.t() - 0.25).abs() < 1e-12);
+        assert!(!p.is_complete());
+        let done = Progress::single(0, 100, 100);
+        assert_eq!(done.t(), 1.0);
+        assert!(done.is_complete());
+    }
+
+    #[test]
+    fn merge_takes_per_source_max_and_unions() {
+        let mut a = Progress::single(0, 10, 100);
+        a.merge(&Progress::single(0, 30, 100));
+        assert_eq!(a.sources()[0].processed, 30);
+        a.merge(&Progress::single(1, 50, 100));
+        // t = (30 + 50) / 200
+        assert!((a.t() - 0.4).abs() < 1e-12);
+        assert_eq!(a.sources().len(), 2);
+    }
+
+    #[test]
+    fn weighted_combination_matches_paper_definition() {
+        // A big table at 10% and a tiny complete table: t dominated by big.
+        let p = Progress::single(0, 100, 1000).merged(&Progress::single(1, 10, 10));
+        assert!((p.t() - 110.0 / 1010.0).abs() < 1e-12);
+        assert!(!p.is_complete());
+    }
+
+    #[test]
+    fn empty_and_zero_row_sources() {
+        assert_eq!(Progress::new().t(), 0.0);
+        assert!(!Progress::new().is_complete());
+        let p = Progress::single(0, 0, 0);
+        assert_eq!(p.t(), 1.0);
+        assert!(p.is_complete());
+    }
+}

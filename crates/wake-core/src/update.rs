@@ -1,0 +1,78 @@
+//! The message type flowing along edf edges.
+
+use crate::progress::Progress;
+use std::sync::Arc;
+use wake_data::DataFrame;
+
+/// How an [`Update`]'s frame relates to the edf's current state.
+///
+/// This encodes the paper's case analysis (§2.2):
+/// - [`UpdateKind::Delta`]: *order-preserving local* output — the frame
+///   contains only **new rows** to append (Case 1). Readers, maps/filters
+///   over constant attributes, and streaming joins produce deltas.
+/// - [`UpdateKind::Snapshot`]: *complete refresh* — the frame **replaces**
+///   the edf's previous state (Cases 2–3). Aggregations (whose earlier
+///   output rows change) and sort/limit produce snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    Delta,
+    Snapshot,
+}
+
+/// One state transition of an edf: a frame plus progress metadata.
+///
+/// Frames are shared via `Arc` so that fan-out edges and pipeline threads
+/// never copy payloads (§7.3 "shared pointers of data to reduce cloning
+/// costs").
+#[derive(Debug, Clone)]
+pub struct Update {
+    pub frame: Arc<DataFrame>,
+    pub progress: Progress,
+    pub kind: UpdateKind,
+}
+
+impl Update {
+    pub fn delta(frame: DataFrame, progress: Progress) -> Self {
+        Update { frame: Arc::new(frame), progress, kind: UpdateKind::Delta }
+    }
+
+    pub fn snapshot(frame: DataFrame, progress: Progress) -> Self {
+        Update { frame: Arc::new(frame), progress, kind: UpdateKind::Snapshot }
+    }
+
+    pub fn shared(frame: Arc<DataFrame>, progress: Progress, kind: UpdateKind) -> Self {
+        Update { frame, progress, kind }
+    }
+
+    /// Progress ratio carried by this update.
+    pub fn t(&self) -> f64 {
+        self.progress.t()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wake_data::{Column, DataType, Field, Schema};
+
+    #[test]
+    fn constructors_set_kind() {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let df = DataFrame::new(schema, vec![Column::from_i64(vec![1])]).unwrap();
+        let d = Update::delta(df.clone(), Progress::single(0, 1, 2));
+        assert_eq!(d.kind, UpdateKind::Delta);
+        assert!((d.t() - 0.5).abs() < 1e-12);
+        let s = Update::snapshot(df, Progress::single(0, 2, 2));
+        assert_eq!(s.kind, UpdateKind::Snapshot);
+        assert_eq!(s.t(), 1.0);
+    }
+
+    #[test]
+    fn sharing_is_zero_copy() {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let df = Arc::new(DataFrame::new(schema, vec![Column::from_i64(vec![1])]).unwrap());
+        let u = Update::shared(df.clone(), Progress::new(), UpdateKind::Delta);
+        assert!(Arc::ptr_eq(&u.frame, &df));
+    }
+}

@@ -1,0 +1,335 @@
+//! A simple binary columnar file format ("WCF") — the stand-in for the
+//! Parquet partitions the paper stores its 512 MB chunks in (§8.1). One
+//! file holds one partition: schema, row count, then each column as a
+//! contiguous typed buffer with an optional validity bitmap.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "WAKECOL1"
+//! u32 field_count
+//!   per field: u32 name_len, name bytes, u8 dtype, u8 mutable
+//! u64 row_count
+//!   per column:
+//!     u8 has_validity; if 1: ceil(rows/8) bitmap bytes (LSB-first)
+//!     Int64/Date : rows × i64
+//!     Float64    : rows × f64 (IEEE bits)
+//!     Bool       : ceil(rows/8) bitmap bytes
+//!     Utf8       : rows × u32 byte-length, then concatenated UTF-8 bytes
+//! ```
+
+use crate::column::{Column, ColumnData};
+use crate::error::DataError;
+use crate::frame::DataFrame;
+use crate::schema::{Field, Schema};
+use crate::value::DataType;
+use crate::Result;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"WAKECOL1";
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Bool => 2,
+        DataType::Utf8 => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn tag_dtype(t: u8) -> Result<DataType> {
+    Ok(match t {
+        0 => DataType::Int64,
+        1 => DataType::Float64,
+        2 => DataType::Bool,
+        3 => DataType::Utf8,
+        4 => DataType::Date,
+        other => return Err(DataError::Parse(format!("bad dtype tag {other}"))),
+    })
+}
+
+fn pack_bits(bits: impl ExactSizeIterator<Item = bool>) -> Vec<u8> {
+    let n = bits.len();
+    let mut out = vec![0u8; n.div_ceil(8)];
+    for (i, b) in bits.enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+/// Serialise a frame into WCF bytes.
+pub fn write_colfile<W: Write>(df: &DataFrame, w: &mut W) -> Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(df.schema().len() as u32).to_le_bytes())?;
+    for f in df.schema().fields() {
+        w.write_all(&(f.name.len() as u32).to_le_bytes())?;
+        w.write_all(f.name.as_bytes())?;
+        w.write_all(&[dtype_tag(f.dtype), f.mutable as u8])?;
+    }
+    let rows = df.num_rows();
+    w.write_all(&(rows as u64).to_le_bytes())?;
+    for col in df.columns() {
+        match col.validity() {
+            Some(mask) => {
+                w.write_all(&[1])?;
+                w.write_all(&pack_bits(mask.iter().copied()))?;
+            }
+            None => w.write_all(&[0])?,
+        }
+        match col.data() {
+            ColumnData::Int64(v) | ColumnData::Date(v) => {
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            ColumnData::Float64(v) => {
+                for x in v {
+                    w.write_all(&x.to_bits().to_le_bytes())?;
+                }
+            }
+            ColumnData::Bool(v) => {
+                w.write_all(&pack_bits(v.iter().copied()))?;
+            }
+            ColumnData::Utf8(v) => {
+                for s in v {
+                    w.write_all(&(s.len() as u32).to_le_bytes())?;
+                }
+                for s in v {
+                    w.write_all(s.as_bytes())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(DataError::Parse("truncated colfile".into()));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Deserialise WCF bytes into a frame.
+pub fn read_colfile(bytes: &[u8]) -> Result<DataFrame> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    if c.take(8)? != MAGIC {
+        return Err(DataError::Parse("not a WCF file (bad magic)".into()));
+    }
+    let nfields = c.u32()? as usize;
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let name_len = c.u32()? as usize;
+        let name = std::str::from_utf8(c.take(name_len)?)
+            .map_err(|_| DataError::Parse("bad utf8 in field name".into()))?
+            .to_string();
+        let dtype = tag_dtype(c.u8()?)?;
+        let mutable = c.u8()? != 0;
+        fields.push(Field { name, dtype, mutable });
+    }
+    let rows = c.u64()? as usize;
+    let mut columns = Vec::with_capacity(nfields);
+    for f in &fields {
+        let has_validity = c.u8()? != 0;
+        let validity = if has_validity {
+            let bytes = c.take(rows.div_ceil(8))?;
+            Some(unpack_bits(bytes, rows))
+        } else {
+            None
+        };
+        let data = match f.dtype {
+            DataType::Int64 | DataType::Date => {
+                let raw = c.take(rows * 8)?;
+                let v: Vec<i64> = raw
+                    .chunks_exact(8)
+                    .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+                    .collect();
+                if f.dtype == DataType::Date {
+                    ColumnData::Date(v)
+                } else {
+                    ColumnData::Int64(v)
+                }
+            }
+            DataType::Float64 => {
+                let raw = c.take(rows * 8)?;
+                ColumnData::Float64(
+                    raw.chunks_exact(8)
+                        .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+                        .collect(),
+                )
+            }
+            DataType::Bool => {
+                let raw = c.take(rows.div_ceil(8))?;
+                ColumnData::Bool(unpack_bits(raw, rows))
+            }
+            DataType::Utf8 => {
+                let lens: Vec<usize> = (0..rows)
+                    .map(|_| c.u32().map(|l| l as usize))
+                    .collect::<Result<_>>()?;
+                let mut strs = Vec::with_capacity(rows);
+                for len in lens {
+                    let s = std::str::from_utf8(c.take(len)?)
+                        .map_err(|_| DataError::Parse("bad utf8 in string cell".into()))?;
+                    strs.push(Arc::<str>::from(s));
+                }
+                ColumnData::Utf8(strs)
+            }
+        };
+        let col = match validity {
+            Some(mask) => Column::with_validity(data, mask)?,
+            None => Column::new(data),
+        };
+        columns.push(col);
+    }
+    DataFrame::new(Arc::new(Schema::new(fields)), columns)
+}
+
+/// Write a frame to a WCF file.
+pub fn write_colfile_path(df: &DataFrame, path: &Path) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_colfile(df, &mut f)
+}
+
+/// Read a WCF file.
+pub fn read_colfile_path(path: &Path) -> Result<DataFrame> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    read_colfile(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sample() -> DataFrame {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("i", DataType::Int64),
+            Field::mutable("f", DataType::Float64),
+            Field::new("b", DataType::Bool),
+            Field::new("s", DataType::Utf8),
+            Field::new("d", DataType::Date),
+        ]));
+        DataFrame::from_rows(
+            schema,
+            &[
+                vec![
+                    Value::Int(1),
+                    Value::Float(1.5),
+                    Value::Bool(true),
+                    Value::str("hello"),
+                    Value::Date(100),
+                ],
+                vec![
+                    Value::Null,
+                    Value::Float(-0.0),
+                    Value::Bool(false),
+                    Value::str("wörld, with commas"),
+                    Value::Null,
+                ],
+                vec![
+                    Value::Int(-42),
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::str(""),
+                    Value::Date(-5),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let df = sample();
+        let mut buf = Vec::new();
+        write_colfile(&df, &mut buf).unwrap();
+        let back = read_colfile(&buf).unwrap();
+        assert_eq!(back, df);
+        assert!(back.schema().field("f").unwrap().mutable);
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let df = DataFrame::empty(sample().schema().clone());
+        let mut buf = Vec::new();
+        write_colfile(&df, &mut buf).unwrap();
+        assert_eq!(read_colfile(&buf).unwrap(), df);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(read_colfile(b"NOTAFILE").is_err());
+        assert!(read_colfile(b"WAKECOL1").is_err()); // truncated
+        let df = sample();
+        let mut buf = Vec::new();
+        write_colfile(&df, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_colfile(&buf).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("wake_colfile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.wcf");
+        let df = sample();
+        write_colfile_path(&df, &path).unwrap();
+        assert_eq!(read_colfile_path(&path).unwrap(), df);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bitpacking_roundtrip() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let packed = pack_bits(bits.iter().copied());
+            assert_eq!(unpack_bits(&packed, n), bits);
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_than_csv_for_numeric_data() {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Float64)]));
+        let df = DataFrame::new(
+            schema,
+            vec![Column::from_f64((0..1000).map(|i| i as f64 * 0.123456789).collect())],
+        )
+        .unwrap();
+        let mut bin = Vec::new();
+        write_colfile(&df, &mut bin).unwrap();
+        let mut csv = Vec::new();
+        crate::csv::write_csv(&df, &mut csv).unwrap();
+        assert!(bin.len() < csv.len());
+    }
+}

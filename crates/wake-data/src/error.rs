@@ -1,0 +1,58 @@
+//! Error type shared by all wake crates that touch structured data.
+
+use std::fmt;
+
+/// Errors raised by data-frame construction, kernels, and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A referenced column does not exist in the schema.
+    ColumnNotFound(String),
+    /// Two columns (or a column and a literal) have incompatible types.
+    TypeMismatch { expected: String, found: String },
+    /// Columns of a frame disagree on length, or an index is out of bounds.
+    ShapeMismatch(String),
+    /// CSV or other I/O level failure.
+    Io(String),
+    /// A value could not be parsed from text.
+    Parse(String),
+    /// Generic invariant violation with a human-readable description.
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            DataError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DataError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            DataError::Io(msg) => write!(f, "io error: {msg}"),
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DataError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = DataError::ColumnNotFound("qty".into());
+        assert!(e.to_string().contains("qty"));
+        let e = DataError::TypeMismatch { expected: "Int64".into(), found: "Utf8".into() };
+        assert!(e.to_string().contains("Int64") && e.to_string().contains("Utf8"));
+        let e: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Hashable multi-column keys.
+//!
+//! [`Row`] is the key type for group-by and join hash maps: a small vector
+//! of [`Value`]s extracted from key columns. Equality/hash follow `Value`
+//! semantics (numerics compare across Int/Float/Date, NaN normalised).
+
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple of values identifying a group or a join match.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Row(Vec<Value>);
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether any component is null (null keys never join in SQL
+    /// semantics; group-by still keeps them as their own group).
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn rows_key_hash_maps() {
+        let mut m: HashMap<Row, i32> = HashMap::new();
+        m.insert(Row::new(vec![Value::Int(1), Value::str("a")]), 10);
+        // Float 1.0 hashes equal to Int 1.
+        assert_eq!(
+            m.get(&Row::new(vec![Value::Float(1.0), Value::str("a")])),
+            Some(&10)
+        );
+        assert_eq!(m.get(&Row::new(vec![Value::Int(2), Value::str("a")])), None);
+    }
+
+    #[test]
+    fn null_detection_and_display() {
+        let r = Row::new(vec![Value::Int(1), Value::Null]);
+        assert!(r.has_null());
+        assert_eq!(r.to_string(), "(1, )");
+        assert!(!Row::new(vec![Value::Int(1)]).has_null());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Row::new(vec![Value::Int(1), Value::Int(5)]);
+        let b = Row::new(vec![Value::Int(1), Value::Int(6)]);
+        let c = Row::new(vec![Value::Int(2), Value::Int(0)]);
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,181 @@
+//! Schemas: named, typed attributes with the edf *mutability* marker.
+//!
+//! The paper (§2.3) distinguishes **constant attributes** (values never
+//! change once a row appears) from **mutable attributes** (values may be
+//! refined as more data is processed, e.g. running aggregates). The marker
+//! determines which downstream operations can stream incrementally (Case 1)
+//! versus which must recompute (Case 3).
+
+use crate::error::DataError;
+use crate::value::DataType;
+use crate::Result;
+use std::fmt;
+use std::sync::Arc;
+
+/// One attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+    /// Whether values of this attribute can change across edf states (§2.3).
+    pub mutable: bool,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype, mutable: false }
+    }
+
+    pub fn mutable(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype, mutable: true }
+    }
+}
+
+/// An ordered list of fields. Shared via `Arc` between all partitions of a
+/// table / edf — the paper's *consistency* closure property (§3.1) is
+/// enforced by every state of an edf pointing at one `Arc<Schema>`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    pub fn empty() -> Arc<Schema> {
+        Arc::new(Schema { fields: Vec::new() })
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| DataError::ColumnNotFound(name.to_string()))
+    }
+
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Project a subset of fields (in the given order).
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            fields.push(self.field(n)?.clone());
+        }
+        Ok(Schema::new(fields))
+    }
+
+    /// Whether any attribute is mutable (drives Case-3 recompute decisions).
+    pub fn has_mutable(&self) -> bool {
+        self.fields.iter().any(|f| f.mutable)
+    }
+
+    /// Concatenate two schemas (used by joins); duplicate names on the right
+    /// side are suffixed with `_right` to keep names unique.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let mut f = f.clone();
+            if self.contains(&f.name) {
+                f.name = format!("{}_right", f.name);
+            }
+            fields.push(f);
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "{}: {}{}",
+                field.name,
+                field.dtype,
+                if field.mutable { " (mut)" } else { "" }
+            )?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("orderkey", DataType::Int64),
+            Field::new("qty", DataType::Float64),
+            Field::mutable("sum_qty", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("qty").unwrap(), 1);
+        assert!(s.index_of("nope").is_err());
+        assert!(s.contains("sum_qty"));
+        assert!(s.has_mutable());
+    }
+
+    #[test]
+    fn project_preserves_order_and_flags() {
+        let s = sample();
+        let p = s.project(&["sum_qty", "orderkey"]).unwrap();
+        assert_eq!(p.names(), vec!["sum_qty", "orderkey"]);
+        assert!(p.fields()[0].mutable);
+        assert!(s.project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn join_renames_duplicates() {
+        let s = sample();
+        let right = Schema::new(vec![
+            Field::new("orderkey", DataType::Int64),
+            Field::new("custkey", DataType::Int64),
+        ]);
+        let j = s.join(&right);
+        assert_eq!(
+            j.names(),
+            vec!["orderkey", "qty", "sum_qty", "orderkey_right", "custkey"]
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sample();
+        let text = s.to_string();
+        assert!(text.contains("sum_qty: Float64 (mut)"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Estimates collected at the query sink.
+
+use std::sync::Arc;
+use std::time::Duration;
+use wake_data::DataFrame;
+
+/// One OLA output: the sink's *materialised current state* at some point in
+/// the query, with the progress and wall-clock time at which it was
+/// produced. For delta-mode sinks the engine accumulates deltas so `frame`
+/// is always the full current result.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    pub frame: Arc<DataFrame>,
+    /// Progress `t` of the underlying inputs when this state was published.
+    pub t: f64,
+    /// Wall-clock time since query start.
+    pub elapsed: Duration,
+    /// 0-based position in the estimate stream.
+    pub seq: usize,
+    /// True for the last state (the exact answer).
+    pub is_final: bool,
+}
+
+/// The full estimate stream of one query run.
+pub type EstimateSeries = Vec<Estimate>;
+
+/// Convenience accessors over an estimate stream.
+pub trait SeriesExt {
+    /// The exact final frame (panics on an empty series).
+    fn final_frame(&self) -> &Arc<DataFrame>;
+    /// Time to first estimate.
+    fn first_latency(&self) -> Option<Duration>;
+    /// Time to final (exact) result.
+    fn final_latency(&self) -> Option<Duration>;
+}
+
+impl SeriesExt for EstimateSeries {
+    fn final_frame(&self) -> &Arc<DataFrame> {
+        &self.last().expect("empty estimate series").frame
+    }
+
+    fn first_latency(&self) -> Option<Duration> {
+        self.first().map(|e| e.elapsed)
+    }
+
+    fn final_latency(&self) -> Option<Duration> {
+        self.last().map(|e| e.elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wake_data::{Column, DataType, Field, Schema};
+
+    #[test]
+    fn series_accessors() {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let frame = Arc::new(
+            DataFrame::new(schema, vec![Column::from_i64(vec![1])]).unwrap(),
+        );
+        let series: EstimateSeries = vec![
+            Estimate {
+                frame: frame.clone(),
+                t: 0.5,
+                elapsed: Duration::from_millis(5),
+                seq: 0,
+                is_final: false,
+            },
+            Estimate {
+                frame: frame.clone(),
+                t: 1.0,
+                elapsed: Duration::from_millis(20),
+                seq: 1,
+                is_final: true,
+            },
+        ];
+        assert_eq!(series.first_latency(), Some(Duration::from_millis(5)));
+        assert_eq!(series.final_latency(), Some(Duration::from_millis(20)));
+        assert!(Arc::ptr_eq(series.final_frame(), &frame));
+    }
+}

@@ -1,0 +1,29 @@
+//! # wake-engine
+//!
+//! Execution engines for Wake query graphs (§7.2 "Execution Engine"):
+//!
+//! - [`SteppedExecutor`]: a deterministic, single-threaded driver that
+//!   interleaves source partitions round-robin and pushes every update
+//!   through the DAG synchronously. Used by tests (reproducible estimate
+//!   sequences) and as the reference semantics.
+//! - [`ThreadedExecutor`]: the paper's pipelined design — every node runs
+//!   on its own thread, edges are channels carrying shared frame pointers,
+//!   and a special EOF message terminates each node (§7.2, Fig 6). Per-node
+//!   processing spans can be traced to reproduce the pipeline timeline of
+//!   Fig 13.
+//!
+//! Both engines produce the same final state; the stream of intermediate
+//! estimates may differ in granularity/interleaving (that is inherent to
+//! pipelined execution).
+
+mod estimate;
+mod stepped;
+mod threaded;
+mod trace;
+
+pub use estimate::{Estimate, EstimateSeries, SeriesExt};
+pub use stepped::{RunStats, SteppedExecutor};
+pub use threaded::ThreadedExecutor;
+pub use trace::{TraceEvent, TraceLog};
+
+pub type Result<T> = std::result::Result<T, wake_data::DataError>;

@@ -1,0 +1,312 @@
+//! Pipelined multi-threaded executor (§7.2, Fig 6).
+//!
+//! Each node runs on its own OS thread. Edges are unbounded crossbeam
+//! channels carrying [`Update`] messages whose frames are shared pointers
+//! (no payload copies across threads, §7.3). A reader thread fetches its
+//! partitions — so I/O, decoding, joins, and aggregation all overlap — and
+//! finishes with an EOF message; every operator node forwards EOF once all
+//! of its input ports have closed, then terminates (the paper's protocol).
+
+use crate::estimate::{Estimate, EstimateSeries};
+use crate::trace::{TraceEvent, TraceLog};
+use crate::Result;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+use wake_core::graph::{build_operator, NodeKind, QueryGraph};
+use wake_core::ops::RowStore;
+use wake_core::progress::Progress;
+use wake_core::update::{Update, UpdateKind};
+use wake_data::{DataError, DataFrame};
+
+/// Message protocol between node threads.
+enum Message {
+    Update(usize, Update),
+    /// EOF for one input port.
+    Eof(usize),
+}
+
+/// Multi-threaded pipelined executor.
+pub struct ThreadedExecutor {
+    graph: QueryGraph,
+    trace: Option<TraceLog>,
+}
+
+impl ThreadedExecutor {
+    pub fn new(graph: QueryGraph) -> Self {
+        ThreadedExecutor { graph, trace: None }
+    }
+
+    /// Record per-node processing spans into `log` (for Fig 13).
+    pub fn with_trace(mut self, log: TraceLog) -> Self {
+        self.trace = Some(log);
+        self
+    }
+
+    /// Run to completion; estimates are materialised at the sink exactly
+    /// like the stepped executor.
+    pub fn run_collect(self) -> Result<EstimateSeries> {
+        let sink = self
+            .graph
+            .sink_id()
+            .ok_or_else(|| DataError::Invalid("query graph has no sink".into()))?;
+        let metas = self.graph.resolve_metas()?;
+        if self.graph.sources().is_empty() {
+            return Err(DataError::Invalid("query graph has no sources".into()));
+        }
+        let consumers = self.graph.consumers();
+        let start = Instant::now();
+
+        // Build one channel per node (its input mailbox) + one for the sink
+        // collector.
+        let mut senders: Vec<Sender<Message>> = Vec::with_capacity(self.graph.len());
+        let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(self.graph.len());
+        for _ in 0..self.graph.len() {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let (sink_tx, sink_rx) = unbounded::<Message>();
+
+        // Downstream routing table: (target mailbox, port). The sink node
+        // additionally feeds the collector channel.
+        let mut routes: Vec<Vec<(Sender<Message>, usize)>> = vec![Vec::new(); self.graph.len()];
+        for (node, conss) in consumers.iter().enumerate() {
+            for (consumer, port) in conss {
+                routes[node].push((senders[consumer.0].clone(), *port));
+            }
+            if node == sink.0 {
+                routes[node].push((sink_tx.clone(), 0));
+            }
+        }
+        drop(sink_tx);
+        drop(senders);
+
+        let mut handles = Vec::new();
+        for (idx, node) in self.graph.nodes().iter().enumerate() {
+            let my_routes = std::mem::take(&mut routes[idx]);
+            let trace = self.trace.clone();
+            match &node.kind {
+                NodeKind::Read { source } => {
+                    let source = source.clone();
+                    // Reader threads have no mailbox.
+                    receivers[idx] = None;
+                    let label = format!("read({})", source.meta().name);
+                    handles.push(std::thread::spawn(move || -> Result<()> {
+                        let meta = source.meta().clone();
+                        let total = meta.total_rows() as u64;
+                        let mut emitted = 0u64;
+                        for p in 0..meta.num_partitions() {
+                            let t0 = start.elapsed();
+                            let frame = source.partition(p)?;
+                            emitted += frame.num_rows() as u64;
+                            let update = Update::delta(
+                                frame,
+                                Progress::single(idx as u32, emitted, total),
+                            );
+                            if let Some(log) = &trace {
+                                log.record(TraceEvent {
+                                    node: idx,
+                                    label: label.clone(),
+                                    start: t0,
+                                    end: start.elapsed(),
+                                    rows: update.frame.num_rows(),
+                                });
+                            }
+                            for (tx, port) in &my_routes {
+                                let _ = tx.send(Message::Update(*port, update.clone()));
+                            }
+                        }
+                        for (tx, port) in &my_routes {
+                            let _ = tx.send(Message::Eof(*port));
+                        }
+                        Ok(())
+                    }));
+                }
+                kind => {
+                    let inputs: Vec<&wake_core::EdfMeta> =
+                        node.inputs.iter().map(|i| &metas[i.0]).collect();
+                    let mut op = build_operator(kind, &inputs)?;
+                    let rx = receivers[idx].take().expect("operator mailbox");
+                    let n_ports = node.inputs.len();
+                    let label = format!("{kind:?}");
+                    handles.push(std::thread::spawn(move || -> Result<()> {
+                        let mut closed = 0usize;
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                Message::Update(port, update) => {
+                                    let t0 = start.elapsed();
+                                    let rows = update.frame.num_rows();
+                                    let outs = op.on_update(port, &update)?;
+                                    if let Some(log) = &trace {
+                                        log.record(TraceEvent {
+                                            node: idx,
+                                            label: label.clone(),
+                                            start: t0,
+                                            end: start.elapsed(),
+                                            rows,
+                                        });
+                                    }
+                                    for out in outs {
+                                        for (tx, p) in &my_routes {
+                                            let _ = tx.send(Message::Update(*p, out.clone()));
+                                        }
+                                    }
+                                }
+                                Message::Eof(port) => {
+                                    for out in op.on_eof(port)? {
+                                        for (tx, p) in &my_routes {
+                                            let _ = tx.send(Message::Update(*p, out.clone()));
+                                        }
+                                    }
+                                    closed += 1;
+                                    if closed == n_ports {
+                                        for (tx, p) in &my_routes {
+                                            let _ = tx.send(Message::Eof(*p));
+                                        }
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Ok(())
+                    }));
+                }
+            }
+        }
+
+        // Collector: materialise sink updates into the estimate stream.
+        let sink_kind = metas[sink.0].kind;
+        let sink_schema = metas[sink.0].schema.clone();
+        let mut buffer = RowStore::new();
+        let mut estimates: EstimateSeries = Vec::new();
+        while let Ok(msg) = sink_rx.recv() {
+            match msg {
+                Message::Update(_, update) => {
+                    let frame: Arc<DataFrame> = match sink_kind {
+                        UpdateKind::Snapshot => update.frame.clone(),
+                        UpdateKind::Delta => {
+                            buffer.push(update.frame.clone());
+                            Arc::new(buffer.concat(&sink_schema)?)
+                        }
+                    };
+                    estimates.push(Estimate {
+                        frame,
+                        t: update.t(),
+                        elapsed: start.elapsed(),
+                        seq: estimates.len(),
+                        is_final: false,
+                    });
+                }
+                Message::Eof(_) => break,
+            }
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| DataError::Invalid("node thread panicked".into()))??;
+        }
+        if estimates.is_empty() {
+            estimates.push(Estimate {
+                frame: Arc::new(DataFrame::empty(sink_schema)),
+                t: 1.0,
+                elapsed: start.elapsed(),
+                seq: 0,
+                is_final: false,
+            });
+        }
+        if let Some(last) = estimates.last_mut() {
+            last.is_final = true;
+        }
+        Ok(estimates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stepped::SteppedExecutor;
+    use wake_core::agg::AggSpec;
+    use wake_data::{Column, DataType, Field, MemorySource, Schema, Value};
+    use wake_expr::col;
+
+    fn source(n: i64, per_part: usize) -> MemorySource {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]));
+        let df = DataFrame::new(
+            schema,
+            vec![
+                Column::from_i64((0..n).map(|i| i % 5).collect()),
+                Column::from_f64((0..n).map(|i| (i * 3 % 17) as f64).collect()),
+            ],
+        )
+        .unwrap();
+        MemorySource::from_frame("t", &df, per_part, vec![], None).unwrap()
+    }
+
+    fn agg_graph(n: i64, per_part: usize) -> QueryGraph {
+        let mut g = QueryGraph::new();
+        let r = g.read(source(n, per_part));
+        let a = g.agg(r, vec!["k"], vec![AggSpec::sum(col("v"), "s")]);
+        let s = g.sort(a, vec!["k"], vec![false], None);
+        g.sink(s);
+        g
+    }
+
+    #[test]
+    fn threaded_final_state_matches_stepped() {
+        let threaded = ThreadedExecutor::new(agg_graph(200, 16)).run_collect().unwrap();
+        let stepped = SteppedExecutor::new(agg_graph(200, 16)).unwrap().run_collect().unwrap();
+        let tf = &threaded.last().unwrap().frame;
+        let sf = &stepped.last().unwrap().frame;
+        assert_eq!(tf.as_ref(), sf.as_ref());
+        assert!(threaded.last().unwrap().is_final);
+    }
+
+    #[test]
+    fn produces_multiple_estimates() {
+        let series = ThreadedExecutor::new(agg_graph(100, 10)).run_collect().unwrap();
+        assert!(series.len() >= 2, "expected pipelined intermediate estimates");
+        assert!(series.windows(2).all(|w| w[0].elapsed <= w[1].elapsed));
+    }
+
+    #[test]
+    fn trace_captures_pipeline_activity() {
+        let log = TraceLog::new();
+        let series = ThreadedExecutor::new(agg_graph(100, 10))
+            .with_trace(log.clone())
+            .run_collect()
+            .unwrap();
+        assert!(!series.is_empty());
+        let events = log.events();
+        assert!(events.iter().any(|e| e.label.starts_with("read")));
+        assert!(events.iter().any(|e| e.label.starts_with("Agg")));
+    }
+
+    #[test]
+    fn join_pipeline_multi_threaded() {
+        // Two sources joined then aggregated — exercises per-port EOF.
+        let build = || {
+            let mut g = QueryGraph::new();
+            let l = g.read(source(120, 30));
+            let r = g.read(source(60, 20));
+            let j = g.join(l, r, vec!["k"], vec!["k"]);
+            let a = g.agg(j, vec![], vec![AggSpec::count_star("n")]);
+            g.sink(a);
+            g
+        };
+        let threaded = ThreadedExecutor::new(build()).run_collect().unwrap();
+        let stepped = SteppedExecutor::new(build()).unwrap().run_collect().unwrap();
+        let t_last = threaded.last().unwrap().frame.value(0, "n").unwrap();
+        let s_last = stepped.last().unwrap().frame.value(0, "n").unwrap();
+        assert_eq!(t_last, s_last);
+        assert!(matches!(t_last, Value::Float(f) if f > 0.0));
+    }
+
+    #[test]
+    fn empty_graph_errors() {
+        let g = QueryGraph::new();
+        assert!(ThreadedExecutor::new(g).run_collect().is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-node processing traces, used to reproduce the pipelined execution
+//! timeline of the paper's Fig 13 (appendix C).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One processed message: which node worked, when, and on how many rows.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub node: usize,
+    pub label: String,
+    /// Offset from query start when processing began.
+    pub start: Duration,
+    /// Offset when processing finished.
+    pub end: Duration,
+    /// Rows in the consumed frame.
+    pub rows: usize,
+}
+
+/// Thread-safe shared trace sink.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl TraceLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Snapshot of all events so far, sorted by start time.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = self.events.lock().clone();
+        out.sort_by_key(|e| e.start);
+        out
+    }
+
+    /// ASCII rendering of the timeline (one lane per node), the shape of
+    /// the paper's Fig 13.
+    pub fn render(&self, width: usize) -> String {
+        let events = self.events();
+        let Some(total) = events.iter().map(|e| e.end).max() else {
+            return String::from("(no trace events)\n");
+        };
+        let total_s = total.as_secs_f64().max(1e-9);
+        let mut lanes: Vec<(String, Vec<char>)> = Vec::new();
+        for e in &events {
+            let lane = match lanes.iter().position(|(l, _)| *l == e.label) {
+                Some(i) => i,
+                None => {
+                    lanes.push((e.label.clone(), vec![' '; width]));
+                    lanes.len() - 1
+                }
+            };
+            let s = ((e.start.as_secs_f64() / total_s) * width as f64) as usize;
+            let t = ((e.end.as_secs_f64() / total_s) * width as f64).ceil() as usize;
+            for c in s..t.min(width).max(s + 1).min(width) {
+                lanes[lane].1[c] = '#';
+            }
+            if s < width {
+                lanes[lane].1[s] = '#';
+            }
+        }
+        let name_w = lanes.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (label, lane) in lanes {
+            out.push_str(&format!("{label:>name_w$} |"));
+            out.extend(lane);
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "{:>name_w$} 0s{}{:.3}s\n",
+            "",
+            " ".repeat(width.saturating_sub(6)),
+            total_s
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders() {
+        let log = TraceLog::new();
+        log.record(TraceEvent {
+            node: 0,
+            label: "read".into(),
+            start: Duration::from_millis(0),
+            end: Duration::from_millis(10),
+            rows: 100,
+        });
+        log.record(TraceEvent {
+            node: 1,
+            label: "agg".into(),
+            start: Duration::from_millis(5),
+            end: Duration::from_millis(15),
+            rows: 100,
+        });
+        assert_eq!(log.events().len(), 2);
+        let text = log.render(40);
+        assert!(text.contains("read") && text.contains("agg") && text.contains('#'));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert!(TraceLog::new().render(10).contains("no trace"));
+    }
+
+    #[test]
+    fn events_sorted_by_start() {
+        let log = TraceLog::new();
+        for (s, e) in [(20, 30), (0, 5)] {
+            log.record(TraceEvent {
+                node: 0,
+                label: "x".into(),
+                start: Duration::from_millis(s),
+                end: Duration::from_millis(e),
+                rows: 0,
+            });
+        }
+        let ev = log.events();
+        assert!(ev[0].start < ev[1].start);
+    }
+}

@@ -1,0 +1,608 @@
+//! Vectorized expression evaluation over a [`DataFrame`].
+
+use crate::like::like_match;
+use crate::{BinOp, Expr, Func};
+use wake_data::column::ColumnData;
+use wake_data::value::days_to_date;
+use wake_data::{Column, DataError, DataFrame, DataType, Schema, Value};
+
+type Result<T> = std::result::Result<T, DataError>;
+
+/// Static result type of `expr` against `schema`.
+pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<DataType> {
+    match expr {
+        Expr::Col(name) => Ok(schema.field(name)?.dtype),
+        Expr::Lit(v) => v
+            .data_type()
+            .ok_or_else(|| DataError::Invalid("untyped NULL literal".into())),
+        Expr::Binary { op, left, right } => {
+            let lt = infer_type(left, schema)?;
+            let rt = infer_type(right, schema)?;
+            if op.is_arithmetic() {
+                arith_result_type(*op, lt, rt)
+            } else {
+                Ok(DataType::Bool)
+            }
+        }
+        Expr::Not(e) | Expr::IsNull(e) => {
+            infer_type(e, schema)?;
+            Ok(DataType::Bool)
+        }
+        Expr::Like { expr, .. } | Expr::InList { expr, .. } => {
+            infer_type(expr, schema)?;
+            Ok(DataType::Bool)
+        }
+        Expr::Between { expr, low, high } => {
+            infer_type(expr, schema)?;
+            infer_type(low, schema)?;
+            infer_type(high, schema)?;
+            Ok(DataType::Bool)
+        }
+        Expr::Neg(e) => infer_type(e, schema),
+        Expr::Case { branches, otherwise } => {
+            let t = match branches.first() {
+                Some((_, v)) => infer_type(v, schema)?,
+                None => infer_type(otherwise, schema)?,
+            };
+            Ok(t)
+        }
+        Expr::Func { func, args } => match func {
+            Func::Year => Ok(DataType::Int64),
+            Func::Substr => Ok(DataType::Utf8),
+            Func::Abs => infer_type(&args[0], schema),
+        },
+        Expr::Cast { to, .. } => Ok(*to),
+    }
+}
+
+fn arith_result_type(op: BinOp, lt: DataType, rt: DataType) -> Result<DataType> {
+    use DataType::*;
+    let out = match (lt, rt) {
+        (Date, Int64) | (Int64, Date) if matches!(op, BinOp::Add | BinOp::Sub) => Date,
+        (Date, Date) if op == BinOp::Sub => Int64,
+        (Int64, Int64) => {
+            if op == BinOp::Div {
+                Float64
+            } else {
+                Int64
+            }
+        }
+        (a, b) if a.is_numeric() && b.is_numeric() => Float64,
+        (a, b) => {
+            return Err(DataError::TypeMismatch {
+                expected: "numeric operands".into(),
+                found: format!("{a} {op} {b}"),
+            })
+        }
+    };
+    Ok(out)
+}
+
+/// Evaluate `expr` over every row of `df`, producing one column.
+pub fn eval(expr: &Expr, df: &DataFrame) -> Result<Column> {
+    let n = df.num_rows();
+    match expr {
+        Expr::Col(name) => Ok(df.column(name)?.clone()),
+        Expr::Lit(v) => {
+            let dtype = v
+                .data_type()
+                .ok_or_else(|| DataError::Invalid("untyped NULL literal".into()))?;
+            Column::from_values(dtype, &vec![v.clone(); n])
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval(left, df)?;
+            let r = eval(right, df)?;
+            eval_binary(*op, &l, &r, df.schema())
+        }
+        Expr::Not(e) => {
+            let c = eval(e, df)?;
+            let vals: Vec<Value> = c
+                .iter()
+                .map(|v| match v {
+                    Value::Null => Value::Null,
+                    Value::Bool(b) => Value::Bool(!b),
+                    other => other, // surfaced as type error below
+                })
+                .collect();
+            require_bool(&c)?;
+            Column::from_values(DataType::Bool, &vals)
+        }
+        Expr::Neg(e) => {
+            let c = eval(e, df)?;
+            let vals: Vec<Value> = c
+                .iter()
+                .map(|v| match v {
+                    Value::Null => Value::Null,
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Float(f) => Value::Float(-f),
+                    other => other,
+                })
+                .collect();
+            Column::from_values(c.data_type(), &vals)
+        }
+        Expr::IsNull(e) => {
+            let c = eval(e, df)?;
+            Ok(Column::from_bool((0..n).map(|i| !c.is_valid(i)).collect()))
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let c = eval(expr, df)?;
+            let strs = c.as_str_slice().ok_or_else(|| DataError::TypeMismatch {
+                expected: "Utf8 for LIKE".into(),
+                found: c.data_type().to_string(),
+            })?;
+            let vals: Vec<Value> = (0..n)
+                .map(|i| {
+                    if !c.is_valid(i) {
+                        Value::Null
+                    } else {
+                        Value::Bool(like_match(&strs[i], pattern) != *negated)
+                    }
+                })
+                .collect();
+            Column::from_values(DataType::Bool, &vals)
+        }
+        Expr::InList { expr, list, negated } => {
+            let c = eval(expr, df)?;
+            let vals: Vec<Value> = (0..n)
+                .map(|i| {
+                    if !c.is_valid(i) {
+                        Value::Null
+                    } else {
+                        Value::Bool(list.contains(&c.value(i)) != *negated)
+                    }
+                })
+                .collect();
+            Column::from_values(DataType::Bool, &vals)
+        }
+        Expr::Between { expr, low, high } => {
+            let ge = Expr::Binary {
+                op: BinOp::Ge,
+                left: expr.clone(),
+                right: low.clone(),
+            };
+            let le = Expr::Binary {
+                op: BinOp::Le,
+                left: expr.clone(),
+                right: high.clone(),
+            };
+            eval(&ge.and(le), df)
+        }
+        Expr::Case { branches, otherwise } => {
+            let out_type = infer_type(expr, df.schema())?;
+            let conds: Vec<Column> = branches
+                .iter()
+                .map(|(c, _)| eval(c, df))
+                .collect::<Result<_>>()?;
+            let thens: Vec<Column> = branches
+                .iter()
+                .map(|(_, v)| eval(v, df))
+                .collect::<Result<_>>()?;
+            let other = eval(otherwise, df)?;
+            let mut vals = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut chosen: Option<Value> = None;
+                for (cnd, thn) in conds.iter().zip(&thens) {
+                    if cnd.is_valid(i) && cnd.value(i) == Value::Bool(true) {
+                        chosen = Some(thn.value(i));
+                        break;
+                    }
+                }
+                vals.push(chosen.unwrap_or_else(|| other.value(i)));
+            }
+            Column::from_values(out_type, &vals)
+        }
+        Expr::Func { func, args } => eval_func(*func, args, df),
+        Expr::Cast { expr, to } => {
+            let c = eval(expr, df)?;
+            cast_column(&c, *to)
+        }
+    }
+}
+
+/// Evaluate a predicate into a keep-mask: NULL collapses to `false`.
+pub fn eval_mask(expr: &Expr, df: &DataFrame) -> Result<Vec<bool>> {
+    let c = eval(expr, df)?;
+    require_bool(&c)?;
+    let bools = c.as_bool_slice().expect("checked bool");
+    Ok((0..df.num_rows())
+        .map(|i| c.is_valid(i) && bools[i])
+        .collect())
+}
+
+fn require_bool(c: &Column) -> Result<()> {
+    if c.data_type() != DataType::Bool {
+        return Err(DataError::TypeMismatch {
+            expected: "Bool".into(),
+            found: c.data_type().to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn eval_binary(op: BinOp, l: &Column, r: &Column, _schema: &Schema) -> Result<Column> {
+    let n = l.len();
+    if r.len() != n {
+        return Err(DataError::ShapeMismatch(format!(
+            "binary operands differ in length: {n} vs {}",
+            r.len()
+        )));
+    }
+    if op.is_arithmetic() {
+        let out_type = arith_result_type(op, l.data_type(), r.data_type())?;
+        // Fast path: dense numeric inputs.
+        if l.validity().is_none() && r.validity().is_none() {
+            if out_type == DataType::Int64 || out_type == DataType::Date {
+                if let (Some(a), Some(b)) = (l.as_i64_slice(), r.as_i64_slice()) {
+                    let out: Vec<i64> = (0..n)
+                        .map(|i| match op {
+                            BinOp::Add => a[i] + b[i],
+                            BinOp::Sub => a[i] - b[i],
+                            BinOp::Mul => a[i] * b[i],
+                            _ => unreachable!("int div widens to float"),
+                        })
+                        .collect();
+                    return Ok(Column::new(if out_type == DataType::Date {
+                        ColumnData::Date(out)
+                    } else {
+                        ColumnData::Int64(out)
+                    }));
+                }
+            } else if out_type == DataType::Float64 {
+                let fa: Option<Vec<f64>> = dense_f64(l);
+                let fb: Option<Vec<f64>> = dense_f64(r);
+                if let (Some(a), Some(b)) = (fa, fb) {
+                    let out: Vec<f64> = (0..n)
+                        .map(|i| match op {
+                            BinOp::Add => a[i] + b[i],
+                            BinOp::Sub => a[i] - b[i],
+                            BinOp::Mul => a[i] * b[i],
+                            BinOp::Div => a[i] / b[i],
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    return Ok(Column::from_f64(out));
+                }
+            }
+        }
+        // Generic path with null propagation.
+        let mut vals = Vec::with_capacity(n);
+        for i in 0..n {
+            let (a, b) = (l.value(i), r.value(i));
+            vals.push(scalar_arith(op, &a, &b, out_type)?);
+        }
+        return Column::from_values(out_type, &vals);
+    }
+    match op {
+        BinOp::And | BinOp::Or => {
+            require_bool(l)?;
+            require_bool(r)?;
+            let la = l.as_bool_slice().expect("bool");
+            let rb = r.as_bool_slice().expect("bool");
+            let mut vals = Vec::with_capacity(n);
+            for i in 0..n {
+                let a = if l.is_valid(i) { Some(la[i]) } else { None };
+                let b = if r.is_valid(i) { Some(rb[i]) } else { None };
+                let v = match op {
+                    BinOp::And => match (a, b) {
+                        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                        (Some(true), Some(true)) => Value::Bool(true),
+                        _ => Value::Null,
+                    },
+                    BinOp::Or => match (a, b) {
+                        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                        (Some(false), Some(false)) => Value::Bool(false),
+                        _ => Value::Null,
+                    },
+                    _ => unreachable!(),
+                };
+                vals.push(v);
+            }
+            Column::from_values(DataType::Bool, &vals)
+        }
+        _ => {
+            // Comparison with null propagation; Value's Ord handles numeric
+            // cross-type comparison.
+            let mut vals = Vec::with_capacity(n);
+            for i in 0..n {
+                let (a, b) = (l.value(i), r.value(i));
+                if a.is_null() || b.is_null() {
+                    vals.push(Value::Null);
+                    continue;
+                }
+                let ord = a.cmp(&b);
+                let res = match op {
+                    BinOp::Eq => ord.is_eq(),
+                    BinOp::Ne => !ord.is_eq(),
+                    BinOp::Lt => ord.is_lt(),
+                    BinOp::Le => ord.is_le(),
+                    BinOp::Gt => ord.is_gt(),
+                    BinOp::Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                };
+                vals.push(Value::Bool(res));
+            }
+            Column::from_values(DataType::Bool, &vals)
+        }
+    }
+}
+
+fn dense_f64(c: &Column) -> Option<Vec<f64>> {
+    if let Some(f) = c.as_f64_slice() {
+        return Some(f.to_vec());
+    }
+    c.as_i64_slice().map(|v| v.iter().map(|&x| x as f64).collect())
+}
+
+fn scalar_arith(op: BinOp, a: &Value, b: &Value, out: DataType) -> Result<Value> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    let (x, y) = match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            return Err(DataError::TypeMismatch {
+                expected: "numeric operands".into(),
+                found: format!("{a:?} {op} {b:?}"),
+            })
+        }
+    };
+    let f = match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        _ => unreachable!(),
+    };
+    Ok(match out {
+        DataType::Int64 => Value::Int(f as i64),
+        DataType::Date => Value::Date(f as i64),
+        _ => Value::Float(f),
+    })
+}
+
+fn eval_func(func: Func, args: &[Expr], df: &DataFrame) -> Result<Column> {
+    let n = df.num_rows();
+    match func {
+        Func::Year => {
+            let c = eval(&args[0], df)?;
+            if c.data_type() != DataType::Date {
+                return Err(DataError::TypeMismatch {
+                    expected: "Date for year()".into(),
+                    found: c.data_type().to_string(),
+                });
+            }
+            let days = c.as_i64_slice().expect("date storage");
+            let vals: Vec<Value> = (0..n)
+                .map(|i| {
+                    if c.is_valid(i) {
+                        Value::Int(days_to_date(days[i]).0)
+                    } else {
+                        Value::Null
+                    }
+                })
+                .collect();
+            Column::from_values(DataType::Int64, &vals)
+        }
+        Func::Substr => {
+            let c = eval(&args[0], df)?;
+            let start = match &args[1] {
+                Expr::Lit(Value::Int(s)) => *s,
+                _ => return Err(DataError::Invalid("substr start must be an int literal".into())),
+            };
+            let len = match &args[2] {
+                Expr::Lit(Value::Int(l)) => *l,
+                _ => return Err(DataError::Invalid("substr len must be an int literal".into())),
+            };
+            if start < 1 || len < 0 {
+                return Err(DataError::Invalid("substr start is 1-based, len >= 0".into()));
+            }
+            let strs = c.as_str_slice().ok_or_else(|| DataError::TypeMismatch {
+                expected: "Utf8 for substr()".into(),
+                found: c.data_type().to_string(),
+            })?;
+            let vals: Vec<Value> = (0..n)
+                .map(|i| {
+                    if !c.is_valid(i) {
+                        return Value::Null;
+                    }
+                    let s: String = strs[i]
+                        .chars()
+                        .skip((start - 1) as usize)
+                        .take(len as usize)
+                        .collect();
+                    Value::str(s)
+                })
+                .collect();
+            Column::from_values(DataType::Utf8, &vals)
+        }
+        Func::Abs => {
+            let c = eval(&args[0], df)?;
+            let vals: Vec<Value> = c
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => Value::Int(i.abs()),
+                    Value::Float(f) => Value::Float(f.abs()),
+                    Value::Null => Value::Null,
+                    other => other,
+                })
+                .collect();
+            Column::from_values(c.data_type(), &vals)
+        }
+    }
+}
+
+fn cast_column(c: &Column, to: DataType) -> Result<Column> {
+    if c.data_type() == to {
+        return Ok(c.clone());
+    }
+    let vals: Vec<Value> = c
+        .iter()
+        .map(|v| {
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let out = match to {
+                DataType::Float64 => Value::Float(v.as_f64().ok_or_else(err_cast)?),
+                DataType::Int64 => match &v {
+                    Value::Float(f) => Value::Int(*f as i64),
+                    _ => Value::Int(v.as_i64().ok_or_else(err_cast)?),
+                },
+                DataType::Utf8 => Value::str(v.to_string()),
+                DataType::Bool => Value::Bool(v.as_bool().ok_or_else(err_cast)?),
+                DataType::Date => Value::Date(v.as_i64().ok_or_else(err_cast)?),
+            };
+            Ok(out)
+        })
+        .collect::<Result<_>>()?;
+    Column::from_values(to, &vals)
+}
+
+fn err_cast() -> DataError {
+    DataError::Invalid("unsupported cast".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{case_when, col, lit_date, lit_f64, lit_i64, lit_str};
+    use std::sync::Arc;
+    use wake_data::{Field, Schema};
+
+    fn df() -> DataFrame {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("i", DataType::Int64),
+            Field::new("f", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+            Field::new("d", DataType::Date),
+        ]));
+        DataFrame::new(
+            schema,
+            vec![
+                Column::from_i64(vec![1, 2, 3, 4]),
+                Column::from_f64(vec![0.5, 1.5, 2.5, 3.5]),
+                Column::from_str_iter(["alpha", "beta", "PROMO X", "gamma"]),
+                Column::from_dates(vec![0, 100, 200, 10_000]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_types_and_values() {
+        let d = df();
+        let c = eval(&col("i").add(lit_i64(10)), &d).unwrap();
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.value(2), Value::Int(13));
+
+        let c = eval(&col("i").mul(col("f")), &d).unwrap();
+        assert_eq!(c.data_type(), DataType::Float64);
+        assert_eq!(c.value(1), Value::Float(3.0));
+
+        // Integer division widens to float.
+        let c = eval(&col("i").div(lit_i64(2)), &d).unwrap();
+        assert_eq!(c.data_type(), DataType::Float64);
+        assert_eq!(c.value(0), Value::Float(0.5));
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let d = df();
+        let c = eval(&col("d").add(lit_i64(5)), &d).unwrap();
+        assert_eq!(c.data_type(), DataType::Date);
+        assert_eq!(c.value(0), Value::Date(5));
+        let c = eval(&col("d").sub(col("d")), &d).unwrap();
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.value(3), Value::Int(0));
+    }
+
+    #[test]
+    fn comparisons_and_mask() {
+        let d = df();
+        let mask = eval_mask(&col("f").gt(lit_f64(1.0)).and(col("i").lt(lit_i64(4))), &d).unwrap();
+        assert_eq!(mask, vec![false, true, true, false]);
+        let mask = eval_mask(&col("s").like("PROMO%"), &d).unwrap();
+        assert_eq!(mask, vec![false, false, true, false]);
+        let mask = eval_mask(
+            &col("s").in_list(vec![Value::str("alpha"), Value::str("gamma")]),
+            &d,
+        )
+        .unwrap();
+        assert_eq!(mask, vec![true, false, false, true]);
+        let mask = eval_mask(&col("i").between(lit_i64(2), lit_i64(3)), &d).unwrap();
+        assert_eq!(mask, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn null_propagation() {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
+        let d = DataFrame::from_rows(
+            schema,
+            &[vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(3)]],
+        )
+        .unwrap();
+        let c = eval(&col("x").add(lit_i64(1)), &d).unwrap();
+        assert_eq!(c.value(1), Value::Null);
+        // NULL comparison excludes the row in a mask.
+        let mask = eval_mask(&col("x").gt(lit_i64(0)), &d).unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+        // IS NULL
+        let mask = eval_mask(&col("x").is_null(), &d).unwrap();
+        assert_eq!(mask, vec![false, true, false]);
+        // three-valued OR: NULL OR TRUE = TRUE
+        let mask = eval_mask(&col("x").gt(lit_i64(0)).or(col("x").is_null()), &d).unwrap();
+        assert_eq!(mask, vec![true, true, true]);
+    }
+
+    #[test]
+    fn case_year_substr() {
+        let d = df();
+        let e = case_when(
+            vec![(col("s").like("PROMO%"), col("f"))],
+            lit_f64(0.0),
+        );
+        let c = eval(&e, &d).unwrap();
+        assert_eq!(c.value(2), Value::Float(2.5));
+        assert_eq!(c.value(0), Value::Float(0.0));
+
+        let y = eval(&col("d").year(), &d).unwrap();
+        assert_eq!(y.value(0), Value::Int(1970));
+        assert_eq!(y.value(3), Value::Int(1997));
+
+        let s = eval(&col("s").substr(1, 4), &d).unwrap();
+        assert_eq!(s.value(1), Value::str("beta"));
+        assert_eq!(s.value(2), Value::str("PROM"));
+    }
+
+    #[test]
+    fn cast_and_errors() {
+        let d = df();
+        let c = eval(&col("i").cast(DataType::Float64), &d).unwrap();
+        assert_eq!(c.value(0), Value::Float(1.0));
+        let c = eval(&col("f").cast(DataType::Int64), &d).unwrap();
+        assert_eq!(c.value(3), Value::Int(3));
+        assert!(eval(&col("s").add(lit_i64(1)), &d).is_err());
+        assert!(eval(&col("missing"), &d).is_err());
+        assert!(eval(&col("i").like("%x"), &d).is_err());
+    }
+
+    #[test]
+    fn infer_type_matches_eval() {
+        let d = df();
+        let schema = d.schema();
+        for e in [
+            col("i").add(col("i")),
+            col("i").div(col("i")),
+            col("f").mul(lit_i64(2)),
+            col("d").sub(col("d")),
+            col("s").like("%"),
+            col("d").year(),
+            col("s").substr(1, 1),
+            lit_str("k"),
+            lit_date(1995, 1, 1),
+        ] {
+            let t = infer_type(&e, schema).unwrap();
+            let c = eval(&e, &d).unwrap();
+            assert_eq!(t, c.data_type(), "expr: {e}");
+        }
+    }
+}

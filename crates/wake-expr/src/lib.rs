@@ -1,0 +1,367 @@
+//! # wake-expr
+//!
+//! Expression AST and vectorized evaluation for Wake's `map` and `filter`
+//! operations (§3.2). Expressions are evaluated column-at-a-time over a
+//! [`wake_data::DataFrame`] partition, which is how Wake applies user
+//! functions to one or more partitions at once rather than row-by-row.
+//!
+//! Null semantics follow SQL: arithmetic with NULL yields NULL, comparisons
+//! with NULL yield NULL, and a NULL predicate result excludes the row
+//! (three-valued logic collapses to `false` at the filter boundary).
+
+mod eval;
+mod like;
+
+pub use eval::{eval, eval_mask, infer_type};
+pub use like::like_match;
+
+use std::fmt;
+use std::sync::Arc;
+use wake_data::{DataType, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scalar functions beyond operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `year(date) -> Int64`.
+    Year,
+    /// `substr(str, start_1_based, len) -> Utf8`.
+    Substr,
+    /// `abs(x)`.
+    Abs,
+}
+
+/// An expression tree over the columns of one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by name.
+    Col(Arc<str>),
+    /// Literal scalar.
+    Lit(Value),
+    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    IsNull(Box<Expr>),
+    /// SQL LIKE with `%` (any run) and `_` (any char).
+    Like { expr: Box<Expr>, pattern: Arc<str>, negated: bool },
+    /// `expr IN (v1, v2, ...)`.
+    InList { expr: Box<Expr>, list: Vec<Value>, negated: bool },
+    /// `expr BETWEEN low AND high` (inclusive both ends).
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr> },
+    /// `CASE WHEN c1 THEN v1 ... ELSE otherwise END`.
+    Case { branches: Vec<(Expr, Expr)>, otherwise: Box<Expr> },
+    Func { func: Func, args: Vec<Expr> },
+    Cast { expr: Box<Expr>, to: DataType },
+}
+
+/// Column reference.
+pub fn col(name: &str) -> Expr {
+    Expr::Col(Arc::from(name))
+}
+
+/// Literal from any [`Value`]-convertible scalar.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+/// Integer literal.
+pub fn lit_i64(v: i64) -> Expr {
+    Expr::Lit(Value::Int(v))
+}
+
+/// Float literal.
+pub fn lit_f64(v: f64) -> Expr {
+    Expr::Lit(Value::Float(v))
+}
+
+/// String literal.
+pub fn lit_str(v: &str) -> Expr {
+    Expr::Lit(Value::str(v))
+}
+
+/// Date literal from `(year, month, day)`.
+pub fn lit_date(year: i64, month: u32, day: u32) -> Expr {
+    Expr::Lit(Value::Date(wake_data::value::date_to_days(year, month, day)))
+}
+
+// The fluent builder methods intentionally mirror SQL/dataframe DSLs
+// (`a.add(b)`, `a.not()`), like polars/datafusion; they are not operator
+// trait impls because they build AST nodes, not values.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(self), right: Box::new(rhs) }
+    }
+
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    pub fn like(self, pattern: &str) -> Expr {
+        Expr::Like { expr: Box::new(self), pattern: Arc::from(pattern), negated: false }
+    }
+
+    pub fn not_like(self, pattern: &str) -> Expr {
+        Expr::Like { expr: Box::new(self), pattern: Arc::from(pattern), negated: true }
+    }
+
+    pub fn in_list(self, list: Vec<Value>) -> Expr {
+        Expr::InList { expr: Box::new(self), list, negated: false }
+    }
+
+    pub fn not_in_list(self, list: Vec<Value>) -> Expr {
+        Expr::InList { expr: Box::new(self), list, negated: true }
+    }
+
+    pub fn between(self, low: Expr, high: Expr) -> Expr {
+        Expr::Between { expr: Box::new(self), low: Box::new(low), high: Box::new(high) }
+    }
+
+    pub fn year(self) -> Expr {
+        Expr::Func { func: Func::Year, args: vec![self] }
+    }
+
+    pub fn substr(self, start: i64, len: i64) -> Expr {
+        Expr::Func { func: Func::Substr, args: vec![self, lit_i64(start), lit_i64(len)] }
+    }
+
+    pub fn abs(self) -> Expr {
+        Expr::Func { func: Func::Abs, args: vec![self] }
+    }
+
+    pub fn cast(self, to: DataType) -> Expr {
+        Expr::Cast { expr: Box::new(self), to }
+    }
+
+    /// Names of all columns referenced by this expression (sorted, unique).
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit_cols(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn visit_cols<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(name) => out.push(name),
+            Expr::Lit(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit_cols(out);
+                right.visit_cols(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) | Expr::Cast { expr: e, .. } => {
+                e.visit_cols(out)
+            }
+            Expr::Like { expr, .. } => expr.visit_cols(out),
+            Expr::InList { expr, .. } => expr.visit_cols(out),
+            Expr::Between { expr, low, high } => {
+                expr.visit_cols(out);
+                low.visit_cols(out);
+                high.visit_cols(out);
+            }
+            Expr::Case { branches, otherwise } => {
+                for (c, v) in branches {
+                    c.visit_cols(out);
+                    v.visit_cols(out);
+                }
+                otherwise.visit_cols(out);
+            }
+            Expr::Func { args, .. } => args.iter().for_each(|a| a.visit_cols(out)),
+        }
+    }
+}
+
+/// Multi-branch CASE expression.
+pub fn case_when(branches: Vec<(Expr, Expr)>, otherwise: Expr) -> Expr {
+    Expr::Case { branches, otherwise: Box::new(otherwise) }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(n) => write!(f, "{n}"),
+            Expr::Lit(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Not(e) => write!(f, "NOT {e}"),
+            Expr::Neg(e) => write!(f, "-{e}"),
+            Expr::IsNull(e) => write!(f, "{e} IS NULL"),
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Between { expr, low, high } => {
+                write!(f, "{expr} BETWEEN {low} AND {high}")
+            }
+            Expr::Case { branches, otherwise } => {
+                write!(f, "CASE")?;
+                for (c, v) in branches {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                write!(f, " ELSE {otherwise} END")
+            }
+            Expr::Func { func, args } => {
+                write!(f, "{func:?}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = col("a").add(lit_i64(1)).mul(col("b")).gt(lit_f64(3.5));
+        assert_eq!(e.referenced_columns(), vec!["a", "b"]);
+        assert_eq!(e.to_string(), "(((a + 1) * b) > 3.5)");
+    }
+
+    #[test]
+    fn display_covers_variants() {
+        let e = case_when(vec![(col("x").like("%a%"), lit_i64(1))], lit_i64(0));
+        assert!(e.to_string().contains("CASE WHEN"));
+        let e = col("p").in_list(vec![Value::Int(1), Value::Int(2)]).not();
+        assert!(e.to_string().contains("IN"));
+        assert!(col("d").between(lit_i64(0), lit_i64(1)).to_string().contains("BETWEEN"));
+        assert!(col("s").substr(1, 2).to_string().contains("Substr"));
+        assert!(col("x").is_null().to_string().contains("IS NULL"));
+        assert!(col("x").cast(DataType::Float64).to_string().contains("CAST"));
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = col("a").add(col("a")).sub(col("b"));
+        assert_eq!(e.referenced_columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lit_accepts_native_scalars() {
+        assert_eq!(lit(3i64), lit_i64(3));
+        assert_eq!(lit(2.5f64), lit_f64(2.5));
+        assert_eq!(lit("x"), lit_str("x"));
+    }
+}

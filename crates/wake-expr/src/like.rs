@@ -1,0 +1,88 @@
+//! SQL `LIKE` pattern matching: `%` matches any run of characters
+//! (including empty), `_` matches exactly one character. No escape syntax —
+//! TPC-H patterns never need one.
+
+/// Return whether `text` matches `pattern` under SQL LIKE semantics.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    // Iterative two-pointer algorithm with backtracking to the last `%`.
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<usize> = None; // position of last '%' in pattern
+    let mut star_t = 0usize; // text position matched to that '%'
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_t = ti;
+            pi += 1;
+        } else if let Some(sp) = star {
+            // Grow the run matched by the last '%'.
+            pi = sp + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_wildcards() {
+        assert!(like_match("hello", "hello"));
+        assert!(!like_match("hello", "hell"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%o"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(!like_match("hello", "h_lo"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn tpch_patterns() {
+        // Q14: p_type like 'PROMO%'
+        assert!(like_match("PROMO BURNISHED COPPER", "PROMO%"));
+        assert!(!like_match("STANDARD BURNISHED COPPER", "PROMO%"));
+        // Q2: p_type like '%BRASS'
+        assert!(like_match("LARGE POLISHED BRASS", "%BRASS"));
+        // Q9: p_name like '%green%'
+        assert!(like_match("spring green yellow purple", "%green%"));
+        assert!(!like_match("spring blue yellow purple", "%green%"));
+        // Q13: o_comment not like '%special%requests%'
+        assert!(like_match("is special handling requests now", "%special%requests%"));
+        assert!(!like_match("is special handling only", "%special%requests%"));
+        // Q16: p_type not like 'MEDIUM POLISHED%'
+        assert!(like_match("MEDIUM POLISHED TIN", "MEDIUM POLISHED%"));
+    }
+
+    #[test]
+    fn backtracking_cases() {
+        assert!(like_match("aab", "%ab"));
+        assert!(like_match("aaab", "a%ab"));
+        assert!(like_match("abcabc", "%abc"));
+        assert!(!like_match("abcabd", "%abc"));
+        assert!(like_match("mississippi", "%iss%ppi"));
+        assert!(like_match("abc", "%%%"));
+        assert!(like_match("a", "_%"));
+        assert!(!like_match("a", "__%"));
+    }
+
+    #[test]
+    fn unicode_is_char_based() {
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("日本語", "日__"));
+        assert!(like_match("日本語", "%語"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Distribution-free confidence intervals via Chebyshev's inequality (§6).
+//!
+//! For an estimate with variance σ², `P(|X − μ| ≥ kσ) ≤ 1/k²`, so the
+//! interval `[y − kσ, y + kσ]` with `k = sqrt(1 / (1 − confidence))` covers
+//! the truth with at least the requested confidence regardless of the
+//! estimate's distribution. The paper notes `k ≈ 4.5` for a 95 % CI.
+
+/// Chebyshev multiplier for a coverage level in `(0, 1)`.
+pub fn chebyshev_k(confidence: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in [0, 1), got {confidence}"
+    );
+    (1.0 / (1.0 - confidence)).sqrt()
+}
+
+/// A symmetric confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    pub estimate: f64,
+    pub lower: f64,
+    pub upper: f64,
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Build from an estimate and its variance.
+    pub fn from_variance(estimate: f64, variance: f64, confidence: f64) -> Self {
+        let k = chebyshev_k(confidence);
+        let half = k * variance.max(0.0).sqrt();
+        ConfidenceInterval {
+            estimate,
+            lower: estimate - half,
+            upper: estimate + half,
+            confidence,
+        }
+    }
+
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    pub fn half_width(&self) -> f64 {
+        self.width() / 2.0
+    }
+
+    pub fn contains(&self, truth: f64) -> bool {
+        truth >= self.lower && truth <= self.upper
+    }
+
+    /// `|estimate − truth| / half_width` — the paper's *relative CI range*
+    /// (§8.5, Fig 10b); at most 1 when the CI bounds the truth. Returns 0
+    /// for a degenerate (zero-width) interval that matches the truth,
+    /// infinity otherwise.
+    pub fn relative_range(&self, truth: f64) -> f64 {
+        let hw = self.half_width();
+        let err = (self.estimate - truth).abs();
+        if hw <= 0.0 {
+            return if err <= f64::EPSILON { 0.0 } else { f64::INFINITY };
+        }
+        err / hw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_matches_paper_value() {
+        // Paper §6: k ≈ 4.5 for 95 % confidence.
+        assert!((chebyshev_k(0.95) - 4.472).abs() < 0.01);
+        assert!((chebyshev_k(0.75) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_rejects_unit_confidence() {
+        chebyshev_k(1.0);
+    }
+
+    #[test]
+    fn interval_geometry() {
+        let ci = ConfidenceInterval::from_variance(10.0, 4.0, 0.75);
+        assert!((ci.lower - 6.0).abs() < 1e-12);
+        assert!((ci.upper - 14.0).abs() < 1e-12);
+        assert!(ci.contains(9.0));
+        assert!(!ci.contains(14.5));
+        assert!((ci.relative_range(12.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let ci = ConfidenceInterval::from_variance(5.0, 0.0, 0.95);
+        assert_eq!(ci.width(), 0.0);
+        assert_eq!(ci.relative_range(5.0), 0.0);
+        assert!(ci.relative_range(6.0).is_infinite());
+    }
+
+    #[test]
+    fn empirical_coverage_on_gaussian_noise() {
+        // Deterministic LCG noise; Chebyshev must over-cover at 75 %.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let truth = 0.0;
+        let sigma = 1.0;
+        let mut covered = 0;
+        let n = 2000;
+        for _ in 0..n {
+            // Irwin–Hall(12) approximates a standard normal.
+            let z: f64 = (0..12).map(|_| next()).sum::<f64>() - 6.0;
+            let est = truth + sigma * z;
+            if ConfidenceInterval::from_variance(est, sigma * sigma, 0.75).contains(truth) {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / n as f64;
+        assert!(rate > 0.75, "coverage {rate} below nominal");
+    }
+}

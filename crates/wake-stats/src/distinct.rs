@@ -1,0 +1,198 @@
+//! Finite-population count-distinct estimation (paper §5.3 "Count
+//! Distinct", Eq. 6–7; Haas et al.'s method-of-moments estimator `D̂_MM1`).
+//!
+//! Observed: a group currently holds `x` tuples with `y` distinct values of
+//! the aggregated attribute, and the group's *final* cardinality is
+//! estimated as `x̂`. Under the equal-frequency assumption, the expected
+//! number of distinct values seen satisfies
+//!
+//! ```text
+//! y = Y · (1 − h(x̂ / Y)),
+//! h(z) = Γ(x̂−z+1)Γ(x̂−x+1) / (Γ(x̂−x−z+1)Γ(x̂+1))
+//! ```
+//!
+//! where `h(z)` is the hypergeometric probability that a value with `z`
+//! copies among `x̂` tuples is entirely absent from a sample of `x`. We
+//! solve for `Y` with bisection (the left side is monotone in `Y`) followed
+//! by Newton polish, evaluating `h` in log-gamma space.
+
+use crate::special::{digamma, ln_gamma};
+
+/// `h(z)`: probability that a value with `z` copies among `xhat` tuples is
+/// unseen in a sample of `x`. Zero when `z` exceeds `xhat − x` (then the
+/// sample must contain a copy).
+pub fn h_unseen(z: f64, x: f64, xhat: f64) -> f64 {
+    if z >= xhat - x + 1.0 {
+        return 0.0;
+    }
+    if z <= 0.0 {
+        return 1.0;
+    }
+    let ln_h = ln_gamma(xhat - z + 1.0) + ln_gamma(xhat - x + 1.0)
+        - ln_gamma(xhat - x - z + 1.0)
+        - ln_gamma(xhat + 1.0);
+    ln_h.exp().clamp(0.0, 1.0)
+}
+
+/// `dh/dz` via digamma (used by variance propagation, Eq. 15–19).
+pub fn h_unseen_deriv(z: f64, x: f64, xhat: f64) -> f64 {
+    if z >= xhat - x + 1.0 || z <= 0.0 {
+        return 0.0;
+    }
+    let h = h_unseen(z, x, xhat);
+    h * (digamma(xhat - x - z + 1.0) - digamma(xhat - z + 1.0))
+}
+
+/// Estimate the final number of distinct values `Y` in a group.
+///
+/// * `y` — distinct values observed so far (`y ≤ x`),
+/// * `x` — tuples observed so far,
+/// * `xhat` — estimated final tuple count (`x̂ ≥ x`).
+///
+/// Returns `y` unchanged when no extrapolation applies (complete group,
+/// empty group, or degenerate inputs).
+pub fn estimate_distinct(y: f64, x: f64, xhat: f64) -> f64 {
+    if y <= 0.0 || x <= 0.0 {
+        return 0.0;
+    }
+    if xhat <= x + 0.5 {
+        // Group (effectively) complete: the sample is the population.
+        return y;
+    }
+    if y >= x {
+        // Every observed tuple distinct so far: expect that to continue.
+        return xhat;
+    }
+    let f = |cand: f64| cand * (1.0 - h_unseen(xhat / cand, x, xhat)) - y;
+    // Root bracket: f(y) <= 0 (estimating Y = y ignores unseen values),
+    // f(xhat) = x − y >= 0.
+    let (mut lo, mut hi) = (y, xhat);
+    if f(lo) > 0.0 {
+        return y;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-9 * xhat.max(1.0) {
+            break;
+        }
+    }
+    let mut est = 0.5 * (lo + hi);
+    // Newton polish (numeric derivative), kept inside the bracket.
+    for _ in 0..4 {
+        let step = 1e-6 * est.max(1.0);
+        let d = (f(est + step) - f(est - step)) / (2.0 * step);
+        if d.abs() < 1e-12 {
+            break;
+        }
+        let next = est - f(est) / d;
+        if next.is_finite() && next > lo && next < hi {
+            est = next;
+        } else {
+            break;
+        }
+    }
+    est.clamp(y, xhat)
+}
+
+/// Variance of the distinct-count estimate (Eq. 19): propagates the
+/// variance of the observed count `Var(y)` and of the cardinality estimate
+/// `Var(x̂)` through the implicit solution `Y`.
+pub fn distinct_variance(var_y: f64, var_xhat: f64, x: f64, xhat: f64, y_est: f64) -> f64 {
+    if y_est <= 0.0 || xhat <= x {
+        return 0.0;
+    }
+    let z = xhat / y_est;
+    let h = h_unseen(z, x, xhat);
+    let hp = h_unseen_deriv(z, x, xhat);
+    let denom = (1.0 - h) + z * hp;
+    if denom.abs() < 1e-12 {
+        return 0.0;
+    }
+    (var_y + var_xhat * hp * hp) / (denom * denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_is_a_probability_and_monotone() {
+        let (x, xhat) = (50.0, 200.0);
+        let mut prev = 1.0;
+        for i in 1..=150 {
+            let z = i as f64;
+            let h = h_unseen(z, x, xhat);
+            assert!((0.0..=1.0).contains(&h));
+            assert!(h <= prev + 1e-12, "h must decrease in z");
+            prev = h;
+        }
+        assert_eq!(h_unseen(151.5, x, xhat), 0.0); // beyond xhat - x + 1
+        assert_eq!(h_unseen(0.0, x, xhat), 1.0);
+    }
+
+    #[test]
+    fn h_matches_direct_hypergeometric() {
+        // Small integers: h(z) = C(X−z, x) / C(X, x).
+        fn choose(n: u64, k: u64) -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            (0..k).map(|i| (n - i) as f64 / (i + 1) as f64).product()
+        }
+        let (x, xhat) = (3.0, 10.0);
+        for z in 1..=7u64 {
+            let expect = choose(10 - z, 3) / choose(10, 3);
+            let got = h_unseen(z as f64, x, xhat);
+            assert!((got - expect).abs() < 1e-9, "z={z}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn estimator_fixed_point_consistency() {
+        // The returned Y must satisfy y = Y(1 − h(x̂/Y)).
+        for (y, x, xhat) in [(30.0, 100.0, 1000.0), (5.0, 40.0, 80.0), (90.0, 100.0, 200.0)] {
+            let est = estimate_distinct(y, x, xhat);
+            let back = est * (1.0 - h_unseen(xhat / est, x, xhat));
+            assert!((back - y).abs() < 1e-5, "y={y} x={x} xhat={xhat}: est={est} back={back}");
+            assert!(est >= y && est <= xhat);
+        }
+    }
+
+    #[test]
+    fn estimator_edge_cases() {
+        assert_eq!(estimate_distinct(0.0, 0.0, 100.0), 0.0);
+        // Complete group: no extrapolation.
+        assert_eq!(estimate_distinct(7.0, 50.0, 50.0), 7.0);
+        // All-distinct sample: extrapolate to full cardinality.
+        assert_eq!(estimate_distinct(50.0, 50.0, 500.0), 500.0);
+    }
+
+    #[test]
+    fn estimator_recovers_uniform_population() {
+        // Population: 1000 tuples, 100 distinct values, 10 copies each.
+        // After sampling x tuples the expected seen-distinct count is
+        // 100(1 − h(10)); feeding that back should return ≈100.
+        let (xhat, truth) = (1000.0, 100.0);
+        for x in [100.0, 300.0, 600.0] {
+            let y = truth * (1.0 - h_unseen(xhat / truth, x, xhat));
+            let est = estimate_distinct(y, x, xhat);
+            assert!(
+                (est - truth).abs() / truth < 1e-6,
+                "x={x}: est={est} truth={truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_is_finite_and_scales() {
+        let v1 = distinct_variance(4.0, 0.0, 100.0, 1000.0, 50.0);
+        let v2 = distinct_variance(16.0, 0.0, 100.0, 1000.0, 50.0);
+        assert!(v1 > 0.0 && v2 > v1);
+        assert_eq!(distinct_variance(4.0, 1.0, 100.0, 100.0, 50.0), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # wake-stats
+//!
+//! Self-contained numerics for Wake's aggregate inference (§5) and
+//! confidence intervals (§6):
+//!
+//! - [`ols::StreamingOls`]: O(1)-per-observation simple linear regression,
+//!   used to fit the cardinality-growth power `w` in log-log space,
+//! - [`special`]: ln-gamma and digamma (needed by the finite-population
+//!   count-distinct estimator, Eq. 6/7),
+//! - [`distinct`]: the method-of-moments distinct-count estimator `D̂_MM1`
+//!   solved by safeguarded Newton–Raphson,
+//! - [`moments`]: mergeable `(count, sum, sum-of-squares)` accumulators for
+//!   CLT-based variances,
+//! - [`chebyshev`]: distribution-free confidence intervals,
+//! - [`summary`]: medians/percentiles/geomeans for the evaluation reports.
+
+pub mod chebyshev;
+pub mod distinct;
+pub mod moments;
+pub mod ols;
+pub mod special;
+pub mod summary;
+
+pub use chebyshev::{chebyshev_k, ConfidenceInterval};
+pub use distinct::estimate_distinct;
+pub use moments::Moments;
+pub use ols::StreamingOls;

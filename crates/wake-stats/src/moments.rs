@@ -1,0 +1,128 @@
+//! Mergeable first/second-moment accumulators.
+//!
+//! `(count, sum, sum-of-squares)` is the intrinsic-state representation for
+//! `avg`, `var`, and `stddev` (Table 2): it merges with plain addition
+//! (the paper's key-based merge `⊕`) and yields CLT-based variance
+//! estimates for confidence intervals (§6 "Initial Variance").
+
+/// Running count / sum / sum-of-squares of a stream of numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    pub count: f64,
+    pub sum: f64,
+    pub sum_sq: f64,
+}
+
+impl Moments {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1.0;
+        self.sum += x;
+        self.sum_sq += x * x;
+    }
+
+    /// Key-based merge (`⊕` in §2.2): component-wise addition.
+    pub fn merge(&mut self, other: &Moments) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count > 0.0 {
+            self.sum / self.count
+        } else {
+            0.0
+        }
+    }
+
+    /// Population variance of the observed values.
+    pub fn population_variance(&self) -> f64 {
+        if self.count <= 0.0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sum_sq / self.count - m * m).max(0.0)
+    }
+
+    /// Sample variance (n−1 denominator); 0 for fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2.0 {
+            return 0.0;
+        }
+        self.population_variance() * self.count / (self.count - 1.0)
+    }
+
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// CLT variance of the *mean* of the observed sample: s²/n.
+    pub fn variance_of_mean(&self) -> f64 {
+        if self.count < 2.0 {
+            return 0.0;
+        }
+        self.sample_variance() / self.count
+    }
+
+    /// CLT variance of the *sum* of the observed sample: n·s².
+    pub fn variance_of_sum(&self) -> f64 {
+        if self.count < 2.0 {
+            return 0.0;
+        }
+        self.count * self.sample_variance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn of(xs: &[f64]) -> Moments {
+        let mut m = Moments::new();
+        for &x in xs {
+            m.observe(x);
+        }
+        m
+    }
+
+    #[test]
+    fn mean_and_variance_known_values() {
+        let m = of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.population_variance() - 4.0).abs() < 1e-12);
+        assert!((m.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let all = of(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut a = of(&[1.0, 2.0]);
+        let b = of(&[3.0, 4.0, 5.0, 6.0]);
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = Moments::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.sample_variance(), 0.0);
+        let single = of(&[42.0]);
+        assert_eq!(single.sample_variance(), 0.0);
+        assert_eq!(single.variance_of_mean(), 0.0);
+        let constant = of(&[3.0; 10]);
+        assert_eq!(constant.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn clt_variances() {
+        let m = of(&[1.0, 3.0, 5.0, 7.0]);
+        let s2 = m.sample_variance();
+        assert!((m.variance_of_mean() - s2 / 4.0).abs() < 1e-12);
+        assert!((m.variance_of_sum() - 4.0 * s2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Streaming ordinary least squares in one dimension.
+//!
+//! Wake fits the growth power `w` of `E[x̄_t] = b · t^w` by regressing
+//! `log x̄_t` on `log t` (§5.2). The paper requires O(1) time/space per
+//! observation; this accumulator keeps the five running sums needed for the
+//! slope, intercept, and the OLS slope variance used by CI propagation
+//! (Eq. 10 needs `Var(w)`).
+
+/// Accumulating simple linear regression `y = intercept + slope * x`.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingOls {
+    n: u64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+    syy: f64,
+}
+
+impl StreamingOls {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one `(x, y)` observation.
+    pub fn observe(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.sxy += x * y;
+        self.syy += y * y;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Centred second moment of x: `Σ(x - x̄)²`.
+    fn sxx_centred(&self) -> f64 {
+        self.sxx - self.sx * self.sx / self.n as f64
+    }
+
+    /// Fitted slope; `None` until two distinct x values are seen.
+    pub fn slope(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let sxx = self.sxx_centred();
+        if sxx <= 1e-12 {
+            return None;
+        }
+        let n = self.n as f64;
+        Some((self.sxy - self.sx * self.sy / n) / sxx)
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> Option<f64> {
+        let slope = self.slope()?;
+        let n = self.n as f64;
+        Some((self.sy - slope * self.sx) / n)
+    }
+
+    /// Variance of the slope estimator: `σ̂² / Σ(x-x̄)²` with
+    /// `σ̂² = SSE / (n-2)`. `None` until n ≥ 3 (needs residual dof).
+    pub fn slope_variance(&self) -> Option<f64> {
+        if self.n < 3 {
+            return None;
+        }
+        let slope = self.slope()?;
+        let intercept = self.intercept()?;
+        let n = self.n as f64;
+        // SSE = Syy - 2a·Sy - 2b·Sxy + n·a² + 2ab·Sx + b²·Sxx
+        let (a, b) = (intercept, slope);
+        let sse = self.syy - 2.0 * a * self.sy - 2.0 * b * self.sxy
+            + n * a * a
+            + 2.0 * a * b * self.sx
+            + b * b * self.sxx;
+        let sse = sse.max(0.0); // guard tiny negative from cancellation
+        let sigma2 = sse / (n - 2.0);
+        Some(sigma2 / self.sxx_centred())
+    }
+
+    /// Predict `y` at `x`.
+    pub fn predict(&self, x: f64) -> Option<f64> {
+        Some(self.intercept()? + self.slope()? * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovery() {
+        let mut ols = StreamingOls::new();
+        for i in 1..=10 {
+            let x = i as f64;
+            ols.observe(x, 3.0 + 2.0 * x);
+        }
+        assert!((ols.slope().unwrap() - 2.0).abs() < 1e-12);
+        assert!((ols.intercept().unwrap() - 3.0).abs() < 1e-12);
+        assert!(ols.slope_variance().unwrap() < 1e-20);
+        assert!((ols.predict(20.0).unwrap() - 43.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_data_is_none() {
+        let mut ols = StreamingOls::new();
+        assert!(ols.slope().is_none());
+        ols.observe(1.0, 1.0);
+        assert!(ols.slope().is_none());
+        ols.observe(1.0, 2.0); // same x twice: no slope
+        assert!(ols.slope().is_none());
+        ols.observe(2.0, 2.0);
+        assert!(ols.slope().is_some());
+        // variance needs n >= 3 which we now have
+        assert!(ols.slope_variance().is_some());
+    }
+
+    #[test]
+    fn monomial_fit_in_log_space() {
+        // x_t = 4 t^0.7 — Wake's growth model shape.
+        let mut ols = StreamingOls::new();
+        for t in [0.1, 0.2, 0.3, 0.5, 0.8, 1.0] {
+            ols.observe(f64::ln(t), f64::ln(4.0 * f64::powf(t, 0.7)));
+        }
+        assert!((ols.slope().unwrap() - 0.7).abs() < 1e-9);
+        assert!((ols.intercept().unwrap().exp() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_slope_variance_positive() {
+        let mut ols = StreamingOls::new();
+        // Deterministic pseudo-noise.
+        for i in 1..=50 {
+            let x = i as f64 / 10.0;
+            let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 0.2;
+            ols.observe(x, 1.0 + 0.5 * x + noise);
+        }
+        let var = ols.slope_variance().unwrap();
+        assert!(var > 0.0 && var < 0.01);
+        assert!((ols.slope().unwrap() - 0.5).abs() < 0.1);
+    }
+}

@@ -1,0 +1,648 @@
+//! Deterministic dbgen-style TPC-H data generator.
+//!
+//! Matches the distributions, value grammars, and referential structure the
+//! 22 queries rely on (not the exact dbgen RNG):
+//!
+//! - every `lineitem` (partkey, suppkey) pair exists in `partsupp`
+//!   (Q9/Q20 join through it),
+//! - each part has 4 suppliers via the dbgen spreading formula,
+//! - one third of customers place no orders (Q13/Q22 need them),
+//! - `c_phone` country code is `10 + nationkey` (Q22 prefixes),
+//! - ~1 % of `o_comment` match `%special%requests%` (Q13),
+//! - ~0.5 % of `s_comment` match `%Customer%Complaints%` (Q16),
+//! - return flags / line statuses split on the 1995-06-17 cutoff (Q1/Q10),
+//! - tables are emitted sorted by their clustering keys, like dbgen.
+
+use crate::schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use wake_data::value::date_to_days;
+use wake_data::{Column, DataFrame, MemorySource, Schema};
+
+const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+const CONTAINER2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const COLORS: [&str; 16] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "blanched", "blue", "blush",
+    "chartreuse", "chocolate", "coral", "cream", "forest", "green", "grey", "honeydew",
+];
+const WORDS: [&str; 24] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "requests",
+    "accounts", "packages", "instructions", "foxes", "ideas", "theodolites", "pinto",
+    "beans", "asymptotes", "dependencies", "platelets", "somas", "sleep", "nag", "haggle",
+    "wake", "bold",
+];
+
+fn words(rng: &mut StdRng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+fn pick<'a>(rng: &mut StdRng, xs: &[&'a str]) -> &'a str {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// All eight generated tables (each sorted on its clustering key).
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    pub scale_factor: f64,
+    pub region: DataFrame,
+    pub nation: DataFrame,
+    pub supplier: DataFrame,
+    pub part: DataFrame,
+    pub partsupp: DataFrame,
+    pub customer: DataFrame,
+    pub orders: DataFrame,
+    pub lineitem: DataFrame,
+}
+
+/// Number of suppliers at a given scale factor.
+fn supplier_count(sf: f64) -> i64 {
+    ((10_000.0 * sf) as i64).max(12)
+}
+
+fn part_count(sf: f64) -> i64 {
+    ((200_000.0 * sf) as i64).max(40)
+}
+
+fn customer_count(sf: f64) -> i64 {
+    ((150_000.0 * sf) as i64).max(30)
+}
+
+/// dbgen's supplier-spreading formula: the `i`-th (0..4) supplier of part
+/// `p` among `s_count` suppliers.
+pub fn part_supplier(p: i64, i: i64, s_count: i64) -> i64 {
+    (p + i * (s_count / 4 + (p - 1) / s_count)) % s_count + 1
+}
+
+/// `p_retailprice` per dbgen Clause 4.2.3.
+fn retail_price(p: i64) -> f64 {
+    (90_000 + (p % 20_001) + 100 * (p % 1_000)) as f64 / 100.0
+}
+
+impl TpchData {
+    /// Generate the dataset at `scale_factor` with a fixed RNG seed.
+    pub fn generate(scale_factor: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s_count = supplier_count(scale_factor);
+        let p_count = part_count(scale_factor);
+        let c_count = customer_count(scale_factor);
+        let o_count = c_count * 10;
+
+        let region = Self::gen_region(&mut rng);
+        let nation = Self::gen_nation(&mut rng);
+        let supplier = Self::gen_supplier(&mut rng, s_count);
+        let part = Self::gen_part(&mut rng, p_count);
+        let partsupp = Self::gen_partsupp(&mut rng, p_count, s_count);
+        let customer = Self::gen_customer(&mut rng, c_count);
+        let (orders, lineitem) =
+            Self::gen_orders_lineitem(&mut rng, o_count, c_count, p_count, s_count);
+        TpchData {
+            scale_factor,
+            region,
+            nation,
+            supplier,
+            part,
+            partsupp,
+            customer,
+            orders,
+            lineitem,
+        }
+    }
+
+    fn gen_region(rng: &mut StdRng) -> DataFrame {
+        let n = schema::REGIONS.len();
+        DataFrame::new(
+            schema::region(),
+            vec![
+                Column::from_i64((0..n as i64).collect()),
+                Column::from_str_iter(schema::REGIONS),
+                Column::from_str_iter((0..n).map(|_| words(rng, 6)).collect::<Vec<_>>()),
+            ],
+        )
+        .expect("region frame")
+    }
+
+    fn gen_nation(rng: &mut StdRng) -> DataFrame {
+        let n = schema::NATIONS.len();
+        DataFrame::new(
+            schema::nation(),
+            vec![
+                Column::from_i64((0..n as i64).collect()),
+                Column::from_str_iter(schema::NATIONS.iter().map(|(name, _)| *name)),
+                Column::from_i64(schema::NATIONS.iter().map(|(_, r)| *r).collect()),
+                Column::from_str_iter((0..n).map(|_| words(rng, 6)).collect::<Vec<_>>()),
+            ],
+        )
+        .expect("nation frame")
+    }
+
+    fn gen_supplier(rng: &mut StdRng, s_count: i64) -> DataFrame {
+        let n = s_count as usize;
+        let mut names = Vec::with_capacity(n);
+        let mut addresses = Vec::with_capacity(n);
+        let mut nationkeys = Vec::with_capacity(n);
+        let mut phones = Vec::with_capacity(n);
+        let mut acctbals = Vec::with_capacity(n);
+        let mut comments = Vec::with_capacity(n);
+        for s in 1..=s_count {
+            names.push(format!("Supplier#{s:09}"));
+            addresses.push(words(rng, 3));
+            let nk = rng.gen_range(0..25i64);
+            nationkeys.push(nk);
+            phones.push(phone(rng, nk));
+            acctbals.push(rng.gen_range(-999.99..9999.99));
+            // ~0.5 % complaints (Q16's NOT EXISTS filter).
+            let mut c = words(rng, 6);
+            if rng.gen_range(0..200) == 0 {
+                c = format!("{c} Customer Complaints {}", words(rng, 2));
+            }
+            comments.push(c);
+        }
+        DataFrame::new(
+            schema::supplier(),
+            vec![
+                Column::from_i64((1..=s_count).collect()),
+                Column::from_str_iter(names),
+                Column::from_str_iter(addresses),
+                Column::from_i64(nationkeys),
+                Column::from_str_iter(phones),
+                Column::from_f64(acctbals),
+                Column::from_str_iter(comments),
+            ],
+        )
+        .expect("supplier frame")
+    }
+
+    fn gen_part(rng: &mut StdRng, p_count: i64) -> DataFrame {
+        let n = p_count as usize;
+        let mut names = Vec::with_capacity(n);
+        let mut mfgrs = Vec::with_capacity(n);
+        let mut brands = Vec::with_capacity(n);
+        let mut types = Vec::with_capacity(n);
+        let mut sizes = Vec::with_capacity(n);
+        let mut containers = Vec::with_capacity(n);
+        let mut prices = Vec::with_capacity(n);
+        let mut comments = Vec::with_capacity(n);
+        for p in 1..=p_count {
+            // p_name: 5 distinct-ish colour words (Q9 greps for 'green').
+            let mut cw: Vec<&str> = Vec::with_capacity(5);
+            while cw.len() < 5 {
+                let c = COLORS[rng.gen_range(0..COLORS.len())];
+                if !cw.contains(&c) {
+                    cw.push(c);
+                }
+            }
+            names.push(cw.join(" "));
+            let m = rng.gen_range(1..=5);
+            mfgrs.push(format!("Manufacturer#{m}"));
+            brands.push(format!("Brand#{m}{}", rng.gen_range(1..=5)));
+            types.push(format!(
+                "{} {} {}",
+                pick(rng, &TYPE_SYLL1),
+                pick(rng, &TYPE_SYLL2),
+                pick(rng, &TYPE_SYLL3)
+            ));
+            sizes.push(rng.gen_range(1..=50i64));
+            containers.push(format!("{} {}", pick(rng, &CONTAINER1), pick(rng, &CONTAINER2)));
+            prices.push(retail_price(p));
+            comments.push(words(rng, 4));
+        }
+        DataFrame::new(
+            schema::part(),
+            vec![
+                Column::from_i64((1..=p_count).collect()),
+                Column::from_str_iter(names),
+                Column::from_str_iter(mfgrs),
+                Column::from_str_iter(brands),
+                Column::from_str_iter(types),
+                Column::from_i64(sizes),
+                Column::from_str_iter(containers),
+                Column::from_f64(prices),
+                Column::from_str_iter(comments),
+            ],
+        )
+        .expect("part frame")
+    }
+
+    fn gen_partsupp(rng: &mut StdRng, p_count: i64, s_count: i64) -> DataFrame {
+        let n = (p_count * 4) as usize;
+        let mut partkeys = Vec::with_capacity(n);
+        let mut suppkeys = Vec::with_capacity(n);
+        let mut qtys = Vec::with_capacity(n);
+        let mut costs = Vec::with_capacity(n);
+        let mut comments = Vec::with_capacity(n);
+        for p in 1..=p_count {
+            for i in 0..4 {
+                partkeys.push(p);
+                suppkeys.push(part_supplier(p, i, s_count));
+                qtys.push(rng.gen_range(1..=9999i64));
+                costs.push(rng.gen_range(1.0..1000.0));
+                comments.push(words(rng, 5));
+            }
+        }
+        DataFrame::new(
+            schema::partsupp(),
+            vec![
+                Column::from_i64(partkeys),
+                Column::from_i64(suppkeys),
+                Column::from_i64(qtys),
+                Column::from_f64(costs),
+                Column::from_str_iter(comments),
+            ],
+        )
+        .expect("partsupp frame")
+    }
+
+    fn gen_customer(rng: &mut StdRng, c_count: i64) -> DataFrame {
+        let n = c_count as usize;
+        let mut names = Vec::with_capacity(n);
+        let mut addresses = Vec::with_capacity(n);
+        let mut nationkeys = Vec::with_capacity(n);
+        let mut phones = Vec::with_capacity(n);
+        let mut acctbals = Vec::with_capacity(n);
+        let mut segments = Vec::with_capacity(n);
+        let mut comments = Vec::with_capacity(n);
+        for c in 1..=c_count {
+            names.push(format!("Customer#{c:09}"));
+            addresses.push(words(rng, 3));
+            let nk = rng.gen_range(0..25i64);
+            nationkeys.push(nk);
+            phones.push(phone(rng, nk));
+            acctbals.push(rng.gen_range(-999.99..9999.99));
+            segments.push(pick(rng, &SEGMENTS).to_string());
+            comments.push(words(rng, 6));
+        }
+        DataFrame::new(
+            schema::customer(),
+            vec![
+                Column::from_i64((1..=c_count).collect()),
+                Column::from_str_iter(names),
+                Column::from_str_iter(addresses),
+                Column::from_i64(nationkeys),
+                Column::from_str_iter(phones),
+                Column::from_f64(acctbals),
+                Column::from_str_iter(segments),
+                Column::from_str_iter(comments),
+            ],
+        )
+        .expect("customer frame")
+    }
+
+    fn gen_orders_lineitem(
+        rng: &mut StdRng,
+        o_count: i64,
+        c_count: i64,
+        p_count: i64,
+        s_count: i64,
+    ) -> (DataFrame, DataFrame) {
+        let start = date_to_days(1992, 1, 1);
+        let end = date_to_days(1998, 8, 2);
+        let cutoff = date_to_days(1995, 6, 17);
+
+        let n = o_count as usize;
+        let mut o_orderkey = Vec::with_capacity(n);
+        let mut o_custkey = Vec::with_capacity(n);
+        let mut o_status = Vec::with_capacity(n);
+        let mut o_total = Vec::with_capacity(n);
+        let mut o_date = Vec::with_capacity(n);
+        let mut o_prio = Vec::with_capacity(n);
+        let mut o_clerk = Vec::with_capacity(n);
+        let mut o_shipprio = Vec::with_capacity(n);
+        let mut o_comment = Vec::with_capacity(n);
+
+        let ln = n * 4;
+        let mut l_orderkey = Vec::with_capacity(ln);
+        let mut l_partkey = Vec::with_capacity(ln);
+        let mut l_suppkey = Vec::with_capacity(ln);
+        let mut l_linenumber = Vec::with_capacity(ln);
+        let mut l_quantity = Vec::with_capacity(ln);
+        let mut l_extprice = Vec::with_capacity(ln);
+        let mut l_discount = Vec::with_capacity(ln);
+        let mut l_tax = Vec::with_capacity(ln);
+        let mut l_retflag = Vec::with_capacity(ln);
+        let mut l_status = Vec::with_capacity(ln);
+        let mut l_ship = Vec::with_capacity(ln);
+        let mut l_commit = Vec::with_capacity(ln);
+        let mut l_receipt = Vec::with_capacity(ln);
+        let mut l_instruct = Vec::with_capacity(ln);
+        let mut l_mode = Vec::with_capacity(ln);
+        let mut l_comment = Vec::with_capacity(ln);
+
+        for o in 1..=o_count {
+            // One third of customers (custkey % 3 == 0) never order —
+            // needed by Q13's zero-order histogram bucket and Q22.
+            let custkey = loop {
+                let c = rng.gen_range(1..=c_count);
+                if c % 3 != 0 {
+                    break c;
+                }
+            };
+            let odate = rng.gen_range(start..=end - 150);
+            let lines = rng.gen_range(1..=7);
+            let mut total = 0.0;
+            let mut any_open = false;
+            let mut any_closed = false;
+            for line in 1..=lines {
+                let partkey = rng.gen_range(1..=p_count);
+                let suppkey = part_supplier(partkey, rng.gen_range(0..4), s_count);
+                let qty = rng.gen_range(1..=50) as f64;
+                let price = qty * retail_price(partkey) / 10.0;
+                let disc = rng.gen_range(0..=10) as f64 / 100.0;
+                let tax = rng.gen_range(0..=8) as f64 / 100.0;
+                let ship = odate + rng.gen_range(1..=121);
+                let commit = odate + rng.gen_range(30..=90);
+                let receipt = ship + rng.gen_range(1..=30);
+                let (flag, status) = if receipt <= cutoff {
+                    (if rng.gen_bool(0.5) { "R" } else { "A" }, "F")
+                } else {
+                    ("N", if ship > cutoff { "O" } else { "F" })
+                };
+                if status == "O" {
+                    any_open = true;
+                } else {
+                    any_closed = true;
+                }
+                total += price * (1.0 - disc) * (1.0 + tax);
+                l_orderkey.push(o);
+                l_partkey.push(partkey);
+                l_suppkey.push(suppkey);
+                l_linenumber.push(line);
+                l_quantity.push(qty);
+                l_extprice.push(price);
+                l_discount.push(disc);
+                l_tax.push(tax);
+                l_retflag.push(flag);
+                l_status.push(status);
+                l_ship.push(ship);
+                l_commit.push(commit);
+                l_receipt.push(receipt);
+                l_instruct.push(pick(rng, &INSTRUCTIONS));
+                l_mode.push(pick(rng, &SHIPMODES));
+                l_comment.push(words(rng, 3));
+            }
+            o_orderkey.push(o);
+            o_custkey.push(custkey);
+            o_status.push(match (any_open, any_closed) {
+                (true, false) => "O",
+                (false, true) => "F",
+                _ => "P",
+            });
+            o_total.push(total);
+            o_date.push(odate);
+            o_prio.push(pick(rng, &PRIORITIES).to_string());
+            o_clerk.push(format!("Clerk#{:09}", rng.gen_range(1..=1000)));
+            o_shipprio.push(0i64);
+            // ~1 % of comments match Q13's '%special%requests%'.
+            let mut c = words(rng, 5);
+            if rng.gen_range(0..100) == 0 {
+                c = format!("{c} special handling requests {}", words(rng, 2));
+            }
+            o_comment.push(c);
+        }
+        let orders = DataFrame::new(
+            schema::orders(),
+            vec![
+                Column::from_i64(o_orderkey),
+                Column::from_i64(o_custkey),
+                Column::from_str_iter(o_status),
+                Column::from_f64(o_total),
+                Column::from_dates(o_date),
+                Column::from_str_iter(o_prio),
+                Column::from_str_iter(o_clerk),
+                Column::from_i64(o_shipprio),
+                Column::from_str_iter(o_comment),
+            ],
+        )
+        .expect("orders frame");
+        let lineitem = DataFrame::new(
+            schema::lineitem(),
+            vec![
+                Column::from_i64(l_orderkey),
+                Column::from_i64(l_partkey),
+                Column::from_i64(l_suppkey),
+                Column::from_i64(l_linenumber),
+                Column::from_f64(l_quantity),
+                Column::from_f64(l_extprice),
+                Column::from_f64(l_discount),
+                Column::from_f64(l_tax),
+                Column::from_str_iter(l_retflag),
+                Column::from_str_iter(l_status),
+                Column::from_dates(l_ship),
+                Column::from_dates(l_commit),
+                Column::from_dates(l_receipt),
+                Column::from_str_iter(l_instruct),
+                Column::from_str_iter(l_mode),
+                Column::from_str_iter(l_comment),
+            ],
+        )
+        .expect("lineitem frame");
+        (orders, lineitem)
+    }
+
+    /// Frame for a table by name.
+    pub fn table(&self, name: &str) -> &DataFrame {
+        match name {
+            "lineitem" => &self.lineitem,
+            "orders" => &self.orders,
+            "customer" => &self.customer,
+            "part" => &self.part,
+            "supplier" => &self.supplier,
+            "partsupp" => &self.partsupp,
+            "nation" => &self.nation,
+            "region" => &self.region,
+            other => panic!("unknown tpc-h table {other}"),
+        }
+    }
+
+    /// Build a partitioned [`MemorySource`] for `table`, splitting the
+    /// (clustering-key-sorted) frame into `partitions` equal chunks — the
+    /// stand-in for the paper's 512 MB Parquet partitions (§8.1, §8.7).
+    pub fn source(&self, table: &str, partitions: usize) -> MemorySource {
+        let frame = self.table(table);
+        let (pk, ck) = schema::keys(table);
+        let rows_per = frame.num_rows().div_ceil(partitions.max(1)).max(1);
+        MemorySource::from_frame(table, frame, rows_per, pk, ck).expect("partitioned source")
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        [
+            &self.region,
+            &self.nation,
+            &self.supplier,
+            &self.part,
+            &self.partsupp,
+            &self.customer,
+            &self.orders,
+            &self.lineitem,
+        ]
+        .iter()
+        .map(|f| f.num_rows())
+        .sum()
+    }
+}
+
+fn phone(rng: &mut StdRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+/// A tiny helper: empty schema guard used by tests.
+pub fn empty_frame(schema: Arc<Schema>) -> DataFrame {
+    DataFrame::empty(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use wake_data::Value;
+
+    fn data() -> TpchData {
+        TpchData::generate(0.002, 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchData::generate(0.002, 7);
+        let b = TpchData::generate(0.002, 7);
+        assert_eq!(a.lineitem, b.lineitem);
+        assert_eq!(a.orders, b.orders);
+        let c = TpchData::generate(0.002, 8);
+        assert_ne!(a.lineitem, c.lineitem);
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let d = data();
+        assert_eq!(d.region.num_rows(), 5);
+        assert_eq!(d.nation.num_rows(), 25);
+        assert_eq!(d.partsupp.num_rows(), d.part.num_rows() * 4);
+        assert_eq!(d.orders.num_rows(), d.customer.num_rows() * 10);
+        assert!(d.lineitem.num_rows() >= d.orders.num_rows());
+        let big = TpchData::generate(0.01, 42);
+        assert!(big.lineitem.num_rows() > d.lineitem.num_rows());
+    }
+
+    #[test]
+    fn lineitem_supplier_pairs_exist_in_partsupp() {
+        let d = data();
+        let mut ps: HashSet<(i64, i64)> = HashSet::new();
+        for i in 0..d.partsupp.num_rows() {
+            ps.insert((
+                d.partsupp.value(i, "ps_partkey").unwrap().as_i64().unwrap(),
+                d.partsupp.value(i, "ps_suppkey").unwrap().as_i64().unwrap(),
+            ));
+        }
+        for i in 0..d.lineitem.num_rows() {
+            let key = (
+                d.lineitem.value(i, "l_partkey").unwrap().as_i64().unwrap(),
+                d.lineitem.value(i, "l_suppkey").unwrap().as_i64().unwrap(),
+            );
+            assert!(ps.contains(&key), "missing partsupp row for {key:?}");
+        }
+    }
+
+    #[test]
+    fn each_part_has_four_distinct_suppliers() {
+        let s_count = 40;
+        for p in 1..200 {
+            let set: HashSet<i64> = (0..4).map(|i| part_supplier(p, i, s_count)).collect();
+            assert_eq!(set.len(), 4, "part {p}");
+            assert!(set.iter().all(|&s| (1..=s_count).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn a_third_of_customers_never_order() {
+        let d = data();
+        for i in 0..d.orders.num_rows() {
+            let c = d.orders.value(i, "o_custkey").unwrap().as_i64().unwrap();
+            assert_ne!(c % 3, 0);
+        }
+    }
+
+    #[test]
+    fn phone_prefix_encodes_nation() {
+        let d = data();
+        for i in 0..d.customer.num_rows() {
+            let nk = d.customer.value(i, "c_nationkey").unwrap().as_i64().unwrap();
+            let phone = d.customer.value(i, "c_phone").unwrap();
+            let p = phone.as_str().unwrap().to_string();
+            assert_eq!(p[..2].parse::<i64>().unwrap(), 10 + nk);
+        }
+    }
+
+    #[test]
+    fn flags_respect_cutoff_semantics() {
+        let d = data();
+        let cutoff = date_to_days(1995, 6, 17);
+        for i in 0..d.lineitem.num_rows() {
+            let receipt = d.lineitem.value(i, "l_receiptdate").unwrap().as_i64().unwrap();
+            let ship = d.lineitem.value(i, "l_shipdate").unwrap().as_i64().unwrap();
+            let flag = d.lineitem.value(i, "l_returnflag").unwrap();
+            let status = d.lineitem.value(i, "l_linestatus").unwrap();
+            assert!(receipt > ship);
+            if receipt <= cutoff {
+                assert_ne!(flag, Value::str("N"));
+                assert_eq!(status, Value::str("F"));
+            } else {
+                assert_eq!(flag, Value::str("N"));
+            }
+        }
+    }
+
+    #[test]
+    fn comment_markers_present_but_rare() {
+        let d = TpchData::generate(0.01, 42);
+        let special = (0..d.orders.num_rows())
+            .filter(|&i| {
+                let c = d.orders.value(i, "o_comment").unwrap();
+                wake_expr::like_match(c.as_str().unwrap(), "%special%requests%")
+            })
+            .count();
+        let frac = special as f64 / d.orders.num_rows() as f64;
+        assert!(frac > 0.0 && frac < 0.05, "special-requests fraction {frac}");
+    }
+
+    #[test]
+    fn sources_partition_clustered_tables() {
+        let d = data();
+        let src = d.source("lineitem", 8);
+        use wake_data::TableSource;
+        assert_eq!(src.meta().num_partitions(), 8);
+        assert_eq!(src.meta().total_rows(), d.lineitem.num_rows());
+        assert_eq!(
+            src.meta().clustering_key.as_deref(),
+            Some(&["l_orderkey".to_string()][..])
+        );
+        // Partitions preserve the sorted order (clustered reads).
+        let p0 = src.partition(0).unwrap();
+        let p1 = src.partition(1).unwrap();
+        let last0 = p0.value(p0.num_rows() - 1, "l_orderkey").unwrap();
+        let first1 = p1.value(0, "l_orderkey").unwrap();
+        assert!(last0 <= first1);
+    }
+}

@@ -1,0 +1,21 @@
+//! # wake-tpch
+//!
+//! TPC-H substrate for the Wake evaluation (§8.1): a from-scratch,
+//! deterministic dbgen-style data generator for all eight tables, table
+//! metadata (primary/clustering keys, the only statistics Wake needs,
+//! §4.4), the **22 TPC-H queries expressed as Wake query graphs** (built
+//! like the paper's Fig 6), and the synthetic deep-query generator used by
+//! the query-depth experiment (§8.6).
+//!
+//! The generator is laptop-scale (see DESIGN.md substitutions): schemas,
+//! value grammars, foreign keys, and the clustering layout match dbgen's
+//! semantics so that every predicate in the 22 queries is selective in the
+//! same way, while the scale factor is a parameter.
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+pub mod synthetic;
+
+pub use gen::TpchData;
+pub use queries::{all_queries, query_by_name, QuerySpec, TpchDb};

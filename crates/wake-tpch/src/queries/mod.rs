@@ -1,0 +1,188 @@
+//! The 22 TPC-H queries as Wake query graphs.
+//!
+//! Each builder constructs the operator DAG the way the paper's Fig 6 does
+//! for Q18: base readers feed maps/filters/joins (order-preserving local
+//! ops where possible) and aggregations with growth-based inference.
+//! Sub-queries are decomposed relationally: `EXISTS`/`IN` become semi
+//! joins, `NOT EXISTS`/`NOT IN` anti joins, and scalar sub-queries become
+//! single-row aggregates joined back on a constant key — so *every* query
+//! is a deep OLA cascade, which is exactly the capability the paper adds
+//! over prior OLA systems (Table 1).
+
+mod q01_08;
+mod q09_16;
+mod q17_22;
+
+pub use q01_08::*;
+pub use q09_16::*;
+pub use q17_22::*;
+
+use crate::gen::TpchData;
+use std::sync::Arc;
+use wake_core::graph::{NodeId, QueryGraph};
+use wake_expr::{col, lit_i64, Expr};
+
+/// A partitioned view of the generated dataset: fixed-size partitions like
+/// the paper's 512 MB Parquet chunks, so small dimension tables occupy one
+/// partition while the fact tables span many.
+pub struct TpchDb {
+    data: Arc<TpchData>,
+    /// Rows per partition (derived from `lineitem` and the requested
+    /// partition count).
+    rows_per_partition: usize,
+}
+
+impl TpchDb {
+    /// `partitions` = how many chunks the largest table (lineitem) spans.
+    pub fn new(data: Arc<TpchData>, partitions: usize) -> Self {
+        let rows_per_partition =
+            data.lineitem.num_rows().div_ceil(partitions.max(1)).max(1);
+        TpchDb { data, rows_per_partition }
+    }
+
+    pub fn data(&self) -> &Arc<TpchData> {
+        &self.data
+    }
+
+    pub fn scale_factor(&self) -> f64 {
+        self.data.scale_factor
+    }
+
+    pub fn rows_per_partition(&self) -> usize {
+        self.rows_per_partition
+    }
+
+    /// Add a reader node for `table`.
+    pub fn read(&self, g: &mut QueryGraph, table: &str) -> NodeId {
+        let frame = self.data.table(table);
+        let partitions = frame.num_rows().div_ceil(self.rows_per_partition).max(1);
+        g.read(self.data.source(table, partitions))
+    }
+}
+
+/// Identity projections for `names` (narrow a frame before a join).
+pub(crate) fn keep(names: &[&str]) -> Vec<(Expr, &'static str)> {
+    names
+        .iter()
+        .map(|n| {
+            let n: &'static str = Box::leak(n.to_string().into_boxed_str());
+            (col(n), n)
+        })
+        .collect()
+}
+
+/// Append a constant `one` column (scalar-sub-query join key).
+pub(crate) fn with_one(mut exprs: Vec<(Expr, &'static str)>) -> Vec<(Expr, &'static str)> {
+    exprs.push((lit_i64(1), "one"));
+    exprs
+}
+
+/// A query in the benchmark registry.
+#[derive(Clone, Copy)]
+pub struct QuerySpec {
+    pub name: &'static str,
+    pub build: fn(&TpchDb) -> QueryGraph,
+    /// Output key columns (for MAPE/recall matching; empty = global).
+    pub keys: &'static [&'static str],
+    /// Numeric output columns scored by MAPE.
+    pub values: &'static [&'static str],
+}
+
+/// All 22 queries with their output shapes.
+pub fn all_queries() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec {
+            name: "q1",
+            build: q1,
+            keys: &["l_returnflag", "l_linestatus"],
+            values: &[
+                "sum_qty",
+                "sum_base_price",
+                "sum_disc_price",
+                "sum_charge",
+                "avg_qty",
+                "avg_price",
+                "avg_disc",
+                "count_order",
+            ],
+        },
+        QuerySpec { name: "q2", build: q2, keys: &["p_partkey", "s_name"], values: &["s_acctbal"] },
+        QuerySpec { name: "q3", build: q3, keys: &["l_orderkey"], values: &["revenue"] },
+        QuerySpec { name: "q4", build: q4, keys: &["o_orderpriority"], values: &["order_count"] },
+        QuerySpec { name: "q5", build: q5, keys: &["n_name"], values: &["revenue"] },
+        QuerySpec { name: "q6", build: q6, keys: &[], values: &["revenue"] },
+        QuerySpec {
+            name: "q7",
+            build: q7,
+            keys: &["supp_nation", "cust_nation", "l_year"],
+            values: &["revenue"],
+        },
+        QuerySpec { name: "q8", build: q8, keys: &["o_year"], values: &["mkt_share"] },
+        QuerySpec { name: "q9", build: q9, keys: &["nation", "o_year"], values: &["sum_profit"] },
+        QuerySpec { name: "q10", build: q10, keys: &["c_custkey"], values: &["revenue"] },
+        QuerySpec { name: "q11", build: q11, keys: &["ps_partkey"], values: &["value"] },
+        QuerySpec {
+            name: "q12",
+            build: q12,
+            keys: &["l_shipmode"],
+            values: &["high_line_count", "low_line_count"],
+        },
+        QuerySpec { name: "q13", build: q13, keys: &["c_count"], values: &["custdist"] },
+        QuerySpec { name: "q14", build: q14, keys: &[], values: &["promo_revenue"] },
+        QuerySpec { name: "q15", build: q15, keys: &["s_suppkey"], values: &["total_revenue"] },
+        QuerySpec {
+            name: "q16",
+            build: q16,
+            keys: &["p_brand", "p_type", "p_size"],
+            values: &["supplier_cnt"],
+        },
+        QuerySpec { name: "q17", build: q17, keys: &[], values: &["avg_yearly"] },
+        QuerySpec { name: "q18", build: q18, keys: &["o_orderkey"], values: &["total_qty"] },
+        QuerySpec { name: "q19", build: q19, keys: &[], values: &["revenue"] },
+        QuerySpec { name: "q20", build: q20, keys: &["s_suppkey"], values: &[] },
+        QuerySpec { name: "q21", build: q21, keys: &["s_name"], values: &["numwait"] },
+        QuerySpec {
+            name: "q22",
+            build: q22,
+            keys: &["cntrycode"],
+            values: &["numcust", "totacctbal"],
+        },
+    ]
+}
+
+/// Look up one query by name (`"q1"`..`"q22"`).
+pub fn query_by_name(name: &str) -> Option<QuerySpec> {
+    all_queries().into_iter().find(|q| q.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_buildable() {
+        let specs = all_queries();
+        assert_eq!(specs.len(), 22);
+        let data = Arc::new(TpchData::generate(0.001, 1));
+        let db = TpchDb::new(data, 4);
+        for spec in specs {
+            let g = (spec.build)(&db);
+            assert!(g.sink_id().is_some(), "{} lacks a sink", spec.name);
+            // Every graph must type-check end to end.
+            let metas = g.resolve_metas().expect(spec.name);
+            let sink_schema = &metas[g.sink_id().unwrap().0].schema;
+            for k in spec.keys {
+                assert!(sink_schema.contains(k), "{}: key {k} missing", spec.name);
+            }
+            for v in spec.values {
+                assert!(sink_schema.contains(v), "{}: value {v} missing", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(query_by_name("q18").is_some());
+        assert!(query_by_name("q23").is_none());
+    }
+}

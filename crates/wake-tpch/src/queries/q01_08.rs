@@ -1,0 +1,346 @@
+//! TPC-H queries 1–8 as Wake graphs (validation-parameter versions).
+
+use super::{keep, TpchDb};
+use wake_core::agg::AggSpec;
+use wake_core::graph::{JoinKind, QueryGraph};
+use wake_expr::{case_when, col, lit_date, lit_f64, lit_str, Expr};
+use wake_data::Value;
+
+fn revenue_expr() -> Expr {
+    col("l_extendedprice").mul(lit_f64(1.0).sub(col("l_discount")))
+}
+
+/// Q1 — pricing summary report. Case-2 aggregation over a low-cardinality
+/// non-clustering key pair (the paper's first error category, §8.3).
+pub fn q1(db: &TpchDb) -> QueryGraph {
+    let mut g = QueryGraph::new();
+    let li = db.read(&mut g, "lineitem");
+    let f = g.filter(li, col("l_shipdate").le(lit_date(1998, 9, 2)));
+    let m = g.map(
+        f,
+        vec![
+            (col("l_returnflag"), "l_returnflag"),
+            (col("l_linestatus"), "l_linestatus"),
+            (col("l_quantity"), "l_quantity"),
+            (col("l_extendedprice"), "l_extendedprice"),
+            (col("l_discount"), "l_discount"),
+            (revenue_expr(), "disc_price"),
+            (
+                revenue_expr().mul(lit_f64(1.0).add(col("l_tax"))),
+                "charge",
+            ),
+        ],
+    );
+    let a = g.agg(
+        m,
+        vec!["l_returnflag", "l_linestatus"],
+        vec![
+            AggSpec::sum(col("l_quantity"), "sum_qty"),
+            AggSpec::sum(col("l_extendedprice"), "sum_base_price"),
+            AggSpec::sum(col("disc_price"), "sum_disc_price"),
+            AggSpec::sum(col("charge"), "sum_charge"),
+            AggSpec::avg(col("l_quantity"), "avg_qty"),
+            AggSpec::avg(col("l_extendedprice"), "avg_price"),
+            AggSpec::avg(col("l_discount"), "avg_disc"),
+            AggSpec::count_star("count_order"),
+        ],
+    );
+    let s = g.sort(a, vec!["l_returnflag", "l_linestatus"], vec![false, false], None);
+    g.sink(s);
+    g
+}
+
+/// Q2 — minimum-cost supplier. The `min ps_supplycost` scalar sub-query
+/// becomes an aggregation joined back on (partkey, supplycost).
+pub fn q2(db: &TpchDb) -> QueryGraph {
+    let mut g = QueryGraph::new();
+    let region = db.read(&mut g, "region");
+    let rf = g.filter(region, col("r_name").eq(lit_str("EUROPE")));
+    let rk = g.map(rf, keep(&["r_regionkey"]));
+    let nation = db.read(&mut g, "nation");
+    let nr = g.join(nation, rk, vec!["n_regionkey"], vec!["r_regionkey"]);
+    let nat = g.map(nr, keep(&["n_nationkey", "n_name"]));
+    let supplier = db.read(&mut g, "supplier");
+    let sj = g.join(supplier, nat, vec!["s_nationkey"], vec!["n_nationkey"]);
+    let sup = g.map(
+        sj,
+        keep(&["s_suppkey", "s_acctbal", "s_name", "s_address", "s_phone", "s_comment", "n_name"]),
+    );
+    let partsupp = db.read(&mut g, "partsupp");
+    let psj = g.join(partsupp, sup, vec!["ps_suppkey"], vec!["s_suppkey"]);
+    let part = db.read(&mut g, "part");
+    let pf = g.filter(
+        part,
+        col("p_size").eq(wake_expr::lit_i64(15)).and(col("p_type").like("%BRASS")),
+    );
+    let pk = g.map(pf, keep(&["p_partkey", "p_mfgr"]));
+    let cand = g.join(pk, psj, vec!["p_partkey"], vec!["ps_partkey"]);
+    let min_cost = g.agg(
+        cand,
+        vec!["p_partkey"],
+        vec![AggSpec::min(col("ps_supplycost"), "min_sc")],
+    );
+    let res = g.join(
+        cand,
+        min_cost,
+        vec!["p_partkey", "ps_supplycost"],
+        vec!["p_partkey", "min_sc"],
+    );
+    let out = g.map(
+        res,
+        keep(&[
+            "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone",
+            "s_comment",
+        ]),
+    );
+    let s = g.sort(
+        out,
+        vec!["s_acctbal", "n_name", "s_name", "p_partkey"],
+        vec![true, false, false, false],
+        Some(100),
+    );
+    g.sink(s);
+    g
+}
+
+/// Q3 — shipping-priority top orders (clustered group-by, paper category 2).
+pub fn q3(db: &TpchDb) -> QueryGraph {
+    let mut g = QueryGraph::new();
+    let customer = db.read(&mut g, "customer");
+    let cf = g.filter(customer, col("c_mktsegment").eq(lit_str("BUILDING")));
+    let ck = g.map(cf, keep(&["c_custkey"]));
+    let orders = db.read(&mut g, "orders");
+    let of = g.filter(orders, col("o_orderdate").lt(lit_date(1995, 3, 15)));
+    let oc = g.join(of, ck, vec!["o_custkey"], vec!["c_custkey"]);
+    let ok = g.map(oc, keep(&["o_orderkey", "o_orderdate", "o_shippriority"]));
+    let lineitem = db.read(&mut g, "lineitem");
+    let lf = g.filter(lineitem, col("l_shipdate").gt(lit_date(1995, 3, 15)));
+    let lm = g.map(lf, vec![(col("l_orderkey"), "l_orderkey"), (revenue_expr(), "rev")]);
+    let j = g.join(lm, ok, vec!["l_orderkey"], vec!["o_orderkey"]);
+    let a = g.agg(
+        j,
+        vec!["l_orderkey", "o_orderdate", "o_shippriority"],
+        vec![AggSpec::sum(col("rev"), "revenue")],
+    );
+    let s = g.sort(a, vec!["revenue", "o_orderdate"], vec![true, false], Some(10));
+    g.sink(s);
+    g
+}
+
+/// Q4 — order-priority checking: `EXISTS` becomes a semi join.
+pub fn q4(db: &TpchDb) -> QueryGraph {
+    let mut g = QueryGraph::new();
+    let orders = db.read(&mut g, "orders");
+    let of = g.filter(
+        orders,
+        col("o_orderdate")
+            .ge(lit_date(1993, 7, 1))
+            .and(col("o_orderdate").lt(lit_date(1993, 10, 1))),
+    );
+    let ok = g.map(of, keep(&["o_orderkey", "o_orderpriority"]));
+    let lineitem = db.read(&mut g, "lineitem");
+    let lf = g.filter(lineitem, col("l_commitdate").lt(col("l_receiptdate")));
+    let lk = g.map(lf, keep(&["l_orderkey"]));
+    let sj = g.join_kind(ok, lk, vec!["o_orderkey"], vec!["l_orderkey"], JoinKind::Semi);
+    let a = g.agg(sj, vec!["o_orderpriority"], vec![AggSpec::count_star("order_count")]);
+    let s = g.sort(a, vec!["o_orderpriority"], vec![false], None);
+    g.sink(s);
+    g
+}
+
+/// Q5 — local-supplier volume: five-way join with the extra
+/// `c_nationkey = s_nationkey` equality folded into the join key.
+pub fn q5(db: &TpchDb) -> QueryGraph {
+    let mut g = QueryGraph::new();
+    let region = db.read(&mut g, "region");
+    let rf = g.filter(region, col("r_name").eq(lit_str("ASIA")));
+    let rk = g.map(rf, keep(&["r_regionkey"]));
+    let nation = db.read(&mut g, "nation");
+    let nj = g.join(nation, rk, vec!["n_regionkey"], vec!["r_regionkey"]);
+    let nat = g.map(nj, keep(&["n_nationkey", "n_name"]));
+    let customer = db.read(&mut g, "customer");
+    let cust = g.map(customer, keep(&["c_custkey", "c_nationkey"]));
+    let orders = db.read(&mut g, "orders");
+    let of = g.filter(
+        orders,
+        col("o_orderdate")
+            .ge(lit_date(1994, 1, 1))
+            .and(col("o_orderdate").lt(lit_date(1995, 1, 1))),
+    );
+    let oc = g.join(of, cust, vec!["o_custkey"], vec!["c_custkey"]);
+    let ok = g.map(oc, keep(&["o_orderkey", "c_nationkey"]));
+    let lineitem = db.read(&mut g, "lineitem");
+    let lm = g.map(
+        lineitem,
+        vec![
+            (col("l_orderkey"), "l_orderkey"),
+            (col("l_suppkey"), "l_suppkey"),
+            (revenue_expr(), "rev"),
+        ],
+    );
+    let j1 = g.join(lm, ok, vec!["l_orderkey"], vec!["o_orderkey"]);
+    let supplier = db.read(&mut g, "supplier");
+    let sup = g.map(supplier, keep(&["s_suppkey", "s_nationkey"]));
+    let j2 = g.join(
+        j1,
+        sup,
+        vec!["l_suppkey", "c_nationkey"],
+        vec!["s_suppkey", "s_nationkey"],
+    );
+    let j3 = g.join(j2, nat, vec!["c_nationkey"], vec!["n_nationkey"]);
+    let a = g.agg(j3, vec!["n_name"], vec![AggSpec::sum(col("rev"), "revenue")]);
+    let s = g.sort(a, vec!["revenue"], vec![true], None);
+    g.sink(s);
+    g
+}
+
+/// Q6 — forecasting revenue change (the classic single-table OLA query).
+pub fn q6(db: &TpchDb) -> QueryGraph {
+    let mut g = QueryGraph::new();
+    let lineitem = db.read(&mut g, "lineitem");
+    let f = g.filter(
+        lineitem,
+        col("l_shipdate")
+            .ge(lit_date(1994, 1, 1))
+            .and(col("l_shipdate").lt(lit_date(1995, 1, 1)))
+            .and(col("l_discount").between(lit_f64(0.05), lit_f64(0.07)))
+            .and(col("l_quantity").lt(lit_f64(24.0))),
+    );
+    let m = g.map(f, vec![(col("l_extendedprice").mul(col("l_discount")), "rev")]);
+    let a = g.agg(m, vec![], vec![AggSpec::sum(col("rev"), "revenue")]);
+    g.sink(a);
+    g
+}
+
+/// Q7 — volume shipping between FRANCE and GERMANY, by year.
+pub fn q7(db: &TpchDb) -> QueryGraph {
+    let mut g = QueryGraph::new();
+    let lineitem = db.read(&mut g, "lineitem");
+    let lf = g.filter(
+        lineitem,
+        col("l_shipdate")
+            .ge(lit_date(1995, 1, 1))
+            .and(col("l_shipdate").le(lit_date(1996, 12, 31))),
+    );
+    let lm = g.map(
+        lf,
+        vec![
+            (col("l_orderkey"), "l_orderkey"),
+            (col("l_suppkey"), "l_suppkey"),
+            (col("l_shipdate").year(), "l_year"),
+            (revenue_expr(), "volume"),
+        ],
+    );
+    let supplier = db.read(&mut g, "supplier");
+    let sup = g.map(supplier, keep(&["s_suppkey", "s_nationkey"]));
+    let n1 = db.read(&mut g, "nation");
+    let n1m = g.map(n1, vec![(col("n_nationkey"), "n1_key"), (col("n_name"), "supp_nation")]);
+    let sn = g.join(sup, n1m, vec!["s_nationkey"], vec!["n1_key"]);
+    let snk = g.map(sn, keep(&["s_suppkey", "supp_nation"]));
+    let j1 = g.join(lm, snk, vec!["l_suppkey"], vec!["s_suppkey"]);
+    let orders = db.read(&mut g, "orders");
+    let om = g.map(orders, keep(&["o_orderkey", "o_custkey"]));
+    let customer = db.read(&mut g, "customer");
+    let cm = g.map(customer, keep(&["c_custkey", "c_nationkey"]));
+    let n2 = db.read(&mut g, "nation");
+    let n2m = g.map(n2, vec![(col("n_nationkey"), "n2_key"), (col("n_name"), "cust_nation")]);
+    let cn = g.join(cm, n2m, vec!["c_nationkey"], vec!["n2_key"]);
+    let cnk = g.map(cn, keep(&["c_custkey", "cust_nation"]));
+    let ocn = g.join(om, cnk, vec!["o_custkey"], vec!["c_custkey"]);
+    let ock = g.map(ocn, keep(&["o_orderkey", "cust_nation"]));
+    let j2 = g.join(j1, ock, vec!["l_orderkey"], vec!["o_orderkey"]);
+    let pair = g.filter(
+        j2,
+        col("supp_nation")
+            .eq(lit_str("FRANCE"))
+            .and(col("cust_nation").eq(lit_str("GERMANY")))
+            .or(col("supp_nation")
+                .eq(lit_str("GERMANY"))
+                .and(col("cust_nation").eq(lit_str("FRANCE")))),
+    );
+    let a = g.agg(
+        pair,
+        vec!["supp_nation", "cust_nation", "l_year"],
+        vec![AggSpec::sum(col("volume"), "revenue")],
+    );
+    let s = g.sort(
+        a,
+        vec!["supp_nation", "cust_nation", "l_year"],
+        vec![false, false, false],
+        None,
+    );
+    g.sink(s);
+    g
+}
+
+/// Q8 — national market share: a ratio of sums expressed as the paper's
+/// weighted average (Eq. 5), so no scaling bias sneaks in mid-query.
+pub fn q8(db: &TpchDb) -> QueryGraph {
+    let mut g = QueryGraph::new();
+    let part = db.read(&mut g, "part");
+    let pf = g.filter(part, col("p_type").eq(lit_str("ECONOMY ANODIZED STEEL")));
+    let pk = g.map(pf, keep(&["p_partkey"]));
+    let lineitem = db.read(&mut g, "lineitem");
+    let lm = g.map(
+        lineitem,
+        vec![
+            (col("l_partkey"), "l_partkey"),
+            (col("l_suppkey"), "l_suppkey"),
+            (col("l_orderkey"), "l_orderkey"),
+            (revenue_expr(), "volume"),
+        ],
+    );
+    let j1 = g.join(lm, pk, vec!["l_partkey"], vec!["p_partkey"]);
+    let orders = db.read(&mut g, "orders");
+    let of = g.filter(
+        orders,
+        col("o_orderdate")
+            .ge(lit_date(1995, 1, 1))
+            .and(col("o_orderdate").le(lit_date(1996, 12, 31))),
+    );
+    let om = g.map(
+        of,
+        vec![
+            (col("o_orderkey"), "o_orderkey"),
+            (col("o_custkey"), "o_custkey"),
+            (col("o_orderdate").year(), "o_year"),
+        ],
+    );
+    let j2 = g.join(j1, om, vec!["l_orderkey"], vec!["o_orderkey"]);
+    let customer = db.read(&mut g, "customer");
+    let cm = g.map(customer, keep(&["c_custkey", "c_nationkey"]));
+    let n2 = db.read(&mut g, "nation");
+    let n2m = g.map(n2, vec![(col("n_nationkey"), "n2_key"), (col("n_regionkey"), "n2_region")]);
+    let cn = g.join(cm, n2m, vec!["c_nationkey"], vec!["n2_key"]);
+    let region = db.read(&mut g, "region");
+    let rf = g.filter(region, col("r_name").eq(lit_str("AMERICA")));
+    let rk = g.map(rf, keep(&["r_regionkey"]));
+    let cnr = g.join(cn, rk, vec!["n2_region"], vec!["r_regionkey"]);
+    let cke = g.map(cnr, keep(&["c_custkey"]));
+    let j3 = g.join(j2, cke, vec!["o_custkey"], vec!["c_custkey"]);
+    let supplier = db.read(&mut g, "supplier");
+    let sm = g.map(supplier, keep(&["s_suppkey", "s_nationkey"]));
+    let n1 = db.read(&mut g, "nation");
+    let n1m = g.map(n1, vec![(col("n_nationkey"), "n1_key"), (col("n_name"), "nation_name")]);
+    let sn = g.join(sm, n1m, vec!["s_nationkey"], vec!["n1_key"]);
+    let snk = g.map(sn, keep(&["s_suppkey", "nation_name"]));
+    let j4 = g.join(j3, snk, vec!["l_suppkey"], vec!["s_suppkey"]);
+    let a = g.agg(
+        j4,
+        vec!["o_year"],
+        vec![AggSpec::weighted_avg(
+            case_when(
+                vec![(
+                    col("nation_name").eq(Expr::Lit(Value::str("BRAZIL"))),
+                    lit_f64(1.0),
+                )],
+                lit_f64(0.0),
+            ),
+            col("volume"),
+            "mkt_share",
+        )],
+    );
+    let s = g.sort(a, vec!["o_year"], vec![false], None);
+    g.sink(s);
+    g
+}

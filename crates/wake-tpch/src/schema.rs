@@ -1,0 +1,211 @@
+//! TPC-H table schemas and key metadata.
+
+use std::sync::Arc;
+use wake_data::{DataType, Field, Schema};
+
+fn f(name: &str, dtype: DataType) -> Field {
+    Field::new(name, dtype)
+}
+
+/// `lineitem` — the fact table, clustered on `l_orderkey`.
+pub fn lineitem() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        f("l_orderkey", DataType::Int64),
+        f("l_partkey", DataType::Int64),
+        f("l_suppkey", DataType::Int64),
+        f("l_linenumber", DataType::Int64),
+        f("l_quantity", DataType::Float64),
+        f("l_extendedprice", DataType::Float64),
+        f("l_discount", DataType::Float64),
+        f("l_tax", DataType::Float64),
+        f("l_returnflag", DataType::Utf8),
+        f("l_linestatus", DataType::Utf8),
+        f("l_shipdate", DataType::Date),
+        f("l_commitdate", DataType::Date),
+        f("l_receiptdate", DataType::Date),
+        f("l_shipinstruct", DataType::Utf8),
+        f("l_shipmode", DataType::Utf8),
+        f("l_comment", DataType::Utf8),
+    ]))
+}
+
+/// `orders`, clustered on `o_orderkey`.
+pub fn orders() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        f("o_orderkey", DataType::Int64),
+        f("o_custkey", DataType::Int64),
+        f("o_orderstatus", DataType::Utf8),
+        f("o_totalprice", DataType::Float64),
+        f("o_orderdate", DataType::Date),
+        f("o_orderpriority", DataType::Utf8),
+        f("o_clerk", DataType::Utf8),
+        f("o_shippriority", DataType::Int64),
+        f("o_comment", DataType::Utf8),
+    ]))
+}
+
+/// `customer`, clustered on `c_custkey`.
+pub fn customer() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        f("c_custkey", DataType::Int64),
+        f("c_name", DataType::Utf8),
+        f("c_address", DataType::Utf8),
+        f("c_nationkey", DataType::Int64),
+        f("c_phone", DataType::Utf8),
+        f("c_acctbal", DataType::Float64),
+        f("c_mktsegment", DataType::Utf8),
+        f("c_comment", DataType::Utf8),
+    ]))
+}
+
+/// `part`, clustered on `p_partkey`.
+pub fn part() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        f("p_partkey", DataType::Int64),
+        f("p_name", DataType::Utf8),
+        f("p_mfgr", DataType::Utf8),
+        f("p_brand", DataType::Utf8),
+        f("p_type", DataType::Utf8),
+        f("p_size", DataType::Int64),
+        f("p_container", DataType::Utf8),
+        f("p_retailprice", DataType::Float64),
+        f("p_comment", DataType::Utf8),
+    ]))
+}
+
+/// `supplier`, clustered on `s_suppkey`.
+pub fn supplier() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        f("s_suppkey", DataType::Int64),
+        f("s_name", DataType::Utf8),
+        f("s_address", DataType::Utf8),
+        f("s_nationkey", DataType::Int64),
+        f("s_phone", DataType::Utf8),
+        f("s_acctbal", DataType::Float64),
+        f("s_comment", DataType::Utf8),
+    ]))
+}
+
+/// `partsupp`, clustered on `ps_partkey`.
+pub fn partsupp() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        f("ps_partkey", DataType::Int64),
+        f("ps_suppkey", DataType::Int64),
+        f("ps_availqty", DataType::Int64),
+        f("ps_supplycost", DataType::Float64),
+        f("ps_comment", DataType::Utf8),
+    ]))
+}
+
+/// `nation` (25 fixed rows).
+pub fn nation() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        f("n_nationkey", DataType::Int64),
+        f("n_name", DataType::Utf8),
+        f("n_regionkey", DataType::Int64),
+        f("n_comment", DataType::Utf8),
+    ]))
+}
+
+/// `region` (5 fixed rows).
+pub fn region() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        f("r_regionkey", DataType::Int64),
+        f("r_name", DataType::Utf8),
+        f("r_comment", DataType::Utf8),
+    ]))
+}
+
+/// `(primary key, clustering key)` for each table.
+pub fn keys(table: &str) -> (Vec<String>, Option<Vec<String>>) {
+    let pk = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    match table {
+        "lineitem" => (pk(&["l_orderkey", "l_linenumber"]), Some(pk(&["l_orderkey"]))),
+        "orders" => (pk(&["o_orderkey"]), Some(pk(&["o_orderkey"]))),
+        "customer" => (pk(&["c_custkey"]), Some(pk(&["c_custkey"]))),
+        "part" => (pk(&["p_partkey"]), Some(pk(&["p_partkey"]))),
+        "supplier" => (pk(&["s_suppkey"]), Some(pk(&["s_suppkey"]))),
+        "partsupp" => (pk(&["ps_partkey", "ps_suppkey"]), Some(pk(&["ps_partkey"]))),
+        "nation" => (pk(&["n_nationkey"]), Some(pk(&["n_nationkey"]))),
+        "region" => (pk(&["r_regionkey"]), Some(pk(&["r_regionkey"]))),
+        other => panic!("unknown tpc-h table {other}"),
+    }
+}
+
+/// The 25 nations with their region keys (TPC-H Clause 4.2.3).
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// The 5 regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_have_expected_shapes() {
+        assert_eq!(lineitem().len(), 16);
+        assert_eq!(orders().len(), 9);
+        assert_eq!(customer().len(), 8);
+        assert_eq!(part().len(), 9);
+        assert_eq!(supplier().len(), 7);
+        assert_eq!(partsupp().len(), 5);
+        assert_eq!(nation().len(), 4);
+        assert_eq!(region().len(), 3);
+    }
+
+    #[test]
+    fn keys_cover_all_tables() {
+        for t in ["lineitem", "orders", "customer", "part", "supplier", "partsupp", "nation", "region"]
+        {
+            let (pk, ck) = keys(t);
+            assert!(!pk.is_empty());
+            assert!(ck.is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_table_panics() {
+        keys("nope");
+    }
+
+    #[test]
+    fn nation_region_constants() {
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        assert!(NATIONS.iter().all(|(_, r)| (0..5).contains(r)));
+        // Keys used by queries exist where expected.
+        assert_eq!(NATIONS[2].0, "BRAZIL");
+        assert_eq!(NATIONS[20].0, "SAUDI ARABIA");
+        assert_eq!(NATIONS[6].0, "FRANCE");
+        assert_eq!(NATIONS[7].0, "GERMANY");
+        assert_eq!(NATIONS[3].0, "CANADA");
+    }
+}

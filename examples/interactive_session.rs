@@ -1,0 +1,66 @@
+//! An exploratory-analysis session with the fluent edf API — the paper's
+//! §1 listing verbatim, plus order statistics (median/quantiles, §5.3) on
+//! the same evolving outputs.
+//!
+//! ```sh
+//! cargo run --release --example interactive_session
+//! ```
+
+use std::sync::Arc;
+use wake::core::agg::AggSpec;
+use wake::expr::{col, lit_f64};
+use wake::session::Session;
+use wake::tpch::TpchData;
+
+fn main() {
+    let data = Arc::new(TpchData::generate(0.005, 42));
+    let mut s = Session::new();
+
+    // The §1 session, line for line:
+    // lineitem = read_csv('...')
+    let lineitem = s.read(data.source("lineitem", 12));
+    let orders = s.read(data.source("orders", 12));
+    let customer = s.read(data.source("customer", 12));
+
+    // order_qty = lineitem.sum(qty, by=orderkey)
+    let order_qty = lineitem.sum("l_quantity", &["l_orderkey"], "sum_qty");
+    // lg_orders = order_qty.filter(sum_qty > 150)
+    let lg_orders = order_qty.filter(col("sum_qty").gt(lit_f64(150.0)));
+    // lg_order_cust = lg_orders.join(orders).join(customer)
+    let lg_order_cust = lg_orders
+        .join(&orders, &["l_orderkey"], &["o_orderkey"])
+        .join(&customer, &["o_custkey"], &["c_custkey"]);
+    // qty_per_cust = lg_order_cust.sum(sum_qty, by=name)
+    let qty_per_cust = lg_order_cust.sum("sum_qty", &["c_name"], "qty");
+    // top_cust = qty_per_cust.sort(sum_qty, desc=True).limit(5)
+    let top_cust = qty_per_cust.sort(&["qty"], &[true]).limit(5);
+
+    println!("== top customers by large-order quantity (final) ==");
+    println!("{}", top_cust.get_final().unwrap().pretty(5));
+
+    // Deep OLA with order statistics: the distribution of per-order
+    // quantities, live. Watch the median and p95 converge.
+    let dist = order_qty.agg(
+        &[],
+        vec![
+            AggSpec::median(col("sum_qty"), "median_qty"),
+            AggSpec::quantile(col("sum_qty"), 0.95, "p95_qty"),
+            AggSpec::max(col("sum_qty"), "max_qty"),
+        ],
+    );
+    println!("== per-order quantity distribution, estimate by estimate ==");
+    println!("{:>9} {:>12} {:>10} {:>9}", "progress", "median", "p95", "max");
+    for est in dist.collect().unwrap() {
+        if est.frame.num_rows() == 0 {
+            continue;
+        }
+        println!(
+            "{:>8.0}% {:>12} {:>10} {:>9}{}",
+            est.t * 100.0,
+            est.frame.value(0, "median_qty").unwrap(),
+            est.frame.value(0, "p95_qty").unwrap(),
+            est.frame.value(0, "max_qty").unwrap(),
+            if est.is_final { "  <- exact" } else { "" }
+        );
+    }
+}

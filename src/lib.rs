@@ -1,0 +1,64 @@
+//! # Wake — Deep Online Aggregation
+//!
+//! Facade crate re-exporting the full Wake workspace: an implementation of
+//! *"A Step Toward Deep Online Aggregation"* (SIGMOD 2023). Wake evaluates
+//! cascades of map / filter / join / agg operations in an online fashion:
+//! every operator emits a stream of **evolving data frames (edf)** whose
+//! estimates converge to the exact answer once all input is processed.
+//!
+//! ```
+//! use wake::prelude::*;
+//!
+//! // Tiny base table: (orderkey, qty), clustered on orderkey.
+//! let schema = std::sync::Arc::new(Schema::new(vec![
+//!     Field::new("orderkey", DataType::Int64),
+//!     Field::new("qty", DataType::Float64),
+//! ]));
+//! let frame = DataFrame::new(
+//!     schema,
+//!     vec![
+//!         Column::from_i64(vec![1, 1, 2, 2, 3, 3]),
+//!         Column::from_f64(vec![10., 5., 7., 1., 2., 2.]),
+//!     ],
+//! )
+//! .unwrap();
+//! let source = MemorySource::from_frame(
+//!     "lineitem", &frame, 2, vec!["orderkey".into()],
+//!     Some(vec!["orderkey".into()]),
+//! )
+//! .unwrap();
+//!
+//! // Deep OLA: sum per order, then average of those sums.
+//! let mut q = QueryGraph::new();
+//! let li = q.read(source);
+//! let per_order = q.agg(li, vec!["orderkey"], vec![AggSpec::sum(col("qty"), "sum_qty")]);
+//! let avg = q.agg(per_order, vec![], vec![AggSpec::avg(col("sum_qty"), "avg_order")]);
+//! q.sink(avg);
+//!
+//! let estimates = SteppedExecutor::new(q).unwrap().run_collect().unwrap();
+//! let last = estimates.last().unwrap();
+//! assert!(last.is_final);
+//! let v = last.frame.value(0, "avg_order").unwrap().as_f64().unwrap();
+//! assert!((v - 9.0).abs() < 1e-9); // (15 + 8 + 4) / 3
+//! ```
+
+pub mod session;
+
+pub use wake_baseline as baseline;
+pub use wake_core as core;
+pub use wake_data as data;
+pub use wake_engine as engine;
+pub use wake_expr as expr;
+pub use wake_stats as stats;
+pub use wake_tpch as tpch;
+
+/// Convenience glob import for examples and quick scripts.
+pub mod prelude {
+    pub use wake_core::agg::AggSpec;
+    pub use wake_core::graph::{NodeId, QueryGraph};
+    pub use wake_data::{
+        Column, DataFrame, DataType, Field, MemorySource, Row, Schema, TableSource, Value,
+    };
+    pub use wake_engine::{Estimate, SteppedExecutor, ThreadedExecutor};
+    pub use wake_expr::{col, lit, Expr};
+}

@@ -1,0 +1,304 @@
+//! The pandas-like session API from the paper's §1 listing.
+//!
+//! [`Session`] owns a growing query graph; each [`Edf`] handle is a node in
+//! it. Methods mirror the paper's data-analysis session:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wake::session::Session;
+//! use wake::prelude::*;
+//!
+//! // lineitem-like toy table.
+//! let schema = Arc::new(Schema::new(vec![
+//!     Field::new("orderkey", DataType::Int64),
+//!     Field::new("qty", DataType::Float64),
+//! ]));
+//! let frame = DataFrame::new(
+//!     schema,
+//!     vec![
+//!         Column::from_i64(vec![1, 1, 2, 3, 3, 3]),
+//!         Column::from_f64(vec![200.0, 150.0, 10.0, 120.0, 140.0, 80.0]),
+//!     ],
+//! )
+//! .unwrap();
+//! let source = MemorySource::from_frame(
+//!     "lineitem", &frame, 2, vec!["orderkey".into()], Some(vec!["orderkey".into()]),
+//! )
+//! .unwrap();
+//!
+//! let mut s = Session::new();
+//! let lineitem = s.read(source);
+//! let order_qty = lineitem.sum("qty", &["orderkey"], "sum_qty");
+//! let lg_orders = order_qty.filter(col("sum_qty").gt(lit(300.0)));
+//! let top = lg_orders.sort(&["sum_qty"], &[true]).limit(10);
+//!
+//! let estimates = top.collect().unwrap();
+//! let last = &estimates.last().unwrap().frame;
+//! assert_eq!(last.num_rows(), 2); // orders 1 (350) and 3 (340)
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use wake_core::agg::AggSpec;
+use wake_core::graph::{JoinKind, NodeId, QueryGraph};
+use wake_data::{DataFrame, TableSource};
+use wake_engine::{EstimateSeries, SteppedExecutor, ThreadedExecutor};
+use wake_expr::{col, Expr};
+
+type Result<T> = std::result::Result<T, wake_data::DataError>;
+
+/// An interactive query-building session (the paper's Query Service from a
+/// user's point of view).
+#[derive(Default)]
+pub struct Session {
+    graph: Rc<RefCell<QueryGraph>>,
+}
+
+impl Session {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a base table and get its edf handle (`read_csv` in §1).
+    pub fn read(&mut self, source: impl TableSource + 'static) -> Edf {
+        let node = self.graph.borrow_mut().read(source);
+        Edf { graph: self.graph.clone(), node }
+    }
+}
+
+/// A handle to one evolving data frame inside a session.
+#[derive(Clone)]
+pub struct Edf {
+    graph: Rc<RefCell<QueryGraph>>,
+    node: NodeId,
+}
+
+impl Edf {
+    fn wrap(&self, node: NodeId) -> Edf {
+        Edf { graph: self.graph.clone(), node }
+    }
+
+    /// The underlying graph node (for mixing with the low-level API).
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// `edf.filter(predicate)` (§3.2).
+    pub fn filter(&self, predicate: Expr) -> Edf {
+        let node = self.graph.borrow_mut().filter(self.node, predicate);
+        self.wrap(node)
+    }
+
+    /// `edf.map(...)`: projection with named expressions (§3.2).
+    pub fn map(&self, exprs: Vec<(Expr, &str)>) -> Edf {
+        let node = self.graph.borrow_mut().map(self.node, exprs);
+        self.wrap(node)
+    }
+
+    /// Keep only the named columns.
+    pub fn select(&self, names: &[&str]) -> Edf {
+        self.map(names.iter().map(|n| (col(n), *n)).collect())
+    }
+
+    /// Inner join (§3.2).
+    pub fn join(&self, right: &Edf, left_on: &[&str], right_on: &[&str]) -> Edf {
+        self.join_kind(right, left_on, right_on, JoinKind::Inner)
+    }
+
+    /// Left outer join.
+    pub fn left_join(&self, right: &Edf, left_on: &[&str], right_on: &[&str]) -> Edf {
+        self.join_kind(right, left_on, right_on, JoinKind::Left)
+    }
+
+    /// Semi join (`EXISTS`).
+    pub fn semi_join(&self, right: &Edf, left_on: &[&str], right_on: &[&str]) -> Edf {
+        self.join_kind(right, left_on, right_on, JoinKind::Semi)
+    }
+
+    /// Anti join (`NOT EXISTS`).
+    pub fn anti_join(&self, right: &Edf, left_on: &[&str], right_on: &[&str]) -> Edf {
+        self.join_kind(right, left_on, right_on, JoinKind::Anti)
+    }
+
+    fn join_kind(&self, right: &Edf, left_on: &[&str], right_on: &[&str], kind: JoinKind) -> Edf {
+        assert!(
+            Rc::ptr_eq(&self.graph, &right.graph),
+            "edfs must belong to the same session"
+        );
+        let node = self.graph.borrow_mut().join_kind(
+            self.node,
+            right.node,
+            left_on.to_vec(),
+            right_on.to_vec(),
+            kind,
+        );
+        self.wrap(node)
+    }
+
+    /// General aggregation with explicit specs.
+    pub fn agg(&self, by: &[&str], specs: Vec<AggSpec>) -> Edf {
+        let node = self.graph.borrow_mut().agg(self.node, by.to_vec(), specs);
+        self.wrap(node)
+    }
+
+    /// `edf.sum(col, by=...)` — the §1 shorthand.
+    pub fn sum(&self, column: &str, by: &[&str], alias: &str) -> Edf {
+        self.agg(by, vec![AggSpec::sum(col(column), alias)])
+    }
+
+    /// `edf.count(by=...)`.
+    pub fn count(&self, by: &[&str], alias: &str) -> Edf {
+        self.agg(by, vec![AggSpec::count_star(alias)])
+    }
+
+    /// `edf.avg(col, by=...)`.
+    pub fn avg(&self, column: &str, by: &[&str], alias: &str) -> Edf {
+        self.agg(by, vec![AggSpec::avg(col(column), alias)])
+    }
+
+    /// `edf.min(col, by=...)` / `edf.max(col, by=...)`.
+    pub fn min(&self, column: &str, by: &[&str], alias: &str) -> Edf {
+        self.agg(by, vec![AggSpec::min(col(column), alias)])
+    }
+
+    pub fn max(&self, column: &str, by: &[&str], alias: &str) -> Edf {
+        self.agg(by, vec![AggSpec::max(col(column), alias)])
+    }
+
+    /// `edf.sort(keys, desc)` (§1 line 9); Case-3 snapshot operator.
+    pub fn sort(&self, by: &[&str], descending: &[bool]) -> Edf {
+        let node =
+            self.graph
+                .borrow_mut()
+                .sort(self.node, by.to_vec(), descending.to_vec(), None);
+        self.wrap(node)
+    }
+
+    /// `edf.limit(n)`.
+    pub fn limit(&self, n: usize) -> Edf {
+        let node = self.graph.borrow_mut().limit(self.node, n);
+        self.wrap(node)
+    }
+
+    /// Snapshot of the graph with this edf as sink.
+    pub fn to_graph(&self) -> QueryGraph {
+        let mut g = self.graph.borrow().clone();
+        g.sink(self.node);
+        g
+    }
+
+    /// Run on the deterministic stepper, returning the estimate stream
+    /// (the OLA interface: a series of converging states, §3.1).
+    pub fn collect(&self) -> Result<EstimateSeries> {
+        SteppedExecutor::new(self.to_graph())?.run_collect()
+    }
+
+    /// Run on the pipelined multi-threaded engine (§7.2).
+    pub fn collect_threaded(&self) -> Result<EstimateSeries> {
+        ThreadedExecutor::new(self.to_graph()).run_collect()
+    }
+
+    /// `edf.get_final()` (§3.1): block until the exact answer.
+    pub fn get_final(&self) -> Result<std::sync::Arc<DataFrame>> {
+        SteppedExecutor::new(self.to_graph())?.run_final()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wake_data::{Column, DataType, Field, MemorySource, Schema, Value};
+    use wake_expr::lit_f64;
+
+    fn source() -> MemorySource {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]));
+        let frame = DataFrame::new(
+            schema,
+            vec![
+                Column::from_i64((0..40).map(|i| i % 4).collect()),
+                Column::from_f64((0..40).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        MemorySource::from_frame("t", &frame, 10, vec![], None).unwrap()
+    }
+
+    #[test]
+    fn fluent_deep_query_runs() {
+        let mut s = Session::new();
+        let t = s.read(source());
+        let per_k = t.sum("v", &["k"], "sv");
+        let big = per_k.filter(col("sv").gt(lit_f64(100.0)));
+        let out = big.avg("sv", &[], "avg_big");
+        let series = out.collect().unwrap();
+        assert!(series.last().unwrap().is_final);
+        // Group sums: k=0:180, k=1:190, k=2:200, k=3:210 -> all > 100.
+        let avg = series
+            .last()
+            .unwrap()
+            .frame
+            .value(0, "avg_big")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((avg - 195.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reusing_an_edf_fans_out() {
+        let mut s = Session::new();
+        let t = s.read(source());
+        let sums = t.sum("v", &["k"], "sv");
+        // Two independent consumers of the same OLA output.
+        let top = sums.sort(&["sv"], &[true]).limit(1);
+        let stats = sums.avg("sv", &[], "m");
+        let a = top.get_final().unwrap();
+        let b = stats.get_final().unwrap();
+        assert_eq!(a.value(0, "k").unwrap(), Value::Int(3));
+        assert_eq!(b.value(0, "m").unwrap(), Value::Float(195.0));
+    }
+
+    #[test]
+    fn select_and_joins() {
+        let mut s = Session::new();
+        let t = s.read(source());
+        let l = t.select(&["k", "v"]);
+        let sums = t.sum("v", &["k"], "sv");
+        let joined = l.join(&sums, &["k"], &["k"]);
+        let f = joined.get_final().unwrap();
+        assert_eq!(f.num_rows(), 40);
+        assert!(f.schema().contains("sv"));
+        // Semi/anti shapes.
+        let some = sums.filter(col("sv").gt(lit_f64(195.0)));
+        let semi = l.semi_join(&some, &["k"], &["k"]).get_final().unwrap();
+        let anti = l.anti_join(&some, &["k"], &["k"]).get_final().unwrap();
+        assert_eq!(semi.num_rows() + anti.num_rows(), 40);
+    }
+
+    #[test]
+    fn threaded_collect_agrees() {
+        let mut s = Session::new();
+        let t = s.read(source());
+        let q = t.count(&["k"], "n").sort(&["k"], &[false]);
+        let a = q.collect().unwrap();
+        let b = q.collect_threaded().unwrap();
+        assert_eq!(
+            a.last().unwrap().frame.as_ref(),
+            b.last().unwrap().frame.as_ref()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same session")]
+    fn cross_session_join_panics() {
+        let mut s1 = Session::new();
+        let mut s2 = Session::new();
+        let a = s1.read(source());
+        let b = s2.read(source());
+        a.join(&b, &["k"], &["k"]);
+    }
+}

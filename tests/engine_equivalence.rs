@@ -1,0 +1,73 @@
+//! The pipelined multi-threaded engine (§7.2) must agree with the
+//! deterministic stepper on the final (exact) state of every TPC-H query,
+//! and estimate streams must be well-formed under concurrency.
+
+use std::sync::Arc;
+use wake::core::metrics;
+use wake::engine::{SteppedExecutor, ThreadedExecutor};
+use wake::tpch::{all_queries, TpchData, TpchDb};
+use wake_engine::SeriesExt;
+
+#[test]
+fn threaded_and_stepped_agree_on_all_queries() {
+    let data = Arc::new(TpchData::generate(0.002, 42));
+    let db = TpchDb::new(data, 6);
+    for spec in all_queries() {
+        let stepped = SteppedExecutor::new((spec.build)(&db))
+            .unwrap()
+            .run_collect()
+            .unwrap();
+        let threaded = ThreadedExecutor::new((spec.build)(&db)).run_collect().unwrap();
+        let sf = stepped.final_frame();
+        let tf = threaded.final_frame();
+        assert_eq!(
+            sf.num_rows(),
+            tf.num_rows(),
+            "{}: stepped {} rows vs threaded {} rows",
+            spec.name,
+            sf.num_rows(),
+            tf.num_rows()
+        );
+        if sf.num_rows() == 0 {
+            continue;
+        }
+        let r = metrics::compare(tf, sf, spec.keys, spec.values).unwrap();
+        assert!(
+            r.recall > 0.999 && r.precision > 0.999 && r.mape < 1e-6,
+            "{}: {r:?}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn threaded_estimate_streams_are_well_formed() {
+    let data = Arc::new(TpchData::generate(0.002, 9));
+    let db = TpchDb::new(data, 8);
+    for name in ["q1", "q3", "q6", "q13", "q18"] {
+        let spec = wake::tpch::query_by_name(name).unwrap();
+        let series = ThreadedExecutor::new((spec.build)(&db)).run_collect().unwrap();
+        assert!(!series.is_empty(), "{name}");
+        assert!(series.last().unwrap().is_final, "{name}");
+        assert!(
+            series.windows(2).all(|w| w[0].elapsed <= w[1].elapsed),
+            "{name}: timestamps must be monotone"
+        );
+        assert!(
+            series.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
+            "{name}: sequence numbers must be dense"
+        );
+    }
+}
+
+#[test]
+fn threaded_runs_are_reproducible_in_value() {
+    // Thread scheduling may change the estimate cadence but never the
+    // final answer.
+    let data = Arc::new(TpchData::generate(0.002, 3));
+    let db = TpchDb::new(data, 8);
+    let spec = wake::tpch::query_by_name("q5").unwrap();
+    let a = ThreadedExecutor::new((spec.build)(&db)).run_collect().unwrap();
+    let b = ThreadedExecutor::new((spec.build)(&db)).run_collect().unwrap();
+    assert_eq!(a.final_frame().as_ref(), b.final_frame().as_ref());
+}
