@@ -41,7 +41,11 @@ fn bench_estimators(c: &mut Criterion) {
     for i in 0..1000 {
         st.observe(&Value::Float((i % 37) as f64), None);
     }
-    let ctx = ScaleContext { scale: 2.5, t: 0.4, w_variance: 0.003 };
+    let ctx = ScaleContext {
+        scale: 2.5,
+        t: 0.4,
+        w_variance: 0.003,
+    };
     c.bench_function("estimators/finalize_sum_with_variance", |b| {
         b.iter(|| black_box(st.finalize(1000.0, &ctx)))
     });
@@ -74,5 +78,10 @@ fn bench_state_merge(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_growth_fit, bench_estimators, bench_state_merge);
+criterion_group!(
+    benches,
+    bench_growth_fit,
+    bench_estimators,
+    bench_state_merge
+);
 criterion_main!(benches);

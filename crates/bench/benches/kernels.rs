@@ -1,10 +1,15 @@
 //! Criterion micro-benchmarks for the data-frame kernels that dominate
 //! Wake's per-partition cost: filter masks, gathers, sorts, expression
-//! evaluation, and CSV decode.
+//! evaluation, CSV decode — and the hash-key kernels behind join and
+//! group-by, benchmarked against the per-row `Row`-materialisation
+//! strategy they replaced.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
 use std::sync::Arc;
-use wake_data::{Column, DataFrame, DataType, Field, Schema};
+use wake_core::ops::key_index::{GroupIndex, KeyIndex};
+use wake_data::hash::{hash_keys, keys_equal, KeyStore};
+use wake_data::{Column, DataFrame, DataType, Field, Row, Schema};
 use wake_expr::{col, eval, eval_mask, lit_f64};
 
 fn frame(n: usize) -> DataFrame {
@@ -55,7 +60,9 @@ fn bench_expressions(c: &mut Criterion) {
     group.bench_function("arith_fast_path", |b| {
         b.iter(|| black_box(eval(&arith, &df).unwrap()))
     });
-    let pred = col("v").gt(lit_f64(100.0)).and(col("k").lt(wake_expr::lit_i64(50)));
+    let pred = col("v")
+        .gt(lit_f64(100.0))
+        .and(col("k").lt(wake_expr::lit_i64(50)));
     group.bench_function("predicate_mask", |b| {
         b.iter(|| black_box(eval_mask(&pred, &df).unwrap()))
     });
@@ -76,5 +83,146 @@ fn bench_csv(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kernels, bench_expressions, bench_csv);
+/// Row-hash kernel vs per-row `Row` extraction (the old key path).
+fn bench_hash_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_keys");
+    group.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        let df = frame(n);
+        let keys = [0usize, 2]; // Int64 + Utf8 multi-column key
+        group.bench_with_input(BenchmarkId::new("vectorized", n), &df, |b, df| {
+            b.iter(|| black_box(hash_keys(df, &keys)))
+        });
+        group.bench_with_input(BenchmarkId::new("row_materialize", n), &df, |b, df| {
+            b.iter(|| {
+                let rows: Vec<Row> = (0..df.num_rows()).map(|i| df.key_at(i, &keys)).collect();
+                black_box(rows)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Hash-join build+probe: vectorized hash index vs `HashMap<Row, _>`.
+fn bench_join_build_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_build_probe");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let build_df = frame(n);
+        let probe_df = frame(n);
+        let keys = [0usize];
+        group.bench_with_input(
+            BenchmarkId::new("vectorized", n),
+            &(&build_df, &probe_df),
+            |b, (build_df, probe_df)| {
+                b.iter(|| {
+                    let bh = hash_keys(build_df, &keys);
+                    let mut index = KeyIndex::new();
+                    for ri in 0..build_df.num_rows() {
+                        if !bh.is_null(ri) {
+                            index.insert(bh.hashes[ri], (0, ri as u32), |(_, oi)| {
+                                keys_equal(build_df, ri, &keys, build_df, oi as usize, &keys)
+                            });
+                        }
+                    }
+                    let ph = hash_keys(probe_df, &keys);
+                    let mut matches = 0usize;
+                    for ri in 0..probe_df.num_rows() {
+                        if ph.is_null(ri) {
+                            continue;
+                        }
+                        matches += index
+                            .matches(ph.hashes[ri], |(_, bi)| {
+                                keys_equal(probe_df, ri, &keys, build_df, bi as usize, &keys)
+                            })
+                            .len();
+                    }
+                    black_box(matches)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("row_keyed", n),
+            &(&build_df, &probe_df),
+            |b, (build_df, probe_df)| {
+                b.iter(|| {
+                    let mut index: HashMap<Row, Vec<u32>> = HashMap::new();
+                    for ri in 0..build_df.num_rows() {
+                        let key = build_df.key_at(ri, &keys);
+                        if !key.has_null() {
+                            index.entry(key).or_default().push(ri as u32);
+                        }
+                    }
+                    let mut matches = 0usize;
+                    for ri in 0..probe_df.num_rows() {
+                        let key = probe_df.key_at(ri, &keys);
+                        if !key.has_null() {
+                            if let Some(ms) = index.get(&key) {
+                                matches += ms.len();
+                            }
+                        }
+                    }
+                    black_box(matches)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Group-by accumulation: hash index + typed key store vs `HashMap<Row, _>`.
+fn bench_group_by(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_by");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let df = frame(n);
+        let keys = [0usize, 2]; // 97 × 31 distinct groups
+        let values: Vec<f64> = df.column_at(1).as_f64_slice().unwrap().to_vec();
+        group.bench_with_input(BenchmarkId::new("vectorized", n), &df, |b, df| {
+            b.iter(|| {
+                let kh = hash_keys(df, &keys);
+                let mut index = GroupIndex::new();
+                let mut store = KeyStore::for_types(&[DataType::Int64, DataType::Utf8]);
+                let mut sums: Vec<f64> = Vec::new();
+                for (row, &value) in values.iter().enumerate() {
+                    let h = kh.hashes[row];
+                    let slot = index
+                        .candidates(h)
+                        .iter()
+                        .copied()
+                        .find(|&g| store.eq_row(g, df, &keys, row))
+                        .unwrap_or_else(|| {
+                            let g = store.push_row(df, &keys, row);
+                            index.insert(h, g);
+                            sums.push(0.0);
+                            g
+                        });
+                    sums[slot as usize] += value;
+                }
+                black_box(sums)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("row_keyed", n), &df, |b, df| {
+            b.iter(|| {
+                let mut groups: HashMap<Row, f64> = HashMap::new();
+                for (row, &value) in values.iter().enumerate() {
+                    let key = df.key_at(row, &keys);
+                    *groups.entry(key).or_default() += value;
+                }
+                black_box(groups)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_expressions,
+    bench_csv,
+    bench_hash_keys,
+    bench_join_build_probe,
+    bench_group_by,
+);
 criterion_main!(benches);

@@ -63,11 +63,22 @@ fn main() {
     };
 
     for (label, build, keys) in [
-        ("A: clustered group-by (true w=0)", &build_a as &dyn Fn(Option<f64>) -> QueryGraph, ["l_orderkey"]),
-        ("B: low-cardinality group-by (true w=1)", &build_b, ["l_returnflag"]),
+        (
+            "A: clustered group-by (true w=0)",
+            &build_a as &dyn Fn(Option<f64>) -> QueryGraph,
+            ["l_orderkey"],
+        ),
+        (
+            "B: low-cardinality group-by (true w=1)",
+            &build_b,
+            ["l_returnflag"],
+        ),
     ] {
         println!("-- workload {label} --");
-        println!("{:>8}  {:>12}  {:>12}  {:>12}", "t", "fitted", "w=1 (linear)", "w=0 (none)");
+        println!(
+            "{:>8}  {:>12}  {:>12}  {:>12}",
+            "t", "fitted", "w=1 (linear)", "w=0 (none)"
+        );
         let fitted = error_curve(build(None), &keys, &["sq"]);
         let linear = error_curve(build(Some(1.0)), &keys, &["sq"]);
         let none = error_curve(build(Some(0.0)), &keys, &["sq"]);

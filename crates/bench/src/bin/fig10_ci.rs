@@ -52,17 +52,23 @@ fn main() {
         ],
     );
     let part = db.read(&mut g, "part");
-    let pm = g.map(part, vec![
-        (wake_expr::col("p_partkey"), "p_partkey"),
-        (wake_expr::col("p_type"), "p_type"),
-    ]);
+    let pm = g.map(
+        part,
+        vec![
+            (wake_expr::col("p_partkey"), "p_partkey"),
+            (wake_expr::col("p_type"), "p_type"),
+        ],
+    );
     let j = g.join(lm, pm, vec!["l_partkey"], vec!["p_partkey"]);
     let a = g.agg_with_ci(
         j,
         vec![],
         vec![wake_core::agg::AggSpec::weighted_avg(
             wake_expr::case_when(
-                vec![(wake_expr::col("p_type").like("PROMO%"), wake_expr::lit_f64(100.0))],
+                vec![(
+                    wake_expr::col("p_type").like("PROMO%"),
+                    wake_expr::lit_f64(100.0),
+                )],
                 wake_expr::lit_f64(0.0),
             ),
             wake_expr::col("rev"),
@@ -80,7 +86,10 @@ fn main() {
         .unwrap();
     println!("Fig 10 — Q14 with 95% Chebyshev CIs, shuffled partitions (truth {truth:.4})\n");
     println!("-- 10a: CI convergence --");
-    println!("{:>5}  {:>10}  {:>10}  {:>10}", "#", "estimate", "ci-lower", "ci-upper");
+    println!(
+        "{:>5}  {:>10}  {:>10}  {:>10}",
+        "#", "estimate", "ci-lower", "ci-upper"
+    );
     let mut rel_ranges: Vec<f64> = Vec::new();
     let mut rows_10b: Vec<(usize, f64, f64, f64)> = Vec::new();
     for (i, est) in series.iter().enumerate() {
@@ -111,6 +120,10 @@ fn main() {
     let final_p95 = rows_10b.last().map(|r| r.2).unwrap_or(f64::NAN);
     println!(
         "\nP95 relative CI range at completion: {final_p95:.4} ({})",
-        if final_p95 <= 1.0 { "CIs safely bound the truth, as in the paper" } else { "VIOLATION" }
+        if final_p95 <= 1.0 {
+            "CIs safely bound the truth, as in the paper"
+        } else {
+            "VIOLATION"
+        }
     );
 }

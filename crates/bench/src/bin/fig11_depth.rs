@@ -32,9 +32,10 @@ fn main() {
         };
         let g = synthetic::deep_query(synthetic::source(&frame, partitions), depth);
         let series = SteppedExecutor::new(g).unwrap().run_collect().unwrap();
-        let tenth = series.get(9).map(|e| e.elapsed).unwrap_or_else(|| {
-            series.final_latency().unwrap()
-        });
+        let tenth = series
+            .get(9)
+            .map(|e| e.elapsed)
+            .unwrap_or_else(|| series.final_latency().unwrap());
         println!(
             "{depth:>5}  {:>10}  {:>10}  {:>10}  {:>10}  {:>9}",
             fmt_dur(exact),

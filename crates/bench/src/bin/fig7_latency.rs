@@ -3,9 +3,7 @@
 //! summary medians (first-estimate speedup, final-result slowdown, peak
 //! operator memory).
 
-use wake_bench::{
-    dataset, fmt_bytes, fmt_dur, partitions, run_exact, run_wake, scale_factor,
-};
+use wake_bench::{dataset, fmt_bytes, fmt_dur, partitions, run_exact, run_wake, scale_factor};
 use wake_stats::summary;
 use wake_tpch::{all_queries, TpchDb};
 

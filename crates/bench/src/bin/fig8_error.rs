@@ -22,7 +22,10 @@ fn main() {
         let run = run_wake(&db, &spec);
         let errors = error_series(&run, &spec);
         println!("--- {} (time-series of estimates) ---", spec.name);
-        println!("{:>9}  {:>8}  {:>10}  {:>8}", "elapsed", "t", "MAPE%", "recall%");
+        println!(
+            "{:>9}  {:>8}  {:>10}  {:>8}",
+            "elapsed", "t", "MAPE%", "recall%"
+        );
         for (t, elapsed, report) in &errors {
             println!(
                 "{:>9}  {:>7.1}%  {:>10.4}  {:>8.2}",

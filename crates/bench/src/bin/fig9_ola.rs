@@ -29,12 +29,22 @@ fn rev() -> Expr {
 /// Wake error trajectory for a single-sum query graph.
 fn wake_curve(g: QueryGraph, value_col: &str) -> Vec<(std::time::Duration, f64)> {
     let series = SteppedExecutor::new(g).unwrap().run_collect().unwrap();
-    let truth = series.final_frame().value(0, value_col).unwrap().as_f64().unwrap();
+    let truth = series
+        .final_frame()
+        .value(0, value_col)
+        .unwrap()
+        .as_f64()
+        .unwrap();
     series
         .iter()
         .filter(|e| e.frame.num_rows() > 0)
         .map(|e| {
-            let v = e.frame.value(0, value_col).unwrap().as_f64().unwrap_or(f64::NAN);
+            let v = e
+                .frame
+                .value(0, value_col)
+                .unwrap()
+                .as_f64()
+                .unwrap_or(f64::NAN);
             (e.elapsed, ((v - truth) / truth).abs() * 100.0)
         })
         .collect()
@@ -126,7 +136,10 @@ fn main() {
         let mut g = QueryGraph::new();
         let r = db.read(&mut g, "lineitem");
         let f = g.filter(r, pred);
-        let m = g.map(f, vec![(col("l_extendedprice").mul(col("l_discount")), "r")]);
+        let m = g.map(
+            f,
+            vec![(col("l_extendedprice").mul(col("l_discount")), "r")],
+        );
         let a = g.agg(m, vec![], vec![AggSpec::sum(col("r"), "s")]);
         g.sink(a);
         print_curve("Wake", &wake_curve(g, "s"));
@@ -217,7 +230,12 @@ fn main() {
                 right = right.filter(p).unwrap();
             }
             truth_tab = truth_tab
-                .join(&right, &[step.from_col], &[step.key], wake_baseline::naive::NaiveJoin::Inner)
+                .join(
+                    &right,
+                    &[step.from_col],
+                    &[step.key],
+                    wake_baseline::naive::NaiveJoin::Inner,
+                )
                 .unwrap();
         }
         let truth_tab = truth_tab
@@ -225,7 +243,12 @@ fn main() {
             .unwrap()
             .group_by(&[], &[(NaiveAgg::Sum, col("v"), "s")])
             .unwrap();
-        let truth = truth_tab.frame().value(0, "s").unwrap().as_f64().unwrap_or(0.0);
+        let truth = truth_tab
+            .frame()
+            .value(0, "s")
+            .unwrap()
+            .as_f64()
+            .unwrap_or(0.0);
         if truth == 0.0 {
             println!("  (no qualifying rows at this scale factor; skipping)\n");
             continue;

@@ -28,7 +28,11 @@ fn main() {
     // Wake: deep OLA — avg over per-order sums, online.
     let mut g = QueryGraph::new();
     let li = db.read(&mut g, "lineitem");
-    let inner = g.agg(li, vec!["l_orderkey"], vec![AggSpec::sum(col("l_quantity"), "sq")]);
+    let inner = g.agg(
+        li,
+        vec!["l_orderkey"],
+        vec![AggSpec::sum(col("l_quantity"), "sq")],
+    );
     let filt = g.filter(inner, col("sq").gt(lit_f64(100.0)));
     let outer = g.agg(filt, vec![], vec![AggSpec::avg(col("sq"), "avg_big_order")]);
     g.sink(outer);
@@ -66,7 +70,10 @@ fn main() {
     let wj_series = wj.run(20_000, 5_000).unwrap();
 
     println!("Table 1 — capability matrix (each cell demonstrated above):\n");
-    println!("{:<22} {:>6} {:>12} {:>16}", "system", "OLA?", "deep query?", "exact at end?");
+    println!(
+        "{:<22} {:>6} {:>12} {:>16}",
+        "system", "OLA?", "deep query?", "exact at end?"
+    );
     println!(
         "{:<22} {:>6} {:>12} {:>16}",
         "Wake (this work)",

@@ -11,13 +11,19 @@ use wake_tpch::{QuerySpec, TpchData, TpchDb};
 /// rows — the paper used SF 100 on a 16-vCPU server; shapes, not absolute
 /// numbers, are the reproduction target).
 pub fn scale_factor() -> f64 {
-    std::env::var("WAKE_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(0.01)
+    std::env::var("WAKE_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
 }
 
 /// Partitions the fact table spans (`WAKE_PARTS`, default 24 — the stand-in
 /// for the paper's 512 MB chunking of 100 GB).
 pub fn partitions() -> usize {
-    std::env::var("WAKE_PARTS").ok().and_then(|s| s.parse().ok()).unwrap_or(24)
+    std::env::var("WAKE_PARTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
 }
 
 /// Generate the shared dataset once per process.
@@ -69,8 +75,14 @@ pub fn error_series(run: &WakeRun, spec: &QuerySpec) -> Vec<(f64, Duration, Erro
     run.series
         .iter()
         .map(|est| {
-            let report = metrics::compare(&est.frame, &truth, spec.keys, spec.values)
-                .unwrap_or(ErrorReport { mape: f64::NAN, recall: 0.0, precision: 0.0, cells: 0 });
+            let report = metrics::compare(&est.frame, &truth, spec.keys, spec.values).unwrap_or(
+                ErrorReport {
+                    mape: f64::NAN,
+                    recall: 0.0,
+                    precision: 0.0,
+                    cells: 0,
+                },
+            );
             (est.t, est.elapsed, report)
         })
         .collect()
@@ -78,10 +90,7 @@ pub fn error_series(run: &WakeRun, spec: &QuerySpec) -> Vec<(f64, Duration, Erro
 
 /// Time (since query start) at which MAPE first drops below `pct` percent
 /// **and stays there**; `None` if it never does before the final state.
-pub fn time_to_error_below(
-    errors: &[(f64, Duration, ErrorReport)],
-    pct: f64,
-) -> Option<Duration> {
+pub fn time_to_error_below(errors: &[(f64, Duration, ErrorReport)], pct: f64) -> Option<Duration> {
     let mut candidate: Option<Duration> = None;
     for (_, elapsed, report) in errors {
         if report.mape <= pct && report.recall > 0.0 {
@@ -133,8 +142,18 @@ mod tests {
 
     #[test]
     fn time_to_error_requires_stability() {
-        let ok = ErrorReport { mape: 0.5, recall: 1.0, precision: 1.0, cells: 1 };
-        let bad = ErrorReport { mape: 5.0, recall: 1.0, precision: 1.0, cells: 1 };
+        let ok = ErrorReport {
+            mape: 0.5,
+            recall: 1.0,
+            precision: 1.0,
+            cells: 1,
+        };
+        let bad = ErrorReport {
+            mape: 5.0,
+            recall: 1.0,
+            precision: 1.0,
+            cells: 1,
+        };
         let errs = vec![
             (0.2, Duration::from_millis(1), ok),
             (0.5, Duration::from_millis(2), bad),
@@ -142,7 +161,10 @@ mod tests {
             (1.0, Duration::from_millis(4), ok),
         ];
         // The early dip doesn't count: error went back up.
-        assert_eq!(time_to_error_below(&errs, 1.0), Some(Duration::from_millis(3)));
+        assert_eq!(
+            time_to_error_below(&errs, 1.0),
+            Some(Duration::from_millis(3))
+        );
         assert_eq!(time_to_error_below(&errs, 0.1), None);
     }
 

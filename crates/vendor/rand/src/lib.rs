@@ -1,0 +1,249 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! small API subset it actually uses: `StdRng` (an xoshiro256++ generator
+//! seeded via SplitMix64), `SeedableRng::seed_from_u64`, `Rng::{gen_range,
+//! gen_bool, gen}`, and `seq::SliceRandom::shuffle`. Distributions are only
+//! required to be deterministic per seed and reasonably uniform — the
+//! workspace uses them for synthetic data generation and sampling baselines,
+//! never for golden-value assertions.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        uniform_f64(self) < p
+    }
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Types samplable without an explicit range (`rng.gen::<T>()`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + Sized>(rng: &mut R) -> Self {
+        uniform_f64(rng)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+fn uniform_f64<R: RngCore + Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types uniformly samplable from a half-open or inclusive range.
+///
+/// A single blanket `SampleRange` impl per range shape (mirroring real
+/// rand's structure) keeps integer-literal type inference working: the range
+/// element type unifies directly with `gen_range`'s return type.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample from `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
+    fn sample_between<R: RngCore + Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                assert!(span > 0, "empty gen_range");
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(lo <= hi, "empty gen_range");
+                lo + (hi - lo) * uniform_f64(rng) as $t
+            }
+        }
+    )*};
+}
+
+float_uniform!(f32, f64);
+
+/// Ranges a value of type `T` can be drawn from.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty gen_range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty gen_range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — fast, high-quality, deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 stream expands the seed into the full state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers (subset: Fisher–Yates `shuffle`).
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1_000_000), b.gen_range(0i64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let f = rng.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&f));
+            let i = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_biased_correctly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left slice in order (astronomically unlikely)"
+        );
+    }
+}

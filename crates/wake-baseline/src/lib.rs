@@ -22,6 +22,6 @@ pub mod wanderjoin;
 
 pub use naive::Table;
 pub use progressive::ProgressiveAgg;
-pub use wanderjoin::{WanderJoin, WalkStep};
+pub use wanderjoin::{WalkStep, WanderJoin};
 
 pub type Result<T> = std::result::Result<T, wake_data::DataError>;

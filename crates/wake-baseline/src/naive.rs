@@ -69,7 +69,10 @@ impl Table {
             fields.push(Field::new(*name, dtype));
             cols.push(eval(e, &self.frame)?);
         }
-        Ok(Table::new(DataFrame::new(Arc::new(Schema::new(fields)), cols)?))
+        Ok(Table::new(DataFrame::new(
+            Arc::new(Schema::new(fields)),
+            cols,
+        )?))
     }
 
     /// Build-probe hash join (right side is the build side).
@@ -110,7 +113,11 @@ impl Table {
                 let r_cols = right.frame.num_columns();
                 for i in 0..self.frame.num_rows() {
                     let key = self.frame.key_at(i, &l_idx);
-                    let matches = if key.has_null() { None } else { build.get(&key) };
+                    let matches = if key.has_null() {
+                        None
+                    } else {
+                        build.get(&key)
+                    };
                     match matches {
                         Some(ms) => {
                             for &m in ms {
@@ -133,11 +140,7 @@ impl Table {
     }
 
     /// Single-pass group-by with BTreeMap ordering (deterministic output).
-    pub fn group_by(
-        &self,
-        keys: &[&str],
-        aggs: &[(NaiveAgg, Expr, &str)],
-    ) -> Result<Table> {
+    pub fn group_by(&self, keys: &[&str], aggs: &[(NaiveAgg, Expr, &str)]) -> Result<Table> {
         let key_idx = self.frame.key_indices(keys)?;
         let value_cols: Vec<Column> = aggs
             .iter()
@@ -301,7 +304,9 @@ mod tests {
     #[test]
     fn global_group_by() {
         let tab = t(vec![1, 2], vec![4.0, 6.0]);
-        let gb = tab.group_by(&[], &[(NaiveAgg::Sum, col("v"), "s")]).unwrap();
+        let gb = tab
+            .group_by(&[], &[(NaiveAgg::Sum, col("v"), "s")])
+            .unwrap();
         assert_eq!(gb.num_rows(), 1);
         assert_eq!(gb.frame().value(0, "s").unwrap(), Value::Float(10.0));
     }

@@ -61,7 +61,11 @@ impl ProgressiveAgg<'_> {
             let grouped = merged.group_by(&self.group_keys, &self.aggs)?;
             let t = (seen_rows / total.max(1.0)).clamp(0.0, 1.0);
             let scaled = scale_linear(&grouped, &self.aggs, t)?;
-            out.push(ProgressiveEstimate { frame: scaled, t, elapsed: start.elapsed() });
+            out.push(ProgressiveEstimate {
+                frame: scaled,
+                t,
+                elapsed: start.elapsed(),
+            });
         }
         Ok(out)
     }
@@ -170,8 +174,8 @@ mod tests {
         let series = agg.run().unwrap();
         assert_eq!(series.len(), 10);
         // Uniform data: every linearly-scaled estimate is near-exact.
-        let truth = exact_answer(&src, None, &[], &["g"], &[(NaiveAgg::Sum, col("v"), "s")])
-            .unwrap();
+        let truth =
+            exact_answer(&src, None, &[], &["g"], &[(NaiveAgg::Sum, col("v"), "s")]).unwrap();
         for est in &series {
             for r in 0..est.frame.num_rows() {
                 let e = est.frame.value(r, "s").unwrap().as_f64().unwrap();
@@ -195,7 +199,17 @@ mod tests {
             aggs: vec![(NaiveAgg::Sum, col("v2"), "s")],
         };
         let series = agg.run().unwrap();
-        assert!(series.last().unwrap().frame.value(0, "s").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            series
+                .last()
+                .unwrap()
+                .frame
+                .value(0, "s")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
         assert!((series.last().unwrap().t - 1.0).abs() < 1e-12);
     }
 

@@ -85,7 +85,11 @@ impl WanderJoin {
                     index.entry(v).or_default().push(i);
                 }
             }
-            prepared.push(PreparedStep { from_col: s.from_col, table, index });
+            prepared.push(PreparedStep {
+                from_col: s.from_col,
+                table,
+                index,
+            });
         }
         Ok(WanderJoin {
             start,
@@ -195,8 +199,8 @@ pub struct WanderEstimate {
 
 /// Evaluate an expression against a single-row environment.
 fn eval_scalar(expr: &Expr, env: &HashMap<&str, Value>) -> Result<f64> {
-    use wake_data::{Column, Field, Schema};
     use std::sync::Arc;
+    use wake_data::{Column, Field, Schema};
     // Build a one-row frame containing exactly the referenced columns.
     let cols = expr.referenced_columns();
     let mut fields = Vec::with_capacity(cols.len());
@@ -227,7 +231,10 @@ mod tests {
             .iter()
             .map(|(n, _)| Field::new(*n, DataType::Int64))
             .collect();
-        let cols = names.iter().map(|(_, v)| Column::from_i64(v.clone())).collect();
+        let cols = names
+            .iter()
+            .map(|(_, v)| Column::from_i64(v.clone()))
+            .collect();
         DataFrame::new(Arc::new(Schema::new(fields)), cols).unwrap()
     }
 
@@ -241,7 +248,12 @@ mod tests {
         let mut wj = WanderJoin::new(
             fact,
             None,
-            vec![WalkStep { from_col: "k", table: dim, key: "dk", predicate: None }],
+            vec![WalkStep {
+                from_col: "k",
+                table: dim,
+                key: "dk",
+                predicate: None,
+            }],
             None,
             col("v").mul(col("w")),
             7,
@@ -257,18 +269,24 @@ mod tests {
 
     #[test]
     fn error_shrinks_with_samples_but_not_to_zero() {
-        let fact = table(&[("k", (0..200).map(|i| i % 10).collect()), (
-            "v",
-            (0..200).map(|i| i % 13).collect(),
-        )]);
-        let dim = table(&[("dk", (0..10).collect()), ("w", (0..10).map(|i| i + 1).collect())]);
-        let exact: f64 = (0..200)
-            .map(|i| ((i % 13) * ((i % 10) + 1)) as f64)
-            .sum();
+        let fact = table(&[
+            ("k", (0..200).map(|i| i % 10).collect()),
+            ("v", (0..200).map(|i| i % 13).collect()),
+        ]);
+        let dim = table(&[
+            ("dk", (0..10).collect()),
+            ("w", (0..10).map(|i| i + 1).collect()),
+        ]);
+        let exact: f64 = (0..200).map(|i| ((i % 13) * ((i % 10) + 1)) as f64).sum();
         let mut wj = WanderJoin::new(
             fact,
             None,
-            vec![WalkStep { from_col: "k", table: dim, key: "dk", predicate: None }],
+            vec![WalkStep {
+                from_col: "k",
+                table: dim,
+                key: "dk",
+                predicate: None,
+            }],
             None,
             col("v").mul(col("w")),
             42,
@@ -290,7 +308,12 @@ mod tests {
         let mut wj = WanderJoin::new(
             fact,
             None,
-            vec![WalkStep { from_col: "k", table: dim, key: "dk", predicate: None }],
+            vec![WalkStep {
+                from_col: "k",
+                table: dim,
+                key: "dk",
+                predicate: None,
+            }],
             None,
             col("v").mul(col("w")),
             5,
@@ -334,7 +357,12 @@ mod tests {
         assert!(WanderJoin::new(
             fact,
             None,
-            vec![WalkStep { from_col: "k", table: dim, key: "dk", predicate: None }],
+            vec![WalkStep {
+                from_col: "k",
+                table: dim,
+                key: "dk",
+                predicate: None
+            }],
             None,
             col("v"),
             1

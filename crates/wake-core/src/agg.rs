@@ -51,19 +51,43 @@ pub struct AggSpec {
 
 impl AggSpec {
     pub fn count_star(alias: &str) -> Self {
-        AggSpec { func: AggFunc::CountStar, expr: lit_i64(1), weight: None, quantile: None, alias: alias.into() }
+        AggSpec {
+            func: AggFunc::CountStar,
+            expr: lit_i64(1),
+            weight: None,
+            quantile: None,
+            alias: alias.into(),
+        }
     }
 
     pub fn count(expr: Expr, alias: &str) -> Self {
-        AggSpec { func: AggFunc::Count, expr, weight: None, quantile: None, alias: alias.into() }
+        AggSpec {
+            func: AggFunc::Count,
+            expr,
+            weight: None,
+            quantile: None,
+            alias: alias.into(),
+        }
     }
 
     pub fn sum(expr: Expr, alias: &str) -> Self {
-        AggSpec { func: AggFunc::Sum, expr, weight: None, quantile: None, alias: alias.into() }
+        AggSpec {
+            func: AggFunc::Sum,
+            expr,
+            weight: None,
+            quantile: None,
+            alias: alias.into(),
+        }
     }
 
     pub fn avg(expr: Expr, alias: &str) -> Self {
-        AggSpec { func: AggFunc::Avg, expr, weight: None, quantile: None, alias: alias.into() }
+        AggSpec {
+            func: AggFunc::Avg,
+            expr,
+            weight: None,
+            quantile: None,
+            alias: alias.into(),
+        }
     }
 
     pub fn weighted_avg(value: Expr, weight: Expr, alias: &str) -> Self {
@@ -77,28 +101,61 @@ impl AggSpec {
     }
 
     pub fn min(expr: Expr, alias: &str) -> Self {
-        AggSpec { func: AggFunc::Min, expr, weight: None, quantile: None, alias: alias.into() }
+        AggSpec {
+            func: AggFunc::Min,
+            expr,
+            weight: None,
+            quantile: None,
+            alias: alias.into(),
+        }
     }
 
     pub fn max(expr: Expr, alias: &str) -> Self {
-        AggSpec { func: AggFunc::Max, expr, weight: None, quantile: None, alias: alias.into() }
+        AggSpec {
+            func: AggFunc::Max,
+            expr,
+            weight: None,
+            quantile: None,
+            alias: alias.into(),
+        }
     }
 
     pub fn count_distinct(expr: Expr, alias: &str) -> Self {
-        AggSpec { func: AggFunc::CountDistinct, expr, weight: None, quantile: None, alias: alias.into() }
+        AggSpec {
+            func: AggFunc::CountDistinct,
+            expr,
+            weight: None,
+            quantile: None,
+            alias: alias.into(),
+        }
     }
 
     pub fn var(expr: Expr, alias: &str) -> Self {
-        AggSpec { func: AggFunc::Var, expr, weight: None, quantile: None, alias: alias.into() }
+        AggSpec {
+            func: AggFunc::Var,
+            expr,
+            weight: None,
+            quantile: None,
+            alias: alias.into(),
+        }
     }
 
     pub fn stddev(expr: Expr, alias: &str) -> Self {
-        AggSpec { func: AggFunc::Stddev, expr, weight: None, quantile: None, alias: alias.into() }
+        AggSpec {
+            func: AggFunc::Stddev,
+            expr,
+            weight: None,
+            quantile: None,
+            alias: alias.into(),
+        }
     }
 
     /// `q`-th sample quantile, `q` in [0, 1].
     pub fn quantile(expr: Expr, q: f64, alias: &str) -> Self {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         AggSpec {
             func: AggFunc::Quantile,
             expr,
@@ -129,14 +186,32 @@ impl AggSpec {
             AggFunc::CountStar | AggFunc::Count => AggState::Count { n: 0.0 },
             AggFunc::Sum => AggState::Sum { m: Moments::new() },
             AggFunc::Avg => AggState::Avg { m: Moments::new() },
-            AggFunc::WeightedAvg => {
-                AggState::WeightedAvg { m_wv: Moments::new(), m_w: Moments::new() }
-            }
-            AggFunc::Min => AggState::Extreme { best: None, second: None, is_min: true },
-            AggFunc::Max => AggState::Extreme { best: None, second: None, is_min: false },
-            AggFunc::CountDistinct => AggState::Distinct { set: HashSet::new(), n: 0.0 },
-            AggFunc::Var => AggState::Dispersion { m: Moments::new(), stddev: false },
-            AggFunc::Stddev => AggState::Dispersion { m: Moments::new(), stddev: true },
+            AggFunc::WeightedAvg => AggState::WeightedAvg {
+                m_wv: Moments::new(),
+                m_w: Moments::new(),
+            },
+            AggFunc::Min => AggState::Extreme {
+                best: None,
+                second: None,
+                is_min: true,
+            },
+            AggFunc::Max => AggState::Extreme {
+                best: None,
+                second: None,
+                is_min: false,
+            },
+            AggFunc::CountDistinct => AggState::Distinct {
+                set: HashSet::new(),
+                n: 0.0,
+            },
+            AggFunc::Var => AggState::Dispersion {
+                m: Moments::new(),
+                stddev: false,
+            },
+            AggFunc::Stddev => AggState::Dispersion {
+                m: Moments::new(),
+                stddev: true,
+            },
             AggFunc::Quantile => AggState::Sample {
                 values: Vec::new(),
                 q: self.quantile.expect("quantile spec carries q"),
@@ -160,7 +235,11 @@ pub struct ScaleContext {
 impl ScaleContext {
     /// No-scaling context (complete inputs / exact mode).
     pub fn exact() -> Self {
-        ScaleContext { scale: 1.0, t: 1.0, w_variance: 0.0 }
+        ScaleContext {
+            scale: 1.0,
+            t: 1.0,
+            w_variance: 0.0,
+        }
     }
 
     /// `Var(x̂)` for a group with extrapolated cardinality `xhat` (Eq. 10's
@@ -196,7 +275,11 @@ pub enum AggState {
     /// min/max: the current extremum plus runner-up (runner-up feeds a
     /// spacing-based variance heuristic; the paper fits a GEV — we use the
     /// extreme-value spacing as a cheap stand-in and document it).
-    Extreme { best: Option<Value>, second: Option<Value>, is_min: bool },
+    Extreme {
+        best: Option<Value>,
+        second: Option<Value>,
+        is_min: bool,
+    },
     /// count-distinct: the exact value set (paper §2.3 footnote 3: exact
     /// sets, not sketches) plus the non-null observation count.
     Distinct { set: HashSet<Value>, n: f64 },
@@ -231,7 +314,11 @@ impl AggState {
                     m_w.observe(w);
                 }
             }
-            AggState::Extreme { best, second, is_min } => {
+            AggState::Extreme {
+                best,
+                second,
+                is_min,
+            } => {
                 if value.is_null() {
                     return;
                 }
@@ -276,14 +363,22 @@ impl AggState {
             (AggState::Sum { m }, AggState::Sum { m: o })
             | (AggState::Avg { m }, AggState::Avg { m: o })
             | (AggState::Dispersion { m, .. }, AggState::Dispersion { m: o, .. }) => m.merge(o),
-            (
-                AggState::WeightedAvg { m_wv, m_w },
-                AggState::WeightedAvg { m_wv: owv, m_w: ow },
-            ) => {
+            (AggState::WeightedAvg { m_wv, m_w }, AggState::WeightedAvg { m_wv: owv, m_w: ow }) => {
                 m_wv.merge(owv);
                 m_w.merge(ow);
             }
-            (AggState::Extreme { best, second, is_min }, AggState::Extreme { best: ob, second: os, .. }) => {
+            (
+                AggState::Extreme {
+                    best,
+                    second,
+                    is_min,
+                },
+                AggState::Extreme {
+                    best: ob,
+                    second: os,
+                    ..
+                },
+            ) => {
                 let is_min = *is_min;
                 for v in [ob, os].into_iter().flatten() {
                     // Re-observe the other side's extremes.
@@ -293,7 +388,12 @@ impl AggState {
                         is_min,
                     };
                     tmp.observe(v, None);
-                    if let AggState::Extreme { best: nb, second: ns, .. } = tmp {
+                    if let AggState::Extreme {
+                        best: nb,
+                        second: ns,
+                        ..
+                    } = tmp
+                    {
                         *best = nb;
                         *second = ns;
                     }
@@ -334,7 +434,10 @@ impl AggState {
             AggState::Count { n } => {
                 // f_count: scale the raw count by t^{-w} (x̂ = x / t^w).
                 let est = n * ctx.scale;
-                AggOutput { value: Value::Float(est), variance: Some(ctx.cardinality_variance(est)) }
+                AggOutput {
+                    value: Value::Float(est),
+                    variance: Some(ctx.cardinality_variance(est)),
+                }
             }
             AggState::Sum { m } => {
                 // f_sum = (y / x) · x̂ = y · t^{-w}  (Eq. against §5.3).
@@ -348,12 +451,18 @@ impl AggState {
                 } else {
                     Some(0.0)
                 };
-                AggOutput { value: Value::Float(est), variance }
+                AggOutput {
+                    value: Value::Float(est),
+                    variance,
+                }
             }
             AggState::Avg { m } => {
                 // Eq. 5: scaling cancels; the estimator is the identity.
                 if m.count == 0.0 {
-                    return AggOutput { value: Value::Null, variance: None };
+                    return AggOutput {
+                        value: Value::Null,
+                        variance: None,
+                    };
                 }
                 AggOutput {
                     value: Value::Float(m.mean()),
@@ -362,7 +471,10 @@ impl AggState {
             }
             AggState::WeightedAvg { m_wv, m_w } => {
                 if m_w.sum == 0.0 {
-                    return AggOutput { value: Value::Null, variance: None };
+                    return AggOutput {
+                        value: Value::Null,
+                        variance: None,
+                    };
                 }
                 let est = m_wv.sum / m_w.sum;
                 // Eq. 14: relative variances of numerator and denominator.
@@ -378,7 +490,10 @@ impl AggState {
                     0.0
                 };
                 let _ = n;
-                AggOutput { value: Value::Float(est), variance: Some(est * est * (rel_num + rel_den)) }
+                AggOutput {
+                    value: Value::Float(est),
+                    variance: Some(est * est * (rel_num + rel_den)),
+                }
             }
             AggState::Extreme { best, second, .. } => {
                 // f_order: latest extremum (§5.3 "Order Statistics").
@@ -401,13 +516,23 @@ impl AggState {
                 let est = estimate_distinct(y, x, xhat);
                 let var_xhat = ctx.cardinality_variance(xhat);
                 // Var(y) of the seen-distinct count: crude binomial bound.
-                let var_y = if ctx.t < 1.0 { y.max(1.0) * (1.0 - ctx.t) } else { 0.0 };
+                let var_y = if ctx.t < 1.0 {
+                    y.max(1.0) * (1.0 - ctx.t)
+                } else {
+                    0.0
+                };
                 let variance = Some(distinct_variance(var_y, var_xhat, x, xhat, est));
-                AggOutput { value: Value::Float(est), variance }
+                AggOutput {
+                    value: Value::Float(est),
+                    variance,
+                }
             }
             AggState::Sample { values, q } => {
                 if values.is_empty() {
-                    return AggOutput { value: Value::Null, variance: None };
+                    return AggOutput {
+                        value: Value::Null,
+                        variance: None,
+                    };
                 }
                 let mut sorted = values.clone();
                 sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN quantile input"));
@@ -422,11 +547,17 @@ impl AggState {
                 let lo = sorted[rank.saturating_sub(h)];
                 let hi = sorted[(rank + h).min(n - 1)];
                 let half = (hi - lo) / 2.0;
-                AggOutput { value: Value::Float(est), variance: Some(half * half) }
+                AggOutput {
+                    value: Value::Float(est),
+                    variance: Some(half * half),
+                }
             }
             AggState::Dispersion { m, stddev } => {
                 if m.count < 2.0 {
-                    return AggOutput { value: Value::Null, variance: None };
+                    return AggOutput {
+                        value: Value::Null,
+                        variance: None,
+                    };
                 }
                 let s2 = m.sample_variance();
                 let value = if *stddev { s2.sqrt() } else { s2 };
@@ -442,7 +573,10 @@ impl AggState {
                 } else {
                     Some(var_s2)
                 };
-                AggOutput { value: Value::Float(value), variance }
+                AggOutput {
+                    value: Value::Float(value),
+                    variance,
+                }
             }
         }
         .with_group(group_rows)
@@ -474,7 +608,11 @@ mod tests {
         let mut st = spec.new_state();
         obs(&mut st, &[1.0, 2.0, 3.0]);
         // Halfway through a linear scan (w = 1): scale = 2.
-        let ctx = ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.0 };
+        let ctx = ScaleContext {
+            scale: 2.0,
+            t: 0.5,
+            w_variance: 0.0,
+        };
         let out = st.finalize(3.0, &ctx);
         assert_eq!(out.value, Value::Float(12.0));
         // At completion the raw value is exact.
@@ -519,7 +657,14 @@ mod tests {
         let spec = AggSpec::avg(col("x"), "a");
         let mut st = spec.new_state();
         obs(&mut st, &[2.0, 4.0]);
-        let scaled = st.finalize(2.0, &ScaleContext { scale: 4.0, t: 0.25, w_variance: 0.1 });
+        let scaled = st.finalize(
+            2.0,
+            &ScaleContext {
+                scale: 4.0,
+                t: 0.25,
+                w_variance: 0.1,
+            },
+        );
         assert_eq!(scaled.value, Value::Float(3.0));
     }
 
@@ -543,7 +688,11 @@ mod tests {
             st.observe(&Value::Int(i % 10), None);
         }
         // Group expected to double: estimate should be >= seen distinct.
-        let ctx = ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.0 };
+        let ctx = ScaleContext {
+            scale: 2.0,
+            t: 0.5,
+            w_variance: 0.0,
+        };
         let est = st.finalize(50.0, &ctx);
         let v = est.value.as_f64().unwrap();
         assert!((10.0..=100.0).contains(&v));
@@ -557,7 +706,14 @@ mod tests {
         let spec = AggSpec::max(col("x"), "mx");
         let mut st = spec.new_state();
         obs(&mut st, &[3.0, 9.0, 7.0]);
-        let out = st.finalize(3.0, &ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.0 });
+        let out = st.finalize(
+            3.0,
+            &ScaleContext {
+                scale: 2.0,
+                t: 0.5,
+                w_variance: 0.0,
+            },
+        );
         assert_eq!(out.value, Value::Float(9.0));
         // Spacing heuristic: (9 − 7)².
         assert_eq!(out.variance, Some(4.0));
@@ -585,11 +741,19 @@ mod tests {
     fn dispersion_values() {
         let mut st = AggSpec::var(col("x"), "v").new_state();
         obs(&mut st, &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
-        let v = st.finalize(8.0, &ScaleContext::exact()).value.as_f64().unwrap();
+        let v = st
+            .finalize(8.0, &ScaleContext::exact())
+            .value
+            .as_f64()
+            .unwrap();
         assert!((v - 32.0 / 7.0).abs() < 1e-9);
         let mut st = AggSpec::stddev(col("x"), "sd").new_state();
         obs(&mut st, &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
-        let sd = st.finalize(8.0, &ScaleContext::exact()).value.as_f64().unwrap();
+        let sd = st
+            .finalize(8.0, &ScaleContext::exact())
+            .value
+            .as_f64()
+            .unwrap();
         assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-9);
         // Single observation: undefined.
         let mut st = AggSpec::var(col("x"), "v").new_state();
@@ -615,7 +779,14 @@ mod tests {
         let spec = AggSpec::quantile(col("x"), 0.9, "p90");
         let mut st = spec.new_state();
         obs(&mut st, &(1..=10).map(f64::from).collect::<Vec<_>>());
-        let out = st.finalize(10.0, &ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.0 });
+        let out = st.finalize(
+            10.0,
+            &ScaleContext {
+                scale: 2.0,
+                t: 0.5,
+                w_variance: 0.0,
+            },
+        );
         let v = out.value.as_f64().unwrap();
         assert!((9.0..=10.0).contains(&v), "p90 {v}");
         assert!(out.variance.unwrap() >= 0.0);
@@ -629,7 +800,10 @@ mod tests {
         obs(&mut b, &xs[8..]);
         a.merge(&b).unwrap();
         let ctx = ScaleContext::exact();
-        assert_eq!(a.finalize(21.0, &ctx).value, whole.finalize(21.0, &ctx).value);
+        assert_eq!(
+            a.finalize(21.0, &ctx).value,
+            whole.finalize(21.0, &ctx).value
+        );
         // Empty sample -> NULL.
         let st = AggSpec::median(col("x"), "m").new_state();
         assert_eq!(st.finalize(0.0, &ctx).value, Value::Null);
@@ -648,11 +822,25 @@ mod tests {
             st.observe(&Value::Int(1), None);
         }
         let lo = st
-            .finalize(10.0, &ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.01 })
+            .finalize(
+                10.0,
+                &ScaleContext {
+                    scale: 2.0,
+                    t: 0.5,
+                    w_variance: 0.01,
+                },
+            )
             .variance
             .unwrap();
         let hi = st
-            .finalize(10.0, &ScaleContext { scale: 2.0, t: 0.5, w_variance: 0.09 })
+            .finalize(
+                10.0,
+                &ScaleContext {
+                    scale: 2.0,
+                    t: 0.5,
+                    w_variance: 0.09,
+                },
+            )
             .variance
             .unwrap();
         assert!(hi > lo && lo > 0.0);

@@ -8,8 +8,8 @@
 
 use crate::agg::AggSpec;
 use crate::meta::EdfMeta;
-use crate::ops::{AggOp, FilterOp, JoinOp, MapOp, Operator, SortOp};
 pub use crate::ops::join::JoinKind;
+use crate::ops::{AggOp, FilterOp, JoinOp, MapOp, Operator, SortOp};
 use crate::update::UpdateKind;
 use crate::Result;
 use std::sync::Arc;
@@ -30,12 +30,25 @@ pub enum NodeKind {
     /// Selection by predicate.
     Filter { predicate: Expr },
     /// Binary join (inputs: [left, right]).
-    Join { left_on: Vec<String>, right_on: Vec<String>, kind: JoinKind },
+    Join {
+        left_on: Vec<String>,
+        right_on: Vec<String>,
+        kind: JoinKind,
+    },
     /// Group-by aggregation; `with_variance` adds `{alias}__var` columns;
     /// `fixed_growth` pins the growth power (ablation of §5.2's fit).
-    Agg { keys: Vec<String>, specs: Vec<AggSpec>, with_variance: bool, fixed_growth: Option<f64> },
+    Agg {
+        keys: Vec<String>,
+        specs: Vec<AggSpec>,
+        with_variance: bool,
+        fixed_growth: Option<f64>,
+    },
     /// Order-by / limit (Case 3).
-    Sort { by: Vec<String>, descending: Vec<bool>, limit: Option<usize> },
+    Sort {
+        by: Vec<String>,
+        descending: Vec<bool>,
+        limit: Option<usize>,
+    },
 }
 
 impl std::fmt::Debug for NodeKind {
@@ -44,7 +57,11 @@ impl std::fmt::Debug for NodeKind {
             NodeKind::Read { source } => write!(f, "Read({})", source.meta().name),
             NodeKind::Map { exprs } => write!(f, "Map({} exprs)", exprs.len()),
             NodeKind::Filter { predicate } => write!(f, "Filter({predicate})"),
-            NodeKind::Join { left_on, right_on, kind } => {
+            NodeKind::Join {
+                left_on,
+                right_on,
+                kind,
+            } => {
                 write!(f, "Join({kind:?} on {left_on:?}={right_on:?})")
             }
             NodeKind::Agg { keys, specs, .. } => {
@@ -84,7 +101,12 @@ impl QueryGraph {
 
     /// Add a base-table reader.
     pub fn read(&mut self, source: impl TableSource + 'static) -> NodeId {
-        self.push(NodeKind::Read { source: Arc::new(source) }, Vec::new())
+        self.push(
+            NodeKind::Read {
+                source: Arc::new(source),
+            },
+            Vec::new(),
+        )
     }
 
     /// Add a reader from a shared source.
@@ -200,7 +222,11 @@ impl QueryGraph {
     /// First `n` rows in arrival order.
     pub fn limit(&mut self, input: NodeId, n: usize) -> NodeId {
         self.push(
-            NodeKind::Sort { by: Vec::new(), descending: Vec::new(), limit: Some(n) },
+            NodeKind::Sort {
+                by: Vec::new(),
+                descending: Vec::new(),
+                limit: Some(n),
+            },
             vec![input],
         )
     }
@@ -259,8 +285,7 @@ impl QueryGraph {
             let meta = match &node.kind {
                 NodeKind::Read { source } => read_meta(source.as_ref()),
                 _ => {
-                    let inputs: Vec<&EdfMeta> =
-                        node.inputs.iter().map(|i| &metas[i.0]).collect();
+                    let inputs: Vec<&EdfMeta> = node.inputs.iter().map(|i| &metas[i.0]).collect();
                     build_operator(&node.kind, &inputs)?.meta().clone()
                 }
             };
@@ -291,7 +316,9 @@ pub fn build_operator(kind: &NodeKind, inputs: &[&EdfMeta]) -> Result<Box<dyn Op
     };
     Ok(match kind {
         NodeKind::Read { .. } => {
-            return Err(DataError::Invalid("read nodes are driven by the executor".into()))
+            return Err(DataError::Invalid(
+                "read nodes are driven by the executor".into(),
+            ))
         }
         NodeKind::Map { exprs } => {
             need(1)?;
@@ -301,7 +328,11 @@ pub fn build_operator(kind: &NodeKind, inputs: &[&EdfMeta]) -> Result<Box<dyn Op
             need(1)?;
             Box::new(FilterOp::new(inputs[0], predicate.clone())?)
         }
-        NodeKind::Join { left_on, right_on, kind } => {
+        NodeKind::Join {
+            left_on,
+            right_on,
+            kind,
+        } => {
             need(2)?;
             Box::new(JoinOp::new(
                 inputs[0],
@@ -311,14 +342,30 @@ pub fn build_operator(kind: &NodeKind, inputs: &[&EdfMeta]) -> Result<Box<dyn Op
                 *kind,
             )?)
         }
-        NodeKind::Agg { keys, specs, with_variance, fixed_growth } => {
+        NodeKind::Agg {
+            keys,
+            specs,
+            with_variance,
+            fixed_growth,
+        } => {
             need(1)?;
-            Box::new(AggOp::new(inputs[0], keys.clone(), specs.clone(), *with_variance)?
-                .with_fixed_growth(*fixed_growth))
+            Box::new(
+                AggOp::new(inputs[0], keys.clone(), specs.clone(), *with_variance)?
+                    .with_fixed_growth(*fixed_growth),
+            )
         }
-        NodeKind::Sort { by, descending, limit } => {
+        NodeKind::Sort {
+            by,
+            descending,
+            limit,
+        } => {
             need(1)?;
-            Box::new(SortOp::new(inputs[0], by.clone(), descending.clone(), *limit)?)
+            Box::new(SortOp::new(
+                inputs[0],
+                by.clone(),
+                descending.clone(),
+                *limit,
+            )?)
         }
     })
 }
@@ -342,7 +389,10 @@ mod tests {
         ]));
         let df = DataFrame::new(
             schema,
-            vec![Column::from_i64(vec![1, 2, 3]), Column::from_f64(vec![1.0, 2.0, 3.0])],
+            vec![
+                Column::from_i64(vec![1, 2, 3]),
+                Column::from_f64(vec![1.0, 2.0, 3.0]),
+            ],
         )
         .unwrap();
         MemorySource::from_frame("t", &df, 2, vec!["k".into()], Some(vec!["k".into()])).unwrap()
@@ -401,7 +451,10 @@ mod tests {
         let b = g.read(source());
         g.join(a, b, vec!["k"], vec!["k"]);
         let metas = g.resolve_metas().unwrap();
-        assert_eq!(metas[2].schema.names(), vec!["k", "v", "k_right", "v_right"]);
+        assert_eq!(
+            metas[2].schema.names(),
+            vec!["k", "v", "k_right", "v_right"]
+        );
         let _ = Value::Int(0);
     }
 

@@ -37,7 +37,12 @@ impl GrowthModel {
             UpdateKind::Delta => 1.0,
             UpdateKind::Snapshot => 0.0,
         };
-        GrowthModel { ols: StreamingOls::new(), prior_w, fixed_w: None, last_t: 0.0 }
+        GrowthModel {
+            ols: StreamingOls::new(),
+            prior_w,
+            fixed_w: None,
+            last_t: 0.0,
+        }
     }
 
     /// A model pinned to a constant power (no fitting).
@@ -165,8 +170,8 @@ mod tests {
         g.observe(0.25, 20.0); // ignored: regressing t
         assert_eq!(g.observation_count(), 1);
         assert_eq!(g.w(), 1.0); // still prior
-        // Explosive synthetic growth clamps at W_MAX (after the fit has
-        // enough observations to be trusted).
+                                // Explosive synthetic growth clamps at W_MAX (after the fit has
+                                // enough observations to be trusted).
         let mut g = GrowthModel::for_input(UpdateKind::Delta);
         g.observe(0.1, 1.0);
         g.observe(0.5, 1e6);

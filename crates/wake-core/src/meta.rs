@@ -27,7 +27,12 @@ pub struct EdfMeta {
 
 impl EdfMeta {
     pub fn new(schema: Arc<Schema>, primary_key: Vec<String>, kind: UpdateKind) -> Self {
-        EdfMeta { schema, primary_key, clustering_key: None, kind }
+        EdfMeta {
+            schema,
+            primary_key,
+            clustering_key: None,
+            kind,
+        }
     }
 
     pub fn with_clustering(mut self, clustering_key: Option<Vec<String>>) -> Self {

@@ -23,7 +23,12 @@ pub struct ErrorReport {
 impl ErrorReport {
     /// A perfect score (used for empty-truth corner cases).
     pub fn perfect() -> Self {
-        ErrorReport { mape: 0.0, recall: 1.0, precision: 1.0, cells: 0 }
+        ErrorReport {
+            mape: 0.0,
+            recall: 1.0,
+            precision: 1.0,
+            cells: 0,
+        }
     }
 }
 
@@ -39,7 +44,12 @@ pub fn compare(
         return Ok(if estimate.num_rows() == 0 {
             ErrorReport::perfect()
         } else {
-            ErrorReport { mape: 0.0, recall: 1.0, precision: 0.0, cells: 0 }
+            ErrorReport {
+                mape: 0.0,
+                recall: 1.0,
+                precision: 0.0,
+                cells: 0,
+            }
         });
     }
     let t_key = truth.key_indices(key)?;
@@ -70,14 +80,23 @@ pub fn compare(
             cells += 1;
         }
     }
-    let mape = if cells > 0 { abs_pct_sum / cells as f64 } else { 0.0 };
+    let mape = if cells > 0 {
+        abs_pct_sum / cells as f64
+    } else {
+        0.0
+    };
     let recall = matched as f64 / truth.num_rows() as f64;
     let precision = if estimate.num_rows() > 0 {
         matched as f64 / estimate.num_rows() as f64
     } else {
         0.0
     };
-    Ok(ErrorReport { mape, recall, precision, cells })
+    Ok(ErrorReport {
+        mape,
+        recall,
+        precision,
+        cells,
+    })
 }
 
 #[cfg(test)]
@@ -139,11 +158,8 @@ mod tests {
             Field::new("k", DataType::Int64),
             Field::mutable("v", DataType::Float64),
         ]));
-        let est = DataFrame::from_rows(
-            schema.clone(),
-            &[vec![Value::Int(1), Value::Null]],
-        )
-        .unwrap();
+        let est =
+            DataFrame::from_rows(schema.clone(), &[vec![Value::Int(1), Value::Null]]).unwrap();
         let truth = frame(vec![1], vec![10.0]);
         let r = compare(&est, &truth, &["k"], &["v"]).unwrap();
         assert_eq!(r.cells, 0);
@@ -154,7 +170,10 @@ mod tests {
     fn empty_truth_conventions() {
         let empty = frame(vec![], vec![]);
         let est = frame(vec![1], vec![1.0]);
-        assert_eq!(compare(&empty, &empty, &["k"], &["v"]).unwrap(), ErrorReport::perfect());
+        assert_eq!(
+            compare(&empty, &empty, &["k"], &["v"]).unwrap(),
+            ErrorReport::perfect()
+        );
         let r = compare(&est, &empty, &["k"], &["v"]).unwrap();
         assert_eq!(r.precision, 0.0);
     }

@@ -19,14 +19,15 @@ use crate::agg::{AggSpec, AggState, ScaleContext};
 use crate::ci::variance_column;
 use crate::growth::GrowthModel;
 use crate::meta::EdfMeta;
+use crate::ops::key_index::GroupIndex;
 use crate::ops::Operator;
 use crate::progress::Progress;
 use crate::update::{Update, UpdateKind};
 use crate::Result;
-use std::collections::HashMap;
 use std::sync::Arc;
-use wake_data::{Column, DataError, DataFrame, DataType, Field, Row, Schema, Value};
-use wake_expr::{eval, infer_type, Expr};
+use wake_data::hash::{hash_keys, KeyStore};
+use wake_data::{Column, DataError, DataFrame, DataType, Field, Schema, Value};
+use wake_expr::{eval_cow, infer_type, Expr};
 
 struct GroupData {
     states: Vec<AggState>,
@@ -37,8 +38,15 @@ struct GroupData {
 }
 
 /// Group-by aggregation with growth-based inference.
+///
+/// Grouping is hash-keyed without per-row `Row` materialisation: each frame
+/// gets one vectorized [`hash_keys`] pass over the key columns, a
+/// [`GroupIndex`] maps hash → candidate group slots, and candidates are
+/// confirmed against the typed [`KeyStore`] holding each group's key tuple.
 pub struct AggOp {
     keys: Vec<String>,
+    /// Key column positions in the input schema (fixed per edf).
+    key_idx: Vec<usize>,
     specs: Vec<AggSpec>,
     /// Emit `{alias}__var` columns when set (confidence handled by caller).
     with_variance: bool,
@@ -46,7 +54,9 @@ pub struct AggOp {
     input_schema: Arc<Schema>,
     /// For each spec: the input variance column to fold in (CI chaining).
     carried_var_cols: Vec<Option<String>>,
-    groups: HashMap<Row, GroupData>,
+    index: GroupIndex,
+    key_store: KeyStore,
+    groups: Vec<GroupData>,
     growth: GrowthModel,
     progress: Progress,
     emitted_complete: bool,
@@ -61,7 +71,9 @@ impl AggOp {
         with_variance: bool,
     ) -> Result<Self> {
         if specs.is_empty() {
-            return Err(DataError::Invalid("aggregation needs at least one spec".into()));
+            return Err(DataError::Invalid(
+                "aggregation needs at least one spec".into(),
+            ));
         }
         let mut fields = Vec::with_capacity(keys.len() + specs.len());
         for k in &keys {
@@ -110,16 +122,26 @@ impl AggOp {
             growth = GrowthModel::for_input(UpdateKind::Snapshot); // prior w = 0
         }
         let schema = Arc::new(Schema::new(fields));
-        let meta = EdfMeta::new(schema, keys.clone(), UpdateKind::Snapshot)
-            .with_clustering(None);
+        let meta = EdfMeta::new(schema, keys.clone(), UpdateKind::Snapshot).with_clustering(None);
+        let key_idx = keys
+            .iter()
+            .map(|k| input.schema.index_of(k))
+            .collect::<Result<Vec<_>>>()?;
+        let key_types: Vec<DataType> = key_idx
+            .iter()
+            .map(|&c| input.schema.fields()[c].dtype)
+            .collect();
         Ok(AggOp {
             keys,
+            key_idx,
             specs,
             with_variance,
             input_kind: input.kind,
             input_schema: input.schema.clone(),
             carried_var_cols,
-            groups: HashMap::new(),
+            index: GroupIndex::new(),
+            key_store: KeyStore::for_types(&key_types),
+            groups: Vec::new(),
             growth,
             progress: Progress::new(),
             emitted_complete: false,
@@ -132,31 +154,48 @@ impl AggOp {
         if n == 0 {
             return Ok(());
         }
-        let key_idx = frame.key_indices(&self.keys.iter().map(|s| s.as_str()).collect::<Vec<_>>())?;
-        // Evaluate aggregate input expressions once per frame.
-        let value_cols: Vec<Column> = self
+        // Evaluate aggregate input expressions once per frame; bare column
+        // references borrow instead of cloning the payload.
+        let value_cols: Vec<std::borrow::Cow<'_, Column>> = self
             .specs
             .iter()
-            .map(|s| eval(&s.expr, frame))
+            .map(|s| eval_cow(&s.expr, frame))
             .collect::<Result<_>>()?;
-        let weight_cols: Vec<Option<Column>> = self
+        let weight_cols: Vec<Option<std::borrow::Cow<'_, Column>>> = self
             .specs
             .iter()
-            .map(|s| s.weight.as_ref().map(|w| eval(w, frame)).transpose())
+            .map(|s| s.weight.as_ref().map(|w| eval_cow(w, frame)).transpose())
             .collect::<Result<_>>()?;
         let carried_cols: Vec<Option<&Column>> = self
             .carried_var_cols
             .iter()
             .map(|c| c.as_ref().and_then(|name| frame.column(name).ok()))
             .collect();
+        // One vectorized hash pass over the key columns; group lookup per
+        // row is hash → candidate slots → typed key confirmation.
+        let hashes = hash_keys(frame, &self.key_idx);
         for row in 0..n {
-            let key = frame.key_at(row, &key_idx);
-            let specs = &self.specs;
-            let entry = self.groups.entry(key).or_insert_with(|| GroupData {
-                states: specs.iter().map(|s| s.new_state()).collect(),
-                rows: 0.0,
-                carried_var: vec![0.0; specs.len()],
-            });
+            let h = hashes.hashes[row];
+            let slot = self
+                .index
+                .candidates(h)
+                .iter()
+                .copied()
+                .find(|&g| self.key_store.eq_row(g, frame, &self.key_idx, row));
+            let slot = match slot {
+                Some(g) => g,
+                None => {
+                    let g = self.key_store.push_row(frame, &self.key_idx, row);
+                    self.index.insert(h, g);
+                    self.groups.push(GroupData {
+                        states: self.specs.iter().map(|s| s.new_state()).collect(),
+                        rows: 0.0,
+                        carried_var: vec![0.0; self.specs.len()],
+                    });
+                    g
+                }
+            };
+            let entry = &mut self.groups[slot as usize];
             entry.rows += 1.0;
             for (si, state) in entry.states.iter_mut().enumerate() {
                 let v = value_cols[si].value(row);
@@ -184,33 +223,29 @@ impl AggOp {
                 w_variance: self.growth.w_variance(),
             }
         };
-        // Deterministic output order: sort groups by key.
-        let mut keys: Vec<&Row> = self.groups.keys().collect();
-        keys.sort();
-        let ncols = self.meta.schema.len();
-        let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(keys.len()); ncols];
-        for key in keys {
-            let g = &self.groups[key];
-            for (ci, kv) in key.values().iter().enumerate() {
-                cols[ci].push(kv.clone());
-            }
+        // Deterministic output order: sort group slots by key (typed
+        // comparison against the key store; no Value materialisation).
+        let mut order: Vec<u32> = (0..self.key_store.len()).collect();
+        order.sort_by(|&a, &b| self.key_store.cmp_slots(a, b));
+        let nkeys = self.keys.len();
+        let nspecs = self.specs.len();
+        let nagg = self.meta.schema.len() - nkeys;
+        let mut agg_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(order.len()); nagg];
+        for &slot in &order {
+            let g = &self.groups[slot as usize];
             for (si, state) in g.states.iter().enumerate() {
                 let out = state.finalize(g.rows, &ctx);
-                cols[self.keys.len() + si].push(out.value);
+                agg_cols[si].push(out.value);
                 if self.with_variance {
                     let var = out.variance.unwrap_or(0.0) + g.carried_var[si];
-                    cols[self.keys.len() + self.specs.len() + si].push(Value::Float(var));
+                    agg_cols[nspecs + si].push(Value::Float(var));
                 }
             }
         }
-        let columns = self
-            .meta
-            .schema
-            .fields()
-            .iter()
-            .zip(cols)
-            .map(|(f, vals)| Column::from_values(f.dtype, &vals))
-            .collect::<Result<Vec<_>>>()?;
+        let mut columns = self.key_store.to_columns(&order);
+        for (f, vals) in self.meta.schema.fields()[nkeys..].iter().zip(agg_cols) {
+            columns.push(Column::from_values(f.dtype, &vals)?);
+        }
         let frame = DataFrame::new(self.meta.schema.clone(), columns)?;
         if complete {
             self.emitted_complete = true;
@@ -222,7 +257,7 @@ impl AggOp {
         if self.groups.is_empty() {
             return;
         }
-        let total: f64 = self.groups.values().map(|g| g.rows).sum();
+        let total: f64 = self.groups.iter().map(|g| g.rows).sum();
         let avg = total / self.groups.len() as f64;
         self.growth.observe(self.progress.t(), avg);
     }
@@ -237,6 +272,8 @@ impl Operator for AggOp {
             UpdateKind::Snapshot => {
                 // New version: complete refresh of the intrinsic states.
                 self.groups.clear();
+                self.index.clear();
+                self.key_store.clear();
                 self.fold_frame(&update.frame)?;
             }
         }
@@ -260,11 +297,14 @@ impl Operator for AggOp {
     }
 
     fn state_bytes(&self) -> usize {
-        // Coarse: per-group constant plus distinct-set contents.
+        // Coarse: per-group constant plus distinct-set contents, plus the
+        // hash-index and key-store footprints.
         self.groups.len() * 64
+            + self.index.byte_size()
+            + self.key_store.byte_size()
             + self
                 .groups
-                .values()
+                .iter()
                 .flat_map(|g| g.states.iter())
                 .map(|s| match s {
                     AggState::Distinct { set, .. } => set.len() * 24,
@@ -297,7 +337,11 @@ mod tests {
     use wake_expr::col;
 
     fn delta_meta() -> EdfMeta {
-        EdfMeta::new(kv_frame(vec![], vec![]).schema().clone(), vec!["k".into()], UpdateKind::Delta)
+        EdfMeta::new(
+            kv_frame(vec![], vec![]).schema().clone(),
+            vec!["k".into()],
+            UpdateKind::Delta,
+        )
     }
 
     fn clustered_meta() -> EdfMeta {
@@ -319,13 +363,17 @@ mod tests {
         .unwrap();
         // Half the data: raw per-group sums are 10 and 20; at t=0.5 with
         // prior w=1 estimates double.
-        let out = op.on_update(0, &upd(vec![1, 2], vec![10.0, 20.0], 2, 4)).unwrap();
+        let out = op
+            .on_update(0, &upd(vec![1, 2], vec![10.0, 20.0], 2, 4))
+            .unwrap();
         let f = &out[0].frame;
         assert_eq!(out[0].kind, UpdateKind::Snapshot);
         assert_eq!(f.value(0, "s").unwrap(), Value::Float(20.0));
         assert_eq!(f.value(1, "s").unwrap(), Value::Float(40.0));
         // Remaining data arrives: exact, unscaled.
-        let out = op.on_update(0, &upd(vec![1, 2], vec![1.0, 2.0], 4, 4)).unwrap();
+        let out = op
+            .on_update(0, &upd(vec![1, 2], vec![1.0, 2.0], 4, 4))
+            .unwrap();
         let f = &out[0].frame;
         assert_eq!(f.value(0, "s").unwrap(), Value::Float(11.0));
         assert_eq!(f.value(1, "s").unwrap(), Value::Float(22.0));
@@ -342,7 +390,9 @@ mod tests {
         )
         .unwrap();
         // Prior w=0: raw values are already the right estimates.
-        let out = op.on_update(0, &upd(vec![1, 1], vec![3.0, 4.0], 2, 8)).unwrap();
+        let out = op
+            .on_update(0, &upd(vec![1, 1], vec![3.0, 4.0], 2, 8))
+            .unwrap();
         assert_eq!(out[0].frame.value(0, "s").unwrap(), Value::Float(7.0));
     }
 
@@ -353,18 +403,19 @@ mod tests {
             vec!["k".into()],
             UpdateKind::Snapshot,
         );
-        let mut op = AggOp::new(
-            &meta,
-            vec![],
-            vec![AggSpec::sum(col("v"), "total")],
-            false,
-        )
-        .unwrap();
-        let s1 = Update::snapshot(kv_frame(vec![1, 2], vec![10.0, 10.0]), Progress::single(0, 1, 2));
+        let mut op =
+            AggOp::new(&meta, vec![], vec![AggSpec::sum(col("v"), "total")], false).unwrap();
+        let s1 = Update::snapshot(
+            kv_frame(vec![1, 2], vec![10.0, 10.0]),
+            Progress::single(0, 1, 2),
+        );
         let out = op.on_update(0, &s1).unwrap();
         assert_eq!(out[0].frame.value(0, "total").unwrap(), Value::Float(20.0));
         // Refreshed snapshot REPLACES, it does not accumulate.
-        let s2 = Update::snapshot(kv_frame(vec![1, 2], vec![7.0, 8.0]), Progress::single(0, 2, 2));
+        let s2 = Update::snapshot(
+            kv_frame(vec![1, 2], vec![7.0, 8.0]),
+            Progress::single(0, 2, 2),
+        );
         let out = op.on_update(0, &s2).unwrap();
         assert_eq!(out[0].frame.value(0, "total").unwrap(), Value::Float(15.0));
     }
@@ -395,13 +446,8 @@ mod tests {
 
     #[test]
     fn estimates_improve_monotonically_for_uniform_data() {
-        let mut op = AggOp::new(
-            &delta_meta(),
-            vec![],
-            vec![AggSpec::count_star("n")],
-            false,
-        )
-        .unwrap();
+        let mut op =
+            AggOp::new(&delta_meta(), vec![], vec![AggSpec::count_star("n")], false).unwrap();
         let mut errs = Vec::new();
         for p in 1..=5u64 {
             let out = op
@@ -426,7 +472,9 @@ mod tests {
         )
         .unwrap();
         assert!(op.meta().schema.contains("s__var"));
-        let out = op.on_update(0, &upd(vec![1, 1], vec![1.0, 5.0], 2, 4)).unwrap();
+        let out = op
+            .on_update(0, &upd(vec![1, 1], vec![1.0, 5.0], 2, 4))
+            .unwrap();
         let var = out[0].frame.value(0, "s__var").unwrap().as_f64().unwrap();
         assert!(var >= 0.0);
     }
@@ -462,6 +510,36 @@ mod tests {
         .unwrap();
         let out = op.on_update(0, &upd(vec![], vec![], 0, 0)).unwrap();
         assert_eq!(out[0].frame.num_rows(), 0);
+    }
+
+    #[test]
+    fn null_keys_form_one_group_sorted_first() {
+        let mut op = AggOp::new(
+            &delta_meta(),
+            vec!["k".into()],
+            vec![AggSpec::count_star("n")],
+            false,
+        )
+        .unwrap();
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let frame = DataFrame::from_rows(
+            schema,
+            &[
+                vec![Value::Null, Value::Float(1.0)],
+                vec![Value::Int(3), Value::Float(2.0)],
+                vec![Value::Null, Value::Float(3.0)],
+            ],
+        )
+        .unwrap();
+        let out = op
+            .on_update(0, &Update::delta(frame, Progress::single(0, 3, 3)))
+            .unwrap();
+        let f = &out[0].frame;
+        assert_eq!(f.num_rows(), 2, "nulls must coalesce into one group");
+        assert!(f.value(0, "k").unwrap().is_null(), "null group sorts first");
+        assert_eq!(f.value(0, "n").unwrap(), Value::Float(2.0));
+        assert_eq!(f.value(1, "k").unwrap(), Value::Int(3));
+        assert_eq!(f.value(1, "n").unwrap(), Value::Float(1.0));
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl FilterOp {
             });
         }
         // Schema, keys, clustering, and stream kind all pass through.
-        Ok(FilterOp { predicate, meta: input.clone() })
+        Ok(FilterOp {
+            predicate,
+            meta: input.clone(),
+        })
     }
 }
 
@@ -64,14 +67,21 @@ mod tests {
     use wake_expr::{col, lit_f64};
 
     fn meta(kind: UpdateKind) -> EdfMeta {
-        EdfMeta::new(kv_frame(vec![], vec![]).schema().clone(), vec!["k".into()], kind)
+        EdfMeta::new(
+            kv_frame(vec![], vec![]).schema().clone(),
+            vec!["k".into()],
+            kind,
+        )
     }
 
     #[test]
     fn filters_deltas() {
         let mut op = FilterOp::new(&meta(UpdateKind::Delta), col("v").gt(lit_f64(1.0))).unwrap();
         let out = op
-            .on_update(0, &delta(kv_frame(vec![1, 2, 3], vec![0.5, 1.5, 2.5]), 3, 3))
+            .on_update(
+                0,
+                &delta(kv_frame(vec![1, 2, 3], vec![0.5, 1.5, 2.5]), 3, 3),
+            )
             .unwrap();
         assert_eq!(out[0].frame.num_rows(), 2);
         assert_eq!(out[0].frame.value(0, "k").unwrap(), Value::Int(2));
@@ -89,8 +99,7 @@ mod tests {
 
     #[test]
     fn snapshot_refiltered_in_full() {
-        let mut op =
-            FilterOp::new(&meta(UpdateKind::Snapshot), col("v").gt(lit_f64(1.0))).unwrap();
+        let mut op = FilterOp::new(&meta(UpdateKind::Snapshot), col("v").gt(lit_f64(1.0))).unwrap();
         // First snapshot: both rows above threshold.
         let out = op
             .on_update(0, &snapshot(kv_frame(vec![1, 2], vec![2.0, 3.0]), 1, 2))

@@ -16,15 +16,27 @@
 //! Inner, left, semi, and anti joins are supported; semi/anti give the
 //! relational decomposition of `EXISTS` / `NOT EXISTS` sub-queries (TPC-H
 //! Q4, Q21, Q22). SQL null semantics: null keys never match.
+//!
+//! ## Hot path
+//!
+//! Keys are never materialised as `Row`s. Each arriving frame gets one
+//! vectorized [`hash_keys`] pass over its key columns (a `Vec<u64>` of row
+//! hashes plus a null mask); the per-side [`KeyIndex`] maps hash →
+//! candidate rows and candidates are confirmed by typed column comparison
+//! ([`keys_equal`]), so hash collisions cannot produce false matches.
+//! Output frames are assembled with typed columnar gathers over the
+//! buffered frames — the only per-cell `Value` dispatch left in this
+//! operator is in error paths.
 
 use crate::meta::EdfMeta;
+use crate::ops::key_index::KeyIndex;
 use crate::ops::{Operator, RowRef, RowStore};
 use crate::progress::Progress;
 use crate::update::{Update, UpdateKind};
 use crate::Result;
-use std::collections::HashMap;
 use std::sync::Arc;
-use wake_data::{Column, DataError, DataFrame, Row, Schema, Value};
+use wake_data::hash::{hash_keys, keys_equal, KeyHashes};
+use wake_data::{DataError, DataFrame, Schema};
 
 /// Join flavours.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,8 +65,10 @@ pub struct JoinOp {
     right_kind: UpdateKind,
     left: RowStore,
     right: RowStore,
-    left_index: HashMap<Row, Vec<RowRef>>,
-    right_index: HashMap<Row, Vec<RowRef>>,
+    left_index: KeyIndex,
+    right_index: KeyIndex,
+    /// Streaming only: per-left-frame key hashes (aligned with `left`).
+    left_hashes: Vec<KeyHashes>,
     /// Streaming only: per-left-frame matched flags (Left/Semi/Anti).
     matched: Vec<Vec<bool>>,
     left_eof: bool,
@@ -89,8 +103,8 @@ impl JoinOp {
             .collect::<Result<Vec<_>>>()?;
         for (l, r) in left_idx.iter().zip(&right_idx) {
             let (lf, rf) = (&left.schema.fields()[*l], &right.schema.fields()[*r]);
-            let compatible = lf.dtype == rf.dtype
-                || (lf.dtype.is_numeric() && rf.dtype.is_numeric());
+            let compatible =
+                lf.dtype == rf.dtype || (lf.dtype.is_numeric() && rf.dtype.is_numeric());
             if !compatible {
                 return Err(DataError::TypeMismatch {
                     expected: format!("join key {} : {}", lf.name, lf.dtype),
@@ -102,23 +116,31 @@ impl JoinOp {
             JoinKind::Inner | JoinKind::Left => Arc::new(left.schema.join(&right.schema)),
             JoinKind::Semi | JoinKind::Anti => left.schema.clone(),
         };
-        let streaming =
-            left.kind == UpdateKind::Delta && right.kind == UpdateKind::Delta;
-        let out_kind = if streaming { UpdateKind::Delta } else { UpdateKind::Snapshot };
+        let streaming = left.kind == UpdateKind::Delta && right.kind == UpdateKind::Delta;
+        let out_kind = if streaming {
+            UpdateKind::Delta
+        } else {
+            UpdateKind::Snapshot
+        };
         // Probe-side (left) primary key survives FK-style joins (§4.3 /
         // Fig 6 note: "The key is still orderkey").
         let meta = EdfMeta::new(out_schema, left.primary_key.clone(), out_kind);
         Ok(JoinOp {
             kind,
-            mode: if streaming { Mode::Streaming } else { Mode::Recompute },
+            mode: if streaming {
+                Mode::Streaming
+            } else {
+                Mode::Recompute
+            },
             left_on: left_idx,
             right_on: right_idx,
             left_kind: left.kind,
             right_kind: right.kind,
             left: RowStore::new(),
             right: RowStore::new(),
-            left_index: HashMap::new(),
-            right_index: HashMap::new(),
+            left_index: KeyIndex::new(),
+            right_index: KeyIndex::new(),
+            left_hashes: Vec::new(),
             matched: Vec::new(),
             left_eof: false,
             right_eof: false,
@@ -130,39 +152,53 @@ impl JoinOp {
         })
     }
 
-    /// Build an output frame from matched row pairs (`None` right = nulls).
+    /// Rows from the right index whose keys truly equal the key at
+    /// `probe[ri]` of a left-side frame; copied into `out` (cleared first).
+    /// One typed comparison per distinct key in the bucket.
+    fn right_matches(&self, probe: &DataFrame, ri: usize, hash: u64, out: &mut Vec<RowRef>) {
+        out.clear();
+        out.extend_from_slice(self.right_index.matches(hash, |(fi, rri)| {
+            keys_equal(
+                probe,
+                ri,
+                &self.left_on,
+                self.right.frame(fi),
+                rri as usize,
+                &self.right_on,
+            )
+        }));
+    }
+
+    /// Rows from the left index whose keys truly equal the key at
+    /// `probe[ri]` of a right-side frame; copied into `out` (cleared first).
+    fn left_matches(&self, probe: &DataFrame, ri: usize, hash: u64, out: &mut Vec<RowRef>) {
+        out.clear();
+        out.extend_from_slice(self.left_index.matches(hash, |(fi, lri)| {
+            keys_equal(
+                probe,
+                ri,
+                &self.right_on,
+                self.left.frame(fi),
+                lri as usize,
+                &self.left_on,
+            )
+        }));
+    }
+
+    /// Build an output frame from matched row pairs (`None` right = nulls)
+    /// using typed columnar gathers.
     fn build_pairs(&self, pairs: &[(RowRef, Option<RowRef>)]) -> Result<DataFrame> {
-        let schema = &self.meta.schema;
-        let left_cols = self.left_schema.len();
-        let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(pairs.len()); schema.len()];
-        for &(lref, rref) in pairs {
-            let lframe = self.left.frame(lref.0);
-            for (c, out) in cols.iter_mut().enumerate().take(left_cols) {
-                out.push(lframe.column_at(c).value(lref.1 as usize));
-            }
-            if schema.len() > left_cols {
-                match rref {
-                    Some(r) => {
-                        let rframe = self.right.frame(r.0);
-                        for c in 0..self.right_schema.len() {
-                            cols[left_cols + c].push(rframe.column_at(c).value(r.1 as usize));
-                        }
-                    }
-                    None => {
-                        for c in 0..self.right_schema.len() {
-                            cols[left_cols + c].push(Value::Null);
-                        }
-                    }
-                }
-            }
+        let schema = self.meta.schema.clone();
+        if pairs.is_empty() {
+            return Ok(DataFrame::empty(schema));
         }
-        let columns = schema
-            .fields()
-            .iter()
-            .zip(cols)
-            .map(|(f, vals)| Column::from_values(f.dtype, &vals))
-            .collect::<Result<Vec<_>>>()?;
-        DataFrame::new(schema.clone(), columns)
+        let lrefs: Vec<RowRef> = pairs.iter().map(|&(l, _)| l).collect();
+        let mut columns = self.left.gather_columns(&lrefs);
+        if schema.len() > self.left_schema.len() {
+            let rrefs: Vec<Option<RowRef>> = pairs.iter().map(|&(_, r)| r).collect();
+            columns.extend(self.right.gather_opt_columns(&rrefs, &self.right_schema));
+        }
+        DataFrame::new(schema, columns)
     }
 
     /// Build a left-columns-only frame (semi/anti output).
@@ -188,22 +224,36 @@ impl JoinOp {
     // ----- streaming mode -----
 
     fn stream_left(&mut self, frame: &Arc<DataFrame>) -> Result<Vec<Update>> {
+        let hashes = hash_keys(frame, &self.left_on);
         let fi = self.left.push(frame.clone());
         self.matched.push(vec![false; frame.num_rows()]);
         let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
         let mut left_only: Vec<RowRef> = Vec::new();
+        let mut eq: Vec<RowRef> = Vec::new();
         for ri in 0..frame.num_rows() {
-            let key = frame.key_at(ri, &self.left_on);
             let lref = (fi, ri as u32);
-            if !key.has_null() {
-                self.left_index.entry(key.clone()).or_default().push(lref);
+            let has_null = hashes.is_null(ri);
+            let h = hashes.hashes[ri];
+            if !has_null {
+                // Anti joins never probe the left index (their EOF flush
+                // re-probes the right index), and after right-side EOF no
+                // future right row can probe it either — skip maintaining
+                // it in both cases.
+                if self.kind != JoinKind::Anti && !self.right_eof {
+                    let (store, left_on) = (&self.left, &self.left_on);
+                    self.left_index.insert(h, lref, |(ofi, ori)| {
+                        keys_equal(frame, ri, left_on, store.frame(ofi), ori as usize, left_on)
+                    });
+                }
+                self.right_matches(frame, ri, h, &mut eq);
+            } else {
+                eq.clear();
             }
-            let matches = if key.has_null() { None } else { self.right_index.get(&key) };
             match self.kind {
                 JoinKind::Inner | JoinKind::Left => {
-                    if let Some(ms) = matches {
+                    if !eq.is_empty() {
                         self.matched[fi as usize][ri] = true;
-                        for &r in ms {
+                        for &r in &eq {
                             pairs.push((lref, Some(r)));
                         }
                     } else if self.kind == JoinKind::Left && self.right_eof {
@@ -212,18 +262,23 @@ impl JoinOp {
                     }
                 }
                 JoinKind::Semi => {
-                    if matches.is_some() {
+                    if !eq.is_empty() {
                         self.matched[fi as usize][ri] = true;
                         left_only.push(lref);
                     }
                 }
                 JoinKind::Anti => {
-                    if self.right_eof && matches.is_none() {
+                    if self.right_eof && eq.is_empty() {
                         self.matched[fi as usize][ri] = true; // "handled"
                         left_only.push(lref);
                     }
                 }
             }
+        }
+        // Per-frame hashes are only re-read by the Anti EOF flush; don't
+        // retain them for the other kinds.
+        if self.kind == JoinKind::Anti {
+            self.left_hashes.push(hashes);
         }
         let out = match self.kind {
             JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs)?,
@@ -233,35 +288,50 @@ impl JoinOp {
     }
 
     fn stream_right(&mut self, frame: &Arc<DataFrame>) -> Result<Vec<Update>> {
+        let hashes = hash_keys(frame, &self.right_on);
         let fi = self.right.push(frame.clone());
         let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
         let mut left_only: Vec<RowRef> = Vec::new();
+        let mut eq: Vec<RowRef> = Vec::new();
         for ri in 0..frame.num_rows() {
-            let key = frame.key_at(ri, &self.right_on);
-            if key.has_null() {
+            if hashes.is_null(ri) {
                 continue;
             }
+            let h = hashes.hashes[ri];
             let rref = (fi, ri as u32);
-            self.right_index.entry(key.clone()).or_default().push(rref);
-            if let Some(ls) = self.left_index.get(&key) {
-                match self.kind {
-                    JoinKind::Inner | JoinKind::Left => {
-                        for &l in ls {
-                            self.matched[l.0 as usize][l.1 as usize] = true;
-                            pairs.push((l, Some(rref)));
-                        }
+            let (store, right_on) = (&self.right, &self.right_on);
+            self.right_index.insert(h, rref, |(ofi, ori)| {
+                keys_equal(
+                    frame,
+                    ri,
+                    right_on,
+                    store.frame(ofi),
+                    ori as usize,
+                    right_on,
+                )
+            });
+            // Anti joins resolve purely against the right index at EOF;
+            // probing the (empty) left index per right row is wasted work.
+            if self.kind != JoinKind::Anti {
+                self.left_matches(frame, ri, h, &mut eq);
+            }
+            match self.kind {
+                JoinKind::Inner | JoinKind::Left => {
+                    for &l in &eq {
+                        self.matched[l.0 as usize][l.1 as usize] = true;
+                        pairs.push((l, Some(rref)));
                     }
-                    JoinKind::Semi => {
-                        for &l in ls {
-                            let seen = &mut self.matched[l.0 as usize][l.1 as usize];
-                            if !*seen {
-                                *seen = true;
-                                left_only.push(l);
-                            }
-                        }
-                    }
-                    JoinKind::Anti => {}
                 }
+                JoinKind::Semi => {
+                    for &l in &eq {
+                        let seen = &mut self.matched[l.0 as usize][l.1 as usize];
+                        if !*seen {
+                            *seen = true;
+                            left_only.push(l);
+                        }
+                    }
+                }
+                JoinKind::Anti => {}
             }
         }
         let out = match self.kind {
@@ -295,12 +365,25 @@ impl JoinOp {
             JoinKind::Anti => {
                 // A pending row is anti iff its key misses the right index.
                 let mut anti: Vec<RowRef> = Vec::new();
-                for (fi, ri) in flush {
+                let mut eq: Vec<RowRef> = Vec::new();
+                for &(fi, ri) in &flush {
                     let frame = self.left.frame(fi).clone();
-                    let key = frame.key_at(ri as usize, &self.left_on);
-                    if key.has_null() || !self.right_index.contains_key(&key) {
+                    let hashes = &self.left_hashes[fi as usize];
+                    if hashes.is_null(ri as usize) {
                         anti.push((fi, ri));
+                    } else {
+                        self.right_matches(
+                            &frame,
+                            ri as usize,
+                            hashes.hashes[ri as usize],
+                            &mut eq,
+                        );
+                        if eq.is_empty() {
+                            anti.push((fi, ri));
+                        }
                     }
+                }
+                for (fi, ri) in flush {
                     self.matched[fi as usize][ri as usize] = true;
                 }
                 let out = self.build_left_only(&anti)?;
@@ -314,35 +397,52 @@ impl JoinOp {
 
     fn recompute(&mut self) -> Result<Vec<Update>> {
         // Index the right side, scan the left side.
-        let mut rindex: HashMap<Row, Vec<RowRef>> = HashMap::new();
+        self.right_index.clear();
         for (fi, frame) in self.right.frames().iter().enumerate() {
+            let hashes = hash_keys(frame, &self.right_on);
+            let (store, right_on) = (&self.right, &self.right_on);
             for ri in 0..frame.num_rows() {
-                let key = frame.key_at(ri, &self.right_on);
-                if !key.has_null() {
-                    rindex.entry(key).or_default().push((fi as u32, ri as u32));
+                if !hashes.is_null(ri) {
+                    self.right_index.insert(
+                        hashes.hashes[ri],
+                        (fi as u32, ri as u32),
+                        |(ofi, ori)| {
+                            keys_equal(
+                                frame,
+                                ri,
+                                right_on,
+                                store.frame(ofi),
+                                ori as usize,
+                                right_on,
+                            )
+                        },
+                    );
                 }
             }
         }
         let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
         let mut left_only: Vec<RowRef> = Vec::new();
-        for (fi, frame) in self.left.frames().iter().enumerate() {
+        let mut eq: Vec<RowRef> = Vec::new();
+        let left_frames: Vec<Arc<DataFrame>> = self.left.frames().to_vec();
+        for (fi, frame) in left_frames.iter().enumerate() {
+            let hashes = hash_keys(frame, &self.left_on);
             for ri in 0..frame.num_rows() {
-                let key = frame.key_at(ri, &self.left_on);
                 let lref = (fi as u32, ri as u32);
-                let matches = if key.has_null() { None } else { rindex.get(&key) };
-                match (self.kind, matches) {
-                    (JoinKind::Inner, Some(ms)) => {
-                        pairs.extend(ms.iter().map(|&r| (lref, Some(r))))
+                if hashes.is_null(ri) {
+                    eq.clear();
+                } else {
+                    self.right_matches(frame, ri, hashes.hashes[ri], &mut eq);
+                }
+                match (self.kind, eq.is_empty()) {
+                    (JoinKind::Inner, false) | (JoinKind::Left, false) => {
+                        pairs.extend(eq.iter().map(|&r| (lref, Some(r))))
                     }
-                    (JoinKind::Inner, None) => {}
-                    (JoinKind::Left, Some(ms)) => {
-                        pairs.extend(ms.iter().map(|&r| (lref, Some(r))))
-                    }
-                    (JoinKind::Left, None) => pairs.push((lref, None)),
-                    (JoinKind::Semi, Some(_)) => left_only.push(lref),
-                    (JoinKind::Semi, None) => {}
-                    (JoinKind::Anti, None) => left_only.push(lref),
-                    (JoinKind::Anti, Some(_)) => {}
+                    (JoinKind::Inner, true) => {}
+                    (JoinKind::Left, true) => pairs.push((lref, None)),
+                    (JoinKind::Semi, false) => left_only.push(lref),
+                    (JoinKind::Semi, true) => {}
+                    (JoinKind::Anti, true) => left_only.push(lref),
+                    (JoinKind::Anti, false) => {}
                 }
             }
         }
@@ -356,6 +456,9 @@ impl JoinOp {
                 }
             }
         };
+        // Recompute rebuilds the index from scratch each refresh; drop it
+        // so buffered state stays proportional to the inputs.
+        self.right_index.clear();
         Ok(self.emit(out))
     }
 
@@ -420,7 +523,15 @@ impl Operator for JoinOp {
     }
 
     fn state_bytes(&self) -> usize {
-        self.left.byte_size() + self.right.byte_size()
+        self.left.byte_size()
+            + self.right.byte_size()
+            + self.left_index.byte_size()
+            + self.right_index.byte_size()
+            + self
+                .left_hashes
+                .iter()
+                .map(|h| h.hashes.len() * 8)
+                .sum::<usize>()
     }
 }
 
@@ -429,10 +540,14 @@ mod tests {
     use super::*;
     use crate::ops::testutil::kv_frame;
     use std::sync::Arc;
-    use wake_data::{DataType, Field};
+    use wake_data::{Column, DataType, Field, Value};
 
     fn left_meta() -> EdfMeta {
-        EdfMeta::new(kv_frame(vec![], vec![]).schema().clone(), vec!["k".into()], UpdateKind::Delta)
+        EdfMeta::new(
+            kv_frame(vec![], vec![]).schema().clone(),
+            vec!["k".into()],
+            UpdateKind::Delta,
+        )
     }
 
     fn right_frame(ks: Vec<i64>, names: Vec<&str>) -> DataFrame {
@@ -479,10 +594,14 @@ mod tests {
         let mut op = join(JoinKind::Inner);
         assert_eq!(op.meta().kind, UpdateKind::Delta);
         // Left arrives first: no matches yet, no emission.
-        let out = op.on_update(0, &upd_l(vec![1, 2], vec![10.0, 20.0], 2, 4)).unwrap();
+        let out = op
+            .on_update(0, &upd_l(vec![1, 2], vec![10.0, 20.0], 2, 4))
+            .unwrap();
         assert!(out.is_empty());
         // Right delta matches one left row.
-        let out = op.on_update(1, &upd_r(vec![2, 9], vec!["b", "z"], 2, 4)).unwrap();
+        let out = op
+            .on_update(1, &upd_r(vec![2, 9], vec!["b", "z"], 2, 4))
+            .unwrap();
         assert_eq!(out.len(), 1);
         let f = &out[0].frame;
         assert_eq!(f.num_rows(), 1);
@@ -498,15 +617,19 @@ mod tests {
     #[test]
     fn duplicate_keys_produce_cross_matches() {
         let mut op = join(JoinKind::Inner);
-        op.on_update(0, &upd_l(vec![1, 1], vec![1.0, 2.0], 2, 2)).unwrap();
-        let out = op.on_update(1, &upd_r(vec![1, 1], vec!["x", "y"], 2, 2)).unwrap();
+        op.on_update(0, &upd_l(vec![1, 1], vec![1.0, 2.0], 2, 2))
+            .unwrap();
+        let out = op
+            .on_update(1, &upd_r(vec![1, 1], vec!["x", "y"], 2, 2))
+            .unwrap();
         assert_eq!(out[0].frame.num_rows(), 4); // 2 × 2
     }
 
     #[test]
     fn left_join_flushes_unmatched_at_right_eof() {
         let mut op = join(JoinKind::Left);
-        op.on_update(0, &upd_l(vec![1, 2], vec![1.0, 2.0], 2, 3)).unwrap();
+        op.on_update(0, &upd_l(vec![1, 2], vec![1.0, 2.0], 2, 3))
+            .unwrap();
         op.on_update(1, &upd_r(vec![1], vec!["a"], 1, 1)).unwrap();
         let out = op.on_eof(1).unwrap();
         assert_eq!(out.len(), 1);
@@ -522,7 +645,8 @@ mod tests {
     #[test]
     fn semi_join_emits_each_left_row_once() {
         let mut op = join(JoinKind::Semi);
-        op.on_update(0, &upd_l(vec![1, 2], vec![1.0, 2.0], 2, 2)).unwrap();
+        op.on_update(0, &upd_l(vec![1, 2], vec![1.0, 2.0], 2, 2))
+            .unwrap();
         let out = op.on_update(1, &upd_r(vec![1], vec!["a"], 1, 2)).unwrap();
         assert_eq!(out[0].frame.num_rows(), 1);
         assert_eq!(out[0].frame.schema().names(), vec!["k", "v"]);
@@ -534,7 +658,8 @@ mod tests {
     #[test]
     fn anti_join_waits_for_right_eof() {
         let mut op = join(JoinKind::Anti);
-        op.on_update(0, &upd_l(vec![1, 2, 3], vec![0.0; 3], 3, 5)).unwrap();
+        op.on_update(0, &upd_l(vec![1, 2, 3], vec![0.0; 3], 3, 5))
+            .unwrap();
         let out = op.on_update(1, &upd_r(vec![2], vec!["b"], 1, 1)).unwrap();
         assert!(out.is_empty()); // cannot prove non-existence yet
         let out = op.on_eof(1).unwrap();
@@ -566,10 +691,14 @@ mod tests {
         .unwrap();
         assert_eq!(op.meta().kind, UpdateKind::Snapshot);
         // Snapshot left state v1.
-        let s1 = Update::snapshot(kv_frame(vec![1, 2], vec![1.0, 2.0]), Progress::single(0, 1, 2));
+        let s1 = Update::snapshot(
+            kv_frame(vec![1, 2], vec![1.0, 2.0]),
+            Progress::single(0, 1, 2),
+        );
         let out = op.on_update(0, &s1).unwrap();
         assert_eq!(out[0].frame.num_rows(), 0); // right empty so far
-        op.on_update(1, &upd_r(vec![1, 2], vec!["a", "b"], 2, 2)).unwrap();
+        op.on_update(1, &upd_r(vec![1, 2], vec!["a", "b"], 2, 2))
+            .unwrap();
         // Refreshed snapshot drops key 1: the re-join must too.
         let s2 = Update::snapshot(kv_frame(vec![2], vec![2.5]), Progress::single(0, 2, 2));
         let out = op.on_update(0, &s2).unwrap();
@@ -585,10 +714,14 @@ mod tests {
         let schema = kv_frame(vec![], vec![]).schema().clone();
         let left = DataFrame::from_rows(
             schema,
-            &[vec![Value::Null, Value::Float(1.0)], vec![Value::Int(1), Value::Float(2.0)]],
+            &[
+                vec![Value::Null, Value::Float(1.0)],
+                vec![Value::Int(1), Value::Float(2.0)],
+            ],
         )
         .unwrap();
-        op.on_update(0, &Update::delta(left, Progress::single(0, 2, 2))).unwrap();
+        op.on_update(0, &Update::delta(left, Progress::single(0, 2, 2)))
+            .unwrap();
         let out = op.on_update(1, &upd_r(vec![1], vec!["a"], 1, 1)).unwrap();
         assert_eq!(out[0].frame.num_rows(), 1);
     }
@@ -608,7 +741,10 @@ mod tests {
             JoinKind::Inner,
         )
         .unwrap();
-        assert_eq!(op.meta().schema.names(), vec!["k", "v", "k_right", "v_right"]);
+        assert_eq!(
+            op.meta().schema.names(),
+            vec!["k", "v", "k_right", "v_right"]
+        );
     }
 
     #[test]
@@ -631,5 +767,39 @@ mod tests {
             JoinKind::Inner
         )
         .is_err());
+    }
+
+    #[test]
+    fn cross_type_numeric_keys_match() {
+        // Int64 left key joins Float64 right key: 2 == 2.0.
+        let lmeta = left_meta();
+        let rschema = Arc::new(Schema::new(vec![
+            Field::new("rk", DataType::Float64),
+            Field::new("name", DataType::Utf8),
+        ]));
+        let rmeta = EdfMeta::new(rschema.clone(), vec!["rk".into()], UpdateKind::Delta);
+        let mut op = JoinOp::new(
+            &lmeta,
+            &rmeta,
+            vec!["k".into()],
+            vec!["rk".into()],
+            JoinKind::Inner,
+        )
+        .unwrap();
+        op.on_update(0, &upd_l(vec![1, 2], vec![0.0, 0.0], 2, 2))
+            .unwrap();
+        let rf = DataFrame::new(
+            rschema,
+            vec![
+                Column::from_f64(vec![2.0, 3.5]),
+                Column::from_str_iter(["two", "x"]),
+            ],
+        )
+        .unwrap();
+        let out = op
+            .on_update(1, &Update::delta(rf, Progress::single(1, 2, 2)))
+            .unwrap();
+        assert_eq!(out[0].frame.num_rows(), 1);
+        assert_eq!(out[0].frame.value(0, "name").unwrap(), Value::str("two"));
     }
 }

@@ -42,7 +42,11 @@ impl MapOp {
                 .referenced_columns()
                 .iter()
                 .any(|c| input.schema.field(c).map(|f| f.mutable).unwrap_or(false));
-            fields.push(Field { name: alias.clone(), dtype, mutable });
+            fields.push(Field {
+                name: alias.clone(),
+                dtype,
+                mutable,
+            });
         }
         // Variance propagation: outputs referencing CI-carrying inputs get
         // their own variance column (unless the user already projects one
@@ -59,20 +63,28 @@ impl MapOp {
         let schema = Arc::new(Schema::new(fields));
         let key_survives = !input.primary_key.is_empty()
             && input.primary_key.iter().all(|k| {
-                exprs
-                    .iter()
-                    .any(|(e, alias)| alias == k && matches!(e, Expr::Col(c) if c.as_ref() == k.as_str()))
+                exprs.iter().any(|(e, alias)| {
+                    alias == k && matches!(e, Expr::Col(c) if c.as_ref() == k.as_str())
+                })
             });
-        let primary_key = if key_survives { input.primary_key.clone() } else { Vec::new() };
+        let primary_key = if key_survives {
+            input.primary_key.clone()
+        } else {
+            Vec::new()
+        };
         let clustering = input.clustering_key.clone().filter(|ck| {
             ck.iter().all(|k| {
-                exprs
-                    .iter()
-                    .any(|(e, alias)| alias == k && matches!(e, Expr::Col(c) if c.as_ref() == k.as_str()))
+                exprs.iter().any(|(e, alias)| {
+                    alias == k && matches!(e, Expr::Col(c) if c.as_ref() == k.as_str())
+                })
             })
         });
         let meta = EdfMeta::new(schema, primary_key, input.kind).with_clustering(clustering);
-        Ok(MapOp { exprs, var_plans, meta })
+        Ok(MapOp {
+            exprs,
+            var_plans,
+            meta,
+        })
     }
 
     fn apply(&self, frame: &DataFrame) -> Result<DataFrame> {
@@ -149,7 +161,10 @@ mod tests {
     fn projects_and_preserves_kind() {
         let mut op = MapOp::new(
             &input_meta(UpdateKind::Delta),
-            vec![(col("k"), "k".into()), (col("v").mul(lit_f64(2.0)), "v2".into())],
+            vec![
+                (col("k"), "k".into()),
+                (col("v").mul(lit_f64(2.0)), "v2".into()),
+            ],
         )
         .unwrap();
         assert_eq!(op.meta().kind, UpdateKind::Delta);
@@ -166,11 +181,7 @@ mod tests {
 
     #[test]
     fn dropping_key_clears_it() {
-        let op = MapOp::new(
-            &input_meta(UpdateKind::Delta),
-            vec![(col("v"), "v".into())],
-        )
-        .unwrap();
+        let op = MapOp::new(&input_meta(UpdateKind::Delta), vec![(col("v"), "v".into())]).unwrap();
         assert!(op.meta().primary_key.is_empty());
         assert!(op.meta().clustering_key.is_none());
     }
@@ -234,11 +245,7 @@ mod tests {
             Field::mutable("s__var", DataType::Float64),
         ]));
         let input = EdfMeta::new(schema.clone(), vec![], UpdateKind::Snapshot);
-        let mut op = MapOp::new(
-            &input,
-            vec![(col("s").mul(lit_f64(0.5)), "half".into())],
-        )
-        .unwrap();
+        let mut op = MapOp::new(&input, vec![(col("s").mul(lit_f64(0.5)), "half".into())]).unwrap();
         assert!(op.meta().schema.contains("half__var"));
         let frame = wake_data::DataFrame::new(
             schema,
@@ -255,7 +262,12 @@ mod tests {
             )
             .unwrap();
         // Var(0.5·s) = 0.25·Var(s) = 1.0.
-        let v = out[0].frame.value(0, "half__var").unwrap().as_f64().unwrap();
+        let v = out[0]
+            .frame
+            .value(0, "half__var")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         assert!((v - 1.0).abs() < 1e-3, "propagated var {v}");
     }
 
@@ -269,10 +281,7 @@ mod tests {
         // The user projects the variance themselves under the output name.
         let mut op = MapOp::new(
             &input,
-            vec![
-                (col("s"), "s".into()),
-                (col("s__var"), "s__var".into()),
-            ],
+            vec![(col("s"), "s".into()), (col("s__var"), "s__var".into())],
         )
         .unwrap();
         assert_eq!(op.meta().schema.len(), 2, "no duplicate var column");

@@ -27,7 +27,10 @@ pub struct VarInputs {
 /// Detect which projected expressions need an output variance column:
 /// those referencing a numeric input column that has a `{col}__var`
 /// companion in `input_schema`.
-pub fn detect_var_inputs(exprs: &[(Expr, String)], input_schema: &Schema) -> Vec<Option<VarInputs>> {
+pub fn detect_var_inputs(
+    exprs: &[(Expr, String)],
+    input_schema: &Schema,
+) -> Vec<Option<VarInputs>> {
     exprs
         .iter()
         .map(|(e, alias)| {
@@ -213,11 +216,7 @@ mod tests {
             Field::mutable("x", DataType::Float64),
             Field::mutable("x__var", DataType::Float64),
         ]));
-        let f = DataFrame::from_rows(
-            schema,
-            &[vec![Value::Null, Value::Float(1.0)]],
-        )
-        .unwrap();
+        let f = DataFrame::from_rows(schema, &[vec![Value::Null, Value::Float(1.0)]]).unwrap();
         let expr = col("x").mul(lit_f64(2.0));
         let base = eval(&expr, &f).unwrap();
         let det = detect_var_inputs(&[(expr.clone(), "y".into())], f.schema());

@@ -11,6 +11,7 @@
 pub mod agg_op;
 pub mod filter;
 pub mod join;
+pub mod key_index;
 pub mod map;
 pub mod map_ci;
 pub mod sort;
@@ -104,30 +105,80 @@ impl RowStore {
     }
 
     /// Gather the given rows into fresh columns, in order, producing a
-    /// frame with this store's schema.
+    /// frame with this store's schema. Fully typed: no `Value` cells are
+    /// materialised.
     pub fn gather(&self, refs: &[RowRef]) -> Result<DataFrame> {
         let schema = self
             .frames
             .first()
             .map(|f| f.schema().clone())
-            .ok_or_else(|| {
-                wake_data::DataError::Invalid("gather from empty row store".into())
-            })?;
-        let ncols = schema.len();
-        let mut cols: Vec<Vec<wake_data::Value>> = vec![Vec::with_capacity(refs.len()); ncols];
-        for &(fi, ri) in refs {
-            let frame = &self.frames[fi as usize];
-            for (c, col) in frame.columns().iter().enumerate() {
-                cols[c].push(col.value(ri as usize));
-            }
-        }
-        let columns = schema
-            .fields()
-            .iter()
-            .zip(cols)
-            .map(|(f, vals)| Column::from_values(f.dtype, &vals))
-            .collect::<Result<Vec<Column>>>()?;
+            .ok_or_else(|| wake_data::DataError::Invalid("gather from empty row store".into()))?;
+        let columns = self.gather_columns(refs);
         DataFrame::new(schema, columns)
+    }
+
+    /// Typed gather of every column at `refs` (frames must be non-empty).
+    pub fn gather_columns(&self, refs: &[RowRef]) -> Vec<Column> {
+        let schema = self.frames[0].schema().clone();
+        let refs: Vec<Option<RowRef>> = refs.iter().map(|&r| Some(r)).collect();
+        self.gather_opt_columns(&refs, &schema)
+    }
+
+    /// Typed gather where `None` refs produce null cells (the unmatched
+    /// side of a left join). Returns one column per store column.
+    pub fn gather_opt_columns(&self, refs: &[Option<RowRef>], schema: &Arc<Schema>) -> Vec<Column> {
+        use wake_data::column::ColumnData;
+        let ncols = schema.len();
+        (0..ncols)
+            .map(|c| {
+                if self.frames.is_empty() {
+                    // No buffered rows at all: every ref must be None.
+                    debug_assert!(refs.iter().all(Option::is_none));
+                    return Column::nulls(schema.fields()[c].dtype, refs.len());
+                }
+                let cols: Vec<&Column> = self.frames.iter().map(|f| f.column_at(c)).collect();
+                let any_none = refs.iter().any(Option::is_none);
+                let any_mask = cols.iter().any(|col| col.validity().is_some());
+                let validity = (any_none || any_mask).then(|| {
+                    refs.iter()
+                        .map(|r| match r {
+                            Some((fi, ri)) => cols[*fi as usize].is_valid(*ri as usize),
+                            None => false,
+                        })
+                        .collect::<Vec<bool>>()
+                });
+                macro_rules! gather {
+                    ($variant:ident, $slice:ident, $default:expr) => {{
+                        let slices: Vec<_> = cols
+                            .iter()
+                            .map(|col| col.$slice().expect("store columns share one type"))
+                            .collect();
+                        ColumnData::$variant(
+                            refs.iter()
+                                .map(|r| match r {
+                                    Some((fi, ri)) => slices[*fi as usize][*ri as usize].clone(),
+                                    None => $default,
+                                })
+                                .collect(),
+                        )
+                    }};
+                }
+                let data = match self.frames[0].column_at(c).data() {
+                    ColumnData::Int64(_) => gather!(Int64, as_i64_slice, 0),
+                    ColumnData::Date(_) => gather!(Date, as_i64_slice, 0),
+                    ColumnData::Float64(_) => gather!(Float64, as_f64_slice, 0.0),
+                    ColumnData::Bool(_) => gather!(Bool, as_bool_slice, false),
+                    ColumnData::Utf8(_) => {
+                        gather!(Utf8, as_str_slice, std::sync::Arc::from(""))
+                    }
+                };
+                match validity {
+                    Some(mask) => Column::with_validity(data, mask)
+                        .expect("mask length matches refs by construction"),
+                    None => Column::new(data),
+                }
+            })
+            .collect()
     }
 
     /// Approximate buffered bytes.

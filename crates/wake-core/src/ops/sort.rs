@@ -41,9 +41,17 @@ impl SortOp {
             input.schema.index_of(k)?;
         }
         // Output is snapshot-mode; the sort keys define the physical order.
-        let clustering = if by.is_empty() { None } else { Some(by.clone()) };
-        let meta = EdfMeta::new(input.schema.clone(), input.primary_key.clone(), UpdateKind::Snapshot)
-            .with_clustering(clustering);
+        let clustering = if by.is_empty() {
+            None
+        } else {
+            Some(by.clone())
+        };
+        let meta = EdfMeta::new(
+            input.schema.clone(),
+            input.primary_key.clone(),
+            UpdateKind::Snapshot,
+        )
+        .with_clustering(clustering);
         Ok(SortOp {
             by,
             descending,
@@ -68,13 +76,20 @@ impl SortOp {
             Some(n) => sorted.head(n),
             None => sorted,
         };
-        Ok(vec![Update::snapshot_from_arc(Arc::new(cut), self.progress.clone())])
+        Ok(vec![Update::snapshot_from_arc(
+            Arc::new(cut),
+            self.progress.clone(),
+        )])
     }
 }
 
 impl Update {
     fn snapshot_from_arc(frame: Arc<DataFrame>, progress: Progress) -> Update {
-        Update { frame, progress, kind: UpdateKind::Snapshot }
+        Update {
+            frame,
+            progress,
+            kind: UpdateKind::Snapshot,
+        }
     }
 }
 
@@ -116,7 +131,11 @@ mod tests {
     use wake_data::Value;
 
     fn meta(kind: UpdateKind) -> EdfMeta {
-        EdfMeta::new(kv_frame(vec![], vec![]).schema().clone(), vec!["k".into()], kind)
+        EdfMeta::new(
+            kv_frame(vec![], vec![]).schema().clone(),
+            vec!["k".into()],
+            kind,
+        )
     }
 
     #[test]
@@ -128,11 +147,15 @@ mod tests {
             Some(2),
         )
         .unwrap();
-        let out = op.on_update(0, &delta(kv_frame(vec![1, 2], vec![5.0, 9.0]), 2, 4)).unwrap();
+        let out = op
+            .on_update(0, &delta(kv_frame(vec![1, 2], vec![5.0, 9.0]), 2, 4))
+            .unwrap();
         assert_eq!(out[0].frame.num_rows(), 2);
         assert_eq!(out[0].frame.value(0, "v").unwrap(), Value::Float(9.0));
         // New delta displaces one of the current top-2.
-        let out = op.on_update(0, &delta(kv_frame(vec![3], vec![7.0]), 3, 4)).unwrap();
+        let out = op
+            .on_update(0, &delta(kv_frame(vec![3], vec![7.0]), 3, 4))
+            .unwrap();
         let f = &out[0].frame;
         assert_eq!(f.num_rows(), 2);
         assert_eq!(f.value(0, "v").unwrap(), Value::Float(9.0));
@@ -142,10 +165,18 @@ mod tests {
 
     #[test]
     fn snapshot_input_replaces_state() {
-        let mut op =
-            SortOp::new(&meta(UpdateKind::Snapshot), vec!["v".into()], vec![false], None).unwrap();
-        op.on_update(0, &snapshot(kv_frame(vec![1, 2], vec![5.0, 1.0]), 1, 2)).unwrap();
-        let out = op.on_update(0, &snapshot(kv_frame(vec![9], vec![3.0]), 2, 2)).unwrap();
+        let mut op = SortOp::new(
+            &meta(UpdateKind::Snapshot),
+            vec!["v".into()],
+            vec![false],
+            None,
+        )
+        .unwrap();
+        op.on_update(0, &snapshot(kv_frame(vec![1, 2], vec![5.0, 1.0]), 1, 2))
+            .unwrap();
+        let out = op
+            .on_update(0, &snapshot(kv_frame(vec![9], vec![3.0]), 2, 2))
+            .unwrap();
         assert_eq!(out[0].frame.num_rows(), 1);
         assert_eq!(out[0].frame.value(0, "k").unwrap(), Value::Int(9));
     }
@@ -161,8 +192,13 @@ mod tests {
 
     #[test]
     fn eof_without_input_emits_empty_final_state() {
-        let mut op =
-            SortOp::new(&meta(UpdateKind::Delta), vec!["v".into()], vec![false], Some(3)).unwrap();
+        let mut op = SortOp::new(
+            &meta(UpdateKind::Delta),
+            vec!["v".into()],
+            vec![false],
+            Some(3),
+        )
+        .unwrap();
         let out = op.on_eof(0).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].frame.num_rows(), 0);
@@ -174,8 +210,12 @@ mod tests {
     #[test]
     fn validation() {
         assert!(SortOp::new(&meta(UpdateKind::Delta), vec!["v".into()], vec![], None).is_err());
-        assert!(
-            SortOp::new(&meta(UpdateKind::Delta), vec!["nope".into()], vec![false], None).is_err()
-        );
+        assert!(SortOp::new(
+            &meta(UpdateKind::Delta),
+            vec!["nope".into()],
+            vec![false],
+            None
+        )
+        .is_err());
     }
 }

@@ -30,7 +30,13 @@ impl Progress {
 
     /// Progress of a single source.
     pub fn single(source_id: u32, processed: u64, total: u64) -> Self {
-        Progress { sources: vec![SourceProgress { source_id, processed, total }] }
+        Progress {
+            sources: vec![SourceProgress {
+                source_id,
+                processed,
+                total,
+            }],
+        }
     }
 
     pub fn sources(&self) -> &[SourceProgress] {
@@ -41,7 +47,11 @@ impl Progress {
     /// source (messages from different paths may be differently stale).
     pub fn merge(&mut self, other: &Progress) {
         for sp in &other.sources {
-            match self.sources.iter_mut().find(|s| s.source_id == sp.source_id) {
+            match self
+                .sources
+                .iter_mut()
+                .find(|s| s.source_id == sp.source_id)
+            {
                 Some(mine) => {
                     mine.processed = mine.processed.max(sp.processed);
                     debug_assert_eq!(mine.total, sp.total, "source totals must agree");

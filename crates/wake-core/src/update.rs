@@ -33,15 +33,27 @@ pub struct Update {
 
 impl Update {
     pub fn delta(frame: DataFrame, progress: Progress) -> Self {
-        Update { frame: Arc::new(frame), progress, kind: UpdateKind::Delta }
+        Update {
+            frame: Arc::new(frame),
+            progress,
+            kind: UpdateKind::Delta,
+        }
     }
 
     pub fn snapshot(frame: DataFrame, progress: Progress) -> Self {
-        Update { frame: Arc::new(frame), progress, kind: UpdateKind::Snapshot }
+        Update {
+            frame: Arc::new(frame),
+            progress,
+            kind: UpdateKind::Snapshot,
+        }
     }
 
     pub fn shared(frame: Arc<DataFrame>, progress: Progress, kind: UpdateKind) -> Self {
-        Update { frame, progress, kind }
+        Update {
+            frame,
+            progress,
+            kind,
+        }
     }
 
     /// Progress ratio carried by this update.

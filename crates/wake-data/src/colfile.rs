@@ -155,7 +155,11 @@ pub fn read_colfile(bytes: &[u8]) -> Result<DataFrame> {
             .to_string();
         let dtype = tag_dtype(c.u8()?)?;
         let mutable = c.u8()? != 0;
-        fields.push(Field { name, dtype, mutable });
+        fields.push(Field {
+            name,
+            dtype,
+            mutable,
+        });
     }
     let rows = c.u64()? as usize;
     let mut columns = Vec::with_capacity(nfields);
@@ -323,7 +327,9 @@ mod tests {
         let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Float64)]));
         let df = DataFrame::new(
             schema,
-            vec![Column::from_f64((0..1000).map(|i| i as f64 * 0.123456789).collect())],
+            vec![Column::from_f64(
+                (0..1000).map(|i| i as f64 * 0.123456789).collect(),
+            )],
         )
         .unwrap();
         let mut bin = Vec::new();

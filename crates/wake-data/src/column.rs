@@ -77,7 +77,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(data: ColumnData) -> Self {
-        Column { data, validity: None }
+        Column {
+            data,
+            validity: None,
+        }
     }
 
     /// Build a column with explicit validity; drops the mask if fully valid.
@@ -90,9 +93,15 @@ impl Column {
             )));
         }
         if validity.iter().all(|&v| v) {
-            Ok(Column { data, validity: None })
+            Ok(Column {
+                data,
+                validity: None,
+            })
         } else {
-            Ok(Column { data, validity: Some(validity) })
+            Ok(Column {
+                data,
+                validity: Some(validity),
+            })
         }
     }
 
@@ -176,7 +185,10 @@ impl Column {
             DataType::Utf8 => ColumnData::Utf8(vec![Arc::from(""); n]),
             DataType::Date => ColumnData::Date(vec![0; n]),
         };
-        Column { data, validity: Some(vec![false; n]) }
+        Column {
+            data,
+            validity: Some(vec![false; n]),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -269,9 +281,7 @@ impl Column {
     pub fn take(&self, indices: &[usize]) -> Column {
         let data = match &self.data {
             ColumnData::Int64(v) => ColumnData::Int64(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Float64(v) => {
-                ColumnData::Float64(indices.iter().map(|&i| v[i]).collect())
-            }
+            ColumnData::Float64(v) => ColumnData::Float64(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
             ColumnData::Utf8(v) => {
                 ColumnData::Utf8(indices.iter().map(|&i| v[i].clone()).collect())
@@ -294,8 +304,12 @@ impl Column {
                 self.len()
             )));
         }
-        let indices: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| i).collect();
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| i)
+            .collect();
         Ok(self.take(&indices))
     }
 
@@ -307,7 +321,11 @@ impl Column {
         let dtype = first.data_type();
         let total: usize = parts.iter().map(|c| c.len()).sum();
         let any_null = parts.iter().any(|c| c.validity.is_some());
-        let mut validity = if any_null { Some(Vec::with_capacity(total)) } else { None };
+        let mut validity = if any_null {
+            Some(Vec::with_capacity(total))
+        } else {
+            None
+        };
         macro_rules! cat {
             ($variant:ident, $ty:ty) => {{
                 let mut out: Vec<$ty> = Vec::with_capacity(total);
@@ -384,8 +402,7 @@ mod tests {
     #[test]
     fn concat_merges_masks() {
         let a = Column::from_i64(vec![1, 2]);
-        let b =
-            Column::from_values(DataType::Int64, &[Value::Null, Value::Int(4)]).unwrap();
+        let b = Column::from_values(DataType::Int64, &[Value::Null, Value::Int(4)]).unwrap();
         let c = Column::concat(&[&a, &b]).unwrap();
         assert_eq!(c.len(), 4);
         assert_eq!(c.null_count(), 1);

@@ -250,7 +250,12 @@ mod tests {
         let path = dir.join("t.csv");
         let df = DataFrame::from_rows(
             schema(),
-            &[vec![Value::Int(7), Value::str("f"), Value::Float(0.25), Value::Date(10)]],
+            &[vec![
+                Value::Int(7),
+                Value::str("f"),
+                Value::Float(0.25),
+                Value::Date(10),
+            ]],
         )
         .unwrap();
         write_csv_file(&df, &path).unwrap();

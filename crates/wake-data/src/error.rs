@@ -50,7 +50,10 @@ mod tests {
     fn display_formats_are_informative() {
         let e = DataError::ColumnNotFound("qty".into());
         assert!(e.to_string().contains("qty"));
-        let e = DataError::TypeMismatch { expected: "Int64".into(), found: "Utf8".into() };
+        let e = DataError::TypeMismatch {
+            expected: "Int64".into(),
+            found: "Utf8".into(),
+        };
         assert!(e.to_string().contains("Int64") && e.to_string().contains("Utf8"));
         let e: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(matches!(e, DataError::Io(_)));

@@ -49,7 +49,11 @@ impl DataFrame {
                 });
             }
         }
-        Ok(DataFrame { schema, columns, rows })
+        Ok(DataFrame {
+            schema,
+            columns,
+            rows,
+        })
     }
 
     /// An empty frame with the given schema.
@@ -59,7 +63,11 @@ impl DataFrame {
             .iter()
             .map(|f| Column::empty(f.dtype))
             .collect();
-        DataFrame { schema, columns, rows: 0 }
+        DataFrame {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// Build from rows of dynamic values (test / generator convenience).
@@ -126,7 +134,12 @@ impl DataFrame {
 
     /// Extract the values of `key_indices` at row `i` as a hashable [`Row`].
     pub fn key_at(&self, i: usize, key_indices: &[usize]) -> Row {
-        Row::new(key_indices.iter().map(|&c| self.columns[c].value(i)).collect())
+        Row::new(
+            key_indices
+                .iter()
+                .map(|&c| self.columns[c].value(i))
+                .collect(),
+        )
     }
 
     /// Resolve column names to indices.
@@ -137,7 +150,11 @@ impl DataFrame {
     /// Gather rows at `indices`.
     pub fn take(&self, indices: &[usize]) -> DataFrame {
         let columns = self.columns.iter().map(|c| c.take(indices)).collect();
-        DataFrame { schema: self.schema.clone(), columns, rows: indices.len() }
+        DataFrame {
+            schema: self.schema.clone(),
+            columns,
+            rows: indices.len(),
+        }
     }
 
     /// Keep rows where `mask` is true.
@@ -149,8 +166,12 @@ impl DataFrame {
                 self.rows
             )));
         }
-        let indices: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| i).collect();
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| i)
+            .collect();
         Ok(self.take(&indices))
     }
 
@@ -179,7 +200,11 @@ impl DataFrame {
             columns.push(Column::concat(&cols)?);
         }
         let rows = parts.iter().map(|p| p.rows).sum();
-        Ok(DataFrame { schema: first.schema.clone(), columns, rows })
+        Ok(DataFrame {
+            schema: first.schema.clone(),
+            columns,
+            rows,
+        })
     }
 
     /// Project named columns into a new frame (preserving given order).
@@ -318,7 +343,10 @@ mod tests {
         let f = frame();
         let sorted = f.sort_by(&["k", "v"], &[false, true]).unwrap();
         let ks: Vec<Value> = sorted.column("k").unwrap().iter().collect();
-        assert_eq!(ks, vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            ks,
+            vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
         // within k=1, v descending: 11.0 before 10.0
         assert_eq!(sorted.value(0, "v").unwrap(), Value::Float(11.0));
         assert_eq!(sorted.value(1, "v").unwrap(), Value::Float(10.0));
@@ -357,12 +385,18 @@ mod tests {
     fn with_column_extends_schema() {
         let f = frame();
         let g = f
-            .with_column(Field::new("flag", DataType::Bool), Column::from_bool(vec![true; 4]))
+            .with_column(
+                Field::new("flag", DataType::Bool),
+                Column::from_bool(vec![true; 4]),
+            )
             .unwrap();
         assert_eq!(g.num_columns(), 4);
         assert!(g.column("flag").is_ok());
         assert!(f
-            .with_column(Field::new("bad", DataType::Bool), Column::from_bool(vec![true]))
+            .with_column(
+                Field::new("bad", DataType::Bool),
+                Column::from_bool(vec![true])
+            )
             .is_err());
     }
 

@@ -1,0 +1,664 @@
+//! Vectorized hash-key kernels for join and group-by.
+//!
+//! The hot loops of hash join and group-by need, per input row, (a) a
+//! well-mixed 64-bit hash of the key columns and (b) a way to confirm a
+//! candidate match exactly. Materialising a `Row` (a `Vec<Value>`) per row
+//! just to key a `HashMap` costs an allocation plus dynamic dispatch per
+//! cell; the kernels here instead produce one `Vec<u64>` of row hashes per
+//! frame with a single typed pass per key column, and equality is resolved
+//! by typed column comparison — no `Value` is ever created.
+//!
+//! ## Semantics (bit-compatible with [`Value`](crate::value::Value) keys)
+//!
+//! - **Numerics unify**: `Int64`, `Float64`, and `Date` cells hash and
+//!   compare through their canonical `f64` bit pattern (`-0.0` → `0.0`, all
+//!   NaNs → one pattern), so an `Int64(3)` key matches a `Float64(3.0)` key
+//!   across the two sides of a join, exactly as `Value::eq` defines.
+//! - **Null-aware**: invalid cells hash to a fixed sentinel and
+//!   [`KeyHashes::any_null`] records which rows contain at least one null
+//!   key. Joins use that mask to enforce "null keys never match"; group-by
+//!   instead treats null as an ordinary key value (nulls group together),
+//!   which [`keys_equal`] implements by `null == null`.
+//! - **Deterministic**: hashes depend only on cell contents, never on frame
+//!   identity or insertion order, so hashes computed for different frames
+//!   (or the two sides of a join) are directly comparable.
+//!
+//! Collisions are possible by construction (64-bit hashes); callers must
+//! confirm candidates with [`keys_equal`] / [`KeyStore::eq_row`].
+
+use crate::column::{Column, ColumnData};
+use crate::frame::DataFrame;
+use crate::value::DataType;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Hash of a null cell (any type). Mixed like every other payload so that
+/// multi-column combining keeps its avalanche behaviour.
+const NULL_PAYLOAD: u64 = 0x6e75_6c6c_6b65_795f; // "nullkey_"
+
+/// Type tags folded into each cell hash so values of *incompatible* types
+/// (e.g. `Bool(true)` vs `Int64(1)`) cannot collide by payload alone.
+/// Numeric types deliberately share one tag (cross-type numeric equality).
+const TAG_BOOL: u64 = 0x9ae1_6a3b_2f90_404f;
+const TAG_NUM: u64 = 0x3243_f6a8_885a_308d;
+const TAG_STR: u64 = 0x1319_8a2e_0370_7344;
+
+/// Multiplier for combining successive key columns (odd, random-looking).
+const COMBINE_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Finalizing mixer (splitmix64 / murmur3-style avalanche).
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Canonical bit pattern used for hashing and equality of numeric cells:
+/// `-0.0` and `0.0` unify, every NaN maps to one pattern. This mirrors
+/// `Value::num_bits`, including the (documented) consequence that integers
+/// beyond 2^53 compare through their `f64` image.
+#[inline]
+pub fn canonical_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else if f == 0.0 {
+        0u64 // covers -0.0
+    } else {
+        f.to_bits()
+    }
+}
+
+#[inline]
+fn hash_str(s: &str) -> u64 {
+    // FNV-1a over the bytes; cheap and stable.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[inline]
+fn cell_num(f: f64) -> u64 {
+    mix64(canonical_f64_bits(f) ^ TAG_NUM)
+}
+
+#[inline]
+fn cell_bool(b: bool) -> u64 {
+    mix64(b as u64 ^ TAG_BOOL)
+}
+
+#[inline]
+fn cell_str(s: &str) -> u64 {
+    mix64(hash_str(s) ^ TAG_STR)
+}
+
+#[inline]
+fn cell_null() -> u64 {
+    mix64(NULL_PAYLOAD)
+}
+
+/// Row hashes for one frame's key columns, plus the per-row null indicator.
+#[derive(Debug, Clone, Default)]
+pub struct KeyHashes {
+    /// One combined hash per row.
+    pub hashes: Vec<u64>,
+    /// `Some(mask)` iff at least one key cell in the frame is null;
+    /// `mask[i]` is true when row `i` has a null in *any* key column.
+    pub any_null: Option<Vec<bool>>,
+}
+
+impl KeyHashes {
+    /// Whether row `i` has a null key component.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.any_null.as_ref().is_some_and(|m| m[i])
+    }
+}
+
+/// Fold one column's cell hashes into `acc` (one slot per row).
+///
+/// `first` selects initialisation (`acc[i] = cell`) versus combination
+/// (`acc[i] = mix(acc[i] * M + cell)`), so a multi-column key needs no
+/// scratch allocation beyond the output vector itself.
+fn fold_column(col: &Column, acc: &mut [u64], nulls: &mut Option<Vec<bool>>, first: bool) {
+    #[inline]
+    fn write(acc: &mut u64, cell: u64, first: bool) {
+        *acc = if first {
+            cell
+        } else {
+            mix64(acc.wrapping_mul(COMBINE_MUL).wrapping_add(cell))
+        };
+    }
+
+    macro_rules! kernel {
+        ($values:expr, $cell:expr) => {{
+            match col.validity() {
+                None => {
+                    for (a, v) in acc.iter_mut().zip($values) {
+                        write(a, $cell(v), first);
+                    }
+                }
+                Some(mask) => {
+                    let nulls = nulls.get_or_insert_with(|| vec![false; acc.len()]);
+                    for (i, (a, v)) in acc.iter_mut().zip($values).enumerate() {
+                        if mask[i] {
+                            write(a, $cell(v), first);
+                        } else {
+                            nulls[i] = true;
+                            write(a, cell_null(), first);
+                        }
+                    }
+                }
+            }
+        }};
+    }
+
+    match col.data() {
+        ColumnData::Int64(v) | ColumnData::Date(v) => {
+            kernel!(v.iter(), |x: &i64| cell_num(*x as f64))
+        }
+        ColumnData::Float64(v) => kernel!(v.iter(), |x: &f64| cell_num(*x)),
+        ColumnData::Bool(v) => kernel!(v.iter(), |x: &bool| cell_bool(*x)),
+        ColumnData::Utf8(v) => kernel!(v.iter(), |x: &Arc<str>| cell_str(x)),
+    }
+}
+
+/// Hash the key columns of `frame` into one `u64` per row.
+///
+/// Zero key columns yield a constant hash per row (the global-aggregate
+/// "single group" case). The result is independent of which frame the rows
+/// live in, so build- and probe-side hashes are directly comparable.
+pub fn hash_keys(frame: &DataFrame, key_indices: &[usize]) -> KeyHashes {
+    let n = frame.num_rows();
+    let mut hashes = vec![mix64(0); n];
+    let mut any_null: Option<Vec<bool>> = None;
+    for (kc, &c) in key_indices.iter().enumerate() {
+        fold_column(frame.column_at(c), &mut hashes, &mut any_null, kc == 0);
+    }
+    KeyHashes { hashes, any_null }
+}
+
+/// Typed equality of two key tuples living in (possibly different) frames.
+///
+/// Follows `Value` semantics: `null == null`, numerics compare through
+/// canonical `f64` bits (cross-type included), other type mismatches are
+/// unequal. Join callers that need "null keys never match" must filter null
+/// rows via [`KeyHashes::any_null`] *before* probing; group-by callers rely
+/// on the `null == null` behaviour here to keep one group per null key.
+pub fn keys_equal(
+    left: &DataFrame,
+    lrow: usize,
+    left_keys: &[usize],
+    right: &DataFrame,
+    rrow: usize,
+    right_keys: &[usize],
+) -> bool {
+    debug_assert_eq!(left_keys.len(), right_keys.len());
+    left_keys
+        .iter()
+        .zip(right_keys)
+        .all(|(&lc, &rc)| cells_equal(left.column_at(lc), lrow, right.column_at(rc), rrow))
+}
+
+/// Typed `Value`-compatible equality of two cells.
+#[inline]
+fn cells_equal(a: &Column, ia: usize, b: &Column, ib: usize) -> bool {
+    match (a.is_valid(ia), b.is_valid(ib)) {
+        (false, false) => return true,
+        (true, true) => {}
+        _ => return false,
+    }
+    match (a.data(), b.data()) {
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => x[ia] == y[ib],
+        (ColumnData::Utf8(x), ColumnData::Utf8(y)) => x[ia] == y[ib],
+        (x, y) => match (numeric_at(x, ia), numeric_at(y, ib)) {
+            (Some(fx), Some(fy)) => canonical_f64_bits(fx) == canonical_f64_bits(fy),
+            _ => false,
+        },
+    }
+}
+
+#[inline]
+fn numeric_at(data: &ColumnData, i: usize) -> Option<f64> {
+    match data {
+        ColumnData::Int64(v) | ColumnData::Date(v) => Some(v[i] as f64),
+        ColumnData::Float64(v) => Some(v[i]),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KeyStore: typed, growable storage of distinct key tuples.
+// ---------------------------------------------------------------------------
+
+/// One stored key column: typed payload plus validity.
+#[derive(Debug, Clone)]
+enum KeyCol {
+    I64(Vec<i64>, Vec<bool>),
+    F64(Vec<f64>, Vec<bool>),
+    Bool(Vec<bool>, Vec<bool>),
+    Str(Vec<Arc<str>>, Vec<bool>),
+    Date(Vec<i64>, Vec<bool>),
+}
+
+impl KeyCol {
+    fn new(dtype: DataType) -> KeyCol {
+        match dtype {
+            DataType::Int64 => KeyCol::I64(Vec::new(), Vec::new()),
+            DataType::Float64 => KeyCol::F64(Vec::new(), Vec::new()),
+            DataType::Bool => KeyCol::Bool(Vec::new(), Vec::new()),
+            DataType::Utf8 => KeyCol::Str(Vec::new(), Vec::new()),
+            DataType::Date => KeyCol::Date(Vec::new(), Vec::new()),
+        }
+    }
+}
+
+/// Columnar storage of the distinct key tuples seen by a hash aggregate (or
+/// any other hash-keyed operator state). Group `g`'s key lives at slot `g`
+/// of every column; appending, comparing against a frame row, ordering two
+/// stored tuples, and exporting to output [`Column`]s are all typed — the
+/// per-row `Row` allocation the old group-by paid is gone.
+#[derive(Debug, Clone, Default)]
+pub struct KeyStore {
+    cols: Vec<KeyCol>,
+    len: u32,
+}
+
+impl KeyStore {
+    /// Empty store for keys of the given types (frame-column order).
+    pub fn for_types(dtypes: &[DataType]) -> KeyStore {
+        KeyStore {
+            cols: dtypes.iter().map(|&t| KeyCol::new(t)).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn clear(&mut self) {
+        for c in &mut self.cols {
+            match c {
+                KeyCol::I64(v, m) | KeyCol::Date(v, m) => {
+                    v.clear();
+                    m.clear();
+                }
+                KeyCol::F64(v, m) => {
+                    v.clear();
+                    m.clear();
+                }
+                KeyCol::Bool(v, m) => {
+                    v.clear();
+                    m.clear();
+                }
+                KeyCol::Str(v, m) => {
+                    v.clear();
+                    m.clear();
+                }
+            }
+        }
+        self.len = 0;
+    }
+
+    /// Append the key tuple at `row` of `frame`; returns the new slot id.
+    pub fn push_row(&mut self, frame: &DataFrame, key_indices: &[usize], row: usize) -> u32 {
+        debug_assert_eq!(key_indices.len(), self.cols.len());
+        for (store, &c) in self.cols.iter_mut().zip(key_indices) {
+            let col = frame.column_at(c);
+            let valid = col.is_valid(row);
+            match (store, col.data()) {
+                (KeyCol::I64(v, m), ColumnData::Int64(src))
+                | (KeyCol::I64(v, m), ColumnData::Date(src))
+                | (KeyCol::Date(v, m), ColumnData::Date(src))
+                | (KeyCol::Date(v, m), ColumnData::Int64(src)) => {
+                    v.push(if valid { src[row] } else { 0 });
+                    m.push(valid);
+                }
+                (KeyCol::F64(v, m), ColumnData::Float64(src)) => {
+                    v.push(if valid { src[row] } else { 0.0 });
+                    m.push(valid);
+                }
+                (KeyCol::Bool(v, m), ColumnData::Bool(src)) => {
+                    v.push(valid && src[row]);
+                    m.push(valid);
+                }
+                (KeyCol::Str(v, m), ColumnData::Utf8(src)) => {
+                    v.push(if valid {
+                        src[row].clone()
+                    } else {
+                        Arc::from("")
+                    });
+                    m.push(valid);
+                }
+                (store, data) => unreachable!(
+                    "key store type {:?} cannot accept column {:?}",
+                    std::mem::discriminant(&*store),
+                    data.data_type()
+                ),
+            }
+        }
+        self.len += 1;
+        self.len - 1
+    }
+
+    /// Does stored tuple `slot` equal the key tuple at `row` of `frame`?
+    pub fn eq_row(&self, slot: u32, frame: &DataFrame, key_indices: &[usize], row: usize) -> bool {
+        let s = slot as usize;
+        self.cols.iter().zip(key_indices).all(|(store, &c)| {
+            let col = frame.column_at(c);
+            let valid = col.is_valid(row);
+            match store {
+                KeyCol::I64(v, m) | KeyCol::Date(v, m) => match (m[s], valid) {
+                    (false, false) => true,
+                    (true, true) => match numeric_at(col.data(), row) {
+                        Some(f) => canonical_f64_bits(v[s] as f64) == canonical_f64_bits(f),
+                        None => false,
+                    },
+                    _ => false,
+                },
+                KeyCol::F64(v, m) => match (m[s], valid) {
+                    (false, false) => true,
+                    (true, true) => match numeric_at(col.data(), row) {
+                        Some(f) => canonical_f64_bits(v[s]) == canonical_f64_bits(f),
+                        None => false,
+                    },
+                    _ => false,
+                },
+                KeyCol::Bool(v, m) => match (m[s], valid) {
+                    (false, false) => true,
+                    (true, true) => match col.data() {
+                        ColumnData::Bool(src) => v[s] == src[row],
+                        _ => false,
+                    },
+                    _ => false,
+                },
+                KeyCol::Str(v, m) => match (m[s], valid) {
+                    (false, false) => true,
+                    (true, true) => match col.data() {
+                        ColumnData::Utf8(src) => v[s] == src[row],
+                        _ => false,
+                    },
+                    _ => false,
+                },
+            }
+        })
+    }
+
+    /// `Value`-compatible ordering of two stored tuples (lexicographic over
+    /// columns; per column: nulls first, numerics by value with NaN last,
+    /// bools `false < true`, strings lexicographic).
+    pub fn cmp_slots(&self, a: u32, b: u32) -> Ordering {
+        let (ia, ib) = (a as usize, b as usize);
+        for store in &self.cols {
+            let ord = match store {
+                KeyCol::I64(v, m) | KeyCol::Date(v, m) => {
+                    cmp_cell(m[ia], m[ib], || cmp_f64(v[ia] as f64, v[ib] as f64))
+                }
+                KeyCol::F64(v, m) => cmp_cell(m[ia], m[ib], || cmp_f64(v[ia], v[ib])),
+                KeyCol::Bool(v, m) => cmp_cell(m[ia], m[ib], || v[ia].cmp(&v[ib])),
+                KeyCol::Str(v, m) => cmp_cell(m[ia], m[ib], || v[ia].cmp(&v[ib])),
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Export the stored tuples, reordered by `order`, as output columns.
+    pub fn to_columns(&self, order: &[u32]) -> Vec<Column> {
+        self.cols
+            .iter()
+            .map(|store| {
+                macro_rules! gather {
+                    ($v:expr, $m:expr, $make:expr) => {{
+                        let data: Vec<_> = order.iter().map(|&g| $v[g as usize].clone()).collect();
+                        let all_valid = order.iter().all(|&g| $m[g as usize]);
+                        if all_valid {
+                            Column::new($make(data))
+                        } else {
+                            let mask: Vec<bool> = order.iter().map(|&g| $m[g as usize]).collect();
+                            Column::with_validity($make(data), mask)
+                                .expect("mask length matches by construction")
+                        }
+                    }};
+                }
+                match store {
+                    KeyCol::I64(v, m) => gather!(v, m, ColumnData::Int64),
+                    KeyCol::Date(v, m) => gather!(v, m, ColumnData::Date),
+                    KeyCol::F64(v, m) => gather!(v, m, ColumnData::Float64),
+                    KeyCol::Bool(v, m) => gather!(v, m, ColumnData::Bool),
+                    KeyCol::Str(v, m) => gather!(v, m, ColumnData::Utf8),
+                }
+            })
+            .collect()
+    }
+
+    /// Approximate heap bytes (peak-memory metric).
+    pub fn byte_size(&self) -> usize {
+        self.cols
+            .iter()
+            .map(|c| match c {
+                KeyCol::I64(v, m) | KeyCol::Date(v, m) => v.len() * 8 + m.len(),
+                KeyCol::F64(v, m) => v.len() * 8 + m.len(),
+                KeyCol::Bool(v, m) => v.len() + m.len(),
+                KeyCol::Str(v, m) => v.iter().map(|s| s.len() + 16).sum::<usize>() + m.len(),
+            })
+            .sum()
+    }
+}
+
+#[inline]
+fn cmp_cell(va: bool, vb: bool, payload: impl FnOnce() -> Ordering) -> Ordering {
+    match (va, vb) {
+        (false, false) => Ordering::Equal,
+        (false, true) => Ordering::Less, // nulls first
+        (true, false) => Ordering::Greater,
+        (true, true) => payload(),
+    }
+}
+
+/// Total order on f64 matching `Value::cmp`: numeric order, NaNs last and
+/// equal to each other, `-0.0 == 0.0`.
+#[inline]
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    match a.partial_cmp(&b) {
+        Some(ord) => ord,
+        None => match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => unreachable!(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::Value;
+
+    fn frame(cols: Vec<(&str, Column)>) -> DataFrame {
+        let fields = cols
+            .iter()
+            .map(|(n, c)| Field::new(*n, c.data_type()))
+            .collect();
+        DataFrame::new(
+            Arc::new(Schema::new(fields)),
+            cols.into_iter().map(|(_, c)| c).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hashes_are_frame_independent_and_row_local() {
+        let a = frame(vec![("k", Column::from_i64(vec![1, 2, 3]))]);
+        let b = frame(vec![("x", Column::from_i64(vec![3, 1]))]);
+        let ha = hash_keys(&a, &[0]);
+        let hb = hash_keys(&b, &[0]);
+        assert_eq!(ha.hashes[0], hb.hashes[1]);
+        assert_eq!(ha.hashes[2], hb.hashes[0]);
+        assert_ne!(ha.hashes[0], ha.hashes[1]);
+        assert!(ha.any_null.is_none());
+    }
+
+    #[test]
+    fn cross_type_numeric_hash_and_equality() {
+        let ints = frame(vec![("k", Column::from_i64(vec![3, 0]))]);
+        let floats = frame(vec![("k", Column::from_f64(vec![3.0, -0.0]))]);
+        let dates = frame(vec![("k", Column::from_dates(vec![3, 0]))]);
+        let hi = hash_keys(&ints, &[0]);
+        let hf = hash_keys(&floats, &[0]);
+        let hd = hash_keys(&dates, &[0]);
+        assert_eq!(hi.hashes, hf.hashes, "Int64 and Float64 must hash alike");
+        assert_eq!(hi.hashes, hd.hashes, "Int64 and Date must hash alike");
+        assert!(keys_equal(&ints, 0, &[0], &floats, 0, &[0]));
+        assert!(keys_equal(&ints, 1, &[0], &floats, 1, &[0]), "-0.0 == 0");
+        assert!(!keys_equal(&ints, 0, &[0], &floats, 1, &[0]));
+    }
+
+    #[test]
+    fn nan_normalised_in_hash_and_equality() {
+        let a = frame(vec![("k", Column::from_f64(vec![f64::NAN]))]);
+        let b = frame(vec![("k", Column::from_f64(vec![-f64::NAN]))]);
+        assert_eq!(hash_keys(&a, &[0]).hashes, hash_keys(&b, &[0]).hashes);
+        assert!(keys_equal(&a, 0, &[0], &b, 0, &[0]));
+    }
+
+    #[test]
+    fn null_cells_set_mask_and_compare_null_eq_null() {
+        let col = Column::from_values(DataType::Int64, &[Value::Int(1), Value::Null]).unwrap();
+        let f = frame(vec![("k", col)]);
+        let kh = hash_keys(&f, &[0]);
+        assert!(!kh.is_null(0));
+        assert!(kh.is_null(1));
+        // null == null (group-by semantics); null != value.
+        assert!(keys_equal(&f, 1, &[0], &f, 1, &[0]));
+        assert!(!keys_equal(&f, 0, &[0], &f, 1, &[0]));
+    }
+
+    #[test]
+    fn multi_column_keys_combine_order_sensitively() {
+        let f = frame(vec![
+            ("a", Column::from_i64(vec![1, 2])),
+            ("b", Column::from_i64(vec![2, 1])),
+        ]);
+        let ab = hash_keys(&f, &[0, 1]);
+        let ba = hash_keys(&f, &[1, 0]);
+        // (1,2) as (a,b) equals (2,1) as (b,a):
+        assert_eq!(ab.hashes[0], ba.hashes[1]);
+        // ...but (1,2) != (2,1) under the same column order.
+        assert_ne!(ab.hashes[0], ab.hashes[1]);
+    }
+
+    #[test]
+    fn incompatible_types_never_equal() {
+        let b = frame(vec![("k", Column::from_bool(vec![true]))]);
+        let i = frame(vec![("k", Column::from_i64(vec![1]))]);
+        let s = frame(vec![("k", Column::from_str_iter(["1"]))]);
+        assert!(!keys_equal(&b, 0, &[0], &i, 0, &[0]));
+        assert!(!keys_equal(&s, 0, &[0], &i, 0, &[0]));
+    }
+
+    #[test]
+    fn zero_key_columns_hash_constant() {
+        let f = frame(vec![("k", Column::from_i64(vec![5, 6]))]);
+        let kh = hash_keys(&f, &[]);
+        assert_eq!(kh.hashes[0], kh.hashes[1]);
+        assert!(kh.any_null.is_none());
+    }
+
+    #[test]
+    fn key_store_roundtrip_and_ordering() {
+        let f = frame(vec![
+            (
+                "k",
+                Column::from_values(
+                    DataType::Int64,
+                    &[Value::Int(5), Value::Null, Value::Int(1)],
+                )
+                .unwrap(),
+            ),
+            ("s", Column::from_str_iter(["b", "a", "c"])),
+        ]);
+        let mut store = KeyStore::for_types(&[DataType::Int64, DataType::Utf8]);
+        for row in 0..3 {
+            let slot = store.push_row(&f, &[0, 1], row);
+            assert_eq!(slot as usize, row);
+            assert!(store.eq_row(slot, &f, &[0, 1], row));
+        }
+        assert!(!store.eq_row(0, &f, &[0, 1], 2));
+        // null tuple equals only itself.
+        assert!(store.eq_row(1, &f, &[0, 1], 1));
+        assert!(!store.eq_row(1, &f, &[0, 1], 0));
+        // Ordering: null key first, then 1, then 5 — matching Value order.
+        let mut order: Vec<u32> = vec![0, 1, 2];
+        order.sort_by(|&a, &b| store.cmp_slots(a, b));
+        assert_eq!(order, vec![1, 2, 0]);
+        let cols = store.to_columns(&order);
+        assert_eq!(cols[0].value(0), Value::Null);
+        assert_eq!(cols[0].value(1), Value::Int(1));
+        assert_eq!(cols[0].value(2), Value::Int(5));
+        assert_eq!(cols[1].value(0), Value::str("a"));
+        assert!(store.byte_size() > 0);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn key_store_accepts_date_int_interchange() {
+        // Join-compatible numeric columns may feed the same store.
+        let d = frame(vec![("k", Column::from_dates(vec![7]))]);
+        let mut store = KeyStore::for_types(&[DataType::Int64]);
+        let slot = store.push_row(&d, &[0], 0);
+        let i = frame(vec![("k", Column::from_i64(vec![7]))]);
+        assert!(store.eq_row(slot, &i, &[0], 0));
+    }
+
+    #[test]
+    fn hash_matches_rowmap_grouping_on_random_data() {
+        // The vectorized path must induce exactly the same partition of rows
+        // into groups as Row-keyed hashing (collisions resolved by eq).
+        use std::collections::HashMap;
+        let n = 500;
+        let ks: Vec<i64> = (0..n).map(|i| (i * 7 + 3) % 23).collect();
+        let vs: Vec<f64> = (0..n).map(|i| ((i * 13) % 5) as f64).collect();
+        let f = frame(vec![
+            ("a", Column::from_i64(ks)),
+            ("b", Column::from_f64(vs)),
+        ]);
+        let keys = [0usize, 1];
+        let mut by_row: HashMap<crate::row::Row, Vec<usize>> = HashMap::new();
+        for i in 0..n as usize {
+            by_row.entry(f.key_at(i, &keys)).or_default().push(i);
+        }
+        let kh = hash_keys(&f, &keys);
+        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+        for i in 0..n as usize {
+            let bucket = by_hash.entry(kh.hashes[i]).or_default();
+            bucket.push(i);
+        }
+        // Every Row-group must be wholly contained in one hash bucket, and
+        // rows in one bucket with equal typed keys must share a Row-group.
+        for rows in by_row.values() {
+            let h = kh.hashes[rows[0]];
+            assert!(rows.iter().all(|&r| kh.hashes[r] == h));
+        }
+        for rows in by_hash.values() {
+            for w in rows.windows(2) {
+                let same_typed = keys_equal(&f, w[0], &keys, &f, w[1], &keys);
+                let same_row = f.key_at(w[0], &keys) == f.key_at(w[1], &keys);
+                assert_eq!(same_typed, same_row);
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub mod column;
 pub mod csv;
 pub mod error;
 pub mod frame;
+pub mod hash;
 pub mod row;
 pub mod schema;
 pub mod source;

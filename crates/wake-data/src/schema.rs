@@ -23,11 +23,19 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype, mutable: false }
+        Field {
+            name: name.into(),
+            dtype,
+            mutable: false,
+        }
     }
 
     pub fn mutable(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype, mutable: true }
+        Field {
+            name: name.into(),
+            dtype,
+            mutable: true,
+        }
     }
 }
 

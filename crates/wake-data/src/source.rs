@@ -61,7 +61,9 @@ impl MemorySource {
         clustering_key: Option<Vec<String>>,
     ) -> Result<Self> {
         if partitions.is_empty() {
-            return Err(DataError::Invalid("a source needs at least one partition".into()));
+            return Err(DataError::Invalid(
+                "a source needs at least one partition".into(),
+            ));
         }
         let schema = partitions[0].schema().clone();
         for p in &partitions {
@@ -76,7 +78,10 @@ impl MemorySource {
             clustering_key,
             partition_rows: partitions.iter().map(|p| p.num_rows()).collect(),
         };
-        Ok(MemorySource { meta, partitions: partitions.into_iter().map(Arc::new).collect() })
+        Ok(MemorySource {
+            meta,
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+        })
     }
 
     /// Split a single frame into partitions of at most `rows_per_partition`
@@ -305,8 +310,8 @@ mod tests {
         assert_eq!(src.partition(0).unwrap(), f);
         // Schema mismatch is caught.
         let other = Arc::new(Schema::new(vec![Field::new("zzz", DataType::Int64)]));
-        let bad = ColFileDirSource::new("t", other, vec![path.clone()], vec![4], vec![], None)
-            .unwrap();
+        let bad =
+            ColFileDirSource::new("t", other, vec![path.clone()], vec![4], vec![], None).unwrap();
         assert!(bad.partition(0).is_err());
         std::fs::remove_file(path).ok();
     }

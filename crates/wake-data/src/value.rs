@@ -122,13 +122,11 @@ impl Value {
         }
     }
 
-    /// Canonical f64 bits for hashing/equality of numeric values.
+    /// Canonical f64 bits for hashing/equality of numeric values. Shares
+    /// the canonicalization with the vectorized key kernels so the hashed
+    /// and `Row`-keyed paths can never disagree.
     fn num_bits(&self) -> Option<u64> {
-        let f = self.as_f64()?;
-        // Normalise -0.0 to 0.0 and all NaNs to one pattern so Hash == Eq.
-        let f = if f == 0.0 { 0.0 } else { f };
-        let bits = if f.is_nan() { f64::NAN.to_bits() } else { f.to_bits() };
-        Some(bits)
+        Some(crate::hash::canonical_f64_bits(self.as_f64()?))
     }
 }
 
@@ -311,10 +309,12 @@ mod tests {
 
     #[test]
     fn ordering_nulls_first_nan_last() {
-        let mut vals = [Value::Float(f64::NAN),
+        let mut vals = [
+            Value::Float(f64::NAN),
             Value::Int(2),
             Value::Null,
-            Value::Float(1.5)];
+            Value::Float(1.5),
+        ];
         vals.sort();
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Float(1.5));
@@ -335,8 +335,13 @@ mod tests {
         assert_eq!(date_to_days(1970, 1, 2), 1);
         assert_eq!(date_to_days(1969, 12, 31), -1);
         // TPC-H boundary dates.
-        for (y, m, d) in [(1992, 1, 1), (1994, 1, 1), (1995, 3, 15), (1998, 12, 31), (2000, 2, 29)]
-        {
+        for (y, m, d) in [
+            (1992, 1, 1),
+            (1994, 1, 1),
+            (1995, 3, 15),
+            (1998, 12, 31),
+            (2000, 2, 29),
+        ] {
             let days = date_to_days(y, m, d);
             assert_eq!(days_to_date(days), (y, m, d));
         }

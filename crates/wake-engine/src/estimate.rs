@@ -57,9 +57,7 @@ mod tests {
     #[test]
     fn series_accessors() {
         let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64)]));
-        let frame = Arc::new(
-            DataFrame::new(schema, vec![Column::from_i64(vec![1])]).unwrap(),
-        );
+        let frame = Arc::new(DataFrame::new(schema, vec![Column::from_i64(vec![1])]).unwrap());
         let series: EstimateSeries = vec![
             Estimate {
                 frame: frame.clone(),

@@ -134,11 +134,8 @@ impl SteppedExecutor {
             let frame = source.partition(cursor.next_partition)?;
             cursor.next_partition += 1;
             cursor.rows_emitted += frame.num_rows() as u64;
-            let progress = Progress::single(
-                cursor.node.0 as u32,
-                cursor.rows_emitted,
-                cursor.total_rows,
-            );
+            let progress =
+                Progress::single(cursor.node.0 as u32, cursor.rows_emitted, cursor.total_rows);
             let update = Update::delta(frame, progress);
             let node = cursor.node;
             let fully_read = cursors[ci].next_partition >= cursors[ci].partitions;
@@ -316,9 +313,9 @@ mod tests {
         let series = SteppedExecutor::new(g).unwrap().run_collect().unwrap();
         // Estimates are cumulative: last contains all 15 matching rows.
         assert_eq!(series.last().unwrap().frame.num_rows(), 15);
-        assert!(series.windows(2).all(|w| {
-            w[0].frame.num_rows() <= w[1].frame.num_rows()
-        }));
+        assert!(series
+            .windows(2)
+            .all(|w| { w[0].frame.num_rows() <= w[1].frame.num_rows() }));
     }
 
     #[test]
@@ -333,7 +330,10 @@ mod tests {
         let series = SteppedExecutor::new(g).unwrap().run_collect().unwrap();
         let last = series.last().unwrap();
         // Exact: average of the four group sums = 4950/4.
-        assert_eq!(last.frame.value(0, "m").unwrap(), Value::Float(4950.0 / 4.0));
+        assert_eq!(
+            last.frame.value(0, "m").unwrap(),
+            Value::Float(4950.0 / 4.0)
+        );
     }
 
     #[test]

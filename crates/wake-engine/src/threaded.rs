@@ -1,16 +1,22 @@
 //! Pipelined multi-threaded executor (§7.2, Fig 6).
 //!
-//! Each node runs on its own OS thread. Edges are unbounded crossbeam
+//! Each node runs on its own OS thread. Edges are **bounded** crossbeam
 //! channels carrying [`Update`] messages whose frames are shared pointers
 //! (no payload copies across threads, §7.3). A reader thread fetches its
 //! partitions — so I/O, decoding, joins, and aggregation all overlap — and
 //! finishes with an EOF message; every operator node forwards EOF once all
 //! of its input ports have closed, then terminates (the paper's protocol).
+//!
+//! Bounded edges give backpressure: a fast reader feeding a slow aggregate
+//! blocks once [`ThreadedExecutor::with_channel_capacity`] updates are in
+//! flight instead of buffering the whole table in mailboxes. The graph is a
+//! DAG and every node drains its mailbox continuously, so blocking sends
+//! cannot deadlock.
 
 use crate::estimate::{Estimate, EstimateSeries};
 use crate::trace::{TraceEvent, TraceLog};
 use crate::Result;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 use wake_core::graph::{build_operator, NodeKind, QueryGraph};
@@ -26,20 +32,37 @@ enum Message {
     Eof(usize),
 }
 
+/// Default per-edge mailbox capacity (in-flight updates, not rows): small
+/// enough that a stalled consumer stops its producers quickly, large enough
+/// to keep the pipeline busy across scheduling jitter.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 8;
+
 /// Multi-threaded pipelined executor.
 pub struct ThreadedExecutor {
     graph: QueryGraph,
     trace: Option<TraceLog>,
+    channel_capacity: usize,
 }
 
 impl ThreadedExecutor {
     pub fn new(graph: QueryGraph) -> Self {
-        ThreadedExecutor { graph, trace: None }
+        ThreadedExecutor {
+            graph,
+            trace: None,
+            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+        }
     }
 
     /// Record per-node processing spans into `log` (for Fig 13).
     pub fn with_trace(mut self, log: TraceLog) -> Self {
         self.trace = Some(log);
+        self
+    }
+
+    /// Override the per-edge mailbox capacity (minimum 1). Smaller values
+    /// bound memory harder; larger values absorb burstier producers.
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity.max(1);
         self
     }
 
@@ -62,11 +85,11 @@ impl ThreadedExecutor {
         let mut senders: Vec<Sender<Message>> = Vec::with_capacity(self.graph.len());
         let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(self.graph.len());
         for _ in 0..self.graph.len() {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = bounded(self.channel_capacity);
             senders.push(tx);
             receivers.push(Some(rx));
         }
-        let (sink_tx, sink_rx) = unbounded::<Message>();
+        let (sink_tx, sink_rx) = bounded::<Message>(self.channel_capacity);
 
         // Downstream routing table: (target mailbox, port). The sink node
         // additionally feeds the collector channel.
@@ -100,10 +123,8 @@ impl ThreadedExecutor {
                             let t0 = start.elapsed();
                             let frame = source.partition(p)?;
                             emitted += frame.num_rows() as u64;
-                            let update = Update::delta(
-                                frame,
-                                Progress::single(idx as u32, emitted, total),
-                            );
+                            let update =
+                                Update::delta(frame, Progress::single(idx as u32, emitted, total));
                             if let Some(log) = &trace {
                                 log.record(TraceEvent {
                                     node: idx,
@@ -256,8 +277,13 @@ mod tests {
 
     #[test]
     fn threaded_final_state_matches_stepped() {
-        let threaded = ThreadedExecutor::new(agg_graph(200, 16)).run_collect().unwrap();
-        let stepped = SteppedExecutor::new(agg_graph(200, 16)).unwrap().run_collect().unwrap();
+        let threaded = ThreadedExecutor::new(agg_graph(200, 16))
+            .run_collect()
+            .unwrap();
+        let stepped = SteppedExecutor::new(agg_graph(200, 16))
+            .unwrap()
+            .run_collect()
+            .unwrap();
         let tf = &threaded.last().unwrap().frame;
         let sf = &stepped.last().unwrap().frame;
         assert_eq!(tf.as_ref(), sf.as_ref());
@@ -266,8 +292,13 @@ mod tests {
 
     #[test]
     fn produces_multiple_estimates() {
-        let series = ThreadedExecutor::new(agg_graph(100, 10)).run_collect().unwrap();
-        assert!(series.len() >= 2, "expected pipelined intermediate estimates");
+        let series = ThreadedExecutor::new(agg_graph(100, 10))
+            .run_collect()
+            .unwrap();
+        assert!(
+            series.len() >= 2,
+            "expected pipelined intermediate estimates"
+        );
         assert!(series.windows(2).all(|w| w[0].elapsed <= w[1].elapsed));
     }
 
@@ -297,7 +328,10 @@ mod tests {
             g
         };
         let threaded = ThreadedExecutor::new(build()).run_collect().unwrap();
-        let stepped = SteppedExecutor::new(build()).unwrap().run_collect().unwrap();
+        let stepped = SteppedExecutor::new(build())
+            .unwrap()
+            .run_collect()
+            .unwrap();
         let t_last = threaded.last().unwrap().frame.value(0, "n").unwrap();
         let s_last = stepped.last().unwrap().frame.value(0, "n").unwrap();
         assert_eq!(t_last, s_last);
@@ -308,5 +342,45 @@ mod tests {
     fn empty_graph_errors() {
         let g = QueryGraph::new();
         assert!(ThreadedExecutor::new(g).run_collect().is_err());
+    }
+
+    #[test]
+    fn tiny_channel_capacity_applies_backpressure_without_deadlock() {
+        // Capacity 1 forces producers to block on every in-flight update;
+        // the run must still complete with the reference answer.
+        let constrained = ThreadedExecutor::new(agg_graph(200, 4))
+            .with_channel_capacity(1)
+            .run_collect()
+            .unwrap();
+        let stepped = SteppedExecutor::new(agg_graph(200, 4))
+            .unwrap()
+            .run_collect()
+            .unwrap();
+        assert_eq!(
+            constrained.last().unwrap().frame.as_ref(),
+            stepped.last().unwrap().frame.as_ref()
+        );
+        // Join pipelines (two racing producers) must also drain cleanly.
+        let build = || {
+            let mut g = QueryGraph::new();
+            let l = g.read(source(120, 10));
+            let r = g.read(source(60, 5));
+            let j = g.join(l, r, vec!["k"], vec!["k"]);
+            let a = g.agg(j, vec![], vec![AggSpec::count_star("n")]);
+            g.sink(a);
+            g
+        };
+        let tight = ThreadedExecutor::new(build())
+            .with_channel_capacity(1)
+            .run_collect()
+            .unwrap();
+        let reference = SteppedExecutor::new(build())
+            .unwrap()
+            .run_collect()
+            .unwrap();
+        assert_eq!(
+            tight.last().unwrap().frame.value(0, "n").unwrap(),
+            reference.last().unwrap().frame.value(0, "n").unwrap()
+        );
     }
 }

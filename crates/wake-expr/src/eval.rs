@@ -39,7 +39,10 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<DataType> {
             Ok(DataType::Bool)
         }
         Expr::Neg(e) => infer_type(e, schema),
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             let t = match branches.first() {
                 Some((_, v)) => infer_type(v, schema)?,
                 None => infer_type(otherwise, schema)?,
@@ -76,6 +79,17 @@ fn arith_result_type(op: BinOp, lt: DataType, rt: DataType) -> Result<DataType> 
         }
     };
     Ok(out)
+}
+
+/// Evaluate `expr` over `df` without copying when the expression is a bare
+/// column reference — the common case for aggregate inputs and key
+/// extraction, where [`eval`]'s `Column` clone would deep-copy the payload
+/// on every partition.
+pub fn eval_cow<'a>(expr: &Expr, df: &'a DataFrame) -> Result<std::borrow::Cow<'a, Column>> {
+    match expr {
+        Expr::Col(name) => Ok(std::borrow::Cow::Borrowed(df.column(name)?)),
+        other => Ok(std::borrow::Cow::Owned(eval(other, df)?)),
+    }
 }
 
 /// Evaluate `expr` over every row of `df`, producing one column.
@@ -124,7 +138,11 @@ pub fn eval(expr: &Expr, df: &DataFrame) -> Result<Column> {
             let c = eval(e, df)?;
             Ok(Column::from_bool((0..n).map(|i| !c.is_valid(i)).collect()))
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let c = eval(expr, df)?;
             let strs = c.as_str_slice().ok_or_else(|| DataError::TypeMismatch {
                 expected: "Utf8 for LIKE".into(),
@@ -141,7 +159,11 @@ pub fn eval(expr: &Expr, df: &DataFrame) -> Result<Column> {
                 .collect();
             Column::from_values(DataType::Bool, &vals)
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let c = eval(expr, df)?;
             let vals: Vec<Value> = (0..n)
                 .map(|i| {
@@ -167,7 +189,10 @@ pub fn eval(expr: &Expr, df: &DataFrame) -> Result<Column> {
             };
             eval(&ge.and(le), df)
         }
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             let out_type = infer_type(expr, df.schema())?;
             let conds: Vec<Column> = branches
                 .iter()
@@ -330,7 +355,8 @@ fn dense_f64(c: &Column) -> Option<Vec<f64>> {
     if let Some(f) = c.as_f64_slice() {
         return Some(f.to_vec());
     }
-    c.as_i64_slice().map(|v| v.iter().map(|&x| x as f64).collect())
+    c.as_i64_slice()
+        .map(|v| v.iter().map(|&x| x as f64).collect())
 }
 
 fn scalar_arith(op: BinOp, a: &Value, b: &Value, out: DataType) -> Result<Value> {
@@ -387,14 +413,24 @@ fn eval_func(func: Func, args: &[Expr], df: &DataFrame) -> Result<Column> {
             let c = eval(&args[0], df)?;
             let start = match &args[1] {
                 Expr::Lit(Value::Int(s)) => *s,
-                _ => return Err(DataError::Invalid("substr start must be an int literal".into())),
+                _ => {
+                    return Err(DataError::Invalid(
+                        "substr start must be an int literal".into(),
+                    ))
+                }
             };
             let len = match &args[2] {
                 Expr::Lit(Value::Int(l)) => *l,
-                _ => return Err(DataError::Invalid("substr len must be an int literal".into())),
+                _ => {
+                    return Err(DataError::Invalid(
+                        "substr len must be an int literal".into(),
+                    ))
+                }
             };
             if start < 1 || len < 0 {
-                return Err(DataError::Invalid("substr start is 1-based, len >= 0".into()));
+                return Err(DataError::Invalid(
+                    "substr start is 1-based, len >= 0".into(),
+                ));
             }
             let strs = c.as_str_slice().ok_or_else(|| DataError::TypeMismatch {
                 expected: "Utf8 for substr()".into(),
@@ -556,10 +592,7 @@ mod tests {
     #[test]
     fn case_year_substr() {
         let d = df();
-        let e = case_when(
-            vec![(col("s").like("PROMO%"), col("f"))],
-            lit_f64(0.0),
-        );
+        let e = case_when(vec![(col("s").like("PROMO%"), col("f"))], lit_f64(0.0));
         let c = eval(&e, &d).unwrap();
         assert_eq!(c.value(2), Value::Float(2.5));
         assert_eq!(c.value(0), Value::Float(0.0));

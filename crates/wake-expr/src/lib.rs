@@ -12,7 +12,7 @@
 mod eval;
 mod like;
 
-pub use eval::{eval, eval_mask, infer_type};
+pub use eval::{eval, eval_cow, eval_mask, infer_type};
 pub use like::like_match;
 
 use std::fmt;
@@ -38,7 +38,10 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     pub fn is_arithmetic(self) -> bool {
@@ -84,20 +87,45 @@ pub enum Expr {
     Col(Arc<str>),
     /// Literal scalar.
     Lit(Value),
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     Not(Box<Expr>),
     Neg(Box<Expr>),
     IsNull(Box<Expr>),
     /// SQL LIKE with `%` (any run) and `_` (any char).
-    Like { expr: Box<Expr>, pattern: Arc<str>, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: Arc<str>,
+        negated: bool,
+    },
     /// `expr IN (v1, v2, ...)`.
-    InList { expr: Box<Expr>, list: Vec<Value>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
     /// `expr BETWEEN low AND high` (inclusive both ends).
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr> },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
     /// `CASE WHEN c1 THEN v1 ... ELSE otherwise END`.
-    Case { branches: Vec<(Expr, Expr)>, otherwise: Box<Expr> },
-    Func { func: Func, args: Vec<Expr> },
-    Cast { expr: Box<Expr>, to: DataType },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        otherwise: Box<Expr>,
+    },
+    Func {
+        func: Func,
+        args: Vec<Expr>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        to: DataType,
+    },
 }
 
 /// Column reference.
@@ -127,7 +155,9 @@ pub fn lit_str(v: &str) -> Expr {
 
 /// Date literal from `(year, month, day)`.
 pub fn lit_date(year: i64, month: u32, day: u32) -> Expr {
-    Expr::Lit(Value::Date(wake_data::value::date_to_days(year, month, day)))
+    Expr::Lit(Value::Date(wake_data::value::date_to_days(
+        year, month, day,
+    )))
 }
 
 // The fluent builder methods intentionally mirror SQL/dataframe DSLs
@@ -136,7 +166,11 @@ pub fn lit_date(year: i64, month: u32, day: u32) -> Expr {
 #[allow(clippy::should_implement_trait)]
 impl Expr {
     fn bin(self, op: BinOp, rhs: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(self), right: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
     }
 
     pub fn add(self, rhs: Expr) -> Expr {
@@ -200,39 +234,71 @@ impl Expr {
     }
 
     pub fn like(self, pattern: &str) -> Expr {
-        Expr::Like { expr: Box::new(self), pattern: Arc::from(pattern), negated: false }
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: Arc::from(pattern),
+            negated: false,
+        }
     }
 
     pub fn not_like(self, pattern: &str) -> Expr {
-        Expr::Like { expr: Box::new(self), pattern: Arc::from(pattern), negated: true }
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: Arc::from(pattern),
+            negated: true,
+        }
     }
 
     pub fn in_list(self, list: Vec<Value>) -> Expr {
-        Expr::InList { expr: Box::new(self), list, negated: false }
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: false,
+        }
     }
 
     pub fn not_in_list(self, list: Vec<Value>) -> Expr {
-        Expr::InList { expr: Box::new(self), list, negated: true }
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: true,
+        }
     }
 
     pub fn between(self, low: Expr, high: Expr) -> Expr {
-        Expr::Between { expr: Box::new(self), low: Box::new(low), high: Box::new(high) }
+        Expr::Between {
+            expr: Box::new(self),
+            low: Box::new(low),
+            high: Box::new(high),
+        }
     }
 
     pub fn year(self) -> Expr {
-        Expr::Func { func: Func::Year, args: vec![self] }
+        Expr::Func {
+            func: Func::Year,
+            args: vec![self],
+        }
     }
 
     pub fn substr(self, start: i64, len: i64) -> Expr {
-        Expr::Func { func: Func::Substr, args: vec![self, lit_i64(start), lit_i64(len)] }
+        Expr::Func {
+            func: Func::Substr,
+            args: vec![self, lit_i64(start), lit_i64(len)],
+        }
     }
 
     pub fn abs(self) -> Expr {
-        Expr::Func { func: Func::Abs, args: vec![self] }
+        Expr::Func {
+            func: Func::Abs,
+            args: vec![self],
+        }
     }
 
     pub fn cast(self, to: DataType) -> Expr {
-        Expr::Cast { expr: Box::new(self), to }
+        Expr::Cast {
+            expr: Box::new(self),
+            to,
+        }
     }
 
     /// Names of all columns referenced by this expression (sorted, unique).
@@ -262,7 +328,10 @@ impl Expr {
                 low.visit_cols(out);
                 high.visit_cols(out);
             }
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 for (c, v) in branches {
                     c.visit_cols(out);
                     v.visit_cols(out);
@@ -276,7 +345,10 @@ impl Expr {
 
 /// Multi-branch CASE expression.
 pub fn case_when(branches: Vec<(Expr, Expr)>, otherwise: Expr) -> Expr {
-    Expr::Case { branches, otherwise: Box::new(otherwise) }
+    Expr::Case {
+        branches,
+        otherwise: Box::new(otherwise),
+    }
 }
 
 impl fmt::Display for Expr {
@@ -291,10 +363,22 @@ impl fmt::Display for Expr {
             Expr::Not(e) => write!(f, "NOT {e}"),
             Expr::Neg(e) => write!(f, "-{e}"),
             Expr::IsNull(e) => write!(f, "{e} IS NULL"),
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}LIKE '{pattern}'",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, v) in list.iter().enumerate() {
                     if i > 0 {
@@ -307,7 +391,10 @@ impl fmt::Display for Expr {
             Expr::Between { expr, low, high } => {
                 write!(f, "{expr} BETWEEN {low} AND {high}")
             }
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 write!(f, "CASE")?;
                 for (c, v) in branches {
                     write!(f, " WHEN {c} THEN {v}")?;
@@ -346,10 +433,16 @@ mod tests {
         assert!(e.to_string().contains("CASE WHEN"));
         let e = col("p").in_list(vec![Value::Int(1), Value::Int(2)]).not();
         assert!(e.to_string().contains("IN"));
-        assert!(col("d").between(lit_i64(0), lit_i64(1)).to_string().contains("BETWEEN"));
+        assert!(col("d")
+            .between(lit_i64(0), lit_i64(1))
+            .to_string()
+            .contains("BETWEEN"));
         assert!(col("s").substr(1, 2).to_string().contains("Substr"));
         assert!(col("x").is_null().to_string().contains("IS NULL"));
-        assert!(col("x").cast(DataType::Float64).to_string().contains("CAST"));
+        assert!(col("x")
+            .cast(DataType::Float64)
+            .to_string()
+            .contains("CAST"));
     }
 
     #[test]

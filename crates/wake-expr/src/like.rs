@@ -61,8 +61,14 @@ mod tests {
         assert!(like_match("spring green yellow purple", "%green%"));
         assert!(!like_match("spring blue yellow purple", "%green%"));
         // Q13: o_comment not like '%special%requests%'
-        assert!(like_match("is special handling requests now", "%special%requests%"));
-        assert!(!like_match("is special handling only", "%special%requests%"));
+        assert!(like_match(
+            "is special handling requests now",
+            "%special%requests%"
+        ));
+        assert!(!like_match(
+            "is special handling only",
+            "%special%requests%"
+        ));
         // Q16: p_type not like 'MEDIUM POLISHED%'
         assert!(like_match("MEDIUM POLISHED TIN", "MEDIUM POLISHED%"));
     }

@@ -56,7 +56,11 @@ impl ConfidenceInterval {
         let hw = self.half_width();
         let err = (self.estimate - truth).abs();
         if hw <= 0.0 {
-            return if err <= f64::EPSILON { 0.0 } else { f64::INFINITY };
+            return if err <= f64::EPSILON {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         err / hw
     }

@@ -155,10 +155,17 @@ mod tests {
     #[test]
     fn estimator_fixed_point_consistency() {
         // The returned Y must satisfy y = Y(1 − h(x̂/Y)).
-        for (y, x, xhat) in [(30.0, 100.0, 1000.0), (5.0, 40.0, 80.0), (90.0, 100.0, 200.0)] {
+        for (y, x, xhat) in [
+            (30.0, 100.0, 1000.0),
+            (5.0, 40.0, 80.0),
+            (90.0, 100.0, 200.0),
+        ] {
             let est = estimate_distinct(y, x, xhat);
             let back = est * (1.0 - h_unseen(xhat / est, x, xhat));
-            assert!((back - y).abs() < 1e-5, "y={y} x={x} xhat={xhat}: est={est} back={back}");
+            assert!(
+                (back - y).abs() < 1e-5,
+                "y={y} x={x} xhat={xhat}: est={est} back={back}"
+            );
             assert!(est >= y && est <= xhat);
         }
     }

@@ -59,8 +59,14 @@ mod tests {
     #[test]
     fn gamma_matches_factorials() {
         // Γ(n) = (n-1)!
-        let facts: [(f64, f64); 6] =
-            [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (4.0, 6.0), (5.0, 24.0), (6.0, 120.0)];
+        let facts: [(f64, f64); 6] = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (4.0, 6.0),
+            (5.0, 24.0),
+            (6.0, 120.0),
+        ];
         for (x, fact) in facts {
             assert!((ln_gamma(x) - fact.ln()).abs() < 1e-10, "x={x}");
         }
@@ -90,7 +96,10 @@ mod tests {
         assert!((digamma(1.0) + 0.577_215_664_901_532_9).abs() < 1e-9);
         // ψ(x+1) = ψ(x) + 1/x
         for x in [0.3, 1.7, 5.5, 42.0] {
-            assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9, "x={x}");
+            assert!(
+                (digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9,
+                "x={x}"
+            );
         }
     }
 

@@ -43,9 +43,10 @@ pub fn geomean(xs: &[f64]) -> Option<f64> {
 
 /// Maximum, ignoring NaNs; `None` if empty.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(acc.map_or(x, |a: f64| a.max(x)))
-    })
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
 }
 
 #[cfg(test)]

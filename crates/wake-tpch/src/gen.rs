@@ -20,27 +20,69 @@ use std::sync::Arc;
 use wake_data::value::date_to_days;
 use wake_data::{Column, DataFrame, MemorySource, Schema};
 
-const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
-const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINER1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 const CONTAINER2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const COLORS: [&str; 16] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "blanched", "blue", "blush",
-    "chartreuse", "chocolate", "coral", "cream", "forest", "green", "grey", "honeydew",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "blanched",
+    "blue",
+    "blush",
+    "chartreuse",
+    "chocolate",
+    "coral",
+    "cream",
+    "forest",
+    "green",
+    "grey",
+    "honeydew",
 ];
 const WORDS: [&str; 24] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "requests",
-    "accounts", "packages", "instructions", "foxes", "ideas", "theodolites", "pinto",
-    "beans", "asymptotes", "dependencies", "platelets", "somas", "sleep", "nag", "haggle",
-    "wake", "bold",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "requests",
+    "accounts",
+    "packages",
+    "instructions",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "beans",
+    "asymptotes",
+    "dependencies",
+    "platelets",
+    "somas",
+    "sleep",
+    "nag",
+    "haggle",
+    "wake",
+    "bold",
 ];
 
 fn words(rng: &mut StdRng, n: usize) -> String {
@@ -220,7 +262,11 @@ impl TpchData {
                 pick(rng, &TYPE_SYLL3)
             ));
             sizes.push(rng.gen_range(1..=50i64));
-            containers.push(format!("{} {}", pick(rng, &CONTAINER1), pick(rng, &CONTAINER2)));
+            containers.push(format!(
+                "{} {}",
+                pick(rng, &CONTAINER1),
+                pick(rng, &CONTAINER2)
+            ));
             prices.push(retail_price(p));
             comments.push(words(rng, 4));
         }
@@ -588,7 +634,12 @@ mod tests {
     fn phone_prefix_encodes_nation() {
         let d = data();
         for i in 0..d.customer.num_rows() {
-            let nk = d.customer.value(i, "c_nationkey").unwrap().as_i64().unwrap();
+            let nk = d
+                .customer
+                .value(i, "c_nationkey")
+                .unwrap()
+                .as_i64()
+                .unwrap();
             let phone = d.customer.value(i, "c_phone").unwrap();
             let p = phone.as_str().unwrap().to_string();
             assert_eq!(p[..2].parse::<i64>().unwrap(), 10 + nk);
@@ -600,7 +651,12 @@ mod tests {
         let d = data();
         let cutoff = date_to_days(1995, 6, 17);
         for i in 0..d.lineitem.num_rows() {
-            let receipt = d.lineitem.value(i, "l_receiptdate").unwrap().as_i64().unwrap();
+            let receipt = d
+                .lineitem
+                .value(i, "l_receiptdate")
+                .unwrap()
+                .as_i64()
+                .unwrap();
             let ship = d.lineitem.value(i, "l_shipdate").unwrap().as_i64().unwrap();
             let flag = d.lineitem.value(i, "l_returnflag").unwrap();
             let status = d.lineitem.value(i, "l_linestatus").unwrap();
@@ -624,7 +680,10 @@ mod tests {
             })
             .count();
         let frac = special as f64 / d.orders.num_rows() as f64;
-        assert!(frac > 0.0 && frac < 0.05, "special-requests fraction {frac}");
+        assert!(
+            frac > 0.0 && frac < 0.05,
+            "special-requests fraction {frac}"
+        );
     }
 
     #[test]

@@ -35,9 +35,11 @@ pub struct TpchDb {
 impl TpchDb {
     /// `partitions` = how many chunks the largest table (lineitem) spans.
     pub fn new(data: Arc<TpchData>, partitions: usize) -> Self {
-        let rows_per_partition =
-            data.lineitem.num_rows().div_ceil(partitions.max(1)).max(1);
-        TpchDb { data, rows_per_partition }
+        let rows_per_partition = data.lineitem.num_rows().div_ceil(partitions.max(1)).max(1);
+        TpchDb {
+            data,
+            rows_per_partition,
+        }
     }
 
     pub fn data(&self) -> &Arc<TpchData> {
@@ -106,41 +108,126 @@ pub fn all_queries() -> Vec<QuerySpec> {
                 "count_order",
             ],
         },
-        QuerySpec { name: "q2", build: q2, keys: &["p_partkey", "s_name"], values: &["s_acctbal"] },
-        QuerySpec { name: "q3", build: q3, keys: &["l_orderkey"], values: &["revenue"] },
-        QuerySpec { name: "q4", build: q4, keys: &["o_orderpriority"], values: &["order_count"] },
-        QuerySpec { name: "q5", build: q5, keys: &["n_name"], values: &["revenue"] },
-        QuerySpec { name: "q6", build: q6, keys: &[], values: &["revenue"] },
+        QuerySpec {
+            name: "q2",
+            build: q2,
+            keys: &["p_partkey", "s_name"],
+            values: &["s_acctbal"],
+        },
+        QuerySpec {
+            name: "q3",
+            build: q3,
+            keys: &["l_orderkey"],
+            values: &["revenue"],
+        },
+        QuerySpec {
+            name: "q4",
+            build: q4,
+            keys: &["o_orderpriority"],
+            values: &["order_count"],
+        },
+        QuerySpec {
+            name: "q5",
+            build: q5,
+            keys: &["n_name"],
+            values: &["revenue"],
+        },
+        QuerySpec {
+            name: "q6",
+            build: q6,
+            keys: &[],
+            values: &["revenue"],
+        },
         QuerySpec {
             name: "q7",
             build: q7,
             keys: &["supp_nation", "cust_nation", "l_year"],
             values: &["revenue"],
         },
-        QuerySpec { name: "q8", build: q8, keys: &["o_year"], values: &["mkt_share"] },
-        QuerySpec { name: "q9", build: q9, keys: &["nation", "o_year"], values: &["sum_profit"] },
-        QuerySpec { name: "q10", build: q10, keys: &["c_custkey"], values: &["revenue"] },
-        QuerySpec { name: "q11", build: q11, keys: &["ps_partkey"], values: &["value"] },
+        QuerySpec {
+            name: "q8",
+            build: q8,
+            keys: &["o_year"],
+            values: &["mkt_share"],
+        },
+        QuerySpec {
+            name: "q9",
+            build: q9,
+            keys: &["nation", "o_year"],
+            values: &["sum_profit"],
+        },
+        QuerySpec {
+            name: "q10",
+            build: q10,
+            keys: &["c_custkey"],
+            values: &["revenue"],
+        },
+        QuerySpec {
+            name: "q11",
+            build: q11,
+            keys: &["ps_partkey"],
+            values: &["value"],
+        },
         QuerySpec {
             name: "q12",
             build: q12,
             keys: &["l_shipmode"],
             values: &["high_line_count", "low_line_count"],
         },
-        QuerySpec { name: "q13", build: q13, keys: &["c_count"], values: &["custdist"] },
-        QuerySpec { name: "q14", build: q14, keys: &[], values: &["promo_revenue"] },
-        QuerySpec { name: "q15", build: q15, keys: &["s_suppkey"], values: &["total_revenue"] },
+        QuerySpec {
+            name: "q13",
+            build: q13,
+            keys: &["c_count"],
+            values: &["custdist"],
+        },
+        QuerySpec {
+            name: "q14",
+            build: q14,
+            keys: &[],
+            values: &["promo_revenue"],
+        },
+        QuerySpec {
+            name: "q15",
+            build: q15,
+            keys: &["s_suppkey"],
+            values: &["total_revenue"],
+        },
         QuerySpec {
             name: "q16",
             build: q16,
             keys: &["p_brand", "p_type", "p_size"],
             values: &["supplier_cnt"],
         },
-        QuerySpec { name: "q17", build: q17, keys: &[], values: &["avg_yearly"] },
-        QuerySpec { name: "q18", build: q18, keys: &["o_orderkey"], values: &["total_qty"] },
-        QuerySpec { name: "q19", build: q19, keys: &[], values: &["revenue"] },
-        QuerySpec { name: "q20", build: q20, keys: &["s_suppkey"], values: &[] },
-        QuerySpec { name: "q21", build: q21, keys: &["s_name"], values: &["numwait"] },
+        QuerySpec {
+            name: "q17",
+            build: q17,
+            keys: &[],
+            values: &["avg_yearly"],
+        },
+        QuerySpec {
+            name: "q18",
+            build: q18,
+            keys: &["o_orderkey"],
+            values: &["total_qty"],
+        },
+        QuerySpec {
+            name: "q19",
+            build: q19,
+            keys: &[],
+            values: &["revenue"],
+        },
+        QuerySpec {
+            name: "q20",
+            build: q20,
+            keys: &["s_suppkey"],
+            values: &[],
+        },
+        QuerySpec {
+            name: "q21",
+            build: q21,
+            keys: &["s_name"],
+            values: &["numwait"],
+        },
         QuerySpec {
             name: "q22",
             build: q22,

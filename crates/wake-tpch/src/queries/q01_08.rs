@@ -3,8 +3,8 @@
 use super::{keep, TpchDb};
 use wake_core::agg::AggSpec;
 use wake_core::graph::{JoinKind, QueryGraph};
-use wake_expr::{case_when, col, lit_date, lit_f64, lit_str, Expr};
 use wake_data::Value;
+use wake_expr::{case_when, col, lit_date, lit_f64, lit_str, Expr};
 
 fn revenue_expr() -> Expr {
     col("l_extendedprice").mul(lit_f64(1.0).sub(col("l_discount")))
@@ -25,10 +25,7 @@ pub fn q1(db: &TpchDb) -> QueryGraph {
             (col("l_extendedprice"), "l_extendedprice"),
             (col("l_discount"), "l_discount"),
             (revenue_expr(), "disc_price"),
-            (
-                revenue_expr().mul(lit_f64(1.0).add(col("l_tax"))),
-                "charge",
-            ),
+            (revenue_expr().mul(lit_f64(1.0).add(col("l_tax"))), "charge"),
         ],
     );
     let a = g.agg(
@@ -45,7 +42,12 @@ pub fn q1(db: &TpchDb) -> QueryGraph {
             AggSpec::count_star("count_order"),
         ],
     );
-    let s = g.sort(a, vec!["l_returnflag", "l_linestatus"], vec![false, false], None);
+    let s = g.sort(
+        a,
+        vec!["l_returnflag", "l_linestatus"],
+        vec![false, false],
+        None,
+    );
     g.sink(s);
     g
 }
@@ -64,14 +66,24 @@ pub fn q2(db: &TpchDb) -> QueryGraph {
     let sj = g.join(supplier, nat, vec!["s_nationkey"], vec!["n_nationkey"]);
     let sup = g.map(
         sj,
-        keep(&["s_suppkey", "s_acctbal", "s_name", "s_address", "s_phone", "s_comment", "n_name"]),
+        keep(&[
+            "s_suppkey",
+            "s_acctbal",
+            "s_name",
+            "s_address",
+            "s_phone",
+            "s_comment",
+            "n_name",
+        ]),
     );
     let partsupp = db.read(&mut g, "partsupp");
     let psj = g.join(partsupp, sup, vec!["ps_suppkey"], vec!["s_suppkey"]);
     let part = db.read(&mut g, "part");
     let pf = g.filter(
         part,
-        col("p_size").eq(wake_expr::lit_i64(15)).and(col("p_type").like("%BRASS")),
+        col("p_size")
+            .eq(wake_expr::lit_i64(15))
+            .and(col("p_type").like("%BRASS")),
     );
     let pk = g.map(pf, keep(&["p_partkey", "p_mfgr"]));
     let cand = g.join(pk, psj, vec!["p_partkey"], vec!["ps_partkey"]);
@@ -89,7 +101,13 @@ pub fn q2(db: &TpchDb) -> QueryGraph {
     let out = g.map(
         res,
         keep(&[
-            "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address", "s_phone",
+            "s_acctbal",
+            "s_name",
+            "n_name",
+            "p_partkey",
+            "p_mfgr",
+            "s_address",
+            "s_phone",
             "s_comment",
         ]),
     );
@@ -115,14 +133,22 @@ pub fn q3(db: &TpchDb) -> QueryGraph {
     let ok = g.map(oc, keep(&["o_orderkey", "o_orderdate", "o_shippriority"]));
     let lineitem = db.read(&mut g, "lineitem");
     let lf = g.filter(lineitem, col("l_shipdate").gt(lit_date(1995, 3, 15)));
-    let lm = g.map(lf, vec![(col("l_orderkey"), "l_orderkey"), (revenue_expr(), "rev")]);
+    let lm = g.map(
+        lf,
+        vec![(col("l_orderkey"), "l_orderkey"), (revenue_expr(), "rev")],
+    );
     let j = g.join(lm, ok, vec!["l_orderkey"], vec!["o_orderkey"]);
     let a = g.agg(
         j,
         vec!["l_orderkey", "o_orderdate", "o_shippriority"],
         vec![AggSpec::sum(col("rev"), "revenue")],
     );
-    let s = g.sort(a, vec!["revenue", "o_orderdate"], vec![true, false], Some(10));
+    let s = g.sort(
+        a,
+        vec!["revenue", "o_orderdate"],
+        vec![true, false],
+        Some(10),
+    );
     g.sink(s);
     g
 }
@@ -141,8 +167,18 @@ pub fn q4(db: &TpchDb) -> QueryGraph {
     let lineitem = db.read(&mut g, "lineitem");
     let lf = g.filter(lineitem, col("l_commitdate").lt(col("l_receiptdate")));
     let lk = g.map(lf, keep(&["l_orderkey"]));
-    let sj = g.join_kind(ok, lk, vec!["o_orderkey"], vec!["l_orderkey"], JoinKind::Semi);
-    let a = g.agg(sj, vec!["o_orderpriority"], vec![AggSpec::count_star("order_count")]);
+    let sj = g.join_kind(
+        ok,
+        lk,
+        vec!["o_orderkey"],
+        vec!["l_orderkey"],
+        JoinKind::Semi,
+    );
+    let a = g.agg(
+        sj,
+        vec!["o_orderpriority"],
+        vec![AggSpec::count_star("order_count")],
+    );
     let s = g.sort(a, vec!["o_orderpriority"], vec![false], None);
     g.sink(s);
     g
@@ -188,7 +224,11 @@ pub fn q5(db: &TpchDb) -> QueryGraph {
         vec!["s_suppkey", "s_nationkey"],
     );
     let j3 = g.join(j2, nat, vec!["c_nationkey"], vec!["n_nationkey"]);
-    let a = g.agg(j3, vec!["n_name"], vec![AggSpec::sum(col("rev"), "revenue")]);
+    let a = g.agg(
+        j3,
+        vec!["n_name"],
+        vec![AggSpec::sum(col("rev"), "revenue")],
+    );
     let s = g.sort(a, vec!["revenue"], vec![true], None);
     g.sink(s);
     g
@@ -206,7 +246,10 @@ pub fn q6(db: &TpchDb) -> QueryGraph {
             .and(col("l_discount").between(lit_f64(0.05), lit_f64(0.07)))
             .and(col("l_quantity").lt(lit_f64(24.0))),
     );
-    let m = g.map(f, vec![(col("l_extendedprice").mul(col("l_discount")), "rev")]);
+    let m = g.map(
+        f,
+        vec![(col("l_extendedprice").mul(col("l_discount")), "rev")],
+    );
     let a = g.agg(m, vec![], vec![AggSpec::sum(col("rev"), "revenue")]);
     g.sink(a);
     g
@@ -234,7 +277,13 @@ pub fn q7(db: &TpchDb) -> QueryGraph {
     let supplier = db.read(&mut g, "supplier");
     let sup = g.map(supplier, keep(&["s_suppkey", "s_nationkey"]));
     let n1 = db.read(&mut g, "nation");
-    let n1m = g.map(n1, vec![(col("n_nationkey"), "n1_key"), (col("n_name"), "supp_nation")]);
+    let n1m = g.map(
+        n1,
+        vec![
+            (col("n_nationkey"), "n1_key"),
+            (col("n_name"), "supp_nation"),
+        ],
+    );
     let sn = g.join(sup, n1m, vec!["s_nationkey"], vec!["n1_key"]);
     let snk = g.map(sn, keep(&["s_suppkey", "supp_nation"]));
     let j1 = g.join(lm, snk, vec!["l_suppkey"], vec!["s_suppkey"]);
@@ -243,7 +292,13 @@ pub fn q7(db: &TpchDb) -> QueryGraph {
     let customer = db.read(&mut g, "customer");
     let cm = g.map(customer, keep(&["c_custkey", "c_nationkey"]));
     let n2 = db.read(&mut g, "nation");
-    let n2m = g.map(n2, vec![(col("n_nationkey"), "n2_key"), (col("n_name"), "cust_nation")]);
+    let n2m = g.map(
+        n2,
+        vec![
+            (col("n_nationkey"), "n2_key"),
+            (col("n_name"), "cust_nation"),
+        ],
+    );
     let cn = g.join(cm, n2m, vec!["c_nationkey"], vec!["n2_key"]);
     let cnk = g.map(cn, keep(&["c_custkey", "cust_nation"]));
     let ocn = g.join(om, cnk, vec!["o_custkey"], vec!["c_custkey"]);
@@ -310,7 +365,13 @@ pub fn q8(db: &TpchDb) -> QueryGraph {
     let customer = db.read(&mut g, "customer");
     let cm = g.map(customer, keep(&["c_custkey", "c_nationkey"]));
     let n2 = db.read(&mut g, "nation");
-    let n2m = g.map(n2, vec![(col("n_nationkey"), "n2_key"), (col("n_regionkey"), "n2_region")]);
+    let n2m = g.map(
+        n2,
+        vec![
+            (col("n_nationkey"), "n2_key"),
+            (col("n_regionkey"), "n2_region"),
+        ],
+    );
     let cn = g.join(cm, n2m, vec!["c_nationkey"], vec!["n2_key"]);
     let region = db.read(&mut g, "region");
     let rf = g.filter(region, col("r_name").eq(lit_str("AMERICA")));
@@ -321,7 +382,13 @@ pub fn q8(db: &TpchDb) -> QueryGraph {
     let supplier = db.read(&mut g, "supplier");
     let sm = g.map(supplier, keep(&["s_suppkey", "s_nationkey"]));
     let n1 = db.read(&mut g, "nation");
-    let n1m = g.map(n1, vec![(col("n_nationkey"), "n1_key"), (col("n_name"), "nation_name")]);
+    let n1m = g.map(
+        n1,
+        vec![
+            (col("n_nationkey"), "n1_key"),
+            (col("n_name"), "nation_name"),
+        ],
+    );
     let sn = g.join(sm, n1m, vec!["s_nationkey"], vec!["n1_key"]);
     let snk = g.map(sn, keep(&["s_suppkey", "nation_name"]));
     let j4 = g.join(j3, snk, vec!["l_suppkey"], vec!["s_suppkey"]);

@@ -29,7 +29,10 @@ pub fn q9(db: &TpchDb) -> QueryGraph {
     );
     let j1 = g.join(lm, pk, vec!["l_partkey"], vec!["p_partkey"]);
     let partsupp = db.read(&mut g, "partsupp");
-    let psm = g.map(partsupp, keep(&["ps_partkey", "ps_suppkey", "ps_supplycost"]));
+    let psm = g.map(
+        partsupp,
+        keep(&["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+    );
     let j2 = g.join(
         j1,
         psm,
@@ -50,13 +53,19 @@ pub fn q9(db: &TpchDb) -> QueryGraph {
     let orders = db.read(&mut g, "orders");
     let om = g.map(
         orders,
-        vec![(col("o_orderkey"), "o_orderkey"), (col("o_orderdate").year(), "o_year")],
+        vec![
+            (col("o_orderkey"), "o_orderkey"),
+            (col("o_orderdate").year(), "o_year"),
+        ],
     );
     let j3 = g.join(amt, om, vec!["l_orderkey"], vec!["o_orderkey"]);
     let supplier = db.read(&mut g, "supplier");
     let sm = g.map(supplier, keep(&["s_suppkey", "s_nationkey"]));
     let nation = db.read(&mut g, "nation");
-    let nm = g.map(nation, vec![(col("n_nationkey"), "n_key"), (col("n_name"), "nation")]);
+    let nm = g.map(
+        nation,
+        vec![(col("n_nationkey"), "n_key"), (col("n_name"), "nation")],
+    );
     let sn = g.join(sm, nm, vec!["s_nationkey"], vec!["n_key"]);
     let snk = g.map(sn, keep(&["s_suppkey", "nation"]));
     let j4 = g.join(j3, snk, vec!["l_suppkey"], vec!["s_suppkey"]);
@@ -84,13 +93,21 @@ pub fn q10(db: &TpchDb) -> QueryGraph {
     let om = g.map(of, keep(&["o_orderkey", "o_custkey"]));
     let lineitem = db.read(&mut g, "lineitem");
     let lf = g.filter(lineitem, col("l_returnflag").eq(lit_str("R")));
-    let lm = g.map(lf, vec![(col("l_orderkey"), "l_orderkey"), (revenue_expr(), "rev")]);
+    let lm = g.map(
+        lf,
+        vec![(col("l_orderkey"), "l_orderkey"), (revenue_expr(), "rev")],
+    );
     let j1 = g.join(lm, om, vec!["l_orderkey"], vec!["o_orderkey"]);
     let customer = db.read(&mut g, "customer");
     let cm = g.map(
         customer,
         keep(&[
-            "c_custkey", "c_name", "c_acctbal", "c_phone", "c_nationkey", "c_address",
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "c_nationkey",
+            "c_address",
             "c_comment",
         ]),
     );
@@ -100,7 +117,15 @@ pub fn q10(db: &TpchDb) -> QueryGraph {
     let j3 = g.join(j2, nm, vec!["c_nationkey"], vec!["n_nationkey"]);
     let a = g.agg(
         j3,
-        vec!["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"],
+        vec![
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "n_name",
+            "c_address",
+            "c_comment",
+        ],
         vec![AggSpec::sum(col("rev"), "revenue")],
     );
     let s = g.sort(a, vec!["revenue"], vec![true], Some(20));
@@ -125,14 +150,15 @@ pub fn q11(db: &TpchDb) -> QueryGraph {
         vec![
             (col("ps_partkey"), "ps_partkey"),
             (col("ps_suppkey"), "ps_suppkey"),
-            (
-                col("ps_supplycost").mul(col("ps_availqty")),
-                "val",
-            ),
+            (col("ps_supplycost").mul(col("ps_availqty")), "val"),
         ],
     );
     let j = g.join(psm, snk, vec!["ps_suppkey"], vec!["s_suppkey"]);
-    let grouped = g.agg(j, vec!["ps_partkey"], vec![AggSpec::sum(col("val"), "value")]);
+    let grouped = g.agg(
+        j,
+        vec!["ps_partkey"],
+        vec![AggSpec::sum(col("val"), "value")],
+    );
     let total = g.agg(j, vec![], vec![AggSpec::sum(col("val"), "total_value")]);
     let g1 = g.map(grouped, with_one(keep(&["ps_partkey", "value"])));
     let t1 = g.map(total, with_one(keep(&["total_value"])));
@@ -140,7 +166,10 @@ pub fn q11(db: &TpchDb) -> QueryGraph {
     // The paper's fraction is 0.0001 at SF 1; dbgen keeps per-group value
     // roughly constant in SF, so the threshold scales inversely with SF.
     let fraction = 0.000_1 / db.scale_factor().max(1e-6);
-    let f = g.filter(jj, col("value").gt(col("total_value").mul(lit_f64(fraction))));
+    let f = g.filter(
+        jj,
+        col("value").gt(col("total_value").mul(lit_f64(fraction))),
+    );
     let out = g.map(f, keep(&["ps_partkey", "value"]));
     let s = g.sort(out, vec!["value"], vec![true], None);
     g.sink(s);
@@ -221,7 +250,11 @@ pub fn q13(db: &TpchDb) -> QueryGraph {
         vec!["c_custkey"],
         vec![AggSpec::count(col("o_orderkey"), "c_count")],
     );
-    let dist = g.agg(per_cust, vec!["c_count"], vec![AggSpec::count_star("custdist")]);
+    let dist = g.agg(
+        per_cust,
+        vec!["c_count"],
+        vec![AggSpec::count_star("custdist")],
+    );
     let s = g.sort(dist, vec!["custdist", "c_count"], vec![true, true], None);
     g.sink(s);
     g
@@ -247,12 +280,18 @@ fn q14_inner(db: &TpchDb, with_ci: bool) -> QueryGraph {
             .ge(lit_date(1995, 9, 1))
             .and(col("l_shipdate").lt(lit_date(1995, 10, 1))),
     );
-    let lm = g.map(lf, vec![(col("l_partkey"), "l_partkey"), (revenue_expr(), "rev")]);
+    let lm = g.map(
+        lf,
+        vec![(col("l_partkey"), "l_partkey"), (revenue_expr(), "rev")],
+    );
     let part = db.read(&mut g, "part");
     let pm = g.map(part, keep(&["p_partkey", "p_type"]));
     let j = g.join(lm, pm, vec!["l_partkey"], vec!["p_partkey"]);
     let spec = AggSpec::weighted_avg(
-        case_when(vec![(col("p_type").like("PROMO%"), lit_f64(100.0))], lit_f64(0.0)),
+        case_when(
+            vec![(col("p_type").like("PROMO%"), lit_f64(100.0))],
+            lit_f64(0.0),
+        ),
         col("rev"),
         "promo_revenue",
     );
@@ -276,19 +315,39 @@ pub fn q15(db: &TpchDb) -> QueryGraph {
             .ge(lit_date(1996, 1, 1))
             .and(col("l_shipdate").lt(lit_date(1996, 4, 1))),
     );
-    let lm = g.map(lf, vec![(col("l_suppkey"), "l_suppkey"), (revenue_expr(), "rev")]);
-    let rev = g.agg(lm, vec!["l_suppkey"], vec![AggSpec::sum(col("rev"), "total_revenue")]);
-    let mx = g.agg(rev, vec![], vec![AggSpec::max(col("total_revenue"), "max_rev")]);
+    let lm = g.map(
+        lf,
+        vec![(col("l_suppkey"), "l_suppkey"), (revenue_expr(), "rev")],
+    );
+    let rev = g.agg(
+        lm,
+        vec!["l_suppkey"],
+        vec![AggSpec::sum(col("rev"), "total_revenue")],
+    );
+    let mx = g.agg(
+        rev,
+        vec![],
+        vec![AggSpec::max(col("total_revenue"), "max_rev")],
+    );
     let r1 = g.map(rev, with_one(keep(&["l_suppkey", "total_revenue"])));
     let m1 = g.map(mx, with_one(keep(&["max_rev"])));
     let jj = g.join(r1, m1, vec!["one"], vec!["one"]);
     let top = g.filter(jj, col("total_revenue").ge(col("max_rev")));
     let supplier = db.read(&mut g, "supplier");
-    let sm = g.map(supplier, keep(&["s_suppkey", "s_name", "s_address", "s_phone"]));
+    let sm = g.map(
+        supplier,
+        keep(&["s_suppkey", "s_name", "s_address", "s_phone"]),
+    );
     let out = g.join(sm, top, vec!["s_suppkey"], vec!["l_suppkey"]);
     let proj = g.map(
         out,
-        keep(&["s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"]),
+        keep(&[
+            "s_suppkey",
+            "s_name",
+            "s_address",
+            "s_phone",
+            "total_revenue",
+        ]),
     );
     let s = g.sort(proj, vec!["s_suppkey"], vec![false], None);
     g.sink(s);
@@ -304,16 +363,27 @@ pub fn q16(db: &TpchDb) -> QueryGraph {
     let sk = g.map(sbad, keep(&["s_suppkey"]));
     let partsupp = db.read(&mut g, "partsupp");
     let psm = g.map(partsupp, keep(&["ps_partkey", "ps_suppkey"]));
-    let ps_ok = g.join_kind(psm, sk, vec!["ps_suppkey"], vec!["s_suppkey"], JoinKind::Anti);
+    let ps_ok = g.join_kind(
+        psm,
+        sk,
+        vec!["ps_suppkey"],
+        vec!["s_suppkey"],
+        JoinKind::Anti,
+    );
     let part = db.read(&mut g, "part");
     let pf = g.filter(
         part,
         col("p_brand")
             .ne(lit_str("Brand#45"))
             .and(col("p_type").not_like("MEDIUM POLISHED%"))
-            .and(col("p_size").in_list(
-                [49, 14, 23, 45, 19, 3, 36, 9].iter().map(|&v| Value::Int(v)).collect(),
-            )),
+            .and(
+                col("p_size").in_list(
+                    [49, 14, 23, 45, 19, 3, 36, 9]
+                        .iter()
+                        .map(|&v| Value::Int(v))
+                        .collect(),
+                ),
+            ),
     );
     let pm = g.map(pf, keep(&["p_partkey", "p_brand", "p_type", "p_size"]));
     let j = g.join(ps_ok, pm, vec!["ps_partkey"], vec!["p_partkey"]);

@@ -24,9 +24,16 @@ pub fn q17(db: &TpchDb) -> QueryGraph {
     );
     let pk = g.map(pf, keep(&["p_partkey"]));
     let lineitem = db.read(&mut g, "lineitem");
-    let lm = g.map(lineitem, keep(&["l_partkey", "l_quantity", "l_extendedprice"]));
+    let lm = g.map(
+        lineitem,
+        keep(&["l_partkey", "l_quantity", "l_extendedprice"]),
+    );
     let j = g.join(lm, pk, vec!["l_partkey"], vec!["p_partkey"]);
-    let avg_q = g.agg(j, vec!["l_partkey"], vec![AggSpec::avg(col("l_quantity"), "avg_qty")]);
+    let avg_q = g.agg(
+        j,
+        vec!["l_partkey"],
+        vec![AggSpec::avg(col("l_quantity"), "avg_qty")],
+    );
     let thr = g.map(
         avg_q,
         vec![
@@ -36,8 +43,15 @@ pub fn q17(db: &TpchDb) -> QueryGraph {
     );
     let jj = g.join(j, thr, vec!["l_partkey"], vec!["t_partkey"]);
     let f = g.filter(jj, col("l_quantity").lt(col("threshold")));
-    let a = g.agg(f, vec![], vec![AggSpec::sum(col("l_extendedprice"), "total_price")]);
-    let out = g.map(a, vec![(col("total_price").div(lit_f64(7.0)), "avg_yearly")]);
+    let a = g.agg(
+        f,
+        vec![],
+        vec![AggSpec::sum(col("l_extendedprice"), "total_price")],
+    );
+    let out = g.map(
+        a,
+        vec![(col("total_price").div(lit_f64(7.0)), "avg_yearly")],
+    );
     g.sink(out);
     g
 }
@@ -50,12 +64,20 @@ pub fn q18(db: &TpchDb) -> QueryGraph {
     let mut g = QueryGraph::new();
     let lineitem = db.read(&mut g, "lineitem");
     let lm = g.map(lineitem, keep(&["l_orderkey", "l_quantity"]));
-    let oq = g.agg(lm, vec!["l_orderkey"], vec![AggSpec::sum(col("l_quantity"), "sum_qty")]);
+    let oq = g.agg(
+        lm,
+        vec!["l_orderkey"],
+        vec![AggSpec::sum(col("l_quantity"), "sum_qty")],
+    );
     // TPC-H uses 300; per-order quantity tops out near 350 (≤7 lines × ≤50),
     // so at laptop scale factors the validation threshold would select ~0
     // orders. Keep 300 at SF ≥ 0.5 and use 200 below it so the query still
     // exercises the growing-key-set behaviour of §8.3's second category.
-    let threshold = if db.scale_factor() >= 0.5 { 300.0 } else { 200.0 };
+    let threshold = if db.scale_factor() >= 0.5 {
+        300.0
+    } else {
+        200.0
+    };
     let lg = g.filter(oq, col("sum_qty").gt(lit_f64(threshold)));
     let orders = db.read(&mut g, "orders");
     let om = g.map(
@@ -68,10 +90,21 @@ pub fn q18(db: &TpchDb) -> QueryGraph {
     let j2 = g.join(j1, cm, vec!["o_custkey"], vec!["c_custkey"]);
     let a = g.agg(
         j2,
-        vec!["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+        vec![
+            "c_name",
+            "c_custkey",
+            "o_orderkey",
+            "o_orderdate",
+            "o_totalprice",
+        ],
         vec![AggSpec::sum(col("sum_qty"), "total_qty")],
     );
-    let s = g.sort(a, vec!["o_totalprice", "o_orderdate"], vec![true, false], Some(100));
+    let s = g.sort(
+        a,
+        vec!["o_totalprice", "o_orderdate"],
+        vec![true, false],
+        Some(100),
+    );
     g.sink(s);
     g
 }
@@ -95,7 +128,10 @@ pub fn q19(db: &TpchDb) -> QueryGraph {
         ],
     );
     let part = db.read(&mut g, "part");
-    let pm = g.map(part, keep(&["p_partkey", "p_brand", "p_size", "p_container"]));
+    let pm = g.map(
+        part,
+        keep(&["p_partkey", "p_brand", "p_size", "p_container"]),
+    );
     let j = g.join(lm, pm, vec!["l_partkey"], vec!["p_partkey"]);
     let sm_containers = vec![
         Value::str("SM CASE"),
@@ -156,7 +192,13 @@ pub fn q20(db: &TpchDb) -> QueryGraph {
     );
     let partsupp = db.read(&mut g, "partsupp");
     let psm = g.map(partsupp, keep(&["ps_partkey", "ps_suppkey", "ps_availqty"]));
-    let ps_forest = g.join_kind(psm, pk, vec!["ps_partkey"], vec!["p_partkey"], JoinKind::Semi);
+    let ps_forest = g.join_kind(
+        psm,
+        pk,
+        vec!["ps_partkey"],
+        vec!["p_partkey"],
+        JoinKind::Semi,
+    );
     let jq = g.join(
         ps_forest,
         sq,
@@ -169,9 +211,18 @@ pub fn q20(db: &TpchDb) -> QueryGraph {
     let nf = g.filter(nation, col("n_name").eq(lit_str("CANADA")));
     let nk = g.map(nf, keep(&["n_nationkey"]));
     let supplier = db.read(&mut g, "supplier");
-    let sm = g.map(supplier, keep(&["s_suppkey", "s_name", "s_address", "s_nationkey"]));
+    let sm = g.map(
+        supplier,
+        keep(&["s_suppkey", "s_name", "s_address", "s_nationkey"]),
+    );
     let sn = g.join(sm, nk, vec!["s_nationkey"], vec!["n_nationkey"]);
-    let res = g.join_kind(sn, sk, vec!["s_suppkey"], vec!["ps_suppkey"], JoinKind::Semi);
+    let res = g.join_kind(
+        sn,
+        sk,
+        vec!["s_suppkey"],
+        vec!["ps_suppkey"],
+        JoinKind::Semi,
+    );
     let out = g.map(res, keep(&["s_suppkey", "s_name", "s_address"]));
     let s = g.sort(out, vec!["s_name"], vec![false], None);
     g.sink(s);
@@ -250,7 +301,10 @@ pub fn q22(db: &TpchDb) -> QueryGraph {
     let orders = db.read(&mut g, "orders");
     let om = g.map(orders, keep(&["o_custkey"]));
     let noord = g.join_kind(cf, om, vec!["c_custkey"], vec!["o_custkey"], JoinKind::Anti);
-    let n1 = g.map(noord, with_one(keep(&["c_custkey", "c_acctbal", "cntrycode"])));
+    let n1 = g.map(
+        noord,
+        with_one(keep(&["c_custkey", "c_acctbal", "cntrycode"])),
+    );
     let jj = g.join(n1, ab1, vec!["one"], vec!["one"]);
     let f = g.filter(jj, col("c_acctbal").gt(col("avg_bal")));
     let a = g.agg(

@@ -120,7 +120,10 @@ pub fn region() -> Arc<Schema> {
 pub fn keys(table: &str) -> (Vec<String>, Option<Vec<String>>) {
     let pk = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
     match table {
-        "lineitem" => (pk(&["l_orderkey", "l_linenumber"]), Some(pk(&["l_orderkey"]))),
+        "lineitem" => (
+            pk(&["l_orderkey", "l_linenumber"]),
+            Some(pk(&["l_orderkey"])),
+        ),
         "orders" => (pk(&["o_orderkey"]), Some(pk(&["o_orderkey"]))),
         "customer" => (pk(&["c_custkey"]), Some(pk(&["c_custkey"]))),
         "part" => (pk(&["p_partkey"]), Some(pk(&["p_partkey"]))),
@@ -182,8 +185,9 @@ mod tests {
 
     #[test]
     fn keys_cover_all_tables() {
-        for t in ["lineitem", "orders", "customer", "part", "supplier", "partsupp", "nation", "region"]
-        {
+        for t in [
+            "lineitem", "orders", "customer", "part", "supplier", "partsupp", "nation", "region",
+        ] {
             let (pk, ck) = keys(t);
             assert!(!pk.is_empty());
             assert!(ck.is_some());

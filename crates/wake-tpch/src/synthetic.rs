@@ -16,8 +16,7 @@ use wake_data::{Column, DataFrame, DataType, Field, MemorySource, Schema};
 use wake_expr::col;
 
 /// The ten group-by columns.
-pub const GROUP_COLS: [&str; 10] =
-    ["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10"];
+pub const GROUP_COLS: [&str; 10] = ["c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10"];
 
 /// Unique values per group column (4, as in the paper: 4^10 combos).
 pub const GROUP_CARDINALITY: i64 = 4;
@@ -36,7 +35,9 @@ pub fn generate(rows: usize, seed: u64) -> DataFrame {
     ));
     for _ in GROUP_COLS {
         columns.push(Column::from_i64(
-            (0..rows).map(|_| rng.gen_range(0..GROUP_CARDINALITY)).collect(),
+            (0..rows)
+                .map(|_| rng.gen_range(0..GROUP_CARDINALITY))
+                .collect(),
         ));
     }
     DataFrame::new(schema, columns).expect("synthetic frame")
@@ -46,15 +47,15 @@ pub fn generate(rows: usize, seed: u64) -> DataFrame {
 /// the paper's 100).
 pub fn source(frame: &DataFrame, partitions: usize) -> MemorySource {
     let rows_per = frame.num_rows().div_ceil(partitions.max(1)).max(1);
-    MemorySource::from_frame("synthetic", frame, rows_per, vec![], None)
-        .expect("synthetic source")
+    MemorySource::from_frame("synthetic", frame, rows_per, vec![], None).expect("synthetic source")
 }
 
 /// Name of the value column produced at nesting level `level`.
 fn alias(level: usize) -> &'static str {
     // Levels are bounded by 10; leak tiny static names once.
-    const NAMES: [&str; 11] =
-        ["v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8", "v9", "v10"];
+    const NAMES: [&str; 11] = [
+        "v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7", "v8", "v9", "v10",
+    ];
     NAMES[level]
 }
 
@@ -63,7 +64,11 @@ fn alias(level: usize) -> &'static str {
 /// group column and alternates sum/max, ending in a global sum. The final
 /// output column is `v0`.
 pub fn deep_query(src: MemorySource, depth: usize) -> QueryGraph {
-    assert!(depth <= GROUP_COLS.len(), "depth at most {}", GROUP_COLS.len());
+    assert!(
+        depth <= GROUP_COLS.len(),
+        "depth at most {}",
+        GROUP_COLS.len()
+    );
     let mut g = QueryGraph::new();
     let mut node = g.read(src);
     let mut value = "x";
@@ -134,7 +139,10 @@ mod tests {
     fn depth_zero_is_global_sum() {
         let f = generate(100, 3);
         let g = deep_query(source(&f, 2), 0);
-        let series = wake_engine::SteppedExecutor::new(g).unwrap().run_collect().unwrap();
+        let series = wake_engine::SteppedExecutor::new(g)
+            .unwrap()
+            .run_collect()
+            .unwrap();
         let expect: f64 = f
             .column("x")
             .unwrap()
@@ -158,7 +166,10 @@ mod tests {
     fn depth_two_matches_manual_computation() {
         let f = generate(500, 9);
         let g = deep_query(source(&f, 5), 2);
-        let series = wake_engine::SteppedExecutor::new(g).unwrap().run_collect().unwrap();
+        let series = wake_engine::SteppedExecutor::new(g)
+            .unwrap()
+            .run_collect()
+            .unwrap();
         let got = series
             .last()
             .unwrap()

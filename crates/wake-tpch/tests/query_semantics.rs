@@ -29,7 +29,11 @@ fn q1_group_domain_and_totals() {
     let f = run(&d, "q1");
     // Return flags in {A, N, R}, statuses in {F, O}; at most 4 valid
     // combinations exist by construction (R/A only with F).
-    assert!(f.num_rows() >= 3 && f.num_rows() <= 4, "{} groups", f.num_rows());
+    assert!(
+        f.num_rows() >= 3 && f.num_rows() <= 4,
+        "{} groups",
+        f.num_rows()
+    );
     let mut total_count = 0.0;
     for i in 0..f.num_rows() {
         let flag = f.value(i, "l_returnflag").unwrap();
@@ -185,7 +189,14 @@ fn q21_waiting_suppliers_are_saudi() {
     let saudi_key = 20i64; // fixed nation order
     let mut saudi_suppliers = std::collections::HashSet::new();
     for i in 0..data.supplier.num_rows() {
-        if data.supplier.value(i, "s_nationkey").unwrap().as_i64().unwrap() == saudi_key {
+        if data
+            .supplier
+            .value(i, "s_nationkey")
+            .unwrap()
+            .as_i64()
+            .unwrap()
+            == saudi_key
+        {
             saudi_suppliers.insert(data.supplier.value(i, "s_name").unwrap());
         }
     }
@@ -235,25 +246,57 @@ fn q2_suppliers_are_european_min_cost() {
     // Build partkey -> min EU supply cost directly from base tables.
     let europe_nations: Vec<i64> = (0..data.nation.num_rows())
         .filter(|&i| data.nation.value(i, "n_regionkey").unwrap() == Value::Int(3))
-        .map(|i| data.nation.value(i, "n_nationkey").unwrap().as_i64().unwrap())
+        .map(|i| {
+            data.nation
+                .value(i, "n_nationkey")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+        })
         .collect();
     let eu_suppliers: std::collections::HashSet<i64> = (0..data.supplier.num_rows())
         .filter(|&i| {
             europe_nations.contains(
-                &data.supplier.value(i, "s_nationkey").unwrap().as_i64().unwrap(),
+                &data
+                    .supplier
+                    .value(i, "s_nationkey")
+                    .unwrap()
+                    .as_i64()
+                    .unwrap(),
             )
         })
-        .map(|i| data.supplier.value(i, "s_suppkey").unwrap().as_i64().unwrap())
+        .map(|i| {
+            data.supplier
+                .value(i, "s_suppkey")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+        })
         .collect();
     use std::collections::HashMap;
     let mut min_cost: HashMap<i64, f64> = HashMap::new();
     for i in 0..data.partsupp.num_rows() {
-        let sk = data.partsupp.value(i, "ps_suppkey").unwrap().as_i64().unwrap();
+        let sk = data
+            .partsupp
+            .value(i, "ps_suppkey")
+            .unwrap()
+            .as_i64()
+            .unwrap();
         if !eu_suppliers.contains(&sk) {
             continue;
         }
-        let pk = data.partsupp.value(i, "ps_partkey").unwrap().as_i64().unwrap();
-        let cost = data.partsupp.value(i, "ps_supplycost").unwrap().as_f64().unwrap();
+        let pk = data
+            .partsupp
+            .value(i, "ps_partkey")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        let cost = data
+            .partsupp
+            .value(i, "ps_supplycost")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         let e = min_cost.entry(pk).or_insert(f64::INFINITY);
         *e = e.min(cost);
     }

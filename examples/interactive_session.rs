@@ -49,7 +49,10 @@ fn main() {
         ],
     );
     println!("== per-order quantity distribution, estimate by estimate ==");
-    println!("{:>9} {:>12} {:>10} {:>9}", "progress", "median", "p95", "max");
+    println!(
+        "{:>9} {:>12} {:>10} {:>9}",
+        "progress", "median", "p95", "max"
+    );
     for est in dist.collect().unwrap() {
         if est.frame.num_rows() == 0 {
             continue;

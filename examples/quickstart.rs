@@ -41,7 +41,11 @@ fn main() {
     // online aggregation cannot do.
     let mut q = QueryGraph::new();
     let li = q.read(source);
-    let per_order = q.agg(li, vec!["orderkey"], vec![AggSpec::sum(col("qty"), "sum_qty")]);
+    let per_order = q.agg(
+        li,
+        vec!["orderkey"],
+        vec![AggSpec::sum(col("qty"), "sum_qty")],
+    );
     let stats = q.agg(
         per_order,
         vec![],

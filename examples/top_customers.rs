@@ -46,14 +46,20 @@ fn main() {
     let oo = g.join(lg_orders, orders, vec!["l_orderkey"], vec!["o_orderkey"]);
     let customer = db.read(&mut g, "customer");
     let oc = g.join(oo, customer, vec!["o_custkey"], vec!["c_custkey"]);
-    let qty_per_cust =
-        g.agg(oc, vec!["c_name"], vec![AggSpec::sum(col("sum_qty"), "total_qty")]);
+    let qty_per_cust = g.agg(
+        oc,
+        vec!["c_name"],
+        vec![AggSpec::sum(col("sum_qty"), "total_qty")],
+    );
     let top = g.sort(qty_per_cust, vec!["total_qty"], vec![true], Some(10));
     g.sink(top);
 
     // Run pipelined (one thread per operator, as in the paper's Fig 6).
     let estimates = ThreadedExecutor::new(g).run_collect().unwrap();
-    println!("\n{} online estimates produced; a few snapshots:\n", estimates.len());
+    println!(
+        "\n{} online estimates produced; a few snapshots:\n",
+        estimates.len()
+    );
     let picks: Vec<usize> = {
         let n = estimates.len();
         vec![0, n / 4, n / 2, n - 1]

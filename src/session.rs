@@ -62,7 +62,10 @@ impl Session {
     /// Register a base table and get its edf handle (`read_csv` in §1).
     pub fn read(&mut self, source: impl TableSource + 'static) -> Edf {
         let node = self.graph.borrow_mut().read(source);
-        Edf { graph: self.graph.clone(), node }
+        Edf {
+            graph: self.graph.clone(),
+            node,
+        }
     }
 }
 
@@ -75,7 +78,10 @@ pub struct Edf {
 
 impl Edf {
     fn wrap(&self, node: NodeId) -> Edf {
-        Edf { graph: self.graph.clone(), node }
+        Edf {
+            graph: self.graph.clone(),
+            node,
+        }
     }
 
     /// The underlying graph node (for mixing with the low-level API).
@@ -167,10 +173,10 @@ impl Edf {
 
     /// `edf.sort(keys, desc)` (§1 line 9); Case-3 snapshot operator.
     pub fn sort(&self, by: &[&str], descending: &[bool]) -> Edf {
-        let node =
-            self.graph
-                .borrow_mut()
-                .sort(self.node, by.to_vec(), descending.to_vec(), None);
+        let node = self
+            .graph
+            .borrow_mut()
+            .sort(self.node, by.to_vec(), descending.to_vec(), None);
         self.wrap(node)
     }
 

@@ -46,8 +46,8 @@ fn q14_cis_bound_truth_and_shrink() {
     assert!(*widths.last().unwrap() < 1e-9, "final CI must be exact");
     let first_half: f64 =
         widths[..widths.len() / 2].iter().sum::<f64>() / (widths.len() / 2) as f64;
-    let second_half: f64 = widths[widths.len() / 2..].iter().sum::<f64>()
-        / (widths.len() - widths.len() / 2) as f64;
+    let second_half: f64 =
+        widths[widths.len() / 2..].iter().sum::<f64>() / (widths.len() - widths.len() / 2) as f64;
     assert!(
         second_half <= first_half,
         "widths should shrink: {first_half} -> {second_half}"
@@ -79,11 +79,19 @@ fn shuffled_partitions_still_bound_truth() {
     let a = g.agg_with_ci(
         r,
         vec![],
-        vec![wake::core::agg::AggSpec::sum(wake::expr::col("l_quantity"), "q")],
+        vec![wake::core::agg::AggSpec::sum(
+            wake::expr::col("l_quantity"),
+            "q",
+        )],
     );
     g.sink(a);
     let series = SteppedExecutor::new(g).unwrap().run_collect().unwrap();
-    let truth = series.final_frame().value(0, "q").unwrap().as_f64().unwrap();
+    let truth = series
+        .final_frame()
+        .value(0, "q")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     let mut covered = 0usize;
     for est in &series {
         let interval = ci::interval_at(&est.frame, 0, "q", 0.95).unwrap();
@@ -114,16 +122,18 @@ fn variance_survives_projections() {
     );
     let m = g.map(
         a,
-        vec![(
-            wake::expr::col("q").div(wake::expr::lit_f64(1000.0)),
-            "kq",
-        )],
+        vec![(wake::expr::col("q").div(wake::expr::lit_f64(1000.0)), "kq")],
     );
     g.sink(m);
     let metas = g.resolve_metas().unwrap();
     assert!(metas.last().unwrap().schema.contains("kq__var"));
     let series = SteppedExecutor::new(g).unwrap().run_collect().unwrap();
-    let truth = series.final_frame().value(0, "kq").unwrap().as_f64().unwrap();
+    let truth = series
+        .final_frame()
+        .value(0, "kq")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     let mut covered = 0;
     for est in &series {
         let interval = ci::interval_at(&est.frame, 0, "kq", 0.95).unwrap();
@@ -147,8 +157,20 @@ fn variance_columns_only_when_requested() {
     let db = TpchDb::new(data, 4);
     let plain = queries::q14(&db);
     let with_ci = queries::q14_with_ci(&db);
-    let plain_schema = plain.resolve_metas().unwrap().last().unwrap().schema.clone();
-    let ci_schema = with_ci.resolve_metas().unwrap().last().unwrap().schema.clone();
+    let plain_schema = plain
+        .resolve_metas()
+        .unwrap()
+        .last()
+        .unwrap()
+        .schema
+        .clone();
+    let ci_schema = with_ci
+        .resolve_metas()
+        .unwrap()
+        .last()
+        .unwrap()
+        .schema
+        .clone();
     assert!(!plain_schema.contains("promo_revenue__var"));
     assert!(ci_schema.contains("promo_revenue__var"));
 }

@@ -50,7 +50,10 @@ fn csv_backed_query_matches_memory_backed() {
         let a = g.agg(
             f,
             vec!["l_returnflag"],
-            vec![AggSpec::sum(col("l_quantity"), "s"), AggSpec::count_star("n")],
+            vec![
+                AggSpec::sum(col("l_quantity"), "s"),
+                AggSpec::count_star("n"),
+            ],
         );
         g.sink(a);
     };

@@ -88,7 +88,12 @@ fn all_null_aggregation_input() {
         ],
     );
     g.sink(a);
-    let f = SteppedExecutor::new(g).unwrap().run_collect().unwrap().final_frame().clone();
+    let f = SteppedExecutor::new(g)
+        .unwrap()
+        .run_collect()
+        .unwrap()
+        .final_frame()
+        .clone();
     assert_eq!(f.num_rows(), 2);
     assert_eq!(f.value(0, "c").unwrap(), Value::Float(0.0));
     assert_eq!(f.value(0, "s").unwrap(), Value::Float(0.0));
@@ -111,16 +116,18 @@ fn empty_partitions_mid_stream() {
     let a = g.agg(r, vec![], vec![AggSpec::sum(col("v"), "s")]);
     g.sink(a);
     let series = SteppedExecutor::new(g).unwrap().run_collect().unwrap();
-    assert_eq!(series.final_frame().value(0, "s").unwrap(), Value::Float(6.0));
+    assert_eq!(
+        series.final_frame().value(0, "s").unwrap(),
+        Value::Float(6.0)
+    );
 }
 
 #[test]
 fn zero_match_joins_of_all_kinds() {
-    let left = MemorySource::from_frame("l", &frame(vec![1, 2], vec![1.0, 2.0]), 1, vec![], None)
-        .unwrap();
+    let left =
+        MemorySource::from_frame("l", &frame(vec![1, 2], vec![1.0, 2.0]), 1, vec![], None).unwrap();
     let right =
-        MemorySource::from_frame("r", &frame(vec![8, 9], vec![0.0, 0.0]), 1, vec![], None)
-            .unwrap();
+        MemorySource::from_frame("r", &frame(vec![8, 9], vec![0.0, 0.0]), 1, vec![], None).unwrap();
     for (kind, expected_rows) in [
         (JoinKind::Inner, 0usize),
         (JoinKind::Left, 2),
@@ -145,7 +152,10 @@ fn zero_match_joins_of_all_kinds() {
 fn deep_snapshot_chain_converges() {
     // agg -> filter -> agg -> filter -> agg over random-ish data.
     let rows: Vec<(i64, f64)> = (0..300).map(|i| (i % 30, ((i * 7) % 13) as f64)).collect();
-    let df = frame(rows.iter().map(|r| r.0).collect(), rows.iter().map(|r| r.1).collect());
+    let df = frame(
+        rows.iter().map(|r| r.0).collect(),
+        rows.iter().map(|r| r.1).collect(),
+    );
     let build = |parts: usize| {
         let src = MemorySource::from_frame("t", &df, df.num_rows().div_ceil(parts), vec![], None)
             .unwrap();
@@ -153,12 +163,22 @@ fn deep_snapshot_chain_converges() {
         let r = g.read(src);
         let a1 = g.agg(r, vec!["k"], vec![AggSpec::sum(col("v"), "s1")]);
         let f1 = g.filter(a1, col("s1").gt(lit_f64(10.0)));
-        let a2 = g.agg(f1, vec![], vec![AggSpec::avg(col("s1"), "m"), AggSpec::count_star("n")]);
+        let a2 = g.agg(
+            f1,
+            vec![],
+            vec![AggSpec::avg(col("s1"), "m"), AggSpec::count_star("n")],
+        );
         g.sink(a2);
         g
     };
-    let multi = SteppedExecutor::new(build(15)).unwrap().run_collect().unwrap();
-    let single = SteppedExecutor::new(build(1)).unwrap().run_collect().unwrap();
+    let multi = SteppedExecutor::new(build(15))
+        .unwrap()
+        .run_collect()
+        .unwrap();
+    let single = SteppedExecutor::new(build(1))
+        .unwrap()
+        .run_collect()
+        .unwrap();
     assert_eq!(multi.final_frame().as_ref(), single.final_frame().as_ref());
 }
 
@@ -176,9 +196,14 @@ fn threaded_engine_handles_empty_everything() {
 
 #[test]
 fn filter_dropping_everything_then_aggregating() {
-    let src =
-        MemorySource::from_frame("t", &frame(vec![1, 2, 3], vec![1.0, 2.0, 3.0]), 1, vec![], None)
-            .unwrap();
+    let src = MemorySource::from_frame(
+        "t",
+        &frame(vec![1, 2, 3], vec![1.0, 2.0, 3.0]),
+        1,
+        vec![],
+        None,
+    )
+    .unwrap();
     let mut g = QueryGraph::new();
     let r = g.read(src);
     let f = g.filter(r, col("v").gt(lit_f64(1e9)));

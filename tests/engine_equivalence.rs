@@ -17,7 +17,9 @@ fn threaded_and_stepped_agree_on_all_queries() {
             .unwrap()
             .run_collect()
             .unwrap();
-        let threaded = ThreadedExecutor::new((spec.build)(&db)).run_collect().unwrap();
+        let threaded = ThreadedExecutor::new((spec.build)(&db))
+            .run_collect()
+            .unwrap();
         let sf = stepped.final_frame();
         let tf = threaded.final_frame();
         assert_eq!(
@@ -46,7 +48,9 @@ fn threaded_estimate_streams_are_well_formed() {
     let db = TpchDb::new(data, 8);
     for name in ["q1", "q3", "q6", "q13", "q18"] {
         let spec = wake::tpch::query_by_name(name).unwrap();
-        let series = ThreadedExecutor::new((spec.build)(&db)).run_collect().unwrap();
+        let series = ThreadedExecutor::new((spec.build)(&db))
+            .run_collect()
+            .unwrap();
         assert!(!series.is_empty(), "{name}");
         assert!(series.last().unwrap().is_final, "{name}");
         assert!(
@@ -67,7 +71,11 @@ fn threaded_runs_are_reproducible_in_value() {
     let data = Arc::new(TpchData::generate(0.002, 3));
     let db = TpchDb::new(data, 8);
     let spec = wake::tpch::query_by_name("q5").unwrap();
-    let a = ThreadedExecutor::new((spec.build)(&db)).run_collect().unwrap();
-    let b = ThreadedExecutor::new((spec.build)(&db)).run_collect().unwrap();
+    let a = ThreadedExecutor::new((spec.build)(&db))
+        .run_collect()
+        .unwrap();
+    let b = ThreadedExecutor::new((spec.build)(&db))
+        .run_collect()
+        .unwrap();
     assert_eq!(a.final_frame().as_ref(), b.final_frame().as_ref());
 }

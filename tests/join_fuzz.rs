@@ -1,6 +1,9 @@
 //! Property-based equivalence of Wake's streaming/recompute joins against
 //! the naive build-probe join on random tables, across all join kinds,
-//! partitionings, and duplicate-key densities.
+//! partitionings, duplicate-key densities, null keys, and hash-hostile key
+//! distributions. The wake side runs the vectorized hash-key path; the
+//! naive side materialises `Row` keys — agreement means the hashed
+//! implementation preserves the reference semantics.
 
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -9,6 +12,23 @@ use wake::core::graph::{JoinKind, QueryGraph};
 use wake::data::{Column, DataFrame, DataType, Field, MemorySource, Schema, Value};
 use wake::engine::SteppedExecutor;
 use wake_engine::SeriesExt;
+
+/// Keys drawn from a hash-hostile palette: clustered small values, extreme
+/// magnitudes, and values differing only in high bits.
+const NASTY_KEYS: [i64; 12] = [
+    0,
+    1,
+    -1,
+    2,
+    1 << 32,
+    (1 << 32) + 1,
+    1 << 62,
+    i64::MAX,
+    i64::MIN,
+    i64::MAX - 1,
+    7,
+    -7,
+];
 
 fn left_frame(rows: &[(i64, i64)]) -> DataFrame {
     let schema = Arc::new(Schema::new(vec![
@@ -158,4 +178,149 @@ proptest! {
             row_multiset(naive.frame()).len()
         );
     }
+
+    #[test]
+    fn null_key_joins_match_naive(
+        lrows in prop::collection::vec((0u8..4, 0i64..6, 0i64..100), 0..50),
+        rrows in prop::collection::vec((0u8..4, 0i64..6, 0i64..100), 0..50),
+        lparts in 1usize..4,
+        rparts in 1usize..4,
+    ) {
+        // First tuple component 0 => null key (~25% nulls).
+        let lvals: Vec<(Option<i64>, i64)> =
+            lrows.iter().map(|&(n, k, v)| ((n != 0).then_some(k), v)).collect();
+        let rvals: Vec<(Option<i64>, i64)> =
+            rrows.iter().map(|&(n, k, v)| ((n != 0).then_some(k), v)).collect();
+        if lvals.is_empty() && rvals.is_empty() {
+            return Ok(());
+        }
+        let lf = nullable_frame("k", "lv", &lvals);
+        let rf = nullable_frame("rk", "rv", &rvals);
+        let naive_l = Table::new(lf.clone());
+        let naive_r = Table::new(rf.clone());
+        for (kind, nkind) in [
+            (JoinKind::Inner, NaiveJoin::Inner),
+            (JoinKind::Left, NaiveJoin::Left),
+            (JoinKind::Semi, NaiveJoin::Semi),
+            (JoinKind::Anti, NaiveJoin::Anti),
+        ] {
+            let wake = wake_join(&lf, &rf, kind, lparts, rparts);
+            let naive = naive_l.join(&naive_r, &["k"], &["rk"], nkind).unwrap();
+            prop_assert_eq!(
+                row_multiset(&wake),
+                row_multiset(naive.frame()),
+                "kind {:?} with null keys",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn hash_hostile_keys_match_naive(
+        lpicks in prop::collection::vec((0usize..12, 0i64..100), 0..40),
+        rpicks in prop::collection::vec((0usize..12, 0i64..100), 0..40),
+        parts in 1usize..4,
+    ) {
+        let lrows: Vec<(i64, i64)> =
+            lpicks.iter().map(|&(i, v)| (NASTY_KEYS[i], v)).collect();
+        let rrows: Vec<(i64, i64)> =
+            rpicks.iter().map(|&(i, v)| (NASTY_KEYS[i], v)).collect();
+        if lrows.is_empty() && rrows.is_empty() {
+            return Ok(());
+        }
+        let lf = left_frame(&lrows);
+        let rf = right_frame(&rrows);
+        let naive_l = Table::new(lf.clone());
+        let naive_r = Table::new(rf.clone());
+        for (kind, nkind) in [
+            (JoinKind::Inner, NaiveJoin::Inner),
+            (JoinKind::Left, NaiveJoin::Left),
+            (JoinKind::Semi, NaiveJoin::Semi),
+            (JoinKind::Anti, NaiveJoin::Anti),
+        ] {
+            let wake = wake_join(&lf, &rf, kind, parts, parts);
+            let naive = naive_l.join(&naive_r, &["k"], &["rk"], nkind).unwrap();
+            prop_assert_eq!(
+                row_multiset(&wake),
+                row_multiset(naive.frame()),
+                "kind {:?} with extreme keys",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn group_by_with_null_keys_matches_reference(
+        rows in prop::collection::vec((0u8..4, 0i64..6, -50i64..50), 1..80),
+        per_part in 1usize..20,
+    ) {
+        // Hashed group-by (nulls form their own group) vs a BTreeMap
+        // reference; Option<i64>'s None-first ordering matches Wake's
+        // nulls-first output order.
+        let vals: Vec<(Option<i64>, i64)> =
+            rows.iter().map(|&(n, k, v)| ((n != 0).then_some(k), v)).collect();
+        let frame = nullable_frame("k", "v", &vals);
+        let src = MemorySource::from_frame("t", &frame, per_part, vec![], None).unwrap();
+        let mut g = QueryGraph::new();
+        let r = g.read(src);
+        let a = g.agg(
+            r,
+            vec!["k"],
+            vec![
+                wake::core::agg::AggSpec::sum(wake::expr::col("v"), "s"),
+                wake::core::agg::AggSpec::count_star("n"),
+            ],
+        );
+        g.sink(a);
+        let out = SteppedExecutor::new(g)
+            .unwrap()
+            .run_collect()
+            .unwrap()
+            .final_frame()
+            .as_ref()
+            .clone();
+        let mut expect: std::collections::BTreeMap<Option<i64>, (f64, u64)> =
+            Default::default();
+        for (k, v) in &vals {
+            let e = expect.entry(*k).or_default();
+            e.0 += *v as f64;
+            e.1 += 1;
+        }
+        prop_assert_eq!(out.num_rows(), expect.len());
+        for (i, (k, (s, n))) in expect.iter().enumerate() {
+            let got_k = out.value(i, "k").unwrap();
+            match k {
+                None => prop_assert!(got_k.is_null(), "row {} key {:?}", i, got_k),
+                Some(k) => prop_assert_eq!(&got_k, &Value::Int(*k)),
+            }
+            prop_assert_eq!(
+                out.value(i, "s").unwrap().as_f64().unwrap(),
+                *s
+            );
+            prop_assert_eq!(
+                out.value(i, "n").unwrap().as_f64().unwrap(),
+                *n as f64
+            );
+        }
+    }
+}
+
+/// Two-column frame `(key: Int64 nullable, val: Int64)`.
+fn nullable_frame(kname: &str, vname: &str, rows: &[(Option<i64>, i64)]) -> DataFrame {
+    let schema = Arc::new(Schema::new(vec![
+        Field::new(kname, DataType::Int64),
+        Field::new(vname, DataType::Int64),
+    ]));
+    let keys: Vec<Value> = rows
+        .iter()
+        .map(|(k, _)| k.map_or(Value::Null, Value::Int))
+        .collect();
+    DataFrame::new(
+        schema,
+        vec![
+            Column::from_values(DataType::Int64, &keys).unwrap(),
+            Column::from_i64(rows.iter().map(|r| r.1).collect()),
+        ],
+    )
+    .unwrap()
 }

@@ -73,7 +73,10 @@ fn estimates_converge_monotonically_in_progress() {
     let db = TpchDb::new(data, 10);
     // Q1 is the canonical OLA query: check error decreases broadly.
     let spec = wake::tpch::query_by_name("q1").unwrap();
-    let series = SteppedExecutor::new((spec.build)(&db)).unwrap().run_collect().unwrap();
+    let series = SteppedExecutor::new((spec.build)(&db))
+        .unwrap()
+        .run_collect()
+        .unwrap();
     let truth = series.final_frame().clone();
     let mut errors = Vec::new();
     for est in &series {
@@ -97,7 +100,10 @@ fn first_estimates_arrive_before_final() {
     let db = TpchDb::new(data, 10);
     for name in ["q1", "q6", "q18"] {
         let spec = wake::tpch::query_by_name(name).unwrap();
-        let series = SteppedExecutor::new((spec.build)(&db)).unwrap().run_collect().unwrap();
+        let series = SteppedExecutor::new((spec.build)(&db))
+            .unwrap()
+            .run_collect()
+            .unwrap();
         assert!(
             series.len() >= 5,
             "{name}: expected a stream of estimates, got {}",

@@ -37,7 +37,13 @@ fn check(name: &str, wake: &DataFrame, naive: &DataFrame, keys: &[&str], values:
     }
     let r = metrics::compare(wake, naive, keys, values).unwrap();
     assert!(r.recall > 0.999 && r.precision > 0.999, "{name}: {r:?}");
-    assert!(r.mape < 1e-6, "{name}: MAPE {}\nwake:\n{}\nnaive:\n{}", r.mape, wake.pretty(15), naive.pretty(15));
+    assert!(
+        r.mape < 1e-6,
+        "{name}: MAPE {}\nwake:\n{}\nnaive:\n{}",
+        r.mape,
+        wake.pretty(15),
+        naive.pretty(15)
+    );
 }
 
 fn data() -> Arc<TpchData> {
@@ -85,7 +91,16 @@ fn q1_matches_naive() {
         &w,
         naive.frame(),
         &["l_returnflag", "l_linestatus"],
-        &["sum_qty", "sum_base_price", "sum_disc_price", "sum_charge", "avg_qty", "avg_price", "avg_disc", "count_order"],
+        &[
+            "sum_qty",
+            "sum_base_price",
+            "sum_disc_price",
+            "sum_charge",
+            "avg_qty",
+            "avg_price",
+            "avg_disc",
+            "count_order",
+        ],
     );
 }
 
@@ -112,7 +127,13 @@ fn q4_matches_naive() {
             &[(NaiveAgg::CountStar, col("o_orderkey"), "order_count")],
         )
         .unwrap();
-    check("q4", &w, naive.frame(), &["o_orderpriority"], &["order_count"]);
+    check(
+        "q4",
+        &w,
+        naive.frame(),
+        &["o_orderpriority"],
+        &["order_count"],
+    );
 }
 
 #[test]
@@ -149,9 +170,15 @@ fn q13_matches_naive() {
         .unwrap()
         .join(&orders, &["c_custkey"], &["o_custkey"], NaiveJoin::Left)
         .unwrap()
-        .group_by(&["c_custkey"], &[(NaiveAgg::Count, col("o_orderkey"), "c_count")])
+        .group_by(
+            &["c_custkey"],
+            &[(NaiveAgg::Count, col("o_orderkey"), "c_count")],
+        )
         .unwrap()
-        .group_by(&["c_count"], &[(NaiveAgg::CountStar, col("c_count"), "custdist")])
+        .group_by(
+            &["c_count"],
+            &[(NaiveAgg::CountStar, col("c_count"), "custdist")],
+        )
         .unwrap();
     check("q13", &w, naive.frame(), &["c_count"], &["custdist"]);
 }
@@ -171,7 +198,12 @@ fn q14_matches_naive() {
         .map(&[(col("l_partkey"), "l_partkey"), (rev(), "r")])
         .unwrap();
     let joined = li
-        .join(&Table::new(d.part.clone()), &["l_partkey"], &["p_partkey"], NaiveJoin::Inner)
+        .join(
+            &Table::new(d.part.clone()),
+            &["l_partkey"],
+            &["p_partkey"],
+            NaiveJoin::Inner,
+        )
         .unwrap()
         .map(&[
             (
@@ -184,7 +216,10 @@ fn q14_matches_naive() {
         .unwrap()
         .group_by(
             &[],
-            &[(NaiveAgg::Sum, col("promo"), "p"), (NaiveAgg::Sum, col("r"), "t")],
+            &[
+                (NaiveAgg::Sum, col("promo"), "p"),
+                (NaiveAgg::Sum, col("r"), "t"),
+            ],
         )
         .unwrap()
         .map(&[(col("p").div(col("t")), "promo_revenue")])
@@ -198,18 +233,37 @@ fn q18_matches_naive() {
     let db = TpchDb::new(d.clone(), 6);
     let w = wake_final(&db, "q18");
     let oq = Table::new(d.lineitem.clone())
-        .group_by(&["l_orderkey"], &[(NaiveAgg::Sum, col("l_quantity"), "sum_qty")])
+        .group_by(
+            &["l_orderkey"],
+            &[(NaiveAgg::Sum, col("l_quantity"), "sum_qty")],
+        )
         .unwrap()
         // Mirror q18's scale-aware threshold (200 below SF 0.5).
         .filter(&col("sum_qty").gt(lit_f64(200.0)))
         .unwrap();
     let naive = oq
-        .join(&Table::new(d.orders.clone()), &["l_orderkey"], &["o_orderkey"], NaiveJoin::Inner)
+        .join(
+            &Table::new(d.orders.clone()),
+            &["l_orderkey"],
+            &["o_orderkey"],
+            NaiveJoin::Inner,
+        )
         .unwrap()
-        .join(&Table::new(d.customer.clone()), &["o_custkey"], &["c_custkey"], NaiveJoin::Inner)
+        .join(
+            &Table::new(d.customer.clone()),
+            &["o_custkey"],
+            &["c_custkey"],
+            NaiveJoin::Inner,
+        )
         .unwrap()
         .group_by(
-            &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+            &[
+                "c_name",
+                "c_custkey",
+                "o_orderkey",
+                "o_orderdate",
+                "o_totalprice",
+            ],
             &[(NaiveAgg::Sum, col("sum_qty"), "total_qty")],
         )
         .unwrap()
@@ -250,7 +304,12 @@ fn q22_matches_naive() {
         .as_f64()
         .unwrap();
     let naive = cust
-        .join(&Table::new(d.orders.clone()), &["c_custkey"], &["o_custkey"], NaiveJoin::Anti)
+        .join(
+            &Table::new(d.orders.clone()),
+            &["c_custkey"],
+            &["o_custkey"],
+            NaiveJoin::Anti,
+        )
         .unwrap()
         .filter(&col("c_acctbal").gt(lit_f64(avg_bal)))
         .unwrap()
@@ -262,7 +321,13 @@ fn q22_matches_naive() {
             ],
         )
         .unwrap();
-    check("q22", &w, naive.frame(), &["cntrycode"], &["numcust", "totacctbal"]);
+    check(
+        "q22",
+        &w,
+        naive.frame(),
+        &["cntrycode"],
+        &["numcust", "totacctbal"],
+    );
 }
 
 #[test]
@@ -279,22 +344,29 @@ fn q19_matches_naive() {
         )
         .unwrap();
     let joined = li
-        .join(&Table::new(d.part.clone()), &["l_partkey"], &["p_partkey"], NaiveJoin::Inner)
+        .join(
+            &Table::new(d.part.clone()),
+            &["l_partkey"],
+            &["p_partkey"],
+            NaiveJoin::Inner,
+        )
         .unwrap();
     let branch = |brand: &str, pre: &str, qlo: f64, qhi: f64, smax: i64| {
         col("p_brand")
             .eq(lit_str(brand))
             .and(col("p_container").like(&format!("{pre}%")))
-            .and(col("p_container").in_list(
-                match pre {
-                    "SM" => ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
-                    "MED" => ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
-                    _ => ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
-                }
-                .iter()
-                .map(|s| Value::str(*s))
-                .collect(),
-            ))
+            .and(
+                col("p_container").in_list(
+                    match pre {
+                        "SM" => ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                        "MED" => ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                        _ => ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                    }
+                    .iter()
+                    .map(|s| Value::str(*s))
+                    .collect(),
+                ),
+            )
             .and(col("l_quantity").between(lit_f64(qlo), lit_f64(qhi)))
             .and(col("p_size").between(wake::expr::lit_i64(1), wake::expr::lit_i64(smax)))
     };
