@@ -216,6 +216,126 @@ fn bench_group_by(c: &mut Criterion) {
     group.finish();
 }
 
+/// Hash-range sharded operators at n=1M: the partition-parallel `AggOp`
+/// fold+snapshot and symmetric-hash-join build+probe, S=1 (the serial
+/// plan, byte-identical to the unsharded path) vs S=4 worker shards in
+/// pool mode. On a multi-core host the S=4 rows should scale with cores;
+/// on a single-core host they measure the sharding overhead.
+fn bench_sharded_operators(c: &mut Criterion) {
+    use wake_core::agg::AggSpec;
+    use wake_core::ops::{AggOp, JoinOp, Operator, ShardMode, ShardPlan};
+    use wake_core::{EdfMeta, JoinKind, Progress, Update, UpdateKind};
+    use wake_expr::col;
+
+    let mut group = c.benchmark_group("sharded_operators");
+    group.sample_size(10);
+    let n: usize = if criterion::smoke_mode() {
+        100_000
+    } else {
+        1_000_000
+    };
+
+    // TPC-H-shaped group-by: ~100k distinct keys over 1M rows (Q18-style
+    // high cardinality), sum + count + min per group.
+    let gb_schema = Arc::new(Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ]));
+    let gb_frame = Arc::new(
+        DataFrame::new(
+            gb_schema.clone(),
+            vec![
+                Column::from_i64((0..n as i64).map(|i| (i * 11) % (n as i64 / 10)).collect()),
+                Column::from_f64((0..n).map(|i| (i % 1013) as f64 * 0.5).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    let gb_meta = EdfMeta::new(gb_schema, vec![], UpdateKind::Delta);
+    let gb_update = Update {
+        frame: gb_frame,
+        progress: Progress::single(0, n as u64, n as u64),
+        kind: UpdateKind::Delta,
+    };
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("group_by_1m", format!("S{shards}")),
+            &gb_update,
+            |b, upd| {
+                b.iter(|| {
+                    let mut op = AggOp::new(
+                        &gb_meta,
+                        vec!["k".into()],
+                        vec![
+                            AggSpec::sum(col("v"), "s"),
+                            AggSpec::count_star("n"),
+                            AggSpec::min(col("v"), "mn"),
+                        ],
+                        false,
+                    )
+                    .unwrap()
+                    .with_shards(ShardPlan::new(shards, ShardMode::Pool));
+                    black_box(op.on_update(0, upd).unwrap())
+                })
+            },
+        );
+    }
+
+    // Symmetric hash join: 1M unique build keys, 1M probes with ~50% hit
+    // rate (FK-style), matched pairs gathered into output frames.
+    let j_schema = Arc::new(Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ]));
+    let mk_side = |offset: i64| {
+        Arc::new(
+            DataFrame::new(
+                j_schema.clone(),
+                vec![
+                    Column::from_i64((0..n as i64).map(|i| i * 2 + offset).collect()),
+                    Column::from_f64((0..n).map(|i| i as f64).collect()),
+                ],
+            )
+            .unwrap(),
+        )
+    };
+    let left = mk_side(0); // even keys
+    let right = mk_side(n as i64 / 2); // half overlap with left
+    let j_meta = EdfMeta::new(j_schema, vec![], UpdateKind::Delta);
+    let left_upd = Update {
+        frame: left,
+        progress: Progress::single(0, n as u64, n as u64),
+        kind: UpdateKind::Delta,
+    };
+    let right_upd = Update {
+        frame: right,
+        progress: Progress::single(1, n as u64, n as u64),
+        kind: UpdateKind::Delta,
+    };
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("join_build_probe_1m", format!("S{shards}")),
+            &(&left_upd, &right_upd),
+            |b, (l, r)| {
+                b.iter(|| {
+                    let mut op = JoinOp::new(
+                        &j_meta,
+                        &j_meta,
+                        vec!["k".into()],
+                        vec!["k".into()],
+                        JoinKind::Inner,
+                    )
+                    .unwrap()
+                    .with_shards(ShardPlan::new(shards, ShardMode::Pool));
+                    op.on_update(0, l).unwrap(); // build
+                    black_box(op.on_update(1, r).unwrap()) // probe + gather
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernels,
@@ -224,5 +344,6 @@ criterion_group!(
     bench_hash_keys,
     bench_join_build_probe,
     bench_group_by,
+    bench_sharded_operators,
 );
 criterion_main!(benches);

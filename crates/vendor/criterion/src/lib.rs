@@ -50,7 +50,29 @@ impl Bencher {
     }
 }
 
+/// Smoke mode, mirroring real criterion's `--test` / `--quick` CLI flags
+/// (`cargo bench -- --test`): run every benchmark body exactly once to
+/// prove it works, skip calibration and measurement. Also enabled via
+/// `CRITERION_SMOKE=1` for harnesses that cannot forward CLI args.
+/// Public so bench code can shrink its fixtures under the same condition.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--quick")
+        || std::env::var_os("CRITERION_SMOKE").is_some_and(|v| v == "1")
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    if smoke_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "{label:<40} smoke: ok ({})",
+            fmt_time(b.elapsed.as_secs_f64())
+        );
+        return;
+    }
     // Calibrate: grow the iteration count until one sample takes >= 2 ms.
     let mut iters = 1u64;
     loop {

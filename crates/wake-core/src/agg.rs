@@ -9,7 +9,8 @@
 
 use crate::Result;
 use std::collections::HashSet;
-use wake_data::{DataError, DataType, Value};
+use wake_data::column::ColumnData;
+use wake_data::{Column, DataError, DataType, Value};
 use wake_expr::{lit_i64, Expr};
 use wake_stats::distinct::{distinct_variance, estimate_distinct};
 use wake_stats::Moments;
@@ -292,6 +293,73 @@ pub enum AggState {
     Sample { values: Vec<f64>, q: f64 },
 }
 
+/// Min/max update shared by the per-`Value` and columnar observation paths:
+/// track the extremum plus the runner-up (the runner-up feeds the spacing
+/// variance heuristic).
+#[inline]
+pub(crate) fn observe_extreme(
+    best: &mut Option<Value>,
+    second: &mut Option<Value>,
+    is_min: bool,
+    value: &Value,
+) {
+    if value.is_null() {
+        return;
+    }
+    let better = |a: &Value, b: &Value| if is_min { a < b } else { a > b };
+    match best {
+        None => *best = Some(value.clone()),
+        Some(b) if better(value, b) => {
+            *second = best.take();
+            *best = Some(value.clone());
+        }
+        Some(_) => match second {
+            None => *second = Some(value.clone()),
+            Some(s) if better(value, s) => *second = Some(value.clone()),
+            _ => {}
+        },
+    }
+}
+
+/// Borrowed numeric payload of a column: the typed view the columnar
+/// observation kernels iterate, with `Int64`/`Date` sharing storage.
+#[derive(Clone, Copy)]
+pub(crate) enum NumView<'a> {
+    Int(&'a [i64]),
+    Float(&'a [f64]),
+}
+
+impl<'a> NumView<'a> {
+    /// Numeric view plus the column's declared type (needed to rebuild
+    /// exact typed `Value`s for min/max). `None` for Bool/Utf8 columns.
+    pub(crate) fn of(col: &'a Column) -> Option<(NumView<'a>, DataType)> {
+        match col.data() {
+            ColumnData::Int64(v) => Some((NumView::Int(v), DataType::Int64)),
+            ColumnData::Date(v) => Some((NumView::Int(v), DataType::Date)),
+            ColumnData::Float64(v) => Some((NumView::Float(v), DataType::Float64)),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(self, i: usize) -> f64 {
+        match self {
+            NumView::Int(v) => v[i] as f64,
+            NumView::Float(v) => v[i],
+        }
+    }
+
+    /// Exact typed cell (no i64 → f64 round-trip for integers).
+    #[inline]
+    pub(crate) fn value(self, i: usize, dtype: DataType) -> Value {
+        match (self, dtype) {
+            (NumView::Int(v), DataType::Date) => Value::Date(v[i]),
+            (NumView::Int(v), _) => Value::Int(v[i]),
+            (NumView::Float(v), _) => Value::Float(v[i]),
+        }
+    }
+}
+
 impl AggState {
     /// Fold one input cell into the state. `value` is the evaluated
     /// aggregate expression; `weight` only applies to `WeightedAvg`.
@@ -318,30 +386,7 @@ impl AggState {
                 best,
                 second,
                 is_min,
-            } => {
-                if value.is_null() {
-                    return;
-                }
-                let better = |a: &Value, b: &Value| {
-                    if *is_min {
-                        a < b
-                    } else {
-                        a > b
-                    }
-                };
-                match best {
-                    None => *best = Some(value.clone()),
-                    Some(b) if better(value, b) => {
-                        *second = best.take();
-                        *best = Some(value.clone());
-                    }
-                    Some(_) => match second {
-                        None => *second = Some(value.clone()),
-                        Some(s) if better(value, s) => *second = Some(value.clone()),
-                        _ => {}
-                    },
-                }
-            }
+            } => observe_extreme(best, second, *is_min, value),
             AggState::Distinct { set, n } => {
                 if !value.is_null() {
                     set.insert(value.clone());
@@ -354,6 +399,80 @@ impl AggState {
                 }
             }
         }
+    }
+
+    /// Columnar observation (vectorized `observe`): fold *every* row of
+    /// `col` into this one state with a per-type kernel over the raw
+    /// `ColumnData` slice and validity mask — no `Value` is materialised
+    /// for count/sum/mean/var/quantile kernels, and min/max build one only
+    /// per candidate row. Semantically identical to calling
+    /// [`observe`](Self::observe) per row in row order (same float
+    /// accumulation order).
+    ///
+    /// Returns `false` when no kernel covers this state/column pairing
+    /// (non-numeric inputs, count-distinct's exact value set) — the caller
+    /// must then fall back to the per-row path.
+    pub fn observe_column(&mut self, col: &Column, weight: Option<&Column>) -> bool {
+        let Some((view, dtype)) = NumView::of(col) else {
+            return false;
+        };
+        let valid = col.validity();
+        let n = col.len();
+        macro_rules! each {
+            (|$i:ident| $body:expr) => {
+                match valid {
+                    None => {
+                        for $i in 0..n {
+                            $body
+                        }
+                    }
+                    Some(mask) => {
+                        for $i in 0..n {
+                            if mask[$i] {
+                                $body
+                            }
+                        }
+                    }
+                }
+            };
+        }
+        match self {
+            AggState::Count { n: count } => {
+                // Adding 1.0 per valid row is exact; bulk-add the count.
+                *count += match valid {
+                    None => n as f64,
+                    Some(mask) => mask.iter().filter(|&&b| b).count() as f64,
+                };
+            }
+            AggState::Sum { m } | AggState::Avg { m } | AggState::Dispersion { m, .. } => {
+                each!(|i| m.observe(view.get(i)))
+            }
+            AggState::Sample { values, .. } => each!(|i| values.push(view.get(i))),
+            AggState::Extreme {
+                best,
+                second,
+                is_min,
+            } => {
+                let is_min = *is_min;
+                each!(|i| observe_extreme(best, second, is_min, &view.value(i, dtype)))
+            }
+            AggState::WeightedAvg { m_wv, m_w } => {
+                let Some((wview, _)) = weight.and_then(NumView::of) else {
+                    return false;
+                };
+                let wvalid = weight.expect("checked above").validity();
+                for i in 0..n {
+                    let ok = valid.is_none_or(|m| m[i]) && wvalid.is_none_or(|m| m[i]);
+                    if ok {
+                        let w = wview.get(i);
+                        m_wv.observe(w * view.get(i));
+                        m_w.observe(w);
+                    }
+                }
+            }
+            AggState::Distinct { .. } => return false,
+        }
+        true
     }
 
     /// Key-based merge `⊕` (§2.2): combine another partial for the same key.
@@ -759,6 +878,89 @@ mod tests {
         let mut st = AggSpec::var(col("x"), "v").new_state();
         obs(&mut st, &[1.0]);
         assert_eq!(st.finalize(1.0, &ScaleContext::exact()).value, Value::Null);
+    }
+
+    #[test]
+    fn observe_column_matches_per_row_observe() {
+        // Per-type columnar kernels must agree exactly with the Value path
+        // (same accumulation order), across dtypes, nulls, and weights.
+        let int_col = Column::from_values(
+            DataType::Int64,
+            &[
+                Value::Int(5),
+                Value::Null,
+                Value::Int(-3),
+                Value::Int(i64::MAX),
+                Value::Int(8),
+            ],
+        )
+        .unwrap();
+        let float_col = Column::from_f64(vec![1.5, -2.0, 0.0, 7.25, 3.0]);
+        let date_col = Column::from_dates(vec![10, 20, 5, 40, 30]);
+        let weight = Column::from_values(
+            DataType::Float64,
+            &[
+                Value::Float(1.0),
+                Value::Float(2.0),
+                Value::Null,
+                Value::Float(0.5),
+                Value::Float(4.0),
+            ],
+        )
+        .unwrap();
+        let specs = [
+            AggSpec::count_star("c"),
+            AggSpec::count(col("x"), "c2"),
+            AggSpec::sum(col("x"), "s"),
+            AggSpec::avg(col("x"), "a"),
+            AggSpec::min(col("x"), "mn"),
+            AggSpec::max(col("x"), "mx"),
+            AggSpec::var(col("x"), "v"),
+            AggSpec::stddev(col("x"), "sd"),
+            AggSpec::median(col("x"), "med"),
+            AggSpec::weighted_avg(col("x"), col("w"), "wa"),
+        ];
+        for data in [&int_col, &float_col, &date_col] {
+            for spec in &specs {
+                let w = matches!(spec.func, AggFunc::WeightedAvg).then_some(&weight);
+                let mut fast = spec.new_state();
+                assert!(
+                    fast.observe_column(data, w),
+                    "{:?} over {:?} must have a kernel",
+                    spec.func,
+                    data.data_type()
+                );
+                let mut slow = spec.new_state();
+                for i in 0..data.len() {
+                    let wv = w.map(|c| c.value(i));
+                    slow.observe(&data.value(i), wv.as_ref());
+                }
+                let ctx = ScaleContext::exact();
+                assert_eq!(
+                    fast.finalize(5.0, &ctx),
+                    slow.finalize(5.0, &ctx),
+                    "func {:?} dtype {:?}",
+                    spec.func,
+                    data.data_type()
+                );
+            }
+        }
+        // Exact i64 min/max: no f64 round-trip may distinguish MAX/MAX-1.
+        let big = Column::from_i64(vec![i64::MAX, i64::MAX - 1]);
+        let mut st = AggSpec::max(col("x"), "mx").new_state();
+        assert!(st.observe_column(&big, None));
+        assert_eq!(
+            st.finalize(2.0, &ScaleContext::exact()).value,
+            Value::Int(i64::MAX)
+        );
+        // No kernel for strings or count-distinct.
+        let s = Column::from_str_iter(["a", "b"]);
+        assert!(!AggSpec::min(col("x"), "m")
+            .new_state()
+            .observe_column(&s, None));
+        assert!(!AggSpec::count_distinct(col("x"), "cd")
+            .new_state()
+            .observe_column(&int_col, None));
     }
 
     #[test]

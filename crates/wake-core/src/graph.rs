@@ -9,12 +9,39 @@
 use crate::agg::AggSpec;
 use crate::meta::EdfMeta;
 pub use crate::ops::join::JoinKind;
+pub use crate::ops::sharded::{ShardMode, ShardPlan};
 use crate::ops::{AggOp, FilterOp, JoinOp, MapOp, Operator, SortOp};
 use crate::update::UpdateKind;
 use crate::Result;
+use std::collections::HashMap;
 use std::sync::Arc;
 use wake_data::{DataError, Schema, TableSource};
 use wake_expr::Expr;
+
+/// Intra-operator partition parallelism: how many hash-range shards a
+/// hash-keyed node (join, group-by) splits its state into. See
+/// [`crate::ops::sharded`] for the execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One shard per available core (`std::thread::available_parallelism`).
+    #[default]
+    Auto,
+    /// Exactly `n` shards; `Fixed(1)` reproduces the unsharded
+    /// single-threaded operator code path byte for byte.
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolve to a concrete shard count (≥ 1).
+    pub fn shards(self) -> usize {
+        match self {
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
 
 /// Node handle within a [`QueryGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,11 +111,68 @@ pub struct Node {
 pub struct QueryGraph {
     nodes: Vec<Node>,
     sink: Option<NodeId>,
+    /// Default intra-operator parallelism for hash-keyed nodes.
+    parallelism: Parallelism,
+    /// Per-node overrides of `parallelism`.
+    node_parallelism: HashMap<usize, Parallelism>,
 }
 
 impl QueryGraph {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set the default partition parallelism for every hash-keyed node
+    /// (join, group-by). Default: [`Parallelism::Auto`] (available cores).
+    pub fn set_parallelism(&mut self, p: Parallelism) {
+        self.parallelism = p;
+    }
+
+    /// Builder form of [`Self::set_parallelism`].
+    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
+        self.set_parallelism(p);
+        self
+    }
+
+    /// Override parallelism for one node (wins over the graph default).
+    pub fn set_node_parallelism(&mut self, node: NodeId, p: Parallelism) {
+        assert!(node.0 < self.nodes.len(), "node {} does not exist", node.0);
+        self.node_parallelism.insert(node.0, p);
+    }
+
+    /// Resolved shard count for `node`: the per-node override or the graph
+    /// default for shardable kinds (join, group-by); 1 for everything else.
+    pub fn shards_for(&self, node: NodeId) -> usize {
+        if !self.is_shardable(node) {
+            return 1;
+        }
+        self.parallelism_of(node).shards()
+    }
+
+    /// The (unresolved) parallelism request for `node`: its override if
+    /// set, else the graph default.
+    pub fn parallelism_of(&self, node: NodeId) -> Parallelism {
+        self.node_parallelism
+            .get(&node.0)
+            .copied()
+            .unwrap_or(self.parallelism)
+    }
+
+    /// Whether `node`'s operator honours partition parallelism.
+    pub fn is_shardable(&self, node: NodeId) -> bool {
+        matches!(
+            self.nodes[node.0].kind,
+            NodeKind::Join { .. } | NodeKind::Agg { .. }
+        )
+    }
+
+    /// Number of hash-keyed (shardable) nodes — executors that run all
+    /// nodes concurrently divide the `Auto` core budget by this so a
+    /// multi-join plan does not oversubscribe the machine.
+    pub fn shardable_node_count(&self) -> usize {
+        (0..self.nodes.len())
+            .filter(|&i| self.is_shardable(NodeId(i)))
+            .count()
     }
 
     fn push(&mut self, kind: NodeKind, inputs: Vec<NodeId>) -> NodeId {
@@ -303,8 +387,20 @@ pub fn read_meta(source: &dyn TableSource) -> EdfMeta {
         .with_clustering(m.clustering_key.clone())
 }
 
-/// Instantiate the operator for a non-source node.
+/// Instantiate the operator for a non-source node on the serial (single
+/// shard) plan. See [`build_operator_with`] for partition parallelism.
 pub fn build_operator(kind: &NodeKind, inputs: &[&EdfMeta]) -> Result<Box<dyn Operator>> {
+    build_operator_with(kind, inputs, ShardPlan::serial())
+}
+
+/// Instantiate the operator for a non-source node with an explicit shard
+/// plan. Only hash-keyed operators (join, group-by) honour `plan.shards >
+/// 1`; `ShardPlan::serial()` reproduces the unsharded code path exactly.
+pub fn build_operator_with(
+    kind: &NodeKind,
+    inputs: &[&EdfMeta],
+    plan: ShardPlan,
+) -> Result<Box<dyn Operator>> {
     let need = |n: usize| -> Result<()> {
         if inputs.len() != n {
             return Err(DataError::Invalid(format!(
@@ -334,13 +430,16 @@ pub fn build_operator(kind: &NodeKind, inputs: &[&EdfMeta]) -> Result<Box<dyn Op
             kind,
         } => {
             need(2)?;
-            Box::new(JoinOp::new(
-                inputs[0],
-                inputs[1],
-                left_on.clone(),
-                right_on.clone(),
-                *kind,
-            )?)
+            Box::new(
+                JoinOp::new(
+                    inputs[0],
+                    inputs[1],
+                    left_on.clone(),
+                    right_on.clone(),
+                    *kind,
+                )?
+                .with_shards(plan),
+            )
         }
         NodeKind::Agg {
             keys,
@@ -351,7 +450,8 @@ pub fn build_operator(kind: &NodeKind, inputs: &[&EdfMeta]) -> Result<Box<dyn Op
             need(1)?;
             Box::new(
                 AggOp::new(inputs[0], keys.clone(), specs.clone(), *with_variance)?
-                    .with_fixed_growth(*fixed_growth),
+                    .with_fixed_growth(*fixed_growth)
+                    .with_shards(plan),
             )
         }
         NodeKind::Sort {

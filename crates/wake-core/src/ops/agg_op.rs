@@ -14,18 +14,41 @@
 //! of average group cardinality against progress gives the power `w`, and
 //! sum-like aggregates scale by `t^{-w}` (§5.2–§5.3). At `t = 1` the scale
 //! is exactly 1, so the final answer is exact (convergence property).
+//!
+//! ## Hot path and partition parallelism
+//!
+//! Grouping is hash-keyed without per-row `Row` materialisation: each frame
+//! gets one vectorized [`hash_keys`] pass over the key columns, a
+//! [`GroupIndex`] maps hash → candidate group slots, and candidates are
+//! confirmed against the typed [`KeyStore`] holding each group's key tuple.
+//! Once a frame's rows are resolved to slots, the aggregate inputs are
+//! folded **column-at-a-time** (`AggState::observe_column` and the typed
+//! scatter kernels below) instead of `Value`-per-row.
+//!
+//! The keyed state (`KeyStore` + `GroupIndex` + per-group `AggState`s)
+//! lives in `S` hash-range [`AggShard`]s (see [`crate::ops::sharded`]);
+//! frames are routed to shards by key hash, per-shard folds run
+//! independently (on worker threads for `S > 1`), and snapshot emission
+//! merges the per-shard partials: shards are key-disjoint, so the paper's
+//! key-based `⊕` merge of partials reduces to concatenating the per-shard
+//! group lists and restoring the global key order. One shared
+//! [`GrowthModel`] is fit on the *global* group statistics, so estimates
+//! are identical at every shard count. `S = 1` (the `Parallelism(1)` plan)
+//! skips the scatter and is byte-identical to the unsharded operator.
 
-use crate::agg::{AggSpec, AggState, ScaleContext};
+use crate::agg::{AggSpec, AggState, NumView, ScaleContext};
 use crate::ci::variance_column;
 use crate::growth::GrowthModel;
 use crate::meta::EdfMeta;
 use crate::ops::key_index::GroupIndex;
+use crate::ops::sharded::{ShardPlan, ShardWork, ShardedState};
 use crate::ops::Operator;
 use crate::progress::Progress;
 use crate::update::{Update, UpdateKind};
 use crate::Result;
 use std::sync::Arc;
 use wake_data::hash::{hash_keys, KeyStore};
+use wake_data::partition::shard_selections;
 use wake_data::{Column, DataError, DataFrame, DataType, Field, Schema, Value};
 use wake_expr::{eval_cow, infer_type, Expr};
 
@@ -37,26 +60,336 @@ struct GroupData {
     carried_var: Vec<f64>,
 }
 
-/// Group-by aggregation with growth-based inference.
-///
-/// Grouping is hash-keyed without per-row `Row` materialisation: each frame
-/// gets one vectorized [`hash_keys`] pass over the key columns, a
-/// [`GroupIndex`] maps hash → candidate group slots, and candidates are
-/// confirmed against the typed [`KeyStore`] holding each group's key tuple.
-pub struct AggOp {
+/// Immutable aggregation configuration shared by the operator shell and
+/// every shard (so shard workers can run on their own threads).
+struct AggConfig {
     keys: Vec<String>,
     /// Key column positions in the input schema (fixed per edf).
     key_idx: Vec<usize>,
     specs: Vec<AggSpec>,
     /// Emit `{alias}__var` columns when set (confidence handled by caller).
     with_variance: bool,
-    input_kind: UpdateKind,
     input_schema: Arc<Schema>,
     /// For each spec: the input variance column to fold in (CI chaining).
     carried_var_cols: Vec<Option<String>>,
+    out_schema: Arc<Schema>,
+}
+
+/// One hash range's worth of group-by state.
+struct AggShard {
+    cfg: Arc<AggConfig>,
     index: GroupIndex,
     key_store: KeyStore,
     groups: Vec<GroupData>,
+    /// Σ group cardinalities (equals rows folded since the last clear).
+    rows_total: f64,
+}
+
+/// Work dispatched to one shard. Frames are the shard-local sub-frames
+/// (the full frame when `S = 1`); `hashes` are the matching row hashes.
+enum AggTask {
+    /// Delta input: fold into the group states (`⊕` with the key's state).
+    Fold {
+        frame: Arc<DataFrame>,
+        hashes: Vec<u64>,
+    },
+    /// Snapshot input: new version — clear, then fold the refresh.
+    Replace {
+        frame: Arc<DataFrame>,
+        hashes: Vec<u64>,
+    },
+    /// Finalize this shard's groups under the shared growth context.
+    Snapshot { ctx: ScaleContext },
+}
+
+/// One shard's reply: fold statistics or a finalized partial snapshot.
+enum AggPartial {
+    Folded {
+        groups: usize,
+        rows: f64,
+        state_bytes: usize,
+    },
+    Snapshot(DataFrame),
+}
+
+impl AggShard {
+    fn new(cfg: Arc<AggConfig>) -> Self {
+        let key_types: Vec<DataType> = cfg
+            .key_idx
+            .iter()
+            .map(|&c| cfg.input_schema.fields()[c].dtype)
+            .collect();
+        AggShard {
+            key_store: KeyStore::for_types(&key_types),
+            cfg,
+            index: GroupIndex::new(),
+            groups: Vec::new(),
+            rows_total: 0.0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.groups.clear();
+        self.index.clear();
+        self.key_store.clear();
+        self.rows_total = 0.0;
+    }
+
+    fn fold_frame(&mut self, frame: &DataFrame, hashes: &[u64]) -> Result<()> {
+        let n = frame.num_rows();
+        if n == 0 {
+            return Ok(());
+        }
+        let cfg = self.cfg.clone();
+        // Evaluate aggregate input expressions once per frame; bare column
+        // references borrow instead of cloning the payload.
+        let value_cols: Vec<std::borrow::Cow<'_, Column>> = cfg
+            .specs
+            .iter()
+            .map(|s| eval_cow(&s.expr, frame))
+            .collect::<Result<_>>()?;
+        let weight_cols: Vec<Option<std::borrow::Cow<'_, Column>>> = cfg
+            .specs
+            .iter()
+            .map(|s| s.weight.as_ref().map(|w| eval_cow(w, frame)).transpose())
+            .collect::<Result<_>>()?;
+        let carried_cols: Vec<Option<&Column>> = cfg
+            .carried_var_cols
+            .iter()
+            .map(|c| c.as_ref().and_then(|name| frame.column(name).ok()))
+            .collect();
+        // Resolve every row to its group slot first (hash → candidate
+        // slots → typed key confirmation), so the aggregate inputs can
+        // then be folded column-at-a-time.
+        let mut slots: Vec<u32> = Vec::with_capacity(n);
+        for (row, &h) in hashes.iter().enumerate().take(n) {
+            let slot = self
+                .index
+                .candidates(h)
+                .iter()
+                .copied()
+                .find(|&g| self.key_store.eq_row(g, frame, &cfg.key_idx, row));
+            let slot = match slot {
+                Some(g) => g,
+                None => {
+                    let g = self.key_store.push_row(frame, &cfg.key_idx, row);
+                    self.index.insert(h, g);
+                    self.groups.push(GroupData {
+                        states: cfg.specs.iter().map(|s| s.new_state()).collect(),
+                        rows: 0.0,
+                        carried_var: vec![0.0; cfg.specs.len()],
+                    });
+                    g
+                }
+            };
+            self.groups[slot as usize].rows += 1.0;
+            slots.push(slot);
+        }
+        self.rows_total += n as f64;
+        for (si, _spec) in cfg.specs.iter().enumerate() {
+            let col: &Column = &value_cols[si];
+            let weight = weight_cols[si].as_deref();
+            let vectorized = if self.groups.len() == 1 {
+                // Single group in this shard (global aggregates, or one
+                // key per hash range): whole-column kernel.
+                self.groups[0].states[si].observe_column(col, weight)
+            } else {
+                observe_column_grouped(&mut self.groups, si, &slots, col, weight)
+            };
+            if !vectorized {
+                // Per-row Value path: non-numeric inputs, count-distinct.
+                for (row, &slot) in slots.iter().enumerate() {
+                    let v = col.value(row);
+                    let w = weight.map(|c| c.value(row));
+                    self.groups[slot as usize].states[si].observe(&v, w.as_ref());
+                }
+            }
+            if let Some(vc) = carried_cols[si] {
+                for (row, &slot) in slots.iter().enumerate() {
+                    if let Some(var) = vc.f64_at(row) {
+                        self.groups[slot as usize].carried_var[si] += var;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize this shard's groups into a key-sorted partial snapshot.
+    fn snapshot(&self, ctx: &ScaleContext) -> Result<DataFrame> {
+        let cfg = &self.cfg;
+        // Deterministic output order: sort group slots by key (typed
+        // comparison against the key store; no Value materialisation).
+        let mut order: Vec<u32> = (0..self.key_store.len()).collect();
+        order.sort_by(|&a, &b| self.key_store.cmp_slots(a, b));
+        let nkeys = cfg.keys.len();
+        let nspecs = cfg.specs.len();
+        let nagg = cfg.out_schema.len() - nkeys;
+        let mut agg_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(order.len()); nagg];
+        for &slot in &order {
+            let g = &self.groups[slot as usize];
+            for (si, state) in g.states.iter().enumerate() {
+                let out = state.finalize(g.rows, ctx);
+                agg_cols[si].push(out.value);
+                if cfg.with_variance {
+                    let var = out.variance.unwrap_or(0.0) + g.carried_var[si];
+                    agg_cols[nspecs + si].push(Value::Float(var));
+                }
+            }
+        }
+        let mut columns = self.key_store.to_columns(&order);
+        for (f, vals) in cfg.out_schema.fields()[nkeys..].iter().zip(agg_cols) {
+            columns.push(Column::from_values(f.dtype, &vals)?);
+        }
+        DataFrame::new(cfg.out_schema.clone(), columns)
+    }
+
+    fn state_bytes(&self) -> usize {
+        // Coarse: per-group constant plus distinct-set contents, plus the
+        // hash-index and key-store footprints.
+        self.groups.len() * 64
+            + self.index.byte_size()
+            + self.key_store.byte_size()
+            + self
+                .groups
+                .iter()
+                .flat_map(|g| g.states.iter())
+                .map(|s| match s {
+                    AggState::Distinct { set, .. } => set.len() * 24,
+                    _ => 32,
+                })
+                .sum::<usize>()
+    }
+
+    fn folded_stats(&self) -> AggPartial {
+        AggPartial::Folded {
+            groups: self.groups.len(),
+            rows: self.rows_total,
+            state_bytes: self.state_bytes(),
+        }
+    }
+}
+
+impl ShardWork for AggShard {
+    type Task = AggTask;
+    type Out = Result<AggPartial>;
+
+    fn run(&mut self, task: AggTask) -> Result<AggPartial> {
+        match task {
+            AggTask::Fold { frame, hashes } => {
+                self.fold_frame(&frame, &hashes)?;
+                Ok(self.folded_stats())
+            }
+            AggTask::Replace { frame, hashes } => {
+                self.clear();
+                self.fold_frame(&frame, &hashes)?;
+                Ok(self.folded_stats())
+            }
+            AggTask::Snapshot { ctx } => Ok(AggPartial::Snapshot(self.snapshot(&ctx)?)),
+        }
+    }
+}
+
+/// Typed scatter kernel: fold `col` into the per-row group states for spec
+/// `si` without materialising a `Value` per cell. All states for one spec
+/// share a variant, so the inner `if let` is perfectly predicted. Returns
+/// `false` (fall back to the row path) for non-numeric inputs and
+/// count-distinct.
+fn observe_column_grouped(
+    groups: &mut [GroupData],
+    si: usize,
+    slots: &[u32],
+    col: &Column,
+    weight: Option<&Column>,
+) -> bool {
+    let Some((view, dtype)) = NumView::of(col) else {
+        return false;
+    };
+    let valid = col.validity();
+    macro_rules! scatter {
+        (|$row:ident, $st:ident| $body:expr) => {
+            match valid {
+                None => {
+                    for ($row, &slot) in slots.iter().enumerate() {
+                        let $st = &mut groups[slot as usize].states[si];
+                        $body
+                    }
+                }
+                Some(mask) => {
+                    for ($row, &slot) in slots.iter().enumerate() {
+                        if mask[$row] {
+                            let $st = &mut groups[slot as usize].states[si];
+                            $body
+                        }
+                    }
+                }
+            }
+        };
+    }
+    match &groups[slots[0] as usize].states[si] {
+        AggState::Count { .. } => scatter!(|_row, st| {
+            if let AggState::Count { n } = st {
+                *n += 1.0;
+            }
+        }),
+        AggState::Sum { .. } | AggState::Avg { .. } | AggState::Dispersion { .. } => {
+            scatter!(|row, st| {
+                if let AggState::Sum { m } | AggState::Avg { m } | AggState::Dispersion { m, .. } =
+                    st
+                {
+                    m.observe(view.get(row));
+                }
+            })
+        }
+        AggState::Sample { .. } => scatter!(|row, st| {
+            if let AggState::Sample { values, .. } = st {
+                values.push(view.get(row));
+            }
+        }),
+        AggState::Extreme { .. } => scatter!(|row, st| {
+            if let AggState::Extreme {
+                best,
+                second,
+                is_min,
+            } = st
+            {
+                crate::agg::observe_extreme(best, second, *is_min, &view.value(row, dtype));
+            }
+        }),
+        AggState::WeightedAvg { .. } => {
+            let Some((wview, _)) = weight.and_then(NumView::of) else {
+                return false;
+            };
+            let wvalid = weight.expect("checked above").validity();
+            for (row, &slot) in slots.iter().enumerate() {
+                let ok = valid.is_none_or(|m| m[row]) && wvalid.is_none_or(|m| m[row]);
+                if ok {
+                    if let AggState::WeightedAvg { m_wv, m_w } =
+                        &mut groups[slot as usize].states[si]
+                    {
+                        let w = wview.get(row);
+                        m_wv.observe(w * view.get(row));
+                        m_w.observe(w);
+                    }
+                }
+            }
+        }
+        AggState::Distinct { .. } => return false,
+    }
+    true
+}
+
+/// Group-by aggregation with growth-based inference over hash-range
+/// sharded state; see the module docs.
+pub struct AggOp {
+    cfg: Arc<AggConfig>,
+    state: ShardedState<AggShard>,
+    /// Per-shard statistics from the last fold (shard state may live on
+    /// worker threads, so footprint and group counts travel via results).
+    shard_groups: Vec<usize>,
+    shard_rows: Vec<f64>,
+    shard_bytes: Vec<usize>,
+    input_kind: UpdateKind,
     growth: GrowthModel,
     progress: Progress,
     emitted_complete: bool,
@@ -122,26 +455,28 @@ impl AggOp {
             growth = GrowthModel::for_input(UpdateKind::Snapshot); // prior w = 0
         }
         let schema = Arc::new(Schema::new(fields));
-        let meta = EdfMeta::new(schema, keys.clone(), UpdateKind::Snapshot).with_clustering(None);
+        let meta =
+            EdfMeta::new(schema.clone(), keys.clone(), UpdateKind::Snapshot).with_clustering(None);
         let key_idx = keys
             .iter()
             .map(|k| input.schema.index_of(k))
             .collect::<Result<Vec<_>>>()?;
-        let key_types: Vec<DataType> = key_idx
-            .iter()
-            .map(|&c| input.schema.fields()[c].dtype)
-            .collect();
-        Ok(AggOp {
+        let cfg = Arc::new(AggConfig {
             keys,
             key_idx,
             specs,
             with_variance,
-            input_kind: input.kind,
             input_schema: input.schema.clone(),
             carried_var_cols,
-            index: GroupIndex::new(),
-            key_store: KeyStore::for_types(&key_types),
-            groups: Vec::new(),
+            out_schema: schema,
+        });
+        Ok(AggOp {
+            state: ShardedState::new(ShardPlan::serial().mode, vec![AggShard::new(cfg.clone())]),
+            shard_groups: vec![0],
+            shard_rows: vec![0.0],
+            shard_bytes: vec![0],
+            cfg,
+            input_kind: input.kind,
             growth,
             progress: Progress::new(),
             emitted_complete: false,
@@ -149,66 +484,55 @@ impl AggOp {
         })
     }
 
-    fn fold_frame(&mut self, frame: &DataFrame) -> Result<()> {
-        let n = frame.num_rows();
-        if n == 0 {
-            return Ok(());
-        }
-        // Evaluate aggregate input expressions once per frame; bare column
-        // references borrow instead of cloning the payload.
-        let value_cols: Vec<std::borrow::Cow<'_, Column>> = self
-            .specs
-            .iter()
-            .map(|s| eval_cow(&s.expr, frame))
-            .collect::<Result<_>>()?;
-        let weight_cols: Vec<Option<std::borrow::Cow<'_, Column>>> = self
-            .specs
-            .iter()
-            .map(|s| s.weight.as_ref().map(|w| eval_cow(w, frame)).transpose())
-            .collect::<Result<_>>()?;
-        let carried_cols: Vec<Option<&Column>> = self
-            .carried_var_cols
-            .iter()
-            .map(|c| c.as_ref().and_then(|name| frame.column(name).ok()))
-            .collect();
-        // One vectorized hash pass over the key columns; group lookup per
-        // row is hash → candidate slots → typed key confirmation.
-        let hashes = hash_keys(frame, &self.key_idx);
-        for row in 0..n {
-            let h = hashes.hashes[row];
-            let slot = self
-                .index
-                .candidates(h)
-                .iter()
-                .copied()
-                .find(|&g| self.key_store.eq_row(g, frame, &self.key_idx, row));
-            let slot = match slot {
-                Some(g) => g,
-                None => {
-                    let g = self.key_store.push_row(frame, &self.key_idx, row);
-                    self.index.insert(h, g);
-                    self.groups.push(GroupData {
-                        states: self.specs.iter().map(|s| s.new_state()).collect(),
-                        rows: 0.0,
-                        carried_var: vec![0.0; self.specs.len()],
-                    });
-                    g
-                }
-            };
-            let entry = &mut self.groups[slot as usize];
-            entry.rows += 1.0;
-            for (si, state) in entry.states.iter_mut().enumerate() {
-                let v = value_cols[si].value(row);
-                let w = weight_cols[si].as_ref().map(|c| c.value(row));
-                state.observe(&v, w.as_ref());
-                if let Some(vc) = carried_cols[si] {
-                    if let Some(var) = vc.f64_at(row) {
-                        entry.carried_var[si] += var;
-                    }
-                }
+    /// Re-plan the operator onto `plan.shards` hash-range shards executed
+    /// in `plan.mode`. Must be called before any update is consumed.
+    pub fn with_shards(mut self, plan: ShardPlan) -> Self {
+        debug_assert!(
+            !self.emitted_complete && self.progress.t() == 0.0,
+            "with_shards must precede execution"
+        );
+        let shards = plan.shards.max(1);
+        self.state = ShardedState::new(
+            plan.mode,
+            (0..shards)
+                .map(|_| AggShard::new(self.cfg.clone()))
+                .collect(),
+        );
+        self.shard_groups = vec![0; shards];
+        self.shard_rows = vec![0.0; shards];
+        self.shard_bytes = vec![0; shards];
+        self
+    }
+
+    /// Route one input frame to per-shard fold/replace tasks by key hash.
+    fn fold_tasks(&self, frame: &Arc<DataFrame>, replace: bool) -> Vec<Option<AggTask>> {
+        let make = |frame: Arc<DataFrame>, hashes: Vec<u64>| {
+            if replace {
+                AggTask::Replace { frame, hashes }
+            } else {
+                AggTask::Fold { frame, hashes }
             }
+        };
+        let hashes = hash_keys(frame, &self.cfg.key_idx);
+        let shards = self.state.num_shards();
+        if shards == 1 {
+            return vec![Some(make(frame.clone(), hashes.hashes))];
         }
-        Ok(())
+        shard_selections(&hashes, shards)
+            .into_iter()
+            .map(|sel| {
+                if sel.is_empty() && !replace {
+                    // No rows for this shard; skipping keeps its state (and
+                    // the fold statistics we already hold) untouched. A
+                    // Replace must reach every shard to clear stale state.
+                    None
+                } else {
+                    let sub = Arc::new(frame.select(&sel));
+                    let sub_hashes = hashes.take(&sel).hashes;
+                    Some(make(sub, sub_hashes))
+                }
+            })
+            .collect()
     }
 
     fn emit(&mut self, force_exact: bool) -> Result<Update> {
@@ -223,30 +547,39 @@ impl AggOp {
                 w_variance: self.growth.w_variance(),
             }
         };
-        // Deterministic output order: sort group slots by key (typed
-        // comparison against the key store; no Value materialisation).
-        let mut order: Vec<u32> = (0..self.key_store.len()).collect();
-        order.sort_by(|&a, &b| self.key_store.cmp_slots(a, b));
-        let nkeys = self.keys.len();
-        let nspecs = self.specs.len();
-        let nagg = self.meta.schema.len() - nkeys;
-        let mut agg_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(order.len()); nagg];
-        for &slot in &order {
-            let g = &self.groups[slot as usize];
-            for (si, state) in g.states.iter().enumerate() {
-                let out = state.finalize(g.rows, &ctx);
-                agg_cols[si].push(out.value);
-                if self.with_variance {
-                    let var = out.variance.unwrap_or(0.0) + g.carried_var[si];
-                    agg_cols[nspecs + si].push(Value::Float(var));
-                }
+        let shards = self.state.num_shards();
+        let tasks: Vec<Option<AggTask>> = if shards == 1 {
+            vec![Some(AggTask::Snapshot { ctx })]
+        } else {
+            // Empty shards contribute no groups; skip their round-trip.
+            self.shard_groups
+                .iter()
+                .map(|&g| (g > 0).then_some(AggTask::Snapshot { ctx }))
+                .collect()
+        };
+        let outs = self.state.run(tasks)?;
+        let mut partials: Vec<DataFrame> = Vec::new();
+        for out in outs.into_iter().flatten() {
+            if let AggPartial::Snapshot(frame) = out? {
+                partials.push(frame);
             }
         }
-        let mut columns = self.key_store.to_columns(&order);
-        for (f, vals) in self.meta.schema.fields()[nkeys..].iter().zip(agg_cols) {
-            columns.push(Column::from_values(f.dtype, &vals)?);
-        }
-        let frame = DataFrame::new(self.meta.schema.clone(), columns)?;
+        // ⊕-merge across shards: keys are disjoint, so merging per-shard
+        // group states is concatenation plus restoring global key order.
+        let frame = match partials.len() {
+            0 => DataFrame::empty(self.cfg.out_schema.clone()),
+            1 => partials.pop().expect("one partial"),
+            _ => {
+                let refs: Vec<&DataFrame> = partials.iter().collect();
+                let merged = DataFrame::concat(&refs)?;
+                if self.cfg.keys.is_empty() {
+                    merged
+                } else {
+                    let names: Vec<&str> = self.cfg.keys.iter().map(String::as_str).collect();
+                    merged.sort_by(&names, &vec![false; names.len()])?
+                }
+            }
+        };
         if complete {
             self.emitted_complete = true;
         }
@@ -254,11 +587,12 @@ impl AggOp {
     }
 
     fn observe_growth(&mut self) {
-        if self.groups.is_empty() {
+        let groups: usize = self.shard_groups.iter().sum();
+        if groups == 0 {
             return;
         }
-        let total: f64 = self.groups.iter().map(|g| g.rows).sum();
-        let avg = total / self.groups.len() as f64;
+        let total: f64 = self.shard_rows.iter().sum();
+        let avg = total / groups as f64;
         self.growth.observe(self.progress.t(), avg);
     }
 }
@@ -267,14 +601,21 @@ impl Operator for AggOp {
     fn on_update(&mut self, port: usize, update: &Update) -> Result<Vec<Update>> {
         debug_assert_eq!(port, 0);
         self.progress.merge(&update.progress);
-        match self.input_kind {
-            UpdateKind::Delta => self.fold_frame(&update.frame)?,
-            UpdateKind::Snapshot => {
-                // New version: complete refresh of the intrinsic states.
-                self.groups.clear();
-                self.index.clear();
-                self.key_store.clear();
-                self.fold_frame(&update.frame)?;
+        let replace = self.input_kind == UpdateKind::Snapshot;
+        let tasks = self.fold_tasks(&update.frame, replace);
+        let outs = self.state.run(tasks)?;
+        for (s, out) in outs.into_iter().enumerate() {
+            if let Some(out) = out {
+                if let AggPartial::Folded {
+                    groups,
+                    rows,
+                    state_bytes,
+                } = out?
+                {
+                    self.shard_groups[s] = groups;
+                    self.shard_rows[s] = rows;
+                    self.shard_bytes[s] = state_bytes;
+                }
             }
         }
         self.observe_growth();
@@ -297,27 +638,14 @@ impl Operator for AggOp {
     }
 
     fn state_bytes(&self) -> usize {
-        // Coarse: per-group constant plus distinct-set contents, plus the
-        // hash-index and key-store footprints.
-        self.groups.len() * 64
-            + self.index.byte_size()
-            + self.key_store.byte_size()
-            + self
-                .groups
-                .iter()
-                .flat_map(|g| g.states.iter())
-                .map(|s| match s {
-                    AggState::Distinct { set, .. } => set.len() * 24,
-                    _ => 32,
-                })
-                .sum::<usize>()
+        self.shard_bytes.iter().sum()
     }
 }
 
 // Expose input schema for debugging/tests.
 impl AggOp {
     pub fn input_schema(&self) -> &Arc<Schema> {
-        &self.input_schema
+        &self.cfg.input_schema
     }
 
     /// Pin the growth power instead of fitting it (ablation mode; no-op
@@ -333,6 +661,7 @@ impl AggOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::sharded::ShardMode;
     use crate::ops::testutil::kv_frame;
     use wake_expr::col;
 
@@ -568,5 +897,59 @@ mod tests {
         let f = &out[0].frame;
         let ks: Vec<Value> = f.column("k").unwrap().iter().collect();
         assert_eq!(ks, vec![Value::Int(1), Value::Int(3), Value::Int(5)]);
+    }
+
+    #[test]
+    fn sharded_group_by_is_identical_to_unsharded() {
+        // Every shard count, every shard mode, every estimate: bit-equal
+        // output frames (group fold order is preserved within a shard, the
+        // growth model is global, and the merged emission restores the
+        // global key order). Null keys ride in shard 0.
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let frame = |step: i64| {
+            let rows: Vec<Vec<Value>> = (0..25)
+                .map(|i| {
+                    let k = (i * 7 + step) % 11;
+                    vec![
+                        if k == 0 { Value::Null } else { Value::Int(k) },
+                        Value::Float((i * step) as f64 * 0.25),
+                    ]
+                })
+                .collect();
+            DataFrame::from_rows(schema.clone(), &rows).unwrap()
+        };
+        let specs = || {
+            vec![
+                AggSpec::sum(col("v"), "s"),
+                AggSpec::count_star("n"),
+                AggSpec::min(col("v"), "mn"),
+                AggSpec::avg(col("v"), "a"),
+                AggSpec::count_distinct(col("v"), "cd"),
+            ]
+        };
+        for shards in [2usize, 3, 8] {
+            for mode in [ShardMode::Inline, ShardMode::Scoped, ShardMode::Pool] {
+                let mut reference =
+                    AggOp::new(&delta_meta(), vec!["k".into()], specs(), true).unwrap();
+                let mut sharded = AggOp::new(&delta_meta(), vec!["k".into()], specs(), true)
+                    .unwrap()
+                    .with_shards(ShardPlan::new(shards, mode));
+                for step in 1..=4i64 {
+                    let u = Update::delta(frame(step), Progress::single(0, step as u64 * 25, 100));
+                    let a = reference.on_update(0, &u).unwrap();
+                    let b = sharded.on_update(0, &u).unwrap();
+                    assert_eq!(a.len(), b.len());
+                    assert_eq!(
+                        a[0].frame.as_ref(),
+                        b[0].frame.as_ref(),
+                        "S={shards} {mode:?} step {step}"
+                    );
+                }
+                let a = reference.on_eof(0).unwrap();
+                let b = sharded.on_eof(0).unwrap();
+                assert_eq!(a.len(), b.len());
+                assert!(sharded.state_bytes() > 0);
+            }
+        }
     }
 }

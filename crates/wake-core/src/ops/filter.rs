@@ -11,7 +11,7 @@ use crate::ops::Operator;
 use crate::update::Update;
 use crate::Result;
 use std::sync::Arc;
-use wake_expr::{eval_mask, infer_type, Expr};
+use wake_expr::{eval_selection, infer_type, Expr};
 
 /// Selection: keep rows satisfying `predicate`.
 pub struct FilterOp {
@@ -40,8 +40,10 @@ impl FilterOp {
 impl Operator for FilterOp {
     fn on_update(&mut self, port: usize, update: &Update) -> Result<Vec<Update>> {
         debug_assert_eq!(port, 0);
-        let mask = eval_mask(&self.predicate, &update.frame)?;
-        let filtered = update.frame.filter(&mask)?;
+        // Fused predicate → selection-vector kernel; the gather consumes
+        // the same `u32` representation as the partition scatter.
+        let sel = eval_selection(&self.predicate, &update.frame)?;
+        let filtered = update.frame.select(&sel);
         Ok(vec![Update {
             frame: Arc::new(filtered),
             progress: update.progress.clone(),

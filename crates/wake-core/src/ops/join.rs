@@ -17,7 +17,7 @@
 //! relational decomposition of `EXISTS` / `NOT EXISTS` sub-queries (TPC-H
 //! Q4, Q21, Q22). SQL null semantics: null keys never match.
 //!
-//! ## Hot path
+//! ## Hot path and partition parallelism
 //!
 //! Keys are never materialised as `Row`s. Each arriving frame gets one
 //! vectorized [`hash_keys`] pass over its key columns (a `Vec<u64>` of row
@@ -25,17 +25,28 @@
 //! candidate rows and candidates are confirmed by typed column comparison
 //! ([`keys_equal`]), so hash collisions cannot produce false matches.
 //! Output frames are assembled with typed columnar gathers over the
-//! buffered frames — the only per-cell `Value` dispatch left in this
-//! operator is in error paths.
+//! buffered frames.
+//!
+//! The whole keyed state (`RowStore` sides, `KeyIndex`es, matched flags)
+//! lives in `S` hash-range [`JoinShard`]s (see [`crate::ops::sharded`]).
+//! The already-computed row hashes route each frame's rows to shards via
+//! per-shard selection vectors; build and probe run per shard over
+//! shard-local sub-frames, and emission concatenates the shard outputs —
+//! shards are disjoint by key, so no cross-shard dedup is needed. Rows
+//! with null key components ride in shard 0. `S = 1` (the
+//! `Parallelism(1)` plan) skips the scatter and is byte-identical to the
+//! unsharded operator.
 
 use crate::meta::EdfMeta;
 use crate::ops::key_index::KeyIndex;
+use crate::ops::sharded::{ShardPlan, ShardWork, ShardedState};
 use crate::ops::{Operator, RowRef, RowStore};
 use crate::progress::Progress;
 use crate::update::{Update, UpdateKind};
 use crate::Result;
 use std::sync::Arc;
 use wake_data::hash::{hash_keys, keys_equal, KeyHashes};
+use wake_data::partition::shard_selections;
 use wake_data::{DataError, DataFrame, Schema};
 
 /// Join flavours.
@@ -50,19 +61,30 @@ pub enum JoinKind {
     Anti,
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Streaming,
     Recompute,
 }
 
-/// Hash-based join over two edf inputs (port 0 = left, port 1 = right).
-pub struct JoinOp {
+/// Immutable join configuration shared by the operator shell and every
+/// shard (so shard workers can run on their own threads).
+struct JoinConfig {
     kind: JoinKind,
     mode: Mode,
     left_on: Vec<usize>,
     right_on: Vec<usize>,
     left_kind: UpdateKind,
     right_kind: UpdateKind,
+    left_schema: Arc<Schema>,
+    right_schema: Arc<Schema>,
+    out_schema: Arc<Schema>,
+}
+
+/// One hash range's worth of join state: both sides' buffered rows and
+/// indexes, plus the per-left-row bookkeeping for left/semi/anti kinds.
+struct JoinShard {
+    cfg: Arc<JoinConfig>,
     left: RowStore,
     right: RowStore,
     left_index: KeyIndex,
@@ -71,12 +93,406 @@ pub struct JoinOp {
     left_hashes: Vec<KeyHashes>,
     /// Streaming only: per-left-frame matched flags (Left/Semi/Anti).
     matched: Vec<Vec<bool>>,
+    right_eof: bool,
+}
+
+/// Work dispatched to one shard. Frames are the shard-local sub-frames
+/// (the full frame when `S = 1`); hashes are the matching sub-hashes.
+enum JoinTask {
+    StreamLeft {
+        frame: Arc<DataFrame>,
+        hashes: KeyHashes,
+    },
+    StreamRight {
+        frame: Arc<DataFrame>,
+        hashes: KeyHashes,
+    },
+    /// Right input exhausted: flush left-join nulls / resolve anti rows.
+    RightEof,
+    /// Recompute mode: buffer one side's (sub-)frame.
+    Buffer { port: usize, frame: Arc<DataFrame> },
+    /// Recompute mode: re-join the buffered state in full.
+    Recompute,
+}
+
+/// One shard's partial result: the rows it contributes to the operator's
+/// next output frame plus its current buffered-state footprint.
+struct JoinPartial {
+    frame: DataFrame,
+    state_bytes: usize,
+}
+
+impl JoinShard {
+    fn new(cfg: Arc<JoinConfig>) -> Self {
+        JoinShard {
+            cfg,
+            left: RowStore::new(),
+            right: RowStore::new(),
+            left_index: KeyIndex::new(),
+            right_index: KeyIndex::new(),
+            left_hashes: Vec::new(),
+            matched: Vec::new(),
+            right_eof: false,
+        }
+    }
+
+    /// Rows from the right index whose keys truly equal the key at
+    /// `probe[ri]` of a left-side frame; copied into `out` (cleared first).
+    /// One typed comparison per distinct key in the bucket.
+    fn right_matches(&self, probe: &DataFrame, ri: usize, hash: u64, out: &mut Vec<RowRef>) {
+        out.clear();
+        out.extend_from_slice(self.right_index.matches(hash, |(fi, rri)| {
+            keys_equal(
+                probe,
+                ri,
+                &self.cfg.left_on,
+                self.right.frame(fi),
+                rri as usize,
+                &self.cfg.right_on,
+            )
+        }));
+    }
+
+    /// Rows from the left index whose keys truly equal the key at
+    /// `probe[ri]` of a right-side frame; copied into `out` (cleared first).
+    fn left_matches(&self, probe: &DataFrame, ri: usize, hash: u64, out: &mut Vec<RowRef>) {
+        out.clear();
+        out.extend_from_slice(self.left_index.matches(hash, |(fi, lri)| {
+            keys_equal(
+                probe,
+                ri,
+                &self.cfg.right_on,
+                self.left.frame(fi),
+                lri as usize,
+                &self.cfg.left_on,
+            )
+        }));
+    }
+
+    /// Build an output frame from matched row pairs (`None` right = nulls)
+    /// using typed columnar gathers.
+    fn build_pairs(&self, pairs: &[(RowRef, Option<RowRef>)]) -> Result<DataFrame> {
+        let schema = self.cfg.out_schema.clone();
+        if pairs.is_empty() {
+            return Ok(DataFrame::empty(schema));
+        }
+        let lrefs: Vec<RowRef> = pairs.iter().map(|&(l, _)| l).collect();
+        let mut columns = self.left.gather_columns(&lrefs)?;
+        if schema.len() > self.cfg.left_schema.len() {
+            let rrefs: Vec<Option<RowRef>> = pairs.iter().map(|&(_, r)| r).collect();
+            columns.extend(
+                self.right
+                    .gather_opt_columns(&rrefs, &self.cfg.right_schema)?,
+            );
+        }
+        DataFrame::new(schema, columns)
+    }
+
+    /// Build a left-columns-only frame (semi/anti output).
+    fn build_left_only(&self, refs: &[RowRef]) -> Result<DataFrame> {
+        if refs.is_empty() {
+            return Ok(DataFrame::empty(self.cfg.out_schema.clone()));
+        }
+        self.left.gather(refs)
+    }
+
+    // ----- streaming mode -----
+
+    fn stream_left(&mut self, frame: &Arc<DataFrame>, hashes: KeyHashes) -> Result<DataFrame> {
+        let kind = self.cfg.kind;
+        let fi = self.left.push(frame.clone());
+        self.matched.push(vec![false; frame.num_rows()]);
+        let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
+        let mut left_only: Vec<RowRef> = Vec::new();
+        let mut eq: Vec<RowRef> = Vec::new();
+        for ri in 0..frame.num_rows() {
+            let lref = (fi, ri as u32);
+            let has_null = hashes.is_null(ri);
+            let h = hashes.hashes[ri];
+            if !has_null {
+                // Anti joins never probe the left index (their EOF flush
+                // re-probes the right index), and after right-side EOF no
+                // future right row can probe it either — skip maintaining
+                // it in both cases.
+                if kind != JoinKind::Anti && !self.right_eof {
+                    let (store, left_on) = (&self.left, &self.cfg.left_on);
+                    self.left_index.insert(h, lref, |(ofi, ori)| {
+                        keys_equal(frame, ri, left_on, store.frame(ofi), ori as usize, left_on)
+                    });
+                }
+                self.right_matches(frame, ri, h, &mut eq);
+            } else {
+                eq.clear();
+            }
+            match kind {
+                JoinKind::Inner | JoinKind::Left => {
+                    if !eq.is_empty() {
+                        self.matched[fi as usize][ri] = true;
+                        for &r in &eq {
+                            pairs.push((lref, Some(r)));
+                        }
+                    } else if kind == JoinKind::Left && self.right_eof {
+                        self.matched[fi as usize][ri] = true;
+                        pairs.push((lref, None));
+                    }
+                }
+                JoinKind::Semi => {
+                    if !eq.is_empty() {
+                        self.matched[fi as usize][ri] = true;
+                        left_only.push(lref);
+                    }
+                }
+                JoinKind::Anti => {
+                    if self.right_eof && eq.is_empty() {
+                        self.matched[fi as usize][ri] = true; // "handled"
+                        left_only.push(lref);
+                    }
+                }
+            }
+        }
+        // Per-frame hashes are only re-read by the Anti EOF flush; don't
+        // retain them for the other kinds.
+        if kind == JoinKind::Anti {
+            self.left_hashes.push(hashes);
+        }
+        match kind {
+            JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs),
+            JoinKind::Semi | JoinKind::Anti => self.build_left_only(&left_only),
+        }
+    }
+
+    fn stream_right(&mut self, frame: &Arc<DataFrame>, hashes: KeyHashes) -> Result<DataFrame> {
+        let kind = self.cfg.kind;
+        let fi = self.right.push(frame.clone());
+        let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
+        let mut left_only: Vec<RowRef> = Vec::new();
+        let mut eq: Vec<RowRef> = Vec::new();
+        for ri in 0..frame.num_rows() {
+            if hashes.is_null(ri) {
+                continue;
+            }
+            let h = hashes.hashes[ri];
+            let rref = (fi, ri as u32);
+            let (store, right_on) = (&self.right, &self.cfg.right_on);
+            self.right_index.insert(h, rref, |(ofi, ori)| {
+                keys_equal(
+                    frame,
+                    ri,
+                    right_on,
+                    store.frame(ofi),
+                    ori as usize,
+                    right_on,
+                )
+            });
+            // Anti joins resolve purely against the right index at EOF;
+            // probing the (empty) left index per right row is wasted work.
+            if kind != JoinKind::Anti {
+                self.left_matches(frame, ri, h, &mut eq);
+            }
+            match kind {
+                JoinKind::Inner | JoinKind::Left => {
+                    for &l in &eq {
+                        self.matched[l.0 as usize][l.1 as usize] = true;
+                        pairs.push((l, Some(rref)));
+                    }
+                }
+                JoinKind::Semi => {
+                    for &l in &eq {
+                        let seen = &mut self.matched[l.0 as usize][l.1 as usize];
+                        if !*seen {
+                            *seen = true;
+                            left_only.push(l);
+                        }
+                    }
+                }
+                JoinKind::Anti => {}
+            }
+        }
+        match kind {
+            JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs),
+            JoinKind::Semi | JoinKind::Anti => self.build_left_only(&left_only),
+        }
+    }
+
+    fn stream_right_eof(&mut self) -> Result<DataFrame> {
+        self.right_eof = true;
+        // Left join: flush accumulated unmatched rows with null right side;
+        // anti join: flush rows that now provably have no match.
+        let mut flush: Vec<RowRef> = Vec::new();
+        for (fi, flags) in self.matched.iter().enumerate() {
+            for (ri, &m) in flags.iter().enumerate() {
+                if !m {
+                    flush.push((fi as u32, ri as u32));
+                }
+            }
+        }
+        match self.cfg.kind {
+            JoinKind::Left => {
+                for &(fi, ri) in &flush {
+                    self.matched[fi as usize][ri as usize] = true;
+                }
+                let pairs: Vec<(RowRef, Option<RowRef>)> =
+                    flush.into_iter().map(|l| (l, None)).collect();
+                self.build_pairs(&pairs)
+            }
+            JoinKind::Anti => {
+                // A pending row is anti iff its key misses the right index.
+                let mut anti: Vec<RowRef> = Vec::new();
+                let mut eq: Vec<RowRef> = Vec::new();
+                for &(fi, ri) in &flush {
+                    let frame = self.left.frame(fi).clone();
+                    let hashes = &self.left_hashes[fi as usize];
+                    if hashes.is_null(ri as usize) {
+                        anti.push((fi, ri));
+                    } else {
+                        self.right_matches(
+                            &frame,
+                            ri as usize,
+                            hashes.hashes[ri as usize],
+                            &mut eq,
+                        );
+                        if eq.is_empty() {
+                            anti.push((fi, ri));
+                        }
+                    }
+                }
+                for (fi, ri) in flush {
+                    self.matched[fi as usize][ri as usize] = true;
+                }
+                self.build_left_only(&anti)
+            }
+            _ => Ok(DataFrame::empty(self.cfg.out_schema.clone())),
+        }
+    }
+
+    // ----- recompute mode -----
+
+    fn buffer(&mut self, port: usize, frame: Arc<DataFrame>) {
+        let (store, kind) = if port == 0 {
+            (&mut self.left, self.cfg.left_kind)
+        } else {
+            (&mut self.right, self.cfg.right_kind)
+        };
+        if kind == UpdateKind::Snapshot {
+            store.clear();
+        }
+        store.push(frame);
+    }
+
+    fn recompute(&mut self) -> Result<DataFrame> {
+        // Index the right side, scan the left side.
+        self.right_index.clear();
+        for (fi, frame) in self.right.frames().iter().enumerate() {
+            let hashes = hash_keys(frame, &self.cfg.right_on);
+            let (store, right_on) = (&self.right, &self.cfg.right_on);
+            for ri in 0..frame.num_rows() {
+                if !hashes.is_null(ri) {
+                    self.right_index.insert(
+                        hashes.hashes[ri],
+                        (fi as u32, ri as u32),
+                        |(ofi, ori)| {
+                            keys_equal(
+                                frame,
+                                ri,
+                                right_on,
+                                store.frame(ofi),
+                                ori as usize,
+                                right_on,
+                            )
+                        },
+                    );
+                }
+            }
+        }
+        let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
+        let mut left_only: Vec<RowRef> = Vec::new();
+        let mut eq: Vec<RowRef> = Vec::new();
+        let left_frames: Vec<Arc<DataFrame>> = self.left.frames().to_vec();
+        for (fi, frame) in left_frames.iter().enumerate() {
+            let hashes = hash_keys(frame, &self.cfg.left_on);
+            for ri in 0..frame.num_rows() {
+                let lref = (fi as u32, ri as u32);
+                if hashes.is_null(ri) {
+                    eq.clear();
+                } else {
+                    self.right_matches(frame, ri, hashes.hashes[ri], &mut eq);
+                }
+                match (self.cfg.kind, eq.is_empty()) {
+                    (JoinKind::Inner, false) | (JoinKind::Left, false) => {
+                        pairs.extend(eq.iter().map(|&r| (lref, Some(r))))
+                    }
+                    (JoinKind::Inner, true) => {}
+                    (JoinKind::Left, true) => pairs.push((lref, None)),
+                    (JoinKind::Semi, false) => left_only.push(lref),
+                    (JoinKind::Semi, true) => {}
+                    (JoinKind::Anti, true) => left_only.push(lref),
+                    (JoinKind::Anti, false) => {}
+                }
+            }
+        }
+        let out = match self.cfg.kind {
+            JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs)?,
+            JoinKind::Semi | JoinKind::Anti => {
+                if left_only.is_empty() {
+                    DataFrame::empty(self.cfg.out_schema.clone())
+                } else {
+                    self.left.gather(&left_only)?
+                }
+            }
+        };
+        // Recompute rebuilds the index from scratch each refresh; drop it
+        // so buffered state stays proportional to the inputs.
+        self.right_index.clear();
+        Ok(out)
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.left.byte_size()
+            + self.right.byte_size()
+            + self.left_index.byte_size()
+            + self.right_index.byte_size()
+            + self
+                .left_hashes
+                .iter()
+                .map(|h| h.hashes.len() * 8)
+                .sum::<usize>()
+    }
+}
+
+impl ShardWork for JoinShard {
+    type Task = JoinTask;
+    type Out = Result<JoinPartial>;
+
+    fn run(&mut self, task: JoinTask) -> Result<JoinPartial> {
+        let frame = match task {
+            JoinTask::StreamLeft { frame, hashes } => self.stream_left(&frame, hashes)?,
+            JoinTask::StreamRight { frame, hashes } => self.stream_right(&frame, hashes)?,
+            JoinTask::RightEof => self.stream_right_eof()?,
+            JoinTask::Buffer { port, frame } => {
+                self.buffer(port, frame);
+                DataFrame::empty(self.cfg.out_schema.clone())
+            }
+            JoinTask::Recompute => self.recompute()?,
+        };
+        Ok(JoinPartial {
+            frame,
+            state_bytes: self.state_bytes(),
+        })
+    }
+}
+
+/// Hash-based join over two edf inputs (port 0 = left, port 1 = right).
+/// The keyed state is hash-range sharded; see the module docs.
+pub struct JoinOp {
+    cfg: Arc<JoinConfig>,
+    state: ShardedState<JoinShard>,
+    /// Last-reported buffered bytes per shard (shard state may live on
+    /// worker threads, so the footprint is tracked via task results).
+    shard_bytes: Vec<usize>,
     left_eof: bool,
     right_eof: bool,
     emitted_any: bool,
     progress: Progress,
-    left_schema: Arc<Schema>,
-    right_schema: Arc<Schema>,
     meta: EdfMeta,
 }
 
@@ -124,8 +540,8 @@ impl JoinOp {
         };
         // Probe-side (left) primary key survives FK-style joins (§4.3 /
         // Fig 6 note: "The key is still orderkey").
-        let meta = EdfMeta::new(out_schema, left.primary_key.clone(), out_kind);
-        Ok(JoinOp {
+        let meta = EdfMeta::new(out_schema.clone(), left.primary_key.clone(), out_kind);
+        let cfg = Arc::new(JoinConfig {
             kind,
             mode: if streaming {
                 Mode::Streaming
@@ -136,77 +552,120 @@ impl JoinOp {
             right_on: right_idx,
             left_kind: left.kind,
             right_kind: right.kind,
-            left: RowStore::new(),
-            right: RowStore::new(),
-            left_index: KeyIndex::new(),
-            right_index: KeyIndex::new(),
-            left_hashes: Vec::new(),
-            matched: Vec::new(),
+            left_schema: left.schema.clone(),
+            right_schema: right.schema.clone(),
+            out_schema,
+        });
+        Ok(JoinOp {
+            state: ShardedState::new(ShardPlan::serial().mode, vec![JoinShard::new(cfg.clone())]),
+            shard_bytes: vec![0],
+            cfg,
             left_eof: false,
             right_eof: false,
             emitted_any: false,
             progress: Progress::new(),
-            left_schema: left.schema.clone(),
-            right_schema: right.schema.clone(),
             meta,
         })
     }
 
-    /// Rows from the right index whose keys truly equal the key at
-    /// `probe[ri]` of a left-side frame; copied into `out` (cleared first).
-    /// One typed comparison per distinct key in the bucket.
-    fn right_matches(&self, probe: &DataFrame, ri: usize, hash: u64, out: &mut Vec<RowRef>) {
-        out.clear();
-        out.extend_from_slice(self.right_index.matches(hash, |(fi, rri)| {
-            keys_equal(
-                probe,
-                ri,
-                &self.left_on,
-                self.right.frame(fi),
-                rri as usize,
-                &self.right_on,
-            )
-        }));
+    /// Re-plan the operator onto `plan.shards` hash-range shards executed
+    /// in `plan.mode`. Must be called before any update is consumed.
+    pub fn with_shards(mut self, plan: ShardPlan) -> Self {
+        debug_assert!(
+            !self.emitted_any && self.progress.t() == 0.0,
+            "with_shards must precede execution"
+        );
+        self.state = ShardedState::new(
+            plan.mode,
+            (0..plan.shards.max(1))
+                .map(|_| JoinShard::new(self.cfg.clone()))
+                .collect(),
+        );
+        self.shard_bytes = vec![0; plan.shards.max(1)];
+        self
     }
 
-    /// Rows from the left index whose keys truly equal the key at
-    /// `probe[ri]` of a right-side frame; copied into `out` (cleared first).
-    fn left_matches(&self, probe: &DataFrame, ri: usize, hash: u64, out: &mut Vec<RowRef>) {
-        out.clear();
-        out.extend_from_slice(self.left_index.matches(hash, |(fi, lri)| {
-            keys_equal(
-                probe,
-                ri,
-                &self.right_on,
-                self.left.frame(fi),
-                lri as usize,
-                &self.left_on,
-            )
-        }));
+    /// Split one frame into per-shard stream tasks by key hash. With one
+    /// shard, the original frame and hashes pass through untouched.
+    fn stream_tasks(
+        &self,
+        frame: &Arc<DataFrame>,
+        key_cols: &[usize],
+        make: impl Fn(Arc<DataFrame>, KeyHashes) -> JoinTask,
+    ) -> Vec<Option<JoinTask>> {
+        let hashes = hash_keys(frame, key_cols);
+        let shards = self.state.num_shards();
+        if shards == 1 {
+            return vec![Some(make(frame.clone(), hashes))];
+        }
+        shard_selections(&hashes, shards)
+            .into_iter()
+            .map(|sel| {
+                if sel.is_empty() {
+                    None
+                } else {
+                    let sub = Arc::new(frame.select(&sel));
+                    let sub_hashes = hashes.take(&sel);
+                    Some(make(sub, sub_hashes))
+                }
+            })
+            .collect()
     }
 
-    /// Build an output frame from matched row pairs (`None` right = nulls)
-    /// using typed columnar gathers.
-    fn build_pairs(&self, pairs: &[(RowRef, Option<RowRef>)]) -> Result<DataFrame> {
-        let schema = self.meta.schema.clone();
-        if pairs.is_empty() {
-            return Ok(DataFrame::empty(schema));
+    /// Per-shard buffer tasks for recompute mode. Snapshot-kind sides must
+    /// reach *every* shard (a refresh clears stale state even where the
+    /// new version has no rows); delta sides skip empty sub-frames.
+    fn buffer_tasks(&self, port: usize, frame: &Arc<DataFrame>) -> Vec<Option<JoinTask>> {
+        let (key_cols, side_kind) = if port == 0 {
+            (&self.cfg.left_on, self.cfg.left_kind)
+        } else {
+            (&self.cfg.right_on, self.cfg.right_kind)
+        };
+        let shards = self.state.num_shards();
+        if shards == 1 {
+            return vec![Some(JoinTask::Buffer {
+                port,
+                frame: frame.clone(),
+            })];
         }
-        let lrefs: Vec<RowRef> = pairs.iter().map(|&(l, _)| l).collect();
-        let mut columns = self.left.gather_columns(&lrefs);
-        if schema.len() > self.left_schema.len() {
-            let rrefs: Vec<Option<RowRef>> = pairs.iter().map(|&(_, r)| r).collect();
-            columns.extend(self.right.gather_opt_columns(&rrefs, &self.right_schema));
-        }
-        DataFrame::new(schema, columns)
+        let hashes = hash_keys(frame, key_cols);
+        shard_selections(&hashes, shards)
+            .into_iter()
+            .map(|sel| {
+                if sel.is_empty() && side_kind != UpdateKind::Snapshot {
+                    None
+                } else {
+                    Some(JoinTask::Buffer {
+                        port,
+                        frame: Arc::new(frame.select(&sel)),
+                    })
+                }
+            })
+            .collect()
     }
 
-    /// Build a left-columns-only frame (semi/anti output).
-    fn build_left_only(&self, refs: &[RowRef]) -> Result<DataFrame> {
-        if refs.is_empty() {
-            return Ok(DataFrame::empty(self.meta.schema.clone()));
+    /// Scatter tasks, join, fold the partials: record per-shard footprints
+    /// and concatenate the shard outputs (key-disjoint, so plain concat).
+    fn run_merged(&mut self, tasks: Vec<Option<JoinTask>>) -> Result<DataFrame> {
+        let outs = self.state.run(tasks)?;
+        let mut frames: Vec<DataFrame> = Vec::new();
+        for (s, out) in outs.into_iter().enumerate() {
+            if let Some(partial) = out {
+                let partial = partial?;
+                self.shard_bytes[s] = partial.state_bytes;
+                if partial.frame.num_rows() > 0 {
+                    frames.push(partial.frame);
+                }
+            }
         }
-        self.left.gather(refs)
+        match frames.len() {
+            0 => Ok(DataFrame::empty(self.cfg.out_schema.clone())),
+            1 => Ok(frames.pop().expect("one frame")),
+            _ => {
+                let refs: Vec<&DataFrame> = frames.iter().collect();
+                DataFrame::concat(&refs)
+            }
+        }
     }
 
     fn emit(&mut self, frame: DataFrame) -> Vec<Update> {
@@ -220,275 +679,35 @@ impl JoinOp {
             kind: self.meta.kind,
         }]
     }
-
-    // ----- streaming mode -----
-
-    fn stream_left(&mut self, frame: &Arc<DataFrame>) -> Result<Vec<Update>> {
-        let hashes = hash_keys(frame, &self.left_on);
-        let fi = self.left.push(frame.clone());
-        self.matched.push(vec![false; frame.num_rows()]);
-        let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
-        let mut left_only: Vec<RowRef> = Vec::new();
-        let mut eq: Vec<RowRef> = Vec::new();
-        for ri in 0..frame.num_rows() {
-            let lref = (fi, ri as u32);
-            let has_null = hashes.is_null(ri);
-            let h = hashes.hashes[ri];
-            if !has_null {
-                // Anti joins never probe the left index (their EOF flush
-                // re-probes the right index), and after right-side EOF no
-                // future right row can probe it either — skip maintaining
-                // it in both cases.
-                if self.kind != JoinKind::Anti && !self.right_eof {
-                    let (store, left_on) = (&self.left, &self.left_on);
-                    self.left_index.insert(h, lref, |(ofi, ori)| {
-                        keys_equal(frame, ri, left_on, store.frame(ofi), ori as usize, left_on)
-                    });
-                }
-                self.right_matches(frame, ri, h, &mut eq);
-            } else {
-                eq.clear();
-            }
-            match self.kind {
-                JoinKind::Inner | JoinKind::Left => {
-                    if !eq.is_empty() {
-                        self.matched[fi as usize][ri] = true;
-                        for &r in &eq {
-                            pairs.push((lref, Some(r)));
-                        }
-                    } else if self.kind == JoinKind::Left && self.right_eof {
-                        self.matched[fi as usize][ri] = true;
-                        pairs.push((lref, None));
-                    }
-                }
-                JoinKind::Semi => {
-                    if !eq.is_empty() {
-                        self.matched[fi as usize][ri] = true;
-                        left_only.push(lref);
-                    }
-                }
-                JoinKind::Anti => {
-                    if self.right_eof && eq.is_empty() {
-                        self.matched[fi as usize][ri] = true; // "handled"
-                        left_only.push(lref);
-                    }
-                }
-            }
-        }
-        // Per-frame hashes are only re-read by the Anti EOF flush; don't
-        // retain them for the other kinds.
-        if self.kind == JoinKind::Anti {
-            self.left_hashes.push(hashes);
-        }
-        let out = match self.kind {
-            JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs)?,
-            JoinKind::Semi | JoinKind::Anti => self.build_left_only(&left_only)?,
-        };
-        Ok(self.emit(out))
-    }
-
-    fn stream_right(&mut self, frame: &Arc<DataFrame>) -> Result<Vec<Update>> {
-        let hashes = hash_keys(frame, &self.right_on);
-        let fi = self.right.push(frame.clone());
-        let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
-        let mut left_only: Vec<RowRef> = Vec::new();
-        let mut eq: Vec<RowRef> = Vec::new();
-        for ri in 0..frame.num_rows() {
-            if hashes.is_null(ri) {
-                continue;
-            }
-            let h = hashes.hashes[ri];
-            let rref = (fi, ri as u32);
-            let (store, right_on) = (&self.right, &self.right_on);
-            self.right_index.insert(h, rref, |(ofi, ori)| {
-                keys_equal(
-                    frame,
-                    ri,
-                    right_on,
-                    store.frame(ofi),
-                    ori as usize,
-                    right_on,
-                )
-            });
-            // Anti joins resolve purely against the right index at EOF;
-            // probing the (empty) left index per right row is wasted work.
-            if self.kind != JoinKind::Anti {
-                self.left_matches(frame, ri, h, &mut eq);
-            }
-            match self.kind {
-                JoinKind::Inner | JoinKind::Left => {
-                    for &l in &eq {
-                        self.matched[l.0 as usize][l.1 as usize] = true;
-                        pairs.push((l, Some(rref)));
-                    }
-                }
-                JoinKind::Semi => {
-                    for &l in &eq {
-                        let seen = &mut self.matched[l.0 as usize][l.1 as usize];
-                        if !*seen {
-                            *seen = true;
-                            left_only.push(l);
-                        }
-                    }
-                }
-                JoinKind::Anti => {}
-            }
-        }
-        let out = match self.kind {
-            JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs)?,
-            JoinKind::Semi | JoinKind::Anti => self.build_left_only(&left_only)?,
-        };
-        Ok(self.emit(out))
-    }
-
-    fn stream_right_eof(&mut self) -> Result<Vec<Update>> {
-        // Left join: flush accumulated unmatched rows with null right side;
-        // anti join: flush rows that now provably have no match.
-        let mut flush: Vec<RowRef> = Vec::new();
-        for (fi, flags) in self.matched.iter().enumerate() {
-            for (ri, &m) in flags.iter().enumerate() {
-                if !m {
-                    flush.push((fi as u32, ri as u32));
-                }
-            }
-        }
-        match self.kind {
-            JoinKind::Left => {
-                for &(fi, ri) in &flush {
-                    self.matched[fi as usize][ri as usize] = true;
-                }
-                let pairs: Vec<(RowRef, Option<RowRef>)> =
-                    flush.into_iter().map(|l| (l, None)).collect();
-                let out = self.build_pairs(&pairs)?;
-                Ok(self.emit(out))
-            }
-            JoinKind::Anti => {
-                // A pending row is anti iff its key misses the right index.
-                let mut anti: Vec<RowRef> = Vec::new();
-                let mut eq: Vec<RowRef> = Vec::new();
-                for &(fi, ri) in &flush {
-                    let frame = self.left.frame(fi).clone();
-                    let hashes = &self.left_hashes[fi as usize];
-                    if hashes.is_null(ri as usize) {
-                        anti.push((fi, ri));
-                    } else {
-                        self.right_matches(
-                            &frame,
-                            ri as usize,
-                            hashes.hashes[ri as usize],
-                            &mut eq,
-                        );
-                        if eq.is_empty() {
-                            anti.push((fi, ri));
-                        }
-                    }
-                }
-                for (fi, ri) in flush {
-                    self.matched[fi as usize][ri as usize] = true;
-                }
-                let out = self.build_left_only(&anti)?;
-                Ok(self.emit(out))
-            }
-            _ => Ok(Vec::new()),
-        }
-    }
-
-    // ----- recompute mode -----
-
-    fn recompute(&mut self) -> Result<Vec<Update>> {
-        // Index the right side, scan the left side.
-        self.right_index.clear();
-        for (fi, frame) in self.right.frames().iter().enumerate() {
-            let hashes = hash_keys(frame, &self.right_on);
-            let (store, right_on) = (&self.right, &self.right_on);
-            for ri in 0..frame.num_rows() {
-                if !hashes.is_null(ri) {
-                    self.right_index.insert(
-                        hashes.hashes[ri],
-                        (fi as u32, ri as u32),
-                        |(ofi, ori)| {
-                            keys_equal(
-                                frame,
-                                ri,
-                                right_on,
-                                store.frame(ofi),
-                                ori as usize,
-                                right_on,
-                            )
-                        },
-                    );
-                }
-            }
-        }
-        let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
-        let mut left_only: Vec<RowRef> = Vec::new();
-        let mut eq: Vec<RowRef> = Vec::new();
-        let left_frames: Vec<Arc<DataFrame>> = self.left.frames().to_vec();
-        for (fi, frame) in left_frames.iter().enumerate() {
-            let hashes = hash_keys(frame, &self.left_on);
-            for ri in 0..frame.num_rows() {
-                let lref = (fi as u32, ri as u32);
-                if hashes.is_null(ri) {
-                    eq.clear();
-                } else {
-                    self.right_matches(frame, ri, hashes.hashes[ri], &mut eq);
-                }
-                match (self.kind, eq.is_empty()) {
-                    (JoinKind::Inner, false) | (JoinKind::Left, false) => {
-                        pairs.extend(eq.iter().map(|&r| (lref, Some(r))))
-                    }
-                    (JoinKind::Inner, true) => {}
-                    (JoinKind::Left, true) => pairs.push((lref, None)),
-                    (JoinKind::Semi, false) => left_only.push(lref),
-                    (JoinKind::Semi, true) => {}
-                    (JoinKind::Anti, true) => left_only.push(lref),
-                    (JoinKind::Anti, false) => {}
-                }
-            }
-        }
-        let out = match self.kind {
-            JoinKind::Inner | JoinKind::Left => self.build_pairs(&pairs)?,
-            JoinKind::Semi | JoinKind::Anti => {
-                if left_only.is_empty() {
-                    DataFrame::empty(self.meta.schema.clone())
-                } else {
-                    self.left.gather(&left_only)?
-                }
-            }
-        };
-        // Recompute rebuilds the index from scratch each refresh; drop it
-        // so buffered state stays proportional to the inputs.
-        self.right_index.clear();
-        Ok(self.emit(out))
-    }
-
-    fn buffer_side(&mut self, port: usize, update: &Update) {
-        let (store, kind) = if port == 0 {
-            (&mut self.left, self.left_kind)
-        } else {
-            (&mut self.right, self.right_kind)
-        };
-        if kind == UpdateKind::Snapshot {
-            store.clear();
-        }
-        store.push(update.frame.clone());
-    }
 }
 
 impl Operator for JoinOp {
     fn on_update(&mut self, port: usize, update: &Update) -> Result<Vec<Update>> {
         self.progress.merge(&update.progress);
-        match self.mode {
-            Mode::Streaming => match port {
-                0 => self.stream_left(&update.frame),
-                1 => self.stream_right(&update.frame),
-                _ => Err(DataError::Invalid(format!("join has 2 ports, got {port}"))),
-            },
-            Mode::Recompute => {
-                self.buffer_side(port, update);
-                self.recompute()
+        let out = match self.cfg.mode {
+            Mode::Streaming => {
+                let tasks = match port {
+                    0 => self.stream_tasks(&update.frame, &self.cfg.left_on, |frame, hashes| {
+                        JoinTask::StreamLeft { frame, hashes }
+                    }),
+                    1 => self.stream_tasks(&update.frame, &self.cfg.right_on, |frame, hashes| {
+                        JoinTask::StreamRight { frame, hashes }
+                    }),
+                    _ => return Err(DataError::Invalid(format!("join has 2 ports, got {port}"))),
+                };
+                self.run_merged(tasks)?
             }
-        }
+            Mode::Recompute => {
+                if port > 1 {
+                    return Err(DataError::Invalid(format!("join has 2 ports, got {port}")));
+                }
+                let buffers = self.buffer_tasks(port, &update.frame);
+                self.run_merged(buffers)?;
+                let shards = self.state.num_shards();
+                self.run_merged((0..shards).map(|_| Some(JoinTask::Recompute)).collect())?
+            }
+        };
+        Ok(self.emit(out))
     }
 
     fn on_eof(&mut self, port: usize) -> Result<Vec<Update>> {
@@ -499,8 +718,13 @@ impl Operator for JoinOp {
             }
             1 => {
                 self.right_eof = true;
-                match self.mode {
-                    Mode::Streaming => self.stream_right_eof()?,
+                match self.cfg.mode {
+                    Mode::Streaming => {
+                        let shards = self.state.num_shards();
+                        let flush = self
+                            .run_merged((0..shards).map(|_| Some(JoinTask::RightEof)).collect())?;
+                        self.emit(flush)
+                    }
                     // Recompute mode already reflects the final right state.
                     Mode::Recompute => Vec::new(),
                 }
@@ -511,8 +735,11 @@ impl Operator for JoinOp {
         // state so downstream consumers learn the final answer even when
         // no input ever arrived.
         if self.left_eof && self.right_eof && !self.emitted_any {
-            if let Mode::Recompute = self.mode {
-                out.extend(self.recompute()?);
+            if let Mode::Recompute = self.cfg.mode {
+                let shards = self.state.num_shards();
+                let full =
+                    self.run_merged((0..shards).map(|_| Some(JoinTask::Recompute)).collect())?;
+                out.extend(self.emit(full));
             }
         }
         Ok(out)
@@ -523,21 +750,14 @@ impl Operator for JoinOp {
     }
 
     fn state_bytes(&self) -> usize {
-        self.left.byte_size()
-            + self.right.byte_size()
-            + self.left_index.byte_size()
-            + self.right_index.byte_size()
-            + self
-                .left_hashes
-                .iter()
-                .map(|h| h.hashes.len() * 8)
-                .sum::<usize>()
+        self.shard_bytes.iter().sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::sharded::ShardMode;
     use crate::ops::testutil::kv_frame;
     use std::sync::Arc;
     use wake_data::{Column, DataType, Field, Value};
@@ -801,5 +1021,86 @@ mod tests {
             .unwrap();
         assert_eq!(out[0].frame.num_rows(), 1);
         assert_eq!(out[0].frame.value(0, "name").unwrap(), Value::str("two"));
+    }
+
+    /// Multiset of rows for order-insensitive comparison.
+    fn rows_sorted(f: &DataFrame) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = (0..f.num_rows()).map(|i| f.row(i)).collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn sharded_join_matches_unsharded_for_all_kinds_and_modes() {
+        // Streaming: feed the same update sequence (null keys included)
+        // into S=1 and S∈{2,3,8} operators under every shard mode and
+        // require multiset-identical emissions step by step.
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let lframe = |ks: &[Option<i64>]| {
+            DataFrame::from_rows(
+                schema.clone(),
+                &ks.iter()
+                    .enumerate()
+                    .map(|(i, k)| vec![k.map_or(Value::Null, Value::Int), Value::Float(i as f64)])
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap()
+        };
+        let left_seq = [
+            lframe(&[Some(1), Some(2), None, Some(3), Some(4)]),
+            lframe(&[Some(2), None, Some(9)]),
+        ];
+        let right_seq = [
+            right_frame(vec![2, 3, 3], vec!["a", "b", "c"]),
+            right_frame(vec![9, 100], vec!["z", "q"]),
+        ];
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::Left,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            for shards in [2usize, 3, 8] {
+                for mode in [ShardMode::Inline, ShardMode::Scoped, ShardMode::Pool] {
+                    let mut reference = join(kind);
+                    let mut sharded = join(kind).with_shards(ShardPlan::new(shards, mode));
+                    let mut step = 0u64;
+                    let mut feed = |op: &mut JoinOp, port: usize, f: &DataFrame| {
+                        step += 1;
+                        let u = Update::delta(f.clone(), Progress::single(port as u32, step, 10));
+                        op.on_update(port, &u).unwrap()
+                    };
+                    for (lf, rf) in left_seq.iter().zip(&right_seq) {
+                        let a = feed(&mut reference, 0, lf);
+                        let b = feed(&mut sharded, 0, lf);
+                        let concat = |outs: Vec<Update>| {
+                            outs.iter()
+                                .flat_map(|u| rows_sorted(&u.frame))
+                                .collect::<Vec<_>>()
+                        };
+                        let (mut am, mut bm) = (concat(a), concat(b));
+                        am.sort();
+                        bm.sort();
+                        assert_eq!(am, bm, "{kind:?} S={shards} {mode:?} left step");
+                        let a = feed(&mut reference, 1, rf);
+                        let b = feed(&mut sharded, 1, rf);
+                        let (mut am, mut bm) = (concat(a), concat(b));
+                        am.sort();
+                        bm.sort();
+                        assert_eq!(am, bm, "{kind:?} S={shards} {mode:?} right step");
+                    }
+                    let a = reference.on_eof(1).unwrap();
+                    let b = sharded.on_eof(1).unwrap();
+                    let flat = |outs: Vec<Update>| {
+                        let mut rows: Vec<Vec<Value>> =
+                            outs.iter().flat_map(|u| rows_sorted(&u.frame)).collect();
+                        rows.sort();
+                        rows
+                    };
+                    assert_eq!(flat(a), flat(b), "{kind:?} S={shards} {mode:?} eof flush");
+                    assert!(sharded.state_bytes() > 0);
+                }
+            }
+        }
     }
 }

@@ -14,12 +14,14 @@ pub mod join;
 pub mod key_index;
 pub mod map;
 pub mod map_ci;
+pub mod sharded;
 pub mod sort;
 
 pub use agg_op::AggOp;
 pub use filter::FilterOp;
 pub use join::JoinOp;
 pub use map::MapOp;
+pub use sharded::{ShardMode, ShardPlan};
 pub use sort::SortOp;
 
 use crate::meta::EdfMeta;
@@ -113,20 +115,26 @@ impl RowStore {
             .first()
             .map(|f| f.schema().clone())
             .ok_or_else(|| wake_data::DataError::Invalid("gather from empty row store".into()))?;
-        let columns = self.gather_columns(refs);
+        let columns = self.gather_columns(refs)?;
         DataFrame::new(schema, columns)
     }
 
     /// Typed gather of every column at `refs` (frames must be non-empty).
-    pub fn gather_columns(&self, refs: &[RowRef]) -> Vec<Column> {
+    pub fn gather_columns(&self, refs: &[RowRef]) -> Result<Vec<Column>> {
         let schema = self.frames[0].schema().clone();
         let refs: Vec<Option<RowRef>> = refs.iter().map(|&r| Some(r)).collect();
         self.gather_opt_columns(&refs, &schema)
     }
 
     /// Typed gather where `None` refs produce null cells (the unmatched
-    /// side of a left join). Returns one column per store column.
-    pub fn gather_opt_columns(&self, refs: &[Option<RowRef>], schema: &Arc<Schema>) -> Vec<Column> {
+    /// side of a left join). Returns one column per store column, or a
+    /// typed error when a buffered frame does not match the store schema —
+    /// a malformed input must fail the query, not panic a worker thread.
+    pub fn gather_opt_columns(
+        &self,
+        refs: &[Option<RowRef>],
+        schema: &Arc<Schema>,
+    ) -> Result<Vec<Column>> {
         use wake_data::column::ColumnData;
         let ncols = schema.len();
         (0..ncols)
@@ -134,7 +142,7 @@ impl RowStore {
                 if self.frames.is_empty() {
                     // No buffered rows at all: every ref must be None.
                     debug_assert!(refs.iter().all(Option::is_none));
-                    return Column::nulls(schema.fields()[c].dtype, refs.len());
+                    return Ok(Column::nulls(schema.fields()[c].dtype, refs.len()));
                 }
                 let cols: Vec<&Column> = self.frames.iter().map(|f| f.column_at(c)).collect();
                 let any_none = refs.iter().any(Option::is_none);
@@ -149,10 +157,20 @@ impl RowStore {
                 });
                 macro_rules! gather {
                     ($variant:ident, $slice:ident, $default:expr) => {{
-                        let slices: Vec<_> = cols
+                        let slices = cols
                             .iter()
-                            .map(|col| col.$slice().expect("store columns share one type"))
-                            .collect();
+                            .map(|col| {
+                                col.$slice()
+                                    .ok_or_else(|| wake_data::DataError::TypeMismatch {
+                                        expected: format!(
+                                            "{} for buffered column {}",
+                                            self.frames[0].column_at(c).data_type(),
+                                            schema.fields()[c].name
+                                        ),
+                                        found: col.data_type().to_string(),
+                                    })
+                            })
+                            .collect::<Result<Vec<_>>>()?;
                         ColumnData::$variant(
                             refs.iter()
                                 .map(|r| match r {
@@ -172,11 +190,7 @@ impl RowStore {
                         gather!(Utf8, as_str_slice, std::sync::Arc::from(""))
                     }
                 };
-                match validity {
-                    Some(mask) => Column::with_validity(data, mask)
-                        .expect("mask length matches refs by construction"),
-                    None => Column::new(data),
-                }
+                Column::with_validity_opt(data, validity)
             })
             .collect()
     }

@@ -1,0 +1,351 @@
+//! Intra-operator partition parallelism: hash-range sharded operator state.
+//!
+//! A hash-keyed operator (join, group-by) splits its keyed state into `S`
+//! independent **shards**; every input frame is routed row-wise to shards
+//! by key hash (`wake_data::partition`), so equal keys always meet in the
+//! same shard and shards never need to coordinate while folding. The
+//! operator then runs as a three-stage fork-join per consumed update:
+//!
+//! 1. **split** — one vectorized `hash_keys` pass plus per-shard selection
+//!    vectors; sub-frames are materialised with a typed columnar gather,
+//! 2. **apply** — each shard folds its sub-frame into its private state
+//!    ([`ShardWork::run`]), potentially on its own worker thread,
+//! 3. **merge** — a join-point collects per-shard partials in shard order
+//!    and the operator emits one merged update downstream (group states
+//!    combine with the `⊕` merge family; join outputs concatenate, since
+//!    shards are key-disjoint).
+//!
+//! [`ShardedState`] owns stage 2 and hides three execution strategies:
+//!
+//! - **Inline** (`S = 1`, and the forced mode of `Parallelism(1)`): the
+//!   single shard runs on the caller's thread; no scatter, no threads —
+//!   byte-identical to the pre-sharding operators.
+//! - **Scoped**: shards run on `std::thread::scope` workers spawned per
+//!   call and re-joined before returning. Used by the deterministic
+//!   `SteppedExecutor`: no persistent threads outlive a step, results are
+//!   merged in shard order, and a panicking shard surfaces as an error on
+//!   the calling thread.
+//! - **Pool**: `S` persistent worker threads, each owning its shard's
+//!   state for the lifetime of the operator, fed by per-shard **bounded**
+//!   channels (capacity [`POOL_TASK_CAPACITY`]) so a slow shard
+//!   backpressures the splitter instead of queueing unboundedly. Used by
+//!   the pipelined `ThreadedExecutor`. Worker panics are caught and
+//!   reported as a typed query error — never a hang.
+//!
+//! All three strategies produce identical results for identical inputs:
+//! the fork-join barrier plus shard-ordered merge keeps sharded execution
+//! deterministic in value regardless of scheduling.
+
+use crate::Result;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use wake_data::DataError;
+
+/// Per-shard bounded task-channel capacity in Pool mode. [`ShardedState::
+/// run`] is a strict fork-join barrier — it collects every dispatched
+/// result before returning — so at most one task per shard is ever in
+/// flight and capacity 1 suffices; the bound exists so any future
+/// split-ahead pipelining inherits blocking-send backpressure rather than
+/// an unbounded queue.
+pub const POOL_TASK_CAPACITY: usize = 1;
+
+/// One shard's private state: receives owned tasks, returns owned partial
+/// results. Implementations must not share mutable state across shards —
+/// that independence is what makes the fan-out safe.
+pub trait ShardWork: Send + 'static {
+    type Task: Send + 'static;
+    type Out: Send + 'static;
+
+    fn run(&mut self, task: Self::Task) -> Self::Out;
+}
+
+/// How a sharded operator executes its per-shard folds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// Run every shard on the calling thread, in shard order.
+    #[default]
+    Inline,
+    /// Fork scoped worker threads per call; join before returning.
+    Scoped,
+    /// Persistent per-shard worker threads fed by bounded channels.
+    Pool,
+}
+
+/// Shard count plus execution mode — the resolved form of the user-facing
+/// [`Parallelism`](crate::graph::Parallelism) knob that executors hand to
+/// [`build_operator_with`](crate::graph::build_operator_with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    pub shards: usize,
+    pub mode: ShardMode,
+}
+
+impl ShardPlan {
+    /// The unsharded plan: one shard, inline — today's single-threaded
+    /// operator code path, byte for byte.
+    pub fn serial() -> Self {
+        ShardPlan {
+            shards: 1,
+            mode: ShardMode::Inline,
+        }
+    }
+
+    pub fn new(shards: usize, mode: ShardMode) -> Self {
+        let shards = shards.max(1);
+        ShardPlan {
+            shards,
+            // A single shard gains nothing from workers; force inline so
+            // Parallelism(1) cannot diverge from the serial path.
+            mode: if shards == 1 { ShardMode::Inline } else { mode },
+        }
+    }
+}
+
+impl Default for ShardPlan {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+enum Inner<W: ShardWork> {
+    /// Shards live on the operator; folds run inline or under a scope.
+    Local { shards: Vec<W>, scoped: bool },
+    /// Shards live on persistent worker threads.
+    Pool(Pool<W>),
+}
+
+/// `S` shards of operator state plus the machinery to run tasks against
+/// them. See the module docs for the execution strategies.
+pub struct ShardedState<W: ShardWork> {
+    inner: Inner<W>,
+    num_shards: usize,
+}
+
+impl<W: ShardWork> ShardedState<W> {
+    /// Build from per-shard states (`shards.len()` = S ≥ 1).
+    pub fn new(mode: ShardMode, shards: Vec<W>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let num_shards = shards.len();
+        let inner = match mode {
+            _ if num_shards == 1 => Inner::Local {
+                shards,
+                scoped: false,
+            },
+            ShardMode::Inline => Inner::Local {
+                shards,
+                scoped: false,
+            },
+            ShardMode::Scoped => Inner::Local {
+                shards,
+                scoped: true,
+            },
+            ShardMode::Pool => Inner::Pool(Pool::spawn(shards)),
+        };
+        ShardedState { inner, num_shards }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Scatter `tasks` (one optional task per shard; `None` skips the
+    /// shard) and gather the outputs in shard order. This is the fork-join
+    /// barrier: it returns only when every dispatched shard has finished.
+    ///
+    /// A panicking shard — under any mode — surfaces as a typed
+    /// [`DataError`] so a malformed frame can fail the query instead of
+    /// hanging or poisoning the process.
+    pub fn run(&mut self, mut tasks: Vec<Option<W::Task>>) -> Result<Vec<Option<W::Out>>> {
+        debug_assert_eq!(tasks.len(), self.num_shards);
+        let live = tasks.iter().filter(|t| t.is_some()).count();
+        match &mut self.inner {
+            Inner::Local { shards, scoped } => {
+                let scoped = *scoped && live > 1;
+                if !scoped {
+                    let mut outs: Vec<Option<W::Out>> = Vec::with_capacity(tasks.len());
+                    for (shard, task) in shards.iter_mut().zip(tasks) {
+                        outs.push(task.map(|t| shard.run(t)));
+                    }
+                    return Ok(outs);
+                }
+                // Fork one scoped worker per dispatched shard; join returns
+                // Err on panic, which we convert to a query error.
+                let mut outs: Vec<Option<W::Out>> =
+                    std::iter::repeat_with(|| None).take(tasks.len()).collect();
+                let mut panicked = false;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .iter_mut()
+                        .zip(tasks.drain(..))
+                        .map(|(shard, task)| task.map(|t| scope.spawn(move || shard.run(t))))
+                        .collect();
+                    for (slot, handle) in outs.iter_mut().zip(handles) {
+                        if let Some(h) = handle {
+                            match h.join() {
+                                Ok(out) => *slot = Some(out),
+                                Err(_) => panicked = true,
+                            }
+                        }
+                    }
+                });
+                if panicked {
+                    return Err(shard_panic_error());
+                }
+                Ok(outs)
+            }
+            Inner::Pool(pool) => pool.run(tasks),
+        }
+    }
+
+    /// Run the same-task-per-shard broadcast built by `f` on every shard.
+    pub fn broadcast(&mut self, f: impl Fn(usize) -> W::Task) -> Result<Vec<Option<W::Out>>> {
+        let tasks = (0..self.num_shards).map(|s| Some(f(s))).collect();
+        self.run(tasks)
+    }
+}
+
+fn shard_panic_error() -> DataError {
+    DataError::Invalid("shard worker panicked; query aborted".into())
+}
+
+struct Pool<W: ShardWork> {
+    txs: Vec<mpsc::SyncSender<W::Task>>,
+    results: mpsc::Receiver<(usize, std::thread::Result<W::Out>)>,
+    handles: Vec<JoinHandle<()>>,
+    /// Set after a worker panic or disconnect: the shard states may be
+    /// inconsistent, so every further call fails fast.
+    poisoned: bool,
+}
+
+impl<W: ShardWork> Pool<W> {
+    fn spawn(shards: Vec<W>) -> Self {
+        let (result_tx, results) = mpsc::channel();
+        let mut txs = Vec::with_capacity(shards.len());
+        let mut handles = Vec::with_capacity(shards.len());
+        for (idx, mut shard) in shards.into_iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<W::Task>(POOL_TASK_CAPACITY);
+            let result_tx = result_tx.clone();
+            txs.push(tx);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    let out = catch_unwind(AssertUnwindSafe(|| shard.run(task)));
+                    let died = out.is_err();
+                    if result_tx.send((idx, out)).is_err() || died {
+                        break; // operator dropped, or state is poisoned
+                    }
+                }
+            }));
+        }
+        Pool {
+            txs,
+            results,
+            handles,
+            poisoned: false,
+        }
+    }
+
+    fn run(&mut self, tasks: Vec<Option<W::Task>>) -> Result<Vec<Option<W::Out>>> {
+        if self.poisoned {
+            return Err(shard_panic_error());
+        }
+        let mut outs: Vec<Option<W::Out>> =
+            std::iter::repeat_with(|| None).take(tasks.len()).collect();
+        let mut pending = 0usize;
+        for (tx, task) in self.txs.iter().zip(tasks) {
+            if let Some(task) = task {
+                // Bounded send: blocks (backpressure) while the shard is
+                // still chewing on earlier tasks.
+                if tx.send(task).is_err() {
+                    self.poisoned = true;
+                    return Err(shard_panic_error());
+                }
+                pending += 1;
+            }
+        }
+        // Join-point: collect exactly the dispatched shards' results.
+        for _ in 0..pending {
+            match self.results.recv() {
+                Ok((idx, Ok(out))) => outs[idx] = Some(out),
+                Ok((_, Err(_))) | Err(_) => {
+                    self.poisoned = true;
+                    return Err(shard_panic_error());
+                }
+            }
+        }
+        Ok(outs)
+    }
+}
+
+impl<W: ShardWork> Drop for Pool<W> {
+    fn drop(&mut self) {
+        self.txs.clear(); // disconnect: workers exit their recv loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler {
+        total: i64,
+    }
+
+    impl ShardWork for Doubler {
+        type Task = i64;
+        type Out = i64;
+
+        fn run(&mut self, task: i64) -> i64 {
+            if task == i64::MIN {
+                panic!("poison task");
+            }
+            self.total += task;
+            self.total
+        }
+    }
+
+    fn doubled(mode: ShardMode) {
+        let mut st = ShardedState::new(mode, vec![Doubler { total: 0 }, Doubler { total: 100 }]);
+        assert_eq!(st.num_shards(), 2);
+        let outs = st.run(vec![Some(1), Some(2)]).unwrap();
+        assert_eq!(outs, vec![Some(1), Some(102)]);
+        // Skipped shards keep their state untouched.
+        let outs = st.run(vec![None, Some(3)]).unwrap();
+        assert_eq!(outs, vec![None, Some(105)]);
+        let outs = st.broadcast(|s| s as i64).unwrap();
+        assert_eq!(outs, vec![Some(1), Some(106)]);
+    }
+
+    #[test]
+    fn all_modes_scatter_gather_in_shard_order() {
+        doubled(ShardMode::Inline);
+        doubled(ShardMode::Scoped);
+        doubled(ShardMode::Pool);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_not_hang() {
+        for mode in [ShardMode::Scoped, ShardMode::Pool] {
+            let mut st = ShardedState::new(mode, vec![Doubler { total: 0 }, Doubler { total: 0 }]);
+            let err = st.run(vec![Some(i64::MIN), Some(1)]);
+            assert!(err.is_err(), "{mode:?}");
+            if mode == ShardMode::Pool {
+                // Poisoned pool fails fast afterwards.
+                assert!(st.run(vec![Some(1), None]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_forces_inline() {
+        let mut st = ShardedState::new(ShardMode::Pool, vec![Doubler { total: 0 }]);
+        match st.inner {
+            Inner::Local { .. } => {}
+            Inner::Pool(_) => panic!("S=1 must not spawn workers"),
+        }
+        assert_eq!(st.run(vec![Some(5)]).unwrap(), vec![Some(5)]);
+    }
+}

@@ -105,6 +105,15 @@ impl Column {
         }
     }
 
+    /// [`with_validity`](Self::with_validity) with an optional mask
+    /// (`None` = all valid).
+    pub fn with_validity_opt(data: ColumnData, validity: Option<Vec<bool>>) -> Result<Self> {
+        match validity {
+            Some(mask) => Column::with_validity(data, mask),
+            None => Ok(Column::new(data)),
+        }
+    }
+
     pub fn from_i64(values: Vec<i64>) -> Self {
         Column::new(ColumnData::Int64(values))
     }
@@ -279,23 +288,43 @@ impl Column {
 
     /// Gather rows at `indices` into a new column.
     pub fn take(&self, indices: &[usize]) -> Column {
+        self.gather(indices.len(), |i| indices[i])
+    }
+
+    /// Gather rows at a `u32` selection vector — the shared representation
+    /// produced by predicate evaluation ([`filter`](Self::filter)) and the
+    /// hash-range partition scatter (`wake_data::partition`). One typed pass
+    /// per column; no `Value` cells are materialised.
+    pub fn take_u32(&self, sel: &[u32]) -> Column {
+        self.gather(sel.len(), |i| sel[i] as usize)
+    }
+
+    /// Shared typed gather behind [`take`](Self::take) /
+    /// [`take_u32`](Self::take_u32): `src(i)` names the source row of
+    /// output row `i`, for `i` in `0..n`.
+    fn gather(&self, n: usize, src: impl Fn(usize) -> usize) -> Column {
+        macro_rules! gather {
+            ($variant:ident, $v:expr) => {
+                ColumnData::$variant((0..n).map(|i| $v[src(i)].clone()).collect())
+            };
+        }
         let data = match &self.data {
-            ColumnData::Int64(v) => ColumnData::Int64(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Float64(v) => ColumnData::Float64(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
-            ColumnData::Utf8(v) => {
-                ColumnData::Utf8(indices.iter().map(|&i| v[i].clone()).collect())
-            }
-            ColumnData::Date(v) => ColumnData::Date(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Int64(v) => gather!(Int64, v),
+            ColumnData::Float64(v) => gather!(Float64, v),
+            ColumnData::Bool(v) => gather!(Bool, v),
+            ColumnData::Utf8(v) => gather!(Utf8, v),
+            ColumnData::Date(v) => gather!(Date, v),
         };
         let validity = self
             .validity
             .as_ref()
-            .map(|m| indices.iter().map(|&i| m[i]).collect());
+            .map(|m| (0..n).map(|i| m[src(i)]).collect());
         Column { data, validity }
     }
 
     /// Keep rows where `mask[i]` is true. `mask.len()` must equal `len()`.
+    /// Internally converts the mask to a `u32` selection vector and gathers,
+    /// so filtering and partition scatter share one representation.
     pub fn filter(&self, mask: &[bool]) -> Result<Column> {
         if mask.len() != self.len() {
             return Err(DataError::ShapeMismatch(format!(
@@ -304,13 +333,7 @@ impl Column {
                 self.len()
             )));
         }
-        let indices: Vec<usize> = mask
-            .iter()
-            .enumerate()
-            .filter(|(_, &k)| k)
-            .map(|(i, _)| i)
-            .collect();
-        Ok(self.take(&indices))
+        Ok(self.take_u32(&mask_to_selection(mask)))
     }
 
     /// Concatenate columns of the same type.
@@ -376,6 +399,29 @@ impl Column {
     }
 }
 
+/// Convert a keep-mask to a `u32` selection vector. Unrolled over chunks of
+/// eight so the per-lane tests compile to straight-line code; the tail is
+/// handled scalar.
+pub fn mask_to_selection(mask: &[bool]) -> Vec<u32> {
+    let mut sel = Vec::with_capacity(mask.len());
+    let mut chunks = mask.chunks_exact(8);
+    let mut base = 0u32;
+    for c in &mut chunks {
+        for (lane, &keep) in c.iter().enumerate() {
+            if keep {
+                sel.push(base + lane as u32);
+            }
+        }
+        base += 8;
+    }
+    for (lane, &keep) in chunks.remainder().iter().enumerate() {
+        if keep {
+            sel.push(base + lane as u32);
+        }
+    }
+    sel
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +443,22 @@ mod tests {
         assert_eq!(filtered.len(), 3);
         assert_eq!(filtered.value(1), Value::Null);
         assert!(col.filter(&[true]).is_err());
+    }
+
+    #[test]
+    fn take_u32_matches_take_and_mask_round_trips() {
+        let col = Column::from_values(
+            DataType::Utf8,
+            &[Value::str("a"), Value::Null, Value::str("c")],
+        )
+        .unwrap();
+        let a = col.take(&[2, 0, 1]);
+        let b = col.take_u32(&[2, 0, 1]);
+        assert_eq!(a, b);
+        // mask_to_selection covers the unrolled body and the tail.
+        let mask: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let sel = mask_to_selection(&mask);
+        assert_eq!(sel, vec![0, 3, 6, 9, 12, 15, 18]);
     }
 
     #[test]

@@ -157,6 +157,18 @@ impl DataFrame {
         }
     }
 
+    /// Gather rows at a `u32` selection vector (the representation shared by
+    /// predicate evaluation and the hash-range partition scatter). Cheap
+    /// columnar gather: one typed pass per column, no `Value` cells.
+    pub fn select(&self, sel: &[u32]) -> DataFrame {
+        let columns = self.columns.iter().map(|c| c.take_u32(sel)).collect();
+        DataFrame {
+            schema: self.schema.clone(),
+            columns,
+            rows: sel.len(),
+        }
+    }
+
     /// Keep rows where `mask` is true.
     pub fn filter(&self, mask: &[bool]) -> Result<DataFrame> {
         if mask.len() != self.rows {
@@ -166,13 +178,7 @@ impl DataFrame {
                 self.rows
             )));
         }
-        let indices: Vec<usize> = mask
-            .iter()
-            .enumerate()
-            .filter(|(_, &k)| k)
-            .map(|(i, _)| i)
-            .collect();
-        Ok(self.take(&indices))
+        Ok(self.select(&crate::column::mask_to_selection(mask)))
     }
 
     /// First `n` rows (all rows if `n >= num_rows`).

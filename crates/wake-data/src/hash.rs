@@ -115,6 +115,18 @@ impl KeyHashes {
     pub fn is_null(&self, i: usize) -> bool {
         self.any_null.as_ref().is_some_and(|m| m[i])
     }
+
+    /// Gather the hashes (and null indicators) at a selection vector —
+    /// valid because hashes are row-local: the result equals recomputing
+    /// [`hash_keys`] on the selected sub-frame.
+    pub fn take(&self, sel: &[u32]) -> KeyHashes {
+        let hashes = sel.iter().map(|&i| self.hashes[i as usize]).collect();
+        let any_null = self.any_null.as_ref().and_then(|m| {
+            let sub: Vec<bool> = sel.iter().map(|&i| m[i as usize]).collect();
+            sub.iter().any(|&b| b).then_some(sub)
+        });
+        KeyHashes { hashes, any_null }
+    }
 }
 
 /// Fold one column's cell hashes into `acc` (one slot per row).

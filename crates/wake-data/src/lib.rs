@@ -23,6 +23,7 @@ pub mod csv;
 pub mod error;
 pub mod frame;
 pub mod hash;
+pub mod partition;
 pub mod row;
 pub mod schema;
 pub mod source;

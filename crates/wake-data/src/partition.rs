@@ -1,0 +1,184 @@
+//! Hash-range partitioning of frames into per-shard selection vectors.
+//!
+//! Intra-operator partition parallelism splits a hash-keyed operator's
+//! state into `S` independent shards; every input frame is routed row-wise
+//! to shards by key hash so that equal keys always land in the same shard.
+//! This module provides the routing kernel on top of
+//! [`hash_keys`](crate::hash::hash_keys): given a frame's [`KeyHashes`],
+//! produce one `u32` selection vector per shard (the same representation
+//! [`Column::take_u32`](crate::Column::take_u32) and
+//! [`DataFrame::select`](crate::DataFrame::select) consume), so a frame can
+//! be scattered into `S` sub-frames with one typed columnar gather per shard
+//! and no `Value` materialisation.
+//!
+//! ## Routing rules
+//!
+//! - `shard(row) = (hash(row) × S) >> 64` — a multiply-shift range
+//!   reduction that picks the shard from the hash's **high** bits. The
+//!   low bits must be left alone: the shard-local `KeyIndex`/`GroupIndex`
+//!   maps are keyed by the same hash through a pass-through hasher, and
+//!   their bucket index is `hash & (capacity - 1)` — low bits. Routing by
+//!   `hash % S` would make the low bits constant within a shard at
+//!   power-of-two `S` and collapse every shard table to `1/S` of its
+//!   buckets. The high-bit reduction keeps shard balance (hashes are
+//!   avalanche-mixed) and supports non-power-of-two shard counts.
+//! - **Rows with a null key component route to shard 0.** Joins drop null
+//!   keys from index/probe anyway but must still buffer the rows (left/anti
+//!   flushes); pinning them to one shard keeps that bookkeeping local.
+//!   Group-by treats a null as an ordinary key value; the null-key group is
+//!   simply owned by shard 0.
+//! - `S = 1` yields one selection covering every row, and callers are
+//!   expected to skip the scatter entirely in that case so the
+//!   single-shard path stays byte-identical to unsharded execution.
+//!
+//! Determinism: routing depends only on cell contents (the hashes are
+//! frame-independent), so the two sides of a join agree on shard
+//! assignment, and re-running a query re-creates the same shards.
+
+use crate::hash::KeyHashes;
+
+/// Shard index for one row hash under `shards` shards (callers handle the
+/// null-row override). Multiply-shift reduction over the hash's high bits;
+/// see the module docs for why the low bits must stay untouched.
+#[inline]
+pub fn shard_of(hash: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    ((hash as u128 * shards as u128) >> 64) as usize
+}
+
+/// Split the rows behind `hashes` into per-shard selection vectors.
+///
+/// Returns `shards` vectors; vector `s` lists (in ascending row order) the
+/// rows owned by shard `s`. Row order within a shard preserves frame order,
+/// so per-group fold order — and therefore floating-point accumulation —
+/// is identical to unsharded execution.
+pub fn shard_selections(hashes: &KeyHashes, shards: usize) -> Vec<Vec<u32>> {
+    assert!(shards > 0, "shard count must be positive");
+    let n = hashes.hashes.len();
+    if shards == 1 {
+        return vec![(0..n as u32).collect()];
+    }
+    // Pass 1: shard id per row + per-shard counts (exact allocations).
+    let mut ids = Vec::with_capacity(n);
+    let mut counts = vec![0usize; shards];
+    for (row, &h) in hashes.hashes.iter().enumerate() {
+        let s = if hashes.is_null(row) {
+            0
+        } else {
+            shard_of(h, shards)
+        };
+        ids.push(s as u32);
+        counts[s] += 1;
+    }
+    // Pass 2: scatter row indices.
+    let mut sel: Vec<Vec<u32>> = counts.into_iter().map(Vec::with_capacity).collect();
+    for (row, &s) in ids.iter().enumerate() {
+        sel[s as usize].push(row as u32);
+    }
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_keys;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+    use crate::{Column, DataFrame};
+    use std::sync::Arc;
+
+    fn keyed_frame(keys: &[Value]) -> DataFrame {
+        let schema = Arc::new(Schema::new(vec![Field::new("k", DataType::Int64)]));
+        DataFrame::new(
+            schema,
+            vec![Column::from_values(DataType::Int64, keys).unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn selections_cover_all_rows_disjointly_and_in_order() {
+        let keys: Vec<Value> = (0..100).map(|i| Value::Int(i % 17)).collect();
+        let f = keyed_frame(&keys);
+        let kh = hash_keys(&f, &[0]);
+        for shards in [1usize, 2, 3, 8] {
+            let sel = shard_selections(&kh, shards);
+            assert_eq!(sel.len(), shards);
+            let mut all: Vec<u32> = sel.iter().flatten().copied().collect();
+            assert!(sel.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn equal_keys_share_a_shard_across_frames() {
+        let a = keyed_frame(&[Value::Int(7), Value::Int(13), Value::Int(7)]);
+        let b = keyed_frame(&[Value::Int(13), Value::Int(7)]);
+        let (ha, hb) = (hash_keys(&a, &[0]), hash_keys(&b, &[0]));
+        for shards in [2usize, 3, 8] {
+            let of = |kh: &crate::hash::KeyHashes, row: usize| shard_of(kh.hashes[row], shards);
+            assert_eq!(of(&ha, 0), of(&ha, 2));
+            assert_eq!(of(&ha, 0), of(&hb, 1));
+            assert_eq!(of(&ha, 1), of(&hb, 0));
+        }
+    }
+
+    #[test]
+    fn routing_leaves_low_hash_bits_free() {
+        // The shard-local hash maps bucket by the LOW hash bits; routing
+        // must therefore not fix them. At S=4, every shard must still see
+        // diverse low-bit patterns (a `hash % 4` router would pin them).
+        let keys: Vec<Value> = (0..512).map(Value::Int).collect();
+        let f = keyed_frame(&keys);
+        let kh = hash_keys(&f, &[0]);
+        let sel = shard_selections(&kh, 4);
+        for (s, rows) in sel.iter().enumerate() {
+            if rows.len() < 8 {
+                continue;
+            }
+            let distinct_low: std::collections::HashSet<u64> =
+                rows.iter().map(|&r| kh.hashes[r as usize] & 0b11).collect();
+            assert!(
+                distinct_low.len() > 1,
+                "shard {s}: low bits pinned to {distinct_low:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn null_keys_route_to_shard_zero() {
+        let f = keyed_frame(&[Value::Null, Value::Int(5), Value::Null]);
+        let kh = hash_keys(&f, &[0]);
+        let sel = shard_selections(&kh, 8);
+        assert!(sel[0].contains(&0) && sel[0].contains(&2));
+    }
+
+    #[test]
+    fn scatter_then_select_reassembles_the_frame() {
+        let keys: Vec<Value> = (0..40)
+            .map(|i| {
+                if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 7)
+                }
+            })
+            .collect();
+        let f = keyed_frame(&keys);
+        let kh = hash_keys(&f, &[0]);
+        let sel = shard_selections(&kh, 3);
+        let total: usize = sel
+            .iter()
+            .map(|s| {
+                let sub = f.select(s);
+                let sub_h = kh.take(s);
+                assert_eq!(sub.num_rows(), s.len());
+                // Gathered hashes match hashes recomputed on the sub-frame.
+                assert_eq!(sub_h.hashes, hash_keys(&sub, &[0]).hashes);
+                sub.num_rows()
+            })
+            .sum();
+        assert_eq!(total, 40);
+    }
+}

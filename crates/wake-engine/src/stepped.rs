@@ -1,18 +1,33 @@
-//! Deterministic single-threaded executor.
+//! Deterministic single-stepped executor.
 //!
 //! Sources are read one partition at a time, always advancing the source
 //! with the lowest progress fraction (balanced interleaving, mimicking the
 //! paper's concurrent readers deterministically). Every update is pushed
 //! through the DAG synchronously, so the estimate stream is exactly
 //! reproducible — the property the integration and property tests rely on.
+//!
+//! Partition parallelism: hash-keyed nodes are built on the graph's
+//! [`Parallelism`](wake_core::graph::Parallelism) plan in **scoped** shard
+//! mode (`ShardMode::Scoped`) — per-shard folds fork scoped worker threads
+//! that are joined before the step returns, and partials merge in shard
+//! order. No rayon, no persistent threads: a single-stepped run is fully
+//! reproducible *for a given shard count* regardless of scheduling.
+//! Caveat: the shard count itself changes observable-but-insignificant
+//! detail — a sharded join emits its matches in shard-concat order, so a
+//! float aggregate downstream of a join may reassociate its sums — and
+//! `Parallelism::Auto` resolves to the host's core count. Golden-value
+//! tests and cross-machine reproductions should pin
+//! `Parallelism::Fixed(n)` (`Fixed(1)` is byte-identical to the
+//! pre-sharding engine); the equivalence suites assert agreement across
+//! shard counts up to that float reassociation.
 
 use crate::estimate::{Estimate, EstimateSeries};
 use crate::Result;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
-use wake_core::graph::{build_operator, NodeId, NodeKind, QueryGraph};
-use wake_core::ops::{Operator, RowStore};
+use wake_core::graph::{build_operator_with, NodeId, NodeKind, QueryGraph};
+use wake_core::ops::{Operator, RowStore, ShardMode, ShardPlan};
 use wake_core::progress::Progress;
 use wake_core::update::{Update, UpdateKind};
 use wake_data::{DataError, DataFrame};
@@ -44,13 +59,14 @@ impl SteppedExecutor {
             .ok_or_else(|| DataError::Invalid("query graph has no sink".into()))?;
         let metas = graph.resolve_metas()?;
         let mut operators: Vec<Option<Box<dyn Operator>>> = Vec::with_capacity(graph.len());
-        for node in graph.nodes() {
+        for (idx, node) in graph.nodes().iter().enumerate() {
             match &node.kind {
                 NodeKind::Read { .. } => operators.push(None),
                 kind => {
                     let inputs: Vec<&wake_core::EdfMeta> =
                         node.inputs.iter().map(|i| &metas[i.0]).collect();
-                    operators.push(Some(build_operator(kind, &inputs)?));
+                    let plan = ShardPlan::new(graph.shards_for(NodeId(idx)), ShardMode::Scoped);
+                    operators.push(Some(build_operator_with(kind, &inputs, plan)?));
                 }
             }
         }

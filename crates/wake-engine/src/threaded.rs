@@ -1,4 +1,7 @@
-//! Pipelined multi-threaded executor (§7.2, Fig 6).
+//! Pipelined multi-threaded executor (§7.2, Fig 6) with two-level
+//! parallelism: **pipeline × partition**.
+//!
+//! ## Level 1 — pipeline parallelism (across nodes)
 //!
 //! Each node runs on its own OS thread. Edges are **bounded** crossbeam
 //! channels carrying [`Update`] messages whose frames are shared pointers
@@ -12,6 +15,27 @@
 //! flight instead of buffering the whole table in mailboxes. The graph is a
 //! DAG and every node drains its mailbox continuously, so blocking sends
 //! cannot deadlock.
+//!
+//! ## Level 2 — partition parallelism (within a node)
+//!
+//! A single `JoinOp`/`AggOp` instance used to be the throughput ceiling: one
+//! thread owned the whole keyed state. Hash-keyed nodes are now built on
+//! the graph's [`Parallelism`](wake_core::graph::Parallelism) plan (default:
+//! available cores; `Parallelism(1)` reproduces the unsharded path byte for
+//! byte) in **pool** shard mode: the operator's state is split into `S`
+//! hash-range shards, each owned by a persistent worker thread that lives
+//! as long as the node. The node thread acts as a cheap splitter — one
+//! vectorized `hash_keys` pass plus per-shard selection vectors and typed
+//! sub-frame gathers — and feeds each worker through its own **bounded**
+//! task channel (same backpressure philosophy as the edges). A join-point
+//! barrier collects per-shard partials in shard order before anything is
+//! forwarded downstream, so the per-update emission protocol — and with it
+//! the EOF handling, which is broadcast to every shard — is unchanged from
+//! the single-threaded operators. Shard worker panics surface as typed
+//! query errors, not hangs. See [`wake_core::ops::sharded`] for the
+//! mechanism and `wake_core::ops::join`/`agg_op` for the merge semantics
+//! (key-disjoint concat for joins, `⊕`-style merged snapshots for
+//! aggregates).
 
 use crate::estimate::{Estimate, EstimateSeries};
 use crate::trace::{TraceEvent, TraceLog};
@@ -19,8 +43,8 @@ use crate::Result;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
-use wake_core::graph::{build_operator, NodeKind, QueryGraph};
-use wake_core::ops::RowStore;
+use wake_core::graph::{build_operator_with, NodeId, NodeKind, Parallelism, QueryGraph};
+use wake_core::ops::{RowStore, ShardMode, ShardPlan};
 use wake_core::progress::Progress;
 use wake_core::update::{Update, UpdateKind};
 use wake_data::{DataError, DataFrame};
@@ -64,6 +88,28 @@ impl ThreadedExecutor {
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
         self.channel_capacity = capacity.max(1);
         self
+    }
+
+    /// Shard count for one node under this executor. Explicit
+    /// (`Parallelism::Fixed` / per-node overrides) requests are honoured
+    /// verbatim; `Auto` divides the core budget by the number of
+    /// shardable nodes, because *all* nodes run concurrently here — a
+    /// plan with five hash-keyed nodes on a 16-core host should not spawn
+    /// 5 × 16 barrier-synchronized shard workers. (The stepped executor
+    /// runs one node at a time and keeps the full `Auto` budget.)
+    fn budgeted_shards(&self, node: NodeId) -> usize {
+        if !self.graph.is_shardable(node) {
+            return 1;
+        }
+        match self.graph.parallelism_of(node) {
+            Parallelism::Auto => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                (cores / self.graph.shardable_node_count().max(1)).max(1)
+            }
+            fixed => fixed.shards(),
+        }
     }
 
     /// Run to completion; estimates are materialised at the sink exactly
@@ -147,7 +193,8 @@ impl ThreadedExecutor {
                 kind => {
                     let inputs: Vec<&wake_core::EdfMeta> =
                         node.inputs.iter().map(|i| &metas[i.0]).collect();
-                    let mut op = build_operator(kind, &inputs)?;
+                    let plan = ShardPlan::new(self.budgeted_shards(NodeId(idx)), ShardMode::Pool);
+                    let mut op = build_operator_with(kind, &inputs, plan)?;
                     let rx = receivers[idx].take().expect("operator mailbox");
                     let n_ports = node.inputs.len();
                     let label = format!("{kind:?}");

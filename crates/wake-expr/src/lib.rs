@@ -12,7 +12,7 @@
 mod eval;
 mod like;
 
-pub use eval::{eval, eval_cow, eval_mask, infer_type};
+pub use eval::{eval, eval_cow, eval_mask, eval_selection, infer_type};
 pub use like::like_match;
 
 use std::fmt;

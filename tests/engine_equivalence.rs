@@ -3,6 +3,7 @@
 //! and estimate streams must be well-formed under concurrency.
 
 use std::sync::Arc;
+use wake::core::graph::Parallelism;
 use wake::core::metrics;
 use wake::engine::{SteppedExecutor, ThreadedExecutor};
 use wake::tpch::{all_queries, TpchData, TpchDb};
@@ -60,6 +61,80 @@ fn threaded_estimate_streams_are_well_formed() {
         assert!(
             series.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
             "{name}: sequence numbers must be dense"
+        );
+    }
+}
+
+#[test]
+fn sharded_stepped_agrees_with_serial_on_all_queries() {
+    // Partition parallelism must not change answers: every TPC-H query at
+    // Parallelism::Fixed(4) (scoped shard workers under the deterministic
+    // stepper) against Fixed(1) (the exact pre-sharding code path). The
+    // estimate cadence is deterministic either way, so series lengths
+    // match; values agree up to the float reassociation a sharded join's
+    // row reordering induces in downstream aggregates.
+    let data = Arc::new(TpchData::generate(0.002, 11));
+    let db = TpchDb::new(data, 6);
+    for spec in all_queries() {
+        let serial =
+            SteppedExecutor::new((spec.build)(&db).with_parallelism(Parallelism::Fixed(1)))
+                .unwrap()
+                .run_collect()
+                .unwrap();
+        let sharded =
+            SteppedExecutor::new((spec.build)(&db).with_parallelism(Parallelism::Fixed(4)))
+                .unwrap()
+                .run_collect()
+                .unwrap();
+        assert_eq!(
+            serial.len(),
+            sharded.len(),
+            "{}: estimate cadence changed under sharding",
+            spec.name
+        );
+        let sf = serial.final_frame();
+        let tf = sharded.final_frame();
+        assert_eq!(sf.num_rows(), tf.num_rows(), "{}", spec.name);
+        if sf.num_rows() == 0 {
+            continue;
+        }
+        let r = metrics::compare(tf, sf, spec.keys, spec.values).unwrap();
+        assert!(
+            r.recall > 0.999 && r.precision > 0.999 && r.mape < 1e-9,
+            "{}: {r:?}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn threaded_sharded_pool_matches_serial_reference() {
+    // The pool-mode fan-out (persistent per-shard workers behind bounded
+    // channels) under the pipelined executor must still produce the serial
+    // answer — including non-power-of-two shard counts.
+    let data = Arc::new(TpchData::generate(0.002, 5));
+    let db = TpchDb::new(data, 8);
+    for name in ["q3", "q13", "q18"] {
+        let spec = wake::tpch::query_by_name(name).unwrap();
+        let reference =
+            SteppedExecutor::new((spec.build)(&db).with_parallelism(Parallelism::Fixed(1)))
+                .unwrap()
+                .run_collect()
+                .unwrap();
+        let pooled =
+            ThreadedExecutor::new((spec.build)(&db).with_parallelism(Parallelism::Fixed(3)))
+                .run_collect()
+                .unwrap();
+        let sf = reference.final_frame();
+        let tf = pooled.final_frame();
+        assert_eq!(sf.num_rows(), tf.num_rows(), "{name}");
+        if sf.num_rows() == 0 {
+            continue;
+        }
+        let r = metrics::compare(tf, sf, spec.keys, spec.values).unwrap();
+        assert!(
+            r.recall > 0.999 && r.precision > 0.999 && r.mape < 1e-9,
+            "{name}: {r:?}"
         );
     }
 }

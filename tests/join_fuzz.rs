@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use wake::baseline::naive::{NaiveJoin, Table};
-use wake::core::graph::{JoinKind, QueryGraph};
+use wake::core::graph::{JoinKind, Parallelism, QueryGraph};
 use wake::data::{Column, DataFrame, DataType, Field, MemorySource, Schema, Value};
 use wake::engine::SteppedExecutor;
 use wake_engine::SeriesExt;
@@ -301,6 +301,123 @@ proptest! {
                 out.value(i, "n").unwrap().as_f64().unwrap(),
                 *n as f64
             );
+        }
+    }
+}
+
+/// Stepped estimate series for a join graph at an explicit shard count.
+fn join_series(
+    left: &DataFrame,
+    right: &DataFrame,
+    kind: JoinKind,
+    parts: usize,
+    shards: usize,
+) -> wake_engine::EstimateSeries {
+    let lsrc = MemorySource::from_frame(
+        "l",
+        left,
+        left.num_rows().div_ceil(parts).max(1),
+        vec![],
+        None,
+    )
+    .unwrap();
+    let rsrc = MemorySource::from_frame(
+        "r",
+        right,
+        right.num_rows().div_ceil(parts).max(1),
+        vec![],
+        None,
+    )
+    .unwrap();
+    let mut g = QueryGraph::new().with_parallelism(Parallelism::Fixed(shards));
+    let l = g.read(lsrc);
+    let r = g.read(rsrc);
+    let j = g.join_kind(l, r, vec!["k"], vec!["rk"], kind);
+    g.sink(j);
+    SteppedExecutor::new(g).unwrap().run_collect().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Sharded-vs-unsharded equivalence: random S ∈ {1, 2, 3, 8}, null
+    // keys and hash-hostile keys mixed in. Frame arrival order is
+    // deterministic under the stepped executor, so the estimate series
+    // must match one-to-one — same length, same progress, and
+    // multiset-identical frames (shard concat may permute rows within an
+    // emission). Group-by snapshots are key-sorted with global fold
+    // order preserved, so they must be *bit*-identical.
+    #[test]
+    fn sharded_execution_matches_unsharded(
+        lrows in prop::collection::vec((0u8..6, 0usize..12, 0i64..100), 0..60),
+        rrows in prop::collection::vec((0u8..6, 0usize..12, 0i64..100), 0..60),
+        shard_sel in 0usize..4,
+        parts in 1usize..4,
+    ) {
+        let shards = [1usize, 2, 3, 8][shard_sel];
+        // tag 0 → null key, tag 1 → hash-hostile palette, else small dense.
+        let key = |tag: u8, idx: usize| match tag {
+            0 => None,
+            1 => Some(NASTY_KEYS[idx]),
+            _ => Some(idx as i64 % 6),
+        };
+        let lvals: Vec<(Option<i64>, i64)> =
+            lrows.iter().map(|&(t, i, v)| (key(t, i), v)).collect();
+        let rvals: Vec<(Option<i64>, i64)> =
+            rrows.iter().map(|&(t, i, v)| (key(t, i), v)).collect();
+        if lvals.is_empty() && rvals.is_empty() {
+            return Ok(());
+        }
+        let lf = nullable_frame("k", "lv", &lvals);
+        let rf = nullable_frame("rk", "rv", &rvals);
+        for kind in [JoinKind::Inner, JoinKind::Left, JoinKind::Semi, JoinKind::Anti] {
+            let serial = join_series(&lf, &rf, kind, parts, 1);
+            let sharded = join_series(&lf, &rf, kind, parts, shards);
+            prop_assert_eq!(serial.len(), sharded.len(), "kind {:?} S={}", kind, shards);
+            for (a, b) in serial.iter().zip(&sharded) {
+                prop_assert_eq!(a.t, b.t);
+                prop_assert_eq!(
+                    row_multiset(&a.frame),
+                    row_multiset(&b.frame),
+                    "kind {:?} S={} seq {}",
+                    kind,
+                    shards,
+                    a.seq
+                );
+            }
+        }
+        // Group-by over the same data: snapshots must be identical frames.
+        if !lvals.is_empty() {
+            let agg_series = |shards: usize| {
+                let src = MemorySource::from_frame(
+                    "t",
+                    &lf,
+                    lf.num_rows().div_ceil(parts).max(1),
+                    vec![],
+                    None,
+                )
+                .unwrap();
+                let mut g = QueryGraph::new().with_parallelism(Parallelism::Fixed(shards));
+                let r = g.read(src);
+                let a = g.agg(
+                    r,
+                    vec!["k"],
+                    vec![
+                        wake::core::agg::AggSpec::sum(wake::expr::col("lv"), "s"),
+                        wake::core::agg::AggSpec::count_star("n"),
+                        wake::core::agg::AggSpec::max(wake::expr::col("lv"), "mx"),
+                    ],
+                );
+                g.sink(a);
+                SteppedExecutor::new(g).unwrap().run_collect().unwrap()
+            };
+            let serial = agg_series(1);
+            let sharded = agg_series(shards);
+            prop_assert_eq!(serial.len(), sharded.len());
+            for (a, b) in serial.iter().zip(&sharded) {
+                prop_assert_eq!(a.t, b.t);
+                prop_assert_eq!(a.frame.as_ref(), b.frame.as_ref(), "S={} seq {}", shards, a.seq);
+            }
         }
     }
 }
