@@ -9,7 +9,9 @@
 
 use crate::Result;
 use std::collections::HashSet;
+use std::sync::Arc;
 use wake_data::column::ColumnData;
+use wake_data::hash::canonical_f64_bits;
 use wake_data::{Column, DataError, DataType, Value};
 use wake_expr::{lit_i64, Expr};
 use wake_stats::distinct::{distinct_variance, estimate_distinct};
@@ -202,7 +204,7 @@ impl AggSpec {
                 is_min: false,
             },
             AggFunc::CountDistinct => AggState::Distinct {
-                set: HashSet::new(),
+                set: DistinctSet::default(),
                 n: 0.0,
             },
             AggFunc::Var => AggState::Dispersion {
@@ -254,6 +256,205 @@ impl ScaleContext {
     }
 }
 
+/// Typed storage for count-distinct's exact value set.
+///
+/// The old representation was a `HashSet<Value>` — one boxed `Value`
+/// (with its enum tag and potential `Arc` bump) per distinct cell, and
+/// the one aggregate state without a columnar observation kernel. The
+/// typed variants store the *equivalence class* each `Value` hashes to:
+/// numerics by their canonical `f64` bit pattern (so `Int(3)`,
+/// `Float(3.0)`, and `Date(3)` coalesce exactly as `Value` equality
+/// does), strings by their `Arc<str>`, booleans as two bits. `Mixed` is
+/// the semantic backstop for heterogeneous inputs (unreachable through
+/// typed columns, which fix one dtype per expression) and keeps the set
+/// `Value`-faithful even then.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum DistinctSet {
+    #[default]
+    Empty,
+    /// Canonical f64 bit patterns (`-0.0` → `0.0`, all NaNs unify).
+    Num(HashSet<u64>),
+    Str(HashSet<Arc<str>>),
+    Bool {
+        seen_true: bool,
+        seen_false: bool,
+    },
+    /// Mixed-type fallback with exact `Value` semantics.
+    Mixed(HashSet<Value>),
+}
+
+impl DistinctSet {
+    pub fn len(&self) -> usize {
+        match self {
+            DistinctSet::Empty => 0,
+            DistinctSet::Num(s) => s.len(),
+            DistinctSet::Str(s) => s.len(),
+            DistinctSet::Bool {
+                seen_true,
+                seen_false,
+            } => *seen_true as usize + *seen_false as usize,
+            DistinctSet::Mixed(s) => s.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a numeric observation (already widened to f64).
+    #[inline]
+    pub fn insert_num(&mut self, x: f64) {
+        match self {
+            DistinctSet::Empty => {
+                let mut s = HashSet::new();
+                s.insert(canonical_f64_bits(x));
+                *self = DistinctSet::Num(s);
+            }
+            DistinctSet::Num(s) => {
+                s.insert(canonical_f64_bits(x));
+            }
+            _ => self.insert_mixed(Value::Float(x)),
+        }
+    }
+
+    #[inline]
+    pub fn insert_str(&mut self, s: &Arc<str>) {
+        match self {
+            DistinctSet::Empty => {
+                let mut set = HashSet::new();
+                set.insert(s.clone());
+                *self = DistinctSet::Str(set);
+            }
+            DistinctSet::Str(set) => {
+                set.insert(s.clone());
+            }
+            _ => self.insert_mixed(Value::Str(s.clone())),
+        }
+    }
+
+    #[inline]
+    pub fn insert_bool(&mut self, b: bool) {
+        match self {
+            DistinctSet::Empty => {
+                *self = DistinctSet::Bool {
+                    seen_true: b,
+                    seen_false: !b,
+                }
+            }
+            DistinctSet::Bool {
+                seen_true,
+                seen_false,
+            } => {
+                *seen_true |= b;
+                *seen_false |= !b;
+            }
+            _ => self.insert_mixed(Value::Bool(b)),
+        }
+    }
+
+    /// Dynamic-value insert (the non-columnar path). Nulls are skipped by
+    /// the caller.
+    pub fn insert_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => {}
+            Value::Int(x) => self.insert_num(*x as f64),
+            Value::Float(x) => self.insert_num(*x),
+            Value::Date(x) => self.insert_num(*x as f64),
+            Value::Bool(b) => self.insert_bool(*b),
+            Value::Str(s) => self.insert_str(s),
+        }
+    }
+
+    /// Demote to the `Mixed` representation and insert `v`. Re-materialises
+    /// numerics as `Float` values — the same `Value` equivalence class, so
+    /// the set's cardinality is unchanged.
+    fn insert_mixed(&mut self, v: Value) {
+        let mut set: HashSet<Value> = match std::mem::take(self) {
+            DistinctSet::Empty => HashSet::new(),
+            DistinctSet::Num(s) => s
+                .into_iter()
+                .map(|b| Value::Float(f64::from_bits(b)))
+                .collect(),
+            DistinctSet::Str(s) => s.into_iter().map(Value::Str).collect(),
+            DistinctSet::Bool {
+                seen_true,
+                seen_false,
+            } => {
+                let mut m = HashSet::new();
+                if seen_true {
+                    m.insert(Value::Bool(true));
+                }
+                if seen_false {
+                    m.insert(Value::Bool(false));
+                }
+                m
+            }
+            DistinctSet::Mixed(s) => s,
+        };
+        set.insert(v);
+        *self = DistinctSet::Mixed(set);
+    }
+
+    /// Set union (the `⊕` merge of count-distinct partials).
+    pub fn merge(&mut self, other: &DistinctSet) {
+        match (&mut *self, other) {
+            (_, DistinctSet::Empty) => {}
+            (DistinctSet::Empty, o) => *self = o.clone(),
+            (DistinctSet::Num(a), DistinctSet::Num(b)) => a.extend(b.iter().copied()),
+            (DistinctSet::Str(a), DistinctSet::Str(b)) => a.extend(b.iter().cloned()),
+            (
+                DistinctSet::Bool {
+                    seen_true,
+                    seen_false,
+                },
+                DistinctSet::Bool {
+                    seen_true: ot,
+                    seen_false: of,
+                },
+            ) => {
+                *seen_true |= ot;
+                *seen_false |= of;
+            }
+            (_, o) => {
+                for v in o.values() {
+                    self.insert_mixed(v);
+                }
+            }
+        }
+    }
+
+    /// The set's contents as `Value`s (serde and the mixed fallback).
+    pub fn values(&self) -> Vec<Value> {
+        match self {
+            DistinctSet::Empty => Vec::new(),
+            DistinctSet::Num(s) => s.iter().map(|&b| Value::Float(f64::from_bits(b))).collect(),
+            DistinctSet::Str(s) => s.iter().cloned().map(Value::Str).collect(),
+            DistinctSet::Bool {
+                seen_true,
+                seen_false,
+            } => [
+                seen_true.then_some(Value::Bool(true)),
+                seen_false.then_some(Value::Bool(false)),
+            ]
+            .into_iter()
+            .flatten()
+            .collect(),
+            DistinctSet::Mixed(s) => s.iter().cloned().collect(),
+        }
+    }
+
+    /// Approximate heap bytes (peak-memory accounting).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            DistinctSet::Empty => 0,
+            DistinctSet::Num(s) => s.len() * 16,
+            DistinctSet::Str(s) => s.iter().map(|v| v.len() + 32).sum(),
+            DistinctSet::Bool { .. } => 2,
+            DistinctSet::Mixed(s) => s.len() * 48,
+        }
+    }
+}
+
 /// A finalized aggregate cell: point estimate plus (optional) variance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggOutput {
@@ -282,8 +483,10 @@ pub enum AggState {
         is_min: bool,
     },
     /// count-distinct: the exact value set (paper §2.3 footnote 3: exact
-    /// sets, not sketches) plus the non-null observation count.
-    Distinct { set: HashSet<Value>, n: f64 },
+    /// sets, not sketches) plus the non-null observation count. The set is
+    /// typed ([`DistinctSet`]), so observation is columnar and the state
+    /// is spillable like every other aggregate.
+    Distinct { set: DistinctSet, n: f64 },
     /// var/stddev: `(count, sum, sum-of-squares)`.
     Dispersion { m: Moments, stddev: bool },
     /// quantiles/median: the exact sample, merged by concatenation (the
@@ -389,7 +592,7 @@ impl AggState {
             } => observe_extreme(best, second, *is_min, value),
             AggState::Distinct { set, n } => {
                 if !value.is_null() {
-                    set.insert(value.clone());
+                    set.insert_value(value);
                     *n += 1.0;
                 }
             }
@@ -413,6 +616,12 @@ impl AggState {
     /// (non-numeric inputs, count-distinct's exact value set) — the caller
     /// must then fall back to the per-row path.
     pub fn observe_column(&mut self, col: &Column, weight: Option<&Column>) -> bool {
+        // Count-distinct observes through the typed set, which covers
+        // every column type (including Bool/Utf8, where NumView bails).
+        if let AggState::Distinct { set, n } = self {
+            observe_distinct_column(set, n, col);
+            return true;
+        }
         let Some((view, dtype)) = NumView::of(col) else {
             return false;
         };
@@ -470,7 +679,7 @@ impl AggState {
                     }
                 }
             }
-            AggState::Distinct { .. } => return false,
+            AggState::Distinct { .. } => unreachable!("handled above"),
         }
         true
     }
@@ -519,7 +728,7 @@ impl AggState {
                 }
             }
             (AggState::Distinct { set, n }, AggState::Distinct { set: os, n: on }) => {
-                set.extend(os.iter().cloned());
+                set.merge(os);
                 *n += on;
             }
             (AggState::Sample { values, .. }, AggState::Sample { values: ov, .. }) => {
@@ -707,6 +916,48 @@ impl AggOutput {
     // hook so future estimators (e.g. quantiles) can use it.
     fn with_group(self, _group_rows: f64) -> AggOutput {
         self
+    }
+}
+
+/// Columnar count-distinct observation: one typed pass over the column,
+/// inserting into the group's [`DistinctSet`]. Covers every column type
+/// (the one aggregate `NumView` could not serve).
+pub(crate) fn observe_distinct_column(set: &mut DistinctSet, n: &mut f64, col: &Column) {
+    macro_rules! kernel {
+        ($values:expr, $insert:expr) => {
+            match col.validity() {
+                None => {
+                    for v in $values {
+                        $insert(set, v);
+                    }
+                    *n += col.len() as f64;
+                }
+                Some(mask) => {
+                    for (i, v) in $values.enumerate() {
+                        if mask[i] {
+                            $insert(set, v);
+                            *n += 1.0;
+                        }
+                    }
+                }
+            }
+        };
+    }
+    match col.data() {
+        ColumnData::Int64(v) | ColumnData::Date(v) => {
+            kernel!(v.iter(), |s: &mut DistinctSet, x: &i64| s
+                .insert_num(*x as f64))
+        }
+        ColumnData::Float64(v) => {
+            kernel!(v.iter(), |s: &mut DistinctSet, x: &f64| s.insert_num(*x))
+        }
+        ColumnData::Bool(v) => {
+            kernel!(v.iter(), |s: &mut DistinctSet, x: &bool| s.insert_bool(*x))
+        }
+        ColumnData::Utf8(v) => {
+            kernel!(v.iter(), |s: &mut DistinctSet, x: &Arc<str>| s
+                .insert_str(x))
+        }
     }
 }
 
@@ -953,14 +1204,102 @@ mod tests {
             st.finalize(2.0, &ScaleContext::exact()).value,
             Value::Int(i64::MAX)
         );
-        // No kernel for strings or count-distinct.
+        // Still no kernel for min/max over strings (Value path remains).
         let s = Column::from_str_iter(["a", "b"]);
         assert!(!AggSpec::min(col("x"), "m")
             .new_state()
             .observe_column(&s, None));
-        assert!(!AggSpec::count_distinct(col("x"), "cd")
-            .new_state()
-            .observe_column(&int_col, None));
+    }
+
+    #[test]
+    fn distinct_kernel_covers_every_column_type() {
+        // The typed set gives count-distinct the columnar observation the
+        // other aggregates already had; the kernel must agree with the
+        // per-row Value path for every dtype, nulls included.
+        let cols = [
+            Column::from_values(
+                DataType::Int64,
+                &[
+                    Value::Int(3),
+                    Value::Null,
+                    Value::Int(3),
+                    Value::Int(-1),
+                    Value::Int(3),
+                ],
+            )
+            .unwrap(),
+            Column::from_f64(vec![1.5, -0.0, 0.0, f64::NAN, 1.5]),
+            Column::from_dates(vec![7, 7, 8, 9, 7]),
+            Column::from_bool(vec![true, true, false, true, false]),
+            Column::from_values(
+                DataType::Utf8,
+                &[
+                    Value::str("a"),
+                    Value::str(""),
+                    Value::Null,
+                    Value::str("a"),
+                    Value::str("b"),
+                ],
+            )
+            .unwrap(),
+        ];
+        for data in &cols {
+            let mut fast = AggSpec::count_distinct(col("x"), "cd").new_state();
+            assert!(
+                fast.observe_column(data, None),
+                "count-distinct must have a kernel for {:?}",
+                data.data_type()
+            );
+            let mut slow = AggSpec::count_distinct(col("x"), "cd").new_state();
+            for i in 0..data.len() {
+                slow.observe(&data.value(i), None);
+            }
+            let ctx = ScaleContext::exact();
+            assert_eq!(
+                fast.finalize(5.0, &ctx),
+                slow.finalize(5.0, &ctx),
+                "dtype {:?}",
+                data.data_type()
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_set_semantics_match_value_equality() {
+        let mut s = DistinctSet::default();
+        assert!(s.is_empty());
+        // Int(3), Float(3.0), Date(3) are one Value-equivalence class.
+        s.insert_value(&Value::Int(3));
+        s.insert_value(&Value::Float(3.0));
+        s.insert_value(&Value::Date(3));
+        assert_eq!(s.len(), 1);
+        // -0.0 == 0.0, NaN unifies.
+        s.insert_num(-0.0);
+        s.insert_num(0.0);
+        s.insert_num(f64::NAN);
+        s.insert_num(-f64::NAN);
+        assert_eq!(s.len(), 3);
+        // Mixed-type fallback preserves cardinality exactly.
+        s.insert_value(&Value::str("x"));
+        assert!(matches!(s, DistinctSet::Mixed(_)));
+        assert_eq!(s.len(), 4);
+        s.insert_value(&Value::Int(3)); // already present pre-demotion
+        assert_eq!(s.len(), 4);
+        // Merge = set union across representations.
+        let mut a = DistinctSet::default();
+        a.insert_str(&std::sync::Arc::from("p"));
+        let mut b = DistinctSet::default();
+        b.insert_str(&std::sync::Arc::from("p"));
+        b.insert_str(&std::sync::Arc::from("q"));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        let mut bools = DistinctSet::default();
+        bools.insert_bool(true);
+        bools.insert_bool(true);
+        assert_eq!(bools.len(), 1);
+        bools.insert_bool(false);
+        assert_eq!(bools.len(), 2);
+        assert!(bools.byte_size() > 0 && a.byte_size() > 0);
     }
 
     #[test]

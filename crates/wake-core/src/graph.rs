@@ -393,13 +393,25 @@ pub fn build_operator(kind: &NodeKind, inputs: &[&EdfMeta]) -> Result<Box<dyn Op
     build_operator_with(kind, inputs, ShardPlan::serial())
 }
 
-/// Instantiate the operator for a non-source node with an explicit shard
-/// plan. Only hash-keyed operators (join, group-by) honour `plan.shards >
-/// 1`; `ShardPlan::serial()` reproduces the unsharded code path exactly.
+/// [`build_operator_spilling`] without memory governance (unbounded).
 pub fn build_operator_with(
     kind: &NodeKind,
     inputs: &[&EdfMeta],
     plan: ShardPlan,
+) -> Result<Box<dyn Operator>> {
+    build_operator_spilling(kind, inputs, plan, None)
+}
+
+/// Instantiate the operator for a non-source node with an explicit shard
+/// plan and (optionally) a memory-governance plan. Only hash-keyed
+/// operators (join, group-by) honour `plan.shards > 1` and the spill
+/// plan; `ShardPlan::serial()` + `None` reproduces the unsharded,
+/// unbounded code path exactly.
+pub fn build_operator_spilling(
+    kind: &NodeKind,
+    inputs: &[&EdfMeta],
+    plan: ShardPlan,
+    spill: Option<&wake_store::SpillPlan>,
 ) -> Result<Box<dyn Operator>> {
     let need = |n: usize| -> Result<()> {
         if inputs.len() != n {
@@ -438,6 +450,7 @@ pub fn build_operator_with(
                     right_on.clone(),
                     *kind,
                 )?
+                .with_spill(spill.cloned())
                 .with_shards(plan),
             )
         }
@@ -451,6 +464,7 @@ pub fn build_operator_with(
             Box::new(
                 AggOp::new(inputs[0], keys.clone(), specs.clone(), *with_variance)?
                     .with_fixed_growth(*fixed_growth)
+                    .with_spill(spill.cloned())
                     .with_shards(plan),
             )
         }

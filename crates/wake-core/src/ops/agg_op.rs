@@ -42,6 +42,7 @@ use crate::growth::GrowthModel;
 use crate::meta::EdfMeta;
 use crate::ops::key_index::GroupIndex;
 use crate::ops::sharded::{ShardPlan, ShardWork, ShardedState};
+use crate::ops::spill as spill_codec;
 use crate::ops::Operator;
 use crate::progress::Progress;
 use crate::update::{Update, UpdateKind};
@@ -51,6 +52,10 @@ use wake_data::hash::{hash_keys, KeyStore};
 use wake_data::partition::shard_selections;
 use wake_data::{Column, DataError, DataFrame, DataType, Field, Schema, Value};
 use wake_expr::{eval_cow, infer_type, Expr};
+use wake_store::colfile::{Chunk, RunWriter};
+use wake_store::governor::{SpillEnv, SpillPlan};
+use wake_store::merge::kway_merge_refs;
+use wake_store::partition::sub_selections;
 
 struct GroupData {
     states: Vec<AggState>,
@@ -73,14 +78,54 @@ struct AggConfig {
     /// For each spec: the input variance column to fold in (CI chaining).
     carried_var_cols: Vec<Option<String>>,
     out_schema: Arc<Schema>,
+    /// Just the key fields (the schema of a spilled partition's key
+    /// frame; prefix of `out_schema`).
+    key_schema: Arc<Schema>,
 }
 
-/// One hash range's worth of group-by state.
-struct AggShard {
+/// The in-memory group-by state of one spill partition (the whole shard
+/// when spilling is off — then `AggShard` holds exactly one of these and
+/// every code path is byte-identical to the pre-spill operator).
+struct AggCore {
     cfg: Arc<AggConfig>,
     index: GroupIndex,
     key_store: KeyStore,
     groups: Vec<GroupData>,
+}
+
+/// One spill partition of a shard: resident, or evicted to a state file.
+enum AggPart {
+    Mem(AggCore),
+    /// Evicted: the partition's full state lives in one spill chunk
+    /// (key frame + encoded group states). Folding into a spilled
+    /// partition rehydrates, folds, and rewrites the chunk — compaction
+    /// on fold — so the tracked `groups` count (and with it the growth
+    /// model, which feeds mid-query estimates) stays exact.
+    Spilled {
+        run: RunWriter,
+        groups: usize,
+    },
+}
+
+impl AggPart {
+    fn groups(&self) -> usize {
+        match self {
+            AggPart::Mem(core) => core.groups.len(),
+            AggPart::Spilled { groups, .. } => *groups,
+        }
+    }
+}
+
+/// One hash range's worth of group-by state: a single resident core, or
+/// (under a memory budget) `fanout` hash-subrange partitions of which the
+/// largest are evicted to disk when the shard exceeds its byte budget.
+struct AggShard {
+    cfg: Arc<AggConfig>,
+    /// Total shard count of the operator (the partition chain must know
+    /// how many high bits shard routing consumed).
+    op_shards: usize,
+    spill: Option<SpillEnv>,
+    parts: Vec<AggPart>,
     /// Σ group cardinalities (equals rows folded since the last clear).
     rows_total: f64,
 }
@@ -112,27 +157,19 @@ enum AggPartial {
     Snapshot(DataFrame),
 }
 
-impl AggShard {
+impl AggCore {
     fn new(cfg: Arc<AggConfig>) -> Self {
         let key_types: Vec<DataType> = cfg
             .key_idx
             .iter()
             .map(|&c| cfg.input_schema.fields()[c].dtype)
             .collect();
-        AggShard {
+        AggCore {
             key_store: KeyStore::for_types(&key_types),
             cfg,
             index: GroupIndex::new(),
             groups: Vec::new(),
-            rows_total: 0.0,
         }
-    }
-
-    fn clear(&mut self) {
-        self.groups.clear();
-        self.index.clear();
-        self.key_store.clear();
-        self.rows_total = 0.0;
     }
 
     fn fold_frame(&mut self, frame: &DataFrame, hashes: &[u64]) -> Result<()> {
@@ -185,7 +222,6 @@ impl AggShard {
             self.groups[slot as usize].rows += 1.0;
             slots.push(slot);
         }
-        self.rows_total += n as f64;
         for (si, _spec) in cfg.specs.iter().enumerate() {
             let col: &Column = &value_cols[si];
             let weight = weight_cols[si].as_deref();
@@ -197,7 +233,8 @@ impl AggShard {
                 observe_column_grouped(&mut self.groups, si, &slots, col, weight)
             };
             if !vectorized {
-                // Per-row Value path: non-numeric inputs, count-distinct.
+                // Per-row Value path: non-numeric inputs without a kernel
+                // (e.g. min/max over strings).
                 for (row, &slot) in slots.iter().enumerate() {
                     let v = col.value(row);
                     let w = weight.map(|c| c.value(row));
@@ -215,7 +252,7 @@ impl AggShard {
         Ok(())
     }
 
-    /// Finalize this shard's groups into a key-sorted partial snapshot.
+    /// Finalize this core's groups into a key-sorted partial snapshot.
     fn snapshot(&self, ctx: &ScaleContext) -> Result<DataFrame> {
         let cfg = &self.cfg;
         // Deterministic output order: sort group slots by key (typed
@@ -245,8 +282,8 @@ impl AggShard {
     }
 
     fn state_bytes(&self) -> usize {
-        // Coarse: per-group constant plus distinct-set contents, plus the
-        // hash-index and key-store footprints.
+        // Coarse: per-group constant plus variable-size state contents,
+        // plus the hash-index and key-store footprints.
         self.groups.len() * 64
             + self.index.byte_size()
             + self.key_store.byte_size()
@@ -255,17 +292,294 @@ impl AggShard {
                 .iter()
                 .flat_map(|g| g.states.iter())
                 .map(|s| match s {
-                    AggState::Distinct { set, .. } => set.len() * 24,
+                    AggState::Distinct { set, .. } => 32 + set.byte_size(),
+                    AggState::Sample { values, .. } => 32 + values.len() * 8,
                     _ => 32,
                 })
                 .sum::<usize>()
     }
 
+    /// Serialize the whole core as one spill chunk: the key tuples as a
+    /// typed frame, the per-group states in the extra section. Bit-exact:
+    /// rehydrating and continuing to fold reproduces the un-spilled float
+    /// accumulation sequence.
+    fn to_chunk(&self) -> Result<Chunk> {
+        let order: Vec<u32> = (0..self.key_store.len()).collect();
+        let columns = self.key_store.to_columns(&order);
+        let frame = Arc::new(DataFrame::new(self.cfg.key_schema.clone(), columns)?);
+        let nspecs = self.cfg.specs.len();
+        let mut extra = Vec::with_capacity(self.groups.len() * (16 + nspecs * 32));
+        spill_codec::put_u64(&mut extra, self.groups.len() as u64);
+        for g in &self.groups {
+            spill_codec::put_f64(&mut extra, g.rows);
+            for &v in &g.carried_var {
+                spill_codec::put_f64(&mut extra, v);
+            }
+            for st in &g.states {
+                spill_codec::put_agg_state(&mut extra, st);
+            }
+        }
+        Ok(Chunk {
+            frame,
+            hashes: None,
+            flags: None,
+            extra,
+        })
+    }
+
+    /// Inverse of [`to_chunk`]. The group index is rebuilt by re-hashing
+    /// the key frame — hashes are content-deterministic, so the rebuilt
+    /// index candidates match the original insertion order slot for slot.
+    fn from_chunk(cfg: Arc<AggConfig>, chunk: &Chunk) -> Result<AggCore> {
+        let mut core = AggCore::new(cfg.clone());
+        let nkeys = cfg.key_idx.len();
+        let key_cols: Vec<usize> = (0..nkeys).collect();
+        let mut c = wake_data::colfile::ByteCursor::new(&chunk.extra);
+        let n_groups = c.u64()? as usize;
+        if nkeys > 0 && chunk.frame.num_rows() != n_groups {
+            return Err(wake_data::DataError::ShapeMismatch(format!(
+                "spilled agg partition: {} key rows vs {} groups",
+                chunk.frame.num_rows(),
+                n_groups
+            )));
+        }
+        let hashes = hash_keys(&chunk.frame, &key_cols);
+        for slot in 0..n_groups {
+            let g = core.key_store.push_row(&chunk.frame, &key_cols, slot);
+            debug_assert_eq!(g as usize, slot);
+            let h = if nkeys > 0 {
+                hashes.hashes[slot]
+            } else {
+                // Zero-key partitions are never spilled, but stay safe.
+                hash_keys(&chunk.frame, &[])
+                    .hashes
+                    .first()
+                    .copied()
+                    .unwrap_or(0)
+            };
+            core.index.insert(h, g);
+            let rows = c.f64()?;
+            let mut carried_var = Vec::with_capacity(cfg.specs.len());
+            for _ in 0..cfg.specs.len() {
+                carried_var.push(c.f64()?);
+            }
+            let mut states = Vec::with_capacity(cfg.specs.len());
+            for spec in &cfg.specs {
+                let mut st = spec.new_state();
+                spill_codec::get_agg_state(&mut st, &mut c)?;
+                states.push(st);
+            }
+            core.groups.push(GroupData {
+                states,
+                rows,
+                carried_var,
+            });
+        }
+        Ok(core)
+    }
+}
+
+impl AggShard {
+    fn new(cfg: Arc<AggConfig>, op_shards: usize, spill: Option<SpillEnv>) -> Self {
+        // Zero-key (global) aggregates hold O(specs) state — partitioning
+        // and spilling them is pure overhead; keep them resident.
+        let spill = if cfg.key_idx.is_empty() { None } else { spill };
+        let parts = match &spill {
+            None => vec![AggPart::Mem(AggCore::new(cfg.clone()))],
+            Some(env) => (0..env.fanout)
+                .map(|_| AggPart::Mem(AggCore::new(cfg.clone())))
+                .collect(),
+        };
+        AggShard {
+            cfg,
+            op_shards: op_shards.max(1),
+            spill,
+            parts,
+            rows_total: 0.0,
+        }
+    }
+
+    fn clear(&mut self) {
+        for part in &mut self.parts {
+            match part {
+                AggPart::Mem(core) => *core = AggCore::new(self.cfg.clone()),
+                AggPart::Spilled { run, .. } => {
+                    run.clear();
+                    *part = AggPart::Mem(AggCore::new(self.cfg.clone()));
+                }
+            }
+        }
+        self.rows_total = 0.0;
+    }
+
+    fn fold_frame(&mut self, frame: &DataFrame, hashes: &[u64]) -> Result<()> {
+        self.rows_total += frame.num_rows() as f64;
+        let Some(env) = self.spill.clone() else {
+            let AggPart::Mem(core) = &mut self.parts[0] else {
+                unreachable!("unspilled shard is always resident");
+            };
+            return core.fold_frame(frame, hashes);
+        };
+        // Scatter rows to spill partitions by the next hash digits below
+        // shard routing; fold each sub-frame into its partition.
+        let sels = sub_selections(hashes, self.op_shards, env.fanout, 0);
+        for (p, sel) in sels.into_iter().enumerate() {
+            if sel.is_empty() {
+                continue;
+            }
+            // Borrow the originals when every row routes to this
+            // partition (skewed keys) — `DataFrame` owns its buffers, so
+            // a clone here would deep-copy the whole update.
+            let scattered: Option<(DataFrame, Vec<u64>)> =
+                (sel.len() != frame.num_rows()).then(|| {
+                    (
+                        frame.select(&sel),
+                        sel.iter().map(|&i| hashes[i as usize]).collect(),
+                    )
+                });
+            let (sub, sub_hashes): (&DataFrame, &[u64]) = match &scattered {
+                Some((f, h)) => (f, h),
+                None => (frame, hashes),
+            };
+            match &mut self.parts[p] {
+                AggPart::Mem(core) => core.fold_frame(sub, sub_hashes)?,
+                AggPart::Spilled { run, groups } => {
+                    // Compaction on fold: rehydrate, fold, rewrite. Keeps
+                    // the per-group accumulation order identical to the
+                    // resident path and the group count exact (the growth
+                    // model reads it every update).
+                    let chunks = run.read_all()?;
+                    let mut core = match chunks.first() {
+                        Some(chunk) => AggCore::from_chunk(self.cfg.clone(), chunk)?,
+                        None => AggCore::new(self.cfg.clone()),
+                    };
+                    core.fold_frame(sub, sub_hashes)?;
+                    *groups = core.groups.len();
+                    run.clear();
+                    run.push(&core.to_chunk()?)?;
+                    run.flush()?;
+                }
+            }
+        }
+        self.enforce_budget()?;
+        Ok(())
+    }
+
+    /// While over the shard budget, evict the largest resident partition
+    /// (the governor's eviction policy) to its own spill run.
+    fn enforce_budget(&mut self) -> Result<()> {
+        let Some(env) = self.spill.clone() else {
+            return Ok(());
+        };
+        while self.state_bytes() > env.shard_budget {
+            let victim = self
+                .parts
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| match p {
+                    AggPart::Mem(core) if !core.groups.is_empty() => Some((i, core.state_bytes())),
+                    _ => None,
+                })
+                .max_by_key(|&(_, bytes)| bytes);
+            let Some((i, _)) = victim else {
+                break; // everything spillable is already on disk
+            };
+            let AggPart::Mem(core) = &self.parts[i] else {
+                unreachable!()
+            };
+            let chunk = core.to_chunk()?;
+            let groups = core.groups.len();
+            let mut run = RunWriter::new(env.dir.clone(), env.governor.clone(), "agg");
+            run.push(&chunk)?;
+            run.flush()?;
+            env.governor.record_eviction();
+            self.parts[i] = AggPart::Spilled { run, groups };
+        }
+        Ok(())
+    }
+
+    /// Key-sorted partial snapshot across all partitions: resident cores
+    /// snapshot directly, spilled ones rehydrate (read-only — their state
+    /// is unchanged, so no write-back), and the per-partition partials
+    /// k-way merge by key. Partitions are key-disjoint, so the merge is
+    /// exactly the shard-level ⊕ story one level down.
+    fn snapshot(&self, ctx: &ScaleContext) -> Result<DataFrame> {
+        if self.spill.is_none() {
+            let AggPart::Mem(core) = &self.parts[0] else {
+                unreachable!()
+            };
+            return core.snapshot(ctx);
+        }
+        let mut partials: Vec<DataFrame> = Vec::new();
+        for part in &self.parts {
+            match part {
+                AggPart::Mem(core) => {
+                    if !core.groups.is_empty() {
+                        partials.push(core.snapshot(ctx)?);
+                    }
+                }
+                AggPart::Spilled { run, groups } => {
+                    if *groups > 0 {
+                        let chunks = run.read_all()?;
+                        let chunk = chunks.first().ok_or_else(|| {
+                            wake_data::DataError::Invalid("empty spilled agg run".into())
+                        })?;
+                        let core = AggCore::from_chunk(self.cfg.clone(), chunk)?;
+                        partials.push(core.snapshot(ctx)?);
+                    }
+                }
+            }
+        }
+        merge_key_sorted(&self.cfg, partials)
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| match p {
+                AggPart::Mem(core) => core.state_bytes(),
+                // Spilled partitions cost their pending write-behind
+                // buffer plus bookkeeping.
+                AggPart::Spilled { run, .. } => run.pending_bytes() + 64,
+            })
+            .sum()
+    }
+
+    fn num_groups(&self) -> usize {
+        self.parts.iter().map(|p| p.groups()).sum()
+    }
+
     fn folded_stats(&self) -> AggPartial {
         AggPartial::Folded {
-            groups: self.groups.len(),
+            groups: self.num_groups(),
             rows: self.rows_total,
             state_bytes: self.state_bytes(),
+        }
+    }
+}
+
+/// Merge key-sorted, key-disjoint partials into one key-sorted frame —
+/// the typed replacement for "concat + global `Value` re-sort". Shared by
+/// the in-shard spill-partition merge and the operator-level shard merge.
+fn merge_key_sorted(cfg: &AggConfig, mut partials: Vec<DataFrame>) -> Result<DataFrame> {
+    match partials.len() {
+        0 => Ok(DataFrame::empty(cfg.out_schema.clone())),
+        1 => Ok(partials.pop().expect("one partial")),
+        _ => {
+            if cfg.keys.is_empty() {
+                let refs: Vec<&DataFrame> = partials.iter().collect();
+                return DataFrame::concat(&refs);
+            }
+            let key_idx: Vec<usize> = (0..cfg.keys.len()).collect();
+            let order = {
+                let refs: Vec<&DataFrame> = partials.iter().collect();
+                kway_merge_refs(&refs, &key_idx)
+            };
+            let mut store = crate::ops::RowStore::new();
+            for p in partials {
+                store.push(Arc::new(p));
+            }
+            store.gather(&order)
         }
     }
 }
@@ -302,6 +616,15 @@ fn observe_column_grouped(
     col: &Column,
     weight: Option<&Column>,
 ) -> bool {
+    // Count-distinct scatters through the typed set — the one kernel that
+    // must dispatch on the column type itself (Bool/Utf8 included).
+    if matches!(
+        groups[slots[0] as usize].states[si],
+        AggState::Distinct { .. }
+    ) {
+        observe_distinct_grouped(groups, si, slots, col);
+        return true;
+    }
     let Some((view, dtype)) = NumView::of(col) else {
         return false;
     };
@@ -374,9 +697,62 @@ fn observe_column_grouped(
                 }
             }
         }
-        AggState::Distinct { .. } => return false,
+        AggState::Distinct { .. } => unreachable!("handled above"),
     }
     true
+}
+
+/// Typed scatter for count-distinct: insert each row's cell into its
+/// group's [`DistinctSet`](crate::agg::DistinctSet) with one pass over
+/// the raw column buffer — no `Value` per cell.
+fn observe_distinct_grouped(groups: &mut [GroupData], si: usize, slots: &[u32], col: &Column) {
+    use wake_data::column::ColumnData;
+    macro_rules! scatter {
+        ($values:expr, $insert:expr) => {
+            match col.validity() {
+                None => {
+                    for (row, &slot) in slots.iter().enumerate() {
+                        if let AggState::Distinct { set, n } = &mut groups[slot as usize].states[si]
+                        {
+                            $insert(set, &$values[row]);
+                            *n += 1.0;
+                        }
+                    }
+                }
+                Some(mask) => {
+                    for (row, &slot) in slots.iter().enumerate() {
+                        if mask[row] {
+                            if let AggState::Distinct { set, n } =
+                                &mut groups[slot as usize].states[si]
+                            {
+                                $insert(set, &$values[row]);
+                                *n += 1.0;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+    }
+    match col.data() {
+        ColumnData::Int64(v) | ColumnData::Date(v) => {
+            scatter!(v, |s: &mut crate::agg::DistinctSet, x: &i64| s
+                .insert_num(*x as f64))
+        }
+        ColumnData::Float64(v) => {
+            scatter!(v, |s: &mut crate::agg::DistinctSet, x: &f64| s
+                .insert_num(*x))
+        }
+        ColumnData::Bool(v) => {
+            scatter!(v, |s: &mut crate::agg::DistinctSet, x: &bool| s
+                .insert_bool(*x))
+        }
+        ColumnData::Utf8(v) => {
+            scatter!(v, |s: &mut crate::agg::DistinctSet,
+                         x: &std::sync::Arc<str>| s
+                .insert_str(x))
+        }
+    }
 }
 
 /// Group-by aggregation with growth-based inference over hash-range
@@ -391,6 +767,11 @@ pub struct AggOp {
     shard_bytes: Vec<usize>,
     input_kind: UpdateKind,
     growth: GrowthModel,
+    /// Memory-governance plan (None = unbounded, the resident-only path).
+    spill: Option<SpillPlan>,
+    /// The current shard plan (so `with_spill` and `with_shards` compose
+    /// in either order).
+    shard_plan: ShardPlan,
     progress: Progress,
     emitted_complete: bool,
     meta: EdfMeta,
@@ -454,6 +835,7 @@ impl AggOp {
         if clustered {
             growth = GrowthModel::for_input(UpdateKind::Snapshot); // prior w = 0
         }
+        let key_schema = Arc::new(Schema::new(fields[..keys.len()].to_vec()));
         let schema = Arc::new(Schema::new(fields));
         let meta =
             EdfMeta::new(schema.clone(), keys.clone(), UpdateKind::Snapshot).with_clustering(None);
@@ -469,19 +851,39 @@ impl AggOp {
             input_schema: input.schema.clone(),
             carried_var_cols,
             out_schema: schema,
+            key_schema,
         });
         Ok(AggOp {
-            state: ShardedState::new(ShardPlan::serial().mode, vec![AggShard::new(cfg.clone())]),
+            state: ShardedState::new(
+                ShardPlan::serial().mode,
+                vec![AggShard::new(cfg.clone(), 1, None)],
+            ),
             shard_groups: vec![0],
             shard_rows: vec![0.0],
             shard_bytes: vec![0],
             cfg,
             input_kind: input.kind,
             growth,
+            spill: None,
+            shard_plan: ShardPlan::serial(),
             progress: Progress::new(),
             emitted_complete: false,
             meta,
         })
+    }
+
+    /// Govern this operator's memory: when the per-shard slice of
+    /// `plan.op_budget` is exceeded, the largest spill partition is
+    /// evicted to disk. Composes with [`Self::with_shards`] in either
+    /// order; must precede execution. `None` keeps the unbounded
+    /// resident path.
+    pub fn with_spill(mut self, spill: Option<SpillPlan>) -> Self {
+        debug_assert!(
+            !self.emitted_complete && self.progress.t() == 0.0,
+            "with_spill must precede execution"
+        );
+        self.spill = spill;
+        self.rebuild_shards()
     }
 
     /// Re-plan the operator onto `plan.shards` hash-range shards executed
@@ -491,11 +893,17 @@ impl AggOp {
             !self.emitted_complete && self.progress.t() == 0.0,
             "with_shards must precede execution"
         );
-        let shards = plan.shards.max(1);
+        self.shard_plan = plan;
+        self.rebuild_shards()
+    }
+
+    fn rebuild_shards(mut self) -> Self {
+        let shards = self.shard_plan.shards.max(1);
+        let env = self.spill.as_ref().map(|p| p.shard_env(shards));
         self.state = ShardedState::new(
-            plan.mode,
+            self.shard_plan.mode,
             (0..shards)
-                .map(|_| AggShard::new(self.cfg.clone()))
+                .map(|_| AggShard::new(self.cfg.clone(), shards, env.clone()))
                 .collect(),
         );
         self.shard_groups = vec![0; shards];
@@ -564,22 +972,10 @@ impl AggOp {
                 partials.push(frame);
             }
         }
-        // ⊕-merge across shards: keys are disjoint, so merging per-shard
-        // group states is concatenation plus restoring global key order.
-        let frame = match partials.len() {
-            0 => DataFrame::empty(self.cfg.out_schema.clone()),
-            1 => partials.pop().expect("one partial"),
-            _ => {
-                let refs: Vec<&DataFrame> = partials.iter().collect();
-                let merged = DataFrame::concat(&refs)?;
-                if self.cfg.keys.is_empty() {
-                    merged
-                } else {
-                    let names: Vec<&str> = self.cfg.keys.iter().map(String::as_str).collect();
-                    merged.sort_by(&names, &vec![false; names.len()])?
-                }
-            }
-        };
+        // ⊕-merge across shards: keys are disjoint and every partial is
+        // key-sorted, so restoring global key order is a typed k-way
+        // merge — no `Value` comparisons, no global re-sort.
+        let frame = merge_key_sorted(&self.cfg, partials)?;
         if complete {
             self.emitted_complete = true;
         }
@@ -897,6 +1293,107 @@ mod tests {
         let f = &out[0].frame;
         let ks: Vec<Value> = f.column("k").unwrap().iter().collect();
         assert_eq!(ks, vec![Value::Int(1), Value::Int(3), Value::Int(5)]);
+    }
+
+    #[test]
+    fn budget_spilled_group_by_is_bit_identical_to_resident() {
+        // A budget small enough to evict on every update: snapshots (all
+        // of them, not just the final one) must be bit-equal to the
+        // unbounded operator — fold order, growth stats, and key order
+        // are all preserved across evict/rehydrate cycles.
+        use wake_store::governor::SpillConfig;
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let frame = |step: i64| {
+            let rows: Vec<Vec<Value>> = (0..40)
+                .map(|i| {
+                    let k = (i * 11 + step) % 17;
+                    vec![
+                        if k == 0 { Value::Null } else { Value::Int(k) },
+                        Value::Float((i * step) as f64 * 0.125),
+                    ]
+                })
+                .collect();
+            DataFrame::from_rows(schema.clone(), &rows).unwrap()
+        };
+        let specs = || {
+            vec![
+                AggSpec::sum(col("v"), "s"),
+                AggSpec::count_star("n"),
+                AggSpec::min(col("v"), "mn"),
+                AggSpec::avg(col("v"), "a"),
+                AggSpec::count_distinct(col("v"), "cd"),
+                AggSpec::median(col("v"), "med"),
+            ]
+        };
+        for shards in [1usize, 3] {
+            let plan = SpillConfig::with_budget(2048)
+                .build_plan(1)
+                .unwrap()
+                .unwrap();
+            let governor = plan.governor.clone();
+            let mut reference = AggOp::new(&delta_meta(), vec!["k".into()], specs(), true)
+                .unwrap()
+                .with_shards(ShardPlan::new(shards, ShardMode::Inline));
+            let mut spilled = AggOp::new(&delta_meta(), vec!["k".into()], specs(), true)
+                .unwrap()
+                .with_spill(Some(plan))
+                .with_shards(ShardPlan::new(shards, ShardMode::Inline));
+            for step in 1..=4i64 {
+                let u = Update::delta(frame(step), Progress::single(0, step as u64 * 40, 160));
+                let a = reference.on_update(0, &u).unwrap();
+                let b = spilled.on_update(0, &u).unwrap();
+                assert_eq!(
+                    a[0].frame.as_ref(),
+                    b[0].frame.as_ref(),
+                    "S={shards} step {step}"
+                );
+            }
+            assert_eq!(
+                reference.on_eof(0).unwrap().len(),
+                spilled.on_eof(0).unwrap().len()
+            );
+            let m = governor.metrics();
+            assert!(m.evictions > 0, "S={shards}: budget never triggered");
+            assert!(m.spilled_bytes > 0 && m.rehydrations > 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_input_replace_clears_spilled_state() {
+        // A snapshot-kind input replaces state wholesale; spilled
+        // partitions must be dropped too, not merged into the refresh.
+        use wake_store::governor::SpillConfig;
+        let meta = EdfMeta::new(
+            kv_frame(vec![], vec![]).schema().clone(),
+            vec!["k".into()],
+            UpdateKind::Snapshot,
+        );
+        let plan = SpillConfig::with_budget(512)
+            .build_plan(1)
+            .unwrap()
+            .unwrap();
+        let mut op = AggOp::new(
+            &meta,
+            vec!["k".into()],
+            vec![AggSpec::sum(col("v"), "s")],
+            false,
+        )
+        .unwrap()
+        .with_spill(Some(plan));
+        let big: Vec<i64> = (0..200).collect();
+        let vals: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let s1 = Update::snapshot(kv_frame(big, vals), Progress::single(0, 1, 2));
+        op.on_update(0, &s1).unwrap();
+        // Refresh shrinks to two groups: result must reflect only them.
+        let s2 = Update::snapshot(
+            kv_frame(vec![1, 2], vec![5.0, 6.0]),
+            Progress::single(0, 2, 2),
+        );
+        let out = op.on_update(0, &s2).unwrap();
+        let f = &out[0].frame;
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.value(0, "s").unwrap(), Value::Float(5.0));
+        assert_eq!(f.value(1, "s").unwrap(), Value::Float(6.0));
     }
 
     #[test]

@@ -48,6 +48,9 @@ use std::sync::Arc;
 use wake_data::hash::{hash_keys, keys_equal, KeyHashes};
 use wake_data::partition::shard_selections;
 use wake_data::{DataError, DataFrame, Schema};
+use wake_store::colfile::{Chunk, RunWriter};
+use wake_store::governor::{SpillEnv, SpillPlan};
+use wake_store::partition::sub_selections;
 
 /// Join flavours.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,9 +84,10 @@ struct JoinConfig {
     out_schema: Arc<Schema>,
 }
 
-/// One hash range's worth of join state: both sides' buffered rows and
-/// indexes, plus the per-left-row bookkeeping for left/semi/anti kinds.
-struct JoinShard {
+/// The in-memory join state of one spill partition (the whole shard when
+/// spilling is off): both sides' buffered rows and indexes, plus the
+/// per-left-row bookkeeping for left/semi/anti kinds.
+struct JoinCore {
     cfg: Arc<JoinConfig>,
     left: RowStore,
     right: RowStore,
@@ -109,6 +113,9 @@ enum JoinTask {
     },
     /// Right input exhausted: flush left-join nulls / resolve anti rows.
     RightEof,
+    /// Both inputs exhausted (spill mode only): resolve the deferred
+    /// matches of drained partitions that buffered post-EOF left rows.
+    FinalFlush,
     /// Recompute mode: buffer one side's (sub-)frame.
     Buffer { port: usize, frame: Arc<DataFrame> },
     /// Recompute mode: re-join the buffered state in full.
@@ -122,9 +129,9 @@ struct JoinPartial {
     state_bytes: usize,
 }
 
-impl JoinShard {
+impl JoinCore {
     fn new(cfg: Arc<JoinConfig>) -> Self {
-        JoinShard {
+        JoinCore {
             cfg,
             left: RowStore::new(),
             right: RowStore::new(),
@@ -199,9 +206,34 @@ impl JoinShard {
     // ----- streaming mode -----
 
     fn stream_left(&mut self, frame: &Arc<DataFrame>, hashes: KeyHashes) -> Result<DataFrame> {
+        self.stream_left_ext(frame, hashes, None, true)
+    }
+
+    /// [`stream_left`](Self::stream_left) with the two extra controls the
+    /// spill-resolution replay needs: `prior` seeds the frame's matched
+    /// flags (rows whose emission already happened in an earlier epoch —
+    /// semi joins must not re-emit them, left joins must not null-flush
+    /// them), and `index_left = false` skips left-index maintenance (the
+    /// replay feeds rights before lefts, so the left index is never
+    /// probed and indexing epoch-0 lefts would fabricate already-emitted
+    /// pairs when epoch-0 rights stream in). The live path passes
+    /// `(None, true)` and is byte-identical to the pre-spill operator.
+    fn stream_left_ext(
+        &mut self,
+        frame: &Arc<DataFrame>,
+        hashes: KeyHashes,
+        prior: Option<Vec<bool>>,
+        index_left: bool,
+    ) -> Result<DataFrame> {
         let kind = self.cfg.kind;
         let fi = self.left.push(frame.clone());
-        self.matched.push(vec![false; frame.num_rows()]);
+        match prior {
+            Some(flags) => {
+                debug_assert_eq!(flags.len(), frame.num_rows());
+                self.matched.push(flags);
+            }
+            None => self.matched.push(vec![false; frame.num_rows()]),
+        }
         let mut pairs: Vec<(RowRef, Option<RowRef>)> = Vec::new();
         let mut left_only: Vec<RowRef> = Vec::new();
         let mut eq: Vec<RowRef> = Vec::new();
@@ -214,7 +246,7 @@ impl JoinShard {
                 // re-probes the right index), and after right-side EOF no
                 // future right row can probe it either — skip maintaining
                 // it in both cases.
-                if kind != JoinKind::Anti && !self.right_eof {
+                if kind != JoinKind::Anti && !self.right_eof && index_left {
                     let (store, left_on) = (&self.left, &self.cfg.left_on);
                     self.left_index.insert(h, lref, |(ofi, ori)| {
                         keys_equal(frame, ri, left_on, store.frame(ofi), ori as usize, left_on)
@@ -231,13 +263,18 @@ impl JoinShard {
                         for &r in &eq {
                             pairs.push((lref, Some(r)));
                         }
-                    } else if kind == JoinKind::Left && self.right_eof {
+                    } else if kind == JoinKind::Left
+                        && self.right_eof
+                        && !self.matched[fi as usize][ri]
+                    {
                         self.matched[fi as usize][ri] = true;
                         pairs.push((lref, None));
                     }
                 }
                 JoinKind::Semi => {
-                    if !eq.is_empty() {
+                    // The matched gate only bites during spill replay
+                    // (prior-epoch emissions); live rows start unmatched.
+                    if !eq.is_empty() && !self.matched[fi as usize][ri] {
                         self.matched[fi as usize][ri] = true;
                         left_only.push(lref);
                     }
@@ -447,6 +484,11 @@ impl JoinShard {
     }
 
     fn state_bytes(&self) -> usize {
+        // Full accounting: buffered frames, both hash indexes, retained
+        // key hashes *including their null-mask side tables*, and the
+        // per-left-row matched flags (the last two were previously
+        // uncounted, so the governor's budget math under-reported
+        // anti-join and left-join state).
         self.left.byte_size()
             + self.right.byte_size()
             + self.left_index.byte_size()
@@ -454,8 +496,577 @@ impl JoinShard {
             + self
                 .left_hashes
                 .iter()
-                .map(|h| h.hashes.len() * 8)
+                .map(|h| h.byte_size())
                 .sum::<usize>()
+            + self.matched.iter().map(|m| m.len()).sum::<usize>()
+    }
+
+    /// Serialize the streaming state for eviction: one chunk per buffered
+    /// left frame (with its hashes and matched flags — the epoch boundary
+    /// the resolution replay needs) and one per right frame (with
+    /// hashes). Hashes not retained in memory are recomputed; they are
+    /// content-deterministic, so the replay sees the original values.
+    fn eviction_chunks_streaming(&self) -> (Vec<Chunk>, Vec<Chunk>) {
+        let lefts = self
+            .left
+            .frames()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.num_rows() > 0)
+            .map(|(fi, frame)| {
+                let hashes = if self.cfg.kind == JoinKind::Anti {
+                    self.left_hashes[fi].clone()
+                } else {
+                    hash_keys(frame, &self.cfg.left_on)
+                };
+                Chunk {
+                    frame: frame.clone(),
+                    hashes: Some(hashes),
+                    flags: Some(self.matched[fi].clone()),
+                    extra: Vec::new(),
+                }
+            })
+            .collect();
+        let rights = self
+            .right
+            .frames()
+            .iter()
+            .filter(|f| f.num_rows() > 0)
+            .map(|frame| Chunk::with_hashes(frame.clone(), hash_keys(frame, &self.cfg.right_on)))
+            .collect();
+        (lefts, rights)
+    }
+
+    /// Serialize the recompute-mode buffered sides (no flags or hashes —
+    /// `recompute` rehashes from scratch every refresh anyway).
+    fn eviction_chunks_buffered(&self) -> (Vec<Chunk>, Vec<Chunk>) {
+        let side = |store: &RowStore| {
+            store
+                .frames()
+                .iter()
+                .filter(|f| f.num_rows() > 0)
+                .map(|f| Chunk::frame_only(f.clone()))
+                .collect::<Vec<_>>()
+        };
+        (side(&self.left), side(&self.right))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spill partitions (grace-hash join below the shard level)
+// ---------------------------------------------------------------------------
+
+/// One spill partition of a join shard.
+// A shard holds at most `fanout` (≤ 8 by default) of these, so the
+// StreamSpill variant's four inline run handles (~450 B) cost a few KB
+// per shard — not worth an extra allocation per run access.
+#[allow(clippy::large_enum_variant)]
+enum JoinPart {
+    /// Resident: the live symmetric-hash (or recompute) core (boxed —
+    /// the core is much larger than the spilled variants' run handles).
+    Mem(Box<JoinCore>),
+    /// Streaming-mode eviction before right EOF. The epoch split is the
+    /// heart of spilled symmetric-hash correctness: `l0`/`r0` hold the
+    /// rows that were resident together — every `L0×R0` match was
+    /// already emitted (and `l0` carries the matched flags saying which
+    /// rows those were) — while `l1`/`r1` collect post-eviction arrivals
+    /// whose matches were never emitted. The resolution replay emits
+    /// exactly `L0×R1 ∪ L1×R0 ∪ L1×R1`: all pairs minus the pre-spill
+    /// emissions.
+    StreamSpill {
+        l0: RunWriter,
+        r0: RunWriter,
+        l1: RunWriter,
+        r1: RunWriter,
+    },
+    /// Streaming after right EOF: the right side is complete on disk and
+    /// every buffered left row has been resolved. Later-arriving left
+    /// rows buffer into `pending_left` and resolve at the final flush.
+    Drained {
+        rights: Vec<RunWriter>,
+        pending_left: RunWriter,
+    },
+    /// Recompute-mode eviction: both buffered sides on disk; every
+    /// refresh rehydrates and re-joins this hash subrange.
+    BufSpill { left: RunWriter, right: RunWriter },
+}
+
+/// One hash range's worth of join state: a single resident core, or
+/// (under a memory budget) `fanout` hash-subrange partitions, evicted
+/// largest-first when the shard exceeds its byte budget and re-joined
+/// out-of-core (recursively re-partitioned when still too big).
+struct JoinShard {
+    cfg: Arc<JoinConfig>,
+    op_shards: usize,
+    spill: Option<SpillEnv>,
+    parts: Vec<JoinPart>,
+}
+
+/// Scatter chunks into `fanout` sub-partitions by the hash digit at
+/// `depth` (recursive grace-hash split). Flags scatter with their rows.
+fn scatter_chunks(
+    chunks: Vec<Chunk>,
+    op_shards: usize,
+    fanout: usize,
+    depth: usize,
+) -> Vec<Vec<Chunk>> {
+    let mut out: Vec<Vec<Chunk>> = (0..fanout).map(|_| Vec::new()).collect();
+    for c in chunks {
+        let hashes = c.hashes.clone().expect("stream spill chunks carry hashes");
+        let sels = sub_selections(&hashes.hashes, op_shards, fanout, depth);
+        for (p, sel) in sels.iter().enumerate() {
+            if sel.is_empty() {
+                continue;
+            }
+            if sel.len() == c.frame.num_rows() {
+                out[p].push(c);
+                break; // all rows in one partition; other sels are empty
+            }
+            out[p].push(Chunk {
+                frame: Arc::new(c.frame.select(sel)),
+                hashes: Some(hashes.take(sel)),
+                flags: c
+                    .flags
+                    .as_ref()
+                    .map(|f| sel.iter().map(|&i| f[i as usize]).collect()),
+                extra: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Resolve one spilled streaming partition: emit exactly the matches not
+/// already emitted before eviction (see [`JoinPart::StreamSpill`]), plus
+/// the right-EOF flush (left-join nulls, anti rows). Recurses into
+/// `fanout` sub-partitions while the runs exceed the shard budget —
+/// the multi-pass half of grace hash.
+#[allow(clippy::too_many_arguments)]
+fn resolve_stream(
+    cfg: &Arc<JoinConfig>,
+    env: &SpillEnv,
+    op_shards: usize,
+    depth: usize,
+    l0: Vec<Chunk>,
+    r0: Vec<Chunk>,
+    l1: Vec<Chunk>,
+    r1: Vec<Chunk>,
+    out: &mut Vec<DataFrame>,
+) -> Result<()> {
+    let total: usize = [&l0, &r0, &l1, &r1]
+        .iter()
+        .flat_map(|v| v.iter())
+        .map(|c| c.byte_size())
+        .sum();
+    if total > env.shard_budget && depth < env.max_depth {
+        let mut l0s = scatter_chunks(l0, op_shards, env.fanout, depth);
+        let mut r0s = scatter_chunks(r0, op_shards, env.fanout, depth);
+        let mut l1s = scatter_chunks(l1, op_shards, env.fanout, depth);
+        let mut r1s = scatter_chunks(r1, op_shards, env.fanout, depth);
+        for p in 0..env.fanout {
+            resolve_stream(
+                cfg,
+                env,
+                op_shards,
+                depth + 1,
+                std::mem::take(&mut l0s[p]),
+                std::mem::take(&mut r0s[p]),
+                std::mem::take(&mut l1s[p]),
+                std::mem::take(&mut r1s[p]),
+                out,
+            )?;
+        }
+        return Ok(());
+    }
+    // In-memory epoch replay. Feed order is load-bearing:
+    //   R1 first (builds the post-eviction right index; probes nothing),
+    //   L0 with prior flags, *without* left indexing → pairs L0×R1 only,
+    //   R0 (probes the — deliberately empty — left index; no pairs),
+    //   L1 → pairs L1×(R0 ∪ R1),
+    //   right EOF → null-flush / anti resolution over all lefts.
+    let mut core = JoinCore::new(cfg.clone());
+    let push = |f: DataFrame, out: &mut Vec<DataFrame>| {
+        if f.num_rows() > 0 {
+            out.push(f)
+        }
+    };
+    for c in &r1 {
+        let f = core.stream_right(&c.frame, c.hashes.clone().expect("hashes"))?;
+        push(f, out);
+    }
+    for c in &l0 {
+        let f = core.stream_left_ext(
+            &c.frame,
+            c.hashes.clone().expect("hashes"),
+            c.flags.clone(),
+            false,
+        )?;
+        push(f, out);
+    }
+    for c in &r0 {
+        let f = core.stream_right(&c.frame, c.hashes.clone().expect("hashes"))?;
+        push(f, out);
+    }
+    for c in &l1 {
+        let f = core.stream_left_ext(&c.frame, c.hashes.clone().expect("hashes"), None, false)?;
+        push(f, out);
+    }
+    let f = core.stream_right_eof()?;
+    push(f, out);
+    Ok(())
+}
+
+impl JoinShard {
+    fn new(cfg: Arc<JoinConfig>, op_shards: usize, spill: Option<SpillEnv>) -> Self {
+        let parts = match &spill {
+            None => vec![JoinPart::Mem(Box::new(JoinCore::new(cfg.clone())))],
+            Some(env) => (0..env.fanout)
+                .map(|_| JoinPart::Mem(Box::new(JoinCore::new(cfg.clone()))))
+                .collect(),
+        };
+        JoinShard {
+            cfg,
+            op_shards: op_shards.max(1),
+            spill,
+            parts,
+        }
+    }
+
+    fn new_run(&self, env: &SpillEnv, tag: &str) -> RunWriter {
+        RunWriter::new(env.dir.clone(), env.governor.clone(), tag)
+    }
+
+    fn run_from_chunks(&self, env: &SpillEnv, tag: &str, chunks: &[Chunk]) -> Result<RunWriter> {
+        let mut run = self.new_run(env, tag);
+        for c in chunks {
+            run.push(c)?;
+        }
+        run.flush()?;
+        Ok(run)
+    }
+
+    /// Route one streaming (sub-)frame to partitions; resident partitions
+    /// emit immediately, spilled ones defer.
+    fn stream_side(
+        &mut self,
+        frame: &Arc<DataFrame>,
+        hashes: KeyHashes,
+        is_left: bool,
+    ) -> Result<Vec<DataFrame>> {
+        let mut outs = Vec::new();
+        let Some(env) = self.spill.clone() else {
+            let JoinPart::Mem(core) = &mut self.parts[0] else {
+                unreachable!("unspilled shard is always resident");
+            };
+            outs.push(if is_left {
+                core.stream_left(frame, hashes)?
+            } else {
+                core.stream_right(frame, hashes)?
+            });
+            return Ok(outs);
+        };
+        let sels = sub_selections(&hashes.hashes, self.op_shards, env.fanout, 0);
+        for (p, sel) in sels.iter().enumerate() {
+            if sel.is_empty() {
+                continue;
+            }
+            let (sub, sub_hashes) = if sel.len() == frame.num_rows() {
+                (frame.clone(), hashes.clone())
+            } else {
+                (Arc::new(frame.select(sel)), hashes.take(sel))
+            };
+            match &mut self.parts[p] {
+                JoinPart::Mem(core) => outs.push(if is_left {
+                    core.stream_left(&sub, sub_hashes)?
+                } else {
+                    core.stream_right(&sub, sub_hashes)?
+                }),
+                JoinPart::StreamSpill { l1, r1, .. } => {
+                    let run = if is_left { l1 } else { r1 };
+                    run.push(&Chunk::with_hashes(sub, sub_hashes))?;
+                }
+                JoinPart::Drained {
+                    rights,
+                    pending_left,
+                } => {
+                    if is_left {
+                        pending_left.push(&Chunk::with_hashes(sub, sub_hashes))?;
+                    } else {
+                        // Right rows cannot follow right EOF; keep them
+                        // anyway so a misbehaving source loses no data.
+                        debug_assert!(false, "right row after right EOF");
+                        rights
+                            .last_mut()
+                            .expect("drained part has a right run")
+                            .push(&Chunk::with_hashes(sub, sub_hashes))?;
+                    }
+                }
+                JoinPart::BufSpill { .. } => unreachable!("buffer spill in streaming mode"),
+            }
+        }
+        self.enforce_budget()?;
+        Ok(outs)
+    }
+
+    /// Right EOF: resident cores flush; spilled partitions resolve their
+    /// deferred matches (recursively if oversized) and become drained.
+    fn right_eof_all(&mut self) -> Result<Vec<DataFrame>> {
+        let mut outs = Vec::new();
+        for p in 0..self.parts.len() {
+            match &mut self.parts[p] {
+                JoinPart::Mem(core) => {
+                    let f = core.stream_right_eof()?;
+                    if f.num_rows() > 0 {
+                        outs.push(f);
+                    }
+                }
+                JoinPart::StreamSpill { .. } => {
+                    let env = self.spill.clone().expect("spilled part implies spill env");
+                    let placeholder = JoinPart::Mem(Box::new(JoinCore::new(self.cfg.clone())));
+                    let JoinPart::StreamSpill { l0, r0, l1, r1 } =
+                        std::mem::replace(&mut self.parts[p], placeholder)
+                    else {
+                        unreachable!()
+                    };
+                    resolve_stream(
+                        &self.cfg,
+                        &env,
+                        self.op_shards,
+                        1,
+                        l0.read_all()?,
+                        r0.read_all()?,
+                        l1.read_all()?,
+                        r1.read_all()?,
+                        &mut outs,
+                    )?;
+                    // Keep the complete right side on disk for left rows
+                    // that may still arrive; l0/l1 are fully resolved and
+                    // their files delete on drop.
+                    let pending_left = self.new_run(&env, "join-pl");
+                    self.parts[p] = JoinPart::Drained {
+                        rights: vec![r0, r1],
+                        pending_left,
+                    };
+                }
+                JoinPart::Drained { .. } => {}
+                JoinPart::BufSpill { .. } => unreachable!("buffer spill in streaming mode"),
+            }
+        }
+        Ok(outs)
+    }
+
+    /// Both EOFs: resolve drained partitions' pending left rows (they
+    /// probe the full on-disk right side, then take the right-EOF flush).
+    fn final_flush_all(&mut self) -> Result<Vec<DataFrame>> {
+        let mut outs = Vec::new();
+        for part in &mut self.parts {
+            if let JoinPart::Drained {
+                rights,
+                pending_left,
+            } = part
+            {
+                if pending_left.is_empty() {
+                    continue;
+                }
+                let env = self.spill.clone().expect("spilled part implies spill env");
+                let mut right_chunks = Vec::new();
+                for r in rights.iter() {
+                    right_chunks.extend(r.read_all()?);
+                }
+                let pending = pending_left.read_all()?;
+                pending_left.clear();
+                resolve_stream(
+                    &self.cfg,
+                    &env,
+                    self.op_shards,
+                    1,
+                    Vec::new(),
+                    right_chunks,
+                    pending,
+                    Vec::new(),
+                    &mut outs,
+                )?;
+            }
+        }
+        Ok(outs)
+    }
+
+    /// Recompute-mode buffering with partition routing. Snapshot-kind
+    /// sides clear every partition (a refresh invalidates stale state
+    /// even where the new version has no rows).
+    fn buffer_all(&mut self, port: usize, frame: &Arc<DataFrame>) -> Result<()> {
+        let Some(env) = self.spill.clone() else {
+            let JoinPart::Mem(core) = &mut self.parts[0] else {
+                unreachable!()
+            };
+            core.buffer(port, frame.clone());
+            return Ok(());
+        };
+        let (key_cols, side_kind) = if port == 0 {
+            (&self.cfg.left_on, self.cfg.left_kind)
+        } else {
+            (&self.cfg.right_on, self.cfg.right_kind)
+        };
+        let snapshot = side_kind == UpdateKind::Snapshot;
+        let hashes = hash_keys(frame, key_cols);
+        let sels = sub_selections(&hashes.hashes, self.op_shards, env.fanout, 0);
+        for (p, sel) in sels.iter().enumerate() {
+            let sub: Arc<DataFrame> = if sel.len() == frame.num_rows() {
+                frame.clone()
+            } else {
+                Arc::new(frame.select(sel))
+            };
+            match &mut self.parts[p] {
+                JoinPart::Mem(core) => {
+                    if snapshot || !sel.is_empty() {
+                        core.buffer(port, sub);
+                    }
+                }
+                JoinPart::BufSpill { left, right } => {
+                    let run = if port == 0 { left } else { right };
+                    if snapshot {
+                        run.clear();
+                    }
+                    if !sel.is_empty() {
+                        run.push(&Chunk::frame_only(sub))?;
+                    }
+                }
+                _ => unreachable!("streaming spill in recompute mode"),
+            }
+        }
+        self.enforce_budget()?;
+        Ok(())
+    }
+
+    /// Recompute every partition: resident cores re-join in place,
+    /// spilled ones rehydrate into a scratch core and re-join one
+    /// subrange at a time (memory stays ~one partition).
+    fn recompute_all(&mut self) -> Result<Vec<DataFrame>> {
+        let mut outs = Vec::new();
+        for part in &mut self.parts {
+            match part {
+                JoinPart::Mem(core) => {
+                    let f = core.recompute()?;
+                    if f.num_rows() > 0 {
+                        outs.push(f);
+                    }
+                }
+                JoinPart::BufSpill { left, right } => {
+                    let mut core = JoinCore::new(self.cfg.clone());
+                    for c in left.read_all()? {
+                        core.left.push(c.frame);
+                    }
+                    for c in right.read_all()? {
+                        core.right.push(c.frame);
+                    }
+                    let f = core.recompute()?;
+                    if f.num_rows() > 0 {
+                        outs.push(f);
+                    }
+                }
+                _ => unreachable!("streaming spill in recompute mode"),
+            }
+        }
+        Ok(outs)
+    }
+
+    /// While over the shard budget, evict the largest resident partition
+    /// (the governor's eviction policy).
+    fn enforce_budget(&mut self) -> Result<()> {
+        let Some(env) = self.spill.clone() else {
+            return Ok(());
+        };
+        while self.state_bytes() > env.shard_budget {
+            let victim = self
+                .parts
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| match p {
+                    JoinPart::Mem(core) => {
+                        let b = core.state_bytes();
+                        (b > 0).then_some((i, b))
+                    }
+                    _ => None,
+                })
+                .max_by_key(|&(_, bytes)| bytes);
+            let Some((i, _)) = victim else {
+                break; // everything spillable is already on disk
+            };
+            let JoinPart::Mem(core) = &self.parts[i] else {
+                unreachable!()
+            };
+            let new_part = match self.cfg.mode {
+                Mode::Streaming => {
+                    let (lefts, rights) = core.eviction_chunks_streaming();
+                    if core.right_eof {
+                        // Right side complete and all lefts resolved:
+                        // only the rights matter for future left rows.
+                        JoinPart::Drained {
+                            rights: vec![self.run_from_chunks(&env, "join-r", &rights)?],
+                            pending_left: self.new_run(&env, "join-pl"),
+                        }
+                    } else {
+                        JoinPart::StreamSpill {
+                            l0: self.run_from_chunks(&env, "join-l0", &lefts)?,
+                            r0: self.run_from_chunks(&env, "join-r0", &rights)?,
+                            l1: self.new_run(&env, "join-l1"),
+                            r1: self.new_run(&env, "join-r1"),
+                        }
+                    }
+                }
+                Mode::Recompute => {
+                    let (lefts, rights) = core.eviction_chunks_buffered();
+                    JoinPart::BufSpill {
+                        left: self.run_from_chunks(&env, "join-bl", &lefts)?,
+                        right: self.run_from_chunks(&env, "join-br", &rights)?,
+                    }
+                }
+            };
+            env.governor.record_eviction();
+            self.parts[i] = new_part;
+        }
+        Ok(())
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| match p {
+                JoinPart::Mem(core) => core.state_bytes(),
+                JoinPart::StreamSpill { l0, r0, l1, r1 } => {
+                    l0.pending_bytes()
+                        + r0.pending_bytes()
+                        + l1.pending_bytes()
+                        + r1.pending_bytes()
+                        + 64
+                }
+                JoinPart::Drained {
+                    rights,
+                    pending_left,
+                } => {
+                    rights.iter().map(|r| r.pending_bytes()).sum::<usize>()
+                        + pending_left.pending_bytes()
+                        + 64
+                }
+                JoinPart::BufSpill { left, right } => {
+                    left.pending_bytes() + right.pending_bytes() + 64
+                }
+            })
+            .sum()
+    }
+
+    /// Concatenate partition outputs into the shard's single result frame
+    /// (partitions are key-disjoint, like shards one level up).
+    fn merge_outputs(&self, mut frames: Vec<DataFrame>) -> Result<DataFrame> {
+        frames.retain(|f| f.num_rows() > 0);
+        match frames.len() {
+            0 => Ok(DataFrame::empty(self.cfg.out_schema.clone())),
+            1 => Ok(frames.pop().expect("one frame")),
+            _ => {
+                let refs: Vec<&DataFrame> = frames.iter().collect();
+                DataFrame::concat(&refs)
+            }
+        }
     }
 }
 
@@ -464,16 +1075,18 @@ impl ShardWork for JoinShard {
     type Out = Result<JoinPartial>;
 
     fn run(&mut self, task: JoinTask) -> Result<JoinPartial> {
-        let frame = match task {
-            JoinTask::StreamLeft { frame, hashes } => self.stream_left(&frame, hashes)?,
-            JoinTask::StreamRight { frame, hashes } => self.stream_right(&frame, hashes)?,
-            JoinTask::RightEof => self.stream_right_eof()?,
+        let frames = match task {
+            JoinTask::StreamLeft { frame, hashes } => self.stream_side(&frame, hashes, true)?,
+            JoinTask::StreamRight { frame, hashes } => self.stream_side(&frame, hashes, false)?,
+            JoinTask::RightEof => self.right_eof_all()?,
+            JoinTask::FinalFlush => self.final_flush_all()?,
             JoinTask::Buffer { port, frame } => {
-                self.buffer(port, frame);
-                DataFrame::empty(self.cfg.out_schema.clone())
+                self.buffer_all(port, &frame)?;
+                Vec::new()
             }
-            JoinTask::Recompute => self.recompute()?,
+            JoinTask::Recompute => self.recompute_all()?,
         };
+        let frame = self.merge_outputs(frames)?;
         Ok(JoinPartial {
             frame,
             state_bytes: self.state_bytes(),
@@ -489,6 +1102,11 @@ pub struct JoinOp {
     /// Last-reported buffered bytes per shard (shard state may live on
     /// worker threads, so the footprint is tracked via task results).
     shard_bytes: Vec<usize>,
+    /// Memory-governance plan (None = unbounded, the resident-only path).
+    spill: Option<SpillPlan>,
+    /// The current shard plan (so `with_spill` and `with_shards` compose
+    /// in either order).
+    shard_plan: ShardPlan,
     left_eof: bool,
     right_eof: bool,
     emitted_any: bool,
@@ -557,15 +1175,34 @@ impl JoinOp {
             out_schema,
         });
         Ok(JoinOp {
-            state: ShardedState::new(ShardPlan::serial().mode, vec![JoinShard::new(cfg.clone())]),
+            state: ShardedState::new(
+                ShardPlan::serial().mode,
+                vec![JoinShard::new(cfg.clone(), 1, None)],
+            ),
             shard_bytes: vec![0],
             cfg,
+            spill: None,
+            shard_plan: ShardPlan::serial(),
             left_eof: false,
             right_eof: false,
             emitted_any: false,
             progress: Progress::new(),
             meta,
         })
+    }
+
+    /// Govern this operator's memory: when the per-shard slice of
+    /// `plan.op_budget` is exceeded, the largest spill partition is
+    /// evicted to disk and its matches resolve out-of-core. Composes
+    /// with [`Self::with_shards`] in either order; must precede
+    /// execution. `None` keeps the unbounded resident path.
+    pub fn with_spill(mut self, spill: Option<SpillPlan>) -> Self {
+        debug_assert!(
+            !self.emitted_any && self.progress.t() == 0.0,
+            "with_spill must precede execution"
+        );
+        self.spill = spill;
+        self.rebuild_shards()
     }
 
     /// Re-plan the operator onto `plan.shards` hash-range shards executed
@@ -575,13 +1212,20 @@ impl JoinOp {
             !self.emitted_any && self.progress.t() == 0.0,
             "with_shards must precede execution"
         );
+        self.shard_plan = plan;
+        self.rebuild_shards()
+    }
+
+    fn rebuild_shards(mut self) -> Self {
+        let shards = self.shard_plan.shards.max(1);
+        let env = self.spill.as_ref().map(|p| p.shard_env(shards));
         self.state = ShardedState::new(
-            plan.mode,
-            (0..plan.shards.max(1))
-                .map(|_| JoinShard::new(self.cfg.clone()))
+            self.shard_plan.mode,
+            (0..shards)
+                .map(|_| JoinShard::new(self.cfg.clone(), shards, env.clone()))
                 .collect(),
         );
-        self.shard_bytes = vec![0; plan.shards.max(1)];
+        self.shard_bytes = vec![0; shards];
         self
     }
 
@@ -731,6 +1375,17 @@ impl Operator for JoinOp {
             }
             _ => return Err(DataError::Invalid(format!("join has 2 ports, got {port}"))),
         };
+        // Spilled streaming joins may hold deferred matches for left rows
+        // that arrived after right EOF (their partition was drained to
+        // disk): resolve them once both inputs are exhausted.
+        if self.left_eof && self.right_eof && self.spill.is_some() {
+            if let Mode::Streaming = self.cfg.mode {
+                let shards = self.state.num_shards();
+                let flush =
+                    self.run_merged((0..shards).map(|_| Some(JoinTask::FinalFlush)).collect())?;
+                out.extend(self.emit(flush));
+            }
+        }
         // Snapshot-mode joins must publish at least one (possibly empty)
         // state so downstream consumers learn the final answer even when
         // no input ever arrived.
@@ -1023,11 +1678,273 @@ mod tests {
         assert_eq!(out[0].frame.value(0, "name").unwrap(), Value::str("two"));
     }
 
+    #[test]
+    fn state_bytes_accounts_for_every_component() {
+        // Exact accounting on a known workload. An anti join retains,
+        // per buffered left frame: the frame payload, its key hashes
+        // (8 B/row) *plus the null mask* (1 B/row when any key is null),
+        // and the matched flags (1 B/row). The right side adds its frame
+        // payload and index. The mask and flags were previously
+        // uncounted; this pins the full formula so the governor's budget
+        // math matches allocation.
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let lf = DataFrame::from_rows(
+            schema.clone(),
+            &(0..50)
+                .map(|i| {
+                    vec![
+                        if i % 7 == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(i)
+                        },
+                        Value::Float(i as f64),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let rf = right_frame((0..40).collect(), (0..40).map(|_| "x").collect::<Vec<_>>());
+        let cfg_op = join(JoinKind::Anti);
+        let cfg = cfg_op.cfg.clone();
+        let mut core = JoinCore::new(cfg);
+        let lh = hash_keys(&lf, &[0]);
+        let rh = hash_keys(&rf, &[0]);
+        let lframe = Arc::new(lf.clone());
+        let rframe = Arc::new(rf.clone());
+        core.stream_left(&lframe, lh.clone()).unwrap();
+        core.stream_right(&rframe, rh.clone()).unwrap();
+        let expected = lf.byte_size()                   // buffered left payload
+            + rf.byte_size()                            // buffered right payload
+            + core.left_index.byte_size()               // 0: anti never indexes left
+            + core.right_index.byte_size()              // 40 unique keys
+            + lh.byte_size()                            // 50×8 hashes + 50 mask bytes
+            + lf.num_rows(); // matched flags, 1 B/row
+        assert_eq!(core.state_bytes(), expected);
+        assert_eq!(core.left_index.byte_size(), 0);
+        // The null mask really is part of the sum (hashes alone is 400).
+        assert_eq!(lh.byte_size(), 50 * 8 + 50);
+        // 40 distinct single-row keys: bucket (16) + group (24) + ref (8).
+        assert_eq!(core.right_index.byte_size(), 40 * (16 + 24 + 8));
+    }
+
+    #[test]
+    fn state_bytes_includes_spill_pending_buffers() {
+        // A spilled partition's write-behind buffer counts against the
+        // budget until it is flushed to disk.
+        use wake_store::governor::SpillConfig;
+        let mut cfg = SpillConfig::with_budget(256);
+        cfg.fanout = 2;
+        let plan = cfg.build_plan(1).unwrap().unwrap();
+        let env = plan.shard_env(1);
+        let mut shard = JoinShard::new(join(JoinKind::Inner).cfg.clone(), 1, Some(env.clone()));
+        let lf = Arc::new(kv_frame((0..200).collect(), vec![1.0; 200]));
+        let hashes = hash_keys(&lf, &[0]);
+        shard.stream_side(&lf, hashes.clone(), true).unwrap();
+        // Over budget => evicted; stream more lefts into the spilled
+        // partitions and confirm their pending bytes are charged.
+        let before = shard.state_bytes();
+        let lf2 = Arc::new(kv_frame((200..260).collect(), vec![2.0; 60]));
+        let h2 = hash_keys(&lf2, &[0]);
+        shard.stream_side(&lf2, h2, true).unwrap();
+        let pending: usize = shard
+            .parts
+            .iter()
+            .map(|p| match p {
+                JoinPart::StreamSpill { l1, .. } => l1.pending_bytes(),
+                _ => 0,
+            })
+            .sum();
+        assert!(pending > 0, "expected unflushed spill-pending bytes");
+        assert!(shard.state_bytes() >= before.min(pending));
+        let accounted: usize = shard.state_bytes();
+        assert!(
+            accounted >= pending,
+            "pending buffers must be part of state_bytes ({accounted} < {pending})"
+        );
+    }
+
     /// Multiset of rows for order-insensitive comparison.
     fn rows_sorted(f: &DataFrame) -> Vec<Vec<Value>> {
         let mut rows: Vec<Vec<Value>> = (0..f.num_rows()).map(|i| f.row(i)).collect();
         rows.sort();
         rows
+    }
+
+    /// Cumulative multiset of all rows emitted by a sequence of updates.
+    fn all_rows(outs: &[Vec<Update>]) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = outs
+            .iter()
+            .flat_map(|us| us.iter())
+            .flat_map(|u| (0..u.frame.num_rows()).map(|i| u.frame.row(i)))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn budget_spilled_join_matches_resident_for_all_kinds() {
+        // A budget small enough to evict partitions mid-stream: the
+        // spilled operator defers match emission (epoch replay at EOF),
+        // so equivalence is on the cumulative emitted multiset — which
+        // must be exactly the resident operator's. Covers every join
+        // kind, null keys, duplicate keys, post-right-EOF left arrivals,
+        // and both S=1 and sharded execution.
+        use wake_store::governor::SpillConfig;
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let lframe = |ks: &[Option<i64>]| {
+            DataFrame::from_rows(
+                schema.clone(),
+                &ks.iter()
+                    .enumerate()
+                    .map(|(i, k)| vec![k.map_or(Value::Null, Value::Int), Value::Float(i as f64)])
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap()
+        };
+        let left_seq = [
+            lframe(&[Some(1), Some(2), None, Some(3), Some(4), Some(2)]),
+            lframe(&[Some(2), None, Some(9), Some(5), Some(11), Some(13)]),
+        ];
+        let right_seq = [
+            right_frame(vec![2, 3, 3, 5, 7], vec!["a", "b", "c", "e", "f"]),
+            right_frame(vec![9, 100, 2, 11], vec!["z", "q", "a2", "k"]),
+        ];
+        let post_eof_left = lframe(&[Some(2), Some(77), None]);
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::Left,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            for shards in [1usize, 2] {
+                let mut cfg = SpillConfig::with_budget(256);
+                cfg.fanout = 4;
+                let plan = cfg.build_plan(1).unwrap().unwrap();
+                let governor = plan.governor.clone();
+                let mut reference = join(kind);
+                let mut spilled = join(kind)
+                    .with_spill(Some(plan))
+                    .with_shards(ShardPlan::new(shards, ShardMode::Inline));
+                let mut ref_outs = Vec::new();
+                let mut sp_outs = Vec::new();
+                let mut step = 0u64;
+                let mut feed = |op: &mut JoinOp, port: usize, f: &DataFrame| {
+                    step += 1;
+                    let u = Update::delta(f.clone(), Progress::single(port as u32, step, 40));
+                    op.on_update(port, &u).unwrap()
+                };
+                for (lf, rf) in left_seq.iter().zip(&right_seq) {
+                    ref_outs.push(feed(&mut reference, 0, lf));
+                    sp_outs.push(feed(&mut spilled, 0, lf));
+                    ref_outs.push(feed(&mut reference, 1, rf));
+                    sp_outs.push(feed(&mut spilled, 1, rf));
+                }
+                ref_outs.push(reference.on_eof(1).unwrap());
+                sp_outs.push(spilled.on_eof(1).unwrap());
+                // Left rows arriving after right EOF: the resident path
+                // resolves them instantly; a drained spilled partition
+                // defers them to the final flush.
+                ref_outs.push(feed(&mut reference, 0, &post_eof_left));
+                sp_outs.push(feed(&mut spilled, 0, &post_eof_left));
+                ref_outs.push(reference.on_eof(0).unwrap());
+                sp_outs.push(spilled.on_eof(0).unwrap());
+                assert_eq!(
+                    all_rows(&ref_outs),
+                    all_rows(&sp_outs),
+                    "{kind:?} S={shards}"
+                );
+                let m = governor.metrics();
+                assert!(m.evictions > 0, "{kind:?} S={shards}: never spilled");
+                assert!(m.spilled_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_partition_recurses_into_subpartitions() {
+        // One evicted partition whose runs far exceed the shard budget:
+        // resolution must recursively re-partition (multi-pass grace
+        // hash) and still produce the resident operator's multiset.
+        use wake_store::governor::SpillConfig;
+        let n = 1200i64;
+        let lf = kv_frame((0..n).map(|i| i % 97).collect(), vec![0.5; n as usize]);
+        let rf = right_frame(
+            (0..n / 2).map(|i| i % 101).collect(),
+            (0..n / 2).map(|_| "r").collect(),
+        );
+        for kind in [JoinKind::Inner, JoinKind::Left] {
+            let mut cfg = SpillConfig::with_budget(2048);
+            cfg.fanout = 2;
+            cfg.max_depth = 3;
+            let plan = cfg.build_plan(1).unwrap().unwrap();
+            let governor = plan.governor.clone();
+            let mut reference = join(kind);
+            let mut spilled = join(kind).with_spill(Some(plan));
+            let mut ref_outs = Vec::new();
+            let mut sp_outs = Vec::new();
+            let ul = Update::delta(lf.clone(), Progress::single(0, 1, 2));
+            let ur = Update::delta(rf.clone(), Progress::single(1, 1, 1));
+            ref_outs.push(reference.on_update(0, &ul).unwrap());
+            sp_outs.push(spilled.on_update(0, &ul).unwrap());
+            ref_outs.push(reference.on_update(1, &ur).unwrap());
+            sp_outs.push(spilled.on_update(1, &ur).unwrap());
+            ref_outs.push(reference.on_eof(1).unwrap());
+            sp_outs.push(spilled.on_eof(1).unwrap());
+            ref_outs.push(reference.on_eof(0).unwrap());
+            sp_outs.push(spilled.on_eof(0).unwrap());
+            assert_eq!(all_rows(&ref_outs), all_rows(&sp_outs), "{kind:?}");
+            let m = governor.metrics();
+            assert!(m.evictions > 0 && m.spilled_bytes > 2048, "{kind:?}: {m:?}");
+        }
+    }
+
+    #[test]
+    fn budget_spilled_recompute_join_matches_resident() {
+        // Snapshot-input (recompute-mode) joins spill their buffered
+        // sides; every refresh must re-join to the same multiset, and a
+        // snapshot refresh must clear spilled buffers too.
+        use wake_store::governor::SpillConfig;
+        let snap_left = EdfMeta::new(
+            kv_frame(vec![], vec![]).schema().clone(),
+            vec!["k".into()],
+            UpdateKind::Snapshot,
+        );
+        let build = || {
+            JoinOp::new(
+                &snap_left,
+                &right_meta(),
+                vec!["k".into()],
+                vec!["rk".into()],
+                JoinKind::Inner,
+            )
+            .unwrap()
+        };
+        let mut cfg = SpillConfig::with_budget(512);
+        cfg.fanout = 4;
+        let plan = cfg.build_plan(1).unwrap().unwrap();
+        let governor = plan.governor.clone();
+        let mut reference = build();
+        let mut spilled = build().with_spill(Some(plan));
+        let big: Vec<i64> = (0..120).collect();
+        let vals: Vec<f64> = (0..120).map(|i| i as f64).collect();
+        let s1 = Update::snapshot(kv_frame(big, vals), Progress::single(0, 1, 3));
+        let r1 = upd_r((0..120).step_by(2).collect(), vec!["x"; 60], 1, 2);
+        for (port, u) in [(0usize, &s1), (1usize, &r1)] {
+            let a = reference.on_update(port, u).unwrap();
+            let b = spilled.on_update(port, u).unwrap();
+            assert_eq!(all_rows(&[a]), all_rows(&[b]), "refresh at port {port}");
+        }
+        // Shrinking snapshot refresh: stale spilled state must vanish.
+        let s2 = Update::snapshot(
+            kv_frame(vec![2, 4], vec![2.0, 4.0]),
+            Progress::single(0, 3, 3),
+        );
+        let a = reference.on_update(0, &s2).unwrap();
+        let b = spilled.on_update(0, &s2).unwrap();
+        assert_eq!(all_rows(std::slice::from_ref(&a)), all_rows(&[b]));
+        assert_eq!(a.last().unwrap().frame.num_rows(), 2);
+        assert!(governor.metrics().evictions > 0, "never spilled");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod map;
 pub mod map_ci;
 pub mod sharded;
 pub mod sort;
+pub mod spill;
 
 pub use agg_op::AggOp;
 pub use filter::FilterOp;

@@ -30,7 +30,9 @@ use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"WAKECOL1";
 
-fn dtype_tag(d: DataType) -> u8 {
+/// Stable on-disk tag for a [`DataType`] (shared with the spill format in
+/// `wake-store`, which embeds WCF column payloads in its checksummed runs).
+pub fn dtype_tag(d: DataType) -> u8 {
     match d {
         DataType::Int64 => 0,
         DataType::Float64 => 1,
@@ -40,7 +42,8 @@ fn dtype_tag(d: DataType) -> u8 {
     }
 }
 
-fn tag_dtype(t: u8) -> Result<DataType> {
+/// Inverse of [`dtype_tag`].
+pub fn tag_dtype(t: u8) -> Result<DataType> {
     Ok(match t {
         0 => DataType::Int64,
         1 => DataType::Float64,
@@ -51,7 +54,8 @@ fn tag_dtype(t: u8) -> Result<DataType> {
     })
 }
 
-fn pack_bits(bits: impl ExactSizeIterator<Item = bool>) -> Vec<u8> {
+/// LSB-first bit packing (validity bitmaps, bool payloads).
+pub fn pack_bits(bits: impl ExactSizeIterator<Item = bool>) -> Vec<u8> {
     let n = bits.len();
     let mut out = vec![0u8; n.div_ceil(8)];
     for (i, b) in bits.enumerate() {
@@ -62,8 +66,47 @@ fn pack_bits(bits: impl ExactSizeIterator<Item = bool>) -> Vec<u8> {
     out
 }
 
-fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+/// Inverse of [`pack_bits`].
+pub fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
     (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+/// Serialise one column's payload (validity byte + optional bitmap, then
+/// the typed buffer) in WCF layout. Fully typed: no `Value` cells are
+/// materialised. Public so the `wake-store` spill format can embed column
+/// payloads inside its own checksummed container.
+pub fn write_column<W: Write>(col: &Column, w: &mut W) -> Result<()> {
+    match col.validity() {
+        Some(mask) => {
+            w.write_all(&[1])?;
+            w.write_all(&pack_bits(mask.iter().copied()))?;
+        }
+        None => w.write_all(&[0])?,
+    }
+    match col.data() {
+        ColumnData::Int64(v) | ColumnData::Date(v) => {
+            for x in v {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        ColumnData::Float64(v) => {
+            for x in v {
+                w.write_all(&x.to_bits().to_le_bytes())?;
+            }
+        }
+        ColumnData::Bool(v) => {
+            w.write_all(&pack_bits(v.iter().copied()))?;
+        }
+        ColumnData::Utf8(v) => {
+            for s in v {
+                w.write_all(&(s.len() as u32).to_le_bytes())?;
+            }
+            for s in v {
+                w.write_all(s.as_bytes())?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Serialise a frame into WCF bytes.
@@ -78,47 +121,29 @@ pub fn write_colfile<W: Write>(df: &DataFrame, w: &mut W) -> Result<()> {
     let rows = df.num_rows();
     w.write_all(&(rows as u64).to_le_bytes())?;
     for col in df.columns() {
-        match col.validity() {
-            Some(mask) => {
-                w.write_all(&[1])?;
-                w.write_all(&pack_bits(mask.iter().copied()))?;
-            }
-            None => w.write_all(&[0])?,
-        }
-        match col.data() {
-            ColumnData::Int64(v) | ColumnData::Date(v) => {
-                for x in v {
-                    w.write_all(&x.to_le_bytes())?;
-                }
-            }
-            ColumnData::Float64(v) => {
-                for x in v {
-                    w.write_all(&x.to_bits().to_le_bytes())?;
-                }
-            }
-            ColumnData::Bool(v) => {
-                w.write_all(&pack_bits(v.iter().copied()))?;
-            }
-            ColumnData::Utf8(v) => {
-                for s in v {
-                    w.write_all(&(s.len() as u32).to_le_bytes())?;
-                }
-                for s in v {
-                    w.write_all(s.as_bytes())?;
-                }
-            }
-        }
+        write_column(col, w)?;
     }
     Ok(())
 }
 
-struct Cursor<'a> {
+/// Bounds-checked little-endian reader over a byte slice — the decode
+/// counterpart of the WCF writers, shared with the spill format.
+pub struct ByteCursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+impl<'a> ByteCursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteCursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
             return Err(DataError::Parse("truncated colfile".into()));
         }
@@ -127,22 +152,85 @@ impl<'a> Cursor<'a> {
         Ok(out)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+type Cursor<'a> = ByteCursor<'a>;
+
+/// Deserialise one column written by [`write_column`].
+pub fn read_column(dtype: DataType, rows: usize, c: &mut ByteCursor<'_>) -> Result<Column> {
+    let has_validity = c.u8()? != 0;
+    let validity = if has_validity {
+        let bytes = c.take(rows.div_ceil(8))?;
+        Some(unpack_bits(bytes, rows))
+    } else {
+        None
+    };
+    let data = match dtype {
+        DataType::Int64 | DataType::Date => {
+            let raw = c.take(rows * 8)?;
+            let v: Vec<i64> = raw
+                .chunks_exact(8)
+                .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+                .collect();
+            if dtype == DataType::Date {
+                ColumnData::Date(v)
+            } else {
+                ColumnData::Int64(v)
+            }
+        }
+        DataType::Float64 => {
+            let raw = c.take(rows * 8)?;
+            ColumnData::Float64(
+                raw.chunks_exact(8)
+                    .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+                    .collect(),
+            )
+        }
+        DataType::Bool => {
+            let raw = c.take(rows.div_ceil(8))?;
+            ColumnData::Bool(unpack_bits(raw, rows))
+        }
+        DataType::Utf8 => {
+            let lens: Vec<usize> = (0..rows)
+                .map(|_| c.u32().map(|l| l as usize))
+                .collect::<Result<_>>()?;
+            let mut strs = Vec::with_capacity(rows);
+            for len in lens {
+                let s = std::str::from_utf8(c.take(len)?)
+                    .map_err(|_| DataError::Parse("bad utf8 in string cell".into()))?;
+                strs.push(Arc::<str>::from(s));
+            }
+            ColumnData::Utf8(strs)
+        }
+    };
+    match validity {
+        Some(mask) => Column::with_validity(data, mask),
+        None => Ok(Column::new(data)),
     }
 }
 
 /// Deserialise WCF bytes into a frame.
 pub fn read_colfile(bytes: &[u8]) -> Result<DataFrame> {
-    let mut c = Cursor { buf: bytes, pos: 0 };
+    let mut c = Cursor::new(bytes);
     if c.take(8)? != MAGIC {
         return Err(DataError::Parse("not a WCF file (bad magic)".into()));
     }
@@ -164,56 +252,7 @@ pub fn read_colfile(bytes: &[u8]) -> Result<DataFrame> {
     let rows = c.u64()? as usize;
     let mut columns = Vec::with_capacity(nfields);
     for f in &fields {
-        let has_validity = c.u8()? != 0;
-        let validity = if has_validity {
-            let bytes = c.take(rows.div_ceil(8))?;
-            Some(unpack_bits(bytes, rows))
-        } else {
-            None
-        };
-        let data = match f.dtype {
-            DataType::Int64 | DataType::Date => {
-                let raw = c.take(rows * 8)?;
-                let v: Vec<i64> = raw
-                    .chunks_exact(8)
-                    .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
-                    .collect();
-                if f.dtype == DataType::Date {
-                    ColumnData::Date(v)
-                } else {
-                    ColumnData::Int64(v)
-                }
-            }
-            DataType::Float64 => {
-                let raw = c.take(rows * 8)?;
-                ColumnData::Float64(
-                    raw.chunks_exact(8)
-                        .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
-                        .collect(),
-                )
-            }
-            DataType::Bool => {
-                let raw = c.take(rows.div_ceil(8))?;
-                ColumnData::Bool(unpack_bits(raw, rows))
-            }
-            DataType::Utf8 => {
-                let lens: Vec<usize> = (0..rows)
-                    .map(|_| c.u32().map(|l| l as usize))
-                    .collect::<Result<_>>()?;
-                let mut strs = Vec::with_capacity(rows);
-                for len in lens {
-                    let s = std::str::from_utf8(c.take(len)?)
-                        .map_err(|_| DataError::Parse("bad utf8 in string cell".into()))?;
-                    strs.push(Arc::<str>::from(s));
-                }
-                ColumnData::Utf8(strs)
-            }
-        };
-        let col = match validity {
-            Some(mask) => Column::with_validity(data, mask)?,
-            None => Column::new(data),
-        };
-        columns.push(col);
+        columns.push(read_column(f.dtype, rows, &mut c)?);
     }
     DataFrame::new(Arc::new(Schema::new(fields)), columns)
 }

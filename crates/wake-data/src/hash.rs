@@ -116,6 +116,13 @@ impl KeyHashes {
         self.any_null.as_ref().is_some_and(|m| m[i])
     }
 
+    /// Approximate heap bytes held by the hashes plus the null-indicator
+    /// side table (peak-memory accounting; the mask was previously
+    /// uncounted, under-reporting operators that buffer hashes).
+    pub fn byte_size(&self) -> usize {
+        self.hashes.len() * 8 + self.any_null.as_ref().map_or(0, |m| m.len())
+    }
+
     /// Gather the hashes (and null indicators) at a selection vector —
     /// valid because hashes are row-local: the result equals recomputing
     /// [`hash_keys`] on the selected sub-frame.
@@ -238,6 +245,61 @@ fn numeric_at(data: &ColumnData, i: usize) -> Option<f64> {
         ColumnData::Int64(v) | ColumnData::Date(v) => Some(v[i] as f64),
         ColumnData::Float64(v) => Some(v[i]),
         _ => None,
+    }
+}
+
+/// `Value`-compatible total order of two key tuples living in (possibly
+/// different) frames, without materialising a `Value` per cell: nulls
+/// first, then by `Value`'s type rank (bool < numeric < string), numerics
+/// through their `f64` image with NaNs last and equal to each other. This
+/// is the comparator behind the typed k-way merge of key-sorted aggregate
+/// partials — it must order exactly like `Vec<Value>` comparison so a
+/// merge of sorted runs is bit-identical to concat + stable `Value` sort.
+pub fn cmp_rows(
+    left: &DataFrame,
+    lrow: usize,
+    left_keys: &[usize],
+    right: &DataFrame,
+    rrow: usize,
+    right_keys: &[usize],
+) -> Ordering {
+    debug_assert_eq!(left_keys.len(), right_keys.len());
+    for (&lc, &rc) in left_keys.iter().zip(right_keys) {
+        let ord = cells_cmp(left.column_at(lc), lrow, right.column_at(rc), rrow);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// `Value::cmp`-compatible ordering of two typed cells.
+#[inline]
+fn cells_cmp(a: &Column, ia: usize, b: &Column, ib: usize) -> Ordering {
+    match (a.is_valid(ia), b.is_valid(ib)) {
+        (false, false) => return Ordering::Equal,
+        (false, true) => return Ordering::Less, // nulls first
+        (true, false) => return Ordering::Greater,
+        (true, true) => {}
+    }
+    // Value::cmp ranks mixed types: bool (1) < numeric (2) < string (3).
+    let rank = |d: &ColumnData| match d {
+        ColumnData::Bool(_) => 1u8,
+        ColumnData::Int64(_) | ColumnData::Float64(_) | ColumnData::Date(_) => 2,
+        ColumnData::Utf8(_) => 3,
+    };
+    let (ra, rb) = (rank(a.data()), rank(b.data()));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a.data(), b.data()) {
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => x[ia].cmp(&y[ib]),
+        (ColumnData::Utf8(x), ColumnData::Utf8(y)) => x[ia].cmp(&y[ib]),
+        (x, y) => {
+            let fx = numeric_at(x, ia).expect("rank 2 is numeric");
+            let fy = numeric_at(y, ib).expect("rank 2 is numeric");
+            cmp_f64(fx, fy)
+        }
     }
 }
 
@@ -634,6 +696,45 @@ mod tests {
         let slot = store.push_row(&d, &[0], 0);
         let i = frame(vec![("k", Column::from_i64(vec![7]))]);
         assert!(store.eq_row(slot, &i, &[0], 0));
+    }
+
+    #[test]
+    fn cmp_rows_matches_value_ordering() {
+        // Every pair of rows must order exactly as their Vec<Value> images.
+        let f = frame(vec![
+            (
+                "k",
+                Column::from_values(
+                    DataType::Int64,
+                    &[
+                        Value::Int(5),
+                        Value::Null,
+                        Value::Int(-2),
+                        Value::Int(5),
+                        Value::Int(i64::MAX),
+                    ],
+                )
+                .unwrap(),
+            ),
+            ("f", Column::from_f64(vec![1.5, f64::NAN, -0.0, 0.0, 2.0])),
+            ("s", Column::from_str_iter(["b", "a", "", "b", "z"])),
+        ]);
+        let keys = [0usize, 1, 2];
+        for a in 0..5 {
+            for b in 0..5 {
+                let va: Vec<Value> = keys.iter().map(|&c| f.column_at(c).value(a)).collect();
+                let vb: Vec<Value> = keys.iter().map(|&c| f.column_at(c).value(b)).collect();
+                assert_eq!(
+                    cmp_rows(&f, a, &keys, &f, b, &keys),
+                    va.cmp(&vb),
+                    "rows {a} vs {b}"
+                );
+            }
+        }
+        // Cross-type numeric columns (Int64 vs Float64) order numerically.
+        let i = frame(vec![("k", Column::from_i64(vec![3]))]);
+        let fl = frame(vec![("k", Column::from_f64(vec![3.5]))]);
+        assert_eq!(cmp_rows(&i, 0, &[0], &fl, 0, &[0]), Ordering::Less);
     }
 
     #[test]

@@ -25,5 +25,7 @@ pub use estimate::{Estimate, EstimateSeries, SeriesExt};
 pub use stepped::{RunStats, SteppedExecutor};
 pub use threaded::ThreadedExecutor;
 pub use trace::{TraceEvent, TraceLog};
+// Memory-governance configuration (the budget knob on both executors).
+pub use wake_store::{SpillConfig, SpillMetrics};
 
 pub type Result<T> = std::result::Result<T, wake_data::DataError>;

@@ -26,11 +26,12 @@ use crate::Result;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
-use wake_core::graph::{build_operator_with, NodeId, NodeKind, QueryGraph};
+use wake_core::graph::{build_operator_spilling, NodeId, NodeKind, QueryGraph};
 use wake_core::ops::{Operator, RowStore, ShardMode, ShardPlan};
 use wake_core::progress::Progress;
 use wake_core::update::{Update, UpdateKind};
 use wake_data::{DataError, DataFrame};
+use wake_store::{SpillConfig, SpillMetrics, SpillPlan};
 
 /// Execution statistics gathered by [`SteppedExecutor::run_collect_stats`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,6 +39,8 @@ pub struct RunStats {
     /// Maximum bytes buffered inside operators at any partition boundary
     /// (join build/probe stores, sort buffers, aggregate hash tables).
     pub peak_state_bytes: usize,
+    /// Spill telemetry (all zeroes when the query ran unbounded).
+    pub spill: SpillMetrics,
 }
 
 /// Single-threaded, deterministic query driver.
@@ -45,6 +48,7 @@ pub struct SteppedExecutor {
     graph: QueryGraph,
     operators: Vec<Option<Box<dyn Operator>>>,
     consumers: Vec<Vec<(NodeId, usize)>>,
+    spill: Option<SpillPlan>,
     sink: NodeId,
     sink_kind: UpdateKind,
     sink_buffer: RowStore,
@@ -52,12 +56,22 @@ pub struct SteppedExecutor {
 }
 
 impl SteppedExecutor {
-    /// Build operators for every node and validate the graph.
+    /// Build operators for every node and validate the graph. Memory
+    /// governance defaults to the ambient [`SpillConfig::from_env`]
+    /// (`WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR`); unset means unbounded.
     pub fn new(graph: QueryGraph) -> Result<Self> {
+        Self::with_config(graph, SpillConfig::from_env())
+    }
+
+    /// Build with an explicit memory budget: the total is apportioned
+    /// over the graph's hash-keyed operators, and each operator spills
+    /// its largest partitions once its slice is exceeded.
+    pub fn with_config(graph: QueryGraph, config: SpillConfig) -> Result<Self> {
         let sink = graph
             .sink_id()
             .ok_or_else(|| DataError::Invalid("query graph has no sink".into()))?;
         let metas = graph.resolve_metas()?;
+        let spill = config.build_plan(graph.shardable_node_count())?;
         let mut operators: Vec<Option<Box<dyn Operator>>> = Vec::with_capacity(graph.len());
         for (idx, node) in graph.nodes().iter().enumerate() {
             match &node.kind {
@@ -66,7 +80,12 @@ impl SteppedExecutor {
                     let inputs: Vec<&wake_core::EdfMeta> =
                         node.inputs.iter().map(|i| &metas[i.0]).collect();
                     let plan = ShardPlan::new(graph.shards_for(NodeId(idx)), ShardMode::Scoped);
-                    operators.push(Some(build_operator_with(kind, &inputs, plan)?));
+                    operators.push(Some(build_operator_spilling(
+                        kind,
+                        &inputs,
+                        plan,
+                        spill.as_ref(),
+                    )?));
                 }
             }
         }
@@ -77,6 +96,7 @@ impl SteppedExecutor {
             graph,
             operators,
             consumers,
+            spill,
             sink,
             sink_kind,
             sink_buffer: RowStore::new(),
@@ -186,6 +206,9 @@ impl SteppedExecutor {
         }
         if let Some(last) = estimates.last_mut() {
             last.is_final = true;
+        }
+        if let Some(plan) = &self.spill {
+            stats.spill = plan.governor.metrics();
         }
         Ok((estimates, stats))
     }

@@ -43,11 +43,12 @@ use crate::Result;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
-use wake_core::graph::{build_operator_with, NodeId, NodeKind, Parallelism, QueryGraph};
+use wake_core::graph::{build_operator_spilling, NodeId, NodeKind, Parallelism, QueryGraph};
 use wake_core::ops::{RowStore, ShardMode, ShardPlan};
 use wake_core::progress::Progress;
 use wake_core::update::{Update, UpdateKind};
 use wake_data::{DataError, DataFrame};
+use wake_store::SpillConfig;
 
 /// Message protocol between node threads.
 enum Message {
@@ -66,6 +67,7 @@ pub struct ThreadedExecutor {
     graph: QueryGraph,
     trace: Option<TraceLog>,
     channel_capacity: usize,
+    spill_config: SpillConfig,
 }
 
 impl ThreadedExecutor {
@@ -74,6 +76,7 @@ impl ThreadedExecutor {
             graph,
             trace: None,
             channel_capacity: DEFAULT_CHANNEL_CAPACITY,
+            spill_config: SpillConfig::from_env(),
         }
     }
 
@@ -87,6 +90,20 @@ impl ThreadedExecutor {
     /// bound memory harder; larger values absorb burstier producers.
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
         self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Bound the query's buffered operator state: the budget is
+    /// apportioned over the hash-keyed nodes and their shards, which
+    /// spill their largest partitions to disk when over their slice.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.spill_config.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Full memory-governance configuration (budget, spill dir, fan-out).
+    pub fn with_spill_config(mut self, config: SpillConfig) -> Self {
+        self.spill_config = config;
         self
     }
 
@@ -124,6 +141,9 @@ impl ThreadedExecutor {
             return Err(DataError::Invalid("query graph has no sources".into()));
         }
         let consumers = self.graph.consumers();
+        let spill = self
+            .spill_config
+            .build_plan(self.graph.shardable_node_count())?;
         let start = Instant::now();
 
         // Build one channel per node (its input mailbox) + one for the sink
@@ -194,7 +214,7 @@ impl ThreadedExecutor {
                     let inputs: Vec<&wake_core::EdfMeta> =
                         node.inputs.iter().map(|i| &metas[i.0]).collect();
                     let plan = ShardPlan::new(self.budgeted_shards(NodeId(idx)), ShardMode::Pool);
-                    let mut op = build_operator_with(kind, &inputs, plan)?;
+                    let mut op = build_operator_spilling(kind, &inputs, plan, spill.as_ref())?;
                     let rx = receivers[idx].take().expect("operator mailbox");
                     let n_ports = node.inputs.len();
                     let label = format!("{kind:?}");

@@ -1,0 +1,106 @@
+//! Spill-file directory lifecycle.
+//!
+//! One [`SpillDir`] per query execution: it owns a directory (by default a
+//! unique subdirectory of the system temp dir), hands out unique file
+//! paths, and removes everything it owns when dropped. Individual spill
+//! runs also delete their file eagerly when they are dropped, so the
+//! directory sweep is only the backstop for abnormal exits.
+
+use crate::Result;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A directory for spill files, with unique-name allocation and cleanup.
+#[derive(Debug)]
+pub struct SpillDir {
+    root: PathBuf,
+    counter: AtomicU64,
+    /// Whether this handle created the directory (and should remove it).
+    owned: bool,
+}
+
+impl SpillDir {
+    /// Create a fresh, uniquely named directory under the system temp dir.
+    pub fn new_temp() -> Result<Self> {
+        let nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let root =
+            std::env::temp_dir().join(format!("wake-spill-{}-{:x}", std::process::id(), nonce));
+        std::fs::create_dir_all(&root)?;
+        Ok(SpillDir {
+            root,
+            counter: AtomicU64::new(0),
+            owned: true,
+        })
+    }
+
+    /// Use (and create if needed) an explicit directory. The caller keeps
+    /// ownership: files allocated here are still deleted eagerly, but the
+    /// directory itself is left in place on drop.
+    pub fn at(path: impl Into<PathBuf>) -> Result<Self> {
+        let root = path.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(SpillDir {
+            root,
+            counter: AtomicU64::new(0),
+            owned: false,
+        })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Allocate a unique spill-file path (the file is not created yet).
+    pub fn next_path(&self, tag: &str) -> PathBuf {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        self.root.join(format!("{tag}-{n:06}.wcs"))
+    }
+
+    /// Number of paths allocated so far.
+    pub fn files_allocated(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        if self.owned {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_dir_allocates_unique_paths_and_cleans_up() {
+        let root;
+        {
+            let dir = SpillDir::new_temp().unwrap();
+            root = dir.root().to_path_buf();
+            assert!(root.exists());
+            let a = dir.next_path("run");
+            let b = dir.next_path("run");
+            assert_ne!(a, b);
+            std::fs::write(&a, b"x").unwrap();
+            assert_eq!(dir.files_allocated(), 2);
+        }
+        assert!(!root.exists(), "owned dir must be removed on drop");
+    }
+
+    #[test]
+    fn explicit_dir_is_not_removed() {
+        let base = std::env::temp_dir().join("wake-spill-keep-test");
+        {
+            let dir = SpillDir::at(&base).unwrap();
+            assert!(dir.root().exists());
+        }
+        assert!(base.exists(), "caller-owned dir must survive");
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

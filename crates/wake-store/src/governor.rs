@@ -1,0 +1,264 @@
+//! The memory governor: per-query byte budgets and spill telemetry.
+//!
+//! A query gets one **total** budget (bytes of buffered operator state).
+//! The executor apportions it over the spillable (hash-keyed) operators
+//! of the plan, each operator divides its slice over its `S` shards, and
+//! every shard enforces its slice locally: after folding an update it
+//! compares its `state_bytes()` against the slice and, while over budget,
+//! **evicts the largest spillable partition** to disk. Keeping the
+//! enforcement shard-local makes spilling deterministic under the stepped
+//! executor (eviction depends only on state sizes, never on scheduling)
+//! and lock-free under the pooled one.
+//!
+//! The [`MemoryGovernor`] itself is the shared ledger: every shard holds
+//! an `Arc` to it and records spill writes, evictions, and rehydrations
+//! through atomics; executors surface the totals as run statistics.
+
+use crate::dir::SpillDir;
+use crate::Result;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared spill ledger for one query execution.
+#[derive(Debug, Default)]
+pub struct MemoryGovernor {
+    /// Total byte budget (None = unbounded: spilling disabled).
+    budget: Option<usize>,
+    spilled_bytes: AtomicUsize,
+    chunks_written: AtomicUsize,
+    evictions: AtomicUsize,
+    rehydrations: AtomicUsize,
+}
+
+impl MemoryGovernor {
+    pub fn new(budget: Option<usize>) -> Self {
+        MemoryGovernor {
+            budget,
+            ..Default::default()
+        }
+    }
+
+    /// The query-wide budget, if any.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    pub fn record_spill(&self, bytes: usize, chunks: usize) {
+        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.chunks_written.fetch_add(chunks, Ordering::Relaxed);
+    }
+
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rehydration(&self) {
+        self.rehydrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the ledger.
+    pub fn metrics(&self) -> SpillMetrics {
+        SpillMetrics {
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            chunks_written: self.chunks_written.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rehydrations: self.rehydrations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time spill counters (surfaced in executor run statistics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillMetrics {
+    /// Bytes written to spill files.
+    pub spilled_bytes: usize,
+    /// Chunks (frame envelopes) written.
+    pub chunks_written: usize,
+    /// Partition evictions performed.
+    pub evictions: usize,
+    /// Spilled-partition loads back into memory.
+    pub rehydrations: usize,
+}
+
+/// User-facing spill configuration: the budget knob on the executors.
+///
+/// `budget_bytes = None` (the default) disables spilling entirely — the
+/// operators run the exact pre-spill code path, byte for byte.
+#[derive(Debug, Clone, Default)]
+pub struct SpillConfig {
+    /// Total bytes of buffered operator state allowed for the query.
+    pub budget_bytes: Option<usize>,
+    /// Directory for spill files (None = fresh temp dir per query).
+    pub spill_dir: Option<PathBuf>,
+    /// Hash sub-partitions per shard (fan-out of the grace-hash split).
+    pub fanout: usize,
+    /// Maximum recursive re-partitioning depth for oversized partitions.
+    pub max_depth: usize,
+}
+
+/// Default grace-hash fan-out per shard.
+pub const DEFAULT_FANOUT: usize = 8;
+/// Default recursion limit (8^4 leaf partitions per shard is plenty; the
+/// limit only matters for pathological key skew, where the leaf is
+/// processed in memory regardless of budget).
+pub const DEFAULT_MAX_DEPTH: usize = 4;
+
+impl SpillConfig {
+    /// Unbounded memory: spilling off.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Bounded memory with default fan-out and spill dir.
+    pub fn with_budget(bytes: usize) -> Self {
+        SpillConfig {
+            budget_bytes: Some(bytes),
+            ..Self::default()
+        }
+    }
+
+    /// Read the ambient configuration: `WAKE_MEM_BUDGET` (bytes, with
+    /// optional `k`/`m`/`g` suffix; unset, empty, or `0` = unbounded) and
+    /// `WAKE_SPILL_DIR`. This is what the executors use by default, so a
+    /// whole test suite can be driven through the spill path by exporting
+    /// one variable (the CI low-memory lane).
+    pub fn from_env() -> Self {
+        let budget_bytes = std::env::var("WAKE_MEM_BUDGET")
+            .ok()
+            .and_then(|s| parse_bytes(&s));
+        let spill_dir = std::env::var("WAKE_SPILL_DIR").ok().map(PathBuf::from);
+        SpillConfig {
+            budget_bytes,
+            spill_dir,
+            ..Self::default()
+        }
+    }
+
+    /// Build the per-operator plan: `spillable_ops` is the number of
+    /// hash-keyed operators in the graph sharing the budget. Returns
+    /// `None` when the config is unbounded (operators then skip all
+    /// spill machinery).
+    pub fn build_plan(&self, spillable_ops: usize) -> Result<Option<SpillPlan>> {
+        let Some(total) = self.budget_bytes else {
+            return Ok(None);
+        };
+        let dir = match &self.spill_dir {
+            Some(p) => SpillDir::at(p)?,
+            None => SpillDir::new_temp()?,
+        };
+        let fanout = if self.fanout >= 2 {
+            self.fanout
+        } else {
+            DEFAULT_FANOUT
+        };
+        let max_depth = if self.max_depth >= 1 {
+            self.max_depth
+        } else {
+            DEFAULT_MAX_DEPTH
+        };
+        Ok(Some(SpillPlan {
+            governor: Arc::new(MemoryGovernor::new(Some(total))),
+            dir: Arc::new(dir),
+            op_budget: (total / spillable_ops.max(1)).max(1),
+            fanout,
+            max_depth,
+        }))
+    }
+}
+
+/// Parse `"512"`, `"64k"`, `"8m"`, `"1g"` into bytes; `0`/garbage = None.
+fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim().to_ascii_lowercase();
+    if s.is_empty() {
+        return None;
+    }
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k') => (&s[..s.len() - 1], 1usize << 10),
+        Some(b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s.as_str(), 1),
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    (n > 0).then(|| n.saturating_mul(mult))
+}
+
+/// The resolved per-operator spill plan the executor hands to each
+/// hash-keyed operator at build time.
+#[derive(Debug, Clone)]
+pub struct SpillPlan {
+    pub governor: Arc<MemoryGovernor>,
+    pub dir: Arc<SpillDir>,
+    /// Bytes of buffered state this operator may hold across its shards.
+    pub op_budget: usize,
+    pub fanout: usize,
+    pub max_depth: usize,
+}
+
+impl SpillPlan {
+    /// The environment for one of `shards` shards: an equal slice of the
+    /// operator budget plus shared ledger/dir handles.
+    pub fn shard_env(&self, shards: usize) -> SpillEnv {
+        SpillEnv {
+            governor: self.governor.clone(),
+            dir: self.dir.clone(),
+            shard_budget: (self.op_budget / shards.max(1)).max(1),
+            fanout: self.fanout,
+            max_depth: self.max_depth,
+        }
+    }
+}
+
+/// Everything one shard needs to govern and spill its own state.
+#[derive(Debug, Clone)]
+pub struct SpillEnv {
+    pub governor: Arc<MemoryGovernor>,
+    pub dir: Arc<SpillDir>,
+    /// Bytes of buffered state this shard may hold.
+    pub shard_budget: usize,
+    pub fanout: usize,
+    pub max_depth: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let g = MemoryGovernor::new(Some(1024));
+        g.record_spill(100, 2);
+        g.record_spill(50, 1);
+        g.record_eviction();
+        g.record_rehydration();
+        let m = g.metrics();
+        assert_eq!(m.spilled_bytes, 150);
+        assert_eq!(m.chunks_written, 3);
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.rehydrations, 1);
+        assert_eq!(g.budget(), Some(1024));
+    }
+
+    #[test]
+    fn parse_bytes_suffixes() {
+        assert_eq!(parse_bytes("512"), Some(512));
+        assert_eq!(parse_bytes("64k"), Some(64 << 10));
+        assert_eq!(parse_bytes("8M"), Some(8 << 20));
+        assert_eq!(parse_bytes("1g"), Some(1 << 30));
+        assert_eq!(parse_bytes("0"), None);
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("zap"), None);
+    }
+
+    #[test]
+    fn plan_apportions_budget_over_ops_and_shards() {
+        let cfg = SpillConfig::with_budget(1 << 20);
+        let plan = cfg.build_plan(4).unwrap().unwrap();
+        assert_eq!(plan.op_budget, (1 << 20) / 4);
+        let env = plan.shard_env(2);
+        assert_eq!(env.shard_budget, (1 << 20) / 8);
+        assert_eq!(env.fanout, DEFAULT_FANOUT);
+        // Unbounded config yields no plan.
+        assert!(SpillConfig::unbounded().build_plan(4).unwrap().is_none());
+    }
+}

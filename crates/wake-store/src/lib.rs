@@ -1,0 +1,57 @@
+//! # wake-store
+//!
+//! Memory-governed, spill-to-disk operator state — the storage layer that
+//! turns the engine's in-memory hash operators into out-of-core ones.
+//!
+//! Before this crate, every byte of operator state lived in RAM: a join
+//! buffered both sides and a group-by held every group, so a fat build
+//! side or a high-cardinality key simply OOMed. `wake-store` adds the
+//! third level of the execution hierarchy — **pipeline × partition ×
+//! spill**:
+//!
+//! - *pipeline*: one thread per graph node (`wake-engine`),
+//! - *partition*: hash-range sharded operator state (`wake_core::ops::
+//!   sharded`), `S` shards folding independently,
+//! - *spill*: within each shard, state is further split into `F`
+//!   hash-subrange **partitions**; when the shard exceeds its byte budget
+//!   the largest partition is evicted to a checksummed columnar spill
+//!   file and processed out-of-core later (grace-hash style), recursing
+//!   into sub-partitions when a single partition still exceeds the
+//!   budget.
+//!
+//! Because a spilled partition is just a *subrange of the shard's hash
+//! range*, spilled state keeps the key-disjointness the shard merge logic
+//! already relies on: rehydrated results concatenate (joins) or k-way
+//! merge by key (group-by snapshots) exactly like shard partials.
+//!
+//! ## Pieces
+//!
+//! - [`MemoryGovernor`] / [`SpillConfig`] / [`SpillPlan`]: a per-query
+//!   byte budget apportioned to operators and then shards, fed by the
+//!   operators' `state_bytes()` accounting, plus shared spill telemetry
+//!   (bytes written, chunks, evictions, rehydrations).
+//! - [`SpillDir`]: lifecycle of the temp directory the spill files live
+//!   in (unique names, eager deletion, recursive cleanup on drop).
+//! - [`colfile`]: the on-disk format — runs of checksummed **chunks**,
+//!   each holding a WCF-serialized `DataFrame` plus optional `KeyHashes`,
+//!   per-row flags, and an opaque operator-state section. Typed on both
+//!   paths: no `Value` boxing on write or read.
+//! - [`partition`]: the remainder-chain hash sub-partitioner — depth `d`
+//!   consumes the next `log2(F)` "digits" of the key hash after shard
+//!   routing, so recursion never re-uses bits and equal keys always land
+//!   in the same sub-partition at every level.
+//! - [`merge`]: typed k-way merge of key-sorted frames (the join-point
+//!   for group-by partials from shards *and* spill partitions).
+
+pub mod colfile;
+pub mod dir;
+pub mod governor;
+pub mod merge;
+pub mod partition;
+
+pub use colfile::{Chunk, RunWriter};
+pub use dir::SpillDir;
+pub use governor::{MemoryGovernor, SpillConfig, SpillEnv, SpillMetrics, SpillPlan};
+
+/// Crate-wide result type (shared with the data substrate).
+pub type Result<T> = std::result::Result<T, wake_data::DataError>;

@@ -1,0 +1,127 @@
+//! Recursive hash sub-partitioning below the shard level.
+//!
+//! Shard routing consumes the *high* bits of a row's key hash via a
+//! multiply-shift reduction: `shard = (h × S) >> 64`, leaving the low 64
+//! bits of the product — the position of `h` *within* its shard's range —
+//! as an untouched uniform remainder. Spill partitioning keeps pulling
+//! "digits" off that remainder: partition `p₀ = (r₁ × F) >> 64` with
+//! remainder `r₂ = lo64(r₁ × F)`, then `p₁ = (r₂ × F) >> 64` for the
+//! first recursion level, and so on. Consequences:
+//!
+//! - equal keys land in the same partition at every depth (the chain is a
+//!   pure function of the hash),
+//! - no level re-uses bits consumed by an outer level, so recursive
+//!   splits of a skewed partition keep dividing it instead of mapping
+//!   everything to one child,
+//! - the low bits of `h` itself stay untouched for the shard-local
+//!   identity-hashed maps (same argument as shard routing).
+
+/// Low 64 bits of `a × b` (the remainder of the multiply-shift range
+/// reduction).
+#[inline]
+fn lo64(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b)
+}
+
+/// The remainder of `hash` after shard routing at `shards` and `depth`
+/// levels of fan-out-`fanout` sub-partitioning.
+#[inline]
+fn remainder(hash: u64, shards: usize, fanout: usize, depth: usize) -> u64 {
+    let mut r = lo64(hash, shards as u64);
+    for _ in 0..depth {
+        r = lo64(r, fanout as u64);
+    }
+    r
+}
+
+/// Sub-partition of `hash` at the given `depth` (0 = the first split
+/// below the shard).
+#[inline]
+pub fn sub_partition_of(hash: u64, shards: usize, fanout: usize, depth: usize) -> usize {
+    debug_assert!(fanout > 1);
+    ((remainder(hash, shards, fanout, depth) as u128 * fanout as u128) >> 64) as usize
+}
+
+/// Split the rows behind `hashes` into `fanout` per-partition selection
+/// vectors at `depth`. Row order within a partition preserves frame
+/// order, so fold order — and float accumulation — inside a partition is
+/// identical to unpartitioned execution.
+pub fn sub_selections(hashes: &[u64], shards: usize, fanout: usize, depth: usize) -> Vec<Vec<u32>> {
+    let mut ids = Vec::with_capacity(hashes.len());
+    let mut counts = vec![0usize; fanout];
+    for &h in hashes {
+        let p = sub_partition_of(h, shards, fanout, depth);
+        ids.push(p as u32);
+        counts[p] += 1;
+    }
+    let mut sel: Vec<Vec<u32>> = counts.into_iter().map(Vec::with_capacity).collect();
+    for (row, &p) in ids.iter().enumerate() {
+        sel[p as usize].push(row as u32);
+    }
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(i: u64) -> u64 {
+        // splitmix-style avalanche so test hashes look like real ones.
+        let mut z = i.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn partitions_cover_rows_disjointly_in_order() {
+        let hashes: Vec<u64> = (0..500).map(mix).collect();
+        for depth in 0..3 {
+            let sel = sub_selections(&hashes, 3, 8, depth);
+            assert_eq!(sel.len(), 8);
+            let mut all: Vec<u32> = sel.iter().flatten().copied().collect();
+            assert!(sel.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
+            all.sort_unstable();
+            assert_eq!(all, (0..500).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn deeper_levels_keep_splitting_one_partition() {
+        // All hashes in one depth-0 partition must still spread out at
+        // depth 1 — the recursion consumes fresh digits.
+        let hashes: Vec<u64> = (0..50_000u64).map(mix).collect();
+        let s0 = sub_selections(&hashes, 2, 4, 0);
+        let bucket: Vec<u64> = s0[0].iter().map(|&r| hashes[r as usize]).collect();
+        assert!(bucket.len() > 100);
+        let s1 = sub_selections(&bucket, 2, 4, 1);
+        let nonempty = s1.iter().filter(|s| !s.is_empty()).count();
+        assert!(nonempty >= 3, "depth-1 split collapsed: {nonempty} parts");
+    }
+
+    #[test]
+    fn partition_is_stable_across_frames() {
+        // Same hash -> same partition, regardless of which frame/row the
+        // key appeared in (routing is content-deterministic).
+        for &h in &[mix(1), mix(99), u64::MAX, 0, 1] {
+            let a = sub_partition_of(h, 4, 8, 2);
+            let b = sub_partition_of(h, 4, 8, 2);
+            assert_eq!(a, b);
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    fn balance_is_reasonable_for_mixed_hashes() {
+        let hashes: Vec<u64> = (0..80_000u64).map(mix).collect();
+        let sel = sub_selections(&hashes, 1, 8, 0);
+        let expect = 80_000 / 8;
+        for (p, s) in sel.iter().enumerate() {
+            assert!(
+                (s.len() as i64 - expect as i64).unsigned_abs() < expect as u64 / 2,
+                "partition {p} badly skewed: {}",
+                s.len()
+            );
+        }
+    }
+}

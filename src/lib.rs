@@ -50,6 +50,7 @@ pub use wake_data as data;
 pub use wake_engine as engine;
 pub use wake_expr as expr;
 pub use wake_stats as stats;
+pub use wake_store as store;
 pub use wake_tpch as tpch;
 
 /// Convenience glob import for examples and quick scripts.

@@ -38,11 +38,12 @@
 //! ```
 
 use std::cell::RefCell;
+use std::path::PathBuf;
 use std::rc::Rc;
 use wake_core::agg::AggSpec;
 use wake_core::graph::{JoinKind, NodeId, QueryGraph};
 use wake_data::{DataFrame, TableSource};
-use wake_engine::{EstimateSeries, SteppedExecutor, ThreadedExecutor};
+use wake_engine::{EstimateSeries, SpillConfig, SteppedExecutor, ThreadedExecutor};
 use wake_expr::{col, Expr};
 
 type Result<T> = std::result::Result<T, wake_data::DataError>;
@@ -52,6 +53,9 @@ type Result<T> = std::result::Result<T, wake_data::DataError>;
 #[derive(Default)]
 pub struct Session {
     graph: Rc<RefCell<QueryGraph>>,
+    /// Memory governance applied to every query this session runs.
+    /// `None` defers to the ambient `WAKE_MEM_BUDGET` environment.
+    spill: Rc<RefCell<Option<SpillConfig>>>,
 }
 
 impl Session {
@@ -59,11 +63,35 @@ impl Session {
         Self::default()
     }
 
+    /// Bound the buffered operator state of queries in this session:
+    /// joins and group-bys spill their largest partitions to disk once
+    /// the budget is exceeded, instead of growing without limit.
+    /// `None` clears the budget (unbounded) while keeping any configured
+    /// spill directory; a session that never configured anything defers
+    /// to the ambient `WAKE_MEM_BUDGET` environment.
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        let mut spill = self.spill.borrow_mut();
+        match (&mut *spill, bytes) {
+            (Some(cfg), _) => cfg.budget_bytes = bytes,
+            (None, Some(b)) => *spill = Some(SpillConfig::with_budget(b)),
+            (None, None) => {}
+        }
+    }
+
+    /// Directory for spill files (default: a fresh temp dir per query).
+    pub fn set_spill_dir(&mut self, dir: impl Into<PathBuf>) {
+        let mut spill = self.spill.borrow_mut();
+        let mut cfg = spill.clone().unwrap_or_default();
+        cfg.spill_dir = Some(dir.into());
+        *spill = Some(cfg);
+    }
+
     /// Register a base table and get its edf handle (`read_csv` in §1).
     pub fn read(&mut self, source: impl TableSource + 'static) -> Edf {
         let node = self.graph.borrow_mut().read(source);
         Edf {
             graph: self.graph.clone(),
+            spill: self.spill.clone(),
             node,
         }
     }
@@ -73,6 +101,7 @@ impl Session {
 #[derive(Clone)]
 pub struct Edf {
     graph: Rc<RefCell<QueryGraph>>,
+    spill: Rc<RefCell<Option<SpillConfig>>>,
     node: NodeId,
 }
 
@@ -80,6 +109,7 @@ impl Edf {
     fn wrap(&self, node: NodeId) -> Edf {
         Edf {
             graph: self.graph.clone(),
+            spill: self.spill.clone(),
             node,
         }
     }
@@ -193,20 +223,32 @@ impl Edf {
         g
     }
 
+    fn stepped(&self) -> Result<SteppedExecutor> {
+        match &*self.spill.borrow() {
+            Some(cfg) => SteppedExecutor::with_config(self.to_graph(), cfg.clone()),
+            None => SteppedExecutor::new(self.to_graph()),
+        }
+    }
+
     /// Run on the deterministic stepper, returning the estimate stream
     /// (the OLA interface: a series of converging states, §3.1).
     pub fn collect(&self) -> Result<EstimateSeries> {
-        SteppedExecutor::new(self.to_graph())?.run_collect()
+        self.stepped()?.run_collect()
     }
 
     /// Run on the pipelined multi-threaded engine (§7.2).
     pub fn collect_threaded(&self) -> Result<EstimateSeries> {
-        ThreadedExecutor::new(self.to_graph()).run_collect()
+        let exec = ThreadedExecutor::new(self.to_graph());
+        match &*self.spill.borrow() {
+            Some(cfg) => exec.with_spill_config(cfg.clone()),
+            None => exec,
+        }
+        .run_collect()
     }
 
     /// `edf.get_final()` (§3.1): block until the exact answer.
     pub fn get_final(&self) -> Result<std::sync::Arc<DataFrame>> {
-        SteppedExecutor::new(self.to_graph())?.run_final()
+        self.stepped()?.run_final()
     }
 }
 
@@ -296,6 +338,25 @@ mod tests {
             a.last().unwrap().frame.as_ref(),
             b.last().unwrap().frame.as_ref()
         );
+    }
+
+    #[test]
+    fn bounded_memory_session_matches_unbounded() {
+        // A session-wide budget small enough to spill must not change
+        // answers, on either executor.
+        let mut unbounded = Session::new();
+        let t = unbounded.read(source());
+        let reference = t.sum("v", &["k"], "sv").sort(&["k"], &[false]);
+        let want = reference.get_final().unwrap();
+
+        let mut bounded = Session::new();
+        bounded.set_memory_budget(Some(512));
+        let t = bounded.read(source());
+        let q = t.sum("v", &["k"], "sv").sort(&["k"], &[false]);
+        let got = q.get_final().unwrap();
+        assert_eq!(want.as_ref(), got.as_ref());
+        let threaded = q.collect_threaded().unwrap();
+        assert_eq!(threaded.last().unwrap().frame.as_ref(), want.as_ref());
     }
 
     #[test]
