@@ -6,7 +6,7 @@
 //! total latency.
 
 use wake_bench::{dataset, partitions};
-use wake_engine::{ThreadedExecutor, TraceLog};
+use wake_engine::{EngineConfig, TraceLog};
 use wake_tpch::{query_by_name, TpchDb};
 
 fn main() {
@@ -14,9 +14,9 @@ fn main() {
     let db = TpchDb::new(data, partitions());
     let spec = query_by_name("q6").unwrap();
     let log = TraceLog::new();
-    let series = ThreadedExecutor::new((spec.build)(&db))
+    let series = EngineConfig::threaded()
         .with_trace(log.clone())
-        .run_collect()
+        .run_collect((spec.build)(&db))
         .unwrap();
     println!(
         "Fig 13 — pipelined execution of Q6 ({} estimates, {} trace events)\n",

@@ -1,0 +1,258 @@
+//! Unified execution configuration — every knob in one place.
+//!
+//! Before this module, execution configuration was fragmented across
+//! three layers: `QueryGraph::set_parallelism`, per-executor builders
+//! (`SteppedExecutor::with_config` vs `ThreadedExecutor::with_memory_budget`
+//! / `with_spill_config` / `with_channel_capacity` / `with_trace`), and the
+//! ambient `WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR` environment that each
+//! constructor consulted (or silently failed to) on its own. [`EngineConfig`]
+//! replaces all of that: one builder consumed by both executors, with the
+//! environment fallback resolved in exactly one place
+//! ([`EngineConfig::spill_config`]) and **per knob** — an explicitly set
+//! spill directory no longer hides an ambient memory budget.
+//!
+//! ```no_run
+//! use wake_engine::{EngineConfig, ExecutorKind};
+//! use wake_core::graph::{Parallelism, QueryGraph};
+//! # fn demo(graph: QueryGraph) -> wake_engine::Result<()> {
+//! let mut stream = EngineConfig::threaded()
+//!     .with_parallelism(Parallelism::Fixed(4))
+//!     .with_memory_budget(64 << 20)
+//!     .with_channel_capacity(4)
+//!     .start(graph)?; // lazy: nothing runs until the stream is polled
+//! for estimate in &mut stream {
+//!     println!("t = {:.2}", estimate?.t);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::stream::{EstimateStream, Executor};
+use crate::trace::TraceLog;
+use crate::{Result, SteppedExecutor, ThreadedExecutor};
+use std::path::PathBuf;
+use wake_core::graph::{Parallelism, QueryGraph};
+use wake_store::SpillConfig;
+
+/// Which execution engine drives the query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Deterministic single-stepped driver: reproducible estimate
+    /// sequences, the reference semantics.
+    #[default]
+    Stepped,
+    /// Pipelined engine: one thread per graph node, bounded channels on
+    /// the edges (§7.2).
+    Threaded,
+}
+
+/// The memory-budget knob, kept tri-state so the ambient environment can
+/// be a *fallback* rather than something constructors race to read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum BudgetSetting {
+    /// Not configured: fall back to `WAKE_MEM_BUDGET` at resolve time.
+    #[default]
+    Ambient,
+    /// Explicitly unbounded (overrides the environment).
+    Unbounded,
+    /// Explicit byte budget.
+    Bytes(usize),
+}
+
+/// Builder-style configuration consumed by both executors.
+///
+/// Defaults: stepped executor, `Parallelism` left to the graph (`Auto`),
+/// memory budget and spill directory from the ambient environment
+/// (`WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR`; unset = unbounded), channel
+/// capacity [`crate::DEFAULT_CHANNEL_CAPACITY`], no trace.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    executor: ExecutorKind,
+    parallelism: Option<Parallelism>,
+    budget: BudgetSetting,
+    spill_dir: Option<PathBuf>,
+    spill_fanout: Option<usize>,
+    spill_max_depth: Option<usize>,
+    channel_capacity: Option<usize>,
+    trace: Option<TraceLog>,
+}
+
+impl EngineConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shorthand for a config targeting the stepped engine.
+    pub fn stepped() -> Self {
+        Self::new().with_executor(ExecutorKind::Stepped)
+    }
+
+    /// Shorthand for a config targeting the threaded engine.
+    pub fn threaded() -> Self {
+        Self::new().with_executor(ExecutorKind::Threaded)
+    }
+
+    /// Choose the engine [`Self::start`] builds.
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Default partition parallelism applied to the graph at start (a
+    /// per-node `QueryGraph::set_node_parallelism` override still wins).
+    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = Some(p);
+        self
+    }
+
+    /// Bound buffered operator state: joins and group-bys spill their
+    /// largest partitions to disk once `bytes` is exceeded.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.budget = BudgetSetting::Bytes(bytes);
+        self
+    }
+
+    /// Explicitly unbounded memory — overrides an ambient
+    /// `WAKE_MEM_BUDGET` (unlike the default, which falls back to it).
+    pub fn unbounded_memory(mut self) -> Self {
+        self.budget = BudgetSetting::Unbounded;
+        self
+    }
+
+    /// Directory for spill files (default: `WAKE_SPILL_DIR`, else a fresh
+    /// temp dir per query, removed when the query finishes or is
+    /// cancelled).
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Hash sub-partitions per shard (grace-hash fan-out).
+    pub fn with_spill_fanout(mut self, fanout: usize) -> Self {
+        self.spill_fanout = Some(fanout);
+        self
+    }
+
+    /// Maximum recursive re-partitioning depth for oversized partitions.
+    pub fn with_spill_max_depth(mut self, depth: usize) -> Self {
+        self.spill_max_depth = Some(depth);
+        self
+    }
+
+    /// Per-edge mailbox capacity of the threaded engine (minimum 1).
+    pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Record per-node processing spans into `log` (threaded engine).
+    pub fn with_trace(mut self, log: TraceLog) -> Self {
+        self.trace = Some(log);
+        self
+    }
+
+    /// The configured engine kind.
+    pub fn executor(&self) -> ExecutorKind {
+        self.executor
+    }
+
+    /// The configured default parallelism, if any.
+    pub fn parallelism(&self) -> Option<Parallelism> {
+        self.parallelism
+    }
+
+    /// Resolved per-edge mailbox capacity.
+    pub fn channel_capacity(&self) -> usize {
+        self.channel_capacity
+            .unwrap_or(crate::DEFAULT_CHANNEL_CAPACITY)
+    }
+
+    pub(crate) fn trace(&self) -> Option<TraceLog> {
+        self.trace.clone()
+    }
+
+    /// Resolve the memory-governance configuration. **This is the single
+    /// place the ambient environment is consulted**, and the fallback is
+    /// per knob: an unset budget falls back to `WAKE_MEM_BUDGET` even
+    /// when a spill directory was set explicitly (and vice versa).
+    pub fn spill_config(&self) -> SpillConfig {
+        let ambient = SpillConfig::from_env();
+        SpillConfig {
+            budget_bytes: match self.budget {
+                BudgetSetting::Ambient => ambient.budget_bytes,
+                BudgetSetting::Unbounded => None,
+                BudgetSetting::Bytes(b) => Some(b),
+            },
+            spill_dir: self.spill_dir.clone().or(ambient.spill_dir),
+            fanout: self.spill_fanout.unwrap_or(0),
+            max_depth: self.spill_max_depth.unwrap_or(0),
+        }
+    }
+
+    /// Apply the graph-level knobs this config carries.
+    pub(crate) fn apply_to_graph(&self, graph: &mut QueryGraph) {
+        if let Some(p) = self.parallelism {
+            graph.set_parallelism(p);
+        }
+    }
+
+    /// Build the configured executor and start streaming estimates. The
+    /// stepped engine is fully lazy (one driver step per poll); the
+    /// threaded engine spawns its node threads here and yields from the
+    /// sink channel. Dropping the returned stream cancels the query.
+    /// (Graph-level knobs are applied by `with_engine_config` below.)
+    pub fn start(&self, graph: QueryGraph) -> Result<EstimateStream> {
+        match self.executor {
+            ExecutorKind::Stepped => SteppedExecutor::with_engine_config(graph, self)?.stream(),
+            ExecutorKind::Threaded => ThreadedExecutor::with_engine_config(graph, self).stream(),
+        }
+    }
+
+    /// [`Self::start`] + drain: the materialised estimate series.
+    pub fn run_collect(&self, graph: QueryGraph) -> Result<crate::EstimateSeries> {
+        self.start(graph)?.collect_series()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_fallback_is_per_knob() {
+        // The historical bug: configuring *any* spill knob dropped the
+        // ambient budget. Each knob must now fall back independently,
+        // whatever the ambient environment happens to be (the CI
+        // low-memory lane runs this suite with WAKE_MEM_BUDGET set).
+        let ambient = SpillConfig::from_env();
+        let cfg = EngineConfig::new().with_spill_dir("/tmp/wake-cfg-test");
+        let resolved = cfg.spill_config();
+        assert_eq!(resolved.budget_bytes, ambient.budget_bytes);
+        assert_eq!(
+            resolved.spill_dir,
+            Some(PathBuf::from("/tmp/wake-cfg-test"))
+        );
+
+        let cfg = EngineConfig::new().with_memory_budget(1 << 20);
+        let resolved = cfg.spill_config();
+        assert_eq!(resolved.budget_bytes, Some(1 << 20));
+        assert_eq!(resolved.spill_dir, ambient.spill_dir);
+    }
+
+    #[test]
+    fn unbounded_overrides_ambient() {
+        let cfg = EngineConfig::new().unbounded_memory();
+        assert_eq!(cfg.spill_config().budget_bytes, None);
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let cfg = EngineConfig::new();
+        assert_eq!(cfg.executor(), ExecutorKind::Stepped);
+        assert_eq!(cfg.channel_capacity(), crate::DEFAULT_CHANNEL_CAPACITY);
+        assert_eq!(cfg.parallelism(), None);
+        let cfg = EngineConfig::threaded().with_channel_capacity(0);
+        assert_eq!(cfg.executor(), ExecutorKind::Threaded);
+        assert_eq!(cfg.channel_capacity(), 1, "capacity clamps to >= 1");
+    }
+}

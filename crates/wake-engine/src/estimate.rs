@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use wake_data::DataFrame;
+use wake_core::ci::variance_column;
+use wake_data::{DataError, DataFrame};
+use wake_stats::{chebyshev_k, ConfidenceInterval};
 
 /// One OLA output: the sink's *materialised current state* at some point in
 /// the query, with the progress and wall-clock time at which it was
@@ -13,6 +15,9 @@ pub struct Estimate {
     pub frame: Arc<DataFrame>,
     /// Progress `t` of the underlying inputs when this state was published.
     pub t: f64,
+    /// Base-table rows processed across all sources when this state was
+    /// published (the numerator of `t`).
+    pub rows_processed: u64,
     /// Wall-clock time since query start.
     pub elapsed: Duration,
     /// 0-based position in the estimate stream.
@@ -21,8 +26,138 @@ pub struct Estimate {
     pub is_final: bool,
 }
 
+impl Estimate {
+    /// Chebyshev confidence interval for aggregate `column` at `row`
+    /// (requires the aggregation to have been built with CI enabled, so
+    /// the frame carries a `{column}__var` companion; §6).
+    pub fn interval_at(
+        &self,
+        row: usize,
+        column: &str,
+        confidence: f64,
+    ) -> crate::Result<ConfidenceInterval> {
+        wake_core::ci::interval_at(&self.frame, row, column, confidence)
+    }
+
+    /// The worst (largest) *relative half-width* of `column`'s Chebyshev
+    /// interval across all rows of this estimate: `max_i k·σ_i / |est_i|`.
+    /// This is the quantity the `until_confidence` stopping condition
+    /// ([`crate::EstimateStream`]) drives to a target.
+    ///
+    /// Strictly conservative: `f64::INFINITY` — never converged — while
+    /// the estimate has no rows, and for any row that cannot be
+    /// *certified* tight: a null or non-finite value or variance, or a
+    /// zero point estimate. A zero (or null) with zero variance is
+    /// indistinguishable from "no data observed yet" — the degenerate
+    /// snapshot an aggregation emits before its inputs arrive — so it
+    /// must not read as converged; a genuinely zero/null final answer
+    /// still terminates the stream via [`Estimate::is_final`].
+    pub fn max_rel_half_width(&self, column: &str, confidence: f64) -> crate::Result<f64> {
+        let vals = self.frame.column(column)?;
+        let vars = self.frame.column(&variance_column(column)).map_err(|_| {
+            DataError::Invalid(format!(
+                "column {column} carries no {} companion — build the aggregation \
+                 with CI enabled (agg_with_ci / Edf::agg_ci)",
+                variance_column(column)
+            ))
+        })?;
+        if self.frame.num_rows() == 0 {
+            return Ok(f64::INFINITY);
+        }
+        let k = chebyshev_k(confidence);
+        let mut worst = 0.0f64;
+        for i in 0..self.frame.num_rows() {
+            let (Some(v), Some(var)) = (vals.f64_at(i), vars.f64_at(i)) else {
+                return Ok(f64::INFINITY); // null value or variance: no data
+            };
+            if !v.is_finite() || !var.is_finite() || v == 0.0 {
+                return Ok(f64::INFINITY); // cannot certify this row
+            }
+            worst = worst.max(k * var.max(0.0).sqrt() / v.abs());
+        }
+        Ok(worst)
+    }
+}
+
 /// The full estimate stream of one query run.
 pub type EstimateSeries = Vec<Estimate>;
+
+/// Shared sink-side materialisation for both engine streams: turns sink
+/// updates into [`Estimate`]s (accumulating delta-mode frames), numbers
+/// them, and produces the degenerate empty-frame answer when a pipeline
+/// ends without ever publishing a state. Keeping this in one place is
+/// what the 22-query stepped-vs-threaded equivalence suites rely on —
+/// the engines must never diverge in estimate semantics.
+pub(crate) struct SinkState {
+    kind: wake_core::update::UpdateKind,
+    schema: Arc<wake_data::Schema>,
+    buffer: wake_core::ops::RowStore,
+    seq: usize,
+    start: std::time::Instant,
+}
+
+impl SinkState {
+    pub(crate) fn new(
+        kind: wake_core::update::UpdateKind,
+        schema: Arc<wake_data::Schema>,
+        start: std::time::Instant,
+    ) -> Self {
+        SinkState {
+            kind,
+            schema,
+            buffer: wake_core::ops::RowStore::new(),
+            seq: 0,
+            start,
+        }
+    }
+
+    /// Estimates published so far.
+    pub(crate) fn published(&self) -> usize {
+        self.seq
+    }
+
+    /// Materialise one sink update as the next estimate (`is_final` is
+    /// settled later, once the engine knows no further update follows).
+    pub(crate) fn materialise(
+        &mut self,
+        update: &wake_core::update::Update,
+    ) -> crate::Result<Estimate> {
+        let frame: Arc<DataFrame> = match self.kind {
+            wake_core::update::UpdateKind::Snapshot => update.frame.clone(),
+            wake_core::update::UpdateKind::Delta => {
+                // Materialise the accumulated state for the user.
+                self.buffer.push(update.frame.clone());
+                Arc::new(self.buffer.concat(&self.schema)?)
+            }
+        };
+        let est = Estimate {
+            frame,
+            t: update.t(),
+            rows_processed: update.progress.sources().iter().map(|s| s.processed).sum(),
+            elapsed: self.start.elapsed(),
+            seq: self.seq,
+            is_final: false,
+        };
+        self.seq += 1;
+        Ok(est)
+    }
+
+    /// The answer of a pipeline that produced no states at all
+    /// (degenerate graph): the empty frame at full progress.
+    pub(crate) fn empty_answer(&mut self) -> Estimate {
+        debug_assert_eq!(self.seq, 0, "empty answer only when nothing was published");
+        let est = Estimate {
+            frame: Arc::new(DataFrame::empty(self.schema.clone())),
+            t: 1.0,
+            rows_processed: 0,
+            elapsed: self.start.elapsed(),
+            seq: self.seq,
+            is_final: false,
+        };
+        self.seq += 1;
+        est
+    }
+}
 
 /// Convenience accessors over an estimate stream.
 pub trait SeriesExt {
@@ -62,6 +197,7 @@ mod tests {
             Estimate {
                 frame: frame.clone(),
                 t: 0.5,
+                rows_processed: 1,
                 elapsed: Duration::from_millis(5),
                 seq: 0,
                 is_final: false,
@@ -69,6 +205,7 @@ mod tests {
             Estimate {
                 frame: frame.clone(),
                 t: 1.0,
+                rows_processed: 2,
                 elapsed: Duration::from_millis(20),
                 seq: 1,
                 is_final: true,
@@ -77,5 +214,81 @@ mod tests {
         assert_eq!(series.first_latency(), Some(Duration::from_millis(5)));
         assert_eq!(series.final_latency(), Some(Duration::from_millis(20)));
         assert!(Arc::ptr_eq(series.final_frame(), &frame));
+    }
+
+    fn ci_estimate(vals: Vec<f64>, vars: Vec<f64>) -> Estimate {
+        let schema = Arc::new(Schema::new(vec![
+            Field::mutable("s", DataType::Float64),
+            Field::mutable("s__var", DataType::Float64),
+        ]));
+        let frame =
+            DataFrame::new(schema, vec![Column::from_f64(vals), Column::from_f64(vars)]).unwrap();
+        Estimate {
+            frame: Arc::new(frame),
+            t: 0.5,
+            rows_processed: 10,
+            elapsed: Duration::ZERO,
+            seq: 0,
+            is_final: false,
+        }
+    }
+
+    #[test]
+    fn rel_half_width_takes_worst_row() {
+        // k = 2 at 75% confidence: half-widths 2·1=2 over |10| and
+        // 2·2=4 over |8| -> worst 0.5.
+        let est = ci_estimate(vec![10.0, -8.0], vec![1.0, 4.0]);
+        let w = est.max_rel_half_width("s", 0.75).unwrap();
+        assert!((w - 0.5).abs() < 1e-12, "{w}");
+        // Exact rows (zero variance) are satisfied at any target.
+        let exact = ci_estimate(vec![10.0], vec![0.0]);
+        assert_eq!(exact.max_rel_half_width("s", 0.95).unwrap(), 0.0);
+        // No variance column -> typed error.
+        let schema = Arc::new(Schema::new(vec![Field::mutable("s", DataType::Float64)]));
+        let frame = DataFrame::new(schema, vec![Column::from_f64(vec![1.0])]).unwrap();
+        let est = Estimate {
+            frame: Arc::new(frame),
+            ..ci_estimate(vec![], vec![])
+        };
+        assert!(est.max_rel_half_width("s", 0.95).is_err());
+    }
+
+    #[test]
+    fn rel_half_width_empty_frame_never_satisfies() {
+        let est = ci_estimate(vec![], vec![]);
+        assert_eq!(est.max_rel_half_width("s", 0.95).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn rel_half_width_uncertifiable_rows_never_satisfy() {
+        // Zero point estimates, NaN values, and NaN variances are all
+        // "no data / cannot certify" — none may read as converged, even
+        // next to perfectly tight rows.
+        for (vals, vars) in [
+            (vec![10.0, 0.0], vec![0.01, 0.0]),       // zero estimate
+            (vec![10.0, f64::NAN], vec![0.01, 0.01]), // NaN estimate
+            (vec![10.0, 5.0], vec![0.01, f64::NAN]),  // NaN variance
+        ] {
+            let est = ci_estimate(vals, vars);
+            assert_eq!(est.max_rel_half_width("s", 0.95).unwrap(), f64::INFINITY);
+        }
+        // Null value or null variance rows likewise.
+        let schema = Arc::new(Schema::new(vec![
+            Field::mutable("s", DataType::Float64),
+            Field::mutable("s__var", DataType::Float64),
+        ]));
+        let frame = DataFrame::from_rows(
+            schema,
+            &[
+                vec![wake_data::Value::Float(10.0), wake_data::Value::Float(0.01)],
+                vec![wake_data::Value::Null, wake_data::Value::Float(0.01)],
+            ],
+        )
+        .unwrap();
+        let est = Estimate {
+            frame: Arc::new(frame),
+            ..ci_estimate(vec![], vec![])
+        };
+        assert_eq!(est.max_rel_half_width("s", 0.95).unwrap(), f64::INFINITY);
     }
 }

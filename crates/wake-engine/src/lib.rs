@@ -1,29 +1,49 @@
 //! # wake-engine
 //!
-//! Execution engines for Wake query graphs (§7.2 "Execution Engine"):
+//! Execution engines for Wake query graphs (§7.2 "Execution Engine"),
+//! behind a **streaming-first** surface: every query runs as a lazy,
+//! cancellable [`EstimateStream`] of converging estimates (§3.1) — the
+//! batch entry points (`run_collect`, `run_final`) are thin adapters that
+//! drain it.
 //!
 //! - [`SteppedExecutor`]: a deterministic, single-threaded driver that
 //!   interleaves source partitions round-robin and pushes every update
-//!   through the DAG synchronously. Used by tests (reproducible estimate
-//!   sequences) and as the reference semantics.
+//!   through the DAG synchronously; its stream performs one driver step
+//!   per poll. Used by tests (reproducible estimate sequences) and as the
+//!   reference semantics.
 //! - [`ThreadedExecutor`]: the paper's pipelined design — every node runs
-//!   on its own thread, edges are channels carrying shared frame pointers,
-//!   and a special EOF message terminates each node (§7.2, Fig 6). Per-node
-//!   processing spans can be traced to reproduce the pipeline timeline of
-//!   Fig 13.
+//!   on its own thread, edges are bounded channels carrying shared frame
+//!   pointers, and a special EOF message terminates each node (§7.2,
+//!   Fig 6). Its stream yields from the sink channel as estimates arrive;
+//!   dropping it cancels the query (threads joined, spill temp dirs
+//!   removed). Per-node processing spans can be traced to reproduce the
+//!   pipeline timeline of Fig 13.
+//!
+//! Both engines implement [`Executor`] and are configured through one
+//! builder, [`EngineConfig`] — executor choice, parallelism, memory
+//! budget, spill directory, channel capacity, tracing — which resolves
+//! the ambient `WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR` environment in
+//! exactly one place. OLA stopping conditions
+//! ([`EstimateStream::until_confidence`],
+//! [`EstimateStream::until_rows_processed`]) end a stream — and cancel
+//! its query — the moment the estimate is good enough.
 //!
 //! Both engines produce the same final state; the stream of intermediate
 //! estimates may differ in granularity/interleaving (that is inherent to
 //! pipelined execution).
 
+mod config;
 mod estimate;
 mod stepped;
+mod stream;
 mod threaded;
 mod trace;
 
+pub use config::{EngineConfig, ExecutorKind};
 pub use estimate::{Estimate, EstimateSeries, SeriesExt};
-pub use stepped::{RunStats, SteppedExecutor};
-pub use threaded::ThreadedExecutor;
+pub use stepped::{RunStats, SteppedExecutor, SteppedStream};
+pub use stream::{EstimateStream, Executor, StopStream, DEFAULT_CONFIDENCE};
+pub use threaded::{ThreadedExecutor, ThreadedStream, DEFAULT_CHANNEL_CAPACITY};
 pub use trace::{TraceEvent, TraceLog};
 // Memory-governance configuration (the budget knob on both executors).
 pub use wake_store::{SpillConfig, SpillMetrics};

@@ -6,6 +6,14 @@
 //! through the DAG synchronously, so the estimate stream is exactly
 //! reproducible — the property the integration and property tests rely on.
 //!
+//! The engine is **pull-based**: [`SteppedExecutor`] builds the operator
+//! DAG, and streaming it (via [`crate::Executor::stream`]) yields a lazy
+//! [`SteppedStream`] that performs one driver step per poll. Nothing runs
+//! between polls, so an analyst loop can stop after any estimate and pay
+//! for exactly the input consumed so far; `run_collect` and friends are
+//! thin adapters that drain the stream. Dropping the stream abandons the
+//! query: operator state (and any spill files) is released immediately.
+//!
 //! Partition parallelism: hash-keyed nodes are built on the graph's
 //! [`Parallelism`](wake_core::graph::Parallelism) plan in **scoped** shard
 //! mode (`ShardMode::Scoped`) — per-shard folds fork scoped worker threads
@@ -21,19 +29,20 @@
 //! pre-sharding engine); the equivalence suites assert agreement across
 //! shard counts up to that float reassociation.
 
-use crate::estimate::{Estimate, EstimateSeries};
-use crate::Result;
+use crate::estimate::{Estimate, EstimateSeries, SinkState};
+use crate::{EngineConfig, Result};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 use wake_core::graph::{build_operator_spilling, NodeId, NodeKind, QueryGraph};
-use wake_core::ops::{Operator, RowStore, ShardMode, ShardPlan};
+use wake_core::ops::{Operator, ShardMode, ShardPlan};
 use wake_core::progress::Progress;
 use wake_core::update::{Update, UpdateKind};
 use wake_data::{DataError, DataFrame};
 use wake_store::{SpillConfig, SpillMetrics, SpillPlan};
 
-/// Execution statistics gathered by [`SteppedExecutor::run_collect_stats`].
+/// Execution statistics for one query run, retrievable from a live,
+/// exhausted, or cancelled stream (and from the `*_stats` adapters).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunStats {
     /// Maximum bytes buffered inside operators at any partition boundary
@@ -51,22 +60,36 @@ pub struct SteppedExecutor {
     spill: Option<SpillPlan>,
     sink: NodeId,
     sink_kind: UpdateKind,
-    sink_buffer: RowStore,
     sink_schema: Arc<wake_data::Schema>,
 }
 
 impl SteppedExecutor {
-    /// Build operators for every node and validate the graph. Memory
-    /// governance defaults to the ambient [`SpillConfig::from_env`]
-    /// (`WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR`); unset means unbounded.
+    /// Build operators for every node and validate the graph, with the
+    /// default [`EngineConfig`] (memory governance falls back to the
+    /// ambient `WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR`; unset = unbounded).
     pub fn new(graph: QueryGraph) -> Result<Self> {
-        Self::with_config(graph, SpillConfig::from_env())
+        Self::with_spill(graph, EngineConfig::new().spill_config())
+    }
+
+    /// Build from the unified [`EngineConfig`] (parallelism, memory
+    /// budget, spill directory — the executor kind and threaded-only
+    /// knobs are ignored here).
+    pub fn with_engine_config(mut graph: QueryGraph, config: &EngineConfig) -> Result<Self> {
+        config.apply_to_graph(&mut graph);
+        Self::with_spill(graph, config.spill_config())
     }
 
     /// Build with an explicit memory budget: the total is apportioned
     /// over the graph's hash-keyed operators, and each operator spills
     /// its largest partitions once its slice is exceeded.
+    #[deprecated(note = "use `SteppedExecutor::with_engine_config` / `EngineConfig::start`")]
     pub fn with_config(graph: QueryGraph, config: SpillConfig) -> Result<Self> {
+        Self::with_spill(graph, config)
+    }
+
+    /// Shared construction path: a fully *resolved* spill configuration
+    /// (no environment consultation happens past this point).
+    pub(crate) fn with_spill(graph: QueryGraph, config: SpillConfig) -> Result<Self> {
         let sink = graph
             .sink_id()
             .ok_or_else(|| DataError::Invalid("query graph has no sink".into()))?;
@@ -99,31 +122,13 @@ impl SteppedExecutor {
             spill,
             sink,
             sink_kind,
-            sink_buffer: RowStore::new(),
             sink_schema,
         })
     }
 
-    /// Run to completion, collecting the materialised estimate stream.
-    pub fn run_collect(self) -> Result<EstimateSeries> {
-        Ok(self.run_collect_stats()?.0)
-    }
-
-    /// Like [`Self::run_collect`], also reporting run statistics (peak
-    /// buffered operator state — the peak-memory metric of §8.2).
-    pub fn run_collect_stats(mut self) -> Result<(EstimateSeries, RunStats)> {
-        let start = Instant::now();
-        let mut estimates: EstimateSeries = Vec::new();
-        let mut stats = RunStats::default();
-
+    /// Start the lazy estimate stream: one driver step per poll.
+    pub fn into_stream(self) -> Result<SteppedStream> {
         // Per-source read cursors.
-        struct Cursor {
-            node: NodeId,
-            next_partition: usize,
-            partitions: usize,
-            rows_emitted: u64,
-            total_rows: u64,
-        }
         let mut cursors: Vec<Cursor> = Vec::new();
         for id in self.graph.sources() {
             let NodeKind::Read { source } = &self.graph.node(id).kind else {
@@ -141,104 +146,166 @@ impl SteppedExecutor {
         if cursors.is_empty() {
             return Err(DataError::Invalid("query graph has no sources".into()));
         }
-
         // Pending EOF bookkeeping: number of open input ports per node.
-        let mut open_ports: Vec<usize> =
-            self.graph.nodes().iter().map(|n| n.inputs.len()).collect();
-        let mut eof_queue: VecDeque<NodeId> = VecDeque::new();
+        let open_ports: Vec<usize> = self.graph.nodes().iter().map(|n| n.inputs.len()).collect();
+        let start = Instant::now();
+        let sink = SinkState::new(self.sink_kind, self.sink_schema.clone(), start);
+        Ok(SteppedStream {
+            exec: self,
+            cursors,
+            open_ports,
+            sink,
+            ready: VecDeque::new(),
+            peak_state_bytes: 0,
+            exhausted: false,
+            finished: false,
+        })
+    }
 
-        // Balanced interleaving: always advance the least-progressed source.
-        #[allow(clippy::while_let_loop)] // the else-break reads clearer here
-        loop {
-            let Some(ci) = cursors
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.next_partition < c.partitions)
-                .min_by(|(_, a), (_, b)| {
-                    let fa = a.next_partition as f64 / a.partitions.max(1) as f64;
-                    let fb = b.next_partition as f64 / b.partitions.max(1) as f64;
-                    fa.partial_cmp(&fb).unwrap()
-                })
-                .map(|(i, _)| i)
-            else {
-                break;
-            };
-            let cursor = &mut cursors[ci];
-            let NodeKind::Read { source } = &self.graph.node(cursor.node).kind else {
-                unreachable!()
-            };
-            let frame = source.partition(cursor.next_partition)?;
-            cursor.next_partition += 1;
-            cursor.rows_emitted += frame.num_rows() as u64;
-            let progress =
-                Progress::single(cursor.node.0 as u32, cursor.rows_emitted, cursor.total_rows);
-            let update = Update::delta(frame, progress);
-            let node = cursor.node;
-            let fully_read = cursors[ci].next_partition >= cursors[ci].partitions;
-            self.dispatch(node, update, start, &mut estimates)?;
-            if fully_read {
-                eof_queue.push_back(cursors[ci].node);
-            }
-            // Drain any sources that just finished (EOF wave).
-            while let Some(done) = eof_queue.pop_front() {
-                self.propagate_eof(done, &mut open_ports, &mut eof_queue, start, &mut estimates)?;
-            }
-            // Sample buffered state for the peak-memory metric.
-            let state: usize = self
-                .operators
-                .iter()
-                .flatten()
-                .map(|op| op.state_bytes())
-                .sum();
-            stats.peak_state_bytes = stats.peak_state_bytes.max(state);
-        }
+    /// Run to completion, collecting the materialised estimate stream.
+    pub fn run_collect(self) -> Result<EstimateSeries> {
+        Ok(self.run_collect_stats()?.0)
+    }
 
-        if estimates.is_empty() {
-            // The pipeline produced no states at all (degenerate graph):
-            // the answer is the empty frame.
-            estimates.push(Estimate {
-                frame: Arc::new(DataFrame::empty(self.sink_schema.clone())),
-                t: 1.0,
-                elapsed: start.elapsed(),
-                seq: 0,
-                is_final: false,
-            });
-        }
-        if let Some(last) = estimates.last_mut() {
-            last.is_final = true;
-        }
-        if let Some(plan) = &self.spill {
-            stats.spill = plan.governor.metrics();
-        }
-        Ok((estimates, stats))
+    /// Like [`Self::run_collect`], also reporting run statistics (peak
+    /// buffered operator state — the peak-memory metric of §8.2).
+    pub fn run_collect_stats(self) -> Result<(EstimateSeries, RunStats)> {
+        crate::Executor::run_collect_stats(self)
     }
 
     /// Run and return only the exact final frame.
     pub fn run_final(self) -> Result<Arc<DataFrame>> {
-        let series = self.run_collect()?;
-        series
-            .last()
-            .map(|e| e.frame.clone())
-            .ok_or_else(|| DataError::Invalid("query produced no output".into()))
+        crate::Executor::run_final(self)
+    }
+}
+
+/// Per-source read cursor of the balanced interleaving driver.
+struct Cursor {
+    node: NodeId,
+    next_partition: usize,
+    partitions: usize,
+    rows_emitted: u64,
+    total_rows: u64,
+}
+
+/// The lazy estimate stream of the stepped engine: each poll advances the
+/// least-progressed source by one partition and pushes the update through
+/// the DAG synchronously. The sequence of estimates — frames, progress,
+/// sequence numbers, finality — is bit-identical to what
+/// [`SteppedExecutor::run_collect`] materialises (that adapter drains this
+/// stream). The only buffering is a one-estimate lookahead so the last
+/// estimate can be flagged [`Estimate::is_final`].
+pub struct SteppedStream {
+    exec: SteppedExecutor,
+    cursors: Vec<Cursor>,
+    open_ports: Vec<usize>,
+    /// Shared sink-side materialisation (accumulation, numbering, the
+    /// degenerate empty answer) — one implementation for both engines.
+    sink: SinkState,
+    /// Estimates produced but not yet handed out. Invariant: while input
+    /// remains, at least one estimate is held back (the candidate final).
+    ready: VecDeque<Estimate>,
+    peak_state_bytes: usize,
+    /// All sources read and every EOF propagated.
+    exhausted: bool,
+    /// Stream fused (final estimate handed out, or an error surfaced).
+    finished: bool,
+}
+
+impl SteppedStream {
+    /// Execution statistics so far (complete once the stream is
+    /// exhausted or dropped; spill metrics come from the shared ledger).
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            peak_state_bytes: self.peak_state_bytes,
+            spill: self
+                .exec
+                .spill
+                .as_ref()
+                .map(|p| p.governor.metrics())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// The directory spill files are written to, when a budget is set.
+    pub fn spill_dir(&self) -> Option<std::path::PathBuf> {
+        self.exec.spill.as_ref().map(|p| p.dir.root().to_path_buf())
+    }
+
+    /// Advance one driver step: read one partition from the
+    /// least-progressed source and push it (plus any EOF wave) through
+    /// the DAG, appending resulting sink estimates to `ready`.
+    fn step(&mut self) -> Result<()> {
+        let Some(ci) = self
+            .cursors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.next_partition < c.partitions)
+            .min_by(|(_, a), (_, b)| {
+                let fa = a.next_partition as f64 / a.partitions.max(1) as f64;
+                let fb = b.next_partition as f64 / b.partitions.max(1) as f64;
+                fa.partial_cmp(&fb).unwrap()
+            })
+            .map(|(i, _)| i)
+        else {
+            // Input exhausted: settle finality. A pipeline that produced
+            // no states at all (degenerate graph) answers with the empty
+            // frame.
+            self.exhausted = true;
+            if self.sink.published() == 0 {
+                debug_assert!(self.ready.is_empty());
+                let est = self.sink.empty_answer();
+                self.ready.push_back(est);
+            }
+            if let Some(last) = self.ready.back_mut() {
+                last.is_final = true;
+            }
+            return Ok(());
+        };
+        let cursor = &mut self.cursors[ci];
+        let NodeKind::Read { source } = &self.exec.graph.node(cursor.node).kind else {
+            unreachable!()
+        };
+        let frame = source.partition(cursor.next_partition)?;
+        cursor.next_partition += 1;
+        cursor.rows_emitted += frame.num_rows() as u64;
+        let progress =
+            Progress::single(cursor.node.0 as u32, cursor.rows_emitted, cursor.total_rows);
+        let update = Update::delta(frame, progress);
+        let node = cursor.node;
+        let fully_read = self.cursors[ci].next_partition >= self.cursors[ci].partitions;
+        self.dispatch(node, update)?;
+        if fully_read {
+            // Drain the EOF wave this source's completion triggers.
+            let mut eof_queue: VecDeque<NodeId> = VecDeque::new();
+            eof_queue.push_back(self.cursors[ci].node);
+            while let Some(done) = eof_queue.pop_front() {
+                self.propagate_eof(done, &mut eof_queue)?;
+            }
+        }
+        // Sample buffered state for the peak-memory metric.
+        let state: usize = self
+            .exec
+            .operators
+            .iter()
+            .flatten()
+            .map(|op| op.state_bytes())
+            .sum();
+        self.peak_state_bytes = self.peak_state_bytes.max(state);
+        Ok(())
     }
 
     /// Push `update` produced by `from` into all consumers, breadth-first.
-    fn dispatch(
-        &mut self,
-        from: NodeId,
-        update: Update,
-        start: Instant,
-        estimates: &mut EstimateSeries,
-    ) -> Result<()> {
+    fn dispatch(&mut self, from: NodeId, update: Update) -> Result<()> {
         let mut queue: VecDeque<(NodeId, Update)> = VecDeque::new();
         queue.push_back((from, update));
         while let Some((node, update)) = queue.pop_front() {
-            if node == self.sink {
-                self.collect_estimate(&update, start, estimates)?;
+            if node == self.exec.sink {
+                self.collect_estimate(&update)?;
             }
-            let targets = self.consumers[node.0].clone();
+            let targets = self.exec.consumers[node.0].clone();
             for (consumer, port) in targets {
-                let op = self.operators[consumer.0]
+                let op = self.exec.operators[consumer.0]
                     .as_mut()
                     .expect("non-source consumer");
                 for out in op.on_update(port, &update)? {
@@ -252,52 +319,61 @@ impl SteppedExecutor {
     /// Node `done` has finished; deliver EOF to its consumers (flushing any
     /// held-back state) and recursively finish consumers whose ports are
     /// all closed.
-    fn propagate_eof(
-        &mut self,
-        done: NodeId,
-        open_ports: &mut [usize],
-        eof_queue: &mut VecDeque<NodeId>,
-        start: Instant,
-        estimates: &mut EstimateSeries,
-    ) -> Result<()> {
-        for &(consumer, port) in &self.consumers[done.0].clone() {
-            let op = self.operators[consumer.0]
+    fn propagate_eof(&mut self, done: NodeId, eof_queue: &mut VecDeque<NodeId>) -> Result<()> {
+        for &(consumer, port) in &self.exec.consumers[done.0].clone() {
+            let op = self.exec.operators[consumer.0]
                 .as_mut()
                 .expect("non-source consumer");
             let flushes = op.on_eof(port)?;
             for out in flushes {
-                self.dispatch(consumer, out, start, estimates)?;
+                self.dispatch(consumer, out)?;
             }
-            open_ports[consumer.0] -= 1;
-            if open_ports[consumer.0] == 0 {
+            self.open_ports[consumer.0] -= 1;
+            if self.open_ports[consumer.0] == 0 {
                 eof_queue.push_back(consumer);
             }
         }
         Ok(())
     }
 
-    fn collect_estimate(
-        &mut self,
-        update: &Update,
-        start: Instant,
-        estimates: &mut EstimateSeries,
-    ) -> Result<()> {
-        let frame: Arc<DataFrame> = match self.sink_kind {
-            UpdateKind::Snapshot => update.frame.clone(),
-            UpdateKind::Delta => {
-                // Materialise the accumulated state for the user.
-                self.sink_buffer.push(update.frame.clone());
-                Arc::new(self.sink_buffer.concat(&self.sink_schema)?)
-            }
-        };
-        estimates.push(Estimate {
-            frame,
-            t: update.t(),
-            elapsed: start.elapsed(),
-            seq: estimates.len(),
-            is_final: false,
-        });
+    fn collect_estimate(&mut self, update: &Update) -> Result<()> {
+        let est = self.sink.materialise(update)?;
+        self.ready.push_back(est);
         Ok(())
+    }
+}
+
+impl Iterator for SteppedStream {
+    type Item = Result<Estimate>;
+
+    fn next(&mut self) -> Option<Result<Estimate>> {
+        if self.finished {
+            return None;
+        }
+        loop {
+            // Hand out buffered estimates, always holding one back until
+            // the input is exhausted: the held-back estimate is the
+            // candidate final.
+            if self.ready.len() >= 2 {
+                return Some(Ok(self.ready.pop_front().expect("non-empty")));
+            }
+            if self.exhausted {
+                return match self.ready.pop_front() {
+                    Some(est) => {
+                        self.finished = self.ready.is_empty();
+                        Some(Ok(est))
+                    }
+                    None => {
+                        self.finished = true;
+                        None
+                    }
+                };
+            }
+            if let Err(e) = self.step() {
+                self.finished = true;
+                return Some(Err(e));
+            }
+        }
     }
 }
 
@@ -391,5 +467,55 @@ mod tests {
         assert!(series.windows(2).all(|w| w[0].t <= w[1].t));
         assert!(series.windows(2).all(|w| w[0].elapsed <= w[1].elapsed));
         assert!(series.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert!(series
+            .windows(2)
+            .all(|w| w[0].rows_processed <= w[1].rows_processed));
+        assert_eq!(series.last().unwrap().rows_processed, 50);
+    }
+
+    #[test]
+    fn lazy_stream_matches_drained_collect() {
+        // Polling one estimate at a time must reproduce the drained
+        // series exactly — same frames, progress, seq, finality.
+        let build = || {
+            let mut g = QueryGraph::new();
+            let r = g.read(source(80, 8));
+            let a = g.agg(r, vec!["k"], vec![AggSpec::sum(col("v"), "s")]);
+            g.sink(a);
+            g
+        };
+        let collected = SteppedExecutor::new(build())
+            .unwrap()
+            .run_collect()
+            .unwrap();
+        let mut stream = SteppedExecutor::new(build())
+            .unwrap()
+            .into_stream()
+            .unwrap();
+        let mut streamed = Vec::new();
+        for est in &mut stream {
+            streamed.push(est.unwrap());
+        }
+        assert_eq!(collected.len(), streamed.len());
+        for (a, b) in collected.iter().zip(&streamed) {
+            assert_eq!(a.frame.as_ref(), b.frame.as_ref());
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.is_final, b.is_final);
+            assert_eq!(a.rows_processed, b.rows_processed);
+        }
+    }
+
+    #[test]
+    fn dropping_stream_mid_query_releases_state() {
+        let mut g = QueryGraph::new();
+        let r = g.read(source(100, 5));
+        let a = g.agg(r, vec!["k"], vec![AggSpec::sum(col("v"), "s")]);
+        g.sink(a);
+        let mut stream = SteppedExecutor::new(g).unwrap().into_stream().unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert!(!first.is_final);
+        assert!(stream.stats().peak_state_bytes > 0);
+        drop(stream); // no panic, operators and spill plan released
     }
 }

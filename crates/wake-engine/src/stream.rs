@@ -1,0 +1,455 @@
+//! The streaming-first execution surface: [`Executor`], [`EstimateStream`]
+//! and OLA stopping conditions.
+//!
+//! Wake's value proposition (§3.1) is that a query yields a *stream* of
+//! converging estimates the analyst can watch and stop early. This module
+//! is that surface: both engines stream through one lazy type,
+//!
+//! ```no_run
+//! use wake_engine::{Executor, SteppedExecutor};
+//! # fn demo(graph: wake_core::graph::QueryGraph) -> wake_engine::Result<()> {
+//! let mut stream = SteppedExecutor::new(graph)?.stream()?;
+//! for estimate in &mut stream {
+//!     let estimate = estimate?;
+//!     println!("t = {:.0}%  rows = {}", estimate.t * 100.0, estimate.frame.num_rows());
+//!     if estimate.t > 0.5 {
+//!         break; // dropping the stream cancels the query
+//!     }
+//! }
+//! let stats = stream.finish(); // cancel + final statistics
+//! # let _ = stats; Ok(())
+//! # }
+//! ```
+//!
+//! and the paper's "stop when the estimate is good enough" loop is a
+//! combinator away: [`EstimateStream::until_confidence`] ends the stream
+//! once every row's Chebyshev interval is tighter than a target relative
+//! half-width, [`EstimateStream::until_rows_processed`] after a base-table
+//! row budget. Both cancel the underlying query the moment the condition
+//! fires.
+
+use crate::estimate::{Estimate, EstimateSeries};
+use crate::stepped::{RunStats, SteppedStream};
+use crate::threaded::ThreadedStream;
+use crate::Result;
+use std::path::PathBuf;
+use std::sync::Arc;
+use wake_data::{DataError, DataFrame};
+
+/// Default confidence level for [`EstimateStream::until_confidence`]
+/// (the paper's §6 examples use 95 %: Chebyshev `k ≈ 4.5`).
+pub const DEFAULT_CONFIDENCE: f64 = 0.95;
+
+/// Anything that can execute a query graph as a lazy estimate stream.
+///
+/// Both engines implement this; `run_collect` / `run_final` are adapters
+/// over [`Executor::stream`], so the streaming path is *the* execution
+/// path, not a second one.
+pub trait Executor: Sized {
+    /// Start executing and stream estimates lazily. Dropping the stream
+    /// cancels the query and releases operator state (including spill
+    /// files).
+    fn stream(self) -> Result<EstimateStream>;
+
+    /// Run to completion, materialising the whole estimate series.
+    fn run_collect(self) -> Result<EstimateSeries> {
+        self.stream()?.collect_series()
+    }
+
+    /// [`Executor::run_collect`] + run statistics.
+    fn run_collect_stats(self) -> Result<(EstimateSeries, RunStats)> {
+        self.stream()?.collect_with_stats()
+    }
+
+    /// Run to completion and return only the exact final frame.
+    fn run_final(self) -> Result<Arc<DataFrame>> {
+        self.stream()?.final_frame()
+    }
+}
+
+impl Executor for crate::SteppedExecutor {
+    fn stream(self) -> Result<EstimateStream> {
+        Ok(EstimateStream {
+            inner: Inner::Stepped(Box::new(self.into_stream()?)),
+        })
+    }
+}
+
+impl Executor for crate::ThreadedExecutor {
+    fn stream(self) -> Result<EstimateStream> {
+        Ok(EstimateStream {
+            inner: Inner::Threaded(Box::new(self.into_stream()?)),
+        })
+    }
+}
+
+enum Inner {
+    Stepped(Box<SteppedStream>),
+    Threaded(Box<ThreadedStream>),
+}
+
+/// A lazy, cancellable stream of converging estimates — the unified
+/// execution surface over both engines.
+///
+/// - **Lazy**: the stepped engine performs one driver step per poll; the
+///   threaded engine yields sink updates as the pipeline produces them.
+/// - **Cancellable**: dropping the stream stops the query. For the
+///   threaded engine that signals every node thread, wakes blocked
+///   channel operations, joins all threads and removes per-query spill
+///   temp directories before `drop` returns.
+/// - **Accountable**: [`EstimateStream::stats`] reads the run statistics
+///   (peak operator state, spill telemetry) at any point — mid-flight,
+///   exhausted, or after [`EstimateStream::finish`].
+pub struct EstimateStream {
+    inner: Inner,
+}
+
+impl EstimateStream {
+    /// Execution statistics so far (complete once the stream ended).
+    pub fn stats(&self) -> RunStats {
+        match &self.inner {
+            Inner::Stepped(s) => s.stats(),
+            Inner::Threaded(s) => s.stats(),
+        }
+    }
+
+    /// The directory spill files are written to, when a memory budget is
+    /// in force (`None` when the query runs unbounded). Per-query temp
+    /// directories are removed when the stream ends or is dropped.
+    pub fn spill_dir(&self) -> Option<PathBuf> {
+        match &self.inner {
+            Inner::Stepped(s) => s.spill_dir(),
+            Inner::Threaded(s) => s.spill_dir(),
+        }
+    }
+
+    /// Stop the query now (if still running) and return the final run
+    /// statistics. Equivalent to dropping the stream, but keeps the
+    /// telemetry. Any error a node thread hit before the stop is
+    /// discarded here — poll the stream to exhaustion (or use
+    /// [`StopStream`], which re-surfaces it) when failure reporting
+    /// matters.
+    pub fn finish(self) -> RunStats {
+        self.finish_with_result().0
+    }
+
+    /// [`Self::finish`], also reporting whether the pipeline shut down
+    /// clean. After a *deliberate* cancellation every node exits with
+    /// `Ok`, so an `Err` here is a genuine query failure (operator
+    /// error or node panic), not cancellation noise.
+    pub(crate) fn finish_with_result(self) -> (RunStats, Result<()>) {
+        match self.inner {
+            Inner::Stepped(s) => (s.stats(), Ok(())), // dropped: state released
+            Inner::Threaded(mut s) => {
+                // Join the pipeline before reading the ledgers so the
+                // stats are final, not a mid-flight snapshot.
+                let result = s.shutdown();
+                (s.stats(), result)
+            }
+        }
+    }
+
+    /// Drain the stream into a materialised [`EstimateSeries`].
+    pub fn collect_series(self) -> Result<EstimateSeries> {
+        Ok(self.collect_with_stats()?.0)
+    }
+
+    /// Drain the stream, returning the series and the run statistics.
+    pub fn collect_with_stats(mut self) -> Result<(EstimateSeries, RunStats)> {
+        let mut estimates = Vec::new();
+        for est in &mut self {
+            estimates.push(est?);
+        }
+        Ok((estimates, self.stats()))
+    }
+
+    /// Run to completion and return only the exact final frame.
+    pub fn final_frame(self) -> Result<Arc<DataFrame>> {
+        let series = self.collect_series()?;
+        series
+            .last()
+            .map(|e| e.frame.clone())
+            .ok_or_else(|| DataError::Invalid("query produced no output".into()))
+    }
+
+    /// OLA stopping condition (§3.1): end the stream — cancelling the
+    /// query — once every row's 95 % Chebyshev interval for aggregate
+    /// `column` is tighter than `rel_half_width` relative to its point
+    /// estimate (e.g. `0.01` = ±1 %). The triggering estimate is still
+    /// yielded, flagged via [`StopStream::stopped_early`]; if the query
+    /// completes first, the exact final estimate ends the stream as
+    /// usual. Requires a CI-enabled aggregation (`agg_with_ci`) so the
+    /// frame carries `{column}__var`; polling a stream without it yields
+    /// a typed error.
+    pub fn until_confidence(self, column: impl Into<String>, rel_half_width: f64) -> StopStream {
+        self.until_confidence_at(column, rel_half_width, DEFAULT_CONFIDENCE)
+    }
+
+    /// [`Self::until_confidence`] at an explicit confidence level.
+    pub fn until_confidence_at(
+        self,
+        column: impl Into<String>,
+        rel_half_width: f64,
+        confidence: f64,
+    ) -> StopStream {
+        StopStream::new(
+            self,
+            StopCondition::Confidence {
+                column: column.into(),
+                rel_half_width,
+                confidence,
+            },
+        )
+    }
+
+    /// OLA stopping condition: end the stream — cancelling the query —
+    /// once at least `rows` base-table rows have been processed (summed
+    /// across all sources; [`Estimate::rows_processed`]).
+    pub fn until_rows_processed(self, rows: u64) -> StopStream {
+        StopStream::new(self, StopCondition::Rows(rows))
+    }
+}
+
+impl Iterator for EstimateStream {
+    type Item = Result<Estimate>;
+
+    fn next(&mut self) -> Option<Result<Estimate>> {
+        match &mut self.inner {
+            Inner::Stepped(s) => s.next(),
+            Inner::Threaded(s) => s.next(),
+        }
+    }
+}
+
+/// What ends a [`StopStream`] besides query completion.
+enum StopCondition {
+    Confidence {
+        column: String,
+        rel_half_width: f64,
+        confidence: f64,
+    },
+    Rows(u64),
+}
+
+impl StopCondition {
+    fn satisfied(&self, est: &Estimate) -> Result<bool> {
+        match self {
+            StopCondition::Confidence {
+                column,
+                rel_half_width,
+                confidence,
+            } => Ok(est.max_rel_half_width(column, *confidence)? <= *rel_half_width),
+            StopCondition::Rows(rows) => Ok(est.rows_processed >= *rows),
+        }
+    }
+}
+
+/// An [`EstimateStream`] with an early-stopping condition attached. Yields
+/// estimates until the condition fires (that estimate is still yielded,
+/// then the underlying query is cancelled immediately) or the query
+/// completes. Statistics remain readable after the stop. If the pipeline
+/// shutdown surfaces a genuine node failure (an operator error or panic
+/// that raced the stop — never mere cancellation noise), the error is
+/// yielded after the triggering estimate instead of being swallowed.
+pub struct StopStream {
+    inner: Option<EstimateStream>,
+    cond: StopCondition,
+    /// Stats captured when the underlying stream was stopped.
+    stats: RunStats,
+    /// A node failure observed while stopping, to surface on next poll.
+    pending_err: Option<wake_data::DataError>,
+    stopped_early: bool,
+    done: bool,
+}
+
+impl StopStream {
+    fn new(stream: EstimateStream, cond: StopCondition) -> Self {
+        StopStream {
+            inner: Some(stream),
+            cond,
+            stats: RunStats::default(),
+            pending_err: None,
+            stopped_early: false,
+            done: false,
+        }
+    }
+
+    /// True once the condition ended the stream before query completion.
+    pub fn stopped_early(&self) -> bool {
+        self.stopped_early
+    }
+
+    /// Run statistics (live while streaming; final after the stop).
+    pub fn stats(&self) -> RunStats {
+        match &self.inner {
+            Some(s) => s.stats(),
+            None => self.stats,
+        }
+    }
+
+    fn stop_now(&mut self) {
+        if let Some(stream) = self.inner.take() {
+            let (stats, result) = stream.finish_with_result();
+            self.stats = stats;
+            self.pending_err = result.err();
+        }
+        self.done = true;
+    }
+}
+
+impl Iterator for StopStream {
+    type Item = Result<Estimate>;
+
+    fn next(&mut self) -> Option<Result<Estimate>> {
+        if let Some(e) = self.pending_err.take() {
+            return Some(Err(e));
+        }
+        if self.done {
+            return None;
+        }
+        let Some(stream) = self.inner.as_mut() else {
+            self.done = true;
+            return None;
+        };
+        match stream.next() {
+            None => {
+                self.stop_now();
+                self.pending_err.take().map(Err)
+            }
+            Some(Err(e)) => {
+                self.stop_now();
+                Some(Err(e))
+            }
+            Some(Ok(est)) => {
+                let hit = match self.cond.satisfied(&est) {
+                    Ok(hit) => hit,
+                    Err(e) => {
+                        self.stop_now();
+                        return Some(Err(e));
+                    }
+                };
+                if est.is_final {
+                    self.stop_now();
+                } else if hit {
+                    self.stopped_early = true;
+                    self.stop_now();
+                }
+                Some(Ok(est))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, ExecutorKind};
+    use wake_core::agg::AggSpec;
+    use wake_core::graph::QueryGraph;
+    use wake_data::{Column, DataType, Field, MemorySource, Schema};
+    use wake_expr::col;
+
+    fn graph(n: i64, per_part: usize, ci: bool) -> QueryGraph {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]));
+        let df = DataFrame::new(
+            schema,
+            vec![
+                Column::from_i64((0..n).map(|i| i % 4).collect()),
+                Column::from_f64((0..n).map(|i| (i % 13) as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let src = MemorySource::from_frame("t", &df, per_part, vec![], None).unwrap();
+        let mut g = QueryGraph::new();
+        let r = g.read(src);
+        let spec = vec![AggSpec::sum(col("v"), "s")];
+        let a = if ci {
+            g.agg_with_ci(r, vec!["k"], spec)
+        } else {
+            g.agg(r, vec!["k"], spec)
+        };
+        g.sink(a);
+        g
+    }
+
+    #[test]
+    fn trait_adapters_match_inherent_methods() {
+        let via_trait =
+            Executor::run_collect(crate::SteppedExecutor::new(graph(60, 6, false)).unwrap())
+                .unwrap();
+        let inherent = crate::SteppedExecutor::new(graph(60, 6, false))
+            .unwrap()
+            .run_collect()
+            .unwrap();
+        assert_eq!(via_trait.len(), inherent.len());
+        for (a, b) in via_trait.iter().zip(&inherent) {
+            assert_eq!(a.frame.as_ref(), b.frame.as_ref());
+        }
+    }
+
+    #[test]
+    fn until_rows_processed_stops_early_and_cancels() {
+        for kind in [ExecutorKind::Stepped, ExecutorKind::Threaded] {
+            let stream = EngineConfig::new()
+                .with_executor(kind)
+                .start(graph(1000, 10, false))
+                .unwrap();
+            let mut stop = stream.until_rows_processed(300);
+            let mut last = None;
+            for est in &mut stop {
+                last = Some(est.unwrap());
+            }
+            let last = last.expect("at least one estimate");
+            assert!(
+                last.rows_processed >= 300,
+                "{kind:?}: stopped at {} rows",
+                last.rows_processed
+            );
+            assert!(stop.stopped_early(), "{kind:?}");
+            assert!(!last.is_final, "{kind:?}: stopped before completion");
+            assert!(stop.next().is_none(), "stopped stream must fuse");
+        }
+    }
+
+    #[test]
+    fn until_rows_runs_to_completion_when_budget_not_reached() {
+        let stream = EngineConfig::new().start(graph(100, 10, false)).unwrap();
+        let mut stop = stream.until_rows_processed(1_000_000);
+        let series: Result<Vec<_>> = (&mut stop).collect();
+        let series = series.unwrap();
+        assert!(series.last().unwrap().is_final);
+        assert!(!stop.stopped_early());
+    }
+
+    #[test]
+    fn until_confidence_needs_variance_column() {
+        let stream = EngineConfig::new().start(graph(100, 10, false)).unwrap();
+        let mut stop = stream.until_confidence("s", 0.5);
+        let first = stop.next().unwrap();
+        assert!(first.is_err(), "missing __var column must surface");
+        assert!(stop.next().is_none());
+    }
+
+    #[test]
+    fn until_confidence_stops_when_interval_tightens() {
+        // A generous target (50 % relative half-width at 75 % confidence)
+        // is reached well before EOF on a uniform aggregate.
+        let stream = EngineConfig::new().start(graph(4000, 25, true)).unwrap();
+        let mut stop = stream.until_confidence_at("s", 0.5, 0.75);
+        let mut last = None;
+        for est in &mut stop {
+            last = Some(est.unwrap());
+        }
+        let last = last.unwrap();
+        assert!(
+            stop.stopped_early(),
+            "expected early stop, got t={}",
+            last.t
+        );
+        assert!(last.max_rel_half_width("s", 0.75).unwrap() <= 0.5);
+        assert!(!last.is_final);
+    }
+}

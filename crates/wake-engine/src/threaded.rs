@@ -11,10 +11,24 @@
 //! of its input ports have closed, then terminates (the paper's protocol).
 //!
 //! Bounded edges give backpressure: a fast reader feeding a slow aggregate
-//! blocks once [`ThreadedExecutor::with_channel_capacity`] updates are in
+//! blocks once `EngineConfig::with_channel_capacity` updates are in
 //! flight instead of buffering the whole table in mailboxes. The graph is a
 //! DAG and every node drains its mailbox continuously, so blocking sends
 //! cannot deadlock.
+//!
+//! ## Streaming and cancellation
+//!
+//! Streaming the executor (via [`crate::Executor::stream`]) spawns the
+//! node threads and returns a [`ThreadedStream`] that yields one
+//! [`Estimate`] per sink update as it arrives. **Dropping the stream
+//! cancels the query**: a shared cancel flag plus the collapse of the
+//! sink channel make every node exit at its next message — a send to a
+//! disconnected mailbox fails, the failure cascades producer-ward as each
+//! exiting node drops its own receiver, and blocked (backpressured)
+//! senders are woken by the disconnect. The drop handler then joins every
+//! node thread, so no threads leak and all operator state — including
+//! spill files and their temp directory — is released before `drop`
+//! returns.
 //!
 //! ## Level 2 — partition parallelism (within a node)
 //!
@@ -37,18 +51,22 @@
 //! (key-disjoint concat for joins, `⊕`-style merged snapshots for
 //! aggregates).
 
-use crate::estimate::{Estimate, EstimateSeries};
+use crate::estimate::{Estimate, EstimateSeries, SinkState};
+use crate::stepped::RunStats;
 use crate::trace::{TraceEvent, TraceLog};
-use crate::Result;
+use crate::{EngineConfig, Result};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 use wake_core::graph::{build_operator_spilling, NodeId, NodeKind, Parallelism, QueryGraph};
-use wake_core::ops::{RowStore, ShardMode, ShardPlan};
+use wake_core::ops::{ShardMode, ShardPlan};
 use wake_core::progress::Progress;
-use wake_core::update::{Update, UpdateKind};
-use wake_data::{DataError, DataFrame};
-use wake_store::SpillConfig;
+use wake_core::update::Update;
+use wake_data::DataError;
+use wake_store::{MemoryGovernor, SpillConfig};
 
 /// Message protocol between node threads.
 enum Message {
@@ -71,16 +89,32 @@ pub struct ThreadedExecutor {
 }
 
 impl ThreadedExecutor {
+    /// Build with the default [`EngineConfig`] (memory governance falls
+    /// back to the ambient `WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR`).
     pub fn new(graph: QueryGraph) -> Self {
+        let config = EngineConfig::new();
         ThreadedExecutor {
             graph,
             trace: None,
-            channel_capacity: DEFAULT_CHANNEL_CAPACITY,
-            spill_config: SpillConfig::from_env(),
+            channel_capacity: config.channel_capacity(),
+            spill_config: config.spill_config(),
+        }
+    }
+
+    /// Build from the unified [`EngineConfig`] (parallelism, memory
+    /// budget, spill directory, channel capacity, tracing).
+    pub fn with_engine_config(mut graph: QueryGraph, config: &EngineConfig) -> Self {
+        config.apply_to_graph(&mut graph);
+        ThreadedExecutor {
+            graph,
+            trace: config.trace(),
+            channel_capacity: config.channel_capacity(),
+            spill_config: config.spill_config(),
         }
     }
 
     /// Record per-node processing spans into `log` (for Fig 13).
+    #[deprecated(note = "use `EngineConfig::with_trace`")]
     pub fn with_trace(mut self, log: TraceLog) -> Self {
         self.trace = Some(log);
         self
@@ -88,6 +122,7 @@ impl ThreadedExecutor {
 
     /// Override the per-edge mailbox capacity (minimum 1). Smaller values
     /// bound memory harder; larger values absorb burstier producers.
+    #[deprecated(note = "use `EngineConfig::with_channel_capacity`")]
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
         self.channel_capacity = capacity.max(1);
         self
@@ -96,12 +131,14 @@ impl ThreadedExecutor {
     /// Bound the query's buffered operator state: the budget is
     /// apportioned over the hash-keyed nodes and their shards, which
     /// spill their largest partitions to disk when over their slice.
+    #[deprecated(note = "use `EngineConfig::with_memory_budget`")]
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
         self.spill_config.budget_bytes = Some(bytes);
         self
     }
 
     /// Full memory-governance configuration (budget, spill dir, fan-out).
+    #[deprecated(note = "use `EngineConfig` (the single env-resolution point)")]
     pub fn with_spill_config(mut self, config: SpillConfig) -> Self {
         self.spill_config = config;
         self
@@ -129,9 +166,10 @@ impl ThreadedExecutor {
         }
     }
 
-    /// Run to completion; estimates are materialised at the sink exactly
-    /// like the stepped executor.
-    pub fn run_collect(self) -> Result<EstimateSeries> {
+    /// Spawn the pipeline and return the lazy estimate stream. Estimates
+    /// arrive as the sink produces them; dropping the stream cancels the
+    /// query (see the module docs for the shutdown protocol).
+    pub fn into_stream(self) -> Result<ThreadedStream> {
         let sink = self
             .graph
             .sink_id()
@@ -144,7 +182,13 @@ impl ThreadedExecutor {
         let spill = self
             .spill_config
             .build_plan(self.graph.shardable_node_count())?;
+        let governor: Option<Arc<MemoryGovernor>> = spill.as_ref().map(|p| p.governor.clone());
+        let spill_root: Option<PathBuf> = spill.as_ref().map(|p| p.dir.root().to_path_buf());
         let start = Instant::now();
+        let cancel = Arc::new(AtomicBool::new(false));
+        // Per-node current state size + query-wide peak, for RunStats.
+        let total_bytes = Arc::new(AtomicUsize::new(0));
+        let peak_bytes = Arc::new(AtomicUsize::new(0));
 
         // Build one channel per node (its input mailbox) + one for the sink
         // collector.
@@ -175,6 +219,7 @@ impl ThreadedExecutor {
         for (idx, node) in self.graph.nodes().iter().enumerate() {
             let my_routes = std::mem::take(&mut routes[idx]);
             let trace = self.trace.clone();
+            let cancel = cancel.clone();
             match &node.kind {
                 NodeKind::Read { source } => {
                     let source = source.clone();
@@ -185,7 +230,10 @@ impl ThreadedExecutor {
                         let meta = source.meta().clone();
                         let total = meta.total_rows() as u64;
                         let mut emitted = 0u64;
-                        for p in 0..meta.num_partitions() {
+                        'read: for p in 0..meta.num_partitions() {
+                            if cancel.load(Ordering::Relaxed) {
+                                return Ok(());
+                            }
                             let t0 = start.elapsed();
                             let frame = source.partition(p)?;
                             emitted += frame.num_rows() as u64;
@@ -201,7 +249,12 @@ impl ThreadedExecutor {
                                 });
                             }
                             for (tx, port) in &my_routes {
-                                let _ = tx.send(Message::Update(*port, update.clone()));
+                                // A disconnected consumer means the query
+                                // was cancelled (or failed elsewhere):
+                                // stop producing.
+                                if tx.send(Message::Update(*port, update.clone())).is_err() {
+                                    break 'read;
+                                }
                             }
                         }
                         for (tx, port) in &my_routes {
@@ -218,9 +271,15 @@ impl ThreadedExecutor {
                     let rx = receivers[idx].take().expect("operator mailbox");
                     let n_ports = node.inputs.len();
                     let label = format!("{kind:?}");
+                    let total_bytes = total_bytes.clone();
+                    let peak_bytes = peak_bytes.clone();
                     handles.push(std::thread::spawn(move || -> Result<()> {
                         let mut closed = 0usize;
-                        while let Ok(msg) = rx.recv() {
+                        let mut my_bytes = 0usize;
+                        'run: while let Ok(msg) = rx.recv() {
+                            if cancel.load(Ordering::Relaxed) {
+                                break 'run;
+                            }
                             match msg {
                                 Message::Update(port, update) => {
                                     let t0 = start.elapsed();
@@ -237,14 +296,18 @@ impl ThreadedExecutor {
                                     }
                                     for out in outs {
                                         for (tx, p) in &my_routes {
-                                            let _ = tx.send(Message::Update(*p, out.clone()));
+                                            if tx.send(Message::Update(*p, out.clone())).is_err() {
+                                                break 'run;
+                                            }
                                         }
                                     }
                                 }
                                 Message::Eof(port) => {
                                     for out in op.on_eof(port)? {
                                         for (tx, p) in &my_routes {
-                                            let _ = tx.send(Message::Update(*p, out.clone()));
+                                            if tx.send(Message::Update(*p, out.clone())).is_err() {
+                                                break 'run;
+                                            }
                                         }
                                     }
                                     closed += 1;
@@ -252,10 +315,25 @@ impl ThreadedExecutor {
                                         for (tx, p) in &my_routes {
                                             let _ = tx.send(Message::Eof(*p));
                                         }
-                                        break;
+                                        break 'run;
                                     }
                                 }
                             }
+                            // Sample buffered state for the peak-memory
+                            // metric: apply this node's size delta to the
+                            // shared running total (O(1) per message, not
+                            // a scan over all nodes) and fold the result
+                            // into the peak.
+                            let now = op.state_bytes();
+                            let total = if now >= my_bytes {
+                                total_bytes.fetch_add(now - my_bytes, Ordering::Relaxed)
+                                    + (now - my_bytes)
+                            } else {
+                                total_bytes.fetch_sub(my_bytes - now, Ordering::Relaxed)
+                                    - (my_bytes - now)
+                            };
+                            my_bytes = now;
+                            peak_bytes.fetch_max(total, Ordering::Relaxed);
                         }
                         Ok(())
                     }));
@@ -263,49 +341,166 @@ impl ThreadedExecutor {
             }
         }
 
-        // Collector: materialise sink updates into the estimate stream.
-        let sink_kind = metas[sink.0].kind;
-        let sink_schema = metas[sink.0].schema.clone();
-        let mut buffer = RowStore::new();
-        let mut estimates: EstimateSeries = Vec::new();
-        while let Ok(msg) = sink_rx.recv() {
-            match msg {
-                Message::Update(_, update) => {
-                    let frame: Arc<DataFrame> = match sink_kind {
-                        UpdateKind::Snapshot => update.frame.clone(),
-                        UpdateKind::Delta => {
-                            buffer.push(update.frame.clone());
-                            Arc::new(buffer.concat(&sink_schema)?)
-                        }
-                    };
-                    estimates.push(Estimate {
-                        frame,
-                        t: update.t(),
-                        elapsed: start.elapsed(),
-                        seq: estimates.len(),
-                        is_final: false,
-                    });
+        let sink = SinkState::new(metas[sink.0].kind, metas[sink.0].schema.clone(), start);
+        drop(spill); // node threads hold the only spill-dir references now
+        Ok(ThreadedStream {
+            sink_rx: Some(sink_rx),
+            handles,
+            cancel,
+            sink,
+            lookahead: None,
+            governor,
+            spill_root,
+            peak_bytes,
+            finished: false,
+        })
+    }
+
+    /// Run to completion; estimates are materialised at the sink exactly
+    /// like the stepped executor.
+    pub fn run_collect(self) -> Result<EstimateSeries> {
+        Ok(self.run_collect_stats()?.0)
+    }
+
+    /// Like [`Self::run_collect`], also reporting run statistics. The
+    /// threaded peak-state metric is sampled per node after each message
+    /// and combined across concurrently-running nodes, so it is a close
+    /// (slightly racy) approximation rather than the stepped engine's
+    /// exact partition-boundary maximum.
+    pub fn run_collect_stats(self) -> Result<(EstimateSeries, RunStats)> {
+        crate::Executor::run_collect_stats(self)
+    }
+}
+
+/// The lazy estimate stream of the threaded engine: yields one
+/// [`Estimate`] per sink update as the pipeline produces it (with a
+/// one-estimate lookahead so the last can be flagged
+/// [`Estimate::is_final`]). Dropping the stream — explicitly or by
+/// leaving a `for` loop early — cancels the query and joins every node
+/// thread; [`ThreadedStream::stats`] stays readable afterwards via the
+/// shared ledgers.
+pub struct ThreadedStream {
+    sink_rx: Option<Receiver<Message>>,
+    handles: Vec<JoinHandle<Result<()>>>,
+    cancel: Arc<AtomicBool>,
+    /// Shared sink-side materialisation (accumulation, numbering, the
+    /// degenerate empty answer) — one implementation for both engines.
+    sink: SinkState,
+    /// Held-back candidate-final estimate (one-message lookahead).
+    lookahead: Option<Estimate>,
+    governor: Option<Arc<MemoryGovernor>>,
+    spill_root: Option<PathBuf>,
+    peak_bytes: Arc<AtomicUsize>,
+    finished: bool,
+}
+
+impl ThreadedStream {
+    /// Execution statistics so far (complete once the stream is
+    /// exhausted or cancelled). See
+    /// [`ThreadedExecutor::run_collect_stats`] for the peak-state caveat.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            peak_state_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            spill: self
+                .governor
+                .as_ref()
+                .map(|g| g.metrics())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// The directory spill files are written to, when a budget is set.
+    /// (The per-query temp directory is removed once the query finishes
+    /// or is cancelled; an explicitly configured directory is kept.)
+    pub fn spill_dir(&self) -> Option<PathBuf> {
+        self.spill_root.clone()
+    }
+
+    /// Stop the query now: signal cancellation, unblock the pipeline and
+    /// join every node thread. Idempotent; called by `Drop` as well.
+    pub(crate) fn shutdown(&mut self) -> Result<()> {
+        self.cancel.store(true, Ordering::Relaxed);
+        // Disconnecting the collector makes the sink node's next send
+        // fail; the failure cascades producer-ward and wakes blocked
+        // (backpressured) senders.
+        self.sink_rx = None;
+        let mut first_err: Option<DataError> = None;
+        for h in self.handles.drain(..) {
+            match h.join() {
+                Err(_) => {
+                    first_err
+                        .get_or_insert_with(|| DataError::Invalid("node thread panicked".into()));
                 }
-                Message::Eof(_) => break,
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Ok(Ok(())) => {}
             }
         }
-        for h in handles {
-            h.join()
-                .map_err(|_| DataError::Invalid("node thread panicked".into()))??;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        if estimates.is_empty() {
-            estimates.push(Estimate {
-                frame: Arc::new(DataFrame::empty(sink_schema)),
-                t: 1.0,
-                elapsed: start.elapsed(),
-                seq: 0,
-                is_final: false,
-            });
+    }
+}
+
+impl Iterator for ThreadedStream {
+    type Item = Result<Estimate>;
+
+    fn next(&mut self) -> Option<Result<Estimate>> {
+        if self.finished {
+            return None;
         }
-        if let Some(last) = estimates.last_mut() {
-            last.is_final = true;
+        loop {
+            let ended = match &self.sink_rx {
+                Some(rx) => match rx.recv() {
+                    Ok(Message::Update(_, update)) => {
+                        let est = match self.sink.materialise(&update) {
+                            Ok(est) => est,
+                            Err(e) => {
+                                self.finished = true;
+                                let _ = self.shutdown();
+                                return Some(Err(e));
+                            }
+                        };
+                        if let Some(prev) = self.lookahead.replace(est) {
+                            return Some(Ok(prev));
+                        }
+                        continue;
+                    }
+                    // EOF from the sink, or every sender gone (a node
+                    // failed): either way the pipeline is winding down.
+                    Ok(Message::Eof(_)) | Err(_) => true,
+                },
+                None => true,
+            };
+            debug_assert!(ended);
+            self.finished = true;
+            // Join the pipeline; a node error outranks any buffered
+            // estimate.
+            if let Err(e) = self.shutdown() {
+                return Some(Err(e));
+            }
+            let mut last = self.lookahead.take();
+            if last.is_none() && self.sink.published() == 0 {
+                // The pipeline produced no states at all (degenerate
+                // graph): the answer is the empty frame.
+                last = Some(self.sink.empty_answer());
+            }
+            return match last {
+                Some(mut est) => {
+                    est.is_final = true;
+                    Some(Ok(est))
+                }
+                None => None,
+            };
         }
-        Ok(estimates)
+    }
+}
+
+impl Drop for ThreadedStream {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
     }
 }
 
@@ -314,6 +509,7 @@ mod tests {
     use super::*;
     use crate::stepped::SteppedExecutor;
     use wake_core::agg::AggSpec;
+    use wake_data::DataFrame;
     use wake_data::{Column, DataType, Field, MemorySource, Schema, Value};
     use wake_expr::col;
 
@@ -372,9 +568,9 @@ mod tests {
     #[test]
     fn trace_captures_pipeline_activity() {
         let log = TraceLog::new();
-        let series = ThreadedExecutor::new(agg_graph(100, 10))
+        let series = EngineConfig::threaded()
             .with_trace(log.clone())
-            .run_collect()
+            .run_collect(agg_graph(100, 10))
             .unwrap();
         assert!(!series.is_empty());
         let events = log.events();
@@ -415,9 +611,9 @@ mod tests {
     fn tiny_channel_capacity_applies_backpressure_without_deadlock() {
         // Capacity 1 forces producers to block on every in-flight update;
         // the run must still complete with the reference answer.
-        let constrained = ThreadedExecutor::new(agg_graph(200, 4))
+        let constrained = EngineConfig::threaded()
             .with_channel_capacity(1)
-            .run_collect()
+            .run_collect(agg_graph(200, 4))
             .unwrap();
         let stepped = SteppedExecutor::new(agg_graph(200, 4))
             .unwrap()
@@ -437,9 +633,9 @@ mod tests {
             g.sink(a);
             g
         };
-        let tight = ThreadedExecutor::new(build())
+        let tight = EngineConfig::threaded()
             .with_channel_capacity(1)
-            .run_collect()
+            .run_collect(build())
             .unwrap();
         let reference = SteppedExecutor::new(build())
             .unwrap()
@@ -449,5 +645,36 @@ mod tests {
             tight.last().unwrap().frame.value(0, "n").unwrap(),
             reference.last().unwrap().frame.value(0, "n").unwrap()
         );
+    }
+
+    #[test]
+    fn dropping_stream_mid_query_joins_all_threads() {
+        // Take one estimate, then drop: the shutdown cascade must reach
+        // every node (drop joins the handles, so a hang here is a test
+        // timeout, not a silent leak).
+        let mut stream = ThreadedExecutor::new(agg_graph(5_000, 8))
+            .into_stream()
+            .unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert!(!first.is_final);
+        drop(stream);
+    }
+
+    #[test]
+    fn exhausted_stream_reports_stats_and_fuses() {
+        let mut stream = ThreadedExecutor::new(agg_graph(200, 16))
+            .into_stream()
+            .unwrap();
+        let mut count = 0;
+        let mut last_final = false;
+        for est in &mut stream {
+            let est = est.unwrap();
+            last_final = est.is_final;
+            count += 1;
+        }
+        assert!(count >= 1);
+        assert!(last_final);
+        assert!(stream.next().is_none(), "exhausted stream must fuse");
+        assert!(stream.stats().peak_state_bytes > 0);
     }
 }

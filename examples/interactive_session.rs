@@ -1,15 +1,14 @@
 //! An exploratory-analysis session with the fluent edf API — the paper's
 //! §1 listing verbatim, plus order statistics (median/quantiles, §5.3) on
-//! the same evolving outputs.
+//! the same evolving outputs. Everything the listing needs comes from
+//! `wake::prelude`.
 //!
 //! ```sh
 //! cargo run --release --example interactive_session
 //! ```
 
 use std::sync::Arc;
-use wake::core::agg::AggSpec;
-use wake::expr::{col, lit_f64};
-use wake::session::Session;
+use wake::prelude::*;
 use wake::tpch::TpchData;
 
 fn main() {
@@ -25,7 +24,7 @@ fn main() {
     // order_qty = lineitem.sum(qty, by=orderkey)
     let order_qty = lineitem.sum("l_quantity", &["l_orderkey"], "sum_qty");
     // lg_orders = order_qty.filter(sum_qty > 150)
-    let lg_orders = order_qty.filter(col("sum_qty").gt(lit_f64(150.0)));
+    let lg_orders = order_qty.filter(col("sum_qty").gt(lit(150.0)));
     // lg_order_cust = lg_orders.join(orders).join(customer)
     let lg_order_cust = lg_orders
         .join(&orders, &["l_orderkey"], &["o_orderkey"])

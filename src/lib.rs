@@ -6,6 +6,12 @@
 //! every operator emits a stream of **evolving data frames (edf)** whose
 //! estimates converge to the exact answer once all input is processed.
 //!
+//! The API is **streaming-first**: a query is not a call that blocks until
+//! the exact answer, but a lazy [`EstimateStream`](prelude::EstimateStream)
+//! of converging estimates you watch, stop early, or run to completion —
+//! the paper's §3.1 loop. Everything needed for the §1 session listing is
+//! in the [`prelude`]:
+//!
 //! ```
 //! use wake::prelude::*;
 //!
@@ -28,18 +34,45 @@
 //! )
 //! .unwrap();
 //!
-//! // Deep OLA: sum per order, then average of those sums.
-//! let mut q = QueryGraph::new();
-//! let li = q.read(source);
-//! let per_order = q.agg(li, vec!["orderkey"], vec![AggSpec::sum(col("qty"), "sum_qty")]);
-//! let avg = q.agg(per_order, vec![], vec![AggSpec::avg(col("sum_qty"), "avg_order")]);
-//! q.sink(avg);
+//! // Deep OLA, fluent session style: sum per order, then the average of
+//! // those sums.
+//! let mut s = Session::new();
+//! let li = s.read(source);
+//! let avg = li
+//!     .sum("qty", &["orderkey"], "sum_qty")
+//!     .avg("sum_qty", &[], "avg_order");
 //!
-//! let estimates = SteppedExecutor::new(q).unwrap().run_collect().unwrap();
-//! let last = estimates.last().unwrap();
-//! assert!(last.is_final);
-//! let v = last.frame.value(0, "avg_order").unwrap().as_f64().unwrap();
+//! // Watch the estimate converge; stop whenever it is good enough.
+//! let mut last = None;
+//! for estimate in avg.stream().unwrap() {
+//!     let estimate = estimate.unwrap();
+//!     // ... inspect estimate.frame, estimate.t, estimate.rows_processed ...
+//!     last = Some(estimate);
+//! }
+//! let v = last.unwrap().frame.value(0, "avg_order").unwrap().as_f64().unwrap();
 //! assert!((v - 9.0).abs() < 1e-9); // (15 + 8 + 4) / 3
+//! ```
+//!
+//! Execution is configured through one builder —
+//! [`EngineConfig`](prelude::EngineConfig) — covering executor choice
+//! (deterministic stepped vs pipelined threaded), partition parallelism,
+//! memory budget + spill directory (out-of-core execution), channel
+//! capacity and tracing; `WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR` environment
+//! fallbacks resolve there, per knob. OLA stopping conditions make the
+//! "stop when good enough" loop declarative:
+//!
+//! ```no_run
+//! # use wake::prelude::*;
+//! # fn demo(edf: &wake::session::Edf) -> Result<(), wake::data::DataError> {
+//! // Stop once every group's 95% Chebyshev CI is within ±1%, or the
+//! // query finishes — whichever comes first. Dropping the stream
+//! // cancels the rest of the query (threads joined, spill files gone).
+//! for estimate in edf.stream()?.until_confidence("revenue", 0.01) {
+//!     let estimate = estimate?;
+//!     println!("t={:.0}%  {} rows", estimate.t * 100.0, estimate.frame.num_rows());
+//! }
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod session;
@@ -53,13 +86,18 @@ pub use wake_stats as stats;
 pub use wake_store as store;
 pub use wake_tpch as tpch;
 
-/// Convenience glob import for examples and quick scripts.
+/// Everything the §1 session listing (and the examples) need: the fluent
+/// session API, the streaming execution surface, and the data substrate.
 pub mod prelude {
+    pub use crate::session::{Edf, Session};
     pub use wake_core::agg::AggSpec;
-    pub use wake_core::graph::{NodeId, QueryGraph};
+    pub use wake_core::graph::{NodeId, Parallelism, QueryGraph};
     pub use wake_data::{
         Column, DataFrame, DataType, Field, MemorySource, Row, Schema, TableSource, Value,
     };
-    pub use wake_engine::{Estimate, SteppedExecutor, ThreadedExecutor};
+    pub use wake_engine::{
+        EngineConfig, Estimate, EstimateSeries, EstimateStream, Executor, ExecutorKind, RunStats,
+        SeriesExt, SteppedExecutor, ThreadedExecutor,
+    };
     pub use wake_expr::{col, lit, Expr};
 }

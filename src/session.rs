@@ -1,11 +1,18 @@
-//! The pandas-like session API from the paper's §1 listing.
+//! The pandas-like session API from the paper's §1 listing, rebuilt
+//! around **streaming**.
 //!
-//! [`Session`] owns a growing query graph; each [`Edf`] handle is a node in
-//! it. Methods mirror the paper's data-analysis session:
+//! [`Session`] owns a growing query graph plus one [`EngineConfig`]; each
+//! [`Edf`] handle is a node in the graph. [`Edf::stream`] is the execution
+//! primitive: it starts the session's configured engine and returns a
+//! lazy, cancellable [`EstimateStream`] of converging estimates (§3.1).
+//! Everything batch-shaped — [`Edf::collect`], [`Edf::collect_threaded`],
+//! [`Edf::get_final`], [`Edf::collect_stats`] — is an adapter that drains
+//! that stream.
+//!
+//! The paper's "watch the estimate, stop when it is good enough" loop:
 //!
 //! ```
 //! use std::sync::Arc;
-//! use wake::session::Session;
 //! use wake::prelude::*;
 //!
 //! // lineitem-like toy table.
@@ -32,18 +39,38 @@
 //! let lg_orders = order_qty.filter(col("sum_qty").gt(lit(300.0)));
 //! let top = lg_orders.sort(&["sum_qty"], &[true]).limit(10);
 //!
+//! // Streaming loop: every estimate is the query's current best answer;
+//! // break whenever it is good enough (dropping the stream cancels the
+//! // rest of the query).
+//! let mut rows_seen = 0;
+//! for estimate in top.stream().unwrap() {
+//!     let estimate = estimate.unwrap();
+//!     rows_seen = estimate.frame.num_rows();
+//!     if estimate.is_final {
+//!         break;
+//!     }
+//! }
+//! assert_eq!(rows_seen, 2); // orders 1 (350) and 3 (340)
+//!
+//! // Batch adapters over the same stream:
 //! let estimates = top.collect().unwrap();
-//! let last = &estimates.last().unwrap().frame;
-//! assert_eq!(last.num_rows(), 2); // orders 1 (350) and 3 (340)
+//! assert_eq!(estimates.last().unwrap().frame.num_rows(), 2);
 //! ```
+//!
+//! Execution knobs live on the session's [`EngineConfig`]
+//! ([`Session::set_engine_config`] and the `set_*` shorthands): executor
+//! choice, parallelism, memory budget, spill directory, channel capacity.
+//! Environment fallbacks (`WAKE_MEM_BUDGET`, `WAKE_SPILL_DIR`) resolve
+//! through that single path, per knob — setting a spill directory no
+//! longer hides an ambient memory budget.
 
 use std::cell::RefCell;
 use std::path::PathBuf;
 use std::rc::Rc;
 use wake_core::agg::AggSpec;
-use wake_core::graph::{JoinKind, NodeId, QueryGraph};
+use wake_core::graph::{JoinKind, NodeId, Parallelism, QueryGraph};
 use wake_data::{DataFrame, TableSource};
-use wake_engine::{EstimateSeries, SpillConfig, SteppedExecutor, ThreadedExecutor};
+use wake_engine::{EngineConfig, EstimateSeries, EstimateStream, ExecutorKind, RunStats};
 use wake_expr::{col, Expr};
 
 type Result<T> = std::result::Result<T, wake_data::DataError>;
@@ -53,9 +80,8 @@ type Result<T> = std::result::Result<T, wake_data::DataError>;
 #[derive(Default)]
 pub struct Session {
     graph: Rc<RefCell<QueryGraph>>,
-    /// Memory governance applied to every query this session runs.
-    /// `None` defers to the ambient `WAKE_MEM_BUDGET` environment.
-    spill: Rc<RefCell<Option<SpillConfig>>>,
+    /// Execution configuration applied to every query this session runs.
+    config: Rc<RefCell<EngineConfig>>,
 }
 
 impl Session {
@@ -63,27 +89,58 @@ impl Session {
         Self::default()
     }
 
+    /// A session whose queries default to the given executor.
+    pub fn with_executor(kind: ExecutorKind) -> Self {
+        let s = Self::new();
+        s.config.borrow_mut().set(|c| c.with_executor(kind));
+        s
+    }
+
+    /// Replace the session's execution configuration wholesale.
+    pub fn set_engine_config(&mut self, config: EngineConfig) {
+        *self.config.borrow_mut() = config;
+    }
+
+    /// Snapshot of the session's execution configuration.
+    pub fn engine_config(&self) -> EngineConfig {
+        self.config.borrow().clone()
+    }
+
+    /// Which engine [`Edf::stream`] / [`Edf::collect_stats`] use.
+    pub fn set_executor(&mut self, kind: ExecutorKind) {
+        self.config.borrow_mut().set(|c| c.with_executor(kind));
+    }
+
+    /// Default partition parallelism for hash-keyed operators.
+    pub fn set_parallelism(&mut self, p: Parallelism) {
+        self.config.borrow_mut().set(|c| c.with_parallelism(p));
+    }
+
+    /// Per-edge mailbox capacity of the threaded engine.
+    pub fn set_channel_capacity(&mut self, capacity: usize) {
+        self.config
+            .borrow_mut()
+            .set(|c| c.with_channel_capacity(capacity));
+    }
+
     /// Bound the buffered operator state of queries in this session:
     /// joins and group-bys spill their largest partitions to disk once
     /// the budget is exceeded, instead of growing without limit.
-    /// `None` clears the budget (unbounded) while keeping any configured
-    /// spill directory; a session that never configured anything defers
-    /// to the ambient `WAKE_MEM_BUDGET` environment.
+    /// `Some(bytes)` sets an explicit budget; `None` makes the session
+    /// explicitly unbounded (overriding an ambient `WAKE_MEM_BUDGET`).
+    /// A session that never touches this knob defers to the environment.
     pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
-        let mut spill = self.spill.borrow_mut();
-        match (&mut *spill, bytes) {
-            (Some(cfg), _) => cfg.budget_bytes = bytes,
-            (None, Some(b)) => *spill = Some(SpillConfig::with_budget(b)),
-            (None, None) => {}
-        }
+        self.config.borrow_mut().set(|c| match bytes {
+            Some(b) => c.with_memory_budget(b),
+            None => c.unbounded_memory(),
+        });
     }
 
-    /// Directory for spill files (default: a fresh temp dir per query).
+    /// Directory for spill files (default: `WAKE_SPILL_DIR`, else a fresh
+    /// temp dir per query).
     pub fn set_spill_dir(&mut self, dir: impl Into<PathBuf>) {
-        let mut spill = self.spill.borrow_mut();
-        let mut cfg = spill.clone().unwrap_or_default();
-        cfg.spill_dir = Some(dir.into());
-        *spill = Some(cfg);
+        let dir = dir.into();
+        self.config.borrow_mut().set(|c| c.with_spill_dir(dir));
     }
 
     /// Register a base table and get its edf handle (`read_csv` in §1).
@@ -91,9 +148,21 @@ impl Session {
         let node = self.graph.borrow_mut().read(source);
         Edf {
             graph: self.graph.clone(),
-            spill: self.spill.clone(),
+            config: self.config.clone(),
             node,
         }
+    }
+}
+
+/// In-place mutation helper over the builder-style [`EngineConfig`].
+trait ConfigCell {
+    fn set(&mut self, f: impl FnOnce(EngineConfig) -> EngineConfig);
+}
+
+impl ConfigCell for EngineConfig {
+    fn set(&mut self, f: impl FnOnce(EngineConfig) -> EngineConfig) {
+        let cur = std::mem::take(self);
+        *self = f(cur);
     }
 }
 
@@ -101,7 +170,7 @@ impl Session {
 #[derive(Clone)]
 pub struct Edf {
     graph: Rc<RefCell<QueryGraph>>,
-    spill: Rc<RefCell<Option<SpillConfig>>>,
+    config: Rc<RefCell<EngineConfig>>,
     node: NodeId,
 }
 
@@ -109,7 +178,7 @@ impl Edf {
     fn wrap(&self, node: NodeId) -> Edf {
         Edf {
             graph: self.graph.clone(),
-            spill: self.spill.clone(),
+            config: self.config.clone(),
             node,
         }
     }
@@ -177,6 +246,18 @@ impl Edf {
         self.wrap(node)
     }
 
+    /// Aggregation with confidence intervals (§6): output frames carry a
+    /// `{alias}__var` variance column per aggregate, which
+    /// [`EstimateStream::until_confidence`] and
+    /// [`wake_core::ci::interval_at`] consume.
+    pub fn agg_ci(&self, by: &[&str], specs: Vec<AggSpec>) -> Edf {
+        let node = self
+            .graph
+            .borrow_mut()
+            .agg_with_ci(self.node, by.to_vec(), specs);
+        self.wrap(node)
+    }
+
     /// `edf.sum(col, by=...)` — the §1 shorthand.
     pub fn sum(&self, column: &str, by: &[&str], alias: &str) -> Edf {
         self.agg(by, vec![AggSpec::sum(col(column), alias)])
@@ -223,32 +304,47 @@ impl Edf {
         g
     }
 
-    fn stepped(&self) -> Result<SteppedExecutor> {
-        match &*self.spill.borrow() {
-            Some(cfg) => SteppedExecutor::with_config(self.to_graph(), cfg.clone()),
-            None => SteppedExecutor::new(self.to_graph()),
-        }
+    /// **The execution primitive** (§3.1): start the session's configured
+    /// engine and stream this edf's converging estimates lazily. Stop any
+    /// time by dropping the stream (the query is cancelled, node threads
+    /// joined, spill files removed); attach an OLA stopping condition
+    /// with [`EstimateStream::until_confidence`] /
+    /// [`EstimateStream::until_rows_processed`]; read spill and memory
+    /// telemetry from [`EstimateStream::stats`].
+    pub fn stream(&self) -> Result<EstimateStream> {
+        self.config.borrow().start(self.to_graph())
     }
 
-    /// Run on the deterministic stepper, returning the estimate stream
-    /// (the OLA interface: a series of converging states, §3.1).
+    /// [`Self::stream`] on an explicit engine, keeping every other
+    /// session knob.
+    pub fn stream_on(&self, kind: ExecutorKind) -> Result<EstimateStream> {
+        self.config
+            .borrow()
+            .clone()
+            .with_executor(kind)
+            .start(self.to_graph())
+    }
+
+    /// Run on the deterministic stepper, returning the materialised
+    /// estimate series (an adapter over [`Self::stream`]).
     pub fn collect(&self) -> Result<EstimateSeries> {
-        self.stepped()?.run_collect()
+        self.stream_on(ExecutorKind::Stepped)?.collect_series()
     }
 
     /// Run on the pipelined multi-threaded engine (§7.2).
     pub fn collect_threaded(&self) -> Result<EstimateSeries> {
-        let exec = ThreadedExecutor::new(self.to_graph());
-        match &*self.spill.borrow() {
-            Some(cfg) => exec.with_spill_config(cfg.clone()),
-            None => exec,
-        }
-        .run_collect()
+        self.stream_on(ExecutorKind::Threaded)?.collect_series()
+    }
+
+    /// Run on the session's configured engine, returning the estimate
+    /// series plus run statistics (peak operator state, spill telemetry).
+    pub fn collect_stats(&self) -> Result<(EstimateSeries, RunStats)> {
+        self.stream()?.collect_with_stats()
     }
 
     /// `edf.get_final()` (§3.1): block until the exact answer.
     pub fn get_final(&self) -> Result<std::sync::Arc<DataFrame>> {
-        self.stepped()?.run_final()
+        self.stream_on(ExecutorKind::Stepped)?.final_frame()
     }
 }
 
@@ -341,6 +437,72 @@ mod tests {
     }
 
     #[test]
+    fn stream_is_the_primitive_collect_adapts_it() {
+        let mut s = Session::new();
+        let t = s.read(source());
+        let q = t.sum("v", &["k"], "sv").sort(&["k"], &[false]);
+        let collected = q.collect().unwrap();
+        let streamed: Result<Vec<_>> = q.stream().unwrap().collect();
+        let streamed = streamed.unwrap();
+        assert_eq!(collected.len(), streamed.len());
+        for (a, b) in collected.iter().zip(&streamed) {
+            assert_eq!(a.frame.as_ref(), b.frame.as_ref());
+            assert_eq!(a.is_final, b.is_final);
+        }
+        // Early-stop loop: break after the first estimate; the dropped
+        // stream cancels the rest of the query.
+        let mut stream = q.stream().unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert!(!first.is_final);
+        drop(stream);
+    }
+
+    #[test]
+    fn session_executor_choice_drives_stream() {
+        let mut s = Session::with_executor(ExecutorKind::Threaded);
+        let t = s.read(source());
+        let q = t.count(&["k"], "n").sort(&["k"], &[false]);
+        let (series, _) = q.collect_stats().unwrap();
+        assert!(series.last().unwrap().is_final);
+        s.set_executor(ExecutorKind::Stepped);
+        let (series2, _) = q.collect_stats().unwrap();
+        assert_eq!(
+            series.last().unwrap().frame.as_ref(),
+            series2.last().unwrap().frame.as_ref()
+        );
+    }
+
+    #[test]
+    fn collect_stats_surfaces_spill_telemetry() {
+        // High-cardinality group-by so a tiny budget provably evicts.
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]));
+        let frame = DataFrame::new(
+            schema,
+            vec![
+                Column::from_i64((0..4000).collect()),
+                Column::from_f64((0..4000).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let big = MemorySource::from_frame("big", &frame, 500, vec![], None).unwrap();
+        let mut s = Session::new();
+        s.set_memory_budget(Some(512));
+        let t = s.read(big);
+        let q = t.sum("v", &["k"], "sv").sort(&["k"], &[false]);
+        let (series, stats) = q.collect_stats().unwrap();
+        assert!(series.last().unwrap().is_final);
+        assert!(stats.peak_state_bytes > 0);
+        assert!(
+            stats.spill.evictions > 0,
+            "512-byte budget must force evictions: {:?}",
+            stats.spill
+        );
+    }
+
+    #[test]
     fn bounded_memory_session_matches_unbounded() {
         // A session-wide budget small enough to spill must not change
         // answers, on either executor.
@@ -357,6 +519,25 @@ mod tests {
         assert_eq!(want.as_ref(), got.as_ref());
         let threaded = q.collect_threaded().unwrap();
         assert_eq!(threaded.last().unwrap().frame.as_ref(), want.as_ref());
+    }
+
+    #[test]
+    fn spill_dir_only_session_keeps_ambient_budget() {
+        // The historical bug this API redesign fixes: a session with only
+        // a spill directory set used to silently drop WAKE_MEM_BUDGET.
+        // All knobs now resolve through EngineConfig, per knob.
+        let ambient = wake_engine::SpillConfig::from_env();
+        let mut s = Session::new();
+        s.set_spill_dir("/tmp/wake-session-env-test");
+        let resolved = s.engine_config().spill_config();
+        assert_eq!(resolved.budget_bytes, ambient.budget_bytes);
+        assert_eq!(
+            resolved.spill_dir,
+            Some(PathBuf::from("/tmp/wake-session-env-test"))
+        );
+        // And an explicit unbounded override wins over the environment.
+        s.set_memory_budget(None);
+        assert_eq!(s.engine_config().spill_config().budget_bytes, None);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 use wake::core::metrics;
-use wake::engine::{SpillConfig, SteppedExecutor, ThreadedExecutor};
+use wake::engine::{EngineConfig, SpillConfig, SteppedExecutor};
 use wake::tpch::{all_queries, TpchData, TpchDb};
 use wake_engine::SeriesExt;
 
@@ -29,15 +29,20 @@ fn all_queries_spill_to_the_same_final_answer() {
     let mut total_evictions = 0usize;
     let mut total_spilled = 0usize;
     for spec in all_queries() {
-        let reference = SteppedExecutor::with_config((spec.build)(&db), SpillConfig::unbounded())
-            .unwrap()
-            .run_collect()
-            .unwrap();
-        let (bounded, stats) =
-            SteppedExecutor::with_config((spec.build)(&db), SpillConfig::with_budget(BUDGET))
-                .unwrap()
-                .run_collect_stats()
-                .unwrap();
+        let reference = SteppedExecutor::with_engine_config(
+            (spec.build)(&db),
+            &EngineConfig::new().unbounded_memory(),
+        )
+        .unwrap()
+        .run_collect()
+        .unwrap();
+        let (bounded, stats) = SteppedExecutor::with_engine_config(
+            (spec.build)(&db),
+            &EngineConfig::new().with_memory_budget(BUDGET),
+        )
+        .unwrap()
+        .run_collect_stats()
+        .unwrap();
         total_evictions += stats.spill.evictions;
         total_spilled += stats.spill.spilled_bytes;
         let sf = reference.final_frame();
@@ -108,15 +113,20 @@ fn aggregation_pipelines_spill_bit_identically() {
                 (wake::tpch::query_by_name(name).unwrap().build)(db)
             }
         };
-        let reference = SteppedExecutor::with_config(build(&db), SpillConfig::unbounded())
-            .unwrap()
-            .run_collect()
-            .unwrap();
-        let (bounded, stats) =
-            SteppedExecutor::with_config(build(&db), SpillConfig::with_budget(16 << 10))
-                .unwrap()
-                .run_collect_stats()
-                .unwrap();
+        let reference = SteppedExecutor::with_engine_config(
+            build(&db),
+            &EngineConfig::new().unbounded_memory(),
+        )
+        .unwrap()
+        .run_collect()
+        .unwrap();
+        let (bounded, stats) = SteppedExecutor::with_engine_config(
+            build(&db),
+            &EngineConfig::new().with_memory_budget(16 << 10),
+        )
+        .unwrap()
+        .run_collect_stats()
+        .unwrap();
         assert_eq!(reference.len(), bounded.len(), "{name}: estimate cadence");
         for (a, b) in reference.iter().zip(bounded.iter()) {
             assert_eq!(a.frame.as_ref(), b.frame.as_ref(), "{name} @ t={}", a.t);
@@ -139,13 +149,16 @@ fn threaded_executor_honours_the_budget_knob() {
     let db = TpchDb::new(data, 6);
     for name in ["q3", "q13", "q18"] {
         let spec = wake::tpch::query_by_name(name).unwrap();
-        let reference = SteppedExecutor::with_config((spec.build)(&db), SpillConfig::unbounded())
-            .unwrap()
-            .run_collect()
-            .unwrap();
-        let bounded = ThreadedExecutor::new((spec.build)(&db))
+        let reference = SteppedExecutor::with_engine_config(
+            (spec.build)(&db),
+            &EngineConfig::new().unbounded_memory(),
+        )
+        .unwrap()
+        .run_collect()
+        .unwrap();
+        let bounded = EngineConfig::threaded()
             .with_memory_budget(BUDGET)
-            .run_collect()
+            .run_collect((spec.build)(&db))
             .unwrap();
         let sf = reference.final_frame();
         let tf = bounded.final_frame();
@@ -162,10 +175,13 @@ fn threaded_executor_honours_the_budget_knob() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the legacy `with_config` shim on purpose
 fn unbounded_default_is_byte_identical_to_explicit_unbounded() {
     // `SteppedExecutor::new` (the default every other suite uses) and an
-    // explicit config must be the same machine for the same budget.
-    // Guards the "budget = ∞ is pre-PR behavior" acceptance criterion.
+    // explicit config — passed through the deprecated `with_config` shim,
+    // which must stay a faithful alias of the EngineConfig path — must be
+    // the same machine for the same budget. Guards the "budget = ∞ is
+    // pre-PR behavior" acceptance criterion.
     // Mutating the process environment from a test would race with
     // concurrent `getenv`s in sibling tests (UB on glibc), so instead
     // read the ambient value once and compare `new` against an explicit
