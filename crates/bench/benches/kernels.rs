@@ -336,6 +336,108 @@ fn bench_sharded_operators(c: &mut Criterion) {
     group.finish();
 }
 
+/// Order-by refresh on a growing buffer: `SortOp` keeps its state as one
+/// sorted run and binary-merges each delta (O(n + d) typed comparisons),
+/// against the replaced strategy — concat everything seen and re-sort
+/// with the `Value` comparator on every update. Same output frames
+/// (asserted by the operator's equivalence tests); the interesting
+/// number is the per-refresh cost once the buffer is large.
+fn bench_sort_refresh(c: &mut Criterion) {
+    use wake_core::ops::{Operator, SortOp};
+    use wake_core::{EdfMeta, Progress, Update, UpdateKind};
+    let mut group = c.benchmark_group("sort_refresh");
+    group.sample_size(10);
+    let n: usize = if criterion::smoke_mode() {
+        100_000
+    } else {
+        1_000_000
+    };
+    let steps = 10;
+    let per = n / steps;
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("k", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ]));
+    let updates: Vec<Update> = (0..steps)
+        .map(|s| {
+            let frame = Arc::new(
+                DataFrame::new(
+                    schema.clone(),
+                    vec![
+                        Column::from_i64(
+                            (0..per as i64)
+                                .map(|i| (i * 17 + s as i64) % 4093)
+                                .collect(),
+                        ),
+                        Column::from_f64(
+                            (0..per)
+                                .map(|i| ((i * 7 + s) % 9973) as f64 * 0.25)
+                                .collect(),
+                        ),
+                    ],
+                )
+                .unwrap(),
+            );
+            Update {
+                frame,
+                progress: Progress::single(0, ((s + 1) * per) as u64, n as u64),
+                kind: UpdateKind::Delta,
+            }
+        })
+        .collect();
+    let meta = EdfMeta::new(schema.clone(), vec![], UpdateKind::Delta);
+    group.bench_with_input(
+        BenchmarkId::new("order_by_1m", "merge_sorted_run"),
+        &updates,
+        |b, updates| {
+            b.iter(|| {
+                let mut op =
+                    SortOp::new(&meta, vec!["v".into(), "k".into()], vec![true, false], None)
+                        .unwrap();
+                let mut rows = 0;
+                for u in updates {
+                    rows = op.on_update(0, u).unwrap()[0].frame.num_rows();
+                }
+                black_box(rows)
+            })
+        },
+    );
+    // The replaced strategy: buffer the frames, concat + full re-sort on
+    // every refresh.
+    group.bench_with_input(
+        BenchmarkId::new("order_by_1m", "full_resort"),
+        &updates,
+        |b, updates| {
+            b.iter(|| {
+                let mut seen: Vec<Arc<DataFrame>> = Vec::new();
+                let mut rows = 0;
+                for u in updates {
+                    seen.push(u.frame.clone());
+                    let refs: Vec<&DataFrame> = seen.iter().map(|f| f.as_ref()).collect();
+                    let all = DataFrame::concat(&refs).unwrap();
+                    rows = black_box(all.sort_by(&["v", "k"], &[true, false]).unwrap()).num_rows();
+                }
+                black_box(rows)
+            })
+        },
+    );
+    // Tie-break sanity so the comparison stays honest if either path is
+    // edited: both strategies must order one small refresh identically.
+    {
+        let mut op =
+            SortOp::new(&meta, vec!["v".into(), "k".into()], vec![true, false], None).unwrap();
+        let mut out = None;
+        for u in updates.iter().take(2) {
+            out = Some(op.on_update(0, u).unwrap().remove(0).frame);
+        }
+        let refs: Vec<&DataFrame> = updates[..2].iter().map(|u| u.frame.as_ref()).collect();
+        let all = DataFrame::concat(&refs).unwrap();
+        let expect = all.sort_by(&["v", "k"], &[true, false]).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &expect);
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernels,
@@ -345,5 +447,6 @@ criterion_group!(
     bench_join_build_probe,
     bench_group_by,
     bench_sharded_operators,
+    bench_sort_refresh,
 );
 criterion_main!(benches);

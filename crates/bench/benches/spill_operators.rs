@@ -29,10 +29,15 @@ fn kv_schema() -> Arc<Schema> {
 
 /// Budget -> spill plan (None = unbounded).
 fn plan_for(budget: Option<usize>) -> Option<wake_store::SpillPlan> {
+    plan_with_ratio(budget, None)
+}
+
+/// Budget + delta-log compaction ratio -> spill plan.
+fn plan_with_ratio(budget: Option<usize>, ratio: Option<f64>) -> Option<wake_store::SpillPlan> {
     budget.and_then(|b| {
-        SpillConfig::with_budget(b)
-            .build_plan(1)
-            .expect("spill dir")
+        let mut cfg = SpillConfig::with_budget(b);
+        cfg.delta_ratio = ratio;
+        cfg.build_plan(1).expect("spill dir")
     })
 }
 
@@ -86,6 +91,86 @@ fn bench_spill_operators(c: &mut Criterion) {
                     black_box(op.on_update(0, upd).unwrap())
                 })
             },
+        );
+    }
+
+    // Streamed group-by at a 5% budget: the shape where the write-behind
+    // delta log matters. The input arrives as a sequence of updates, so
+    // spilled partitions are folded into again and again — the
+    // compact-on-every-fold baseline (ratio 0) rewrites each touched
+    // partition per update, the delta log (default ratio) appends only
+    // the touched groups and compacts periodically.
+    let steps = 20;
+    let per = n / steps;
+    let stream_updates: Vec<Update> = (0..steps)
+        .map(|s| {
+            let frame = Arc::new(
+                DataFrame::new(
+                    kv_schema(),
+                    vec![
+                        Column::from_i64(
+                            (0..per as i64)
+                                .map(|i| ((s as i64 * per as i64 + i) * 11) % (n as i64 / 10))
+                                .collect(),
+                        ),
+                        Column::from_f64((0..per).map(|i| (i % 1013) as f64 * 0.5).collect()),
+                    ],
+                )
+                .unwrap(),
+            );
+            Update {
+                frame,
+                progress: Progress::single(0, ((s + 1) * per) as u64, n as u64),
+                kind: UpdateKind::Delta,
+            }
+        })
+        .collect();
+    let run_stream = |ratio: Option<f64>| -> wake_store::SpillMetrics {
+        let plan = plan_with_ratio(Some(n / 2), ratio).unwrap();
+        let governor = plan.governor.clone();
+        let mut op = AggOp::new(
+            &gb_meta,
+            vec!["k".into()],
+            vec![AggSpec::sum(col("v"), "s"), AggSpec::count_star("n")],
+            false,
+        )
+        .unwrap()
+        .with_spill(Some(plan))
+        .with_shards(ShardPlan::new(1, ShardMode::Inline));
+        for upd in &stream_updates {
+            black_box(op.on_update(0, upd).unwrap());
+        }
+        governor.metrics()
+    };
+    // The acceptance check this bench exists for: at a 5% budget the
+    // delta log must rewrite fewer bytes per fold than compacting on
+    // every fold (runs in `--test` smoke mode too, so it cannot rot).
+    let legacy = run_stream(Some(0.0));
+    let delta = run_stream(None);
+    println!(
+        "group_by_stream_5pct bytes written: compact-every-fold {} ({} chunks), \
+         delta-log {} ({} chunks, {} delta appends / {} bytes, {} compactions)",
+        legacy.spilled_bytes,
+        legacy.chunks_written,
+        delta.spilled_bytes,
+        delta.chunks_written,
+        delta.delta_chunks,
+        delta.delta_bytes,
+        delta.compactions
+    );
+    assert!(
+        delta.spilled_bytes < legacy.spilled_bytes,
+        "delta log must rewrite fewer bytes than compact-on-every-fold \
+         ({} vs {})",
+        delta.spilled_bytes,
+        legacy.spilled_bytes
+    );
+    assert!(delta.compactions > 0 && delta.delta_bytes > 0);
+    for (label, ratio) in [("compact-every-fold", Some(0.0)), ("delta-log", None)] {
+        group.bench_with_input(
+            BenchmarkId::new("group_by_stream_5pct", label),
+            &ratio,
+            |b, ratio| b.iter(|| black_box(run_stream(*ratio))),
         );
     }
 

@@ -96,13 +96,19 @@ struct AggCore {
 /// One spill partition of a shard: resident, or evicted to a state file.
 enum AggPart {
     Mem(AggCore),
-    /// Evicted: the partition's full state lives in one spill chunk
-    /// (key frame + encoded group states). Folding into a spilled
-    /// partition rehydrates, folds, and rewrites the chunk — compaction
-    /// on fold — so the tracked `groups` count (and with it the growth
-    /// model, which feeds mid-query estimates) stays exact.
+    /// Evicted: the partition's state lives in a **base** run (one chunk
+    /// holding the full partition at its last compaction) plus a
+    /// write-behind **delta** run (chunks holding only the groups each
+    /// subsequent fold touched, in fold order). The authoritative state
+    /// is base ⊕ deltas replayed in append order; folding appends O(delta)
+    /// bytes instead of rewriting the whole partition, and the runs are
+    /// compacted (replay → rewrite base → truncate delta) once the delta
+    /// outgrows `SpillEnv::delta_ratio` × base. Every fold still resolves
+    /// the exact post-fold group count, so the growth model — which feeds
+    /// mid-query estimates — stays bit-identical to resident execution.
     Spilled {
-        run: RunWriter,
+        base: RunWriter,
+        delta: RunWriter,
         groups: usize,
     },
 }
@@ -173,9 +179,15 @@ impl AggCore {
     }
 
     fn fold_frame(&mut self, frame: &DataFrame, hashes: &[u64]) -> Result<()> {
+        self.fold_frame_slots(frame, hashes).map(|_| ())
+    }
+
+    /// [`Self::fold_frame`], also returning each row's resolved group
+    /// slot (the spill delta log derives the touched-group set from it).
+    fn fold_frame_slots(&mut self, frame: &DataFrame, hashes: &[u64]) -> Result<Vec<u32>> {
         let n = frame.num_rows();
         if n == 0 {
-            return Ok(());
+            return Ok(Vec::new());
         }
         let cfg = self.cfg.clone();
         // Evaluate aggregate input expressions once per frame; bare column
@@ -249,7 +261,7 @@ impl AggCore {
                 }
             }
         }
-        Ok(())
+        Ok(slots)
     }
 
     /// Finalize this core's groups into a key-sorted partial snapshot.
@@ -305,12 +317,20 @@ impl AggCore {
     /// accumulation sequence.
     fn to_chunk(&self) -> Result<Chunk> {
         let order: Vec<u32> = (0..self.key_store.len()).collect();
-        let columns = self.key_store.to_columns(&order);
+        self.to_chunk_for(&order)
+    }
+
+    /// Serialize a subset of this core's groups (the write-behind delta:
+    /// the slots one fold touched, each carried as its full updated
+    /// state so replay is assignment, not a float merge).
+    fn to_chunk_for(&self, slots: &[u32]) -> Result<Chunk> {
+        let columns = self.key_store.to_columns(slots);
         let frame = Arc::new(DataFrame::new(self.cfg.key_schema.clone(), columns)?);
         let nspecs = self.cfg.specs.len();
-        let mut extra = Vec::with_capacity(self.groups.len() * (16 + nspecs * 32));
-        spill_codec::put_u64(&mut extra, self.groups.len() as u64);
-        for g in &self.groups {
+        let mut extra = Vec::with_capacity(slots.len() * (16 + nspecs * 32));
+        spill_codec::put_u64(&mut extra, slots.len() as u64);
+        for &slot in slots {
+            let g = &self.groups[slot as usize];
             spill_codec::put_f64(&mut extra, g.rows);
             for &v in &g.carried_var {
                 spill_codec::put_f64(&mut extra, v);
@@ -331,7 +351,19 @@ impl AggCore {
     /// the key frame — hashes are content-deterministic, so the rebuilt
     /// index candidates match the original insertion order slot for slot.
     fn from_chunk(cfg: Arc<AggConfig>, chunk: &Chunk) -> Result<AggCore> {
-        let mut core = AggCore::new(cfg.clone());
+        let mut core = AggCore::new(cfg);
+        core.apply_chunk(chunk)?;
+        Ok(core)
+    }
+
+    /// Replay one base or delta chunk onto this core: a group already
+    /// present (matched by key) is **overwritten** with the chunk's state
+    /// — delta entries carry full updated states, so replay in append
+    /// order reconstructs the partition bit for bit — and an unseen key
+    /// is appended in chunk order, preserving the resident insertion
+    /// order (and with it the index candidate order).
+    fn apply_chunk(&mut self, chunk: &Chunk) -> Result<()> {
+        let cfg = self.cfg.clone();
         let nkeys = cfg.key_idx.len();
         let key_cols: Vec<usize> = (0..nkeys).collect();
         let mut c = wake_data::colfile::ByteCursor::new(&chunk.extra);
@@ -344,11 +376,9 @@ impl AggCore {
             )));
         }
         let hashes = hash_keys(&chunk.frame, &key_cols);
-        for slot in 0..n_groups {
-            let g = core.key_store.push_row(&chunk.frame, &key_cols, slot);
-            debug_assert_eq!(g as usize, slot);
+        for row in 0..n_groups {
             let h = if nkeys > 0 {
-                hashes.hashes[slot]
+                hashes.hashes[row]
             } else {
                 // Zero-key partitions are never spilled, but stay safe.
                 hash_keys(&chunk.frame, &[])
@@ -357,7 +387,6 @@ impl AggCore {
                     .copied()
                     .unwrap_or(0)
             };
-            core.index.insert(h, g);
             let rows = c.f64()?;
             let mut carried_var = Vec::with_capacity(cfg.specs.len());
             for _ in 0..cfg.specs.len() {
@@ -369,13 +398,32 @@ impl AggCore {
                 spill_codec::get_agg_state(&mut st, &mut c)?;
                 states.push(st);
             }
-            core.groups.push(GroupData {
-                states,
-                rows,
-                carried_var,
-            });
+            let existing = self
+                .index
+                .candidates(h)
+                .iter()
+                .copied()
+                .find(|&g| self.key_store.eq_row(g, &chunk.frame, &key_cols, row));
+            match existing {
+                Some(g) => {
+                    self.groups[g as usize] = GroupData {
+                        states,
+                        rows,
+                        carried_var,
+                    };
+                }
+                None => {
+                    let g = self.key_store.push_row(&chunk.frame, &key_cols, row);
+                    self.index.insert(h, g);
+                    self.groups.push(GroupData {
+                        states,
+                        rows,
+                        carried_var,
+                    });
+                }
+            }
         }
-        Ok(core)
+        Ok(())
     }
 }
 
@@ -403,13 +451,48 @@ impl AggShard {
         for part in &mut self.parts {
             match part {
                 AggPart::Mem(core) => *core = AggCore::new(self.cfg.clone()),
-                AggPart::Spilled { run, .. } => {
-                    run.clear();
+                AggPart::Spilled { base, delta, .. } => {
+                    base.clear();
+                    delta.clear();
                     *part = AggPart::Mem(AggCore::new(self.cfg.clone()));
                 }
             }
         }
         self.rows_total = 0.0;
+    }
+
+    /// Reconstruct a spilled partition's current state: the base chunk,
+    /// then every delta chunk replayed in append order.
+    fn rehydrate(cfg: &Arc<AggConfig>, base: &RunWriter, delta: &RunWriter) -> Result<AggCore> {
+        let chunks = base.read_all()?;
+        let mut core = match chunks.first() {
+            Some(chunk) => AggCore::from_chunk(cfg.clone(), chunk)?,
+            None => AggCore::new(cfg.clone()),
+        };
+        if !delta.is_empty() {
+            // Untracked: the base read above already counted this
+            // logical partition load.
+            for chunk in delta.read_all_untracked()? {
+                core.apply_chunk(&chunk)?;
+            }
+        }
+        Ok(core)
+    }
+
+    /// Rewrite `base` as one chunk holding `core`'s full state and
+    /// truncate the delta run.
+    fn compact(
+        env: &SpillEnv,
+        core: &AggCore,
+        base: &mut RunWriter,
+        delta: &mut RunWriter,
+    ) -> Result<()> {
+        base.clear();
+        base.push(&core.to_chunk()?)?;
+        base.flush()?;
+        delta.clear();
+        env.governor.record_compaction();
+        Ok(())
     }
 
     fn fold_frame(&mut self, frame: &DataFrame, hashes: &[u64]) -> Result<()> {
@@ -443,21 +526,41 @@ impl AggShard {
             };
             match &mut self.parts[p] {
                 AggPart::Mem(core) => core.fold_frame(sub, sub_hashes)?,
-                AggPart::Spilled { run, groups } => {
-                    // Compaction on fold: rehydrate, fold, rewrite. Keeps
-                    // the per-group accumulation order identical to the
-                    // resident path and the group count exact (the growth
-                    // model reads it every update).
-                    let chunks = run.read_all()?;
-                    let mut core = match chunks.first() {
-                        Some(chunk) => AggCore::from_chunk(self.cfg.clone(), chunk)?,
-                        None => AggCore::new(self.cfg.clone()),
-                    };
-                    core.fold_frame(sub, sub_hashes)?;
+                AggPart::Spilled {
+                    base,
+                    delta,
+                    groups,
+                } => {
+                    // Write-behind fold: rehydrate (base + replayed
+                    // deltas), fold — the per-group accumulation order is
+                    // identical to the resident path and the group count
+                    // exact (the growth model reads it every update) —
+                    // then append ONLY the touched groups' updated states
+                    // to the delta run. The full rewrite happens at
+                    // compaction, once the delta outgrows its ratio.
+                    let mut core = Self::rehydrate(&self.cfg, base, delta)?;
+                    let slots = core.fold_frame_slots(sub, sub_hashes)?;
                     *groups = core.groups.len();
-                    run.clear();
-                    run.push(&core.to_chunk()?)?;
-                    run.flush()?;
+                    // Ratio 0 compacts unconditionally: skip building the
+                    // delta chunk it would immediately discard (this is
+                    // the legacy rehydrate-fold-rewrite I/O pattern).
+                    if env.delta_ratio <= 0.0 {
+                        Self::compact(&env, &core, base, delta)?;
+                        continue;
+                    }
+                    let mut touched = slots;
+                    touched.sort_unstable();
+                    touched.dedup();
+                    let chunk = core.to_chunk_for(&touched)?;
+                    let projected = (delta.total_bytes() + chunk.byte_size()) as f64;
+                    if projected > env.delta_ratio * base.total_bytes() as f64 {
+                        Self::compact(&env, &core, base, delta)?;
+                    } else {
+                        let before = delta.total_bytes();
+                        delta.push(&chunk)?;
+                        delta.flush()?;
+                        env.governor.record_delta(delta.total_bytes() - before);
+                    }
                 }
             }
         }
@@ -489,42 +592,54 @@ impl AggShard {
             };
             let chunk = core.to_chunk()?;
             let groups = core.groups.len();
-            let mut run = RunWriter::new(env.dir.clone(), env.governor.clone(), "agg");
-            run.push(&chunk)?;
-            run.flush()?;
+            let mut base = RunWriter::new(env.dir.clone(), env.governor.clone(), "agg");
+            base.push(&chunk)?;
+            base.flush()?;
+            let delta = RunWriter::new(env.dir.clone(), env.governor.clone(), "aggd");
             env.governor.record_eviction();
-            self.parts[i] = AggPart::Spilled { run, groups };
+            self.parts[i] = AggPart::Spilled {
+                base,
+                delta,
+                groups,
+            };
         }
         Ok(())
     }
 
     /// Key-sorted partial snapshot across all partitions: resident cores
-    /// snapshot directly, spilled ones rehydrate (read-only — their state
-    /// is unchanged, so no write-back), and the per-partition partials
-    /// k-way merge by key. Partitions are key-disjoint, so the merge is
-    /// exactly the shard-level ⊕ story one level down.
-    fn snapshot(&self, ctx: &ScaleContext) -> Result<DataFrame> {
-        if self.spill.is_none() {
+    /// snapshot directly, spilled ones rehydrate (base + replayed
+    /// deltas), and the per-partition partials k-way merge by key.
+    /// Partitions are key-disjoint, so the merge is exactly the
+    /// shard-level ⊕ story one level down. Snapshot boundaries are also
+    /// compaction opportunities: the full state is in hand, so an
+    /// over-ratio delta run (the fold-time check estimates chunk sizes
+    /// and can undershoot) is folded back into its base here.
+    fn snapshot(&mut self, ctx: &ScaleContext) -> Result<DataFrame> {
+        let Some(env) = self.spill.clone() else {
             let AggPart::Mem(core) = &self.parts[0] else {
                 unreachable!()
             };
             return core.snapshot(ctx);
-        }
+        };
         let mut partials: Vec<DataFrame> = Vec::new();
-        for part in &self.parts {
+        for part in &mut self.parts {
             match part {
                 AggPart::Mem(core) => {
                     if !core.groups.is_empty() {
                         partials.push(core.snapshot(ctx)?);
                     }
                 }
-                AggPart::Spilled { run, groups } => {
+                AggPart::Spilled {
+                    base,
+                    delta,
+                    groups,
+                } => {
                     if *groups > 0 {
-                        let chunks = run.read_all()?;
-                        let chunk = chunks.first().ok_or_else(|| {
-                            wake_data::DataError::Invalid("empty spilled agg run".into())
-                        })?;
-                        let core = AggCore::from_chunk(self.cfg.clone(), chunk)?;
+                        let core = Self::rehydrate(&self.cfg, base, delta)?;
+                        if delta.total_bytes() as f64 > env.delta_ratio * base.total_bytes() as f64
+                        {
+                            Self::compact(&env, &core, base, delta)?;
+                        }
                         partials.push(core.snapshot(ctx)?);
                     }
                 }
@@ -539,8 +654,10 @@ impl AggShard {
             .map(|p| match p {
                 AggPart::Mem(core) => core.state_bytes(),
                 // Spilled partitions cost their pending write-behind
-                // buffer plus bookkeeping.
-                AggPart::Spilled { run, .. } => run.pending_bytes() + 64,
+                // buffers plus bookkeeping.
+                AggPart::Spilled { base, delta, .. } => {
+                    base.pending_bytes() + delta.pending_bytes() + 64
+                }
             })
             .sum()
     }
@@ -1355,6 +1472,67 @@ mod tests {
             let m = governor.metrics();
             assert!(m.evictions > 0, "S={shards}: budget never triggered");
             assert!(m.spilled_bytes > 0 && m.rehydrations > 0);
+        }
+    }
+
+    #[test]
+    fn delta_log_is_bit_identical_at_every_compaction_ratio() {
+        // The write-behind delta log is an I/O policy, never a semantics
+        // change: whatever the compaction ratio — 0 (compact every fold,
+        // the legacy path), tiny (compact almost every fold), default,
+        // or effectively-never — every estimate must be bit-equal to the
+        // resident operator, and the policy must show up in the ledger.
+        use wake_store::governor::SpillConfig;
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let frame = |step: i64| {
+            let rows: Vec<Vec<Value>> = (0..60)
+                .map(|i| {
+                    let k = (i * 13 + step) % 23;
+                    vec![Value::Int(k), Value::Float((i * step) as f64 * 0.125)]
+                })
+                .collect();
+            DataFrame::from_rows(schema.clone(), &rows).unwrap()
+        };
+        let specs = || {
+            vec![
+                AggSpec::sum(col("v"), "s"),
+                AggSpec::count_star("n"),
+                AggSpec::count_distinct(col("v"), "cd"),
+            ]
+        };
+        for ratio in [0.0, 0.05, 0.5, 1e12] {
+            let mut cfg = SpillConfig::with_budget(1024);
+            cfg.delta_ratio = Some(ratio);
+            let plan = cfg.build_plan(1).unwrap().unwrap();
+            let governor = plan.governor.clone();
+            let mut reference = AggOp::new(&delta_meta(), vec!["k".into()], specs(), true).unwrap();
+            let mut spilled = AggOp::new(&delta_meta(), vec!["k".into()], specs(), true)
+                .unwrap()
+                .with_spill(Some(plan));
+            for step in 1..=6i64 {
+                let u = Update::delta(frame(step), Progress::single(0, step as u64 * 60, 360));
+                let a = reference.on_update(0, &u).unwrap();
+                let b = spilled.on_update(0, &u).unwrap();
+                assert_eq!(
+                    a[0].frame.as_ref(),
+                    b[0].frame.as_ref(),
+                    "ratio {ratio} step {step}"
+                );
+            }
+            let m = governor.metrics();
+            assert!(m.evictions > 0, "ratio {ratio}: budget never triggered");
+            if ratio == 0.0 {
+                // Legacy compact-on-every-fold: no delta appends at all.
+                assert_eq!(m.delta_bytes, 0, "ratio 0 must never append deltas");
+                assert!(m.compactions > 0);
+            } else if ratio == 0.05 {
+                // Tiny ratio: both sides of the policy fire.
+                assert!(m.compactions > 0, "tiny ratio must compact: {m:?}");
+            } else if ratio == 1e12 {
+                // Effectively-never compaction: pure delta appends.
+                assert!(m.delta_bytes > 0, "huge ratio must append deltas: {m:?}");
+                assert_eq!(m.compactions, 0, "huge ratio must not compact: {m:?}");
+            }
         }
     }
 

@@ -1,25 +1,38 @@
 //! Sort / limit operator — the paper's Case 3 "shuffle without inference"
-//! (§2.2): order-by and limit must consume their whole input, so every
-//! update triggers a full re-sort of the current state and the output is a
-//! snapshot. The paper notes these ops typically terminate a pipeline for
-//! user consumption, so the redundant recompute is cheap relative to the
-//! upstream work.
+//! (§2.2): order-by and limit must consume their whole input and the
+//! output is a snapshot.
+//!
+//! The buffered input is maintained as **one sorted run** instead of
+//! being fully re-sorted on every refresh: a delta is sorted on its own
+//! (O(d log d)) and then binary-merged into the run (O(n + d) typed
+//! comparisons), so an order-by refresh costs linear gather work instead
+//! of an O(n log n) comparator sort over the whole buffer. Snapshot
+//! inputs (upstream state replacement — the retraction-shaped case) fall
+//! back to a full sort of the refresh, which is the whole state anyway.
+//! The merge is stable with ties preferring the existing run, so every
+//! emitted frame is bit-identical to `concat(all updates)` + stable sort
+//! — asserted by the equivalence tests below.
 
 use crate::meta::EdfMeta;
 use crate::ops::{Operator, RowStore};
 use crate::progress::Progress;
 use crate::update::{Update, UpdateKind};
 use crate::Result;
+use std::cmp::Ordering;
 use std::sync::Arc;
+use wake_data::hash::cmp_rows;
 use wake_data::DataFrame;
 
 /// Order-by (optionally descending per key) with an optional limit.
 pub struct SortOp {
     by: Vec<String>,
     descending: Vec<bool>,
+    /// Sort-key column positions in the (fixed) input schema.
+    key_idx: Vec<usize>,
     limit: Option<usize>,
     input_kind: UpdateKind,
-    buffer: RowStore,
+    /// The buffered input as one run, sorted by `by`/`descending`.
+    sorted: Option<Arc<DataFrame>>,
     progress: Progress,
     emitted: bool,
     meta: EdfMeta,
@@ -37,9 +50,10 @@ impl SortOp {
                 "sort keys and directions must align".into(),
             ));
         }
-        for k in &by {
-            input.schema.index_of(k)?;
-        }
+        let key_idx = by
+            .iter()
+            .map(|k| input.schema.index_of(k))
+            .collect::<Result<Vec<_>>>()?;
         // Output is snapshot-mode; the sort keys define the physical order.
         let clustering = if by.is_empty() {
             None
@@ -55,31 +69,80 @@ impl SortOp {
         Ok(SortOp {
             by,
             descending,
+            key_idx,
             limit,
             input_kind: input.kind,
-            buffer: RowStore::new(),
+            sorted: None,
             progress: Progress::new(),
             emitted: false,
             meta,
         })
     }
 
+    /// `Value`-order comparison of two rows under this op's per-key sort
+    /// directions (the comparator `DataFrame::sort_by` applies).
+    fn cmp_keyed(&self, a: &DataFrame, ra: usize, b: &DataFrame, rb: usize) -> Ordering {
+        for (k, &desc) in self.key_idx.iter().zip(&self.descending) {
+            let key = std::slice::from_ref(k);
+            let ord = cmp_rows(a, ra, key, b, rb, key);
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Sort one frame on its own (stable, like the full re-sort did).
+    fn sort_frame(&self, frame: &Arc<DataFrame>) -> Result<Arc<DataFrame>> {
+        if self.by.is_empty() {
+            return Ok(frame.clone());
+        }
+        let keys: Vec<&str> = self.by.iter().map(|s| s.as_str()).collect();
+        Ok(Arc::new(frame.sort_by(&keys, &self.descending)?))
+    }
+
+    /// Binary-merge a sorted delta into the sorted run. Ties take from
+    /// the run first — exactly the order a stable sort of
+    /// `concat(run-inputs…, delta)` produces, since the run itself is the
+    /// stable-sorted prefix by induction.
+    fn merge_sorted(&self, run: &Arc<DataFrame>, delta: &Arc<DataFrame>) -> Result<Arc<DataFrame>> {
+        if run.num_rows() == 0 {
+            return Ok(delta.clone());
+        }
+        if delta.num_rows() == 0 {
+            return Ok(run.clone());
+        }
+        let (n, d) = (run.num_rows(), delta.num_rows());
+        let mut refs: Vec<(u32, u32)> = Vec::with_capacity(n + d);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < n && j < d {
+            if self.cmp_keyed(run, i, delta, j).is_le() {
+                refs.push((0, i as u32));
+                i += 1;
+            } else {
+                refs.push((1, j as u32));
+                j += 1;
+            }
+        }
+        refs.extend((i..n).map(|r| (0u32, r as u32)));
+        refs.extend((j..d).map(|r| (1u32, r as u32)));
+        let mut store = RowStore::new();
+        store.push(run.clone());
+        store.push(delta.clone());
+        Ok(Arc::new(store.gather(&refs)?))
+    }
+
     fn emit(&self) -> Result<Vec<Update>> {
-        let all = self.buffer.concat(&self.meta.schema)?;
-        let sorted = if self.by.is_empty() {
-            all
-        } else {
-            let keys: Vec<&str> = self.by.iter().map(|s| s.as_str()).collect();
-            all.sort_by(&keys, &self.descending)?
+        let all = match &self.sorted {
+            Some(f) => f.clone(),
+            None => Arc::new(DataFrame::empty(self.meta.schema.clone())),
         };
         let cut = match self.limit {
-            Some(n) => sorted.head(n),
-            None => sorted,
+            Some(n) if n < all.num_rows() => Arc::new(all.head(n)),
+            _ => all,
         };
-        Ok(vec![Update::snapshot_from_arc(
-            Arc::new(cut),
-            self.progress.clone(),
-        )])
+        Ok(vec![Update::snapshot_from_arc(cut, self.progress.clone())])
     }
 }
 
@@ -97,10 +160,14 @@ impl Operator for SortOp {
     fn on_update(&mut self, port: usize, update: &Update) -> Result<Vec<Update>> {
         debug_assert_eq!(port, 0);
         self.progress.merge(&update.progress);
-        if self.input_kind == UpdateKind::Snapshot {
-            self.buffer.clear();
-        }
-        self.buffer.push(update.frame.clone());
+        let addition = self.sort_frame(&update.frame)?;
+        self.sorted = match (&self.sorted, self.input_kind) {
+            // Snapshot input replaces the whole state: full re-sort of
+            // the refresh (there is no prior run to merge into).
+            (_, UpdateKind::Snapshot) | (None, _) => Some(addition),
+            // Delta input: merge the sorted delta into the sorted run.
+            (Some(run), UpdateKind::Delta) => Some(self.merge_sorted(run, &addition)?),
+        };
         self.emitted = true;
         self.emit()
     }
@@ -120,7 +187,7 @@ impl Operator for SortOp {
     }
 
     fn state_bytes(&self) -> usize {
-        self.buffer.byte_size()
+        self.sorted.as_ref().map_or(0, |f| f.byte_size())
     }
 }
 
@@ -205,6 +272,76 @@ mod tests {
         assert_eq!(out[0].kind, UpdateKind::Snapshot);
         // Only once.
         assert!(op.on_eof(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn incremental_merge_matches_full_resort() {
+        // The sorted-run maintenance is an optimisation, never a
+        // semantics change: after every delta, the emitted snapshot must
+        // be bit-identical to concat(all deltas) + stable full sort —
+        // including desc keys, null keys, heavy ties, and a limit cut.
+        // (No NaN cells here: frame equality is derived from `f64` ==,
+        // under which a NaN never equals itself; NaN ordering agreement
+        // between the merge comparator and `Value::cmp` is pinned by
+        // `cmp_rows_matches_value_ordering` in wake-data.)
+        use crate::ops::testutil::delta;
+        use wake_data::{DataType, Field, Schema};
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]));
+        let frame = |step: i64| {
+            let rows: Vec<Vec<Value>> = (0..17)
+                .map(|i| {
+                    let k = (i * 5 + step) % 7;
+                    vec![
+                        if k == 0 { Value::Null } else { Value::Int(k) },
+                        Value::Float(((i * step) % 5) as f64 * 0.5 - 1.0),
+                    ]
+                })
+                .collect();
+            DataFrame::from_rows(schema.clone(), &rows).unwrap()
+        };
+        let input = EdfMeta::new(schema.clone(), vec![], UpdateKind::Delta);
+        for (by, desc, limit) in [
+            (vec!["v".to_string()], vec![true], None),
+            (
+                vec!["k".to_string(), "v".to_string()],
+                vec![false, true],
+                Some(9),
+            ),
+            (vec!["k".to_string()], vec![true], Some(5)),
+            (vec![], vec![], Some(30)), // pure limit: concat order
+        ] {
+            let mut op = SortOp::new(&input, by.clone(), desc.clone(), limit).unwrap();
+            let mut seen: Vec<DataFrame> = Vec::new();
+            for step in 1..=5i64 {
+                let f = frame(step);
+                seen.push(f.clone());
+                let out = op
+                    .on_update(0, &delta(f.clone(), step as u64 * 17, 85))
+                    .unwrap();
+                // Reference: the old operator — concat everything seen,
+                // stable sort, cut.
+                let refs: Vec<&DataFrame> = seen.iter().collect();
+                let all = DataFrame::concat(&refs).unwrap();
+                let sorted = if by.is_empty() {
+                    all
+                } else {
+                    let keys: Vec<&str> = by.iter().map(|s| s.as_str()).collect();
+                    all.sort_by(&keys, &desc).unwrap()
+                };
+                let expect = match limit {
+                    Some(n) => sorted.head(n),
+                    None => sorted,
+                };
+                assert_eq!(
+                    out[0].frame.as_ref(),
+                    &expect,
+                    "by={by:?} desc={desc:?} limit={limit:?} step {step}"
+                );
+            }
+        }
     }
 
     #[test]

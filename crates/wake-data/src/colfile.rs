@@ -144,7 +144,10 @@ impl<'a> ByteCursor<'a> {
     }
 
     pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.buf.len() {
+        // `n` may come from a hostile length header: compare against the
+        // remaining bytes instead of computing `pos + n`, which could
+        // wrap around and sneak past the bounds check.
+        if n > self.buf.len() - self.pos {
             return Err(DataError::Parse("truncated colfile".into()));
         }
         let out = &self.buf[self.pos..self.pos + n];
@@ -184,9 +187,16 @@ pub fn read_column(dtype: DataType, rows: usize, c: &mut ByteCursor<'_>) -> Resu
     } else {
         None
     };
+    // `rows` may come from an untrusted header: all size math is checked
+    // so a corrupted count fails typed instead of overflowing or
+    // attempting a giant allocation.
+    let fixed_width = |rows: usize| -> Result<usize> {
+        rows.checked_mul(8)
+            .ok_or_else(|| DataError::Parse("colfile row count overflows".into()))
+    };
     let data = match dtype {
         DataType::Int64 | DataType::Date => {
-            let raw = c.take(rows * 8)?;
+            let raw = c.take(fixed_width(rows)?)?;
             let v: Vec<i64> = raw
                 .chunks_exact(8)
                 .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
@@ -198,7 +208,7 @@ pub fn read_column(dtype: DataType, rows: usize, c: &mut ByteCursor<'_>) -> Resu
             }
         }
         DataType::Float64 => {
-            let raw = c.take(rows * 8)?;
+            let raw = c.take(fixed_width(rows)?)?;
             ColumnData::Float64(
                 raw.chunks_exact(8)
                     .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
@@ -210,10 +220,15 @@ pub fn read_column(dtype: DataType, rows: usize, c: &mut ByteCursor<'_>) -> Resu
             ColumnData::Bool(unpack_bits(raw, rows))
         }
         DataType::Utf8 => {
-            let lens: Vec<usize> = (0..rows)
-                .map(|_| c.u32().map(|l| l as usize))
-                .collect::<Result<_>>()?;
-            let mut strs = Vec::with_capacity(rows);
+            // Cap the preallocations by what the buffer could actually
+            // hold (≥ 4 length bytes per row) so a lying row count can't
+            // drive a huge reserve before the reads fail.
+            let plausible = rows.min(c.remaining() / 4 + 1);
+            let mut lens = Vec::with_capacity(plausible);
+            for _ in 0..rows {
+                lens.push(c.u32()? as usize);
+            }
+            let mut strs = Vec::with_capacity(plausible);
             for len in lens {
                 let s = std::str::from_utf8(c.take(len)?)
                     .map_err(|_| DataError::Parse("bad utf8 in string cell".into()))?;
@@ -235,7 +250,11 @@ pub fn read_colfile(bytes: &[u8]) -> Result<DataFrame> {
         return Err(DataError::Parse("not a WCF file (bad magic)".into()));
     }
     let nfields = c.u32()? as usize;
-    let mut fields = Vec::with_capacity(nfields);
+    // Each field costs at least 6 header bytes (u32 name length + dtype +
+    // mutable): cap the preallocation by what the buffer could actually
+    // hold, so a lying field count can't drive a huge reserve before the
+    // per-field reads fail.
+    let mut fields = Vec::with_capacity(nfields.min(c.remaining() / 6 + 1));
     for _ in 0..nfields {
         let name_len = c.u32()? as usize;
         let name = std::str::from_utf8(c.take(name_len)?)
@@ -249,7 +268,19 @@ pub fn read_colfile(bytes: &[u8]) -> Result<DataFrame> {
             mutable,
         });
     }
-    let rows = c.u64()? as usize;
+    let rows64 = c.u64()?;
+    // Cheapest possible column payload is one bit per row; a row count
+    // the remaining bytes cannot possibly back is rejected up front (in
+    // u64 so a hostile header can't truncate its way past the check on
+    // 32-bit targets).
+    if !fields.is_empty() && rows64.div_ceil(8) > c.remaining() as u64 {
+        return Err(DataError::Parse("colfile row count exceeds payload".into()));
+    }
+    // The narrowing itself must also be checked: on a 32-bit target a
+    // count above usize::MAX could otherwise truncate to a small value
+    // and decode a wrong frame without error.
+    let rows = usize::try_from(rows64)
+        .map_err(|_| DataError::Parse("colfile row count exceeds usize".into()))?;
     let mut columns = Vec::with_capacity(nfields);
     for f in &fields {
         columns.push(read_column(f.dtype, rows, &mut c)?);

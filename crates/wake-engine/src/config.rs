@@ -73,6 +73,7 @@ pub struct EngineConfig {
     spill_dir: Option<PathBuf>,
     spill_fanout: Option<usize>,
     spill_max_depth: Option<usize>,
+    spill_delta_ratio: Option<f64>,
     channel_capacity: Option<usize>,
     trace: Option<TraceLog>,
 }
@@ -127,15 +128,34 @@ impl EngineConfig {
         self
     }
 
-    /// Hash sub-partitions per shard (grace-hash fan-out).
+    /// Hash sub-partitions per shard (grace-hash fan-out). The split
+    /// needs at least two ways to make progress, so values below 2
+    /// (including an explicit 0 or 1) resolve to the default fan-out
+    /// (`wake_store::governor::DEFAULT_FANOUT`).
     pub fn with_spill_fanout(mut self, fanout: usize) -> Self {
         self.spill_fanout = Some(fanout);
         self
     }
 
     /// Maximum recursive re-partitioning depth for oversized partitions.
+    /// `0` is not a valid depth (the first split *is* depth 1) and
+    /// resolves to the default
+    /// (`wake_store::governor::DEFAULT_MAX_DEPTH`).
     pub fn with_spill_max_depth(mut self, depth: usize) -> Self {
         self.spill_max_depth = Some(depth);
+        self
+    }
+
+    /// Write-behind compaction policy for spilled group-by partitions: a
+    /// partition's delta run may grow to `ratio` × its base run before
+    /// it is compacted (replayed onto the base and truncated). `0.0`
+    /// compacts on every fold — the pre-delta-log rehydrate-fold-rewrite
+    /// behavior. Default: `WAKE_SPILL_DELTA_RATIO`, else
+    /// [`wake_store::governor::DEFAULT_DELTA_RATIO`]. Whatever the
+    /// ratio, estimates stay bit-identical — this knob trades fold-time
+    /// write volume against replay/read amplification only.
+    pub fn with_spill_delta_ratio(mut self, ratio: f64) -> Self {
+        self.spill_delta_ratio = Some(ratio);
         self
     }
 
@@ -186,7 +206,33 @@ impl EngineConfig {
             spill_dir: self.spill_dir.clone().or(ambient.spill_dir),
             fanout: self.spill_fanout.unwrap_or(0),
             max_depth: self.spill_max_depth.unwrap_or(0),
+            delta_ratio: self.spill_delta_ratio.or(ambient.delta_ratio),
         }
+    }
+
+    /// Per-knob overlay of a legacy [`SpillConfig`] — the routing that
+    /// keeps the `#[deprecated]` executor shims on the unified
+    /// env-resolution path: every knob the legacy config leaves unset
+    /// (`None` / `0`) keeps its ambient fallback, so e.g. a
+    /// shim-configured executor with only a spill directory still
+    /// honours `WAKE_MEM_BUDGET`.
+    pub(crate) fn apply_legacy_spill(mut self, config: &SpillConfig) -> EngineConfig {
+        if let Some(bytes) = config.budget_bytes {
+            self = self.with_memory_budget(bytes);
+        }
+        if let Some(dir) = &config.spill_dir {
+            self = self.with_spill_dir(dir.clone());
+        }
+        if config.fanout != 0 {
+            self = self.with_spill_fanout(config.fanout);
+        }
+        if config.max_depth != 0 {
+            self = self.with_spill_max_depth(config.max_depth);
+        }
+        if let Some(ratio) = config.delta_ratio {
+            self = self.with_spill_delta_ratio(ratio);
+        }
+        self
     }
 
     /// Apply the graph-level knobs this config carries.
@@ -237,6 +283,57 @@ mod tests {
         let resolved = cfg.spill_config();
         assert_eq!(resolved.budget_bytes, Some(1 << 20));
         assert_eq!(resolved.spill_dir, ambient.spill_dir);
+    }
+
+    #[test]
+    fn delta_ratio_resolves_per_knob() {
+        let ambient = SpillConfig::from_env();
+        // Unset: defer to the ambient WAKE_SPILL_DELTA_RATIO.
+        let resolved = EngineConfig::new().spill_config();
+        assert_eq!(resolved.delta_ratio, ambient.delta_ratio);
+        // Explicit: wins over the environment; other knobs untouched.
+        let resolved = EngineConfig::new()
+            .with_spill_delta_ratio(0.25)
+            .spill_config();
+        assert_eq!(resolved.delta_ratio, Some(0.25));
+        assert_eq!(resolved.budget_bytes, ambient.budget_bytes);
+    }
+
+    #[test]
+    fn legacy_spill_overlay_keeps_ambient_fallbacks() {
+        // The deprecated shims route through this overlay: knobs the
+        // legacy SpillConfig leaves unset must keep their ambient
+        // fallback instead of silently clobbering it — the PR 4 per-knob
+        // fix, now applied to the shims too.
+        let ambient = SpillConfig::from_env();
+        let legacy = SpillConfig {
+            spill_dir: Some(PathBuf::from("/tmp/wake-legacy-shim")),
+            ..SpillConfig::default()
+        };
+        let resolved = EngineConfig::new()
+            .apply_legacy_spill(&legacy)
+            .spill_config();
+        assert_eq!(resolved.budget_bytes, ambient.budget_bytes);
+        assert_eq!(resolved.delta_ratio, ambient.delta_ratio);
+        assert_eq!(
+            resolved.spill_dir,
+            Some(PathBuf::from("/tmp/wake-legacy-shim"))
+        );
+        // Set knobs are honoured verbatim.
+        let legacy = SpillConfig {
+            budget_bytes: Some(4096),
+            fanout: 4,
+            max_depth: 2,
+            delta_ratio: Some(0.0),
+            ..SpillConfig::default()
+        };
+        let resolved = EngineConfig::new()
+            .apply_legacy_spill(&legacy)
+            .spill_config();
+        assert_eq!(resolved.budget_bytes, Some(4096));
+        assert_eq!(resolved.fanout, 4);
+        assert_eq!(resolved.max_depth, 2);
+        assert_eq!(resolved.delta_ratio, Some(0.0));
     }
 
     #[test]

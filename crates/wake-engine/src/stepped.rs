@@ -81,10 +81,21 @@ impl SteppedExecutor {
 
     /// Build with an explicit memory budget: the total is apportioned
     /// over the graph's hash-keyed operators, and each operator spills
-    /// its largest partitions once its slice is exceeded.
+    /// its largest partitions once its slice is exceeded. Routes through
+    /// [`EngineConfig`] per knob, so anything `config` leaves unset
+    /// (`None` budget, no spill dir, `0` fan-out/depth) falls back to
+    /// the ambient environment — explicitly unbounded memory needs
+    /// `EngineConfig::unbounded_memory`.
     #[deprecated(note = "use `SteppedExecutor::with_engine_config` / `EngineConfig::start`")]
     pub fn with_config(graph: QueryGraph, config: SpillConfig) -> Result<Self> {
-        Self::with_spill(graph, config)
+        Self::with_engine_config(graph, &EngineConfig::new().apply_legacy_spill(&config))
+    }
+
+    /// The resolved query-wide memory budget, if governance is active
+    /// (test/diagnostic hook; `None` = unbounded).
+    #[doc(hidden)]
+    pub fn memory_budget(&self) -> Option<usize> {
+        self.spill.as_ref().and_then(|p| p.governor.budget())
     }
 
     /// Shared construction path: a fully *resolved* spill configuration
@@ -504,6 +515,33 @@ mod tests {
             assert_eq!(a.is_final, b.is_final);
             assert_eq!(a.rows_processed, b.rows_processed);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)] // exercises the legacy `with_config` shim on purpose
+    fn spill_dir_only_shim_honours_ambient_budget() {
+        // The shim must route through EngineConfig's per-knob env
+        // resolution: configuring only a spill directory may not hide an
+        // ambient WAKE_MEM_BUDGET (reading, not mutating, the ambient
+        // environment — setenv from a threaded test is UB on glibc).
+        let ambient = SpillConfig::from_env();
+        let build = || {
+            let mut g = QueryGraph::new();
+            let r = g.read(source(20, 5));
+            let a = g.agg(r, vec!["k"], vec![AggSpec::sum(col("v"), "s")]);
+            g.sink(a);
+            g
+        };
+        let dir = std::env::temp_dir().join("wake-shim-stepped-test");
+        let exec = SteppedExecutor::with_config(
+            build(),
+            SpillConfig {
+                spill_dir: Some(dir),
+                ..SpillConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(exec.memory_budget(), ambient.budget_bytes);
     }
 
     #[test]

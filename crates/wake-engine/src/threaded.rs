@@ -83,21 +83,20 @@ pub const DEFAULT_CHANNEL_CAPACITY: usize = 8;
 /// Multi-threaded pipelined executor.
 pub struct ThreadedExecutor {
     graph: QueryGraph,
-    trace: Option<TraceLog>,
-    channel_capacity: usize,
-    spill_config: SpillConfig,
+    /// All knobs live in the unified config; the ambient environment is
+    /// resolved once, at stream time, through `EngineConfig::spill_config`
+    /// — the deprecated shims below only edit this config, so they get
+    /// the same per-knob fallback as the modern path.
+    config: EngineConfig,
 }
 
 impl ThreadedExecutor {
     /// Build with the default [`EngineConfig`] (memory governance falls
     /// back to the ambient `WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR`).
     pub fn new(graph: QueryGraph) -> Self {
-        let config = EngineConfig::new();
         ThreadedExecutor {
             graph,
-            trace: None,
-            channel_capacity: config.channel_capacity(),
-            spill_config: config.spill_config(),
+            config: EngineConfig::new(),
         }
     }
 
@@ -107,16 +106,14 @@ impl ThreadedExecutor {
         config.apply_to_graph(&mut graph);
         ThreadedExecutor {
             graph,
-            trace: config.trace(),
-            channel_capacity: config.channel_capacity(),
-            spill_config: config.spill_config(),
+            config: config.clone(),
         }
     }
 
     /// Record per-node processing spans into `log` (for Fig 13).
     #[deprecated(note = "use `EngineConfig::with_trace`")]
     pub fn with_trace(mut self, log: TraceLog) -> Self {
-        self.trace = Some(log);
+        self.config = self.config.with_trace(log);
         self
     }
 
@@ -124,7 +121,7 @@ impl ThreadedExecutor {
     /// bound memory harder; larger values absorb burstier producers.
     #[deprecated(note = "use `EngineConfig::with_channel_capacity`")]
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
-        self.channel_capacity = capacity.max(1);
+        self.config = self.config.with_channel_capacity(capacity);
         self
     }
 
@@ -133,15 +130,26 @@ impl ThreadedExecutor {
     /// spill their largest partitions to disk when over their slice.
     #[deprecated(note = "use `EngineConfig::with_memory_budget`")]
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
-        self.spill_config.budget_bytes = Some(bytes);
+        self.config = self.config.with_memory_budget(bytes);
         self
     }
 
     /// Full memory-governance configuration (budget, spill dir, fan-out).
+    /// Applied per knob: anything `config` leaves unset keeps its
+    /// ambient-environment fallback — a spill-dir-only config no longer
+    /// hides `WAKE_MEM_BUDGET`. Explicitly unbounded memory needs
+    /// `EngineConfig::unbounded_memory`.
     #[deprecated(note = "use `EngineConfig` (the single env-resolution point)")]
     pub fn with_spill_config(mut self, config: SpillConfig) -> Self {
-        self.spill_config = config;
+        self.config = self.config.apply_legacy_spill(&config);
         self
+    }
+
+    /// The fully resolved memory-governance configuration this executor
+    /// will run with (test/diagnostic hook).
+    #[doc(hidden)]
+    pub fn resolved_spill_config(&self) -> SpillConfig {
+        self.config.spill_config()
     }
 
     /// Shard count for one node under this executor. Explicit
@@ -179,8 +187,11 @@ impl ThreadedExecutor {
             return Err(DataError::Invalid("query graph has no sources".into()));
         }
         let consumers = self.graph.consumers();
+        let channel_capacity = self.config.channel_capacity();
+        let trace_log = self.config.trace();
         let spill = self
-            .spill_config
+            .config
+            .spill_config()
             .build_plan(self.graph.shardable_node_count())?;
         let governor: Option<Arc<MemoryGovernor>> = spill.as_ref().map(|p| p.governor.clone());
         let spill_root: Option<PathBuf> = spill.as_ref().map(|p| p.dir.root().to_path_buf());
@@ -195,11 +206,11 @@ impl ThreadedExecutor {
         let mut senders: Vec<Sender<Message>> = Vec::with_capacity(self.graph.len());
         let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(self.graph.len());
         for _ in 0..self.graph.len() {
-            let (tx, rx) = bounded(self.channel_capacity);
+            let (tx, rx) = bounded(channel_capacity);
             senders.push(tx);
             receivers.push(Some(rx));
         }
-        let (sink_tx, sink_rx) = bounded::<Message>(self.channel_capacity);
+        let (sink_tx, sink_rx) = bounded::<Message>(channel_capacity);
 
         // Downstream routing table: (target mailbox, port). The sink node
         // additionally feeds the collector channel.
@@ -218,7 +229,7 @@ impl ThreadedExecutor {
         let mut handles = Vec::new();
         for (idx, node) in self.graph.nodes().iter().enumerate() {
             let my_routes = std::mem::take(&mut routes[idx]);
-            let trace = self.trace.clone();
+            let trace = trace_log.clone();
             let cancel = cancel.clone();
             match &node.kind {
                 NodeKind::Read { source } => {
@@ -645,6 +656,28 @@ mod tests {
             tight.last().unwrap().frame.value(0, "n").unwrap(),
             reference.last().unwrap().frame.value(0, "n").unwrap()
         );
+    }
+
+    #[test]
+    #[allow(deprecated)] // exercises the legacy shims on purpose
+    fn legacy_shims_keep_ambient_budget_per_knob() {
+        // with_spill_config with only a spill dir must not hide an
+        // ambient WAKE_MEM_BUDGET (reading, not mutating, the ambient
+        // environment — setenv from a threaded test is UB on glibc).
+        let ambient = SpillConfig::from_env();
+        let dir = std::env::temp_dir().join("wake-shim-threaded-test");
+        let exec = ThreadedExecutor::new(agg_graph(10, 5)).with_spill_config(SpillConfig {
+            spill_dir: Some(dir.clone()),
+            ..SpillConfig::default()
+        });
+        let resolved = exec.resolved_spill_config();
+        assert_eq!(resolved.budget_bytes, ambient.budget_bytes);
+        assert_eq!(resolved.spill_dir, Some(dir));
+        // And with_memory_budget composes with an ambient spill dir.
+        let exec = ThreadedExecutor::new(agg_graph(10, 5)).with_memory_budget(2048);
+        let resolved = exec.resolved_spill_config();
+        assert_eq!(resolved.budget_bytes, Some(2048));
+        assert_eq!(resolved.spill_dir, ambient.spill_dir);
     }
 
     #[test]

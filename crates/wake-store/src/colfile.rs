@@ -51,6 +51,25 @@ const SEC_EXTRA: u8 = 8;
 /// Default pending-buffer size before a run flushes to its file.
 pub const FLUSH_THRESHOLD: usize = 256 << 10;
 
+/// Hard cap on a single chunk's payload (and any length header inside
+/// it). Length headers are decoded **before** the checksum can vouch for
+/// them — a corrupted or hostile header must fail this typed check
+/// instead of attempting a multi-gigabyte allocation (or overflowing
+/// `usize` arithmetic on 32-bit targets).
+pub const MAX_CHUNK_BYTES: usize = 1 << 30;
+
+/// Validate an untrusted `u64` length header against [`MAX_CHUNK_BYTES`]
+/// before narrowing it to `usize` (the cap fits in 32 bits, so the cast
+/// below is lossless on every target).
+fn checked_len(len: u64, what: &str) -> Result<usize> {
+    if len > MAX_CHUNK_BYTES as u64 {
+        return Err(DataError::Parse(format!(
+            "spill chunk {what} {len} exceeds the {MAX_CHUNK_BYTES}-byte cap"
+        )));
+    }
+    Ok(len as usize)
+}
+
 /// FNV-1a 64 over a byte slice (cheap, order-sensitive — torn and
 /// bit-flipped payloads fail with overwhelming probability).
 pub fn checksum64(bytes: &[u8]) -> u64 {
@@ -158,6 +177,12 @@ pub fn encode_chunk(chunk: &Chunk, out: &mut Vec<u8>) -> Result<()> {
         payload.extend_from_slice(&(chunk.extra.len() as u64).to_le_bytes());
         payload.extend_from_slice(&chunk.extra);
     }
+    if payload.len() > MAX_CHUNK_BYTES {
+        return Err(DataError::Invalid(format!(
+            "spill chunk payload {} exceeds the {MAX_CHUNK_BYTES}-byte cap",
+            payload.len()
+        )));
+    }
     out.extend_from_slice(CHUNK_MAGIC);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&checksum64(&payload).to_le_bytes());
@@ -165,12 +190,15 @@ pub fn encode_chunk(chunk: &Chunk, out: &mut Vec<u8>) -> Result<()> {
     Ok(())
 }
 
-/// Decode one chunk from the cursor (header validation + checksum).
+/// Decode one chunk from the cursor (header validation + checksum). All
+/// length headers go through checked arithmetic with a per-chunk cap —
+/// they are read before (or, for the sections, independently of) the
+/// checksum, so hostile values must fail typed rather than allocate.
 pub fn decode_chunk(c: &mut ByteCursor<'_>) -> Result<Chunk> {
     if c.take(8)? != CHUNK_MAGIC {
         return Err(DataError::Parse("not a spill chunk (bad magic)".into()));
     }
-    let len = c.u64()? as usize;
+    let len = checked_len(c.u64()?, "payload length")?;
     let sum = c.u64()?;
     let payload = c
         .take(len)
@@ -180,11 +208,14 @@ pub fn decode_chunk(c: &mut ByteCursor<'_>) -> Result<Chunk> {
     }
     let mut rest = ByteCursor::new(payload);
     let sections = rest.u8()?;
-    let frame_len = rest.u64()? as usize;
+    let frame_len = checked_len(rest.u64()?, "frame length")?;
     let frame = read_colfile(rest.take(frame_len)?)?;
     let rows = frame.num_rows();
     let hashes = if sections & SEC_HASHES != 0 {
-        let raw = rest.take(rows * 8)?;
+        let hash_bytes = rows
+            .checked_mul(8)
+            .ok_or_else(|| DataError::Parse("spill chunk row count overflows".into()))?;
+        let raw = rest.take(hash_bytes)?;
         let hs: Vec<u64> = raw
             .chunks_exact(8)
             .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
@@ -207,7 +238,7 @@ pub fn decode_chunk(c: &mut ByteCursor<'_>) -> Result<Chunk> {
         None
     };
     let extra = if sections & SEC_EXTRA != 0 {
-        let n = rest.u64()? as usize;
+        let n = checked_len(rest.u64()?, "extra length")?;
         rest.take(n)?.to_vec()
     } else {
         Vec::new()
@@ -333,6 +364,13 @@ impl RunWriter {
     /// pending). The run remains readable and appendable afterwards.
     pub fn read_all(&self) -> Result<Vec<Chunk>> {
         self.governor.record_rehydration();
+        self.read_all_untracked()
+    }
+
+    /// [`Self::read_all`] without counting a rehydration — for when one
+    /// *logical* partition load spans several runs (e.g. a base run plus
+    /// its delta log) and should read as one in the telemetry.
+    pub fn read_all_untracked(&self) -> Result<Vec<Chunk>> {
         let mut bytes = Vec::with_capacity(self.total_bytes());
         if let Some(p) = &self.path {
             std::fs::File::open(p)?.read_to_end(&mut bytes)?;

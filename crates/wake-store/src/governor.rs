@@ -29,6 +29,9 @@ pub struct MemoryGovernor {
     chunks_written: AtomicUsize,
     evictions: AtomicUsize,
     rehydrations: AtomicUsize,
+    delta_bytes: AtomicUsize,
+    delta_chunks: AtomicUsize,
+    compactions: AtomicUsize,
 }
 
 impl MemoryGovernor {
@@ -57,6 +60,19 @@ impl MemoryGovernor {
         self.rehydrations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Bytes appended to a write-behind delta run (a subset of
+    /// `spilled_bytes`; folding into a spilled partition appends these
+    /// instead of rewriting the whole partition).
+    pub fn record_delta(&self, bytes: usize) {
+        self.delta_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.delta_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A delta run was replayed onto its base run and truncated.
+    pub fn record_compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the ledger.
     pub fn metrics(&self) -> SpillMetrics {
         SpillMetrics {
@@ -64,6 +80,9 @@ impl MemoryGovernor {
             chunks_written: self.chunks_written.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             rehydrations: self.rehydrations.load(Ordering::Relaxed),
+            delta_bytes: self.delta_bytes.load(Ordering::Relaxed),
+            delta_chunks: self.delta_chunks.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 }
@@ -79,6 +98,13 @@ pub struct SpillMetrics {
     pub evictions: usize,
     /// Spilled-partition loads back into memory.
     pub rehydrations: usize,
+    /// Bytes appended to write-behind delta runs (subset of
+    /// `spilled_bytes`).
+    pub delta_bytes: usize,
+    /// Delta chunks appended.
+    pub delta_chunks: usize,
+    /// Delta-run compactions (replay onto base + truncate).
+    pub compactions: usize,
 }
 
 /// User-facing spill configuration: the budget knob on the executors.
@@ -95,6 +121,12 @@ pub struct SpillConfig {
     pub fanout: usize,
     /// Maximum recursive re-partitioning depth for oversized partitions.
     pub max_depth: usize,
+    /// Write-behind compaction policy for spilled group-by partitions: a
+    /// partition's delta run may grow to this fraction of its base run
+    /// before it is compacted (replayed onto the base and truncated).
+    /// `None` = [`DEFAULT_DELTA_RATIO`]; `Some(0.0)` compacts on every
+    /// fold (the pre-delta-log rehydrate-fold-rewrite behavior).
+    pub delta_ratio: Option<f64>,
 }
 
 /// Default grace-hash fan-out per shard.
@@ -103,6 +135,11 @@ pub const DEFAULT_FANOUT: usize = 8;
 /// limit only matters for pathological key skew, where the leaf is
 /// processed in memory regardless of budget).
 pub const DEFAULT_MAX_DEPTH: usize = 4;
+/// Default delta-run compaction threshold: compact once the delta run
+/// exceeds half the base run's size. Keeps fold-time writes O(delta)
+/// while bounding replay work (and read amplification) at ~1.5× the
+/// partition state.
+pub const DEFAULT_DELTA_RATIO: f64 = 0.5;
 
 impl SpillConfig {
     /// Unbounded memory: spilling off.
@@ -119,18 +156,23 @@ impl SpillConfig {
     }
 
     /// Read the ambient configuration: `WAKE_MEM_BUDGET` (bytes, with
-    /// optional `k`/`m`/`g` suffix; unset, empty, or `0` = unbounded) and
-    /// `WAKE_SPILL_DIR`. This is what the executors use by default, so a
-    /// whole test suite can be driven through the spill path by exporting
-    /// one variable (the CI low-memory lane).
+    /// optional `k`/`m`/`g` suffix; unset, empty, or `0` = unbounded),
+    /// `WAKE_SPILL_DIR`, and `WAKE_SPILL_DELTA_RATIO` (a non-negative
+    /// fraction; `0` = compact on every fold). This is what the executors
+    /// use by default, so a whole test suite can be driven through the
+    /// spill path by exporting one variable (the CI low-memory lanes).
     pub fn from_env() -> Self {
         let budget_bytes = std::env::var("WAKE_MEM_BUDGET")
             .ok()
             .and_then(|s| parse_bytes(&s));
         let spill_dir = std::env::var("WAKE_SPILL_DIR").ok().map(PathBuf::from);
+        let delta_ratio = std::env::var("WAKE_SPILL_DELTA_RATIO")
+            .ok()
+            .and_then(|s| parse_ratio(&s));
         SpillConfig {
             budget_bytes,
             spill_dir,
+            delta_ratio,
             ..Self::default()
         }
     }
@@ -157,12 +199,17 @@ impl SpillConfig {
         } else {
             DEFAULT_MAX_DEPTH
         };
+        let delta_ratio = self
+            .delta_ratio
+            .filter(|r| r.is_finite() && *r >= 0.0)
+            .unwrap_or(DEFAULT_DELTA_RATIO);
         Ok(Some(SpillPlan {
             governor: Arc::new(MemoryGovernor::new(Some(total))),
             dir: Arc::new(dir),
             op_budget: (total / spillable_ops.max(1)).max(1),
             fanout,
             max_depth,
+            delta_ratio,
         }))
     }
 }
@@ -183,6 +230,13 @@ fn parse_bytes(s: &str) -> Option<usize> {
     (n > 0).then(|| n.saturating_mul(mult))
 }
 
+/// Parse a delta-ratio setting: any finite non-negative fraction (`0`
+/// means compact on every fold). Garbage or negatives = None (default).
+fn parse_ratio(s: &str) -> Option<f64> {
+    let r: f64 = s.trim().parse().ok()?;
+    (r.is_finite() && r >= 0.0).then_some(r)
+}
+
 /// The resolved per-operator spill plan the executor hands to each
 /// hash-keyed operator at build time.
 #[derive(Debug, Clone)]
@@ -193,6 +247,9 @@ pub struct SpillPlan {
     pub op_budget: usize,
     pub fanout: usize,
     pub max_depth: usize,
+    /// Resolved delta-run compaction threshold (fraction of the base run;
+    /// `0.0` = compact on every fold).
+    pub delta_ratio: f64,
 }
 
 impl SpillPlan {
@@ -205,6 +262,7 @@ impl SpillPlan {
             shard_budget: (self.op_budget / shards.max(1)).max(1),
             fanout: self.fanout,
             max_depth: self.max_depth,
+            delta_ratio: self.delta_ratio,
         }
     }
 }
@@ -218,6 +276,9 @@ pub struct SpillEnv {
     pub shard_budget: usize,
     pub fanout: usize,
     pub max_depth: usize,
+    /// Delta-run compaction threshold (fraction of the base run; `0.0` =
+    /// compact on every fold).
+    pub delta_ratio: f64,
 }
 
 #[cfg(test)]
@@ -231,12 +292,42 @@ mod tests {
         g.record_spill(50, 1);
         g.record_eviction();
         g.record_rehydration();
+        g.record_delta(40);
+        g.record_delta(2);
+        g.record_compaction();
         let m = g.metrics();
         assert_eq!(m.spilled_bytes, 150);
         assert_eq!(m.chunks_written, 3);
         assert_eq!(m.evictions, 1);
         assert_eq!(m.rehydrations, 1);
+        assert_eq!(m.delta_bytes, 42);
+        assert_eq!(m.delta_chunks, 2);
+        assert_eq!(m.compactions, 1);
         assert_eq!(g.budget(), Some(1024));
+    }
+
+    #[test]
+    fn ratio_parsing_and_resolution() {
+        assert_eq!(parse_ratio("0.25"), Some(0.25));
+        assert_eq!(parse_ratio("0"), Some(0.0));
+        assert_eq!(parse_ratio("2"), Some(2.0));
+        assert_eq!(parse_ratio("-1"), None);
+        assert_eq!(parse_ratio("NaN"), None);
+        assert_eq!(parse_ratio("zap"), None);
+        // Unset and invalid ratios resolve to the default; 0 is honoured
+        // (compact-on-every-fold).
+        let mut cfg = SpillConfig::with_budget(1 << 20);
+        assert_eq!(
+            cfg.build_plan(1).unwrap().unwrap().delta_ratio,
+            DEFAULT_DELTA_RATIO
+        );
+        cfg.delta_ratio = Some(0.0);
+        assert_eq!(cfg.build_plan(1).unwrap().unwrap().delta_ratio, 0.0);
+        cfg.delta_ratio = Some(f64::NAN);
+        assert_eq!(
+            cfg.build_plan(1).unwrap().unwrap().delta_ratio,
+            DEFAULT_DELTA_RATIO
+        );
     }
 
     #[test]
@@ -258,6 +349,7 @@ mod tests {
         let env = plan.shard_env(2);
         assert_eq!(env.shard_budget, (1 << 20) / 8);
         assert_eq!(env.fanout, DEFAULT_FANOUT);
+        assert_eq!(env.delta_ratio, DEFAULT_DELTA_RATIO);
         // Unbounded config yields no plan.
         assert!(SpillConfig::unbounded().build_plan(4).unwrap().is_none());
     }

@@ -160,6 +160,67 @@ proptest! {
             "bit flip at {pos} went undetected"
         );
     }
+
+    #[test]
+    fn hostile_length_headers_fail_typed(
+        n in 1usize..10,
+        seed in 0u64..100_000,
+        hostile_bits in 0u64..u64::MAX,
+    ) {
+        // Length headers are decoded before the checksum can vouch for
+        // them; a corrupted (or attacker-controlled) value must surface
+        // as a typed error, never a giant allocation, an arithmetic
+        // overflow, or a wrong frame. Overwrite the outer payload-length
+        // field with hostile values, including ones crafted to wrap
+        // 32-bit `pos + len` arithmetic.
+        let ints: Vec<Option<i64>> = (0..n).map(|i| Some(i as i64)).collect();
+        let frame = build_frame(
+            &ints,
+            &vec![0.5; n],
+            &vec![false; n],
+            &vec![Some("xy".to_string()); n],
+            &vec![3; n],
+        );
+        let chunk = Chunk::frame_only(Arc::new(frame));
+        let mut buf = Vec::new();
+        encode_chunk(&chunk, &mut buf).unwrap();
+        for hostile in [u64::MAX, u64::MAX - 7, 1 << 62, 1 << 40, (1 << 32) - 1, hostile_bits | (1 << 33)] {
+            let mut bad = buf.clone();
+            bad[8..16].copy_from_slice(&hostile.to_le_bytes());
+            prop_assert!(decode_chunk(&mut ByteCursor::new(&bad)).is_err());
+        }
+        // Hostile SECTION lengths *inside* a payload whose checksum is
+        // valid (re-signed after corruption) must hit the post-checksum
+        // caps: a huge frame length, and a huge extra length.
+        let frame_bytes_start = 24 + 1; // magic+len+sum, sections byte
+        let mut bad = buf.clone();
+        bad[frame_bytes_start..frame_bytes_start + 8]
+            .copy_from_slice(&(seed | (1 << 45)).to_le_bytes());
+        resign(&mut bad);
+        prop_assert!(decode_chunk(&mut ByteCursor::new(&bad)).is_err());
+        // Craft a payload with a VALID embedded frame but a hostile
+        // extra-section length, so the extra cap itself is exercised.
+        let empty = build_frame(&[], &[], &[], &[], &[]);
+        let mut wcf = Vec::new();
+        wake_data::colfile::write_colfile(&empty, &mut wcf).unwrap();
+        let mut payload = vec![8u8]; // sections: extra only
+        payload.extend_from_slice(&(wcf.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&wcf);
+        payload.extend_from_slice(&u64::MAX.to_le_bytes()); // hostile extra len
+        let mut crafted = Vec::new();
+        crafted.extend_from_slice(b"WAKSPIL1");
+        crafted.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        crafted.extend_from_slice(&wake_store::colfile::checksum64(&payload).to_le_bytes());
+        crafted.extend_from_slice(&payload);
+        prop_assert!(decode_chunk(&mut ByteCursor::new(&crafted)).is_err());
+    }
+}
+
+/// Recompute the outer checksum over a (corrupted) payload so decoding
+/// reaches the post-checksum length validation.
+fn resign(buf: &mut [u8]) {
+    let sum = wake_store::colfile::checksum64(&buf[24..]);
+    buf[16..24].copy_from_slice(&sum.to_le_bytes());
 }
 
 #[test]

@@ -143,6 +143,19 @@ impl Session {
         self.config.borrow_mut().set(|c| c.with_spill_dir(dir));
     }
 
+    /// Write-behind compaction policy for spilled group-by partitions: a
+    /// partition's delta run may grow to `ratio` × its base run before
+    /// being compacted back into it. `0.0` compacts on every fold (the
+    /// legacy rehydrate-fold-rewrite behavior); larger ratios cut
+    /// fold-time spill writes at the cost of replay work on reads.
+    /// Estimates are bit-identical at any ratio. Default:
+    /// `WAKE_SPILL_DELTA_RATIO`, else 0.5.
+    pub fn set_spill_delta_ratio(&mut self, ratio: f64) {
+        self.config
+            .borrow_mut()
+            .set(|c| c.with_spill_delta_ratio(ratio));
+    }
+
     /// Register a base table and get its edf handle (`read_csv` in §1).
     pub fn read(&mut self, source: impl TableSource + 'static) -> Edf {
         let node = self.graph.borrow_mut().read(source);
@@ -500,6 +513,52 @@ mod tests {
             "512-byte budget must force evictions: {:?}",
             stats.spill
         );
+    }
+
+    #[test]
+    fn delta_ratio_knob_spills_identically() {
+        // The session-level delta-log knob must not change answers, and
+        // its two extremes must show up in the spill telemetry: ratio 0
+        // compacts every fold (no delta appends), a huge ratio only
+        // appends deltas (no compactions after eviction).
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]));
+        let frame = DataFrame::new(
+            schema,
+            vec![
+                Column::from_i64((0..3000).collect()),
+                Column::from_f64((0..3000).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let source = || MemorySource::from_frame("big", &frame, 300, vec![], None).unwrap();
+        let run = |ratio: Option<f64>| {
+            let mut s = Session::new();
+            s.set_memory_budget(Some(2048));
+            if let Some(r) = ratio {
+                s.set_spill_delta_ratio(r);
+            }
+            let t = s.read(source());
+            let q = t.sum("v", &["k"], "sv").sort(&["k"], &[false]);
+            q.collect_stats().unwrap()
+        };
+        let (legacy, legacy_stats) = run(Some(0.0));
+        let (delta, delta_stats) = run(Some(1e12));
+        let (default, _) = run(None);
+        assert_eq!(legacy.len(), delta.len());
+        for (a, b) in legacy.iter().zip(delta.iter()) {
+            assert_eq!(a.frame.as_ref(), b.frame.as_ref());
+        }
+        assert_eq!(
+            legacy.last().unwrap().frame.as_ref(),
+            default.last().unwrap().frame.as_ref()
+        );
+        assert_eq!(legacy_stats.spill.delta_bytes, 0);
+        assert!(legacy_stats.spill.compactions > 0);
+        assert!(delta_stats.spill.delta_bytes > 0);
+        assert_eq!(delta_stats.spill.compactions, 0);
     }
 
     #[test]

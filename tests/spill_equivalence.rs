@@ -144,6 +144,106 @@ fn aggregation_pipelines_spill_bit_identically() {
 }
 
 #[test]
+fn delta_log_is_estimate_invariant_across_the_tpch_suite() {
+    // The write-behind delta log under stress: a 64 KiB budget plus a
+    // small compaction ratio forces both sides of the policy — delta
+    // appends whenever a fold touches a small slice of a spilled
+    // partition, compactions whenever the delta run outgrows its share
+    // of the base. The log must be invisible in the estimates:
+    //
+    // - per-estimate bit-equality with the compact-on-every-fold spill
+    //   path (ratio 0, the pre-delta-log behavior) for EVERY query —
+    //   same budget ⇒ same evictions, and replaying base + deltas must
+    //   reconstruct each partition bit for bit;
+    // - per-estimate bit-equality with UNBOUNDED execution for the
+    //   aggregation-only pipelines (join spilling defers match emission,
+    //   so mid-query join estimates legitimately differ from resident
+    //   execution — the same caveat as the rest of this suite);
+    // - final-state agreement with unbounded for every query.
+    let data = Arc::new(TpchData::generate(0.002, 42));
+    let db = TpchDb::new(data, 6);
+    let agg_only = ["q1", "q6"];
+    let mut total_compactions = 0usize;
+    let mut total_delta_bytes = 0usize;
+    let mut total_delta_chunks = 0usize;
+    for spec in all_queries() {
+        let reference = SteppedExecutor::with_engine_config(
+            (spec.build)(&db),
+            &EngineConfig::new().unbounded_memory(),
+        )
+        .unwrap()
+        .run_collect()
+        .unwrap();
+        let (legacy, legacy_stats) = SteppedExecutor::with_engine_config(
+            (spec.build)(&db),
+            &EngineConfig::new()
+                .with_memory_budget(BUDGET)
+                .with_spill_delta_ratio(0.0),
+        )
+        .unwrap()
+        .run_collect_stats()
+        .unwrap();
+        let (delta, stats) = SteppedExecutor::with_engine_config(
+            (spec.build)(&db),
+            &EngineConfig::new()
+                .with_memory_budget(BUDGET)
+                .with_spill_delta_ratio(0.25),
+        )
+        .unwrap()
+        .run_collect_stats()
+        .unwrap();
+        assert_eq!(legacy_stats.spill.delta_bytes, 0, "{}", spec.name);
+        total_compactions += stats.spill.compactions;
+        total_delta_bytes += stats.spill.delta_bytes;
+        total_delta_chunks += stats.spill.delta_chunks;
+        assert_eq!(legacy.len(), delta.len(), "{}: estimate cadence", spec.name);
+        for (a, b) in legacy.iter().zip(delta.iter()) {
+            assert_eq!(
+                a.frame.as_ref(),
+                b.frame.as_ref(),
+                "{}: delta log changed an estimate at t={}",
+                spec.name,
+                a.t
+            );
+        }
+        if agg_only.contains(&spec.name) {
+            assert_eq!(reference.len(), delta.len(), "{}", spec.name);
+            for (a, b) in reference.iter().zip(delta.iter()) {
+                assert_eq!(
+                    a.frame.as_ref(),
+                    b.frame.as_ref(),
+                    "{}: not bit-equal to resident at t={}",
+                    spec.name,
+                    a.t
+                );
+            }
+        }
+        let sf = reference.final_frame();
+        let tf = delta.final_frame();
+        assert_eq!(sf.num_rows(), tf.num_rows(), "{}", spec.name);
+        if sf.num_rows() == 0 {
+            continue;
+        }
+        let r = metrics::compare(tf, sf, spec.keys, spec.values).unwrap();
+        assert!(
+            r.recall > 0.999 && r.precision > 0.999 && r.mape < 1e-9,
+            "{}: {r:?}",
+            spec.name
+        );
+    }
+    // The policy must actually have exercised both paths across the
+    // suite: folds that appended deltas and folds that compacted.
+    assert!(
+        total_compactions >= 1,
+        "no compactions across 22 queries at ratio 0.25"
+    );
+    assert!(
+        total_delta_bytes > 0 && total_delta_chunks > 0,
+        "no delta appends across 22 queries at ratio 0.25"
+    );
+}
+
+#[test]
 fn threaded_executor_honours_the_budget_knob() {
     let data = Arc::new(TpchData::generate(0.002, 5));
     let db = TpchDb::new(data, 6);
