@@ -134,6 +134,10 @@ struct AggShard {
     parts: Vec<AggPart>,
     /// Σ group cardinalities (equals rows folded since the last clear).
     rows_total: f64,
+    /// The governor was poisoned (spill device persistently failed) and
+    /// this shard has rehydrated its spilled partitions and suspended the
+    /// budget: execution continues resident.
+    degraded: bool,
 }
 
 /// Work dispatched to one shard. Frames are the shard-local sub-frames
@@ -444,6 +448,7 @@ impl AggShard {
             spill,
             parts,
             rows_total: 0.0,
+            degraded: false,
         }
     }
 
@@ -463,20 +468,35 @@ impl AggShard {
 
     /// Reconstruct a spilled partition's current state: the base chunk,
     /// then every delta chunk replayed in append order.
-    fn rehydrate(cfg: &Arc<AggConfig>, base: &RunWriter, delta: &RunWriter) -> Result<AggCore> {
+    ///
+    /// The delta read recovers from a torn tail (a crash mid-append
+    /// leaves every acked chunk intact, then garbage): replay stops at
+    /// the last intact chunk and the returned flag is `true`, telling the
+    /// caller to compact — durably truncating the loss to the un-acked
+    /// delta. The base run is read strictly: it is rewritten whole at
+    /// every compaction, so a torn base means the partition itself is
+    /// gone (typed error, no silent data loss).
+    fn rehydrate(
+        cfg: &Arc<AggConfig>,
+        base: &RunWriter,
+        delta: &RunWriter,
+    ) -> Result<(AggCore, bool)> {
         let chunks = base.read_all()?;
         let mut core = match chunks.first() {
             Some(chunk) => AggCore::from_chunk(cfg.clone(), chunk)?,
             None => AggCore::new(cfg.clone()),
         };
+        let mut torn = false;
         if !delta.is_empty() {
             // Untracked: the base read above already counted this
             // logical partition load.
-            for chunk in delta.read_all_untracked()? {
+            let (chunks, dropped) = delta.read_all_recovering()?;
+            torn = dropped > 0;
+            for chunk in chunks {
                 core.apply_chunk(&chunk)?;
             }
         }
-        Ok(core)
+        Ok((core, torn))
     }
 
     /// Rewrite `base` as one chunk holding `core`'s full state and
@@ -503,6 +523,9 @@ impl AggShard {
             };
             return core.fold_frame(frame, hashes);
         };
+        if env.governor.is_poisoned() && !self.degraded {
+            self.degrade()?;
+        }
         // Scatter rows to spill partitions by the next hash digits below
         // shard routing; fold each sub-frame into its partition.
         let sels = sub_selections(hashes, self.op_shards, env.fanout, 0);
@@ -538,13 +561,15 @@ impl AggShard {
                     // then append ONLY the touched groups' updated states
                     // to the delta run. The full rewrite happens at
                     // compaction, once the delta outgrows its ratio.
-                    let mut core = Self::rehydrate(&self.cfg, base, delta)?;
+                    let (mut core, torn) = Self::rehydrate(&self.cfg, base, delta)?;
                     let slots = core.fold_frame_slots(sub, sub_hashes)?;
                     *groups = core.groups.len();
                     // Ratio 0 compacts unconditionally: skip building the
                     // delta chunk it would immediately discard (this is
-                    // the legacy rehydrate-fold-rewrite I/O pattern).
-                    if env.delta_ratio <= 0.0 {
+                    // the legacy rehydrate-fold-rewrite I/O pattern). A
+                    // torn delta tail also forces a compact — the rewrite
+                    // durably truncates the run to its recovered state.
+                    if torn || env.delta_ratio <= 0.0 {
                         Self::compact(&env, &core, base, delta)?;
                         continue;
                     }
@@ -568,13 +593,44 @@ impl AggShard {
         Ok(())
     }
 
+    /// Rehydrate every spilled partition back into memory and suspend the
+    /// budget: the spill device has failed persistently, and the query
+    /// finishes resident (the "degraded" half of the recovery ladder).
+    /// Fails typed if a spilled partition is no longer readable.
+    fn degrade(&mut self) -> Result<()> {
+        // Flag first: even if a rehydration read fails below, this shard
+        // must never try to evict to the dead device again.
+        self.degraded = true;
+        for part in &mut self.parts {
+            if let AggPart::Spilled { base, delta, .. } = part {
+                // Torn tails just truncate here — there is no device left
+                // to compact to, and the recovered state is authoritative.
+                let (core, _torn) = Self::rehydrate(&self.cfg, base, delta)?;
+                base.clear();
+                delta.clear();
+                *part = AggPart::Mem(core);
+            }
+        }
+        Ok(())
+    }
+
     /// While over the shard budget, evict the largest resident partition
     /// (the governor's eviction policy) to its own spill run.
     fn enforce_budget(&mut self) -> Result<()> {
         let Some(env) = self.spill.clone() else {
             return Ok(());
         };
+        if self.degraded {
+            return Ok(());
+        }
         while self.state_bytes() > env.shard_budget {
+            if env.governor.is_poisoned() {
+                // The device died under this very loop (an eviction's
+                // flush soft-failed): stop evicting — the "spilled" parts
+                // are memory-resident pending buffers, so the loop could
+                // never shed bytes — and go resident for good.
+                return self.degrade();
+            }
             let victim = self
                 .parts
                 .iter()
@@ -621,6 +677,9 @@ impl AggShard {
             };
             return core.snapshot(ctx);
         };
+        if env.governor.is_poisoned() && !self.degraded {
+            self.degrade()?;
+        }
         let mut partials: Vec<DataFrame> = Vec::new();
         for part in &mut self.parts {
             match part {
@@ -635,8 +694,10 @@ impl AggShard {
                     groups,
                 } => {
                     if *groups > 0 {
-                        let core = Self::rehydrate(&self.cfg, base, delta)?;
-                        if delta.total_bytes() as f64 > env.delta_ratio * base.total_bytes() as f64
+                        let (core, torn) = Self::rehydrate(&self.cfg, base, delta)?;
+                        if torn
+                            || delta.total_bytes() as f64
+                                > env.delta_ratio * base.total_bytes() as f64
                         {
                             Self::compact(&env, &core, base, delta)?;
                         }
@@ -1534,6 +1595,132 @@ mod tests {
                 assert_eq!(m.compactions, 0, "huge ratio must not compact: {m:?}");
             }
         }
+    }
+
+    #[test]
+    fn enospc_poisons_then_degrades_bit_identically() {
+        // The spill device fills up mid-query: the governor is poisoned,
+        // the shard rehydrates its spilled partitions (disk reads still
+        // work on a full disk) and finishes resident — and because agg
+        // folds are bit-identical resident or spilled, every estimate
+        // still matches the unbounded reference exactly.
+        use wake_store::governor::SpillConfig;
+        use wake_store::{FaultIo, FaultSchedule};
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let frame = |step: i64| {
+            let rows: Vec<Vec<Value>> = (0..60)
+                .map(|i| {
+                    let k = (i * 13 + step) % 23;
+                    vec![Value::Int(k), Value::Float((i * step) as f64 * 0.125)]
+                })
+                .collect();
+            DataFrame::from_rows(schema.clone(), &rows).unwrap()
+        };
+        let specs = || {
+            vec![
+                AggSpec::sum(col("v"), "s"),
+                AggSpec::count_star("n"),
+                AggSpec::count_distinct(col("v"), "cd"),
+            ]
+        };
+        let mut cfg = SpillConfig::with_budget(1024);
+        cfg.io = Some(Arc::new(FaultIo::new(FaultSchedule {
+            enospc_after_bytes: Some(8 << 10),
+            ..FaultSchedule::default()
+        })));
+        cfg.retry_attempts = Some(1);
+        cfg.retry_base_delay = Some(std::time::Duration::from_micros(10));
+        let plan = cfg.build_plan(1).unwrap().unwrap();
+        let governor = plan.governor.clone();
+        let mut reference = AggOp::new(&delta_meta(), vec!["k".into()], specs(), true).unwrap();
+        let mut spilled = AggOp::new(&delta_meta(), vec!["k".into()], specs(), true)
+            .unwrap()
+            .with_spill(Some(plan));
+        for step in 1..=8i64 {
+            let u = Update::delta(frame(step), Progress::single(0, step as u64 * 60, 480));
+            let a = reference.on_update(0, &u).unwrap();
+            let b = spilled.on_update(0, &u).unwrap();
+            assert_eq!(a[0].frame.as_ref(), b[0].frame.as_ref(), "step {step}");
+        }
+        let m = governor.metrics();
+        assert!(m.evictions > 0, "budget never triggered: {m:?}");
+        assert!(
+            governor.is_poisoned(),
+            "8 KiB of device never filled up: {m:?}"
+        );
+        assert!(m.io_retries > 0, "retries must precede poisoning");
+    }
+
+    #[test]
+    fn torn_final_delta_chunk_recovers_to_last_acked_state() {
+        // Crash consistency of the write-behind log: the final delta
+        // append is torn mid-chunk (the crash case — every acked chunk
+        // intact, then garbage). Rehydration must recover base + all
+        // intact deltas bit for bit and report the tear so the caller
+        // compacts the truncation durably.
+        use wake_store::colfile::encode_chunk;
+        use wake_store::{FaultIo, FaultSchedule, MemoryGovernor, SpillDir, TornWrite};
+        let op = AggOp::new(
+            &delta_meta(),
+            vec!["k".into()],
+            vec![AggSpec::sum(col("v"), "s"), AggSpec::count_star("n")],
+            false,
+        )
+        .unwrap();
+        let cfg = op.cfg.clone();
+        let schema = kv_frame(vec![], vec![]).schema().clone();
+        let frame = |step: i64| {
+            let rows: Vec<Vec<Value>> = (0..20)
+                .map(|i| {
+                    let k = (i * 7 + step) % 13;
+                    vec![Value::Int(k), Value::Float((i * step) as f64 * 0.5)]
+                })
+                .collect();
+            DataFrame::from_rows(schema.clone(), &rows).unwrap()
+        };
+        let io = Arc::new(FaultIo::new(FaultSchedule {
+            torn_write: Some(TornWrite {
+                tag: "aggd".to_string(),
+                nth: 2, // the third delta append (after steps 2 and 3 land)
+                keep_bytes: 9,
+            }),
+            ..FaultSchedule::default()
+        }));
+        let dir = Arc::new(SpillDir::new_temp_with(io).unwrap());
+        let gov = Arc::new(MemoryGovernor::new(Some(1 << 20)));
+        let mut base = RunWriter::new(dir.clone(), gov.clone(), "agg").with_flush_threshold(1);
+        let mut delta = RunWriter::new(dir, gov, "aggd").with_flush_threshold(1);
+        // Base: full state after step 1; deltas: touched groups per step.
+        let mut core = AggCore::new(cfg.clone());
+        let mut reference = AggCore::new(cfg.clone());
+        for step in 1..=4i64 {
+            let f = frame(step);
+            let hashes = hash_keys(&f, &cfg.key_idx).hashes;
+            let mut touched = core.fold_frame_slots(&f, &hashes).unwrap();
+            if step <= 3 {
+                reference.fold_frame(&f, &hashes).unwrap();
+            }
+            if step == 1 {
+                base.push(&core.to_chunk().unwrap()).unwrap();
+                base.flush().unwrap();
+            } else {
+                touched.sort_unstable();
+                touched.dedup();
+                delta.push(&core.to_chunk_for(&touched).unwrap()).unwrap();
+                delta.flush().unwrap(); // step 4's append is the torn one
+            }
+        }
+        let (recovered, torn) = AggShard::rehydrate(&cfg, &base, &delta).unwrap();
+        assert!(torn, "the torn tail must be reported");
+        // Recovered = state after step 3 (base ⊕ intact deltas), bit for
+        // bit — compare full encoded states.
+        let mut a = Vec::new();
+        encode_chunk(&recovered.to_chunk().unwrap(), &mut a).unwrap();
+        let mut b = Vec::new();
+        encode_chunk(&reference.to_chunk().unwrap(), &mut b).unwrap();
+        assert_eq!(a, b, "recovered state != last acked state");
+        // The strict read path must keep rejecting the torn run.
+        assert!(delta.read_all_untracked().is_err());
     }
 
     #[test]

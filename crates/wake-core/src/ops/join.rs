@@ -600,6 +600,19 @@ struct JoinShard {
     op_shards: usize,
     spill: Option<SpillEnv>,
     parts: Vec<JoinPart>,
+    /// The governor was poisoned (spill device persistently failed) and
+    /// this shard has suspended the budget; recompute-mode partitions
+    /// rehydrated resident, streaming ones stay on their (readable) runs.
+    degraded: bool,
+}
+
+/// A stream-spill chunk's key hashes. Every chunk on the streaming spill
+/// path is written with hashes; one read back without them means the run
+/// bytes are not what this query wrote — surface it typed, not a panic.
+fn chunk_hashes(c: &Chunk) -> Result<KeyHashes> {
+    c.hashes.clone().ok_or_else(|| {
+        DataError::Invalid("stream-spill chunk is missing its key hashes".to_string())
+    })
 }
 
 /// Scatter chunks into `fanout` sub-partitions by the hash digit at
@@ -609,10 +622,10 @@ fn scatter_chunks(
     op_shards: usize,
     fanout: usize,
     depth: usize,
-) -> Vec<Vec<Chunk>> {
+) -> Result<Vec<Vec<Chunk>>> {
     let mut out: Vec<Vec<Chunk>> = (0..fanout).map(|_| Vec::new()).collect();
     for c in chunks {
-        let hashes = c.hashes.clone().expect("stream spill chunks carry hashes");
+        let hashes = chunk_hashes(&c)?;
         let sels = sub_selections(&hashes.hashes, op_shards, fanout, depth);
         for (p, sel) in sels.iter().enumerate() {
             if sel.is_empty() {
@@ -633,7 +646,7 @@ fn scatter_chunks(
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// Resolve one spilled streaming partition: emit exactly the matches not
@@ -659,10 +672,10 @@ fn resolve_stream(
         .map(|c| c.byte_size())
         .sum();
     if total > env.shard_budget && depth < env.max_depth {
-        let mut l0s = scatter_chunks(l0, op_shards, env.fanout, depth);
-        let mut r0s = scatter_chunks(r0, op_shards, env.fanout, depth);
-        let mut l1s = scatter_chunks(l1, op_shards, env.fanout, depth);
-        let mut r1s = scatter_chunks(r1, op_shards, env.fanout, depth);
+        let mut l0s = scatter_chunks(l0, op_shards, env.fanout, depth)?;
+        let mut r0s = scatter_chunks(r0, op_shards, env.fanout, depth)?;
+        let mut l1s = scatter_chunks(l1, op_shards, env.fanout, depth)?;
+        let mut r1s = scatter_chunks(r1, op_shards, env.fanout, depth)?;
         for p in 0..env.fanout {
             resolve_stream(
                 cfg,
@@ -691,24 +704,19 @@ fn resolve_stream(
         }
     };
     for c in &r1 {
-        let f = core.stream_right(&c.frame, c.hashes.clone().expect("hashes"))?;
+        let f = core.stream_right(&c.frame, chunk_hashes(c)?)?;
         push(f, out);
     }
     for c in &l0 {
-        let f = core.stream_left_ext(
-            &c.frame,
-            c.hashes.clone().expect("hashes"),
-            c.flags.clone(),
-            false,
-        )?;
+        let f = core.stream_left_ext(&c.frame, chunk_hashes(c)?, c.flags.clone(), false)?;
         push(f, out);
     }
     for c in &r0 {
-        let f = core.stream_right(&c.frame, c.hashes.clone().expect("hashes"))?;
+        let f = core.stream_right(&c.frame, chunk_hashes(c)?)?;
         push(f, out);
     }
     for c in &l1 {
-        let f = core.stream_left_ext(&c.frame, c.hashes.clone().expect("hashes"), None, false)?;
+        let f = core.stream_left_ext(&c.frame, chunk_hashes(c)?, None, false)?;
         push(f, out);
     }
     let f = core.stream_right_eof()?;
@@ -729,7 +737,17 @@ impl JoinShard {
             op_shards: op_shards.max(1),
             spill,
             parts,
+            degraded: false,
         }
+    }
+
+    /// The spill env backing an already-spilled partition. A spilled part
+    /// without an env would be a construction bug — but it is on the I/O
+    /// path, so it surfaces typed rather than panicking a worker.
+    fn spill_env(&self) -> Result<SpillEnv> {
+        self.spill
+            .clone()
+            .ok_or_else(|| DataError::Invalid("spilled join partition without a spill env".into()))
     }
 
     fn new_run(&self, env: &SpillEnv, tag: &str) -> RunWriter {
@@ -795,10 +813,10 @@ impl JoinShard {
                         // Right rows cannot follow right EOF; keep them
                         // anyway so a misbehaving source loses no data.
                         debug_assert!(false, "right row after right EOF");
-                        rights
-                            .last_mut()
-                            .expect("drained part has a right run")
-                            .push(&Chunk::with_hashes(sub, sub_hashes))?;
+                        let run = rights.last_mut().ok_or_else(|| {
+                            DataError::Invalid("drained join partition has no right run".into())
+                        })?;
+                        run.push(&Chunk::with_hashes(sub, sub_hashes))?;
                     }
                 }
                 JoinPart::BufSpill { .. } => unreachable!("buffer spill in streaming mode"),
@@ -821,7 +839,7 @@ impl JoinShard {
                     }
                 }
                 JoinPart::StreamSpill { .. } => {
-                    let env = self.spill.clone().expect("spilled part implies spill env");
+                    let env = self.spill_env()?;
                     let placeholder = JoinPart::Mem(Box::new(JoinCore::new(self.cfg.clone())));
                     let JoinPart::StreamSpill { l0, r0, l1, r1 } =
                         std::mem::replace(&mut self.parts[p], placeholder)
@@ -859,6 +877,7 @@ impl JoinShard {
     /// probe the full on-disk right side, then take the right-EOF flush).
     fn final_flush_all(&mut self) -> Result<Vec<DataFrame>> {
         let mut outs = Vec::new();
+        let spill = self.spill.clone();
         for part in &mut self.parts {
             if let JoinPart::Drained {
                 rights,
@@ -868,7 +887,9 @@ impl JoinShard {
                 if pending_left.is_empty() {
                     continue;
                 }
-                let env = self.spill.clone().expect("spilled part implies spill env");
+                let env = spill.clone().ok_or_else(|| {
+                    DataError::Invalid("spilled join partition without a spill env".into())
+                })?;
                 let mut right_chunks = Vec::new();
                 for r in rights.iter() {
                     right_chunks.extend(r.read_all()?);
@@ -970,13 +991,56 @@ impl JoinShard {
         Ok(outs)
     }
 
+    /// The spill device failed persistently: suspend the budget and bring
+    /// back what can safely come back. Recompute-mode (`BufSpill`)
+    /// partitions rehydrate to resident cores — their runs are plain
+    /// buffered rows. Streaming partitions (`StreamSpill`/`Drained`) stay
+    /// on their runs: the epoch split exists precisely because a
+    /// mid-stream partition cannot be reconstructed resident without
+    /// re-emitting already-emitted matches, and their resolution path
+    /// only *reads* — which a full device (`ENOSPC`) still serves, and a
+    /// persistently unreadable one fails typed. New arrivals to those
+    /// partitions accumulate in the runs' pending buffers (writes
+    /// soft-fail into memory), so no data is lost either way.
+    fn degrade(&mut self) -> Result<()> {
+        // Flag first: a failed rehydration read below must not leave the
+        // shard trying to evict to the dead device forever.
+        self.degraded = true;
+        for part in &mut self.parts {
+            if let JoinPart::BufSpill { left, right } = part {
+                let mut core = JoinCore::new(self.cfg.clone());
+                for c in left.read_all()? {
+                    core.left.push(c.frame);
+                }
+                for c in right.read_all()? {
+                    core.right.push(c.frame);
+                }
+                left.clear();
+                right.clear();
+                *part = JoinPart::Mem(Box::new(core));
+            }
+        }
+        Ok(())
+    }
+
     /// While over the shard budget, evict the largest resident partition
     /// (the governor's eviction policy).
     fn enforce_budget(&mut self) -> Result<()> {
         let Some(env) = self.spill.clone() else {
             return Ok(());
         };
+        if self.degraded {
+            return Ok(());
+        }
+        if env.governor.is_poisoned() {
+            return self.degrade();
+        }
         while self.state_bytes() > env.shard_budget {
+            if env.governor.is_poisoned() {
+                // An eviction's flush just soft-failed into its pending
+                // buffer: the loop can never shed bytes, stop evicting.
+                return self.degrade();
+            }
             let victim = self
                 .parts
                 .iter()

@@ -339,6 +339,61 @@ mod tests {
         }
     }
 
+    struct SpilledPanicker {
+        run: wake_store::RunWriter,
+    }
+
+    impl ShardWork for SpilledPanicker {
+        type Task = bool;
+        type Out = usize;
+
+        fn run(&mut self, panic_now: bool) -> usize {
+            if panic_now {
+                panic!("mid-fold panic while holding spilled state");
+            }
+            self.run.chunk_count()
+        }
+    }
+
+    #[test]
+    fn mid_fold_panic_with_spilled_state_is_typed_and_leak_free() {
+        // A worker that panics while its shard owns a *flushed* spill run
+        // (the mid-fold-while-spilled case): the panic must surface as a
+        // typed error under every threaded mode, and dropping the state
+        // must delete the spill files the panicking shard held.
+        use std::sync::Arc;
+        use wake_data::{DataFrame, Field, Schema};
+        use wake_store::colfile::Chunk;
+        use wake_store::{MemoryGovernor, RunWriter, SpillDir};
+        for mode in [ShardMode::Scoped, ShardMode::Pool] {
+            let dir = Arc::new(SpillDir::new_temp().unwrap());
+            let gov = Arc::new(MemoryGovernor::new(Some(1 << 20)));
+            let root = dir.root().to_path_buf();
+            let shard = |tag: &str| {
+                let mut run = RunWriter::new(dir.clone(), gov.clone(), tag).with_flush_threshold(1);
+                let schema = Arc::new(Schema::new(vec![Field::new(
+                    "x",
+                    wake_data::DataType::Int64,
+                )]));
+                run.push(&Chunk::frame_only(Arc::new(DataFrame::empty(schema))))
+                    .unwrap();
+                SpilledPanicker { run }
+            };
+            let mut st = ShardedState::new(mode, vec![shard("a"), shard("b")]);
+            assert_eq!(root.read_dir().unwrap().count(), 2, "{mode:?}: flushed");
+            let err = st.run(vec![Some(true), Some(false)]).unwrap_err();
+            assert!(matches!(err, DataError::Invalid(_)), "{mode:?}: {err}");
+            // Dropping the sharded state (pool workers join on drop) must
+            // release every shard's run and delete its files.
+            drop(st);
+            assert_eq!(
+                root.read_dir().unwrap().count(),
+                0,
+                "{mode:?}: spill files leaked past a worker panic"
+            );
+        }
+    }
+
     #[test]
     fn single_shard_forces_inline() {
         let mut st = ShardedState::new(ShardMode::Pool, vec![Doubler { total: 0 }]);

@@ -17,6 +17,12 @@ pub enum DataError {
     Parse(String),
     /// Generic invariant violation with a human-readable description.
     Invalid(String),
+    /// The spill device failed persistently (retries exhausted): the
+    /// memory governor is poisoned and out-of-core state can no longer
+    /// be written (and possibly no longer read). Queries that can
+    /// rehydrate their spilled state continue resident ("degraded");
+    /// this error surfaces when they cannot.
+    SpillUnavailable(String),
 }
 
 impl fmt::Display for DataError {
@@ -30,6 +36,7 @@ impl fmt::Display for DataError {
             DataError::Io(msg) => write!(f, "io error: {msg}"),
             DataError::Parse(msg) => write!(f, "parse error: {msg}"),
             DataError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            DataError::SpillUnavailable(msg) => write!(f, "spill device unavailable: {msg}"),
         }
     }
 }

@@ -31,8 +31,10 @@ use crate::stream::{EstimateStream, Executor};
 use crate::trace::TraceLog;
 use crate::{Result, SteppedExecutor, ThreadedExecutor};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 use wake_core::graph::{Parallelism, QueryGraph};
-use wake_store::SpillConfig;
+use wake_store::{SpillConfig, SpillIo};
 
 /// Which execution engine drives the query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,6 +76,9 @@ pub struct EngineConfig {
     spill_fanout: Option<usize>,
     spill_max_depth: Option<usize>,
     spill_delta_ratio: Option<f64>,
+    spill_io: Option<Arc<dyn SpillIo>>,
+    spill_retries: Option<u32>,
+    spill_retry_delay: Option<Duration>,
     channel_capacity: Option<usize>,
     trace: Option<TraceLog>,
 }
@@ -159,6 +164,34 @@ impl EngineConfig {
         self
     }
 
+    /// The spill device behind all spill file I/O (default: the real
+    /// filesystem, [`wake_store::StdIo`]; the ambient
+    /// `WAKE_SPILL_ENOSPC_AFTER` injects an ENOSPC-after-N-bytes
+    /// [`wake_store::FaultIo`]). Tests and benches inject deterministic
+    /// fault schedules here.
+    pub fn with_spill_io(mut self, io: Arc<dyn SpillIo>) -> Self {
+        self.spill_io = Some(io);
+        self
+    }
+
+    /// Retries per spill I/O operation beyond the first attempt, with
+    /// exponentially doubling backoff. `0` fails fast: the first error
+    /// poisons the governor and the query degrades to memory-resident
+    /// execution. Default: `WAKE_SPILL_RETRIES`, else
+    /// [`wake_store::governor::DEFAULT_RETRY_ATTEMPTS`].
+    pub fn with_spill_retries(mut self, attempts: u32) -> Self {
+        self.spill_retries = Some(attempts);
+        self
+    }
+
+    /// Backoff before the first spill I/O retry (doubled per further
+    /// retry). Default:
+    /// [`wake_store::governor::DEFAULT_RETRY_BASE_DELAY`].
+    pub fn with_spill_retry_delay(mut self, delay: Duration) -> Self {
+        self.spill_retry_delay = Some(delay);
+        self
+    }
+
     /// Per-edge mailbox capacity of the threaded engine (minimum 1).
     pub fn with_channel_capacity(mut self, capacity: usize) -> Self {
         self.channel_capacity = Some(capacity.max(1));
@@ -207,6 +240,9 @@ impl EngineConfig {
             fanout: self.spill_fanout.unwrap_or(0),
             max_depth: self.spill_max_depth.unwrap_or(0),
             delta_ratio: self.spill_delta_ratio.or(ambient.delta_ratio),
+            io: self.spill_io.clone().or(ambient.io),
+            retry_attempts: self.spill_retries.or(ambient.retry_attempts),
+            retry_base_delay: self.spill_retry_delay.or(ambient.retry_base_delay),
         }
     }
 
@@ -231,6 +267,15 @@ impl EngineConfig {
         }
         if let Some(ratio) = config.delta_ratio {
             self = self.with_spill_delta_ratio(ratio);
+        }
+        if let Some(io) = &config.io {
+            self = self.with_spill_io(io.clone());
+        }
+        if let Some(attempts) = config.retry_attempts {
+            self = self.with_spill_retries(attempts);
+        }
+        if let Some(delay) = config.retry_base_delay {
+            self = self.with_spill_retry_delay(delay);
         }
         self
     }
@@ -334,6 +379,33 @@ mod tests {
         assert_eq!(resolved.fanout, 4);
         assert_eq!(resolved.max_depth, 2);
         assert_eq!(resolved.delta_ratio, Some(0.0));
+    }
+
+    #[test]
+    fn retry_knobs_resolve_per_knob() {
+        let ambient = SpillConfig::from_env();
+        // Unset: defer to the ambient WAKE_SPILL_RETRIES / default device.
+        let resolved = EngineConfig::new().spill_config();
+        assert_eq!(resolved.retry_attempts, ambient.retry_attempts);
+        // Explicit knobs win without disturbing their neighbours.
+        let resolved = EngineConfig::new()
+            .with_spill_retries(5)
+            .with_spill_retry_delay(Duration::from_micros(10))
+            .with_spill_io(Arc::new(wake_store::StdIo))
+            .spill_config();
+        assert_eq!(resolved.retry_attempts, Some(5));
+        assert_eq!(resolved.retry_base_delay, Some(Duration::from_micros(10)));
+        assert!(resolved.io.is_some());
+        assert_eq!(resolved.budget_bytes, ambient.budget_bytes);
+        // The legacy overlay forwards the new knobs too.
+        let legacy = SpillConfig {
+            retry_attempts: Some(1),
+            ..SpillConfig::default()
+        };
+        let resolved = EngineConfig::new()
+            .apply_legacy_spill(&legacy)
+            .spill_config();
+        assert_eq!(resolved.retry_attempts, Some(1));
     }
 
     #[test]

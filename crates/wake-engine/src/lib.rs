@@ -45,7 +45,11 @@ pub use stepped::{RunStats, SteppedExecutor, SteppedStream};
 pub use stream::{EstimateStream, Executor, StopStream, DEFAULT_CONFIDENCE};
 pub use threaded::{ThreadedExecutor, ThreadedStream, DEFAULT_CHANNEL_CAPACITY};
 pub use trace::{TraceEvent, TraceLog};
-// Memory-governance configuration (the budget knob on both executors).
-pub use wake_store::{SpillConfig, SpillMetrics};
+// Memory-governance configuration (the budget knob on both executors)
+// plus the spill-device boundary: the `SpillIo` trait, the real
+// filesystem device, and the deterministic fault injector for tests.
+pub use wake_store::{
+    FaultIo, FaultSchedule, SpillConfig, SpillIo, SpillMetrics, StdIo, TornWrite,
+};
 
 pub type Result<T> = std::result::Result<T, wake_data::DataError>;

@@ -50,6 +50,10 @@ pub struct RunStats {
     pub peak_state_bytes: usize,
     /// Spill telemetry (all zeroes when the query ran unbounded).
     pub spill: SpillMetrics,
+    /// The spill device failed persistently mid-query and the engine fell
+    /// back to memory-resident execution: the answer is still exact, but
+    /// the memory budget was suspended from the point of failure on.
+    pub degraded: bool,
 }
 
 /// Single-threaded, deterministic query driver.
@@ -235,6 +239,11 @@ impl SteppedStream {
                 .as_ref()
                 .map(|p| p.governor.metrics())
                 .unwrap_or_default(),
+            degraded: self
+                .exec
+                .spill
+                .as_ref()
+                .is_some_and(|p| p.governor.is_poisoned()),
         }
     }
 

@@ -417,6 +417,7 @@ impl ThreadedStream {
                 .as_ref()
                 .map(|g| g.metrics())
                 .unwrap_or_default(),
+            degraded: self.governor.as_ref().is_some_and(|g| g.is_poisoned()),
         }
     }
 

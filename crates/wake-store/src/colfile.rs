@@ -33,8 +33,8 @@
 
 use crate::dir::SpillDir;
 use crate::governor::MemoryGovernor;
+use crate::io::with_retries;
 use crate::Result;
-use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
 use wake_data::colfile::{pack_bits, read_colfile, unpack_bits, write_colfile, ByteCursor};
@@ -264,6 +264,27 @@ pub fn decode_all(bytes: &[u8]) -> Result<Vec<Chunk>> {
     Ok(out)
 }
 
+/// Decode the longest intact prefix of a run buffer: chunks up to (not
+/// including) the first torn or corrupt one, plus the number of tail
+/// bytes dropped. A crash mid-append leaves exactly this shape — every
+/// fully acked chunk intact, then a truncated or garbage tail — so
+/// recovery keeps all committed chunks and reports the loss.
+pub fn decode_all_recover(bytes: &[u8]) -> (Vec<Chunk>, usize) {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let mut c = ByteCursor::new(&bytes[off..]);
+        match decode_chunk(&mut c) {
+            Ok(ch) => {
+                off += bytes.len() - off - c.remaining();
+                out.push(ch);
+            }
+            Err(_) => return (out, bytes.len() - off),
+        }
+    }
+    (out, 0)
+}
+
 /// An appendable spill run: encoded chunks buffered in memory until the
 /// flush threshold, then appended to a uniquely named file in the query's
 /// [`SpillDir`]. The file is deleted when the run is dropped or cleared.
@@ -317,29 +338,40 @@ impl RunWriter {
     }
 
     /// Force pending bytes to disk.
+    ///
+    /// **Write failures do not fail the run.** The append goes through
+    /// the governor's retry policy; if the device stays dead the governor
+    /// is poisoned and the bytes simply *stay in the pending buffer* —
+    /// the run degrades to memory-resident (readable via [`read_all`]
+    /// without the device, still charged to the shard's `state_bytes`)
+    /// and `flush` returns `Ok`. Shards watch `governor.is_poisoned()`
+    /// to stop evicting; only *read* failures surface as errors.
+    ///
+    /// [`read_all`]: Self::read_all
     pub fn flush(&mut self) -> Result<()> {
         if self.buf.is_empty() {
             return Ok(());
         }
         let path = match &self.path {
             Some(p) => p.clone(),
-            None => {
-                let p = self.dir.next_path(&self.tag);
-                self.path = Some(p.clone());
-                p
-            }
+            None => self.dir.next_path(&self.tag),
         };
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)?;
-        f.write_all(&self.buf)?;
-        self.governor
-            .record_spill(self.buf.len(), self.chunks_pending);
-        self.flushed += self.buf.len();
-        self.buf.clear();
-        self.chunks_pending = 0;
-        Ok(())
+        let io = self.dir.io().clone();
+        match with_retries(&self.governor, "spill append", || {
+            io.append(&path, &self.buf)
+        }) {
+            Ok(()) => {
+                self.path = Some(path);
+                self.governor
+                    .record_spill(self.buf.len(), self.chunks_pending);
+                self.flushed += self.buf.len();
+                self.buf.clear();
+                self.chunks_pending = 0;
+                Ok(())
+            }
+            Err(DataError::SpillUnavailable(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 
     pub fn chunk_count(&self) -> usize {
@@ -371,18 +403,35 @@ impl RunWriter {
     /// *logical* partition load spans several runs (e.g. a base run plus
     /// its delta log) and should read as one in the telemetry.
     pub fn read_all_untracked(&self) -> Result<Vec<Chunk>> {
-        let mut bytes = Vec::with_capacity(self.total_bytes());
-        if let Some(p) = &self.path {
-            std::fs::File::open(p)?.read_to_end(&mut bytes)?;
-        }
+        decode_all(&self.raw_bytes()?)
+    }
+
+    /// Rehydrate with torn-tail recovery: decodes the longest intact
+    /// prefix of the run and returns the chunks plus the number of tail
+    /// bytes dropped (0 = the run was fully intact). Untracked, like
+    /// [`read_all_untracked`](Self::read_all_untracked) — the torn-tail
+    /// case is delta-run replay, which is part of a larger logical load.
+    pub fn read_all_recovering(&self) -> Result<(Vec<Chunk>, usize)> {
+        Ok(decode_all_recover(&self.raw_bytes()?))
+    }
+
+    /// Disk bytes (through the device, with retries) + pending bytes.
+    fn raw_bytes(&self) -> Result<Vec<u8>> {
+        let mut bytes = match &self.path {
+            Some(p) => {
+                let io = self.dir.io().clone();
+                with_retries(&self.governor, "spill read", || io.read(p))?
+            }
+            None => Vec::with_capacity(self.buf.len()),
+        };
         bytes.extend_from_slice(&self.buf);
-        decode_all(&bytes)
+        Ok(bytes)
     }
 
     /// Drop all content (disk file included) and reset to empty.
     pub fn clear(&mut self) {
         if let Some(p) = self.path.take() {
-            let _ = std::fs::remove_file(p);
+            let _ = self.dir.io().remove_file(&p);
         }
         self.buf.clear();
         self.flushed = 0;
@@ -394,7 +443,7 @@ impl RunWriter {
 impl Drop for RunWriter {
     fn drop(&mut self) {
         if let Some(p) = &self.path {
-            let _ = std::fs::remove_file(p);
+            let _ = self.dir.io().remove_file(p);
         }
     }
 }
@@ -509,6 +558,106 @@ mod tests {
         run.clear();
         assert!(run.is_empty());
         assert_eq!(run.read_all().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn recover_keeps_the_intact_prefix() {
+        let mut buf = Vec::new();
+        encode_chunk(&sample_chunk(), &mut buf).unwrap();
+        encode_chunk(&sample_chunk(), &mut buf).unwrap();
+        let intact = buf.len();
+        encode_chunk(&sample_chunk(), &mut buf).unwrap();
+        // Tear the final chunk mid-payload.
+        let torn = &buf[..intact + 20];
+        let (chunks, dropped) = decode_all_recover(torn);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(dropped, 20);
+        assert_eq!(chunks[1].frame, sample_frame());
+        // A fully intact buffer recovers losslessly.
+        let (chunks, dropped) = decode_all_recover(&buf);
+        assert_eq!((chunks.len(), dropped), (3, 0));
+        // Pure garbage: nothing recovered, everything reported dropped.
+        let (chunks, dropped) = decode_all_recover(&[7u8; 33]);
+        assert!(chunks.is_empty());
+        assert_eq!(dropped, 33);
+    }
+
+    #[test]
+    fn flush_soft_fails_when_the_device_dies() {
+        use crate::fault::{FaultIo, FaultSchedule};
+        let io = StdArc::new(FaultIo::new(FaultSchedule {
+            persistent_write_from: Some(0),
+            ..FaultSchedule::default()
+        }));
+        let dir = StdArc::new(SpillDir::new_temp_with(io).unwrap());
+        let gov = StdArc::new(
+            MemoryGovernor::new(Some(1 << 20))
+                .with_retry_policy(1, std::time::Duration::from_micros(10)),
+        );
+        let mut run = RunWriter::new(dir.clone(), gov.clone(), "dead").with_flush_threshold(1);
+        // Every push crosses the threshold and tries to flush; the append
+        // fails persistently — yet push/flush return Ok, the governor is
+        // poisoned, and the bytes stay pending (memory-resident run).
+        for _ in 0..3 {
+            run.push(&sample_chunk()).unwrap();
+        }
+        assert!(gov.is_poisoned());
+        assert!(gov.metrics().io_retries >= 1);
+        assert_eq!(gov.metrics().spilled_bytes, 0, "nothing reached disk");
+        assert_eq!(run.pending_bytes(), run.total_bytes());
+        assert_eq!(dir.root().read_dir().unwrap().count(), 0);
+        // The run reads back fine without the device.
+        let chunks = run.read_all().unwrap();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].frame, sample_frame());
+    }
+
+    #[test]
+    fn transient_append_faults_are_invisible() {
+        use crate::fault::{FaultIo, FaultSchedule};
+        let io = StdArc::new(FaultIo::new(FaultSchedule {
+            transient_write_every: Some(2),
+            transient_read_every: Some(2),
+            ..FaultSchedule::default()
+        }));
+        let dir = StdArc::new(SpillDir::new_temp_with(io).unwrap());
+        let gov = StdArc::new(
+            MemoryGovernor::new(Some(1 << 20))
+                .with_retry_policy(2, std::time::Duration::from_micros(10)),
+        );
+        let mut run = RunWriter::new(dir, gov.clone(), "flaky").with_flush_threshold(1);
+        for _ in 0..4 {
+            run.push(&sample_chunk()).unwrap();
+        }
+        assert_eq!(run.pending_bytes(), 0, "every flush eventually landed");
+        assert_eq!(run.read_all().unwrap().len(), 4);
+        assert!(!gov.is_poisoned());
+        assert!(gov.metrics().io_retries >= 2, "retries were recorded");
+    }
+
+    #[test]
+    fn torn_tail_is_recovered_and_reported() {
+        use crate::fault::{FaultIo, FaultSchedule, TornWrite};
+        let io = StdArc::new(FaultIo::new(FaultSchedule {
+            torn_write: Some(TornWrite {
+                tag: "torn".to_string(),
+                nth: 1,
+                keep_bytes: 11,
+            }),
+            ..FaultSchedule::default()
+        }));
+        let dir = StdArc::new(SpillDir::new_temp_with(io).unwrap());
+        let gov = StdArc::new(MemoryGovernor::new(Some(1 << 20)));
+        let mut run = RunWriter::new(dir, gov, "torn").with_flush_threshold(1);
+        run.push(&sample_chunk()).unwrap(); // append 0: intact
+        run.push(&sample_chunk()).unwrap(); // append 1: torn at byte 11
+                                            // Strict read fails typed on the torn tail...
+        assert!(run.read_all().is_err());
+        // ...recovery keeps the intact chunk and reports the dropped tail.
+        let (chunks, dropped) = run.read_all_recovering().unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(dropped, 11);
+        assert_eq!(chunks[0].frame, sample_frame());
     }
 
     #[test]

@@ -5,10 +5,16 @@
 //! paths, and removes everything it owns when dropped. Individual spill
 //! runs also delete their file eagerly when they are dropped, so the
 //! directory sweep is only the backstop for abnormal exits.
+//!
+//! The directory carries the query's [`SpillIo`] device: every run writer
+//! allocated from it inherits the same (possibly fault-injected) device,
+//! so one config knob redirects all of a query's spill traffic.
 
+use crate::io::{SpillIo, StdIo};
 use crate::Result;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A directory for spill files, with unique-name allocation and cleanup.
 #[derive(Debug)]
@@ -17,22 +23,29 @@ pub struct SpillDir {
     counter: AtomicU64,
     /// Whether this handle created the directory (and should remove it).
     owned: bool,
+    io: Arc<dyn SpillIo>,
 }
 
 impl SpillDir {
     /// Create a fresh, uniquely named directory under the system temp dir.
     pub fn new_temp() -> Result<Self> {
+        Self::new_temp_with(Arc::new(StdIo))
+    }
+
+    /// As [`new_temp`](Self::new_temp), on an explicit spill device.
+    pub fn new_temp_with(io: Arc<dyn SpillIo>) -> Result<Self> {
         let nonce = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0);
         let root =
             std::env::temp_dir().join(format!("wake-spill-{}-{:x}", std::process::id(), nonce));
-        std::fs::create_dir_all(&root)?;
+        io.create_dir_all(&root)?;
         Ok(SpillDir {
             root,
             counter: AtomicU64::new(0),
             owned: true,
+            io,
         })
     }
 
@@ -40,17 +53,28 @@ impl SpillDir {
     /// ownership: files allocated here are still deleted eagerly, but the
     /// directory itself is left in place on drop.
     pub fn at(path: impl Into<PathBuf>) -> Result<Self> {
+        Self::at_with(path, Arc::new(StdIo))
+    }
+
+    /// As [`at`](Self::at), on an explicit spill device.
+    pub fn at_with(path: impl Into<PathBuf>, io: Arc<dyn SpillIo>) -> Result<Self> {
         let root = path.into();
-        std::fs::create_dir_all(&root)?;
+        io.create_dir_all(&root)?;
         Ok(SpillDir {
             root,
             counter: AtomicU64::new(0),
             owned: false,
+            io,
         })
     }
 
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The spill device all runs in this directory write through.
+    pub fn io(&self) -> &Arc<dyn SpillIo> {
+        &self.io
     }
 
     /// Allocate a unique spill-file path (the file is not created yet).
@@ -68,7 +92,7 @@ impl SpillDir {
 impl Drop for SpillDir {
     fn drop(&mut self) {
         if self.owned {
-            let _ = std::fs::remove_dir_all(&self.root);
+            let _ = self.io.remove_dir_all(&self.root);
         }
     }
 }

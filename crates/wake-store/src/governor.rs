@@ -15,13 +15,24 @@
 //! through atomics; executors surface the totals as run statistics.
 
 use crate::dir::SpillDir;
+use crate::fault::{FaultIo, FaultSchedule};
+use crate::io::{SpillIo, StdIo};
 use crate::Result;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Default bounded-backoff retry policy for spill I/O: one initial
+/// attempt plus this many retries...
+pub const DEFAULT_RETRY_ATTEMPTS: u32 = 2;
+/// ...spaced by this base delay, doubled per retry. Small enough that an
+/// actually-dead device fails a query in milliseconds, large enough to
+/// ride out a transient `EINTR`/`EAGAIN`-class hiccup.
+pub const DEFAULT_RETRY_BASE_DELAY: Duration = Duration::from_millis(1);
 
 /// Shared spill ledger for one query execution.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoryGovernor {
     /// Total byte budget (None = unbounded: spilling disabled).
     budget: Option<usize>,
@@ -32,19 +43,76 @@ pub struct MemoryGovernor {
     delta_bytes: AtomicUsize,
     delta_chunks: AtomicUsize,
     compactions: AtomicUsize,
+    io_retries: AtomicUsize,
+    /// Set when spill I/O failed persistently (retries exhausted). Shards
+    /// that see a poisoned governor rehydrate what they can, stop
+    /// evicting, and continue resident ("degraded" execution).
+    poisoned: AtomicBool,
+    retry_attempts: u32,
+    retry_base_delay: Duration,
+}
+
+impl Default for MemoryGovernor {
+    fn default() -> Self {
+        MemoryGovernor::new(None)
+    }
 }
 
 impl MemoryGovernor {
     pub fn new(budget: Option<usize>) -> Self {
         MemoryGovernor {
             budget,
-            ..Default::default()
+            spilled_bytes: AtomicUsize::new(0),
+            chunks_written: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            rehydrations: AtomicUsize::new(0),
+            delta_bytes: AtomicUsize::new(0),
+            delta_chunks: AtomicUsize::new(0),
+            compactions: AtomicUsize::new(0),
+            io_retries: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            retry_attempts: DEFAULT_RETRY_ATTEMPTS,
+            retry_base_delay: DEFAULT_RETRY_BASE_DELAY,
         }
+    }
+
+    /// Replace the default I/O retry policy (`attempts` retries after the
+    /// first try, exponential backoff from `base_delay`).
+    pub fn with_retry_policy(mut self, attempts: u32, base_delay: Duration) -> Self {
+        self.retry_attempts = attempts;
+        self.retry_base_delay = base_delay;
+        self
     }
 
     /// The query-wide budget, if any.
     pub fn budget(&self) -> Option<usize> {
         self.budget
+    }
+
+    /// Retries allowed per spill I/O operation (beyond the first try).
+    pub fn retry_attempts(&self) -> u32 {
+        self.retry_attempts
+    }
+
+    /// Backoff before the first retry (doubled for each further one).
+    pub fn retry_base_delay(&self) -> Duration {
+        self.retry_base_delay
+    }
+
+    /// Mark the spill device persistently failed. Idempotent; never
+    /// unset for the lifetime of the query.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Has the spill device failed persistently?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// One spill I/O retry happened (the op failed and will be retried).
+    pub fn record_io_retry(&self) {
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_spill(&self, bytes: usize, chunks: usize) {
@@ -83,6 +151,7 @@ impl MemoryGovernor {
             delta_bytes: self.delta_bytes.load(Ordering::Relaxed),
             delta_chunks: self.delta_chunks.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -105,6 +174,8 @@ pub struct SpillMetrics {
     pub delta_chunks: usize,
     /// Delta-run compactions (replay onto base + truncate).
     pub compactions: usize,
+    /// Spill I/O operations that failed transiently and were retried.
+    pub io_retries: usize,
 }
 
 /// User-facing spill configuration: the budget knob on the executors.
@@ -127,6 +198,15 @@ pub struct SpillConfig {
     /// `None` = [`DEFAULT_DELTA_RATIO`]; `Some(0.0)` compacts on every
     /// fold (the pre-delta-log rehydrate-fold-rewrite behavior).
     pub delta_ratio: Option<f64>,
+    /// The spill device (None = the real filesystem, [`StdIo`]). Tests
+    /// and benches inject [`FaultIo`] here.
+    pub io: Option<Arc<dyn SpillIo>>,
+    /// I/O retries per spill operation beyond the first attempt
+    /// (`None` = [`DEFAULT_RETRY_ATTEMPTS`]; `Some(0)` fails fast).
+    pub retry_attempts: Option<u32>,
+    /// Backoff before the first retry, doubled per further retry
+    /// (`None` = [`DEFAULT_RETRY_BASE_DELAY`]).
+    pub retry_base_delay: Option<Duration>,
 }
 
 /// Default grace-hash fan-out per shard.
@@ -157,10 +237,14 @@ impl SpillConfig {
 
     /// Read the ambient configuration: `WAKE_MEM_BUDGET` (bytes, with
     /// optional `k`/`m`/`g` suffix; unset, empty, or `0` = unbounded),
-    /// `WAKE_SPILL_DIR`, and `WAKE_SPILL_DELTA_RATIO` (a non-negative
-    /// fraction; `0` = compact on every fold). This is what the executors
-    /// use by default, so a whole test suite can be driven through the
-    /// spill path by exporting one variable (the CI low-memory lanes).
+    /// `WAKE_SPILL_DIR`, `WAKE_SPILL_DELTA_RATIO` (a non-negative
+    /// fraction; `0` = compact on every fold), `WAKE_SPILL_RETRIES`
+    /// (retries per I/O op beyond the first attempt), and
+    /// `WAKE_SPILL_ENOSPC_AFTER` (bytes; simulate a full spill device
+    /// after that many bytes written — the CI fault lane). This is what
+    /// the executors use by default, so a whole test suite can be driven
+    /// through the spill path by exporting one variable (the CI
+    /// low-memory lanes).
     pub fn from_env() -> Self {
         let budget_bytes = std::env::var("WAKE_MEM_BUDGET")
             .ok()
@@ -169,10 +253,24 @@ impl SpillConfig {
         let delta_ratio = std::env::var("WAKE_SPILL_DELTA_RATIO")
             .ok()
             .and_then(|s| parse_ratio(&s));
+        let retry_attempts = std::env::var("WAKE_SPILL_RETRIES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok());
+        let io: Option<Arc<dyn SpillIo>> = std::env::var("WAKE_SPILL_ENOSPC_AFTER")
+            .ok()
+            .and_then(|s| parse_bytes(&s))
+            .map(|limit| {
+                Arc::new(FaultIo::new(FaultSchedule {
+                    enospc_after_bytes: Some(limit),
+                    ..FaultSchedule::default()
+                })) as Arc<dyn SpillIo>
+            });
         SpillConfig {
             budget_bytes,
             spill_dir,
             delta_ratio,
+            retry_attempts,
+            io,
             ..Self::default()
         }
     }
@@ -185,9 +283,10 @@ impl SpillConfig {
         let Some(total) = self.budget_bytes else {
             return Ok(None);
         };
+        let io: Arc<dyn SpillIo> = self.io.clone().unwrap_or_else(|| Arc::new(StdIo));
         let dir = match &self.spill_dir {
-            Some(p) => SpillDir::at(p)?,
-            None => SpillDir::new_temp()?,
+            Some(p) => SpillDir::at_with(p, io)?,
+            None => SpillDir::new_temp_with(io)?,
         };
         let fanout = if self.fanout >= 2 {
             self.fanout
@@ -203,8 +302,12 @@ impl SpillConfig {
             .delta_ratio
             .filter(|r| r.is_finite() && *r >= 0.0)
             .unwrap_or(DEFAULT_DELTA_RATIO);
+        let governor = MemoryGovernor::new(Some(total)).with_retry_policy(
+            self.retry_attempts.unwrap_or(DEFAULT_RETRY_ATTEMPTS),
+            self.retry_base_delay.unwrap_or(DEFAULT_RETRY_BASE_DELAY),
+        );
         Ok(Some(SpillPlan {
-            governor: Arc::new(MemoryGovernor::new(Some(total))),
+            governor: Arc::new(governor),
             dir: Arc::new(dir),
             op_budget: (total / spillable_ops.max(1)).max(1),
             fanout,
@@ -304,6 +407,26 @@ mod tests {
         assert_eq!(m.delta_chunks, 2);
         assert_eq!(m.compactions, 1);
         assert_eq!(g.budget(), Some(1024));
+    }
+
+    #[test]
+    fn poison_is_sticky_and_retry_policy_resolves() {
+        let g = MemoryGovernor::new(Some(1024));
+        assert!(!g.is_poisoned());
+        assert_eq!(g.retry_attempts(), DEFAULT_RETRY_ATTEMPTS);
+        assert_eq!(g.retry_base_delay(), DEFAULT_RETRY_BASE_DELAY);
+        g.poison();
+        g.poison();
+        assert!(g.is_poisoned());
+        g.record_io_retry();
+        assert_eq!(g.metrics().io_retries, 1);
+        // Config-level overrides reach the plan's governor.
+        let mut cfg = SpillConfig::with_budget(1 << 20);
+        cfg.retry_attempts = Some(7);
+        cfg.retry_base_delay = Some(Duration::from_micros(3));
+        let plan = cfg.build_plan(1).unwrap().unwrap();
+        assert_eq!(plan.governor.retry_attempts(), 7);
+        assert_eq!(plan.governor.retry_base_delay(), Duration::from_micros(3));
     }
 
     #[test]

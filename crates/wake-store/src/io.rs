@@ -1,0 +1,189 @@
+//! The spill I/O boundary: every byte the out-of-core machinery moves to
+//! or from disk goes through one [`SpillIo`] handle.
+//!
+//! Production uses [`StdIo`] (plain `std::fs`). Tests and benches inject
+//! a deterministic fault device ([`FaultIo`](crate::fault::FaultIo)) to
+//! prove the recovery ladder:
+//!
+//! 1. **retry** — a failed append/read is retried with bounded
+//!    exponential backoff ([`with_retries`]); each retry is counted in
+//!    `SpillMetrics::io_retries`.
+//! 2. **poison** — retries exhausted means the device is persistently
+//!    gone: the query's [`MemoryGovernor`] is poisoned and the failure
+//!    surfaces as the typed `DataError::SpillUnavailable`. Shards notice
+//!    the poisoned governor, rehydrate what is still readable, suspend
+//!    the budget, and continue resident ("degraded" execution);
+//!    `RunWriter::flush` keeps unwritable bytes in its pending buffer so
+//!    in-flight runs stay readable without the device.
+//! 3. **recover** — a delta run whose tail was torn mid-append is
+//!    truncated to its last intact chunk on rehydration
+//!    (`colfile::decode_all_recover`) and compacted, so a crash loses at
+//!    most the un-acked delta, never the partition.
+//!
+//! Append failures are assumed not to partially write (the retry would
+//! otherwise duplicate a prefix); torn tails — the crash case — are
+//! handled by the recovery path above, on delta runs, where replay
+//! semantics make truncation safe.
+
+use crate::governor::MemoryGovernor;
+use crate::Result;
+use std::fs::OpenOptions;
+use std::io::{Read, Write};
+use std::path::Path;
+use wake_data::DataError;
+
+/// File operations the spill layer needs, as a mockable device.
+///
+/// Directory creation/removal and file removal are lifecycle operations:
+/// they are *not* retried (a query-start `create_dir_all` failure is an
+/// ordinary typed error, and cleanup is best-effort on every device).
+pub trait SpillIo: Send + Sync + std::fmt::Debug {
+    /// Append `bytes` to the file at `path`, creating it if needed.
+    fn append(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+    /// Read the entire file at `path`.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Remove the file at `path`.
+    fn remove_file(&self, path: &Path) -> std::io::Result<()>;
+    /// Create `path` and its ancestors.
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()>;
+    /// Recursively remove `path`.
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+impl SpillIo for StdIo {
+    fn append(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_dir_all(path)
+    }
+}
+
+/// Run `op` under the governor's retry policy: transient failures are
+/// retried with exponential backoff (each one recorded in the ledger);
+/// exhausting the attempts poisons the governor and returns the typed
+/// [`DataError::SpillUnavailable`]. On an already-poisoned governor the
+/// op gets exactly one attempt (the device may still serve reads — e.g.
+/// after `ENOSPC` — but there is no point backing off for it again).
+pub fn with_retries<T>(
+    governor: &MemoryGovernor,
+    what: &str,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> Result<T> {
+    let mut attempt: u32 = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if governor.is_poisoned() || attempt >= governor.retry_attempts() {
+                    governor.poison();
+                    return Err(DataError::SpillUnavailable(format!(
+                        "{what} failed after {attempt} retries: {e}"
+                    )));
+                }
+                governor.record_io_retry();
+                std::thread::sleep(governor.retry_base_delay() * 2u32.saturating_pow(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn gov(retries: u32) -> MemoryGovernor {
+        MemoryGovernor::new(Some(1 << 20)).with_retry_policy(retries, Duration::from_micros(10))
+    }
+
+    #[test]
+    fn std_io_append_read_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("wake-io-test-{}", std::process::id()));
+        StdIo.create_dir_all(&dir).unwrap();
+        let p = dir.join("run.wcs");
+        StdIo.append(&p, b"abc").unwrap();
+        StdIo.append(&p, b"def").unwrap();
+        assert_eq!(StdIo.read(&p).unwrap(), b"abcdef");
+        StdIo.remove_file(&p).unwrap();
+        assert!(StdIo.read(&p).is_err());
+        StdIo.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_failures_retry_and_are_counted() {
+        let g = gov(2);
+        let mut calls = 0;
+        let out = with_retries(&g, "test op", || {
+            calls += 1;
+            if calls < 3 {
+                Err(std::io::Error::other("flaky"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(calls, 3);
+        assert_eq!(g.metrics().io_retries, 2);
+        assert!(!g.is_poisoned());
+    }
+
+    #[test]
+    fn exhausted_retries_poison_and_fail_typed() {
+        let g = gov(2);
+        let mut calls = 0;
+        let err = with_retries(&g, "test op", || -> std::io::Result<()> {
+            calls += 1;
+            Err(std::io::Error::other("dead"))
+        })
+        .unwrap_err();
+        assert!(matches!(err, DataError::SpillUnavailable(_)), "{err}");
+        assert_eq!(calls, 3, "one attempt plus two retries");
+        assert!(g.is_poisoned());
+        // Poisoned governor: single attempt, no further retry telemetry.
+        let retries_before = g.metrics().io_retries;
+        let mut calls = 0;
+        let err = with_retries(&g, "test op", || -> std::io::Result<()> {
+            calls += 1;
+            Err(std::io::Error::other("still dead"))
+        })
+        .unwrap_err();
+        assert!(matches!(err, DataError::SpillUnavailable(_)));
+        assert_eq!(calls, 1);
+        assert_eq!(g.metrics().io_retries, retries_before);
+    }
+
+    #[test]
+    fn zero_retry_policy_fails_on_first_error() {
+        let g = gov(0);
+        let err = with_retries(&g, "test op", || -> std::io::Result<()> {
+            Err(std::io::Error::other("once"))
+        })
+        .unwrap_err();
+        assert!(matches!(err, DataError::SpillUnavailable(_)));
+        assert!(g.is_poisoned());
+        assert_eq!(g.metrics().io_retries, 0);
+    }
+}

@@ -48,16 +48,26 @@
 //!   in the same sub-partition at every level.
 //! - [`merge`]: typed k-way merge of key-sorted frames (the join-point
 //!   for group-by partials from shards *and* spill partitions).
+//! - [`io`] / [`fault`]: the spill-device boundary ([`SpillIo`]; real
+//!   filesystem by default, deterministic fault injection in tests) and
+//!   the recovery ladder on top of it — bounded-backoff retries for
+//!   transient errors, governor **poisoning** + degradation to resident
+//!   execution for persistent device failure, and torn-tail truncation
+//!   on delta-run rehydration for crash consistency.
 
 pub mod colfile;
 pub mod dir;
+pub mod fault;
 pub mod governor;
+pub mod io;
 pub mod merge;
 pub mod partition;
 
 pub use colfile::{Chunk, RunWriter};
 pub use dir::SpillDir;
+pub use fault::{FaultIo, FaultSchedule, TornWrite};
 pub use governor::{MemoryGovernor, SpillConfig, SpillEnv, SpillMetrics, SpillPlan};
+pub use io::{SpillIo, StdIo};
 
 /// Crate-wide result type (shared with the data substrate).
 pub type Result<T> = std::result::Result<T, wake_data::DataError>;

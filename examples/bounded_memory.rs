@@ -81,6 +81,16 @@ fn main() {
         stats.spill.delta_chunks,
         stats.spill.compactions
     );
+    // Robustness telemetry: transient spill-device errors are retried
+    // with backoff (`Session::set_spill_retries` / WAKE_SPILL_RETRIES);
+    // a persistently failing device degrades the query to
+    // memory-resident execution instead of killing it — same exact
+    // answer, budget suspended (`WAKE_SPILL_ENOSPC_AFTER` simulates a
+    // full disk to try this out).
+    println!(
+        "spill I/O: {} retries, degraded to resident execution: {}",
+        stats.spill.io_retries, stats.degraded
+    );
     assert_eq!(
         reference.as_ref(),
         top.as_ref(),

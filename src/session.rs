@@ -156,6 +156,19 @@ impl Session {
             .set(|c| c.with_spill_delta_ratio(ratio));
     }
 
+    /// Retries per spill I/O operation beyond the first attempt (with
+    /// exponentially doubling backoff). A transient spill-device error
+    /// that recovers within the retry budget is invisible — estimates
+    /// stay bit-identical; once retries are exhausted the device is
+    /// considered dead and queries degrade to memory-resident execution
+    /// (`RunStats::degraded`). `0` fails fast. Default:
+    /// `WAKE_SPILL_RETRIES`, else 2.
+    pub fn set_spill_retries(&mut self, attempts: u32) {
+        self.config
+            .borrow_mut()
+            .set(|c| c.with_spill_retries(attempts));
+    }
+
     /// Register a base table and get its edf handle (`read_csv` in §1).
     pub fn read(&mut self, source: impl TableSource + 'static) -> Edf {
         let node = self.graph.borrow_mut().read(source);
