@@ -1,0 +1,216 @@
+//! Persistent-table scan vs zone pruning on a Q6-style selective filter.
+//!
+//! Fixture: a lineitem-shaped segment clustered by ship date (7 years of
+//! rows in date order, 64 zones). The Q6 predicate — one year of ship
+//! dates, a discount band, a quantity cap — disqualifies ~6/7 of the
+//! zones by their date min/max alone, so the pruned scan should decode a
+//! fraction of the bytes and finish correspondingly faster.
+//!
+//! Three cases:
+//! - `full_scan`   — pruning disabled: every zone decoded and filtered,
+//! - `pruned_scan` — zone-map pruning on: surviving zones only,
+//! - `decode_zones` — raw decode of every zone (no query machinery), the
+//!   floor the scan overhead sits on.
+//!
+//! Besides the criterion timings this bench records the tracked perf
+//! trajectory artifact `BENCH_PR7.json` (medians + bytes-scanned
+//! counters) at the repo root, and ASSERTS — in `--test` smoke mode too,
+//! so regressions fail loudly — that pruning cuts decoded bytes by ≥2×.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+use wake_core::agg::AggSpec;
+use wake_core::graph::QueryGraph;
+use wake_data::value::date_to_days;
+use wake_data::{Column, DataFrame, DataType, Field, Schema};
+use wake_engine::{EngineConfig, RunStats};
+use wake_expr::{col, lit_date, lit_f64};
+use wake_store::{write_segment, SegmentReader, SegmentSource, StdIo};
+
+const ZONES: usize = 64;
+
+/// lineitem-shaped rows clustered by ship date: 7 years, date-ascending.
+fn build_table(n: usize) -> DataFrame {
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("l_shipdate", DataType::Date),
+        Field::new("l_quantity", DataType::Float64),
+        Field::new("l_discount", DataType::Float64),
+        Field::new("l_extendedprice", DataType::Float64),
+    ]));
+    let start = date_to_days(1992, 1, 1);
+    let span = date_to_days(1998, 12, 31) - start;
+    let mix = |i: usize| {
+        let mut z = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        z ^= z >> 29;
+        z = z.wrapping_mul(0xbf58476d1ce4e5b9);
+        z ^ (z >> 32)
+    };
+    DataFrame::new(
+        schema,
+        vec![
+            Column::from_dates(
+                (0..n)
+                    .map(|i| start + (i as i64 * span) / n as i64)
+                    .collect(),
+            ),
+            Column::from_f64((0..n).map(|i| (mix(i) % 50) as f64 + 1.0).collect()),
+            Column::from_f64((0..n).map(|i| (mix(i) % 11) as f64 * 0.01).collect()),
+            Column::from_f64(
+                (0..n)
+                    .map(|i| (mix(i) % 100_000) as f64 * 0.01 + 900.0)
+                    .collect(),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+/// The Q6 shape over the segment.
+fn q6_graph(reader: &Arc<SegmentReader>) -> QueryGraph {
+    let mut g = QueryGraph::new();
+    let src = SegmentSource::from_reader(reader.clone()).unwrap();
+    let li = g.read(src);
+    let f = g.filter(
+        li,
+        col("l_shipdate")
+            .ge(lit_date(1994, 1, 1))
+            .and(col("l_shipdate").lt(lit_date(1995, 1, 1)))
+            .and(col("l_discount").between(lit_f64(0.05), lit_f64(0.07)))
+            .and(col("l_quantity").lt(lit_f64(24.0))),
+    );
+    let m = g.map(
+        f,
+        vec![(col("l_extendedprice").mul(col("l_discount")), "rev")],
+    );
+    let a = g.agg(m, vec![], vec![AggSpec::sum(col("rev"), "revenue")]);
+    g.sink(a);
+    g
+}
+
+fn run_scan(reader: &Arc<SegmentReader>, pruning: bool) -> (f64, RunStats) {
+    let started = Instant::now();
+    let (series, stats) = EngineConfig::stepped()
+        .with_zone_pruning(pruning)
+        .start(q6_graph(reader))
+        .unwrap()
+        .collect_with_stats()
+        .unwrap();
+    let elapsed = started.elapsed().as_secs_f64() * 1e3;
+    black_box(series);
+    (elapsed, stats)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn bench_segment_scan(c: &mut Criterion) {
+    let smoke = criterion::smoke_mode();
+    let n: usize = if smoke { 60_000 } else { 600_000 };
+    let frame = build_table(n);
+    let dir = std::env::temp_dir().join(format!("wake-bench-segment-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lineitem.wseg");
+    write_segment(
+        "lineitem",
+        &frame,
+        n.div_ceil(ZONES),
+        &[],
+        Some(&["l_shipdate".to_string()]),
+        &path,
+        &StdIo,
+    )
+    .unwrap();
+    let reader = SegmentReader::open(&path, Arc::new(StdIo)).unwrap();
+
+    // The acceptance check this bench exists for: on the Q6-style filter
+    // zone pruning must cut decoded bytes by at least 2× (here ~7×: one
+    // ship-date year out of seven survives) while the answers match.
+    let (_, full) = run_scan(&reader, false);
+    let (_, pruned) = run_scan(&reader, true);
+    assert!(pruned.scan.zones_pruned > 0, "nothing pruned");
+    assert_eq!(
+        full.scan.zones_scanned, ZONES as u64,
+        "full scan must decode every zone"
+    );
+    assert!(
+        2 * pruned.scan.decompressed_bytes <= full.scan.decompressed_bytes,
+        "pruning decoded {} bytes vs {} full — less than the required 2× cut",
+        pruned.scan.decompressed_bytes,
+        full.scan.decompressed_bytes
+    );
+
+    let iters = if smoke { 5 } else { 9 };
+    let full_ms = median((0..iters).map(|_| run_scan(&reader, false).0).collect());
+    let pruned_ms = median((0..iters).map(|_| run_scan(&reader, true).0).collect());
+    let decode_ms = median(
+        (0..iters)
+            .map(|_| {
+                let started = Instant::now();
+                for z in 0..reader.zone_count() {
+                    black_box(reader.read_zone(z).unwrap());
+                }
+                started.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+    println!(
+        "segment_scan n={n}: full {full_ms:.2} ms ({} B decoded), pruned {pruned_ms:.2} ms \
+         ({} B decoded, {}/{} zones pruned), decode-only {decode_ms:.2} ms",
+        full.scan.decompressed_bytes,
+        pruned.scan.decompressed_bytes,
+        pruned.scan.zones_pruned,
+        pruned.scan.zones_total,
+    );
+
+    // The tracked perf-trajectory artifact (ROADMAP: one BENCH_*.json per
+    // PR). Written from the bench so the numbers can never drift from the
+    // code that produced them.
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let json = format!(
+        "{{\n  \"pr\": 7,\n  \"bench\": \"segment_scan\",\n  \"smoke\": {smoke},\n  \
+         \"rows\": {n},\n  \"zones\": {ZONES},\n  \"full_scan\": {{\"median_ms\": {full_ms:.3}, \
+         \"bytes_decoded\": {}, \"bytes_compressed\": {}, \"zones_scanned\": {}}},\n  \
+         \"pruned_scan\": {{\"median_ms\": {pruned_ms:.3}, \"bytes_decoded\": {}, \
+         \"bytes_compressed\": {}, \"zones_scanned\": {}, \"zones_pruned\": {}}},\n  \
+         \"decode_only\": {{\"median_ms\": {decode_ms:.3}}},\n  \
+         \"bytes_decoded_reduction\": {:.2},\n  \"wall_clock_speedup\": {:.2}\n}}\n",
+        full.scan.decompressed_bytes,
+        full.scan.compressed_bytes,
+        full.scan.zones_scanned,
+        pruned.scan.decompressed_bytes,
+        pruned.scan.compressed_bytes,
+        pruned.scan.zones_scanned,
+        pruned.scan.zones_pruned,
+        full.scan.decompressed_bytes as f64 / pruned.scan.decompressed_bytes.max(1) as f64,
+        full_ms / pruned_ms,
+    );
+    std::fs::write(repo_root.join("BENCH_PR7.json"), json).unwrap();
+
+    let mut group = c.benchmark_group("segment_scan");
+    group.sample_size(10);
+    group.bench_function("full_scan", |b| {
+        b.iter(|| black_box(run_scan(&reader, false)))
+    });
+    group.bench_function("pruned_scan", |b| {
+        b.iter(|| black_box(run_scan(&reader, true)))
+    });
+    group.bench_function("decode_zones", |b| {
+        b.iter(|| {
+            for z in 0..reader.zone_count() {
+                black_box(reader.read_zone(z).unwrap());
+            }
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_segment_scan);
+criterion_main!(benches);

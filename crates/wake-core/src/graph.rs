@@ -315,10 +315,66 @@ impl QueryGraph {
         )
     }
 
+    /// Swap the source of a reader node (planner passes use this to
+    /// install pruned/reordered scan views). Panics if `node` is not a
+    /// `Read` — planner passes only rewrite what [`Self::sources`] lists.
+    pub fn replace_source(&mut self, node: NodeId, source: Arc<dyn TableSource>) {
+        match &mut self.nodes[node.0].kind {
+            NodeKind::Read { source: slot } => *slot = source,
+            other => panic!("replace_source on non-read node {other:?}"),
+        }
+    }
+
     /// Mark the query output node.
     pub fn sink(&mut self, node: NodeId) {
         assert!(node.0 < self.nodes.len());
         self.sink = Some(node);
+    }
+
+    /// Drop every node that is not an ancestor of the sink, remapping
+    /// node ids. A session's graph accumulates all edfs ever built on it,
+    /// and executors instantiate — and sources scan for — every node in
+    /// the graph they are handed; pruning unreachable chains keeps a
+    /// query from paying I/O for tables other edfs read. No-op without a
+    /// sink.
+    pub fn retain_reachable(&mut self) {
+        let Some(sink) = self.sink else { return };
+        let mut keep = vec![false; self.nodes.len()];
+        let mut stack = vec![sink.0];
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut keep[i], true) {
+                continue;
+            }
+            stack.extend(self.nodes[i].inputs.iter().map(|n| n.0));
+        }
+        if keep.iter().all(|&k| k) {
+            return;
+        }
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        let mut next = 0;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        self.nodes = std::mem::take(&mut self.nodes)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| keep[*i])
+            .map(|(_, mut n)| {
+                for input in &mut n.inputs {
+                    *input = NodeId(remap[input.0]);
+                }
+                n
+            })
+            .collect();
+        self.node_parallelism = std::mem::take(&mut self.node_parallelism)
+            .into_iter()
+            .filter(|(i, _)| keep[*i])
+            .map(|(i, p)| (remap[i], p))
+            .collect();
+        self.sink = Some(NodeId(remap[sink.0]));
     }
 
     pub fn sink_id(&self) -> Option<NodeId> {
@@ -510,6 +566,30 @@ mod tests {
         )
         .unwrap();
         MemorySource::from_frame("t", &df, 2, vec!["k".into()], Some(vec!["k".into()])).unwrap()
+    }
+
+    #[test]
+    fn retain_reachable_drops_orphan_chains_and_remaps() {
+        let mut g = QueryGraph::new();
+        let orphan = g.read(source()); // another edf's reader — not this query
+        let _orphan_filter = g.filter(orphan, col("v").gt(lit_f64(0.0)));
+        let r = g.read(source());
+        let f = g.filter(r, col("v").gt(lit_f64(1.0)));
+        let a = g.agg(f, vec![], vec![AggSpec::sum(col("v"), "s")]);
+        g.set_node_parallelism(orphan, Parallelism::Fixed(7));
+        g.set_node_parallelism(a, Parallelism::Fixed(2));
+        g.sink(a);
+        g.retain_reachable();
+        assert_eq!(g.len(), 3, "only the sink's ancestors survive");
+        assert_eq!(g.sources().len(), 1, "the orphan reader is gone");
+        let sink = g.sink_id().unwrap();
+        assert_eq!(g.parallelism_of(sink), Parallelism::Fixed(2));
+        // Remapped input edges still resolve end to end.
+        g.resolve_metas().unwrap();
+        // Idempotent on an already-minimal graph.
+        let before = g.len();
+        g.retain_reachable();
+        assert_eq!(g.len(), before);
     }
 
     #[test]

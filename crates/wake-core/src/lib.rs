@@ -34,6 +34,7 @@ pub mod growth;
 pub mod meta;
 pub mod metrics;
 pub mod ops;
+pub mod plan;
 pub mod progress;
 pub mod update;
 

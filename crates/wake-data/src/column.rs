@@ -315,10 +315,14 @@ impl Column {
             ColumnData::Utf8(v) => gather!(Utf8, v),
             ColumnData::Date(v) => gather!(Date, v),
         };
+        // Canonical form (as in `with_validity`): a mask with no nulls
+        // left after the gather is dropped, so sliced columns compare
+        // equal to freshly built ones.
         let validity = self
             .validity
             .as_ref()
-            .map(|m| (0..n).map(|i| m[src(i)]).collect());
+            .map(|m| (0..n).map(|i| m[src(i)]).collect::<Vec<bool>>())
+            .filter(|m| !m.iter().all(|&v| v));
         Column { data, validity }
     }
 

@@ -25,6 +25,7 @@ pub mod frame;
 pub mod hash;
 pub mod partition;
 pub mod row;
+pub mod scan;
 pub mod schema;
 pub mod source;
 pub mod value;
@@ -33,6 +34,7 @@ pub use column::Column;
 pub use error::DataError;
 pub use frame::DataFrame;
 pub use row::Row;
+pub use scan::{ColPredicate, PredOp, ScanMetrics, ZoneDecision, ZoneStats};
 pub use schema::{Field, Schema};
 pub use source::{MemorySource, TableMeta, TableSource};
 pub use value::{DataType, Value};

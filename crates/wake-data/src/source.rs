@@ -43,6 +43,26 @@ pub trait TableSource: Send + Sync {
     fn meta(&self) -> &TableMeta;
     /// Materialise partition `i` (0-based, read order).
     fn partition(&self, i: usize) -> Result<DataFrame>;
+
+    /// A view of this source restricted to partitions that may contain rows
+    /// satisfying the conjunction, per zone-map statistics. Sources without
+    /// statistics return `None` and the planner leaves them untouched. The
+    /// returned source's `partition_rows` must cover only surviving zones so
+    /// the progress ratio `t` ranges over the retained population.
+    fn pruned(&self, _preds: &[crate::scan::ColPredicate]) -> Option<Arc<dyn TableSource>> {
+        None
+    }
+
+    /// A view of this source visiting the same partitions in a seeded random
+    /// order. Sources that cannot reorder cheaply return `None`.
+    fn reordered(&self, _seed: u64) -> Option<Arc<dyn TableSource>> {
+        None
+    }
+
+    /// Scan-side I/O counters accumulated by this source, if it tracks any.
+    fn scan_metrics(&self) -> Option<crate::scan::ScanMetrics> {
+        None
+    }
 }
 
 /// An in-memory source: pre-partitioned frames.

@@ -81,6 +81,10 @@ pub struct EngineConfig {
     spill_retry_delay: Option<Duration>,
     channel_capacity: Option<usize>,
     trace: Option<TraceLog>,
+    table_dir: Option<PathBuf>,
+    zone_rows: Option<usize>,
+    zone_pruning: Option<bool>,
+    scan_seed: Option<u64>,
 }
 
 impl EngineConfig {
@@ -204,6 +208,47 @@ impl EngineConfig {
         self
     }
 
+    /// Directory persisted segment tables are written to and opened from
+    /// (default: `WAKE_TABLE_DIR`; unset = no persistent-table root, the
+    /// session keeps tables in memory).
+    pub fn with_table_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.table_dir = Some(dir.into());
+        self
+    }
+
+    /// Rows per zone when persisting segment tables — the pruning
+    /// granularity: smaller zones prune more precisely but carry more
+    /// per-zone metadata and smaller compression runs. Values below 1
+    /// resolve to the default. Default: `WAKE_ZONE_ROWS`, else
+    /// [`wake_store::DEFAULT_ZONE_ROWS`].
+    pub fn with_zone_rows(mut self, rows: usize) -> Self {
+        self.zone_rows = Some(rows);
+        self
+    }
+
+    /// Enable or disable zone pruning — pushing the conjunctive
+    /// range/equality predicates of a `Filter` directly over a scan into
+    /// the source, so zones whose min/max statistics prove no row can
+    /// qualify are never read or decoded. Results are unchanged either
+    /// way (the filter always stays in the plan); this knob exists to
+    /// measure the win and to disable the pass when debugging. Default:
+    /// `WAKE_ZONE_PRUNING` (`0`/`false`/`off` disables), else **on**.
+    pub fn with_zone_pruning(mut self, enabled: bool) -> Self {
+        self.zone_pruning = Some(enabled);
+        self
+    }
+
+    /// Visit zones of every reorder-capable source in a seeded random
+    /// order — the paper's shuffled-input regime, which keeps early
+    /// estimates representative when on-disk order is correlated with
+    /// values. Each scan mixes its node id into the seed, so runs are
+    /// reproducible. Default: `WAKE_SCAN_SEED`, else no reordering
+    /// (sources are scanned in stored zone order).
+    pub fn with_scan_seed(mut self, seed: u64) -> Self {
+        self.scan_seed = Some(seed);
+        self
+    }
+
     /// The configured engine kind.
     pub fn executor(&self) -> ExecutorKind {
         self.executor
@@ -222,6 +267,52 @@ impl EngineConfig {
 
     pub(crate) fn trace(&self) -> Option<TraceLog> {
         self.trace.clone()
+    }
+
+    /// Resolved persistent-table root (explicit, else `WAKE_TABLE_DIR`).
+    pub fn table_dir(&self) -> Option<PathBuf> {
+        self.table_dir.clone().or_else(|| {
+            std::env::var("WAKE_TABLE_DIR")
+                .ok()
+                .filter(|s| !s.trim().is_empty())
+                .map(PathBuf::from)
+        })
+    }
+
+    /// Resolved rows-per-zone for table persistence (explicit, else
+    /// `WAKE_ZONE_ROWS`, else [`wake_store::DEFAULT_ZONE_ROWS`]; never 0).
+    pub fn zone_rows(&self) -> usize {
+        self.zone_rows
+            .or_else(|| {
+                std::env::var("WAKE_ZONE_ROWS")
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok())
+            })
+            .filter(|&r| r >= 1)
+            .unwrap_or(wake_store::DEFAULT_ZONE_ROWS)
+    }
+
+    /// Resolved zone-pruning switch (explicit, else `WAKE_ZONE_PRUNING`
+    /// where `0`/`false`/`off` disables, else on).
+    pub fn zone_pruning(&self) -> bool {
+        self.zone_pruning
+            .unwrap_or_else(|| match std::env::var("WAKE_ZONE_PRUNING") {
+                Ok(v) => !matches!(
+                    v.trim().to_ascii_lowercase().as_str(),
+                    "0" | "false" | "off" | "no"
+                ),
+                Err(_) => true,
+            })
+    }
+
+    /// Resolved scan-order seed (explicit, else `WAKE_SCAN_SEED`; `None`
+    /// = stored zone order).
+    pub fn scan_seed(&self) -> Option<u64> {
+        self.scan_seed.or_else(|| {
+            std::env::var("WAKE_SCAN_SEED")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+        })
     }
 
     /// Resolve the memory-governance configuration. **This is the single
@@ -280,10 +371,20 @@ impl EngineConfig {
         self
     }
 
-    /// Apply the graph-level knobs this config carries.
+    /// Apply the graph-level knobs this config carries, then run the
+    /// planner passes: seeded scan reordering first (when a seed is set),
+    /// predicate pushdown second (unless pruning is disabled) — pruning a
+    /// reordered view keeps the shuffled visit order for the surviving
+    /// zones. Both passes are no-ops on non-segment sources.
     pub(crate) fn apply_to_graph(&self, graph: &mut QueryGraph) {
         if let Some(p) = self.parallelism {
             graph.set_parallelism(p);
+        }
+        if let Some(seed) = self.scan_seed() {
+            wake_core::plan::reorder_scans(graph, seed);
+        }
+        if self.zone_pruning() {
+            wake_core::plan::push_down_predicates(graph);
         }
     }
 
@@ -406,6 +507,29 @@ mod tests {
             .apply_legacy_spill(&legacy)
             .spill_config();
         assert_eq!(resolved.retry_attempts, Some(1));
+    }
+
+    #[test]
+    fn scan_knobs_resolve_explicitly() {
+        let cfg = EngineConfig::new()
+            .with_table_dir("/tmp/wake-tables-cfg-test")
+            .with_zone_rows(128)
+            .with_zone_pruning(false)
+            .with_scan_seed(7);
+        assert_eq!(
+            cfg.table_dir(),
+            Some(PathBuf::from("/tmp/wake-tables-cfg-test"))
+        );
+        assert_eq!(cfg.zone_rows(), 128);
+        assert!(!cfg.zone_pruning());
+        assert_eq!(cfg.scan_seed(), Some(7));
+        // Degenerate zone sizing resolves to the default, never 0.
+        assert_eq!(
+            EngineConfig::new().with_zone_rows(0).zone_rows(),
+            wake_store::DEFAULT_ZONE_ROWS
+        );
+        // Explicit on wins regardless of the ambient environment.
+        assert!(EngineConfig::new().with_zone_pruning(true).zone_pruning());
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct RunStats {
     /// back to memory-resident execution: the answer is still exact, but
     /// the memory budget was suspended from the point of failure on.
     pub degraded: bool,
+    /// Persistent-table scan telemetry, summed over every segment-backed
+    /// source in the plan: zones pruned by the pushed-down predicates,
+    /// zones actually decoded, compressed bytes read versus decompressed
+    /// bytes produced, and time spent decoding. All zeroes when every
+    /// source is in-memory/CSV/WCF (those track no scan metrics).
+    pub scan: wake_data::ScanMetrics,
 }
 
 /// Single-threaded, deterministic query driver.
@@ -244,6 +250,7 @@ impl SteppedStream {
                 .spill
                 .as_ref()
                 .is_some_and(|p| p.governor.is_poisoned()),
+            scan: wake_core::plan::scan_metrics(&self.exec.graph),
         }
     }
 

@@ -195,6 +195,9 @@ impl ThreadedExecutor {
             .build_plan(self.graph.shardable_node_count())?;
         let governor: Option<Arc<MemoryGovernor>> = spill.as_ref().map(|p| p.governor.clone());
         let spill_root: Option<PathBuf> = spill.as_ref().map(|p| p.dir.root().to_path_buf());
+        // Scan-telemetry handles: the graph is consumed by the spawn loop
+        // below, but `stats()` must stay readable after the stream ends.
+        let scan_sources = wake_core::plan::source_handles(&self.graph);
         let start = Instant::now();
         let cancel = Arc::new(AtomicBool::new(false));
         // Per-node current state size + query-wide peak, for RunStats.
@@ -363,6 +366,7 @@ impl ThreadedExecutor {
             governor,
             spill_root,
             peak_bytes,
+            scan_sources,
             finished: false,
         })
     }
@@ -402,6 +406,9 @@ pub struct ThreadedStream {
     governor: Option<Arc<MemoryGovernor>>,
     spill_root: Option<PathBuf>,
     peak_bytes: Arc<AtomicUsize>,
+    /// Source handles kept alive for post-run scan telemetry (the graph
+    /// itself is consumed when the node threads are spawned).
+    scan_sources: Vec<Arc<dyn wake_data::TableSource>>,
     finished: bool,
 }
 
@@ -418,6 +425,7 @@ impl ThreadedStream {
                 .map(|g| g.metrics())
                 .unwrap_or_default(),
             degraded: self.governor.as_ref().is_some_and(|g| g.is_poisoned()),
+            scan: wake_core::plan::scan_metrics_of(&self.scan_sources),
         }
     }
 

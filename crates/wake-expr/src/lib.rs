@@ -11,9 +11,11 @@
 
 mod eval;
 mod like;
+pub mod pushdown;
 
 pub use eval::{eval, eval_cow, eval_mask, eval_selection, infer_type};
 pub use like::like_match;
+pub use pushdown::extract_predicates;
 
 use std::fmt;
 use std::sync::Arc;

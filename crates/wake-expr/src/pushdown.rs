@@ -1,0 +1,146 @@
+//! Predicate pushdown extraction: turn the prunable part of a filter
+//! expression into [`ColPredicate`]s for the zone pruner.
+//!
+//! Only conjuncts of the shape `col <cmp> literal` (either orientation) or
+//! `col BETWEEN lit AND lit` are extracted — exactly the forms zone-map
+//! min/max statistics can decide. Everything else (disjunctions, `Ne`,
+//! LIKE, arithmetic over columns, …) is skipped *conservatively*: the
+//! filter itself always stays in the plan, so an unextractable conjunct
+//! merely forfeits pruning, never correctness.
+
+use crate::{BinOp, Expr};
+use wake_data::scan::{ColPredicate, PredOp};
+use wake_data::Value;
+
+fn cmp_op(op: BinOp) -> Option<PredOp> {
+    Some(match op {
+        BinOp::Lt => PredOp::Lt,
+        BinOp::Le => PredOp::Le,
+        BinOp::Gt => PredOp::Gt,
+        BinOp::Ge => PredOp::Ge,
+        BinOp::Eq => PredOp::Eq,
+        // `Ne` prunes only single-value zones — not worth the footgun.
+        _ => return None,
+    })
+}
+
+fn flip(op: PredOp) -> PredOp {
+    match op {
+        PredOp::Lt => PredOp::Gt,
+        PredOp::Le => PredOp::Ge,
+        PredOp::Gt => PredOp::Lt,
+        PredOp::Ge => PredOp::Le,
+        PredOp::Eq => PredOp::Eq,
+    }
+}
+
+fn as_col_lit(left: &Expr, right: &Expr) -> Option<(String, Value, bool)> {
+    match (left, right) {
+        (Expr::Col(c), Expr::Lit(v)) => Some((c.to_string(), v.clone(), false)),
+        (Expr::Lit(v), Expr::Col(c)) => Some((c.to_string(), v.clone(), true)),
+        _ => None,
+    }
+}
+
+fn collect(expr: &Expr, out: &mut Vec<ColPredicate>) {
+    match expr {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            collect(left, out);
+            collect(right, out);
+        }
+        Expr::Binary { op, left, right } => {
+            let (Some(op), Some((column, value, flipped))) = (cmp_op(*op), as_col_lit(left, right))
+            else {
+                return;
+            };
+            let op = if flipped { flip(op) } else { op };
+            out.push(ColPredicate { column, op, value });
+        }
+        Expr::Between { expr, low, high } => {
+            if let (Expr::Col(c), Expr::Lit(lo), Expr::Lit(hi)) =
+                (expr.as_ref(), low.as_ref(), high.as_ref())
+            {
+                out.push(ColPredicate {
+                    column: c.to_string(),
+                    op: PredOp::Ge,
+                    value: lo.clone(),
+                });
+                out.push(ColPredicate {
+                    column: c.to_string(),
+                    op: PredOp::Le,
+                    value: hi.clone(),
+                });
+            }
+        }
+        // Any other node (Or, Not, Like, InList, …) contributes nothing.
+        _ => {}
+    }
+}
+
+/// Extract the zone-prunable conjuncts of `expr`. The result may be empty;
+/// it is always a *superset-safe* weakening of the filter (every row the
+/// filter keeps satisfies every extracted predicate).
+pub fn extract_predicates(expr: &Expr) -> Vec<ColPredicate> {
+    let mut out = Vec::new();
+    collect(expr, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{col, lit_f64, lit_i64, lit_str};
+
+    #[test]
+    fn extracts_conjunctive_range_and_equality() {
+        // A Q6-shaped filter: date range + BETWEEN + strict upper bound.
+        let e = col("ship")
+            .ge(lit_i64(100))
+            .and(col("ship").lt(lit_i64(200)))
+            .and(col("disc").between(lit_f64(0.05), lit_f64(0.07)))
+            .and(col("qty").lt(lit_i64(24)));
+        let preds = extract_predicates(&e);
+        assert_eq!(preds.len(), 5);
+        assert_eq!(preds[0].to_string(), "ship >= 100");
+        assert_eq!(preds[1].to_string(), "ship < 200");
+        assert_eq!(preds[2].to_string(), "disc >= 0.05");
+        assert_eq!(preds[3].to_string(), "disc <= 0.07");
+        assert_eq!(preds[4].to_string(), "qty < 24");
+    }
+
+    #[test]
+    fn flipped_operands_normalise() {
+        let e = lit_i64(5).lt(col("x")).and(lit_str("a").eq(col("s")));
+        let preds = extract_predicates(&e);
+        assert_eq!(preds[0].to_string(), "x > 5");
+        assert_eq!(preds[1].to_string(), "s = a");
+    }
+
+    #[test]
+    fn non_prunable_shapes_are_skipped_not_broken() {
+        // OR poisons neither side's siblings outside the OR.
+        let e = col("a")
+            .gt(lit_i64(1))
+            .or(col("b").lt(lit_i64(2)))
+            .and(col("c").eq(lit_i64(3)));
+        let preds = extract_predicates(&e);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].to_string(), "c = 3");
+        // Ne, col-col comparisons, arithmetic, LIKE: nothing extracted.
+        for e in [
+            col("a").ne(lit_i64(1)),
+            col("a").lt(col("b")),
+            col("a").add(lit_i64(1)).lt(lit_i64(3)),
+            col("s").like("%x%"),
+            col("a").gt(lit_i64(1)).not(),
+        ] {
+            assert!(extract_predicates(&e).is_empty(), "{e}");
+        }
+        // BETWEEN over non-literal bounds is skipped.
+        assert!(extract_predicates(&col("a").between(col("lo"), lit_i64(9))).is_empty());
+    }
+}

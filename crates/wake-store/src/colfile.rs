@@ -61,7 +61,7 @@ pub const MAX_CHUNK_BYTES: usize = 1 << 30;
 /// Validate an untrusted `u64` length header against [`MAX_CHUNK_BYTES`]
 /// before narrowing it to `usize` (the cap fits in 32 bits, so the cast
 /// below is lossless on every target).
-fn checked_len(len: u64, what: &str) -> Result<usize> {
+pub(crate) fn checked_len(len: u64, what: &str) -> Result<usize> {
     if len > MAX_CHUNK_BYTES as u64 {
         return Err(DataError::Parse(format!(
             "spill chunk {what} {len} exceeds the {MAX_CHUNK_BYTES}-byte cap"

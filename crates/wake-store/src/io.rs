@@ -48,6 +48,38 @@ pub trait SpillIo: Send + Sync + std::fmt::Debug {
     fn create_dir_all(&self, path: &Path) -> std::io::Result<()>;
     /// Recursively remove `path`.
     fn remove_dir_all(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Read `len` bytes starting at `offset`. The default routes through
+    /// [`SpillIo::read`] so fault-injecting devices cover ranged reads for
+    /// free; real devices override with a positioned read. Reading past the
+    /// end of the file is an error (segment offsets are footer-validated).
+    fn read_range(&self, path: &Path, offset: u64, len: u64) -> std::io::Result<Vec<u8>> {
+        let bytes = self.read(path)?;
+        let start = usize::try_from(offset).map_err(|_| range_err(path, offset, len))?;
+        let n = usize::try_from(len).map_err(|_| range_err(path, offset, len))?;
+        let end = start
+            .checked_add(n)
+            .ok_or_else(|| range_err(path, offset, len))?;
+        if end > bytes.len() {
+            return Err(range_err(path, offset, len));
+        }
+        Ok(bytes[start..end].to_vec())
+    }
+
+    /// The current length of the file at `path`, in bytes.
+    fn len(&self, path: &Path) -> std::io::Result<u64> {
+        Ok(self.read(path)?.len() as u64)
+    }
+}
+
+fn range_err(path: &Path, offset: u64, len: u64) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        format!(
+            "range [{offset}, +{len}) out of bounds for {}",
+            path.display()
+        ),
+    )
 }
 
 /// The real filesystem.
@@ -76,6 +108,20 @@ impl SpillIo for StdIo {
 
     fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
         std::fs::remove_dir_all(path)
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: u64) -> std::io::Result<Vec<u8>> {
+        use std::io::{Seek, SeekFrom};
+        let mut f = std::fs::File::open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let n = usize::try_from(len).map_err(std::io::Error::other)?;
+        let mut bytes = vec![0u8; n];
+        f.read_exact(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn len(&self, path: &Path) -> std::io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
     }
 }
 
@@ -128,6 +174,44 @@ mod tests {
         assert_eq!(StdIo.read(&p).unwrap(), b"abcdef");
         StdIo.remove_file(&p).unwrap();
         assert!(StdIo.read(&p).is_err());
+        StdIo.remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ranged_reads_and_len() {
+        let dir = std::env::temp_dir().join(format!("wake-io-range-{}", std::process::id()));
+        StdIo.create_dir_all(&dir).unwrap();
+        let p = dir.join("seg.wseg");
+        StdIo.append(&p, b"0123456789").unwrap();
+        assert_eq!(StdIo.len(&p).unwrap(), 10);
+        assert_eq!(StdIo.read_range(&p, 3, 4).unwrap(), b"3456");
+        assert_eq!(StdIo.read_range(&p, 0, 0).unwrap(), b"");
+        assert!(StdIo.read_range(&p, 8, 4).is_err(), "past EOF must error");
+
+        // A device that only implements the required methods gets ranged
+        // reads via the default full-read path, with the same bounds checks.
+        #[derive(Debug)]
+        struct WholeFileOnly;
+        impl SpillIo for WholeFileOnly {
+            fn append(&self, _: &Path, _: &[u8]) -> std::io::Result<()> {
+                unreachable!()
+            }
+            fn read(&self, _: &Path) -> std::io::Result<Vec<u8>> {
+                Ok(b"0123456789".to_vec())
+            }
+            fn remove_file(&self, _: &Path) -> std::io::Result<()> {
+                unreachable!()
+            }
+            fn create_dir_all(&self, _: &Path) -> std::io::Result<()> {
+                unreachable!()
+            }
+            fn remove_dir_all(&self, _: &Path) -> std::io::Result<()> {
+                unreachable!()
+            }
+        }
+        assert_eq!(WholeFileOnly.read_range(&p, 3, 4).unwrap(), b"3456");
+        assert_eq!(WholeFileOnly.len(&p).unwrap(), 10);
+        assert!(WholeFileOnly.read_range(&p, 8, 4).is_err());
         StdIo.remove_dir_all(&dir).unwrap();
     }
 

@@ -56,18 +56,21 @@
 //!   on delta-run rehydration for crash consistency.
 
 pub mod colfile;
+pub mod compress;
 pub mod dir;
 pub mod fault;
 pub mod governor;
 pub mod io;
 pub mod merge;
 pub mod partition;
+pub mod segment;
 
 pub use colfile::{Chunk, RunWriter};
 pub use dir::SpillDir;
 pub use fault::{FaultIo, FaultSchedule, TornWrite};
 pub use governor::{MemoryGovernor, SpillConfig, SpillEnv, SpillMetrics, SpillPlan};
 pub use io::{SpillIo, StdIo};
+pub use segment::{write_segment, SegmentReader, SegmentSource, DEFAULT_ZONE_ROWS};
 
 /// Crate-wide result type (shared with the data substrate).
 pub type Result<T> = std::result::Result<T, wake_data::DataError>;

@@ -18,4 +18,4 @@ pub mod schema;
 pub mod synthetic;
 
 pub use gen::TpchData;
-pub use queries::{all_queries, query_by_name, QuerySpec, TpchDb};
+pub use queries::{all_queries, query_by_name, QuerySpec, TpchDb, TABLES};

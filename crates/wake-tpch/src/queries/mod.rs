@@ -22,6 +22,11 @@ use std::sync::Arc;
 use wake_core::graph::{NodeId, QueryGraph};
 use wake_expr::{col, lit_i64, Expr};
 
+/// All eight TPC-H table names, in generation order.
+pub const TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+];
+
 /// A partitioned view of the generated dataset: fixed-size partitions like
 /// the paper's 512 MB Parquet chunks, so small dimension tables occupy one
 /// partition while the fact tables span many.
@@ -30,6 +35,9 @@ pub struct TpchDb {
     /// Rows per partition (derived from `lineitem` and the requested
     /// partition count).
     rows_per_partition: usize,
+    /// On-disk segment table per name, when built with
+    /// [`TpchDb::persisted`]. `None` = in-memory mode.
+    persisted: Option<std::collections::HashMap<String, Arc<wake_store::SegmentSource>>>,
 }
 
 impl TpchDb {
@@ -39,7 +47,75 @@ impl TpchDb {
         TpchDb {
             data,
             rows_per_partition,
+            persisted: None,
         }
+    }
+
+    /// Like [`TpchDb::new`], but every table is written to `dir` as a
+    /// compressed multi-zone segment and queries read the on-disk copies.
+    /// Each table's zone size replicates the exact per-table partitioning
+    /// of the in-memory mode, so an unpruned persisted scan yields
+    /// bit-identical partitions — and therefore bit-identical estimate
+    /// streams on the stepped engine — to [`TpchDb::new`].
+    pub fn persisted(
+        data: Arc<TpchData>,
+        partitions: usize,
+        dir: &std::path::Path,
+    ) -> wake_data::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let rows_per_partition = data.lineitem.num_rows().div_ceil(partitions.max(1)).max(1);
+        let io: Arc<dyn wake_store::SpillIo> = Arc::new(wake_store::StdIo);
+        let mut tables = std::collections::HashMap::new();
+        for table in TABLES {
+            let frame = data.table(table);
+            // The in-memory mode's partition sizing, table by table.
+            let parts = frame.num_rows().div_ceil(rows_per_partition).max(1);
+            let zone_rows = frame.num_rows().div_ceil(parts).max(1);
+            let (pk, ck) = crate::schema::keys(table);
+            let path = dir.join(format!("{table}.wseg"));
+            wake_store::write_segment(
+                table,
+                frame,
+                zone_rows,
+                &pk,
+                ck.as_deref(),
+                &path,
+                io.as_ref(),
+            )?;
+            let source = wake_store::SegmentSource::open(path, io.clone())?;
+            tables.insert(table.to_string(), Arc::new(source));
+        }
+        Ok(TpchDb {
+            data,
+            rows_per_partition,
+            persisted: Some(tables),
+        })
+    }
+
+    /// [`TpchDb::new`] unless the ambient `WAKE_TPCH_PERSIST_DIR` is set,
+    /// in which case every table is written as an on-disk segment under a
+    /// unique subdirectory of it and queries scan the persisted copies —
+    /// the switch CI's `persisted-tables` lane flips to drive the whole
+    /// TPC-H suite through the segment path without touching the tests.
+    pub fn ambient(data: Arc<TpchData>, partitions: usize) -> wake_data::Result<Self> {
+        match std::env::var("WAKE_TPCH_PERSIST_DIR") {
+            Ok(dir) if !dir.trim().is_empty() => {
+                use std::sync::atomic::{AtomicUsize, Ordering};
+                static NEXT: AtomicUsize = AtomicUsize::new(0);
+                let unique = std::path::Path::new(&dir).join(format!(
+                    "tpch-{}-{}",
+                    std::process::id(),
+                    NEXT.fetch_add(1, Ordering::Relaxed)
+                ));
+                Self::persisted(data, partitions, &unique)
+            }
+            _ => Ok(Self::new(data, partitions)),
+        }
+    }
+
+    /// The segment source behind `table` (persisted mode only).
+    pub fn persisted_source(&self, table: &str) -> Option<&Arc<wake_store::SegmentSource>> {
+        self.persisted.as_ref().and_then(|t| t.get(table))
     }
 
     pub fn data(&self) -> &Arc<TpchData> {
@@ -54,8 +130,13 @@ impl TpchDb {
         self.rows_per_partition
     }
 
-    /// Add a reader node for `table`.
+    /// Add a reader node for `table` (the on-disk segment in persisted
+    /// mode, a partitioned in-memory view otherwise).
     pub fn read(&self, g: &mut QueryGraph, table: &str) -> NodeId {
+        if let Some(tables) = &self.persisted {
+            let source = tables.get(table).expect("persisted tpc-h table").clone();
+            return g.read_arc(source);
+        }
         let frame = self.data.table(table);
         let partitions = frame.num_rows().div_ceil(self.rows_per_partition).max(1);
         g.read(self.data.source(table, partitions))

@@ -169,6 +169,36 @@ impl Session {
             .set(|c| c.with_spill_retries(attempts));
     }
 
+    /// Directory persisted segment tables are written to and opened from
+    /// by [`Self::persist_table`] / [`Self::open_table`] (default:
+    /// `WAKE_TABLE_DIR`).
+    pub fn set_table_dir(&mut self, dir: impl Into<PathBuf>) {
+        let dir = dir.into();
+        self.config.borrow_mut().set(|c| c.with_table_dir(dir));
+    }
+
+    /// Rows per zone when persisting tables — the pruning granularity.
+    /// Default: `WAKE_ZONE_ROWS`, else [`wake::store::DEFAULT_ZONE_ROWS`](wake_store::DEFAULT_ZONE_ROWS).
+    pub fn set_zone_rows(&mut self, rows: usize) {
+        self.config.borrow_mut().set(|c| c.with_zone_rows(rows));
+    }
+
+    /// Enable or disable zone pruning for this session's queries (answers
+    /// are unchanged either way — pruning only skips provably-empty I/O).
+    /// Default: `WAKE_ZONE_PRUNING`, else on.
+    pub fn set_zone_pruning(&mut self, enabled: bool) {
+        self.config
+            .borrow_mut()
+            .set(|c| c.with_zone_pruning(enabled));
+    }
+
+    /// Scan persisted tables' zones in a seeded random order — the
+    /// paper's shuffled-input regime for representative early estimates.
+    /// Default: `WAKE_SCAN_SEED`, else stored order.
+    pub fn set_scan_seed(&mut self, seed: u64) {
+        self.config.borrow_mut().set(|c| c.with_scan_seed(seed));
+    }
+
     /// Register a base table and get its edf handle (`read_csv` in §1).
     pub fn read(&mut self, source: impl TableSource + 'static) -> Edf {
         let node = self.graph.borrow_mut().read(source);
@@ -177,6 +207,54 @@ impl Session {
             config: self.config.clone(),
             node,
         }
+    }
+
+    /// Persist `frame` as a multi-zone compressed segment table named
+    /// `name` under the session's table directory ([`Self::set_table_dir`]
+    /// / `WAKE_TABLE_DIR`), then register the on-disk table and return its
+    /// edf handle. Each zone holds [`Session::set_zone_rows`] rows with
+    /// per-column min/max statistics, so filters over the returned edf can
+    /// skip zones entirely (zone pruning). Overwrites any previous segment
+    /// of the same name.
+    pub fn persist_table(
+        &mut self,
+        name: &str,
+        frame: &DataFrame,
+        primary_key: Vec<String>,
+        clustering_key: Option<Vec<String>>,
+    ) -> Result<Edf> {
+        let path = self.table_path(name)?;
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let zone_rows = self.config.borrow().zone_rows();
+        let io: std::sync::Arc<dyn wake_store::SpillIo> = std::sync::Arc::new(wake_store::StdIo);
+        wake_store::write_segment(
+            name,
+            frame,
+            zone_rows,
+            &primary_key,
+            clustering_key.as_deref(),
+            &path,
+            io.as_ref(),
+        )?;
+        Ok(self.read(wake_store::SegmentSource::open(path, io)?))
+    }
+
+    /// Open a previously persisted segment table by name and register it.
+    pub fn open_table(&mut self, name: &str) -> Result<Edf> {
+        let path = self.table_path(name)?;
+        let io: std::sync::Arc<dyn wake_store::SpillIo> = std::sync::Arc::new(wake_store::StdIo);
+        Ok(self.read(wake_store::SegmentSource::open(path, io)?))
+    }
+
+    fn table_path(&self, name: &str) -> Result<PathBuf> {
+        let dir = self.config.borrow().table_dir().ok_or_else(|| {
+            wake_data::DataError::Invalid(
+                "no table directory: call Session::set_table_dir or set WAKE_TABLE_DIR".into(),
+            )
+        })?;
+        Ok(dir.join(format!("{name}.wseg")))
     }
 }
 
@@ -323,10 +401,14 @@ impl Edf {
         self.wrap(node)
     }
 
-    /// Snapshot of the graph with this edf as sink.
+    /// Snapshot of the graph with this edf as sink, restricted to the
+    /// sink's ancestors — other edfs registered on the session (including
+    /// the read nodes [`Session::persist_table`] / [`Session::open_table`]
+    /// return) are not part of this query and must not be scanned by it.
     pub fn to_graph(&self) -> QueryGraph {
         let mut g = self.graph.borrow().clone();
         g.sink(self.node);
+        g.retain_reachable();
         g
     }
 
@@ -610,6 +692,51 @@ mod tests {
         // And an explicit unbounded override wins over the environment.
         s.set_memory_budget(None);
         assert_eq!(s.engine_config().spill_config().budget_bytes, None);
+    }
+
+    #[test]
+    fn persisted_table_round_trip_with_pruning() {
+        let dir = std::env::temp_dir().join("wake-session-persist-test");
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ]));
+        let frame = DataFrame::new(
+            schema,
+            vec![
+                Column::from_i64((0..40).collect()),
+                Column::from_f64((0..40).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let mut s = Session::new();
+        s.set_table_dir(&dir);
+        s.set_zone_rows(10);
+        let t = s
+            .persist_table("session_t", &frame, vec!["k".into()], None)
+            .unwrap();
+        let q = t.filter(col("v").lt(lit_f64(10.0))).sum("v", &[], "sv");
+        let (series, stats) = q.collect_stats().unwrap();
+        let last = series.last().unwrap();
+        assert!(last.is_final);
+        assert_eq!(last.frame.value(0, "sv").unwrap(), Value::Float(45.0));
+        // Rows 10..39 live in zones whose min >= 10: pruned, not decoded.
+        assert_eq!(stats.scan.zones_total, 4);
+        assert_eq!(stats.scan.zones_pruned, 3);
+        assert!(stats.scan.decompressed_bytes > 0);
+        // Pruning off: same answer, every zone decoded.
+        s.set_zone_pruning(false);
+        let (series2, stats2) = q.collect_stats().unwrap();
+        assert_eq!(
+            series2.last().unwrap().frame.value(0, "sv").unwrap(),
+            Value::Float(45.0)
+        );
+        assert_eq!(stats2.scan.zones_pruned, 0);
+        // A fresh session reopens the persisted table by name.
+        let mut s2 = Session::new();
+        s2.set_table_dir(&dir);
+        let t2 = s2.open_table("session_t").unwrap();
+        assert_eq!(t2.get_final().unwrap().num_rows(), 40);
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Persisted segment tables must be a *transparent* swap for in-memory
+//! sources: all 22 TPC-H queries over unpruned on-disk tables reproduce
+//! the in-memory estimate stream bit for bit (same partitioning, same
+//! zone order, same frames); zone pruning may only skip I/O, never change
+//! answers; and under pruning + seeded zone reordering the growth model's
+//! population accounting must keep estimates unbiased and confidence
+//! intervals valid (no false convergence — including the all-zones-pruned
+//! query, which must end on the exact empty answer).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use wake::core::metrics;
+use wake::engine::{EngineConfig, SteppedExecutor};
+use wake::store::segment::frames_bit_identical;
+use wake::tpch::{all_queries, TpchData, TpchDb};
+use wake_engine::SeriesExt;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wake-scan-equiv-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn all_queries_persisted_unpruned_bit_identical() {
+    let data = Arc::new(TpchData::generate(0.002, 42));
+    let mem = TpchDb::new(data.clone(), 8);
+    let dir = scratch_dir("unpruned");
+    let disk = TpchDb::persisted(data, 8, &dir).unwrap();
+    for spec in all_queries() {
+        // `SteppedExecutor::new` runs no planner passes: the on-disk scan
+        // visits every zone in file order, so the entire estimate stream —
+        // frames (to the float bit), progress, sequence numbers, finality —
+        // must match the in-memory run exactly.
+        let a = SteppedExecutor::new((spec.build)(&mem))
+            .unwrap()
+            .run_collect()
+            .unwrap();
+        let b = SteppedExecutor::new((spec.build)(&disk))
+            .unwrap()
+            .run_collect()
+            .unwrap();
+        assert_eq!(a.len(), b.len(), "{}: estimate counts differ", spec.name);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.t, y.t, "{}: progress diverged", spec.name);
+            assert_eq!(x.seq, y.seq, "{}", spec.name);
+            assert_eq!(x.rows_processed, y.rows_processed, "{}", spec.name);
+            assert_eq!(x.is_final, y.is_final, "{}", spec.name);
+            assert!(
+                frames_bit_identical(&x.frame, &y.frame),
+                "{}: estimate {} not bit-identical\nmem:\n{}\ndisk:\n{}",
+                spec.name,
+                x.seq,
+                x.frame.pretty(8),
+                y.frame.pretty(8)
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_queries_pruned_finals_match_in_memory() {
+    let data = Arc::new(TpchData::generate(0.002, 11));
+    let mem = TpchDb::new(data.clone(), 8);
+    let dir = scratch_dir("pruned");
+    let disk = TpchDb::persisted(data, 8, &dir).unwrap();
+    for spec in all_queries() {
+        let want = SteppedExecutor::new((spec.build)(&mem))
+            .unwrap()
+            .run_collect()
+            .unwrap();
+        let want = want.final_frame();
+        // Pruning enabled (the default): predicates are pushed into every
+        // eligible scan, zones provably empty of matches are skipped. The
+        // final answer must be unchanged.
+        let got = EngineConfig::stepped()
+            .with_zone_pruning(true)
+            .run_collect((spec.build)(&disk))
+            .unwrap();
+        let got = got.final_frame();
+        assert_eq!(
+            want.num_rows(),
+            got.num_rows(),
+            "{}: row count {} (mem) vs {} (pruned disk)",
+            spec.name,
+            want.num_rows(),
+            got.num_rows()
+        );
+        if want.num_rows() == 0 {
+            continue;
+        }
+        let report = metrics::compare(want, got, spec.keys, spec.values)
+            .unwrap_or_else(|e| panic!("{}: compare failed: {e}", spec.name));
+        assert!(
+            report.recall > 0.999 && report.precision > 0.999,
+            "{}: recall {} precision {}",
+            spec.name,
+            report.recall,
+            report.precision
+        );
+        assert!(
+            report.mape < 1e-9,
+            "{}: pruned final MAPE {}\nmem:\n{}\ndisk:\n{}",
+            spec.name,
+            report.mape,
+            want.pretty(12),
+            got.pretty(12)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn zero_survivor_query_yields_exact_empty_not_false_convergence() {
+    let data = Arc::new(TpchData::generate(0.002, 3));
+    let dir = scratch_dir("zero-survivor");
+    let disk = TpchDb::persisted(data, 8, &dir).unwrap();
+    // No lineitem row has l_quantity > 1e9: every zone's max rules it out,
+    // so the pushed-down scan prunes the whole table and presents a single
+    // empty partition.
+    let mut g = wake::core::graph::QueryGraph::new();
+    let li = disk.read(&mut g, "lineitem");
+    let f = g.filter(
+        li,
+        wake::expr::col("l_quantity").gt(wake::expr::lit_f64(1e9)),
+    );
+    let a = g.agg_with_ci(
+        f,
+        vec![],
+        vec![wake::core::agg::AggSpec::sum(
+            wake::expr::col("l_extendedprice"),
+            "s",
+        )],
+    );
+    g.sink(a);
+    let (series, stats) = EngineConfig::stepped()
+        .start(g)
+        .unwrap()
+        .collect_with_stats()
+        .unwrap();
+    let zones = disk
+        .persisted_source("lineitem")
+        .unwrap()
+        .reader()
+        .zone_count() as u64;
+    assert!(zones >= 2, "need a multi-zone lineitem for this test");
+    assert_eq!(stats.scan.zones_pruned, zones, "all zones must be pruned");
+    assert_eq!(stats.scan.zones_scanned, 0, "nothing may be decoded");
+    let last = series.last().unwrap();
+    assert!(last.is_final);
+    assert_eq!(last.t, 1.0);
+    // The exact empty answer — not a scaled-up estimate from zero rows.
+    assert_eq!(
+        last.frame.num_rows(),
+        0,
+        "zero-survivor query must end empty, got:\n{}",
+        last.frame.pretty(5)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pruned_reordered_scan_keeps_estimates_unbiased() {
+    use wake::data::{Column, DataFrame, DataType, Field, Schema};
+    // A table built for pruning: `z` is the zone index (perfectly
+    // clustered — the filter column), `v` is hash-scattered (the measure
+    // column, representative within every zone). 16 zones of 500 rows.
+    let n = 8_000usize;
+    let scatter = |i: usize| ((i as u64).wrapping_mul(2_654_435_761) % 1_000) as f64;
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("z", DataType::Int64),
+        Field::new("v", DataType::Float64),
+    ]));
+    let frame = DataFrame::new(
+        schema,
+        vec![
+            Column::from_i64((0..n).map(|i| (i / 500) as i64).collect()),
+            Column::from_f64((0..n).map(scatter).collect()),
+        ],
+    )
+    .unwrap();
+    let dir = scratch_dir("unbiased");
+    let path = dir.join("clustered.wseg");
+    wake::store::write_segment(
+        "clustered",
+        &frame,
+        500,
+        &[],
+        None,
+        &path,
+        &wake::store::StdIo,
+    )
+    .unwrap();
+    let source = wake::store::SegmentSource::open(&path, Arc::new(wake::store::StdIo)).unwrap();
+
+    // z >= 8 prunes the lower half of the zones exactly (each zone's z is
+    // constant); the survivors are visited in seeded random order.
+    let build = || {
+        let mut g = wake::core::graph::QueryGraph::new();
+        let src = wake::store::SegmentSource::from_reader(source.reader().clone()).unwrap();
+        let r = g.read(src);
+        let f = g.filter(r, wake::expr::col("z").ge(wake::expr::lit_i64(8)));
+        let a = g.agg_with_ci(
+            f,
+            vec![],
+            vec![wake::core::agg::AggSpec::avg(wake::expr::col("v"), "m")],
+        );
+        g.sink(a);
+        g
+    };
+    let truth = (4000..8000).map(scatter).sum::<f64>() / 4000.0;
+    for seed in [1u64, 42, 1234] {
+        let (series, stats) = EngineConfig::stepped()
+            .with_scan_seed(seed)
+            .start(build())
+            .unwrap()
+            .collect_with_stats()
+            .unwrap();
+        assert_eq!(stats.scan.zones_total, 16);
+        assert_eq!(stats.scan.zones_pruned, 8, "seed {seed}");
+        assert_eq!(stats.scan.zones_scanned, 8, "seed {seed}");
+        // One estimate per surviving zone; progress spans the *retained*
+        // population, reaching exactly 1 at the end (the pruned rows are
+        // excluded from the growth model's totals, keeping it unbiased).
+        assert_eq!(series.len(), 8, "seed {seed}");
+        let last = series.last().unwrap();
+        assert_eq!(last.t, 1.0);
+        assert_eq!(
+            last.frame.value(0, "m").unwrap().as_f64().unwrap(),
+            truth,
+            "seed {seed}: final must be exact"
+        );
+        // Every intermediate 95% Chebyshev CI must cover the truth — the
+        // §8.5 validity check under the shuffled, pruned read. A biased
+        // population accounting would shift estimates systematically and
+        // break coverage (and make `until_confidence` stop on a wrong
+        // answer).
+        let mut covered = 0usize;
+        for est in &series {
+            let interval = wake::core::ci::interval_at(&est.frame, 0, "m", 0.95).unwrap();
+            if interval.contains(truth) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / series.len() as f64;
+        assert!(coverage >= 0.9, "seed {seed}: coverage {coverage}");
+        // The declarative stopping rule ends on an estimate whose CI is
+        // both tight and truthful — never a false trigger.
+        let stopped = EngineConfig::stepped()
+            .with_scan_seed(seed)
+            .start(build())
+            .unwrap()
+            .until_confidence("m", 0.05)
+            .last()
+            .unwrap()
+            .unwrap();
+        let interval = wake::core::ci::interval_at(&stopped.frame, 0, "m", 0.95).unwrap();
+        assert!(
+            interval.contains(truth),
+            "seed {seed}: until_confidence stopped outside the truth: {:?} vs {truth}",
+            interval
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

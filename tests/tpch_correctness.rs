@@ -28,8 +28,8 @@ fn run_final(db: &TpchDb, name: &str) -> Arc<wake::data::DataFrame> {
 #[test]
 fn all_queries_partitioned_equals_single_shot() {
     let data = Arc::new(TpchData::generate(0.002, 42));
-    let incremental = TpchDb::new(data.clone(), 8);
-    let oneshot = TpchDb::new(data, 1);
+    let incremental = TpchDb::ambient(data.clone(), 8).unwrap();
+    let oneshot = TpchDb::ambient(data, 1).unwrap();
     for spec in all_queries() {
         let inc = run_final(&incremental, spec.name);
         let one = run_final(&oneshot, spec.name);
@@ -70,7 +70,7 @@ fn all_queries_partitioned_equals_single_shot() {
 #[test]
 fn estimates_converge_monotonically_in_progress() {
     let data = Arc::new(TpchData::generate(0.002, 7));
-    let db = TpchDb::new(data, 10);
+    let db = TpchDb::ambient(data, 10).unwrap();
     // Q1 is the canonical OLA query: check error decreases broadly.
     let spec = wake::tpch::query_by_name("q1").unwrap();
     let series = SteppedExecutor::new((spec.build)(&db))
@@ -97,7 +97,7 @@ fn estimates_converge_monotonically_in_progress() {
 #[test]
 fn first_estimates_arrive_before_final() {
     let data = Arc::new(TpchData::generate(0.002, 11));
-    let db = TpchDb::new(data, 10);
+    let db = TpchDb::ambient(data, 10).unwrap();
     for name in ["q1", "q6", "q18"] {
         let spec = wake::tpch::query_by_name(name).unwrap();
         let series = SteppedExecutor::new((spec.build)(&db))
