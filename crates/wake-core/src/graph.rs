@@ -389,6 +389,29 @@ impl QueryGraph {
         &self.nodes[id.0]
     }
 
+    /// A stable human-readable label for `id` — the `NodeKind` Debug
+    /// rendering (e.g. `Read(lineitem)`, `Agg(by ["k"], 2 specs)`).
+    /// Observability keys per-node profiles by these; they depend only
+    /// on the node's own definition, never on scheduling.
+    pub fn node_label(&self, id: NodeId) -> String {
+        format!("{:?}", self.nodes[id.0].kind)
+    }
+
+    /// All node labels plus input edges as plain indices — the plan
+    /// skeleton observability captures before an executor consumes the
+    /// graph.
+    pub fn plan_skeleton(&self) -> (Vec<String>, Vec<Vec<usize>>) {
+        let labels = (0..self.nodes.len())
+            .map(|i| self.node_label(NodeId(i)))
+            .collect();
+        let inputs = self
+            .nodes
+            .iter()
+            .map(|n| n.inputs.iter().map(|i| i.0).collect())
+            .collect();
+        (labels, inputs)
+    }
+
     pub fn len(&self) -> usize {
         self.nodes.len()
     }

@@ -1214,6 +1214,12 @@ impl Operator for AggOp {
     fn state_bytes(&self) -> usize {
         self.shard_bytes.iter().sum()
     }
+
+    fn report(&self) -> crate::ops::OpReport {
+        crate::ops::OpReport {
+            shard_state_bytes: self.shard_bytes.clone(),
+        }
+    }
 }
 
 // Expose input schema for debugging/tests.

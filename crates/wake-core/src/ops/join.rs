@@ -1471,6 +1471,12 @@ impl Operator for JoinOp {
     fn state_bytes(&self) -> usize {
         self.shard_bytes.iter().sum()
     }
+
+    fn report(&self) -> crate::ops::OpReport {
+        crate::ops::OpReport {
+            shard_state_bytes: self.shard_bytes.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

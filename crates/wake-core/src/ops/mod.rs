@@ -47,6 +47,21 @@ pub trait Operator: Send {
     fn state_bytes(&self) -> usize {
         0
     }
+
+    /// Observability detail beyond `state_bytes`. Sharded operators
+    /// override this to expose per-shard buffered state; the default is
+    /// the empty report (unsharded / stateless operators).
+    fn report(&self) -> OpReport {
+        OpReport::default()
+    }
+}
+
+/// Point-in-time operator detail for per-node profiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpReport {
+    /// Buffered state bytes per shard (`state_bytes()` = the sum).
+    /// Empty for unsharded operators.
+    pub shard_state_bytes: Vec<usize>,
 }
 
 /// A growable row store over shared frames: operators buffer their inputs

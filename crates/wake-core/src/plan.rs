@@ -103,6 +103,21 @@ pub fn source_handles(graph: &QueryGraph) -> Vec<std::sync::Arc<dyn wake_data::T
         .collect()
 }
 
+/// Source handles keyed by their read node's id, for per-node scan
+/// attribution in query profiles.
+pub fn source_handles_by_node(
+    graph: &QueryGraph,
+) -> Vec<(usize, std::sync::Arc<dyn wake_data::TableSource>)> {
+    graph
+        .sources()
+        .iter()
+        .filter_map(|&id| match &graph.node(id).kind {
+            NodeKind::Read { source } => Some((id.0, source.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Sum scan metrics over source handles captured by [`source_handles`].
 pub fn scan_metrics_of(
     sources: &[std::sync::Arc<dyn wake_data::TableSource>],

@@ -34,6 +34,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use wake_core::graph::{Parallelism, QueryGraph};
+use wake_obs::ObsLevel;
 use wake_store::{SpillConfig, SpillIo};
 
 /// Which execution engine drives the query.
@@ -85,6 +86,7 @@ pub struct EngineConfig {
     zone_rows: Option<usize>,
     zone_pruning: Option<bool>,
     scan_seed: Option<u64>,
+    obs: Option<ObsLevel>,
 }
 
 impl EngineConfig {
@@ -247,6 +249,27 @@ impl EngineConfig {
     pub fn with_scan_seed(mut self, seed: u64) -> Self {
         self.scan_seed = Some(seed);
         self
+    }
+
+    /// How much the engines record while the query runs: `Off` (default;
+    /// the exact pre-observability hot path), `Stats` (per-node counters
+    /// — rows, frames, busy time, state, attributed spill/scan), or
+    /// `Profile` (counters plus per-update histograms and per-shard
+    /// detail). Default: `WAKE_OBS` (`off`/`stats`/`profile`), else off.
+    pub fn with_obs(mut self, level: ObsLevel) -> Self {
+        self.obs = Some(level);
+        self
+    }
+
+    /// Resolved observability level (explicit, else `WAKE_OBS`, else
+    /// [`ObsLevel::Off`]; unrecognised values fall back to off).
+    pub fn obs_level(&self) -> ObsLevel {
+        self.obs.unwrap_or_else(|| {
+            std::env::var("WAKE_OBS")
+                .ok()
+                .and_then(|s| ObsLevel::parse(&s))
+                .unwrap_or_default()
+        })
     }
 
     /// The configured engine kind.
@@ -530,6 +553,27 @@ mod tests {
         );
         // Explicit on wins regardless of the ambient environment.
         assert!(EngineConfig::new().with_zone_pruning(true).zone_pruning());
+    }
+
+    #[test]
+    fn obs_level_resolves_explicitly() {
+        // Explicit levels win regardless of the ambient WAKE_OBS (the
+        // observability CI lane runs this suite with it set).
+        assert_eq!(
+            EngineConfig::new().with_obs(ObsLevel::Off).obs_level(),
+            ObsLevel::Off
+        );
+        assert_eq!(
+            EngineConfig::new().with_obs(ObsLevel::Profile).obs_level(),
+            ObsLevel::Profile
+        );
+        // Unset: ambient fallback (off when the env var is absent or
+        // unparseable).
+        let ambient = std::env::var("WAKE_OBS")
+            .ok()
+            .and_then(|s| ObsLevel::parse(&s))
+            .unwrap_or_default();
+        assert_eq!(EngineConfig::new().obs_level(), ambient);
     }
 
     #[test]

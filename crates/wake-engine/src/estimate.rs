@@ -20,6 +20,15 @@ pub struct Estimate {
     pub rows_processed: u64,
     /// Wall-clock time since query start.
     pub elapsed: Duration,
+    /// Cumulative bytes written to spill files when this state was
+    /// published (0 when observability is off or nothing spilled). With
+    /// `elapsed` and `rows_processed`, lets a dashboard plot the cost of
+    /// convergence live.
+    pub spill_bytes: u64,
+    /// Cumulative decompressed bytes scanned from segment sources when
+    /// this state was published (0 when observability is off or no
+    /// source tracks scan work).
+    pub scan_bytes: u64,
     /// 0-based position in the estimate stream.
     pub seq: usize,
     /// True for the last state (the exact answer).
@@ -94,6 +103,28 @@ pub(crate) struct SinkState {
     buffer: wake_core::ops::RowStore,
     seq: usize,
     start: std::time::Instant,
+    telemetry: Option<SinkTelemetry>,
+}
+
+/// Live handles the sink reads to stamp cumulative spill/scan bytes onto
+/// each estimate. Only attached when observability is enabled, so the
+/// `Off` path publishes estimates without touching a single extra atomic.
+pub(crate) struct SinkTelemetry {
+    pub(crate) governor: Option<Arc<wake_store::MemoryGovernor>>,
+    pub(crate) sources: Vec<Arc<dyn wake_data::TableSource>>,
+}
+
+impl SinkTelemetry {
+    fn spill_bytes(&self) -> u64 {
+        self.governor
+            .as_ref()
+            .map(|g| g.metrics().spilled_bytes as u64)
+            .unwrap_or(0)
+    }
+
+    fn scan_bytes(&self) -> u64 {
+        wake_core::plan::scan_metrics_of(&self.sources).decompressed_bytes
+    }
 }
 
 impl SinkState {
@@ -108,7 +139,16 @@ impl SinkState {
             buffer: wake_core::ops::RowStore::new(),
             seq: 0,
             start,
+            telemetry: None,
         }
+    }
+
+    /// Attach live telemetry handles (observability enabled): every
+    /// estimate published from here on carries cumulative spill/scan
+    /// bytes.
+    pub(crate) fn with_telemetry(mut self, telemetry: SinkTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Estimates published so far.
@@ -135,6 +175,8 @@ impl SinkState {
             t: update.t(),
             rows_processed: update.progress.sources().iter().map(|s| s.processed).sum(),
             elapsed: self.start.elapsed(),
+            spill_bytes: self.telemetry.as_ref().map_or(0, |t| t.spill_bytes()),
+            scan_bytes: self.telemetry.as_ref().map_or(0, |t| t.scan_bytes()),
             seq: self.seq,
             is_final: false,
         };
@@ -151,6 +193,8 @@ impl SinkState {
             t: 1.0,
             rows_processed: 0,
             elapsed: self.start.elapsed(),
+            spill_bytes: self.telemetry.as_ref().map_or(0, |t| t.spill_bytes()),
+            scan_bytes: self.telemetry.as_ref().map_or(0, |t| t.scan_bytes()),
             seq: self.seq,
             is_final: false,
         };
@@ -199,6 +243,8 @@ mod tests {
                 t: 0.5,
                 rows_processed: 1,
                 elapsed: Duration::from_millis(5),
+                spill_bytes: 0,
+                scan_bytes: 0,
                 seq: 0,
                 is_final: false,
             },
@@ -207,6 +253,8 @@ mod tests {
                 t: 1.0,
                 rows_processed: 2,
                 elapsed: Duration::from_millis(20),
+                spill_bytes: 0,
+                scan_bytes: 0,
                 seq: 1,
                 is_final: true,
             },
@@ -228,6 +276,8 @@ mod tests {
             t: 0.5,
             rows_processed: 10,
             elapsed: Duration::ZERO,
+            spill_bytes: 0,
+            scan_bytes: 0,
             seq: 0,
             is_final: false,
         }

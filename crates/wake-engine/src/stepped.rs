@@ -29,7 +29,7 @@
 //! pre-sharding engine); the equivalence suites assert agreement across
 //! shard counts up to that float reassociation.
 
-use crate::estimate::{Estimate, EstimateSeries, SinkState};
+use crate::estimate::{Estimate, EstimateSeries, SinkState, SinkTelemetry};
 use crate::{EngineConfig, Result};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -39,14 +39,18 @@ use wake_core::ops::{Operator, ShardMode, ShardPlan};
 use wake_core::progress::Progress;
 use wake_core::update::{Update, UpdateKind};
 use wake_data::{DataError, DataFrame};
+use wake_obs::{NodeProfile, ObsLevel, QueryObs};
 use wake_store::{SpillConfig, SpillMetrics, SpillPlan};
 
 /// Execution statistics for one query run, retrievable from a live,
 /// exhausted, or cancelled stream (and from the `*_stats` adapters).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Maximum bytes buffered inside operators at any partition boundary
     /// (join build/probe stores, sort buffers, aggregate hash tables).
+    /// On the stepped engine this is a true simultaneous sample; on the
+    /// threaded engine it is the sum of per-node peaks — an upper bound,
+    /// since each node may peak at a different moment.
     pub peak_state_bytes: usize,
     /// Spill telemetry (all zeroes when the query ran unbounded).
     pub spill: SpillMetrics,
@@ -60,6 +64,15 @@ pub struct RunStats {
     /// bytes produced, and time spent decoding. All zeroes when every
     /// source is in-memory/CSV/WCF (those track no scan metrics).
     pub scan: wake_data::ScanMetrics,
+    /// Per-node profiles (rows/frames/busy/state plus attributed spill
+    /// and scan work), populated when the query ran with
+    /// [`ObsLevel::Stats`] or above; empty at [`ObsLevel::Off`]. The
+    /// per-node spill/scan attributions sum exactly to the `spill` /
+    /// `scan` rollups above when read from a settled stream (live reads
+    /// race benignly); the per-node state peaks sum to an upper bound of
+    /// `peak_state_bytes` on the stepped engine and equal it on the
+    /// threaded one.
+    pub nodes: Vec<NodeProfile>,
 }
 
 /// Single-threaded, deterministic query driver.
@@ -68,6 +81,12 @@ pub struct SteppedExecutor {
     operators: Vec<Option<Box<dyn Operator>>>,
     consumers: Vec<Vec<(NodeId, usize)>>,
     spill: Option<SpillPlan>,
+    /// Per-node child spill plans (observability only): `node_spill[i]`
+    /// is the child ledger operator `i` was built on, so its spill I/O
+    /// can be attributed. Empty at `ObsLevel::Off`, where operators are
+    /// built directly on the shared query-wide plan.
+    node_spill: Vec<Option<SpillPlan>>,
+    obs: Option<Arc<QueryObs>>,
     sink: NodeId,
     sink_kind: UpdateKind,
     sink_schema: Arc<wake_data::Schema>,
@@ -78,7 +97,8 @@ impl SteppedExecutor {
     /// default [`EngineConfig`] (memory governance falls back to the
     /// ambient `WAKE_MEM_BUDGET` / `WAKE_SPILL_DIR`; unset = unbounded).
     pub fn new(graph: QueryGraph) -> Result<Self> {
-        Self::with_spill(graph, EngineConfig::new().spill_config())
+        let config = EngineConfig::new();
+        Self::with_spill(graph, config.spill_config(), config.obs_level())
     }
 
     /// Build from the unified [`EngineConfig`] (parallelism, memory
@@ -86,7 +106,7 @@ impl SteppedExecutor {
     /// knobs are ignored here).
     pub fn with_engine_config(mut graph: QueryGraph, config: &EngineConfig) -> Result<Self> {
         config.apply_to_graph(&mut graph);
-        Self::with_spill(graph, config.spill_config())
+        Self::with_spill(graph, config.spill_config(), config.obs_level())
     }
 
     /// Build with an explicit memory budget: the total is apportioned
@@ -110,14 +130,31 @@ impl SteppedExecutor {
 
     /// Shared construction path: a fully *resolved* spill configuration
     /// (no environment consultation happens past this point).
-    pub(crate) fn with_spill(graph: QueryGraph, config: SpillConfig) -> Result<Self> {
+    pub(crate) fn with_spill(
+        graph: QueryGraph,
+        config: SpillConfig,
+        obs_level: ObsLevel,
+    ) -> Result<Self> {
         let sink = graph
             .sink_id()
             .ok_or_else(|| DataError::Invalid("query graph has no sink".into()))?;
         let metas = graph.resolve_metas()?;
         let spill = config.build_plan(graph.shardable_node_count())?;
+        let obs = obs_level.enabled().then(|| {
+            let (labels, inputs) = graph.plan_skeleton();
+            QueryObs::new(obs_level, labels, inputs)
+        });
         let mut operators: Vec<Option<Box<dyn Operator>>> = Vec::with_capacity(graph.len());
+        let mut node_spill: Vec<Option<SpillPlan>> = Vec::with_capacity(graph.len());
         for (idx, node) in graph.nodes().iter().enumerate() {
+            // With observability on, each spillable operator gets a child
+            // ledger for per-node attribution; every count still forwards
+            // to the query-wide parent, so the rollup is unchanged. Off:
+            // operators share the parent plan directly (no forwarding).
+            let node_plan = match (&obs, &spill) {
+                (Some(_), Some(p)) if graph.is_shardable(NodeId(idx)) => Some(p.for_node()),
+                _ => None,
+            };
             match &node.kind {
                 NodeKind::Read { .. } => operators.push(None),
                 kind => {
@@ -128,10 +165,11 @@ impl SteppedExecutor {
                         kind,
                         &inputs,
                         plan,
-                        spill.as_ref(),
+                        node_plan.as_ref().or(spill.as_ref()),
                     )?));
                 }
             }
+            node_spill.push(node_plan);
         }
         let consumers = graph.consumers();
         let sink_kind = metas[sink.0].kind;
@@ -141,6 +179,8 @@ impl SteppedExecutor {
             operators,
             consumers,
             spill,
+            node_spill,
+            obs,
             sink,
             sink_kind,
             sink_schema,
@@ -170,7 +210,13 @@ impl SteppedExecutor {
         // Pending EOF bookkeeping: number of open input ports per node.
         let open_ports: Vec<usize> = self.graph.nodes().iter().map(|n| n.inputs.len()).collect();
         let start = Instant::now();
-        let sink = SinkState::new(self.sink_kind, self.sink_schema.clone(), start);
+        let mut sink = SinkState::new(self.sink_kind, self.sink_schema.clone(), start);
+        if self.obs.is_some() {
+            sink = sink.with_telemetry(SinkTelemetry {
+                governor: self.spill.as_ref().map(|p| p.governor.clone()),
+                sources: wake_core::plan::source_handles(&self.graph),
+            });
+        }
         Ok(SteppedStream {
             exec: self,
             cursors,
@@ -251,7 +297,44 @@ impl SteppedStream {
                 .as_ref()
                 .is_some_and(|p| p.governor.is_poisoned()),
             scan: wake_core::plan::scan_metrics(&self.exec.graph),
+            nodes: self.node_profiles(),
         }
+    }
+
+    /// Per-node profile snapshots (empty at `ObsLevel::Off`): counter
+    /// snapshots from the shared instruments, spill attribution from the
+    /// per-node child ledgers, scan attribution from each read node's
+    /// own source, and per-shard state detail from the operators at
+    /// `Profile` level.
+    fn node_profiles(&self) -> Vec<NodeProfile> {
+        let Some(obs) = &self.exec.obs else {
+            return Vec::new();
+        };
+        let mut nodes = obs.snapshot_nodes();
+        for (idx, profile) in nodes.iter_mut().enumerate() {
+            if let Some(Some(plan)) = self.exec.node_spill.get(idx) {
+                profile.spill = plan.governor.metrics();
+            }
+            if let NodeKind::Read { source } = &self.exec.graph.node(NodeId(idx)).kind {
+                profile.scan = source.scan_metrics().unwrap_or_default();
+            }
+            if obs.level.is_profile() {
+                if let Some(Some(op)) = self.exec.operators.get(idx) {
+                    profile.shard_state_bytes = op.report().shard_state_bytes;
+                }
+            }
+        }
+        nodes
+    }
+
+    /// The per-node query profile, readable at any point in the stream's
+    /// life (live, exhausted, or after an error). `None` when the query
+    /// runs at [`ObsLevel::Off`].
+    pub fn profile(&self) -> Option<wake_obs::QueryProfile> {
+        self.exec
+            .obs
+            .as_ref()
+            .map(|obs| obs.profile_from(self.node_profiles()))
     }
 
     /// The directory spill files are written to, when a budget is set.
@@ -293,9 +376,20 @@ impl SteppedStream {
         let NodeKind::Read { source } = &self.exec.graph.node(cursor.node).kind else {
             unreachable!()
         };
+        let read_timer = self.exec.obs.is_some().then(Instant::now);
         let frame = source.partition(cursor.next_partition)?;
         cursor.next_partition += 1;
         cursor.rows_emitted += frame.num_rows() as u64;
+        if let (Some(obs), Some(t0)) = (&self.exec.obs, read_timer) {
+            obs.node(cursor.node.0).record_work(
+                0,
+                0,
+                frame.num_rows() as u64,
+                1,
+                t0.elapsed().as_nanos() as u64,
+                obs.level.is_profile(),
+            );
+        }
         let progress =
             Progress::single(cursor.node.0 as u32, cursor.rows_emitted, cursor.total_rows);
         let update = Update::delta(frame, progress);
@@ -310,14 +404,19 @@ impl SteppedStream {
                 self.propagate_eof(done, &mut eof_queue)?;
             }
         }
-        // Sample buffered state for the peak-memory metric.
-        let state: usize = self
-            .exec
-            .operators
-            .iter()
-            .flatten()
-            .map(|op| op.state_bytes())
-            .sum();
+        // Sample buffered state for the peak-memory metric. The global
+        // peak stays a true simultaneous sample; with observability on,
+        // each node's own gauge (and peak) is sampled at the same
+        // instants, so sum-of-node-peaks ≥ this sampled peak.
+        let mut state = 0usize;
+        for (idx, op) in self.exec.operators.iter().enumerate() {
+            let Some(op) = op else { continue };
+            let bytes = op.state_bytes();
+            state += bytes;
+            if let Some(obs) = &self.exec.obs {
+                obs.node(idx).observe_state(bytes);
+            }
+        }
         self.peak_state_bytes = self.peak_state_bytes.max(state);
         Ok(())
     }
@@ -335,7 +434,24 @@ impl SteppedStream {
                 let op = self.exec.operators[consumer.0]
                     .as_mut()
                     .expect("non-source consumer");
-                for out in op.on_update(port, &update)? {
+                let outs = match &self.exec.obs {
+                    Some(obs) => {
+                        let t0 = Instant::now();
+                        let outs = op.on_update(port, &update)?;
+                        let rows_out: u64 = outs.iter().map(|u| u.frame.num_rows() as u64).sum();
+                        obs.node(consumer.0).record_work(
+                            update.frame.num_rows() as u64,
+                            1,
+                            rows_out,
+                            outs.len() as u64,
+                            t0.elapsed().as_nanos() as u64,
+                            obs.level.is_profile(),
+                        );
+                        outs
+                    }
+                    None => op.on_update(port, &update)?,
+                };
+                for out in outs {
                     queue.push_back((consumer, out));
                 }
             }
@@ -351,7 +467,23 @@ impl SteppedStream {
             let op = self.exec.operators[consumer.0]
                 .as_mut()
                 .expect("non-source consumer");
-            let flushes = op.on_eof(port)?;
+            let flushes = match &self.exec.obs {
+                Some(obs) => {
+                    let t0 = Instant::now();
+                    let flushes = op.on_eof(port)?;
+                    let rows_out: u64 = flushes.iter().map(|u| u.frame.num_rows() as u64).sum();
+                    obs.node(consumer.0).record_work(
+                        0,
+                        0,
+                        rows_out,
+                        flushes.len() as u64,
+                        t0.elapsed().as_nanos() as u64,
+                        obs.level.is_profile(),
+                    );
+                    flushes
+                }
+                None => op.on_eof(port)?,
+            };
             for out in flushes {
                 self.dispatch(consumer, out)?;
             }

@@ -35,6 +35,7 @@ use crate::Result;
 use std::path::PathBuf;
 use std::sync::Arc;
 use wake_data::{DataError, DataFrame};
+use wake_obs::QueryProfile;
 
 /// Default confidence level for [`EstimateStream::until_confidence`]
 /// (the paper's §6 examples use 95 %: Chebyshev `k ≈ 4.5`).
@@ -123,6 +124,31 @@ impl EstimateStream {
         }
     }
 
+    /// The per-node query profile so far: rows/frames in and out, busy
+    /// time, state peaks, attributed spill and scan work. Readable at
+    /// any point in the stream's life — mid-flight, exhausted, after
+    /// cancellation, or after an error. `None` when the query runs at
+    /// [`wake_obs::ObsLevel::Off`].
+    pub fn profile(&self) -> Option<QueryProfile> {
+        match &self.inner {
+            Inner::Stepped(s) => s.profile(),
+            Inner::Threaded(s) => s.profile(),
+        }
+    }
+
+    /// EXPLAIN ANALYZE: the plan tree annotated with observed per-node
+    /// rows, time, state, spill, and scan work ([`QueryProfile::render`]).
+    /// With observability off, returns a note explaining how to enable it.
+    pub fn explain_analyze(&self) -> String {
+        match self.profile() {
+            Some(p) => p.render(),
+            None => String::from(
+                "observability is off: enable with EngineConfig::with_obs(ObsLevel::Stats) \
+                 or WAKE_OBS=stats\n",
+            ),
+        }
+    }
+
     /// Stop the query now (if still running) and return the final run
     /// statistics. Equivalent to dropping the stream, but keeps the
     /// telemetry. Any error a node thread hit before the stop is
@@ -138,13 +164,20 @@ impl EstimateStream {
     /// `Ok`, so an `Err` here is a genuine query failure (operator
     /// error or node panic), not cancellation noise.
     pub(crate) fn finish_with_result(self) -> (RunStats, Result<()>) {
+        let (stats, _, result) = self.finish_full();
+        (stats, result)
+    }
+
+    /// [`Self::finish_with_result`] + the final query profile, captured
+    /// after shutdown so it is not a mid-flight snapshot.
+    pub(crate) fn finish_full(self) -> (RunStats, Option<QueryProfile>, Result<()>) {
         match self.inner {
-            Inner::Stepped(s) => (s.stats(), Ok(())), // dropped: state released
+            Inner::Stepped(s) => (s.stats(), s.profile(), Ok(())), // dropped: state released
             Inner::Threaded(mut s) => {
                 // Join the pipeline before reading the ledgers so the
                 // stats are final, not a mid-flight snapshot.
                 let result = s.shutdown();
-                (s.stats(), result)
+                (s.stats(), s.profile(), result)
             }
         }
     }
@@ -256,6 +289,8 @@ pub struct StopStream {
     cond: StopCondition,
     /// Stats captured when the underlying stream was stopped.
     stats: RunStats,
+    /// Profile captured when the underlying stream was stopped.
+    profile: Option<QueryProfile>,
     /// A node failure observed while stopping, to surface on next poll.
     pending_err: Option<wake_data::DataError>,
     stopped_early: bool,
@@ -268,6 +303,7 @@ impl StopStream {
             inner: Some(stream),
             cond,
             stats: RunStats::default(),
+            profile: None,
             pending_err: None,
             stopped_early: false,
             done: false,
@@ -283,14 +319,37 @@ impl StopStream {
     pub fn stats(&self) -> RunStats {
         match &self.inner {
             Some(s) => s.stats(),
-            None => self.stats,
+            None => self.stats.clone(),
+        }
+    }
+
+    /// The per-node query profile (live while streaming; the final
+    /// post-shutdown snapshot after the stop). `None` at
+    /// [`wake_obs::ObsLevel::Off`].
+    pub fn profile(&self) -> Option<QueryProfile> {
+        match &self.inner {
+            Some(s) => s.profile(),
+            None => self.profile.clone(),
+        }
+    }
+
+    /// EXPLAIN ANALYZE over the stopped (or still-running) query; see
+    /// [`EstimateStream::explain_analyze`].
+    pub fn explain_analyze(&self) -> String {
+        match self.profile() {
+            Some(p) => p.render(),
+            None => String::from(
+                "observability is off: enable with EngineConfig::with_obs(ObsLevel::Stats) \
+                 or WAKE_OBS=stats\n",
+            ),
         }
     }
 
     fn stop_now(&mut self) {
         if let Some(stream) = self.inner.take() {
-            let (stats, result) = stream.finish_with_result();
+            let (stats, profile, result) = stream.finish_full();
             self.stats = stats;
+            self.profile = profile;
             self.pending_err = result.err();
         }
         self.done = true;

@@ -51,11 +51,12 @@
 //! (key-disjoint concat for joins, `⊕`-style merged snapshots for
 //! aggregates).
 
-use crate::estimate::{Estimate, EstimateSeries, SinkState};
+use crate::estimate::{Estimate, EstimateSeries, SinkState, SinkTelemetry};
 use crate::stepped::RunStats;
 use crate::trace::{TraceEvent, TraceLog};
 use crate::{EngineConfig, Result};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -66,6 +67,7 @@ use wake_core::ops::{ShardMode, ShardPlan};
 use wake_core::progress::Progress;
 use wake_core::update::Update;
 use wake_data::DataError;
+use wake_obs::{NodeProfile, QueryObs};
 use wake_store::{MemoryGovernor, SpillConfig};
 
 /// Message protocol between node threads.
@@ -198,11 +200,39 @@ impl ThreadedExecutor {
         // Scan-telemetry handles: the graph is consumed by the spawn loop
         // below, but `stats()` must stay readable after the stream ends.
         let scan_sources = wake_core::plan::source_handles(&self.graph);
+        let node_sources = wake_core::plan::source_handles_by_node(&self.graph);
+        // Observability: the plan skeleton must be captured *before* the
+        // spawn loop consumes the graph; per-node instruments are shared
+        // with the node threads through the `QueryObs`.
+        let obs_level = self.config.obs_level();
+        let obs = obs_level.enabled().then(|| {
+            let (labels, inputs) = self.graph.plan_skeleton();
+            QueryObs::new(obs_level, labels, inputs)
+        });
+        // Per-shard state detail (Profile level only): each operator
+        // thread publishes its latest `OpReport` here, because the
+        // operator itself lives and dies on its thread.
+        let shard_reports: Option<Arc<Vec<Mutex<Vec<usize>>>>> =
+            obs_level.is_profile().then(|| {
+                Arc::new(
+                    (0..self.graph.len())
+                        .map(|_| Mutex::new(Vec::new()))
+                        .collect(),
+                )
+            });
         let start = Instant::now();
         let cancel = Arc::new(AtomicBool::new(false));
-        // Per-node current state size + query-wide peak, for RunStats.
-        let total_bytes = Arc::new(AtomicUsize::new(0));
-        let peak_bytes = Arc::new(AtomicUsize::new(0));
+        // Per-node peak state size, folded with `fetch_max` after every
+        // message. The query-wide peak reported by `stats()` is the *sum*
+        // of these per-node peaks — an upper bound on any simultaneous
+        // total (nodes rarely peak at the same instant), but one that is
+        // exact per node and free of the cross-thread races the old
+        // shared running-total sampling had.
+        let node_peaks: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..self.graph.len()).map(|_| AtomicUsize::new(0)).collect());
+        // Per-node child spill ledgers (observability only), for spill
+        // attribution in `NodeProfile`.
+        let mut node_governors: Vec<Option<Arc<MemoryGovernor>>> = vec![None; self.graph.len()];
 
         // Build one channel per node (its input mailbox) + one for the sink
         // collector.
@@ -240,6 +270,8 @@ impl ThreadedExecutor {
                     // Reader threads have no mailbox.
                     receivers[idx] = None;
                     let label = format!("read({})", source.meta().name);
+                    let node_obs = obs.as_ref().map(|o| o.node(idx));
+                    let is_profile = obs_level.is_profile();
                     handles.push(std::thread::spawn(move || -> Result<()> {
                         let meta = source.meta().clone();
                         let total = meta.total_rows() as u64;
@@ -249,7 +281,18 @@ impl ThreadedExecutor {
                                 return Ok(());
                             }
                             let t0 = start.elapsed();
+                            let timer = node_obs.is_some().then(Instant::now);
                             let frame = source.partition(p)?;
+                            if let (Some(n), Some(t)) = (&node_obs, timer) {
+                                n.record_work(
+                                    0,
+                                    0,
+                                    frame.num_rows() as u64,
+                                    1,
+                                    t.elapsed().as_nanos() as u64,
+                                    is_profile,
+                                );
+                            }
                             emitted += frame.num_rows() as u64;
                             let update =
                                 Update::delta(frame, Progress::single(idx as u32, emitted, total));
@@ -281,15 +324,33 @@ impl ThreadedExecutor {
                     let inputs: Vec<&wake_core::EdfMeta> =
                         node.inputs.iter().map(|i| &metas[i.0]).collect();
                     let plan = ShardPlan::new(self.budgeted_shards(NodeId(idx)), ShardMode::Pool);
-                    let mut op = build_operator_spilling(kind, &inputs, plan, spill.as_ref())?;
+                    // With observability on, each spillable operator gets
+                    // a child spill plan whose ledger records locally
+                    // *and* forwards to the shared parent, so per-node
+                    // attribution costs nothing in rollup accuracy. Off
+                    // keeps the exact pre-observability path.
+                    let node_plan = match (&obs, &spill) {
+                        (Some(_), Some(p)) if self.graph.is_shardable(NodeId(idx)) => {
+                            Some(p.for_node())
+                        }
+                        _ => None,
+                    };
+                    node_governors[idx] = node_plan.as_ref().map(|p| p.governor.clone());
+                    let mut op = build_operator_spilling(
+                        kind,
+                        &inputs,
+                        plan,
+                        node_plan.as_ref().or(spill.as_ref()),
+                    )?;
                     let rx = receivers[idx].take().expect("operator mailbox");
                     let n_ports = node.inputs.len();
                     let label = format!("{kind:?}");
-                    let total_bytes = total_bytes.clone();
-                    let peak_bytes = peak_bytes.clone();
+                    let node_obs = obs.as_ref().map(|o| o.node(idx));
+                    let is_profile = obs_level.is_profile();
+                    let node_peaks = node_peaks.clone();
+                    let shard_reports = shard_reports.clone();
                     handles.push(std::thread::spawn(move || -> Result<()> {
                         let mut closed = 0usize;
-                        let mut my_bytes = 0usize;
                         'run: while let Ok(msg) = rx.recv() {
                             if cancel.load(Ordering::Relaxed) {
                                 break 'run;
@@ -297,8 +358,21 @@ impl ThreadedExecutor {
                             match msg {
                                 Message::Update(port, update) => {
                                     let t0 = start.elapsed();
+                                    let timer = node_obs.is_some().then(Instant::now);
                                     let rows = update.frame.num_rows();
                                     let outs = op.on_update(port, &update)?;
+                                    if let (Some(n), Some(t)) = (&node_obs, timer) {
+                                        let rows_out: u64 =
+                                            outs.iter().map(|u| u.frame.num_rows() as u64).sum();
+                                        n.record_work(
+                                            rows as u64,
+                                            1,
+                                            rows_out,
+                                            outs.len() as u64,
+                                            t.elapsed().as_nanos() as u64,
+                                            is_profile,
+                                        );
+                                    }
                                     if let Some(log) = &trace {
                                         log.record(TraceEvent {
                                             node: idx,
@@ -317,7 +391,21 @@ impl ThreadedExecutor {
                                     }
                                 }
                                 Message::Eof(port) => {
-                                    for out in op.on_eof(port)? {
+                                    let timer = node_obs.is_some().then(Instant::now);
+                                    let flushes = op.on_eof(port)?;
+                                    if let (Some(n), Some(t)) = (&node_obs, timer) {
+                                        let rows_out: u64 =
+                                            flushes.iter().map(|u| u.frame.num_rows() as u64).sum();
+                                        n.record_work(
+                                            0,
+                                            0,
+                                            rows_out,
+                                            flushes.len() as u64,
+                                            t.elapsed().as_nanos() as u64,
+                                            is_profile,
+                                        );
+                                    }
+                                    for out in flushes {
                                         for (tx, p) in &my_routes {
                                             if tx.send(Message::Update(*p, out.clone())).is_err() {
                                                 break 'run;
@@ -333,21 +421,28 @@ impl ThreadedExecutor {
                                     }
                                 }
                             }
-                            // Sample buffered state for the peak-memory
-                            // metric: apply this node's size delta to the
-                            // shared running total (O(1) per message, not
-                            // a scan over all nodes) and fold the result
-                            // into the peak.
+                            // Fold buffered state into this node's own
+                            // peak (no cross-thread running total: the
+                            // query-wide figure is the sum of per-node
+                            // peaks, see `stats`).
                             let now = op.state_bytes();
-                            let total = if now >= my_bytes {
-                                total_bytes.fetch_add(now - my_bytes, Ordering::Relaxed)
-                                    + (now - my_bytes)
-                            } else {
-                                total_bytes.fetch_sub(my_bytes - now, Ordering::Relaxed)
-                                    - (my_bytes - now)
-                            };
-                            my_bytes = now;
-                            peak_bytes.fetch_max(total, Ordering::Relaxed);
+                            node_peaks[idx].fetch_max(now, Ordering::Relaxed);
+                            if let Some(n) = &node_obs {
+                                n.observe_state(now);
+                            }
+                            if let Some(reports) = &shard_reports {
+                                *reports[idx].lock() = op.report().shard_state_bytes;
+                            }
+                        }
+                        // Final sample: the EOF flush (and the `break`
+                        // paths) skip the in-loop sampling above.
+                        let now = op.state_bytes();
+                        node_peaks[idx].fetch_max(now, Ordering::Relaxed);
+                        if let Some(n) = &node_obs {
+                            n.observe_state(now);
+                        }
+                        if let Some(reports) = &shard_reports {
+                            *reports[idx].lock() = op.report().shard_state_bytes;
                         }
                         Ok(())
                     }));
@@ -355,7 +450,13 @@ impl ThreadedExecutor {
             }
         }
 
-        let sink = SinkState::new(metas[sink.0].kind, metas[sink.0].schema.clone(), start);
+        let mut sink = SinkState::new(metas[sink.0].kind, metas[sink.0].schema.clone(), start);
+        if obs.is_some() {
+            sink = sink.with_telemetry(SinkTelemetry {
+                governor: governor.clone(),
+                sources: scan_sources.clone(),
+            });
+        }
         drop(spill); // node threads hold the only spill-dir references now
         Ok(ThreadedStream {
             sink_rx: Some(sink_rx),
@@ -365,8 +466,12 @@ impl ThreadedExecutor {
             lookahead: None,
             governor,
             spill_root,
-            peak_bytes,
+            node_peaks,
             scan_sources,
+            node_sources,
+            obs,
+            node_governors,
+            shard_reports,
             finished: false,
         })
     }
@@ -378,10 +483,10 @@ impl ThreadedExecutor {
     }
 
     /// Like [`Self::run_collect`], also reporting run statistics. The
-    /// threaded peak-state metric is sampled per node after each message
-    /// and combined across concurrently-running nodes, so it is a close
-    /// (slightly racy) approximation rather than the stepped engine's
-    /// exact partition-boundary maximum.
+    /// threaded peak-state metric is the **sum of per-node peaks** (each
+    /// sampled after every message that node processed): an upper bound
+    /// on any simultaneous total, exact per node, rather than the stepped
+    /// engine's exact partition-boundary maximum.
     pub fn run_collect_stats(self) -> Result<(EstimateSeries, RunStats)> {
         crate::Executor::run_collect_stats(self)
     }
@@ -405,20 +510,36 @@ pub struct ThreadedStream {
     lookahead: Option<Estimate>,
     governor: Option<Arc<MemoryGovernor>>,
     spill_root: Option<PathBuf>,
-    peak_bytes: Arc<AtomicUsize>,
+    /// Per-node state peaks, shared with the node threads; readable at
+    /// any point including after cancellation or a node failure.
+    node_peaks: Arc<Vec<AtomicUsize>>,
     /// Source handles kept alive for post-run scan telemetry (the graph
     /// itself is consumed when the node threads are spawned).
     scan_sources: Vec<Arc<dyn wake_data::TableSource>>,
+    /// The same handles keyed by read-node id, for per-node attribution.
+    node_sources: Vec<(usize, Arc<dyn wake_data::TableSource>)>,
+    /// Shared per-node instruments (`None` at [`wake_obs::ObsLevel::Off`]).
+    obs: Option<Arc<QueryObs>>,
+    /// Per-node child spill ledgers (observability only).
+    node_governors: Vec<Option<Arc<MemoryGovernor>>>,
+    /// Latest per-shard state detail published by each operator thread
+    /// (Profile level only).
+    shard_reports: Option<Arc<Vec<Mutex<Vec<usize>>>>>,
     finished: bool,
 }
 
 impl ThreadedStream {
     /// Execution statistics so far (complete once the stream is
     /// exhausted or cancelled). See
-    /// [`ThreadedExecutor::run_collect_stats`] for the peak-state caveat.
+    /// [`ThreadedExecutor::run_collect_stats`] for the peak-state caveat
+    /// (sum of per-node peaks = documented upper bound).
     pub fn stats(&self) -> RunStats {
         RunStats {
-            peak_state_bytes: self.peak_bytes.load(Ordering::Relaxed),
+            peak_state_bytes: self
+                .node_peaks
+                .iter()
+                .map(|p| p.load(Ordering::Relaxed))
+                .sum(),
             spill: self
                 .governor
                 .as_ref()
@@ -426,7 +547,46 @@ impl ThreadedStream {
                 .unwrap_or_default(),
             degraded: self.governor.as_ref().is_some_and(|g| g.is_poisoned()),
             scan: wake_core::plan::scan_metrics_of(&self.scan_sources),
+            nodes: self.node_profiles(),
         }
+    }
+
+    /// Per-node profile snapshots (empty at `ObsLevel::Off`): counter
+    /// snapshots from the shared instruments, peaks from the per-node
+    /// atomics, spill attribution from the child ledgers, scan
+    /// attribution from each read node's own source, and per-shard
+    /// detail as last published by the operator threads at Profile
+    /// level. Readable mid-flight, after exhaustion, after cancellation,
+    /// and after an error-terminated run.
+    fn node_profiles(&self) -> Vec<NodeProfile> {
+        let Some(obs) = &self.obs else {
+            return Vec::new();
+        };
+        let mut nodes = obs.snapshot_nodes();
+        for (idx, profile) in nodes.iter_mut().enumerate() {
+            profile.peak_state_bytes = profile
+                .peak_state_bytes
+                .max(self.node_peaks[idx].load(Ordering::Relaxed));
+            if let Some(Some(gov)) = self.node_governors.get(idx) {
+                profile.spill = gov.metrics();
+            }
+            if let Some(reports) = &self.shard_reports {
+                profile.shard_state_bytes = reports[idx].lock().clone();
+            }
+        }
+        for (idx, source) in &self.node_sources {
+            nodes[*idx].scan = source.scan_metrics().unwrap_or_default();
+        }
+        nodes
+    }
+
+    /// The per-node query profile, readable at any point in the stream's
+    /// life (live, exhausted, cancelled, or after an error). `None` when
+    /// the query runs at [`wake_obs::ObsLevel::Off`].
+    pub fn profile(&self) -> Option<wake_obs::QueryProfile> {
+        self.obs
+            .as_ref()
+            .map(|obs| obs.profile_from(self.node_profiles()))
     }
 
     /// The directory spill files are written to, when a budget is set.

@@ -1,7 +1,20 @@
 //! Per-node processing traces, used to reproduce the pipelined execution
 //! timeline of the paper's Fig 13 (appendix C).
+//!
+//! Events go into **bounded per-node ring buffers**: each node (lane)
+//! gets its own mutex-protected ring of at most `capacity` events, so a
+//! long-running threaded query can neither grow the trace without bound
+//! nor serialize its node threads on one global lock — two nodes only
+//! ever contend with themselves. When a lane overflows, its oldest
+//! events are overwritten and the drop is counted ([`TraceLog::dropped`];
+//! [`render`] appends a note). Under-cap traces render exactly as they
+//! always did.
+//!
+//! [`render`]: TraceLog::render
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,10 +31,38 @@ pub struct TraceEvent {
     pub rows: usize,
 }
 
+/// Default per-lane event capacity. At the threaded engine's typical
+/// update granularity this comfortably holds the Fig-13 bench traces
+/// while bounding a pathological query to a few hundred KB per node.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// One node's bounded event ring.
+#[derive(Debug, Default)]
+struct Lane {
+    ring: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    /// Lane slots indexed by node id, grown on demand. The outer lock is
+    /// only written when a node records its *first* event; the steady
+    /// state is a read-lock plus that node's own mutex.
+    lanes: RwLock<Vec<Option<Arc<Mutex<Lane>>>>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
 /// Thread-safe shared trace sink.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TraceLog {
-    events: Arc<Mutex<Vec<TraceEvent>>>,
+    shared: Arc<Shared>,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
 }
 
 impl TraceLog {
@@ -29,19 +70,81 @@ impl TraceLog {
         Self::default()
     }
 
-    pub fn record(&self, event: TraceEvent) {
-        self.events.lock().push(event);
+    /// A trace sink keeping at most `cap` events per node lane (minimum
+    /// 1); older events are overwritten and counted as dropped.
+    pub fn with_capacity(cap: usize) -> Self {
+        TraceLog {
+            shared: Arc::new(Shared {
+                lanes: RwLock::new(Vec::new()),
+                capacity: cap.max(1),
+                dropped: AtomicU64::new(0),
+            }),
+        }
     }
 
-    /// Snapshot of all events so far, sorted by start time.
+    /// The per-lane event capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    fn lane(&self, node: usize) -> Arc<Mutex<Lane>> {
+        {
+            let lanes = self.shared.lanes.read();
+            if let Some(Some(lane)) = lanes.get(node) {
+                return lane.clone();
+            }
+        }
+        let mut lanes = self.shared.lanes.write();
+        if lanes.len() <= node {
+            lanes.resize(node + 1, None);
+        }
+        lanes[node]
+            .get_or_insert_with(|| Arc::new(Mutex::new(Lane::default())))
+            .clone()
+    }
+
+    pub fn record(&self, event: TraceEvent) {
+        let lane = self.lane(event.node);
+        let mut lane = lane.lock();
+        if lane.ring.len() == self.shared.capacity {
+            lane.ring.pop_front();
+            lane.dropped += 1;
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        lane.ring.push_back(event);
+    }
+
+    /// Total events overwritten across all lanes because a ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten per lane, indexed by node id.
+    pub fn dropped_by_node(&self) -> Vec<u64> {
+        let lanes = self.shared.lanes.read();
+        lanes
+            .iter()
+            .map(|l| l.as_ref().map_or(0, |l| l.lock().dropped))
+            .collect()
+    }
+
+    /// Snapshot of all retained events, sorted by start time.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut out = self.events.lock().clone();
+        let lanes: Vec<Arc<Mutex<Lane>>> = {
+            let lanes = self.shared.lanes.read();
+            lanes.iter().flatten().cloned().collect()
+        };
+        let mut out = Vec::new();
+        for lane in lanes {
+            out.extend(lane.lock().ring.iter().cloned());
+        }
         out.sort_by_key(|e| e.start);
         out
     }
 
     /// ASCII rendering of the timeline (one lane per node), the shape of
-    /// the paper's Fig 13.
+    /// the paper's Fig 13. Identical to the unbounded rendering while no
+    /// lane has overflowed; after overflow a drop-count note is appended.
     pub fn render(&self, width: usize) -> String {
         let events = self.events();
         let Some(total) = events.iter().map(|e| e.end).max() else {
@@ -79,6 +182,13 @@ impl TraceLog {
             " ".repeat(width.saturating_sub(6)),
             total_s
         ));
+        let dropped = self.dropped();
+        if dropped > 0 {
+            out.push_str(&format!(
+                "({dropped} events dropped: per-lane ring capacity {})\n",
+                self.shared.capacity
+            ));
+        }
         out
     }
 }
@@ -105,8 +215,10 @@ mod tests {
             rows: 100,
         });
         assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 0);
         let text = log.render(40);
         assert!(text.contains("read") && text.contains("agg") && text.contains('#'));
+        assert!(!text.contains("dropped"), "under-cap renders unchanged");
     }
 
     #[test]
@@ -128,5 +240,57 @@ mod tests {
         }
         let ev = log.events();
         assert!(ev[0].start < ev[1].start);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_reports() {
+        let log = TraceLog::with_capacity(3);
+        assert_eq!(log.capacity(), 3);
+        for i in 0..5u64 {
+            log.record(TraceEvent {
+                node: 2,
+                label: "agg".into(),
+                start: Duration::from_millis(i),
+                end: Duration::from_millis(i + 1),
+                rows: i as usize,
+            });
+        }
+        // Other lanes are unaffected by node 2's overflow.
+        log.record(TraceEvent {
+            node: 0,
+            label: "read".into(),
+            start: Duration::from_millis(0),
+            end: Duration::from_millis(1),
+            rows: 9,
+        });
+        let ev = log.events();
+        assert_eq!(ev.len(), 4);
+        // The two oldest node-2 events (start 0ms, 1ms) were overwritten.
+        let node2: Vec<u64> = ev
+            .iter()
+            .filter(|e| e.node == 2)
+            .map(|e| e.start.as_millis() as u64)
+            .collect();
+        assert_eq!(node2, vec![2, 3, 4]);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.dropped_by_node(), vec![0, 0, 2]);
+        assert!(log.render(20).contains("2 events dropped"));
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let log = TraceLog::with_capacity(0);
+        assert_eq!(log.capacity(), 1);
+        for i in 0..3u64 {
+            log.record(TraceEvent {
+                node: 0,
+                label: "x".into(),
+                start: Duration::from_millis(i),
+                end: Duration::from_millis(i + 1),
+                rows: 0,
+            });
+        }
+        assert_eq!(log.events().len(), 1);
+        assert_eq!(log.dropped(), 2);
     }
 }

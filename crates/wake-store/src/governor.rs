@@ -50,6 +50,11 @@ pub struct MemoryGovernor {
     poisoned: AtomicBool,
     retry_attempts: u32,
     retry_base_delay: Duration,
+    /// Query-wide ledger this one forwards to. Per-operator child ledgers
+    /// (see [`SpillPlan::for_node`]) record locally *and* into the parent,
+    /// so the parent's totals stay the exact sum of its children and
+    /// existing rollup consumers are unaffected.
+    parent: Option<Arc<MemoryGovernor>>,
 }
 
 impl Default for MemoryGovernor {
@@ -73,6 +78,20 @@ impl MemoryGovernor {
             poisoned: AtomicBool::new(false),
             retry_attempts: DEFAULT_RETRY_ATTEMPTS,
             retry_base_delay: DEFAULT_RETRY_BASE_DELAY,
+            parent: None,
+        }
+    }
+
+    /// A per-operator child of `parent`: same budget and retry policy,
+    /// its own zeroed counters, and every `record_*` forwarded upstream
+    /// so the parent remains the exact query-wide sum.
+    pub fn child_of(parent: &Arc<MemoryGovernor>) -> Self {
+        MemoryGovernor {
+            budget: parent.budget,
+            retry_attempts: parent.retry_attempts,
+            retry_base_delay: parent.retry_base_delay,
+            parent: Some(parent.clone()),
+            ..MemoryGovernor::new(parent.budget)
         }
     }
 
@@ -100,32 +119,50 @@ impl MemoryGovernor {
     }
 
     /// Mark the spill device persistently failed. Idempotent; never
-    /// unset for the lifetime of the query.
+    /// unset for the lifetime of the query. Poisoning a per-operator
+    /// child poisons the query-wide parent too (the device is shared).
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
+        if let Some(p) = &self.parent {
+            p.poison();
+        }
     }
 
-    /// Has the spill device failed persistently?
+    /// Has the spill device failed persistently? (Either here or on the
+    /// shared parent ledger — the device is query-wide.)
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Acquire)
+            || self.parent.as_ref().is_some_and(|p| p.is_poisoned())
     }
 
     /// One spill I/O retry happened (the op failed and will be retried).
     pub fn record_io_retry(&self) {
         self.io_retries.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_io_retry();
+        }
     }
 
     pub fn record_spill(&self, bytes: usize, chunks: usize) {
         self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.chunks_written.fetch_add(chunks, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_spill(bytes, chunks);
+        }
     }
 
     pub fn record_eviction(&self) {
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_eviction();
+        }
     }
 
     pub fn record_rehydration(&self) {
         self.rehydrations.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_rehydration();
+        }
     }
 
     /// Bytes appended to a write-behind delta run (a subset of
@@ -134,11 +171,17 @@ impl MemoryGovernor {
     pub fn record_delta(&self, bytes: usize) {
         self.delta_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.delta_chunks.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_delta(bytes);
+        }
     }
 
     /// A delta run was replayed onto its base run and truncated.
     pub fn record_compaction(&self) {
         self.compactions.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.record_compaction();
+        }
     }
 
     /// Snapshot of the ledger.
@@ -356,6 +399,20 @@ pub struct SpillPlan {
 }
 
 impl SpillPlan {
+    /// A per-operator view of this plan: identical knobs and spill dir,
+    /// but a child [`MemoryGovernor`] that records this operator's I/O
+    /// locally while forwarding every count to the query-wide parent.
+    /// Executors hand one of these to each spillable operator and keep
+    /// the child handle to read per-node spill attribution; the parent's
+    /// `metrics()` stays the exact sum over children, so rollup-only
+    /// consumers need no changes.
+    pub fn for_node(&self) -> SpillPlan {
+        SpillPlan {
+            governor: Arc::new(MemoryGovernor::child_of(&self.governor)),
+            ..self.clone()
+        }
+    }
+
     /// The environment for one of `shards` shards: an equal slice of the
     /// operator budget plus shared ledger/dir handles.
     pub fn shard_env(&self, shards: usize) -> SpillEnv {
@@ -462,6 +519,48 @@ mod tests {
         assert_eq!(parse_bytes("0"), None);
         assert_eq!(parse_bytes(""), None);
         assert_eq!(parse_bytes("zap"), None);
+    }
+
+    #[test]
+    fn child_ledger_forwards_to_parent() {
+        let parent = Arc::new(MemoryGovernor::new(Some(1024)));
+        let a = MemoryGovernor::child_of(&parent);
+        let b = MemoryGovernor::child_of(&parent);
+        a.record_spill(100, 1);
+        b.record_spill(50, 2);
+        b.record_eviction();
+        a.record_delta(10);
+        b.record_compaction();
+        a.record_io_retry();
+        assert_eq!(a.metrics().spilled_bytes, 100);
+        assert_eq!(b.metrics().spilled_bytes, 50);
+        let p = parent.metrics();
+        assert_eq!(p.spilled_bytes, 150);
+        assert_eq!(p.chunks_written, 3);
+        assert_eq!(p.evictions, 1);
+        assert_eq!(p.delta_bytes, 10);
+        assert_eq!(p.delta_chunks, 1);
+        assert_eq!(p.compactions, 1);
+        assert_eq!(p.io_retries, 1);
+        // Budget and retry policy are inherited; poisoning a child
+        // reaches the parent and is visible to its siblings.
+        assert_eq!(a.budget(), Some(1024));
+        a.poison();
+        assert!(parent.is_poisoned());
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    fn plan_for_node_shares_dir_and_sums_into_parent() {
+        let cfg = SpillConfig::with_budget(1 << 20);
+        let plan = cfg.build_plan(2).unwrap().unwrap();
+        let node = plan.for_node();
+        assert_eq!(node.op_budget, plan.op_budget);
+        assert!(Arc::ptr_eq(&node.dir, &plan.dir));
+        assert!(!Arc::ptr_eq(&node.governor, &plan.governor));
+        node.governor.record_spill(64, 1);
+        assert_eq!(plan.governor.metrics().spilled_bytes, 64);
+        assert_eq!(node.governor.metrics().spilled_bytes, 64);
     }
 
     #[test]

@@ -34,7 +34,10 @@ fn main() {
     println!("avg(l_extendedprice) over lineitem, streaming until the 95% CI is within ±2%\n");
     println!("progress      rows     estimate     ± half-width   (rel)");
 
-    let stream = EngineConfig::stepped().start(g).expect("valid query graph");
+    let stream = EngineConfig::stepped()
+        .with_obs(ObsLevel::Stats)
+        .start(g)
+        .expect("valid query graph");
     let mut stop = stream.until_confidence("avg_price", 0.02);
     let mut last = None;
     for estimate in &mut stop {
@@ -72,5 +75,12 @@ fn main() {
         stats.peak_state_bytes / 1024,
         stats.spill.spilled_bytes,
         stats.spill.evictions
+    );
+
+    // The per-node profile survives the cancellation: EXPLAIN ANALYZE
+    // shows exactly how much work each operator did before the stop.
+    println!(
+        "\nexplain analyze (after cancellation):\n{}",
+        stop.explain_analyze()
     );
 }

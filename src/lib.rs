@@ -74,6 +74,42 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Observability
+//!
+//! Turn on per-node profiling with
+//! [`Session::set_obs_level`](session::Session::set_obs_level) (or
+//! `WAKE_OBS=stats|profile`) and read the live per-node profile — rows,
+//! busy time, state peaks, attributed spill and scan work — from the
+//! stream at any point, including mid-flight and after cancellation.
+//! Estimates are bit-identical at every level:
+//!
+//! ```no_run
+//! # use wake::prelude::*;
+//! # fn demo(mut s: Session, edf: &wake::session::Edf) -> Result<(), wake::data::DataError> {
+//! s.set_obs_level(ObsLevel::Stats);
+//! let mut stream = edf.stream()?;
+//! while let Some(estimate) = stream.next() {
+//!     let estimate = estimate?;
+//!     if let Some(profile) = stream.profile() {
+//!         for node in &profile.nodes {
+//!             println!(
+//!                 "node {} [{}]: {} rows out, busy {:?}",
+//!                 node.id, node.label, node.rows_out, node.busy
+//!             );
+//!         }
+//!     }
+//!     if estimate.rows_processed > 1_000 {
+//!         break; // cancels the query; the profile stays readable
+//!     }
+//! }
+//! println!("{}", stream.explain_analyze()); // annotated plan tree
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! One-shot: [`Edf::explain_analyze`](session::Edf::explain_analyze) runs
+//! the query to completion and returns the annotated plan tree directly.
 
 pub mod session;
 
@@ -96,8 +132,9 @@ pub mod prelude {
         Column, DataFrame, DataType, Field, MemorySource, Row, Schema, TableSource, Value,
     };
     pub use wake_engine::{
-        EngineConfig, Estimate, EstimateSeries, EstimateStream, Executor, ExecutorKind, RunStats,
-        SeriesExt, SteppedExecutor, ThreadedExecutor,
+        EngineConfig, Estimate, EstimateSeries, EstimateStream, Executor, ExecutorKind,
+        NodeProfile, ObsLevel, QueryProfile, RunStats, SeriesExt, SteppedExecutor,
+        ThreadedExecutor,
     };
     pub use wake_expr::{col, lit, Expr};
 }

@@ -70,7 +70,7 @@ use std::rc::Rc;
 use wake_core::agg::AggSpec;
 use wake_core::graph::{JoinKind, NodeId, Parallelism, QueryGraph};
 use wake_data::{DataFrame, TableSource};
-use wake_engine::{EngineConfig, EstimateSeries, EstimateStream, ExecutorKind, RunStats};
+use wake_engine::{EngineConfig, EstimateSeries, EstimateStream, ExecutorKind, ObsLevel, RunStats};
 use wake_expr::{col, Expr};
 
 type Result<T> = std::result::Result<T, wake_data::DataError>;
@@ -197,6 +197,16 @@ impl Session {
     /// Default: `WAKE_SCAN_SEED`, else stored order.
     pub fn set_scan_seed(&mut self, seed: u64) {
         self.config.borrow_mut().set(|c| c.with_scan_seed(seed));
+    }
+
+    /// Observability level for this session's queries: `Off` (no
+    /// instrumentation, the default), `Stats` (per-node counters:
+    /// rows/frames/busy time/state peaks, plus spill and scan
+    /// attribution), or `Profile` (additionally per-update histograms
+    /// and per-shard state detail). Estimates are bit-identical at every
+    /// level. Default: `WAKE_OBS`, else off.
+    pub fn set_obs_level(&mut self, level: ObsLevel) {
+        self.config.borrow_mut().set(|c| c.with_obs(level));
     }
 
     /// Register a base table and get its edf handle (`read_csv` in §1).
@@ -453,6 +463,26 @@ impl Edf {
     /// `edf.get_final()` (§3.1): block until the exact answer.
     pub fn get_final(&self) -> Result<std::sync::Arc<DataFrame>> {
         self.stream_on(ExecutorKind::Stepped)?.final_frame()
+    }
+
+    /// EXPLAIN ANALYZE: run this query to completion on the session's
+    /// configured engine and return the plan tree annotated with the
+    /// observed per-node rows, busy time, state peaks, and attributed
+    /// spill/scan work. Runs at the session's observability level when
+    /// one is enabled ([`Session::set_obs_level`]), else at
+    /// `ObsLevel::Stats`. For a profile of a *partial* run, drive
+    /// [`Self::stream`] yourself and call
+    /// [`EstimateStream::explain_analyze`] at any point.
+    pub fn explain_analyze(&self) -> Result<String> {
+        let mut config = self.config.borrow().clone();
+        if !config.obs_level().enabled() {
+            config = config.with_obs(ObsLevel::Stats);
+        }
+        let mut stream = config.start(self.to_graph())?;
+        for est in &mut stream {
+            est?;
+        }
+        Ok(stream.explain_analyze())
     }
 }
 
@@ -737,6 +767,23 @@ mod tests {
         s2.set_table_dir(&dir);
         let t2 = s2.open_table("session_t").unwrap();
         assert_eq!(t2.get_final().unwrap().num_rows(), 40);
+    }
+
+    #[test]
+    fn explain_analyze_reports_every_node() {
+        let mut s = Session::new();
+        let t = s.read(source());
+        let q = t.sum("v", &["k"], "sv").sort(&["k"], &[false]);
+        // Works without any session-level obs opt-in (defaults to Stats).
+        let text = q.explain_analyze().unwrap();
+        assert!(text.contains("Sort"), "{text}");
+        assert!(text.contains("Agg"), "{text}");
+        assert!(text.contains("read") || text.contains("Read"), "{text}");
+        assert!(text.contains("rows"), "{text}");
+        // A session-level Profile opt-in flows through the same surface.
+        s.set_obs_level(ObsLevel::Profile);
+        let profiled = q.explain_analyze().unwrap();
+        assert!(profiled.contains("profile"), "{profiled}");
     }
 
     #[test]
