@@ -29,6 +29,29 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]: the channel is full (the
+    /// message comes back) or the receiver is gone.
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
     enum Tx<T> {
         Unbounded(mpsc::Sender<T>),
         Bounded(mpsc::SyncSender<T>),
@@ -60,6 +83,19 @@ pub mod channel {
                 Tx::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
             }
         }
+
+        /// Never blocks: a full bounded channel returns the message in
+        /// [`TrySendError::Full`] instead of waiting (the admission
+        /// controller's overload path).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(s) => s.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
+                Tx::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
     }
 
     /// Receiving half of a channel (single consumer).
@@ -75,6 +111,15 @@ pub mod channel {
             self.0.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks up to `timeout` for a message; lets a consumer poll a
+        /// shutdown flag between waits.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
         }
 
@@ -137,5 +182,37 @@ mod tests {
         let (tx, rx) = bounded::<i32>(1);
         drop(rx);
         assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<i32>(1);
+        tx.send(1).unwrap();
+        match tx.try_send(2) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::RecvTimeoutError;
+        let (tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }

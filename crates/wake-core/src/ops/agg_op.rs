@@ -623,7 +623,7 @@ impl AggShard {
         if self.degraded {
             return Ok(());
         }
-        while self.state_bytes() > env.shard_budget {
+        while self.state_bytes() > env.shard_budget() {
             if env.governor.is_poisoned() {
                 // The device died under this very loop (an eviction's
                 // flush soft-failed): stop evicting — the "spilled" parts
@@ -1051,7 +1051,7 @@ impl AggOp {
     }
 
     /// Govern this operator's memory: when the per-shard slice of
-    /// `plan.op_budget` is exceeded, the largest spill partition is
+    /// `plan.op_budget()` is exceeded, the largest spill partition is
     /// evicted to disk. Composes with [`Self::with_shards`] in either
     /// order; must precede execution. `None` keeps the unbounded
     /// resident path.

@@ -671,7 +671,7 @@ fn resolve_stream(
         .flat_map(|v| v.iter())
         .map(|c| c.byte_size())
         .sum();
-    if total > env.shard_budget && depth < env.max_depth {
+    if total > env.shard_budget() && depth < env.max_depth {
         let mut l0s = scatter_chunks(l0, op_shards, env.fanout, depth)?;
         let mut r0s = scatter_chunks(r0, op_shards, env.fanout, depth)?;
         let mut l1s = scatter_chunks(l1, op_shards, env.fanout, depth)?;
@@ -1035,7 +1035,7 @@ impl JoinShard {
         if env.governor.is_poisoned() {
             return self.degrade();
         }
-        while self.state_bytes() > env.shard_budget {
+        while self.state_bytes() > env.shard_budget() {
             if env.governor.is_poisoned() {
                 // An eviction's flush just soft-failed into its pending
                 // buffer: the loop can never shed bytes, stop evicting.
@@ -1256,7 +1256,7 @@ impl JoinOp {
     }
 
     /// Govern this operator's memory: when the per-shard slice of
-    /// `plan.op_budget` is exceeded, the largest spill partition is
+    /// `plan.op_budget()` is exceeded, the largest spill partition is
     /// evicted to disk and its matches resolve out-of-core. Composes
     /// with [`Self::with_shards`] in either order; must precede
     /// execution. `None` keeps the unbounded resident path.

@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use wake_core::graph::{Parallelism, QueryGraph};
 use wake_obs::ObsLevel;
-use wake_store::{SpillConfig, SpillIo};
+use wake_store::{GlobalGovernor, SpillConfig, SpillIo};
 
 /// Which execution engine drives the query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -87,6 +87,11 @@ pub struct EngineConfig {
     zone_pruning: Option<bool>,
     scan_seed: Option<u64>,
     obs: Option<ObsLevel>,
+    global: Option<Arc<GlobalGovernor>>,
+    serve_addr: Option<String>,
+    serve_max_concurrent: Option<usize>,
+    serve_max_queued: Option<usize>,
+    serve_global_budget: Option<usize>,
 }
 
 impl EngineConfig {
@@ -261,6 +266,98 @@ impl EngineConfig {
         self
     }
 
+    /// Lease this query's memory budget from a process-wide
+    /// [`GlobalGovernor`] instead of owning it outright. The per-query
+    /// budget (explicit or ambient) becomes a *cap* on the leased share;
+    /// with no per-query budget the share alone bounds the query. Every
+    /// query started from a config carrying the same governor re-divides
+    /// the total as it enters and leaves — the wake-serve server hands
+    /// every admitted query a config built this way.
+    pub fn with_global_governor(mut self, global: &Arc<GlobalGovernor>) -> Self {
+        self.global = Some(global.clone());
+        self
+    }
+
+    /// Address the wake-serve server binds (default: `WAKE_SERVE_ADDR`,
+    /// else `127.0.0.1:0` — an ephemeral localhost port).
+    pub fn with_serve_addr(mut self, addr: impl Into<String>) -> Self {
+        self.serve_addr = Some(addr.into());
+        self
+    }
+
+    /// Queries executing at once in the server's worker pool; admitted
+    /// queries beyond this wait in the bounded queue. Minimum 1. Default:
+    /// `WAKE_SERVE_MAX_CONCURRENT`, else 4.
+    pub fn with_serve_max_concurrent(mut self, n: usize) -> Self {
+        self.serve_max_concurrent = Some(n.max(1));
+        self
+    }
+
+    /// Queries allowed to wait beyond the executing ones before the
+    /// server answers with a typed overload response. Minimum 1. Default:
+    /// `WAKE_SERVE_MAX_QUEUED`, else 16.
+    pub fn with_serve_max_queued(mut self, n: usize) -> Self {
+        self.serve_max_queued = Some(n.max(1));
+        self
+    }
+
+    /// Total byte budget the server's [`GlobalGovernor`] leases out
+    /// across all resident queries. Default: `WAKE_SERVE_GLOBAL_BUDGET`
+    /// (accepts `64M`-style suffixes like `WAKE_MEM_BUDGET`), else
+    /// unbounded (no global governor is created).
+    pub fn with_serve_global_budget(mut self, bytes: usize) -> Self {
+        self.serve_global_budget = Some(bytes);
+        self
+    }
+
+    /// Resolved server bind address (explicit, else `WAKE_SERVE_ADDR`,
+    /// else ephemeral localhost).
+    pub fn serve_addr(&self) -> String {
+        self.serve_addr.clone().unwrap_or_else(|| {
+            std::env::var("WAKE_SERVE_ADDR")
+                .ok()
+                .filter(|s| !s.trim().is_empty())
+                .unwrap_or_else(|| "127.0.0.1:0".to_string())
+        })
+    }
+
+    /// Resolved worker-pool width (explicit, else
+    /// `WAKE_SERVE_MAX_CONCURRENT`, else 4; never 0).
+    pub fn serve_max_concurrent(&self) -> usize {
+        self.serve_max_concurrent
+            .or_else(|| {
+                std::env::var("WAKE_SERVE_MAX_CONCURRENT")
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok())
+            })
+            .filter(|&n| n >= 1)
+            .unwrap_or(4)
+    }
+
+    /// Resolved admission-queue depth (explicit, else
+    /// `WAKE_SERVE_MAX_QUEUED`, else 16; never 0).
+    pub fn serve_max_queued(&self) -> usize {
+        self.serve_max_queued
+            .or_else(|| {
+                std::env::var("WAKE_SERVE_MAX_QUEUED")
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok())
+            })
+            .filter(|&n| n >= 1)
+            .unwrap_or(16)
+    }
+
+    /// Resolved server-wide byte budget (explicit, else
+    /// `WAKE_SERVE_GLOBAL_BUDGET` with `K`/`M`/`G` suffixes; `None` =
+    /// no global governance).
+    pub fn serve_global_budget(&self) -> Option<usize> {
+        self.serve_global_budget.or_else(|| {
+            std::env::var("WAKE_SERVE_GLOBAL_BUDGET")
+                .ok()
+                .and_then(|s| wake_store::parse_bytes(&s))
+        })
+    }
+
     /// Resolved observability level (explicit, else `WAKE_OBS`, else
     /// [`ObsLevel::Off`]; unrecognised values fall back to off).
     pub fn obs_level(&self) -> ObsLevel {
@@ -357,6 +454,7 @@ impl EngineConfig {
             io: self.spill_io.clone().or(ambient.io),
             retry_attempts: self.spill_retries.or(ambient.retry_attempts),
             retry_base_delay: self.spill_retry_delay.or(ambient.retry_base_delay),
+            global: self.global.clone(),
         }
     }
 
@@ -574,6 +672,46 @@ mod tests {
             .and_then(|s| ObsLevel::parse(&s))
             .unwrap_or_default();
         assert_eq!(EngineConfig::new().obs_level(), ambient);
+    }
+
+    #[test]
+    fn serve_knobs_resolve_explicitly() {
+        let cfg = EngineConfig::new()
+            .with_serve_addr("127.0.0.1:7878")
+            .with_serve_max_concurrent(2)
+            .with_serve_max_queued(3)
+            .with_serve_global_budget(1 << 20);
+        assert_eq!(cfg.serve_addr(), "127.0.0.1:7878");
+        assert_eq!(cfg.serve_max_concurrent(), 2);
+        assert_eq!(cfg.serve_max_queued(), 3);
+        assert_eq!(cfg.serve_global_budget(), Some(1 << 20));
+        // Degenerate values clamp to at least one worker / queue slot.
+        assert_eq!(
+            EngineConfig::new()
+                .with_serve_max_concurrent(0)
+                .serve_max_concurrent(),
+            1
+        );
+        assert_eq!(
+            EngineConfig::new()
+                .with_serve_max_queued(0)
+                .serve_max_queued(),
+            1
+        );
+    }
+
+    #[test]
+    fn global_governor_flows_into_spill_config() {
+        let global = wake_store::GlobalGovernor::new(1 << 20);
+        let cfg = EngineConfig::new().with_global_governor(&global);
+        let resolved = cfg.spill_config();
+        assert!(resolved.global.is_some());
+        // Without a per-query budget the plan still exists: the lease is
+        // the budget.
+        let plan = resolved.build_plan(1).unwrap().expect("lease implies plan");
+        assert_eq!(plan.governor.budget(), Some(1 << 20));
+        drop(plan);
+        assert!(global.is_idle());
     }
 
     #[test]

@@ -42,14 +42,15 @@ mod trace;
 pub use config::{EngineConfig, ExecutorKind};
 pub use estimate::{Estimate, EstimateSeries, SeriesExt};
 pub use stepped::{RunStats, SteppedExecutor, SteppedStream};
-pub use stream::{EstimateStream, Executor, StopStream, DEFAULT_CONFIDENCE};
+pub use stream::{CancelHandle, EstimateStream, Executor, StopStream, DEFAULT_CONFIDENCE};
 pub use threaded::{ThreadedExecutor, ThreadedStream, DEFAULT_CHANNEL_CAPACITY};
 pub use trace::{TraceEvent, TraceLog, DEFAULT_TRACE_CAPACITY};
-// Memory-governance configuration (the budget knob on both executors)
-// plus the spill-device boundary: the `SpillIo` trait, the real
-// filesystem device, and the deterministic fault injector for tests.
+// Memory-governance configuration (the per-query budget knob on both
+// executors and the process-wide ledger wake-serve leases from) plus the
+// spill-device boundary: the `SpillIo` trait, the real filesystem device,
+// and the deterministic fault injector for tests.
 pub use wake_store::{
-    FaultIo, FaultSchedule, SpillConfig, SpillIo, SpillMetrics, StdIo, TornWrite,
+    FaultIo, FaultSchedule, GlobalGovernor, SpillConfig, SpillIo, SpillMetrics, StdIo, TornWrite,
 };
 // Observability: the level knob on `EngineConfig`, the per-node profile
 // types surfaced by `RunStats.nodes` / `EstimateStream::profile()`, and

@@ -32,6 +32,7 @@
 use crate::estimate::{Estimate, EstimateSeries, SinkState, SinkTelemetry};
 use crate::{EngineConfig, Result};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use wake_core::graph::{build_operator_spilling, NodeId, NodeKind, QueryGraph};
@@ -226,6 +227,7 @@ impl SteppedExecutor {
             peak_state_bytes: 0,
             exhausted: false,
             finished: false,
+            cancel: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -277,6 +279,11 @@ pub struct SteppedStream {
     exhausted: bool,
     /// Stream fused (final estimate handed out, or an error surfaced).
     finished: bool,
+    /// Cross-thread cancellation flag ([`crate::CancelHandle`]): set, the
+    /// next poll fuses the stream instead of stepping. The stepped engine
+    /// runs entirely on the polling thread, so "cancel" simply means
+    /// "stop advancing"; dropping the stream then releases all state.
+    cancel: Arc<AtomicBool>,
 }
 
 impl SteppedStream {
@@ -340,6 +347,11 @@ impl SteppedStream {
     /// The directory spill files are written to, when a budget is set.
     pub fn spill_dir(&self) -> Option<std::path::PathBuf> {
         self.exec.spill.as_ref().map(|p| p.dir.root().to_path_buf())
+    }
+
+    /// The shared cancellation flag behind [`crate::CancelHandle`].
+    pub(crate) fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
     }
 
     /// Advance one driver step: read one partition from the
@@ -507,6 +519,10 @@ impl Iterator for SteppedStream {
 
     fn next(&mut self) -> Option<Result<Estimate>> {
         if self.finished {
+            return None;
+        }
+        if self.cancel.load(Ordering::Acquire) {
+            self.finished = true;
             return None;
         }
         loop {

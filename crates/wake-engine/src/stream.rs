@@ -241,6 +241,58 @@ impl EstimateStream {
     pub fn until_rows_processed(self, rows: u64) -> StopStream {
         StopStream::new(self, StopCondition::Rows(rows))
     }
+
+    /// OLA stopping condition: end the stream — cancelling the query —
+    /// at the first estimate observed on or after `deadline` from now.
+    /// The triggering estimate is still yielded (it is the best answer
+    /// available at the deadline), then the query is cancelled; if the
+    /// query completes sooner, the exact final estimate ends the stream
+    /// as usual. The wake-serve server wraps every request in this as
+    /// its default per-request timeout.
+    ///
+    /// The check runs when an estimate arrives, so on the threaded
+    /// engine a deadline that expires *between* estimates fires at the
+    /// next one — estimates flow continuously, making the overshoot one
+    /// inter-estimate gap at most.
+    pub fn until_deadline(self, deadline: std::time::Duration) -> StopStream {
+        StopStream::new(
+            self,
+            StopCondition::Deadline(std::time::Instant::now() + deadline),
+        )
+    }
+
+    /// A clonable, thread-safe handle that cancels this query from
+    /// another thread. Setting it makes the stream end (threaded: node
+    /// threads observe the flag and the pipeline winds down; stepped:
+    /// the next poll returns `None`). The serving layer uses this to
+    /// cancel a running query when its client disconnects.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        let flag = match &self.inner {
+            Inner::Stepped(s) => s.cancel_flag(),
+            Inner::Threaded(s) => s.cancel_flag(),
+        };
+        CancelHandle { flag }
+    }
+}
+
+/// A thread-safe cancellation handle for a running query; see
+/// [`EstimateStream::cancel_handle`]. Cheap to clone; outliving the
+/// stream is fine (cancelling a finished query is a no-op).
+#[derive(Clone)]
+pub struct CancelHandle {
+    flag: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// True once cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(std::sync::atomic::Ordering::Acquire)
+    }
 }
 
 impl Iterator for EstimateStream {
@@ -262,6 +314,7 @@ enum StopCondition {
         confidence: f64,
     },
     Rows(u64),
+    Deadline(std::time::Instant),
 }
 
 impl StopCondition {
@@ -273,6 +326,7 @@ impl StopCondition {
                 confidence,
             } => Ok(est.max_rel_half_width(column, *confidence)? <= *rel_half_width),
             StopCondition::Rows(rows) => Ok(est.rows_processed >= *rows),
+            StopCondition::Deadline(deadline) => Ok(std::time::Instant::now() >= *deadline),
         }
     }
 }
@@ -353,6 +407,21 @@ impl StopStream {
             self.pending_err = result.err();
         }
         self.done = true;
+    }
+
+    /// Stop the query now (if still running), keeping final statistics
+    /// and profile readable. The stream is fused afterwards, except that
+    /// a genuine node failure observed during shutdown is yielded on the
+    /// next poll rather than swallowed. Idempotent. The serving layer
+    /// calls this when a client disconnects mid-stream.
+    pub fn stop(&mut self) {
+        self.stop_now();
+    }
+
+    /// Thread-safe cancellation handle for the underlying query; `None`
+    /// once the stream has stopped. See [`EstimateStream::cancel_handle`].
+    pub fn cancel_handle(&self) -> Option<CancelHandle> {
+        self.inner.as_ref().map(|s| s.cancel_handle())
     }
 }
 
@@ -481,6 +550,74 @@ mod tests {
         let series = series.unwrap();
         assert!(series.last().unwrap().is_final);
         assert!(!stop.stopped_early());
+    }
+
+    #[test]
+    fn until_deadline_stops_at_the_next_estimate() {
+        for kind in [ExecutorKind::Stepped, ExecutorKind::Threaded] {
+            let stream = EngineConfig::new()
+                .with_executor(kind)
+                .start(graph(2000, 5, false))
+                .unwrap();
+            // An already-expired deadline: the very first estimate is the
+            // triggering one, yielded then the query cancels.
+            let mut stop = stream.until_deadline(std::time::Duration::ZERO);
+            let first = stop.next().expect("triggering estimate").unwrap();
+            assert!(!first.is_final, "{kind:?}: stopped at the first estimate");
+            assert!(stop.stopped_early(), "{kind:?}");
+            assert!(stop.next().is_none(), "{kind:?}: deadline stream fuses");
+        }
+    }
+
+    #[test]
+    fn until_deadline_completes_when_generous() {
+        let stream = EngineConfig::new().start(graph(100, 10, false)).unwrap();
+        let mut stop = stream.until_deadline(std::time::Duration::from_secs(3600));
+        let series: Result<Vec<_>> = (&mut stop).collect();
+        assert!(series.unwrap().last().unwrap().is_final);
+        assert!(!stop.stopped_early());
+    }
+
+    #[test]
+    fn cancel_handle_ends_both_engines() {
+        for kind in [ExecutorKind::Stepped, ExecutorKind::Threaded] {
+            let mut stream = EngineConfig::new()
+                .with_executor(kind)
+                .start(graph(2000, 5, false))
+                .unwrap();
+            let first = stream.next().expect("one estimate").unwrap();
+            assert!(!first.is_final);
+            let handle = stream.cancel_handle();
+            assert!(!handle.is_cancelled());
+            handle.cancel();
+            assert!(handle.is_cancelled());
+            // The stream winds down instead of hanging. The stepped
+            // engine stops on the very next poll; the threaded one may
+            // still drain estimates already queued in the sink channel
+            // (possibly the final, if the pipeline outran the cancel),
+            // but must terminate.
+            let rest: Vec<_> = stream.by_ref().collect();
+            if kind == ExecutorKind::Stepped {
+                assert!(rest.is_empty(), "stepped cancel fuses on the next poll");
+            }
+            // Stats stay readable after the cancel.
+            let _ = stream.finish();
+        }
+    }
+
+    #[test]
+    fn stop_stream_public_stop_keeps_stats_readable() {
+        let mut stop = EngineConfig::new()
+            .start(graph(1000, 10, false))
+            .unwrap()
+            .until_rows_processed(u64::MAX);
+        let _ = stop.next().unwrap().unwrap();
+        assert!(stop.cancel_handle().is_some());
+        stop.stop();
+        stop.stop(); // idempotent
+        assert!(stop.cancel_handle().is_none());
+        let _ = stop.stats();
+        assert!(stop.next().is_none());
     }
 
     #[test]

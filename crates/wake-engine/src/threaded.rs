@@ -596,6 +596,13 @@ impl ThreadedStream {
         self.spill_root.clone()
     }
 
+    /// The shared cancellation flag behind [`crate::CancelHandle`]: the
+    /// same flag every node thread polls, so setting it from any thread
+    /// winds the pipeline down exactly like a drop-cancel.
+    pub(crate) fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
     /// Stop the query now: signal cancellation, unblock the pipeline and
     /// join every node thread. Idempotent; called by `Drop` as well.
     pub(crate) fn shutdown(&mut self) -> Result<()> {

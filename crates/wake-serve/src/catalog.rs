@@ -1,0 +1,75 @@
+//! The server's query catalog: named, pre-planned query graphs.
+//!
+//! Clients name queries rather than shipping plans — the protocol stays
+//! data-free and the server controls exactly what can run. Each entry is
+//! a [`QueryGraph`] template (cloned per execution; graphs are cheap
+//! shared-pointer clones) plus an optional **watch column**: the
+//! aggregate output column the server summarises into each wire
+//! estimate's `value` and confidence-interval fields.
+
+use std::collections::HashMap;
+use wake_core::graph::QueryGraph;
+
+/// One runnable catalog entry.
+#[derive(Clone)]
+pub struct CatalogEntry {
+    pub graph: QueryGraph,
+    /// Aggregate output column surfaced as the wire `value` (summed over
+    /// the estimate's output rows) and, when the query carries a
+    /// `{watch}__var` CI column, as `ci_rel_half_width`.
+    pub watch: Option<String>,
+}
+
+/// Name → query template map, built before the server starts and
+/// immutable afterwards (shared read-only across connection threads).
+#[derive(Default)]
+pub struct QueryCatalog {
+    entries: HashMap<String, CatalogEntry>,
+}
+
+impl QueryCatalog {
+    pub fn new() -> QueryCatalog {
+        QueryCatalog::default()
+    }
+
+    /// Register `graph` under `name` (replacing any previous entry).
+    pub fn register(&mut self, name: impl Into<String>, graph: QueryGraph) {
+        self.entries
+            .insert(name.into(), CatalogEntry { graph, watch: None });
+    }
+
+    /// [`Self::register`] with a watch column for wire-value telemetry.
+    pub fn register_watch(
+        &mut self,
+        name: impl Into<String>,
+        graph: QueryGraph,
+        watch: impl Into<String>,
+    ) {
+        self.entries.insert(
+            name.into(),
+            CatalogEntry {
+                graph,
+                watch: Some(watch.into()),
+            },
+        );
+    }
+
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Registered names, sorted (for the `list` response).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

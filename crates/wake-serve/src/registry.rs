@@ -1,0 +1,181 @@
+//! The served-query registry: per-query lifecycle records.
+//!
+//! Every admitted query gets a record tracking its status, final
+//! [`RunStats`], and (once finished) its rendered
+//! [`wake_obs::QueryProfile`] JSON — the backing store for the protocols'
+//! `EXPLAIN ANALYZE` and `list` requests. Records survive the query (the
+//! whole point: profiles are for *completed/cancelled* queries), bounded
+//! by a ring of [`MAX_RECORDS`] so a long-lived server doesn't grow
+//! without limit.
+//!
+//! A query cancelled while still queued never executes, but its record
+//! stays readable and reports **zero work** (`RunStats::default()`): no
+//! stream was built, so no governor lease ever existed for it.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use wake_engine::RunStats;
+
+/// Retained records; the oldest finished record is evicted past this.
+pub const MAX_RECORDS: usize = 256;
+
+/// Where a served query is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Ran to its exact final estimate, or stopped at its deadline with
+    /// the best available estimate (`stopped_early` distinguishes).
+    Completed,
+    /// Cancelled — client disconnect, or cancelled while still queued.
+    Cancelled,
+    /// The query surfaced an execution error.
+    Failed,
+}
+
+impl QueryStatus {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryStatus::Queued => "queued",
+            QueryStatus::Running => "running",
+            QueryStatus::Completed => "completed",
+            QueryStatus::Cancelled => "cancelled",
+            QueryStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One served query's lifecycle record.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    pub id: u64,
+    pub name: String,
+    pub status: QueryStatus,
+    /// Final run statistics (zero for a queued-then-cancelled query).
+    pub stats: RunStats,
+    /// Rendered `QueryProfile::to_json()` captured at finish; `None`
+    /// while queued/running or when the query never built a stream.
+    pub profile_json: Option<String>,
+    /// The query stopped at its deadline rather than completing.
+    pub stopped_early: bool,
+    pub error: Option<String>,
+}
+
+/// Thread-safe id → record map with FIFO eviction of finished records.
+#[derive(Default)]
+pub struct QueryRegistry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    records: HashMap<u64, QueryRecord>,
+    order: VecDeque<u64>,
+}
+
+impl QueryRegistry {
+    pub fn new() -> QueryRegistry {
+        QueryRegistry::default()
+    }
+
+    /// Record an admitted query (status [`QueryStatus::Queued`]).
+    pub fn admit(&self, id: u64, name: &str) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.records.insert(
+            id,
+            QueryRecord {
+                id,
+                name: name.to_string(),
+                status: QueryStatus::Queued,
+                stats: RunStats::default(),
+                profile_json: None,
+                stopped_early: false,
+                error: None,
+            },
+        );
+        inner.order.push_back(id);
+        while inner.order.len() > MAX_RECORDS {
+            // Evict the oldest *finished* record; never a live query.
+            let Some(pos) = inner.order.iter().position(|id| {
+                !matches!(
+                    inner.records.get(id).map(|r| r.status),
+                    Some(QueryStatus::Queued) | Some(QueryStatus::Running)
+                )
+            }) else {
+                break;
+            };
+            let evicted = inner.order.remove(pos).expect("position in range");
+            inner.records.remove(&evicted);
+        }
+    }
+
+    /// Mutate the record for `id`, if present.
+    pub fn update(&self, id: u64, f: impl FnOnce(&mut QueryRecord)) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(rec) = inner.records.get_mut(&id) {
+            f(rec);
+        }
+    }
+
+    pub fn get(&self, id: u64) -> Option<QueryRecord> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .records
+            .get(&id)
+            .cloned()
+    }
+
+    /// All retained records in admission order.
+    pub fn list(&self) -> Vec<QueryRecord> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .order
+            .iter()
+            .filter_map(|id| inner.records.get(id).cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_eviction() {
+        let reg = QueryRegistry::new();
+        reg.admit(1, "q");
+        assert_eq!(reg.get(1).unwrap().status, QueryStatus::Queued);
+        reg.update(1, |r| r.status = QueryStatus::Running);
+        reg.update(1, |r| {
+            r.status = QueryStatus::Completed;
+            r.profile_json = Some("{}".into());
+        });
+        let rec = reg.get(1).unwrap();
+        assert_eq!(rec.status, QueryStatus::Completed);
+        assert_eq!(rec.profile_json.as_deref(), Some("{}"));
+
+        // Ring eviction removes finished records oldest-first, never live
+        // ones.
+        for id in 2..(MAX_RECORDS as u64 + 3) {
+            reg.admit(id, "q");
+            reg.update(id, |r| r.status = QueryStatus::Completed);
+        }
+        assert!(reg.get(1).is_none(), "oldest finished record evicted");
+        assert_eq!(reg.list().len(), MAX_RECORDS);
+    }
+
+    #[test]
+    fn queued_then_cancelled_reports_zero_work() {
+        let reg = QueryRegistry::new();
+        reg.admit(7, "never-ran");
+        reg.update(7, |r| r.status = QueryStatus::Cancelled);
+        let rec = reg.get(7).unwrap();
+        assert_eq!(rec.status, QueryStatus::Cancelled);
+        assert_eq!(rec.stats.peak_state_bytes, 0);
+        assert_eq!(rec.stats.spill.spilled_bytes, 0);
+        assert!(rec.profile_json.is_none());
+    }
+}

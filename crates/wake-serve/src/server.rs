@@ -1,0 +1,857 @@
+//! The server: admission control, the worker pool, and both protocols.
+//!
+//! One listener thread accepts connections and hands each to its own
+//! connection thread; a pool of `serve_max_concurrent` worker threads
+//! executes admitted queries from a bounded job queue of depth
+//! `serve_max_queued`. Admission is a non-blocking `try_send` into that
+//! queue: a full queue is answered with a **typed overload** response
+//! (HTTP `429`, TCP `{"type":"error","code":"overloaded"}`) instead of
+//! blocking the client — bursts degrade to fast refusals, never hangs.
+//!
+//! Memory is governed process-wide: when `serve_global_budget` (or
+//! `WAKE_SERVE_GLOBAL_BUDGET`) is set, every executed query leases an
+//! equal share of one [`GlobalGovernor`] total, re-apportioned as queries
+//! enter and leave; the largest resident query is the first pushed over
+//! its shrunken slice and therefore the first to spill — admission
+//! fairness mirroring the per-shard largest-partition eviction rule.
+//!
+//! Client disconnect cancels the running query through the engine's
+//! drop-cancel contract: the connection thread drops its event receiver
+//! and raises the job's cancel flag, the worker's next event send fails,
+//! and it stops the stream — joining node threads and removing spill
+//! temp directories — before recording final statistics.
+
+use crate::catalog::QueryCatalog;
+use crate::json::{self, Obj};
+use crate::registry::{QueryRecord, QueryRegistry, QueryStatus};
+use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wake_core::graph::QueryGraph;
+use wake_engine::{EngineConfig, GlobalGovernor, RunStats};
+use wake_obs::ObsLevel;
+
+/// Default per-request deadline when the client does not send
+/// `deadline_ms`: generous enough to be "no timeout" for interactive
+/// use, finite so an abandoned query can never run forever.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(3600);
+
+/// Socket read poll interval: how often blocked connection threads check
+/// the shutdown flag and client liveness.
+const POLL: Duration = Duration::from_millis(25);
+
+/// One admitted query travelling from a connection thread to a worker.
+struct Job {
+    id: u64,
+    graph: QueryGraph,
+    watch: Option<String>,
+    deadline: Duration,
+    /// Pre-rendered JSON event lines flow back through this; the bound
+    /// gives slow clients backpressure, and a dropped receiver (client
+    /// gone) turns the worker's next send into the stop signal.
+    events: channel::Sender<String>,
+    /// Raised by the connection thread on disconnect; checked by the
+    /// worker before execution so a query cancelled while still queued
+    /// never builds a stream (and never takes a governor lease).
+    cancelled: Arc<AtomicBool>,
+}
+
+struct Shared {
+    engine: EngineConfig,
+    catalog: QueryCatalog,
+    registry: Arc<QueryRegistry>,
+    /// `None` once shutdown has begun (no further admissions).
+    jobs: Mutex<Option<channel::Sender<Job>>>,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    global: Option<Arc<GlobalGovernor>>,
+}
+
+/// A running server; dropping (or calling [`ServerHandle::shutdown`])
+/// stops the listener, connection threads, and workers, joining them all.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Start a server on the config's [`EngineConfig::serve_addr`]. The
+/// returned handle owns every thread the server spawns; queries execute
+/// with `config`'s engine settings (observability is raised to at least
+/// `Stats` so wire telemetry and profiles are populated), under one
+/// process-wide memory ledger when a global budget is configured.
+pub fn serve(config: EngineConfig, catalog: QueryCatalog) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.serve_addr())?;
+    let addr = listener.local_addr()?;
+    let max_concurrent = config.serve_max_concurrent();
+    let max_queued = config.serve_max_queued();
+
+    let global = config.serve_global_budget().map(GlobalGovernor::new);
+    let mut engine = config;
+    if let Some(global) = &global {
+        engine = engine.with_global_governor(global);
+    }
+    if engine.obs_level() == ObsLevel::Off {
+        engine = engine.with_obs(ObsLevel::Stats);
+    }
+
+    let (jobs_tx, jobs_rx) = channel::bounded::<Job>(max_queued);
+    let registry = Arc::new(QueryRegistry::new());
+    let shared = Arc::new(Shared {
+        engine,
+        catalog,
+        registry: registry.clone(),
+        jobs: Mutex::new(Some(jobs_tx)),
+        shutdown: AtomicBool::new(false),
+        next_id: AtomicU64::new(1),
+        global,
+    });
+
+    // Worker pool: the receiver is single-consumer, so workers take
+    // turns holding it; a worker blocked in recv under the lock releases
+    // it as soon as a job (or disconnect) arrives.
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+    let workers = (0..max_concurrent)
+        .map(|i| {
+            let rx = jobs_rx.clone();
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("wake-serve-worker-{i}"))
+                .spawn(move || worker_loop(rx, shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let listener_handle = {
+        let shared = shared.clone();
+        let conns = conns.clone();
+        std::thread::Builder::new()
+            .name("wake-serve-listener".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = shared.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("wake-serve-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &shared);
+                        })
+                        .expect("spawn connection thread");
+                    conns.lock().expect("conn registry lock").push(handle);
+                }
+            })
+            .expect("spawn listener")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        listener: Some(listener_handle),
+        conns,
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the `:0` ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served-query registry (ids, statuses, stats, profiles).
+    pub fn registry(&self) -> Arc<QueryRegistry> {
+        self.shared.registry.clone()
+    }
+
+    /// The process-wide memory ledger, when a global budget is set.
+    /// Tests assert [`GlobalGovernor::is_idle`] here between requests.
+    pub fn global_governor(&self) -> Option<Arc<GlobalGovernor>> {
+        self.shared.global.clone()
+    }
+
+    /// Stop accepting, cancel in-flight work, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // No further admissions, and workers see EOF once the last
+        // connection thread drops its sender clone.
+        *self.shared.jobs.lock().expect("jobs lock") = None;
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        // Connection threads observe the flag within one poll interval.
+        let conns: Vec<_> = self
+            .conns
+            .lock()
+            .expect("conn registry lock")
+            .drain(..)
+            .collect();
+        for h in conns {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side: execute admitted queries, stream events back.
+// ---------------------------------------------------------------------
+
+fn worker_loop(rx: Arc<Mutex<channel::Receiver<Job>>>, shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let rx = rx.lock().expect("jobs receiver lock");
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => break, // all senders gone: shutdown
+            }
+        };
+        run_job(job, &shared);
+    }
+}
+
+fn run_job(job: Job, shared: &Shared) {
+    if job.cancelled.load(Ordering::Acquire) {
+        // Cancelled while queued: the record stays readable and reports
+        // zero work — no stream, no governor lease.
+        shared
+            .registry
+            .update(job.id, |r| r.status = QueryStatus::Cancelled);
+        let _ = job.events.try_send(done_line(
+            job.id,
+            QueryStatus::Cancelled,
+            &RunStats::default(),
+            false,
+        ));
+        return;
+    }
+    shared
+        .registry
+        .update(job.id, |r| r.status = QueryStatus::Running);
+
+    let stream = match shared.engine.start(job.graph) {
+        Ok(stream) => stream,
+        Err(e) => {
+            let msg = e.to_string();
+            shared.registry.update(job.id, |r| {
+                r.status = QueryStatus::Failed;
+                r.error = Some(msg.clone());
+            });
+            let _ = job
+                .events
+                .try_send(error_line(Some(job.id), "query_failed", &msg));
+            return;
+        }
+    };
+    let cancel = stream.cancel_handle();
+    let mut stop = stream.until_deadline(job.deadline);
+
+    let mut error: Option<String> = None;
+    let mut client_gone = false;
+    while let Some(item) = stop.next() {
+        if job.cancelled.load(Ordering::Acquire) {
+            client_gone = true;
+            cancel.cancel();
+            stop.stop();
+            break;
+        }
+        match item {
+            Ok(est) => {
+                let degraded = stop.stats().degraded;
+                let line = estimate_line(job.id, &est, job.watch.as_deref(), degraded);
+                if job.events.send(line).is_err() {
+                    // Client disconnected mid-stream: cancel through the
+                    // drop-cancel contract (the flag unblocks a
+                    // backpressured pipeline before the join).
+                    client_gone = true;
+                    cancel.cancel();
+                    stop.stop();
+                    break;
+                }
+            }
+            Err(e) => {
+                error = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    stop.stop(); // idempotent; captures final stats + profile
+
+    let stats = stop.stats();
+    let stopped_early = stop.stopped_early();
+    let status = if let Some(msg) = &error {
+        let msg = msg.clone();
+        shared.registry.update(job.id, |r| r.error = Some(msg));
+        QueryStatus::Failed
+    } else if client_gone {
+        QueryStatus::Cancelled
+    } else {
+        QueryStatus::Completed
+    };
+    let profile_json = stop.profile().map(|p| p.to_json());
+    {
+        let stats = stats.clone();
+        shared.registry.update(job.id, |r| {
+            r.status = status;
+            r.stats = stats;
+            r.profile_json = profile_json;
+            r.stopped_early = stopped_early;
+        });
+    }
+    if let Some(msg) = error {
+        let _ = job
+            .events
+            .try_send(error_line(Some(job.id), "query_failed", &msg));
+    }
+    let _ = job
+        .events
+        .try_send(done_line(job.id, status, &stats, stopped_early));
+}
+
+fn estimate_line(
+    id: u64,
+    est: &wake_engine::Estimate,
+    watch: Option<&str>,
+    degraded: bool,
+) -> String {
+    let mut obj = Obj::new()
+        .str("type", "estimate")
+        .u64("id", id)
+        .u64("seq", est.seq as u64)
+        .f64("t", est.t)
+        .bool("is_final", est.is_final)
+        .u64("rows", est.frame.num_rows() as u64)
+        .u64("rows_processed", est.rows_processed)
+        .f64("elapsed_ms", est.elapsed.as_secs_f64() * 1e3)
+        .u64("spill_bytes", est.spill_bytes)
+        .u64("scan_bytes", est.scan_bytes)
+        .bool("degraded", degraded);
+    if let Some(watch) = watch {
+        if let Some(value) = watch_sum(est, watch) {
+            obj = obj.f64("value", value);
+        }
+        if let Ok(hw) = est.max_rel_half_width(watch, wake_engine::DEFAULT_CONFIDENCE) {
+            if hw.is_finite() {
+                obj = obj.f64("ci_rel_half_width", hw);
+            }
+        }
+    }
+    obj.build()
+}
+
+/// Sum of the watch column over the estimate's output rows — an
+/// order-independent scalar summary (exact for single-group aggregates,
+/// a stable roll-up for grouped ones).
+fn watch_sum(est: &wake_engine::Estimate, watch: &str) -> Option<f64> {
+    let col = est.frame.column(watch).ok()?;
+    let mut sum = 0.0;
+    for i in 0..col.len() {
+        sum += col.f64_at(i)?;
+    }
+    Some(sum)
+}
+
+fn done_line(id: u64, status: QueryStatus, stats: &RunStats, stopped_early: bool) -> String {
+    Obj::new()
+        .str("type", "done")
+        .u64("id", id)
+        .str("status", status.as_str())
+        .bool("stopped_early", stopped_early)
+        .bool("degraded", stats.degraded)
+        .u64("peak_state_bytes", stats.peak_state_bytes as u64)
+        .u64("spill_bytes", stats.spill.spilled_bytes as u64)
+        .u64("evictions", stats.spill.evictions as u64)
+        .u64("scan_bytes", stats.scan.decompressed_bytes)
+        .build()
+}
+
+fn error_line(id: Option<u64>, code: &str, message: &str) -> String {
+    let mut obj = Obj::new().str("type", "error").str("code", code);
+    if let Some(id) = id {
+        obj = obj.u64("id", id);
+    }
+    obj.str("message", message).build()
+}
+
+fn record_line(rec: &QueryRecord) -> String {
+    let mut obj = Obj::new()
+        .u64("id", rec.id)
+        .str("name", &rec.name)
+        .str("status", rec.status.as_str())
+        .bool("stopped_early", rec.stopped_early)
+        .bool("degraded", rec.stats.degraded)
+        .u64("peak_state_bytes", rec.stats.peak_state_bytes as u64)
+        .u64("spill_bytes", rec.stats.spill.spilled_bytes as u64);
+    if let Some(err) = &rec.error {
+        obj = obj.str("error", err);
+    }
+    obj.build()
+}
+
+// ---------------------------------------------------------------------
+// Connection side: protocol sniffing, request handling, event pumping.
+// ---------------------------------------------------------------------
+
+/// Outcome of submitting one query request for admission.
+enum Admission {
+    Admitted {
+        id: u64,
+        events: channel::Receiver<String>,
+        cancelled: Arc<AtomicBool>,
+    },
+    Overloaded,
+    UnknownQuery,
+    ShuttingDown,
+}
+
+fn admit(shared: &Shared, name: &str, deadline: Duration) -> Admission {
+    let Some(entry) = shared.catalog.get(name) else {
+        return Admission::UnknownQuery;
+    };
+    let tx = match shared.jobs.lock().expect("jobs lock").as_ref() {
+        Some(tx) => tx.clone(),
+        None => return Admission::ShuttingDown,
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let (events_tx, events_rx) = channel::bounded::<String>(32);
+    let cancelled = Arc::new(AtomicBool::new(false));
+    // Admit into the registry first so an immediately-scheduled job finds
+    // its record; roll back if the queue refuses it.
+    shared.registry.admit(id, name);
+    let job = Job {
+        id,
+        graph: entry.graph.clone(),
+        watch: entry.watch.clone(),
+        deadline,
+        events: events_tx,
+        cancelled: cancelled.clone(),
+    };
+    match tx.try_send(job) {
+        Ok(()) => Admission::Admitted {
+            id,
+            events: events_rx,
+            cancelled,
+        },
+        Err(TrySendError::Full(_)) => {
+            shared.registry.update(id, |r| {
+                r.status = QueryStatus::Failed;
+                r.error = Some("rejected: admission queue full".into());
+            });
+            Admission::Overloaded
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.registry.update(id, |r| {
+                r.status = QueryStatus::Failed;
+                r.error = Some("rejected: server shutting down".into());
+            });
+            Admission::ShuttingDown
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let Some(first) = read_line_polled(&mut reader, shared)? else {
+        return Ok(());
+    };
+    if first.starts_with("GET ") || first.starts_with("POST ") || first.starts_with("HEAD ") {
+        handle_http(stream, reader, first, shared)
+    } else {
+        handle_tcp_line(stream, reader, first, shared)
+    }
+}
+
+/// Read one line, polling the shutdown flag across read timeouts.
+/// `Ok(None)` = clean EOF or shutdown.
+fn read_line_polled(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {
+                if line.ends_with('\n') || !line.is_empty() {
+                    return Ok(Some(line.trim_end_matches(['\r', '\n']).to_string()));
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Partial line stays buffered in `line`; keep polling.
+                if !line.is_empty() {
+                    continue;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Pump event lines from a worker to the client via `write`. Returns
+/// `Ok(true)` if the query ran to its done event, `Ok(false)` if the
+/// client vanished or the server shut down (the job is cancelled either
+/// way).
+fn pump_events(
+    events: &channel::Receiver<String>,
+    cancelled: &AtomicBool,
+    peek: &TcpStream,
+    shared: &Shared,
+    mut write: impl FnMut(&str) -> io::Result<()>,
+) -> io::Result<bool> {
+    let mut buf = [0u8; 1];
+    loop {
+        match events.recv_timeout(POLL) {
+            Ok(line) => {
+                if write(&line).is_err() {
+                    cancelled.store(true, Ordering::Release);
+                    return Ok(false);
+                }
+                if json::field_str(&line, "type").as_deref() == Some("done") {
+                    return Ok(true);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return Ok(true),
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    cancelled.store(true, Ordering::Release);
+                    return Ok(false);
+                }
+                // Liveness probe: EOF from peek means the client hung up
+                // (e.g. while the query is still queued and no events
+                // flow that would surface the broken pipe).
+                match peek.peek(&mut buf) {
+                    Ok(0) => {
+                        cancelled.store(true, Ordering::Release);
+                        return Ok(false);
+                    }
+                    _ => continue,
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Line-JSON TCP protocol.
+// ---------------------------------------------------------------------
+
+fn handle_tcp_line(
+    stream: TcpStream,
+    mut reader: BufReader<TcpStream>,
+    first: String,
+    shared: &Shared,
+) -> io::Result<()> {
+    let mut out = stream.try_clone()?;
+    let mut request = Some(first);
+    loop {
+        let Some(line) = request.take() else {
+            match read_line_polled(&mut reader, shared)? {
+                Some(line) => request = Some(line),
+                None => return Ok(()),
+            }
+            continue;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::field_str(&line, "op").as_deref() {
+            Some("query") => {
+                let Some(name) = json::field_str(&line, "name") else {
+                    send_line(&mut out, &error_line(None, "bad_request", "missing name"))?;
+                    continue;
+                };
+                let deadline = json::field_u64(&line, "deadline_ms")
+                    .map(Duration::from_millis)
+                    .unwrap_or(DEFAULT_DEADLINE);
+                match admit(shared, &name, deadline) {
+                    Admission::Admitted {
+                        id,
+                        events,
+                        cancelled,
+                    } => {
+                        send_line(
+                            &mut out,
+                            &Obj::new()
+                                .str("type", "admitted")
+                                .u64("id", id)
+                                .str("name", &name)
+                                .build(),
+                        )?;
+                        let clean = pump_events(&events, &cancelled, &stream, shared, |l| {
+                            send_line(&mut out, l)
+                        })?;
+                        if !clean {
+                            return Ok(());
+                        }
+                    }
+                    Admission::Overloaded => {
+                        send_line(
+                            &mut out,
+                            &error_line(None, "overloaded", "server at capacity; retry later"),
+                        )?;
+                    }
+                    Admission::UnknownQuery => {
+                        send_line(
+                            &mut out,
+                            &error_line(None, "unknown_query", &format!("no query named {name:?}")),
+                        )?;
+                    }
+                    Admission::ShuttingDown => {
+                        send_line(
+                            &mut out,
+                            &error_line(None, "shutting_down", "server stopping"),
+                        )?;
+                        return Ok(());
+                    }
+                }
+            }
+            Some("explain") => {
+                let resp = match json::field_u64(&line, "id").and_then(|id| shared.registry.get(id))
+                {
+                    Some(rec) => match &rec.profile_json {
+                        Some(profile) => Obj::new()
+                            .str("type", "profile")
+                            .u64("id", rec.id)
+                            .str("status", rec.status.as_str())
+                            .raw("profile", profile)
+                            .build(),
+                        None => error_line(
+                            Some(rec.id),
+                            "no_profile",
+                            "query has not finished executing (or never ran)",
+                        ),
+                    },
+                    None => error_line(None, "not_found", "no such query id"),
+                };
+                send_line(&mut out, &resp)?;
+            }
+            Some("list") => {
+                let records: Vec<String> = shared.registry.list().iter().map(record_line).collect();
+                let catalog: Vec<String> = shared
+                    .catalog
+                    .names()
+                    .iter()
+                    .map(|n| format!("\"{}\"", json::escape(n)))
+                    .collect();
+                send_line(
+                    &mut out,
+                    &Obj::new()
+                        .str("type", "queries")
+                        .raw("catalog", &format!("[{}]", catalog.join(",")))
+                        .raw("queries", &format!("[{}]", records.join(",")))
+                        .build(),
+                )?;
+            }
+            _ => {
+                send_line(
+                    &mut out,
+                    &error_line(None, "bad_request", "unknown or missing op"),
+                )?;
+            }
+        }
+    }
+}
+
+fn send_line(out: &mut TcpStream, line: &str) -> io::Result<()> {
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
+}
+
+// ---------------------------------------------------------------------
+// Minimal HTTP/1.1 with chunked transfer encoding.
+// ---------------------------------------------------------------------
+
+fn handle_http(
+    stream: TcpStream,
+    mut reader: BufReader<TcpStream>,
+    request_line: String,
+    shared: &Shared,
+) -> io::Result<()> {
+    // Drain headers (ignored; the protocol needs only the request line).
+    while let Some(line) = read_line_polled(&mut reader, shared)? {
+        if line.is_empty() {
+            break;
+        }
+    }
+    let mut out = stream.try_clone()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    if method != "GET" {
+        return http_simple(
+            &mut out,
+            405,
+            "Method Not Allowed",
+            &error_line(None, "method_not_allowed", "only GET is supported"),
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+
+    if let Some(name) = path.strip_prefix("/query/") {
+        let deadline = query
+            .and_then(|q| {
+                q.split('&')
+                    .find_map(|kv| kv.strip_prefix("deadline_ms="))
+                    .and_then(|v| v.parse::<u64>().ok())
+            })
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_DEADLINE);
+        match admit(shared, name, deadline) {
+            Admission::Admitted {
+                id,
+                events,
+                cancelled,
+            } => {
+                out.write_all(
+                    b"HTTP/1.1 200 OK\r\n\
+                      Content-Type: application/x-ndjson\r\n\
+                      Transfer-Encoding: chunked\r\n\
+                      Connection: close\r\n\r\n",
+                )?;
+                let admitted = Obj::new()
+                    .str("type", "admitted")
+                    .u64("id", id)
+                    .str("name", name)
+                    .build();
+                if write_chunk(&mut out, &admitted).is_err() {
+                    cancelled.store(true, Ordering::Release);
+                    return Ok(());
+                }
+                let clean = pump_events(&events, &cancelled, &stream, shared, |l| {
+                    write_chunk(&mut out, l)
+                })?;
+                if clean {
+                    let _ = out.write_all(b"0\r\n\r\n");
+                    let _ = out.flush();
+                }
+                Ok(())
+            }
+            Admission::Overloaded => http_simple(
+                &mut out,
+                429,
+                "Too Many Requests",
+                &error_line(None, "overloaded", "server at capacity; retry later"),
+            ),
+            Admission::UnknownQuery => http_simple(
+                &mut out,
+                404,
+                "Not Found",
+                &error_line(None, "unknown_query", &format!("no query named {name:?}")),
+            ),
+            Admission::ShuttingDown => http_simple(
+                &mut out,
+                503,
+                "Service Unavailable",
+                &error_line(None, "shutting_down", "server stopping"),
+            ),
+        }
+    } else if let Some(id) = path.strip_prefix("/explain/") {
+        match id
+            .parse::<u64>()
+            .ok()
+            .and_then(|id| shared.registry.get(id))
+        {
+            Some(rec) => match &rec.profile_json {
+                Some(profile) => {
+                    let body = Obj::new()
+                        .u64("id", rec.id)
+                        .str("status", rec.status.as_str())
+                        .raw("profile", profile)
+                        .build();
+                    http_simple(&mut out, 200, "OK", &body)
+                }
+                None => http_simple(
+                    &mut out,
+                    409,
+                    "Conflict",
+                    &error_line(
+                        Some(rec.id),
+                        "no_profile",
+                        "query has not finished executing",
+                    ),
+                ),
+            },
+            None => http_simple(
+                &mut out,
+                404,
+                "Not Found",
+                &error_line(None, "not_found", "no such query id"),
+            ),
+        }
+    } else if path == "/queries" {
+        let records: Vec<String> = shared.registry.list().iter().map(record_line).collect();
+        let catalog: Vec<String> = shared
+            .catalog
+            .names()
+            .iter()
+            .map(|n| format!("\"{}\"", json::escape(n)))
+            .collect();
+        let body = Obj::new()
+            .raw("catalog", &format!("[{}]", catalog.join(",")))
+            .raw("queries", &format!("[{}]", records.join(",")))
+            .build();
+        http_simple(&mut out, 200, "OK", &body)
+    } else {
+        http_simple(
+            &mut out,
+            404,
+            "Not Found",
+            &error_line(None, "not_found", "unknown path"),
+        )
+    }
+}
+
+/// One ndjson event line as an HTTP chunk (the newline travels inside
+/// the chunk so consumers can split on it).
+fn write_chunk(out: &mut TcpStream, line: &str) -> io::Result<()> {
+    write!(out, "{:x}\r\n", line.len() + 1)?;
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n\r\n")?;
+    out.flush()
+}
+
+fn http_simple(out: &mut TcpStream, status: u16, reason: &str, body: &str) -> io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    out.flush()
+}

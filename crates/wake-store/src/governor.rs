@@ -16,11 +16,12 @@
 
 use crate::dir::SpillDir;
 use crate::fault::{FaultIo, FaultSchedule};
+use crate::global::GlobalGovernor;
 use crate::io::{SpillIo, StdIo};
 use crate::Result;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 /// Default bounded-backoff retry policy for spill I/O: one initial
@@ -31,11 +32,17 @@ pub const DEFAULT_RETRY_ATTEMPTS: u32 = 2;
 /// ride out a transient `EINTR`/`EAGAIN`-class hiccup.
 pub const DEFAULT_RETRY_BASE_DELAY: Duration = Duration::from_millis(1);
 
+/// Sentinel stored in the budget atomic for "unbounded".
+const UNBOUNDED: usize = usize::MAX;
+
 /// Shared spill ledger for one query execution.
 #[derive(Debug)]
 pub struct MemoryGovernor {
-    /// Total byte budget (None = unbounded: spilling disabled).
-    budget: Option<usize>,
+    /// Total byte budget (`UNBOUNDED` = no limit: spilling disabled).
+    /// Atomic because a [`GlobalGovernor`] lease may shrink or grow it
+    /// while the query runs; operators re-read it on every enforcement
+    /// check through [`SpillEnv::shard_budget`].
+    budget: AtomicUsize,
     spilled_bytes: AtomicUsize,
     chunks_written: AtomicUsize,
     evictions: AtomicUsize,
@@ -55,6 +62,11 @@ pub struct MemoryGovernor {
     /// so the parent's totals stay the exact sum of its children and
     /// existing rollup consumers are unaffected.
     parent: Option<Arc<MemoryGovernor>>,
+    /// The process-wide ledger this governor leases its budget from, if
+    /// any. Set only on the query-wide root governor; `Drop` pokes it so
+    /// the lease is returned (and the survivors rebalanced) the moment
+    /// the query's last handle goes away.
+    global: Option<Weak<GlobalGovernor>>,
 }
 
 impl Default for MemoryGovernor {
@@ -66,7 +78,7 @@ impl Default for MemoryGovernor {
 impl MemoryGovernor {
     pub fn new(budget: Option<usize>) -> Self {
         MemoryGovernor {
-            budget,
+            budget: AtomicUsize::new(budget.unwrap_or(UNBOUNDED)),
             spilled_bytes: AtomicUsize::new(0),
             chunks_written: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
@@ -79,20 +91,21 @@ impl MemoryGovernor {
             retry_attempts: DEFAULT_RETRY_ATTEMPTS,
             retry_base_delay: DEFAULT_RETRY_BASE_DELAY,
             parent: None,
+            global: None,
         }
     }
 
     /// A per-operator child of `parent`: same budget and retry policy,
     /// its own zeroed counters, and every `record_*` forwarded upstream
-    /// so the parent remains the exact query-wide sum.
+    /// so the parent remains the exact query-wide sum. The budget is
+    /// *delegated*, not copied: a lease change on the parent is visible
+    /// through every child immediately.
     pub fn child_of(parent: &Arc<MemoryGovernor>) -> Self {
-        MemoryGovernor {
-            budget: parent.budget,
-            retry_attempts: parent.retry_attempts,
-            retry_base_delay: parent.retry_base_delay,
-            parent: Some(parent.clone()),
-            ..MemoryGovernor::new(parent.budget)
-        }
+        let mut child = MemoryGovernor::new(parent.budget());
+        child.retry_attempts = parent.retry_attempts;
+        child.retry_base_delay = parent.retry_base_delay;
+        child.parent = Some(parent.clone());
+        child
     }
 
     /// Replace the default I/O retry policy (`attempts` retries after the
@@ -103,9 +116,30 @@ impl MemoryGovernor {
         self
     }
 
-    /// The query-wide budget, if any.
+    /// Tie this (root) governor's lifetime to a process-wide ledger:
+    /// `Drop` will prune the lease and rebalance the survivors. The
+    /// budget itself is granted separately via [`GlobalGovernor::attach`].
+    pub fn with_global(mut self, global: &Arc<GlobalGovernor>) -> Self {
+        self.global = Some(Arc::downgrade(global));
+        self
+    }
+
+    /// The query-wide budget, if any. Children delegate to the query-wide
+    /// parent so per-node ledgers track lease changes live.
     pub fn budget(&self) -> Option<usize> {
+        if let Some(p) = &self.parent {
+            return p.budget();
+        }
+        let b = self.budget.load(Ordering::Acquire);
+        (b != UNBOUNDED).then_some(b)
+    }
+
+    /// Replace the current budget (`None` = unbounded). Used by
+    /// [`GlobalGovernor::rebalance`] to grow or shrink a lease while the
+    /// query runs; takes effect at the operators' next enforcement check.
+    pub fn set_budget(&self, budget: Option<usize>) {
         self.budget
+            .store(budget.unwrap_or(UNBOUNDED), Ordering::Release);
     }
 
     /// Retries allowed per spill I/O operation (beyond the first try).
@@ -199,6 +233,18 @@ impl MemoryGovernor {
     }
 }
 
+impl Drop for MemoryGovernor {
+    fn drop(&mut self) {
+        // Return a global lease: the Weak this ledger holds on us is
+        // already dead here (Drop runs after the strong count reaches 0),
+        // so one rebalance both prunes it and re-apportions the total
+        // over the surviving queries.
+        if let Some(global) = self.global.as_ref().and_then(Weak::upgrade) {
+            global.rebalance();
+        }
+    }
+}
+
 /// Point-in-time spill counters (surfaced in executor run statistics).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpillMetrics {
@@ -250,6 +296,13 @@ pub struct SpillConfig {
     /// Backoff before the first retry, doubled per further retry
     /// (`None` = [`DEFAULT_RETRY_BASE_DELAY`]).
     pub retry_base_delay: Option<Duration>,
+    /// Process-wide ledger to lease this query's budget from (the
+    /// wake-serve server hands every query the same ledger). When set, a
+    /// plan is built even with `budget_bytes = None` — the query is
+    /// bounded by its leased slice, which shrinks and grows as other
+    /// queries enter and leave. An explicit `budget_bytes` additionally
+    /// caps the slice from above.
+    pub global: Option<Arc<GlobalGovernor>>,
 }
 
 /// Default grace-hash fan-out per shard.
@@ -323,9 +376,9 @@ impl SpillConfig {
     /// `None` when the config is unbounded (operators then skip all
     /// spill machinery).
     pub fn build_plan(&self, spillable_ops: usize) -> Result<Option<SpillPlan>> {
-        let Some(total) = self.budget_bytes else {
+        if self.budget_bytes.is_none() && self.global.is_none() {
             return Ok(None);
-        };
+        }
         let io: Arc<dyn SpillIo> = self.io.clone().unwrap_or_else(|| Arc::new(StdIo));
         let dir = match &self.spill_dir {
             Some(p) => SpillDir::at_with(p, io)?,
@@ -345,14 +398,24 @@ impl SpillConfig {
             .delta_ratio
             .filter(|r| r.is_finite() && *r >= 0.0)
             .unwrap_or(DEFAULT_DELTA_RATIO);
-        let governor = MemoryGovernor::new(Some(total)).with_retry_policy(
+        let mut governor = MemoryGovernor::new(self.budget_bytes).with_retry_policy(
             self.retry_attempts.unwrap_or(DEFAULT_RETRY_ATTEMPTS),
             self.retry_base_delay.unwrap_or(DEFAULT_RETRY_BASE_DELAY),
         );
+        if let Some(global) = &self.global {
+            governor = governor.with_global(global);
+        }
+        let governor = Arc::new(governor);
+        if let Some(global) = &self.global {
+            // Lease a slice of the server-wide budget (capped by an
+            // explicit per-query budget when both are set); every other
+            // resident query's slice is re-apportioned here.
+            global.attach(&governor, self.budget_bytes);
+        }
         Ok(Some(SpillPlan {
-            governor: Arc::new(governor),
+            governor,
             dir: Arc::new(dir),
-            op_budget: (total / spillable_ops.max(1)).max(1),
+            ops: spillable_ops.max(1),
             fanout,
             max_depth,
             delta_ratio,
@@ -361,7 +424,9 @@ impl SpillConfig {
 }
 
 /// Parse `"512"`, `"64k"`, `"8m"`, `"1g"` into bytes; `0`/garbage = None.
-fn parse_bytes(s: &str) -> Option<usize> {
+/// Public because every byte-sized knob (`WAKE_MEM_BUDGET`,
+/// `WAKE_SERVE_GLOBAL_BUDGET`, …) shares this grammar.
+pub fn parse_bytes(s: &str) -> Option<usize> {
     let s = s.trim().to_ascii_lowercase();
     if s.is_empty() {
         return None;
@@ -389,8 +454,10 @@ fn parse_ratio(s: &str) -> Option<f64> {
 pub struct SpillPlan {
     pub governor: Arc<MemoryGovernor>,
     pub dir: Arc<SpillDir>,
-    /// Bytes of buffered state this operator may hold across its shards.
-    pub op_budget: usize,
+    /// Spillable operators sharing the query budget (never 0). Budgets
+    /// are derived from this and the governor's *live* budget, so a
+    /// global-ledger lease change reaches every operator immediately.
+    ops: usize,
     pub fanout: usize,
     pub max_depth: usize,
     /// Resolved delta-run compaction threshold (fraction of the base run;
@@ -399,6 +466,13 @@ pub struct SpillPlan {
 }
 
 impl SpillPlan {
+    /// Bytes of buffered state one operator may hold across its shards:
+    /// an equal slice of the governor's current total. Recomputed from
+    /// the live budget on every call (leases move while a query runs).
+    pub fn op_budget(&self) -> usize {
+        (self.governor.budget().unwrap_or(usize::MAX) / self.ops).max(1)
+    }
+
     /// A per-operator view of this plan: identical knobs and spill dir,
     /// but a child [`MemoryGovernor`] that records this operator's I/O
     /// locally while forwarding every count to the query-wide parent.
@@ -419,7 +493,8 @@ impl SpillPlan {
         SpillEnv {
             governor: self.governor.clone(),
             dir: self.dir.clone(),
-            shard_budget: (self.op_budget / shards.max(1)).max(1),
+            ops: self.ops,
+            shards: shards.max(1),
             fanout: self.fanout,
             max_depth: self.max_depth,
             delta_ratio: self.delta_ratio,
@@ -432,13 +507,30 @@ impl SpillPlan {
 pub struct SpillEnv {
     pub governor: Arc<MemoryGovernor>,
     pub dir: Arc<SpillDir>,
-    /// Bytes of buffered state this shard may hold.
-    pub shard_budget: usize,
+    /// Spillable operators sharing the query budget (never 0).
+    ops: usize,
+    /// Shards this operator splits its slice over (never 0).
+    shards: usize,
     pub fanout: usize,
     pub max_depth: usize,
     /// Delta-run compaction threshold (fraction of the base run; `0.0` =
     /// compact on every fold).
     pub delta_ratio: f64,
+}
+
+impl SpillEnv {
+    /// Bytes of buffered state this shard may hold **right now**: the
+    /// governor's live budget divided over operators then shards, with
+    /// exactly the fixed-budget arithmetic
+    /// (`((total / ops).max(1) / shards).max(1)`). Under a static budget
+    /// this is byte-identical to the former frozen field; under a
+    /// [`GlobalGovernor`] lease it tracks re-apportioning live, so a
+    /// query whose slice just shrank starts evicting at its very next
+    /// enforcement check.
+    pub fn shard_budget(&self) -> usize {
+        let total = self.governor.budget().unwrap_or(usize::MAX);
+        ((total / self.ops).max(1) / self.shards).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -555,7 +647,7 @@ mod tests {
         let cfg = SpillConfig::with_budget(1 << 20);
         let plan = cfg.build_plan(2).unwrap().unwrap();
         let node = plan.for_node();
-        assert_eq!(node.op_budget, plan.op_budget);
+        assert_eq!(node.op_budget(), plan.op_budget());
         assert!(Arc::ptr_eq(&node.dir, &plan.dir));
         assert!(!Arc::ptr_eq(&node.governor, &plan.governor));
         node.governor.record_spill(64, 1);
@@ -567,12 +659,29 @@ mod tests {
     fn plan_apportions_budget_over_ops_and_shards() {
         let cfg = SpillConfig::with_budget(1 << 20);
         let plan = cfg.build_plan(4).unwrap().unwrap();
-        assert_eq!(plan.op_budget, (1 << 20) / 4);
+        assert_eq!(plan.op_budget(), (1 << 20) / 4);
         let env = plan.shard_env(2);
-        assert_eq!(env.shard_budget, (1 << 20) / 8);
+        assert_eq!(env.shard_budget(), (1 << 20) / 8);
         assert_eq!(env.fanout, DEFAULT_FANOUT);
         assert_eq!(env.delta_ratio, DEFAULT_DELTA_RATIO);
         // Unbounded config yields no plan.
         assert!(SpillConfig::unbounded().build_plan(4).unwrap().is_none());
+    }
+
+    #[test]
+    fn dynamic_budget_flows_through_plan_and_env() {
+        let cfg = SpillConfig::with_budget(1 << 20);
+        let plan = cfg.build_plan(4).unwrap().unwrap();
+        let env = plan.shard_env(2);
+        assert_eq!(env.shard_budget(), (1 << 20) / 8);
+        // Shrinking the governor's budget (a lease re-apportioning)
+        // reaches already-built envs — and per-node child envs — live.
+        plan.governor.set_budget(Some(1 << 16));
+        assert_eq!(env.shard_budget(), (1 << 16) / 8);
+        assert_eq!(plan.op_budget(), (1 << 16) / 4);
+        let node = plan.for_node();
+        assert_eq!(node.shard_env(2).shard_budget(), (1 << 16) / 8);
+        plan.governor.set_budget(Some(1 << 20));
+        assert_eq!(node.shard_env(2).shard_budget(), (1 << 20) / 8);
     }
 }

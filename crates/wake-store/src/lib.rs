@@ -59,6 +59,7 @@ pub mod colfile;
 pub mod compress;
 pub mod dir;
 pub mod fault;
+pub mod global;
 pub mod governor;
 pub mod io;
 pub mod merge;
@@ -68,7 +69,8 @@ pub mod segment;
 pub use colfile::{Chunk, RunWriter};
 pub use dir::SpillDir;
 pub use fault::{FaultIo, FaultSchedule, TornWrite};
-pub use governor::{MemoryGovernor, SpillConfig, SpillEnv, SpillMetrics, SpillPlan};
+pub use global::GlobalGovernor;
+pub use governor::{parse_bytes, MemoryGovernor, SpillConfig, SpillEnv, SpillMetrics, SpillPlan};
 pub use io::{SpillIo, StdIo};
 pub use segment::{write_segment, SegmentReader, SegmentSource, DEFAULT_ZONE_ROWS};
 

@@ -1,0 +1,93 @@
+//! OLA as a service: start a wake-serve server over a TPC-H catalog,
+//! run one query through each protocol, and print the converging
+//! estimates a client sees.
+//!
+//! ```sh
+//! cargo run --release --example serve
+//! # serve on a fixed port with a server-wide memory budget:
+//! WAKE_SERVE_ADDR=127.0.0.1:7878 WAKE_SERVE_GLOBAL_BUDGET=64m \
+//!     cargo run --release --example serve
+//! # then from another shell, watch estimates converge over HTTP:
+//! curl -N http://127.0.0.1:7878/query/q1
+//! curl http://127.0.0.1:7878/explain/1
+//! curl http://127.0.0.1:7878/queries
+//! ```
+//!
+//! Every executing query leases an equal share of the server's global
+//! byte budget; a burst of heavy queries spills to disk (largest
+//! resident query first) instead of OOMing the host, and admission
+//! control answers overload with a typed `429` rather than a hang.
+
+use std::sync::Arc;
+use wake::prelude::*;
+use wake::serve::{self, QueryCatalog, ServeClient};
+use wake::tpch::{all_queries, TpchData, TpchDb};
+
+fn main() {
+    // A small TPC-H instance, every query registered by name.
+    let data = Arc::new(TpchData::generate(0.01, 42));
+    let db = TpchDb::new(data, 24);
+    let mut catalog = QueryCatalog::new();
+    for spec in all_queries() {
+        let graph = (spec.build)(&db);
+        match spec.values.first() {
+            Some(value) => catalog.register_watch(spec.name, graph, *value),
+            None => catalog.register(spec.name, graph),
+        }
+    }
+
+    let server = serve::serve(
+        EngineConfig::stepped().with_serve_global_budget(32 << 20),
+        catalog,
+    )
+    .expect("bind server");
+    println!(
+        "serving {} TPC-H queries on {}\n",
+        all_queries().len(),
+        server.addr()
+    );
+
+    // --- Line-JSON TCP client -----------------------------------------
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    let outcome = client.query("q6").expect("query q6");
+    println!("q6 over TCP: {} estimates", outcome.estimates.len());
+    for est in outcome
+        .estimates
+        .iter()
+        .step_by(outcome.estimates.len().div_ceil(6).max(1))
+        .chain(outcome.estimates.last())
+    {
+        println!(
+            "  t={:>5.1}%  rows={:>7}  value={:?}",
+            est.t * 100.0,
+            est.rows_processed,
+            est.value,
+        );
+    }
+    let done = outcome.done.expect("terminal event");
+    println!(
+        "  done: status={} spill={}B peak={}B\n",
+        done.status, done.spill_bytes, done.peak_state_bytes
+    );
+
+    // EXPLAIN ANALYZE for the finished query, over the wire.
+    let profile = client
+        .explain(outcome.id)
+        .expect("explain")
+        .unwrap_or_default();
+    println!(
+        "explain({}) returned {} bytes of profile JSON",
+        outcome.id,
+        profile.len()
+    );
+
+    // --- Chunked HTTP client ------------------------------------------
+    let (status, body) = serve::http_get(server.addr(), "/query/q1").expect("http query");
+    let estimates = body.lines().filter(|l| l.contains("\"estimate\"")).count();
+    println!("GET /query/q1 -> {status}, {estimates} chunked estimates");
+    let (status, body) = serve::http_get(server.addr(), "/queries").expect("http list");
+    println!("GET /queries  -> {status}, {} bytes", body.len());
+
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+}

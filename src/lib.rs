@@ -110,6 +110,49 @@
 //!
 //! One-shot: [`Edf::explain_analyze`](session::Edf::explain_analyze) runs
 //! the query to completion and returns the annotated plan tree directly.
+//!
+//! ## OLA as a service
+//!
+//! [`serve`](mod@serve) turns the library into a multi-query server:
+//! register named queries in a [`QueryCatalog`](serve::QueryCatalog)
+//! (fluent pipelines register via
+//! [`Edf::register`](session::Edf::register)), start it with
+//! [`serve::serve`], and any TCP or HTTP client watches estimates
+//! converge live. Admission control bounds concurrency (typed `429`
+//! overload past the queue), and a **global memory governor** leases one
+//! server-wide byte budget across all resident queries — a burst of
+//! heavy queries spills to disk instead of OOMing the host, and every
+//! answer stays exact.
+//!
+//! ```no_run
+//! use wake::prelude::*;
+//! # fn demo(li: &wake::session::Edf) -> std::io::Result<()> {
+//! let mut catalog = wake::serve::QueryCatalog::new();
+//! li.sum("qty", &[], "total_qty").register(&mut catalog, "total_qty");
+//! let server = wake::serve::serve(
+//!     EngineConfig::threaded()
+//!         .with_serve_addr("127.0.0.1:7878")
+//!         .with_serve_global_budget(64 << 20) // WAKE_SERVE_GLOBAL_BUDGET=64M
+//!         .with_serve_max_concurrent(4),      // WAKE_SERVE_MAX_CONCURRENT=4
+//!     catalog,
+//! )?;
+//! # server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Then, from any shell — each line of the chunked HTTP response is one
+//! converging estimate, ending with the exact answer:
+//!
+//! ```text
+//! $ curl -N http://127.0.0.1:7878/query/total_qty
+//! {"type":"admitted","id":1,"name":"total_qty"}
+//! {"type":"estimate","id":1,"seq":0,"t":0.25,...,"value":10635.0,...}
+//! {"type":"estimate","id":1,"seq":3,"t":1,"is_final":true,"value":10210.5,...}
+//! {"type":"done","id":1,"status":"completed","degraded":false,...}
+//! $ curl http://127.0.0.1:7878/explain/1     # EXPLAIN ANALYZE profile
+//! $ curl http://127.0.0.1:7878/queries       # catalog + served queries
+//! ```
 
 pub mod session;
 
@@ -118,6 +161,7 @@ pub use wake_core as core;
 pub use wake_data as data;
 pub use wake_engine as engine;
 pub use wake_expr as expr;
+pub use wake_serve as serve;
 pub use wake_stats as stats;
 pub use wake_store as store;
 pub use wake_tpch as tpch;

@@ -422,6 +422,26 @@ impl Edf {
         g
     }
 
+    /// Register this pipeline in a wake-serve [`QueryCatalog`] under
+    /// `name`: the graph snapshot ([`Self::to_graph`]) becomes the named
+    /// template the server clones per request, so one fluent session can
+    /// define the whole catalog before [`wake_serve::serve`] starts.
+    pub fn register(&self, catalog: &mut wake_serve::QueryCatalog, name: impl Into<String>) {
+        catalog.register(name, self.to_graph());
+    }
+
+    /// [`Self::register`] with a watch column: the aggregate output
+    /// column the server summarises into each wire estimate's `value`
+    /// and CI fields.
+    pub fn register_watch(
+        &self,
+        catalog: &mut wake_serve::QueryCatalog,
+        name: impl Into<String>,
+        watch: impl Into<String>,
+    ) {
+        catalog.register_watch(name, self.to_graph(), watch);
+    }
+
     /// **The execution primitive** (§3.1): start the session's configured
     /// engine and stream this edf's converging estimates lazily. Stop any
     /// time by dropping the stream (the query is cancelled, node threads
