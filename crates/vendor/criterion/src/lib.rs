@@ -26,12 +26,6 @@ impl BenchmarkId {
             id: format!("{}/{}", name.into(), parameter),
         }
     }
-
-    pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId {
-            id: parameter.to_string(),
-        }
-    }
 }
 
 /// Timing loop handed to benchmark closures.
@@ -151,8 +145,6 @@ impl Criterion {
         run_one(&id.into(), self.default_sample_size, f);
         self
     }
-
-    pub fn final_summary(&self) {}
 }
 
 /// A named group of related benchmarks.

@@ -23,12 +23,6 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-    pub enum TryRecvError {
-        Empty,
-        Disconnected,
-    }
-
     /// Error returned by [`Sender::try_send`]: the channel is full (the
     /// message comes back) or the receiver is gone.
     pub enum TrySendError<T> {
@@ -105,13 +99,6 @@ pub mod channel {
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
-        }
-
-        pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
         }
 
         /// Blocks up to `timeout` for a message; lets a consumer poll a

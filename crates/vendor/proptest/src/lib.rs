@@ -49,11 +49,6 @@ impl TestCaseError {
     pub fn fail(msg: impl Into<String>) -> Self {
         TestCaseError(msg.into())
     }
-
-    /// Compatibility alias used by `prop_assert!` in real proptest.
-    pub fn reject(msg: impl Into<String>) -> Self {
-        TestCaseError(msg.into())
-    }
 }
 
 impl std::fmt::Display for TestCaseError {

@@ -150,9 +150,19 @@ impl<'a> ByteCursor<'a> {
         if n > self.buf.len() - self.pos {
             return Err(DataError::Parse("truncated colfile".into()));
         }
+        // tidy-allow: hostile-len: `n <= buf.len() - pos` was just checked, so `pos + n` cannot wrap
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(out)
+    }
+
+    /// Take exactly `N` bytes as a fixed-size array. `take` already
+    /// bounds-checks, so the conversion surfaces as a typed parse error
+    /// on the (unreachable) mismatch instead of a panic.
+    fn le_bytes<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| DataError::Parse("truncated colfile".into()))
     }
 
     pub fn u8(&mut self) -> Result<u8> {
@@ -160,11 +170,19 @@ impl<'a> ByteCursor<'a> {
     }
 
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.le_bytes()?))
+    }
+
+    /// Read a `u32` length header widened to `usize`. The widening goes
+    /// through `try_from` so it is checked on every target rather than
+    /// silently truncating.
+    pub fn len_u32(&mut self) -> Result<usize> {
+        usize::try_from(self.u32()?)
+            .map_err(|_| DataError::Parse("length header exceeds usize".into()))
     }
 
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.le_bytes()?))
     }
 
     pub fn f64(&mut self) -> Result<f64> {
@@ -172,7 +190,7 @@ impl<'a> ByteCursor<'a> {
     }
 
     pub fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.le_bytes()?))
     }
 }
 
@@ -199,6 +217,7 @@ pub fn read_column(dtype: DataType, rows: usize, c: &mut ByteCursor<'_>) -> Resu
             let raw = c.take(fixed_width(rows)?)?;
             let v: Vec<i64> = raw
                 .chunks_exact(8)
+                // tidy-allow: panic-path: chunks_exact(8) yields exactly 8-byte slices by contract
                 .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
                 .collect();
             if dtype == DataType::Date {
@@ -211,6 +230,7 @@ pub fn read_column(dtype: DataType, rows: usize, c: &mut ByteCursor<'_>) -> Resu
             let raw = c.take(fixed_width(rows)?)?;
             ColumnData::Float64(
                 raw.chunks_exact(8)
+                    // tidy-allow: panic-path: chunks_exact(8) yields exactly 8-byte slices by contract
                     .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
                     .collect(),
             )
@@ -226,7 +246,7 @@ pub fn read_column(dtype: DataType, rows: usize, c: &mut ByteCursor<'_>) -> Resu
             let plausible = rows.min(c.remaining() / 4 + 1);
             let mut lens = Vec::with_capacity(plausible);
             for _ in 0..rows {
-                lens.push(c.u32()? as usize);
+                lens.push(c.len_u32()?);
             }
             let mut strs = Vec::with_capacity(plausible);
             for len in lens {
@@ -249,14 +269,14 @@ pub fn read_colfile(bytes: &[u8]) -> Result<DataFrame> {
     if c.take(8)? != MAGIC {
         return Err(DataError::Parse("not a WCF file (bad magic)".into()));
     }
-    let nfields = c.u32()? as usize;
+    let nfields = c.len_u32()?;
     // Each field costs at least 6 header bytes (u32 name length + dtype +
     // mutable): cap the preallocation by what the buffer could actually
     // hold, so a lying field count can't drive a huge reserve before the
     // per-field reads fail.
     let mut fields = Vec::with_capacity(nfields.min(c.remaining() / 6 + 1));
     for _ in 0..nfields {
-        let name_len = c.u32()? as usize;
+        let name_len = c.len_u32()?;
         let name = std::str::from_utf8(c.take(name_len)?)
             .map_err(|_| DataError::Parse("bad utf8 in field name".into()))?
             .to_string();

@@ -247,36 +247,54 @@ pub struct ScanTelemetry {
     decode_nanos: AtomicU64,
 }
 
+// Every `ScanTelemetry` cell is an independent monotone counter read
+// only by `snapshot`, which tolerates a torn cross-counter view —
+// eventual visibility is the whole contract, so all accesses funnel
+// through these helpers.
+
+// relaxed: independent telemetry counter; snapshot tolerates staleness
+fn tel_add(cell: &AtomicU64, n: u64) {
+    cell.fetch_add(n, Ordering::Relaxed);
+}
+
+// relaxed: independent telemetry counter; snapshot tolerates staleness
+fn tel_set(cell: &AtomicU64, n: u64) {
+    cell.store(n, Ordering::Relaxed);
+}
+
+// relaxed: independent telemetry counter; snapshot tolerates staleness
+fn tel_get(cell: &AtomicU64) -> u64 {
+    cell.load(Ordering::Relaxed)
+}
+
 impl ScanTelemetry {
     pub fn new() -> Arc<Self> {
         Arc::new(ScanTelemetry::default())
     }
 
     pub fn set_zones_total(&self, n: u64) {
-        self.zones_total.store(n, Ordering::Relaxed);
+        tel_set(&self.zones_total, n);
     }
 
     pub fn add_pruned(&self, n: u64) {
-        self.zones_pruned.fetch_add(n, Ordering::Relaxed);
+        tel_add(&self.zones_pruned, n);
     }
 
     pub fn record_zone_scan(&self, compressed: u64, decompressed: u64, nanos: u64) {
-        self.zones_scanned.fetch_add(1, Ordering::Relaxed);
-        self.compressed_bytes
-            .fetch_add(compressed, Ordering::Relaxed);
-        self.decompressed_bytes
-            .fetch_add(decompressed, Ordering::Relaxed);
-        self.decode_nanos.fetch_add(nanos, Ordering::Relaxed);
+        tel_add(&self.zones_scanned, 1);
+        tel_add(&self.compressed_bytes, compressed);
+        tel_add(&self.decompressed_bytes, decompressed);
+        tel_add(&self.decode_nanos, nanos);
     }
 
     pub fn snapshot(&self) -> ScanMetrics {
         ScanMetrics {
-            zones_total: self.zones_total.load(Ordering::Relaxed),
-            zones_pruned: self.zones_pruned.load(Ordering::Relaxed),
-            zones_scanned: self.zones_scanned.load(Ordering::Relaxed),
-            compressed_bytes: self.compressed_bytes.load(Ordering::Relaxed),
-            decompressed_bytes: self.decompressed_bytes.load(Ordering::Relaxed),
-            decode_nanos: self.decode_nanos.load(Ordering::Relaxed),
+            zones_total: tel_get(&self.zones_total),
+            zones_pruned: tel_get(&self.zones_pruned),
+            zones_scanned: tel_get(&self.zones_scanned),
+            compressed_bytes: tel_get(&self.compressed_bytes),
+            decompressed_bytes: tel_get(&self.decompressed_bytes),
+            decode_nanos: tel_get(&self.decode_nanos),
         }
     }
 }

@@ -194,7 +194,7 @@ impl SteppedExecutor {
         let mut cursors: Vec<Cursor> = Vec::new();
         for id in self.graph.sources() {
             let NodeKind::Read { source } = &self.graph.node(id).kind else {
-                unreachable!()
+                return Err(DataError::Invalid("source node is not a Read".into()));
             };
             let meta = source.meta();
             cursors.push(Cursor {
@@ -366,7 +366,7 @@ impl SteppedStream {
             .min_by(|(_, a), (_, b)| {
                 let fa = a.next_partition as f64 / a.partitions.max(1) as f64;
                 let fb = b.next_partition as f64 / b.partitions.max(1) as f64;
-                fa.partial_cmp(&fb).unwrap()
+                fa.total_cmp(&fb)
             })
             .map(|(i, _)| i)
         else {
@@ -386,7 +386,9 @@ impl SteppedStream {
         };
         let cursor = &mut self.cursors[ci];
         let NodeKind::Read { source } = &self.exec.graph.node(cursor.node).kind else {
-            unreachable!()
+            return Err(DataError::Invalid(
+                "read cursor points at a non-Read node".into(),
+            ));
         };
         let read_timer = self.exec.obs.is_some().then(Instant::now);
         let frame = source.partition(cursor.next_partition)?;
@@ -445,7 +447,7 @@ impl SteppedStream {
             for (consumer, port) in targets {
                 let op = self.exec.operators[consumer.0]
                     .as_mut()
-                    .expect("non-source consumer");
+                    .ok_or_else(|| DataError::Invalid("consumer has no operator".into()))?;
                 let outs = match &self.exec.obs {
                     Some(obs) => {
                         let t0 = Instant::now();
@@ -478,7 +480,7 @@ impl SteppedStream {
         for &(consumer, port) in &self.exec.consumers[done.0].clone() {
             let op = self.exec.operators[consumer.0]
                 .as_mut()
-                .expect("non-source consumer");
+                .ok_or_else(|| DataError::Invalid("consumer has no operator".into()))?;
             let flushes = match &self.exec.obs {
                 Some(obs) => {
                     let t0 = Instant::now();
@@ -530,7 +532,9 @@ impl Iterator for SteppedStream {
             // the input is exhausted: the held-back estimate is the
             // candidate final.
             if self.ready.len() >= 2 {
-                return Some(Ok(self.ready.pop_front().expect("non-empty")));
+                if let Some(est) = self.ready.pop_front() {
+                    return Some(Ok(est));
+                }
             }
             if self.exhausted {
                 return match self.ready.pop_front() {

@@ -277,7 +277,7 @@ impl ThreadedExecutor {
                         let total = meta.total_rows() as u64;
                         let mut emitted = 0u64;
                         'read: for p in 0..meta.num_partitions() {
-                            if cancel.load(Ordering::Relaxed) {
+                            if cancel.load(Ordering::Acquire) {
                                 return Ok(());
                             }
                             let t0 = start.elapsed();
@@ -342,7 +342,9 @@ impl ThreadedExecutor {
                         plan,
                         node_plan.as_ref().or(spill.as_ref()),
                     )?;
-                    let rx = receivers[idx].take().expect("operator mailbox");
+                    let rx = receivers[idx].take().ok_or_else(|| {
+                        DataError::Invalid("operator mailbox already taken".into())
+                    })?;
                     let n_ports = node.inputs.len();
                     let label = format!("{kind:?}");
                     let node_obs = obs.as_ref().map(|o| o.node(idx));
@@ -352,7 +354,7 @@ impl ThreadedExecutor {
                     handles.push(std::thread::spawn(move || -> Result<()> {
                         let mut closed = 0usize;
                         'run: while let Ok(msg) = rx.recv() {
-                            if cancel.load(Ordering::Relaxed) {
+                            if cancel.load(Ordering::Acquire) {
                                 break 'run;
                             }
                             match msg {
@@ -426,6 +428,7 @@ impl ThreadedExecutor {
                             // query-wide figure is the sum of per-node
                             // peaks, see `stats`).
                             let now = op.state_bytes();
+                            // relaxed: single-writer peak cell; readers tolerate a stale mid-run sample
                             node_peaks[idx].fetch_max(now, Ordering::Relaxed);
                             if let Some(n) = &node_obs {
                                 n.observe_state(now);
@@ -437,6 +440,7 @@ impl ThreadedExecutor {
                         // Final sample: the EOF flush (and the `break`
                         // paths) skip the in-loop sampling above.
                         let now = op.state_bytes();
+                        // relaxed: single-writer peak cell; readers tolerate a stale mid-run sample
                         node_peaks[idx].fetch_max(now, Ordering::Relaxed);
                         if let Some(n) = &node_obs {
                             n.observe_state(now);
@@ -538,6 +542,7 @@ impl ThreadedStream {
             peak_state_bytes: self
                 .node_peaks
                 .iter()
+                // relaxed: telemetry peaks; exact after join, approximate mid-run by design
                 .map(|p| p.load(Ordering::Relaxed))
                 .sum(),
             spill: self
@@ -566,6 +571,7 @@ impl ThreadedStream {
         for (idx, profile) in nodes.iter_mut().enumerate() {
             profile.peak_state_bytes = profile
                 .peak_state_bytes
+                // relaxed: telemetry peaks; exact after join, approximate mid-run by design
                 .max(self.node_peaks[idx].load(Ordering::Relaxed));
             if let Some(Some(gov)) = self.node_governors.get(idx) {
                 profile.spill = gov.metrics();
@@ -606,7 +612,9 @@ impl ThreadedStream {
     /// Stop the query now: signal cancellation, unblock the pipeline and
     /// join every node thread. Idempotent; called by `Drop` as well.
     pub(crate) fn shutdown(&mut self) -> Result<()> {
-        self.cancel.store(true, Ordering::Relaxed);
+        // Release pairs with the node threads' Acquire loads so work
+        // done before the cancel request is visible to their unwind.
+        self.cancel.store(true, Ordering::Release);
         // Disconnecting the collector makes the sink node's next send
         // fail; the failure cascades producer-ward and wakes blocked
         // (backpressured) senders.

@@ -109,6 +109,7 @@ impl TraceLog {
         if lane.ring.len() == self.shared.capacity {
             lane.ring.pop_front();
             lane.dropped += 1;
+            // relaxed: drop counter is telemetry; readers tolerate staleness
             self.shared.dropped.fetch_add(1, Ordering::Relaxed);
         }
         lane.ring.push_back(event);
@@ -116,6 +117,7 @@ impl TraceLog {
 
     /// Total events overwritten across all lanes because a ring was full.
     pub fn dropped(&self) -> u64 {
+        // relaxed: drop counter is telemetry; readers tolerate staleness
         self.shared.dropped.load(Ordering::Relaxed)
     }
 

@@ -81,6 +81,14 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// Lock a mutex, recovering the data if a previous holder panicked.
+/// Every critical section in this module leaves the shared state
+/// consistent before any fallible operation, so a poisoned lock means a
+/// dead thread, not corrupt data — the server stays available.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Start a server on the config's [`EngineConfig::serve_addr`]. The
 /// returned handle owns every thread the server spawns; queries execute
 /// with `config`'s engine settings (observability is raised to at least
@@ -124,9 +132,8 @@ pub fn serve(config: EngineConfig, catalog: QueryCatalog) -> io::Result<ServerHa
             std::thread::Builder::new()
                 .name(format!("wake-serve-worker-{i}"))
                 .spawn(move || worker_loop(rx, shared))
-                .expect("spawn worker")
         })
-        .collect();
+        .collect::<io::Result<Vec<_>>>()?;
 
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let listener_handle = {
@@ -141,16 +148,19 @@ pub fn serve(config: EngineConfig, catalog: QueryCatalog) -> io::Result<ServerHa
                     }
                     let Ok(stream) = stream else { continue };
                     let shared = shared.clone();
-                    let handle = std::thread::Builder::new()
+                    // A failed spawn (thread exhaustion) drops the
+                    // stream, refusing the connection instead of
+                    // killing the accept loop.
+                    let spawned = std::thread::Builder::new()
                         .name("wake-serve-conn".into())
                         .spawn(move || {
                             let _ = handle_connection(stream, &shared);
-                        })
-                        .expect("spawn connection thread");
-                    conns.lock().expect("conn registry lock").push(handle);
+                        });
+                    if let Ok(handle) = spawned {
+                        lock_recover(&conns).push(handle);
+                    }
                 }
-            })
-            .expect("spawn listener")
+            })?
     };
 
     Ok(ServerHandle {
@@ -188,19 +198,14 @@ impl ServerHandle {
         self.shared.shutdown.store(true, Ordering::Release);
         // No further admissions, and workers see EOF once the last
         // connection thread drops its sender clone.
-        *self.shared.jobs.lock().expect("jobs lock") = None;
+        *lock_recover(&self.shared.jobs) = None;
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.listener.take() {
             let _ = h.join();
         }
         // Connection threads observe the flag within one poll interval.
-        let conns: Vec<_> = self
-            .conns
-            .lock()
-            .expect("conn registry lock")
-            .drain(..)
-            .collect();
+        let conns: Vec<_> = lock_recover(&self.conns).drain(..).collect();
         for h in conns {
             let _ = h.join();
         }
@@ -223,7 +228,7 @@ impl Drop for ServerHandle {
 fn worker_loop(rx: Arc<Mutex<channel::Receiver<Job>>>, shared: Arc<Shared>) {
     loop {
         let job = {
-            let rx = rx.lock().expect("jobs receiver lock");
+            let rx = lock_recover(&rx);
             match rx.recv() {
                 Ok(job) => job,
                 Err(_) => break, // all senders gone: shutdown
@@ -431,10 +436,11 @@ fn admit(shared: &Shared, name: &str, deadline: Duration) -> Admission {
     let Some(entry) = shared.catalog.get(name) else {
         return Admission::UnknownQuery;
     };
-    let tx = match shared.jobs.lock().expect("jobs lock").as_ref() {
+    let tx = match lock_recover(&shared.jobs).as_ref() {
         Some(tx) => tx.clone(),
         None => return Admission::ShuttingDown,
     };
+    // relaxed: ID allocation needs only the RMW's atomicity, not ordering
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
     let (events_tx, events_rx) = channel::bounded::<String>(32);
     let cancelled = Arc::new(AtomicBool::new(false));

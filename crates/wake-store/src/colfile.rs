@@ -67,7 +67,8 @@ pub(crate) fn checked_len(len: u64, what: &str) -> Result<usize> {
             "spill chunk {what} {len} exceeds the {MAX_CHUNK_BYTES}-byte cap"
         )));
     }
-    Ok(len as usize)
+    usize::try_from(len)
+        .map_err(|_| DataError::Parse(format!("spill chunk {what} {len} does not fit in usize")))
 }
 
 /// FNV-1a 64 over a byte slice (cheap, order-sensitive — torn and
@@ -218,6 +219,7 @@ pub fn decode_chunk(c: &mut ByteCursor<'_>) -> Result<Chunk> {
         let raw = rest.take(hash_bytes)?;
         let hs: Vec<u64> = raw
             .chunks_exact(8)
+            // tidy-allow: panic-path: chunks_exact(8) yields exactly 8-byte slices by contract
             .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
             .collect();
         let any_null = if sections & SEC_NULLS != 0 {

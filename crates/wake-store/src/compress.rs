@@ -57,6 +57,7 @@ pub fn pack_values(vals: &[u64], width: u32) -> Vec<u8> {
     if width == 0 {
         return Vec::new();
     }
+    // tidy-allow: hostile-len: encoder path with trusted in-memory input; width ≤ 64 asserted above
     let total_bits = vals.len() * width as usize;
     let mut out = vec![0u8; total_bits.div_ceil(8)];
     let mut bit = 0usize;
@@ -80,6 +81,7 @@ pub fn unpack_values(bytes: &[u8], n: usize, width: u32) -> Result<Vec<u64>> {
         return Ok(vec![0u64; n]);
     }
     let total_bits = n
+        // tidy-allow: hostile-len: u32→usize is a lossless widening on every supported target, and width ≤ 64 was checked above
         .checked_mul(width as usize)
         .ok_or_else(|| DataError::Parse("packed value count overflows".into()))?;
     if total_bits.div_ceil(8) > bytes.len() {
@@ -220,7 +222,7 @@ fn extend_checked<T>(
     rows: usize,
     mut make: impl FnMut() -> T,
 ) -> Result<()> {
-    if v.len() + len > rows {
+    if v.len().checked_add(len).is_none_or(|total| total > rows) {
         return Err(DataError::Parse("rle runs exceed row count".into()));
     }
     for _ in 0..len {
@@ -278,8 +280,9 @@ fn decode_dict(rows: usize, c: &mut ByteCursor<'_>) -> Result<Column> {
     }
     let mut v: Vec<Arc<str>> = Vec::with_capacity(rows);
     for code in codes {
-        let s = dict
-            .get(code as usize)
+        let s = usize::try_from(code)
+            .ok()
+            .and_then(|i| dict.get(i))
             .ok_or_else(|| DataError::Parse(format!("dict code {code} out of range")))?;
         v.push(s.clone());
     }

@@ -79,12 +79,14 @@ impl SpillDir {
 
     /// Allocate a unique spill-file path (the file is not created yet).
     pub fn next_path(&self, tag: &str) -> PathBuf {
+        // relaxed: path uniqueness needs only the RMW's atomicity, not ordering
         let n = self.counter.fetch_add(1, Ordering::Relaxed);
         self.root.join(format!("{tag}-{n:06}.wcs"))
     }
 
     /// Number of paths allocated so far.
     pub fn files_allocated(&self) -> u64 {
+        // relaxed: telemetry read; callers tolerate a stale count
         self.counter.load(Ordering::Relaxed)
     }
 }

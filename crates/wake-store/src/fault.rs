@@ -138,21 +138,21 @@ impl FaultIo {
 
     /// Successful write ops so far.
     pub fn writes(&self) -> usize {
-        self.write_ops.load(Ordering::Relaxed)
+        op_count(&self.write_ops)
     }
 
     /// Successful read ops so far.
     pub fn reads(&self) -> usize {
-        self.read_ops.load(Ordering::Relaxed)
+        op_count(&self.read_ops)
     }
 
     /// Total faults injected (errors returned plus torn appends).
     pub fn faults_injected(&self) -> usize {
-        self.faults_injected.load(Ordering::Relaxed)
+        op_count(&self.faults_injected)
     }
 
     fn fault(&self, msg: String) -> std::io::Error {
-        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        op_inc(&self.faults_injected, 1);
         std::io::Error::other(msg)
     }
 
@@ -164,16 +164,31 @@ impl FaultIo {
     }
 }
 
+// Fault-op counters are approximate schedule clocks: each one only
+// orders the fault decisions of the thread that bumps it, and test
+// assertions read them after the worker threads are joined (the join is
+// the happens-before edge), so all accesses go through these helpers.
+
+// relaxed: per-thread schedule clock; assertions read after join
+fn op_count(cell: &AtomicUsize) -> usize {
+    cell.load(Ordering::Relaxed)
+}
+
+// relaxed: per-thread schedule clock; assertions read after join
+fn op_inc(cell: &AtomicUsize, n: usize) {
+    cell.fetch_add(n, Ordering::Relaxed);
+}
+
 impl SpillIo for FaultIo {
     fn append(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-        let idx = self.write_ops.load(Ordering::Relaxed);
+        let idx = op_count(&self.write_ops);
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if st.wedged.contains(path) {
             drop(st);
             return Err(self.fault(format!("injected: file wedged by torn write: {path:?}")));
         }
         if let Some(limit) = self.schedule.enospc_after_bytes {
-            if self.bytes_written.load(Ordering::Relaxed) >= limit {
+            if op_count(&self.bytes_written) >= limit {
                 drop(st);
                 return Err(self.fault(format!("injected: no space left on device ({limit}B)")));
             }
@@ -205,19 +220,19 @@ impl SpillIo for FaultIo {
             st.wedged.insert(path.to_path_buf());
             drop(st);
             // The tear: ack the append but persist only a prefix.
-            self.faults_injected.fetch_add(1, Ordering::Relaxed);
+            op_inc(&self.faults_injected, 1);
             self.inner.append(path, &bytes[..keep.min(bytes.len())])?;
         } else {
             drop(st);
             self.inner.append(path, bytes)?;
         }
-        self.write_ops.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes.len(), Ordering::Relaxed);
+        op_inc(&self.write_ops, 1);
+        op_inc(&self.bytes_written, bytes.len());
         Ok(())
     }
 
     fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
-        let idx = self.read_ops.load(Ordering::Relaxed);
+        let idx = op_count(&self.read_ops);
         if let Some(from) = self.schedule.persistent_read_from {
             if idx >= from {
                 return Err(self.fault(format!("injected: persistent read failure at op {idx}")));
@@ -235,7 +250,7 @@ impl SpillIo for FaultIo {
             }
         }
         let out = self.inner.read(path)?;
-        self.read_ops.fetch_add(1, Ordering::Relaxed);
+        op_inc(&self.read_ops, 1);
         Ok(out)
     }
 

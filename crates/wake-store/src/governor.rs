@@ -171,29 +171,29 @@ impl MemoryGovernor {
 
     /// One spill I/O retry happened (the op failed and will be retried).
     pub fn record_io_retry(&self) {
-        self.io_retries.fetch_add(1, Ordering::Relaxed);
+        stat_add(&self.io_retries, 1);
         if let Some(p) = &self.parent {
             p.record_io_retry();
         }
     }
 
     pub fn record_spill(&self, bytes: usize, chunks: usize) {
-        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.chunks_written.fetch_add(chunks, Ordering::Relaxed);
+        stat_add(&self.spilled_bytes, bytes);
+        stat_add(&self.chunks_written, chunks);
         if let Some(p) = &self.parent {
             p.record_spill(bytes, chunks);
         }
     }
 
     pub fn record_eviction(&self) {
-        self.evictions.fetch_add(1, Ordering::Relaxed);
+        stat_add(&self.evictions, 1);
         if let Some(p) = &self.parent {
             p.record_eviction();
         }
     }
 
     pub fn record_rehydration(&self) {
-        self.rehydrations.fetch_add(1, Ordering::Relaxed);
+        stat_add(&self.rehydrations, 1);
         if let Some(p) = &self.parent {
             p.record_rehydration();
         }
@@ -203,8 +203,8 @@ impl MemoryGovernor {
     /// `spilled_bytes`; folding into a spilled partition appends these
     /// instead of rewriting the whole partition).
     pub fn record_delta(&self, bytes: usize) {
-        self.delta_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.delta_chunks.fetch_add(1, Ordering::Relaxed);
+        stat_add(&self.delta_bytes, bytes);
+        stat_add(&self.delta_chunks, 1);
         if let Some(p) = &self.parent {
             p.record_delta(bytes);
         }
@@ -212,7 +212,7 @@ impl MemoryGovernor {
 
     /// A delta run was replayed onto its base run and truncated.
     pub fn record_compaction(&self) {
-        self.compactions.fetch_add(1, Ordering::Relaxed);
+        stat_add(&self.compactions, 1);
         if let Some(p) = &self.parent {
             p.record_compaction();
         }
@@ -221,16 +221,32 @@ impl MemoryGovernor {
     /// Snapshot of the ledger.
     pub fn metrics(&self) -> SpillMetrics {
         SpillMetrics {
-            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
-            chunks_written: self.chunks_written.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            rehydrations: self.rehydrations.load(Ordering::Relaxed),
-            delta_bytes: self.delta_bytes.load(Ordering::Relaxed),
-            delta_chunks: self.delta_chunks.load(Ordering::Relaxed),
-            compactions: self.compactions.load(Ordering::Relaxed),
-            io_retries: self.io_retries.load(Ordering::Relaxed),
+            spilled_bytes: stat_get(&self.spilled_bytes),
+            chunks_written: stat_get(&self.chunks_written),
+            evictions: stat_get(&self.evictions),
+            rehydrations: stat_get(&self.rehydrations),
+            delta_bytes: stat_get(&self.delta_bytes),
+            delta_chunks: stat_get(&self.delta_chunks),
+            compactions: stat_get(&self.compactions),
+            io_retries: stat_get(&self.io_retries),
         }
     }
+}
+
+// The spill-ledger statistics are monotone telemetry counters: nothing
+// branches on them for correctness (admission control reads the
+// reservation ledger, and device failure rides the Acquire/Release
+// `poisoned` flag), and `metrics` snapshots tolerate a torn
+// cross-counter view — so every access funnels through these helpers.
+
+// relaxed: monotone spill telemetry; snapshots tolerate staleness
+fn stat_add(cell: &AtomicUsize, n: usize) {
+    cell.fetch_add(n, Ordering::Relaxed);
+}
+
+// relaxed: monotone spill telemetry; snapshots tolerate staleness
+fn stat_get(cell: &AtomicUsize) -> usize {
+    cell.load(Ordering::Relaxed)
 }
 
 impl Drop for MemoryGovernor {

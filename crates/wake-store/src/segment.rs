@@ -217,6 +217,7 @@ pub fn write_segment(
     let mut zones: Vec<ZoneInfo> = Vec::new();
     let mut start = 0usize;
     while start < n {
+        // tidy-allow: hostile-len: encoder path over an in-memory frame; start < n and zone_rows is trusted config
         let end = (start + zone_rows).min(n);
         let idx: Vec<usize> = (start..end).collect();
         let zone = frame.take(&idx);
@@ -294,7 +295,7 @@ fn parse_footer(bytes: &[u8], data_end: u64) -> Result<SegmentFooter> {
     let name = std::str::from_utf8(c.take(name_len)?)
         .map_err(|_| DataError::Parse("bad utf8 in table name".into()))?
         .to_string();
-    let nfields = c.u32()? as usize;
+    let nfields = c.len_u32()?;
     let mut fields = Vec::with_capacity(nfields.min(c.remaining() / 6 + 1));
     for _ in 0..nfields {
         let len = checked_len(c.u32()? as u64, "field name length")?;
@@ -328,12 +329,15 @@ fn parse_footer(bytes: &[u8], data_end: u64) -> Result<SegmentFooter> {
         let len = checked_len(c.u64()?, "zone block length")? as u64;
         let checksum = c.u64()?;
         let rows = checked_len(c.u64()?, "zone row count")?;
-        if offset != expected_offset || offset + len > data_end {
+        let block_end = offset
+            .checked_add(len)
+            .ok_or_else(|| DataError::Parse("zone block bounds overflow".into()))?;
+        if offset != expected_offset || block_end > data_end {
             return Err(DataError::Parse(format!(
                 "zone block [{offset}, +{len}) out of bounds"
             )));
         }
-        expected_offset = offset + len;
+        expected_offset = block_end;
         let mut columns = Vec::with_capacity(fields.len());
         let mut block_total = 0u64;
         for _ in 0..fields.len() {
@@ -436,6 +440,7 @@ impl SegmentReader {
         let governor =
             MemoryGovernor::new(None).with_retry_policy(retry_attempts, retry_base_delay);
         let file_len = with_retries(&governor, "segment stat", || io.len(&path))?;
+        // tidy-allow: hostile-len: both operands are compile-time constants
         let min_len = SEG_MAGIC.len() as u64 + TAIL_LEN;
         if file_len < min_len {
             return Err(DataError::Parse(format!(
@@ -684,6 +689,7 @@ impl TableSource for SegmentSource {
         let mut state = seed;
         // Fisher–Yates with a splitmix64 stream: deterministic per seed.
         for i in (1..order.len()).rev() {
+            // tidy-allow: hostile-len: the modulo bounds the value to `i < order.len()`, so the narrowing is lossless
             let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
             order.swap(i, j);
         }

@@ -1,0 +1,424 @@
+//! A small comment- and string-aware Rust lexer.
+//!
+//! This is deliberately **not** a full Rust parser: tidy rules are
+//! string/token-level checks in the style of rust-lang/rust's `tidy`
+//! tool, and the only structure they need is (a) a faithful split into
+//! identifiers / punctuation / literals / comments so that a `unwrap` in
+//! a string or a doc comment never fires a rule, and (b) line numbers so
+//! findings point at real locations and allowlist comments can attach to
+//! their neighbouring code line.
+//!
+//! The lexer handles the parts of the grammar that would otherwise
+//! corrupt a token stream: nested block comments, string escapes, raw
+//! strings with arbitrary `#` fences, byte strings, char literals vs.
+//! lifetimes, and numeric literals (including `0..n` ranges, which must
+//! not swallow the dots).
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `Ordering`, ...).
+    Ident(String),
+    /// Lifetime (`'a`, `'static`) — kept distinct so char-literal
+    /// detection can't misread it.
+    Lifetime(String),
+    /// The *contents* of a string literal (`"..."`, `r#"..."#`, `b"..."`).
+    Str(String),
+    /// A char or byte-char literal; contents are irrelevant to rules.
+    Char,
+    /// Numeric literal, verbatim (`0`, `1_000`, `0xFF`, `1.5e3`).
+    Num(String),
+    /// Single punctuation character (`.`, `(`, `+`, ...).
+    Punct(char),
+    /// The text of a `//` or `/* */` comment, without the delimiters.
+    /// Doc comments included.
+    Comment(String),
+}
+
+impl TokenKind {
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// Lex `src` into tokens. Never fails: unterminated constructs consume
+/// to end-of-file (tidy runs on code that already passed rustc, so this
+/// is a non-issue in practice; on fixtures it is the forgiving choice).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                toks.push(Token {
+                    kind: TokenKind::Comment(text),
+                    line,
+                });
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = if i >= 2 { i - 2 } else { i };
+                let text: String = b[start..end.max(start)].iter().collect();
+                toks.push(Token {
+                    kind: TokenKind::Comment(text),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let (s, ni, nl) = lex_string(&b, i, line);
+                toks.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if starts_string(&b, i) => {
+                let start_line = line;
+                // Skip the prefix letters (`r`, `b`, `br`).
+                while i < n && (b[i] == 'r' || b[i] == 'b') {
+                    i += 1;
+                }
+                if i < n && b[i] == '\'' {
+                    // b'x' byte-char literal.
+                    let (ni, nl) = lex_char(&b, i, line);
+                    toks.push(Token {
+                        kind: TokenKind::Char,
+                        line: start_line,
+                    });
+                    i = ni;
+                    line = nl;
+                } else {
+                    // Count the `#` fence, then consume to the matching
+                    // `"` + fence (raw), or lex as an escaped string.
+                    let mut hashes = 0;
+                    while i < n && b[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if hashes > 0 || (i < n && b[i] == '"') {
+                        if hashes == 0 {
+                            let (s, ni, nl) = lex_string(&b, i, line);
+                            toks.push(Token {
+                                kind: TokenKind::Str(s),
+                                line: start_line,
+                            });
+                            i = ni;
+                            line = nl;
+                        } else {
+                            i += 1; // opening quote
+                            let start = i;
+                            'raw: while i < n {
+                                if b[i] == '"' {
+                                    let mut ok = true;
+                                    for k in 0..hashes {
+                                        if i + 1 + k >= n || b[i + 1 + k] != '#' {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                    if ok {
+                                        let s: String = b[start..i].iter().collect();
+                                        toks.push(Token {
+                                            kind: TokenKind::Str(s),
+                                            line: start_line,
+                                        });
+                                        i += 1 + hashes;
+                                        break 'raw;
+                                    }
+                                }
+                                if b[i] == '\n' {
+                                    line += 1;
+                                }
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime is `'` + ident
+                // chars NOT followed by a closing `'`; everything else
+                // (`'x'`, `'\n'`, `'\u{1F600}'`) is a char literal.
+                if is_char_literal(&b, i) {
+                    let (ni, nl) = lex_char(&b, i, line);
+                    toks.push(Token {
+                        kind: TokenKind::Char,
+                        line,
+                    });
+                    i = ni;
+                    line = nl;
+                } else {
+                    let start = i + 1;
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    let s: String = b[start..i].iter().collect();
+                    toks.push(Token {
+                        kind: TokenKind::Lifetime(s),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let s: String = b[start..i].iter().collect();
+                toks.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    let d = b[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.' {
+                        // Include a dot only for a fractional part;
+                        // `0..n` must leave the range dots alone.
+                        if i + 1 < n && b[i + 1].is_ascii_digit() {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let s: String = b[start..i].iter().collect();
+                toks.push(Token {
+                    kind: TokenKind::Num(s),
+                    line,
+                });
+            }
+            p => {
+                toks.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Does a `r`/`b` run at `i` introduce a string or byte-char literal
+/// (as opposed to an ordinary identifier like `rows` or `b`)?
+fn starts_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    while j < n && (b[j] == 'r' || b[j] == 'b') {
+        j += 1;
+        if j - i > 2 {
+            return false; // `rrr...` is an identifier
+        }
+    }
+    let mut k = j;
+    while k < n && b[k] == '#' {
+        k += 1;
+    }
+    if k < n && b[k] == '"' {
+        return true;
+    }
+    // b'x'
+    j == i + 1 && b[i] == 'b' && j < n && b[j] == '\''
+}
+
+fn is_char_literal(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    if i + 1 >= n {
+        return false;
+    }
+    let c1 = b[i + 1];
+    if c1 == '\\' {
+        return true; // escape sequence ⇒ char literal
+    }
+    if c1 == '\'' {
+        return false; // `''` is malformed; treat as two puncts via lifetime path
+    }
+    // `'x'` (any single char then a quote) is a char literal; `'ident`
+    // with no closing quote is a lifetime.
+    if c1.is_alphanumeric() || c1 == '_' {
+        let mut j = i + 2;
+        while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        j < n && b[j] == '\'' && j == i + 2
+    } else {
+        i + 2 < n && b[i + 2] == '\''
+    }
+}
+
+/// Consume a char/byte-char literal starting at the opening `'`.
+fn lex_char(b: &[char], mut i: usize, mut line: usize) -> (usize, usize) {
+    let n = b.len();
+    i += 1; // opening quote
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '\'' => {
+                i += 1;
+                break;
+            }
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Consume an escaped string literal starting at the opening `"`.
+/// Returns (contents, next index, next line).
+fn lex_string(b: &[char], mut i: usize, mut line: usize) -> (String, usize, usize) {
+    let n = b.len();
+    i += 1; // opening quote
+    let mut s = String::new();
+    while i < n {
+        match b[i] {
+            '\\' => {
+                if i + 1 < n {
+                    s.push(b[i + 1]);
+                }
+                i += 2;
+            }
+            '"' => {
+                i += 1;
+                break;
+            }
+            c => {
+                if c == '\n' {
+                    line += 1;
+                }
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s, i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let toks = kinds(r#"let x = "a.unwrap()"; // .unwrap() here too"#);
+        let idents: Vec<_> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(idents, vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r##"let s = r#"has "quotes" and \ slashes"#;"##);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::Str(s) if s.contains("quotes"))));
+        assert!(toks.last().unwrap().is_punct(';'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, TokenKind::Lifetime(_)))
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t, TokenKind::Char)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ranges_keep_their_dots() {
+        let toks = kinds("for i in 0..10 { a[i] += 1.5; }");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::Num(s) if s == "0")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::Num(s) if s == "10")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::Num(s) if s == "1.5")));
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let toks = lex("/* a /* b */ c */ fn g() {}\nfn h() {}");
+        let g = toks.iter().find(|t| t.kind.ident() == Some("g")).unwrap();
+        let h = toks.iter().find(|t| t.kind.ident() == Some("h")).unwrap();
+        assert_eq!(g.line, 1);
+        assert_eq!(h.line, 2);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x'; let r = rows;"#);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, TokenKind::Str(s) if s == "bytes")));
+        assert!(toks.iter().any(|t| matches!(t, TokenKind::Char)));
+        assert!(toks.iter().any(|t| t.ident() == Some("rows")));
+    }
+}

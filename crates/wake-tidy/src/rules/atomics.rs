@@ -1,0 +1,97 @@
+//! `atomics-order`: relaxed atomics must name their synchronization.
+//!
+//! Contract of origin: the workspace carries ~60 `Ordering::Relaxed`
+//! sites (PR 3's governor telemetry, PR 4's cancel flags, PR 8's
+//! metrics, PR 9's id allocator). Each is sound for a *reason* — the
+//! value is monotone telemetry read racily on purpose, or a flag whose
+//! happens-before edge is provided by a channel disconnect or a thread
+//! join — but the reasons were in reviewers' heads. The approaching
+//! morsel-driven scheduler refactor will rewrite exactly this code, so
+//! the reasons must be on the line they protect:
+//!
+//! - every `Ordering::Relaxed` outside `wake-obs::metrics` (the
+//!   documented lock-free-counters exception) needs a `// relaxed: ...`
+//!   comment on the same line or within the two lines above, naming the
+//!   synchronization (or the absence of a consistency need) that makes
+//!   it sound;
+//! - every `Ordering::SeqCst` needs a `// seqcst: ...` comment arguing
+//!   why acquire/release is insufficient — an undocumented SeqCst is
+//!   either unnecessary (use a cheaper ordering) or load-bearing in a
+//!   way nobody wrote down; both are findings.
+//!
+//! Test code is exempt: a test's atomics synchronize the test, not the
+//! engine.
+
+use super::Ctx;
+use crate::lexer::TokenKind;
+use crate::scopes;
+
+pub const RULE: &str = "atomics-order";
+
+/// How many lines above the site a justification comment may sit
+/// (covers multi-line method chains wrapped by rustfmt).
+const COMMENT_REACH: usize = 2;
+
+fn has_justification(file: &crate::SourceFile, line: usize, prefix: &str) -> bool {
+    let lo = line.saturating_sub(COMMENT_REACH);
+    for l in lo..=line {
+        for c in file.comments_on(l) {
+            let t = c.trim();
+            if let Some(rest) = t.strip_prefix(prefix) {
+                if !rest.trim().is_empty() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+pub fn run(ctx: &mut Ctx) {
+    for fi in 0..ctx.ws.files.len() {
+        let file = &ctx.ws.files[fi];
+        if scopes::in_list(&file.path, scopes::RELAXED_EXEMPT_FILES) {
+            continue;
+        }
+        let n = file.n_code();
+        let mut hits: Vec<(usize, String)> = Vec::new();
+        for i in 0..n {
+            let t = file.tok(i);
+            if file.is_test_line(t.line) || scopes::is_test_path(&file.path) {
+                continue;
+            }
+            let TokenKind::Ident(name) = &t.kind else {
+                continue;
+            };
+            let is_ordering_member = i >= 3
+                && file.tok(i - 1).kind.is_punct(':')
+                && file.tok(i - 2).kind.is_punct(':')
+                && file.tok(i - 3).kind.ident() == Some("Ordering");
+            if !is_ordering_member {
+                continue;
+            }
+            match name.as_str() {
+                "Relaxed" if !has_justification(file, t.line, "relaxed:") => {
+                    hits.push((
+                        t.line,
+                        "`Ordering::Relaxed` without a `// relaxed: ...` comment naming \
+                         the synchronization (or telemetry contract) that makes it sound"
+                            .to_string(),
+                    ));
+                }
+                "SeqCst" if !has_justification(file, t.line, "seqcst:") => {
+                    hits.push((
+                        t.line,
+                        "`Ordering::SeqCst` without a `// seqcst: ...` comment; either \
+                         a cheaper ordering suffices or the reason it doesn't is undocumented"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for (line, msg) in hits {
+            ctx.report(fi, line, RULE, msg);
+        }
+    }
+}

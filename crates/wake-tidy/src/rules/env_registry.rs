@@ -1,0 +1,157 @@
+//! `env-registry`: every `WAKE_*` knob resolves once, in the file the
+//! registry names, and the registry and ROADMAP agree.
+//!
+//! Contract of origin: PR 4's `EngineConfig` redesign fixed a real bug
+//! (setting a spill dir silently dropped the ambient memory budget)
+//! whose root cause was *multiple* resolution points for one knob. The
+//! contract since: each `WAKE_*` environment variable is read in exactly
+//! one place. The checked-in registry (`crates/wake-tidy/knobs.tsv`,
+//! `NAME<TAB>resolver-path<TAB>description`) is the authority:
+//!
+//! - an `env::var("WAKE_…")` / `var_os` call outside the knob's
+//!   registered resolver file is a finding (test trees are exempt —
+//!   tests *set* knobs; resolution stays singular);
+//! - a `WAKE_*` string literal anywhere in the workspace that names an
+//!   unregistered knob is a finding (new knobs must be registered the
+//!   commit they appear);
+//! - a registry entry whose knob appears nowhere in the workspace is
+//!   stale and flagged;
+//! - the ROADMAP knob docs are diffed against the registry: every
+//!   registered knob must be mentioned in ROADMAP.md, and every
+//!   `WAKE_*` name in ROADMAP.md must be registered.
+
+use super::Ctx;
+use crate::lexer::TokenKind;
+use crate::scopes;
+use std::collections::BTreeSet;
+
+pub const RULE: &str = "env-registry";
+
+/// Extract every `WAKE_[A-Z0-9_]+` name in `text`.
+pub fn knob_names(text: &str) -> Vec<String> {
+    let b: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 5 <= b.len() {
+        if b[i..i + 5] == ['W', 'A', 'K', 'E', '_']
+            && (i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == '_'))
+        {
+            let mut j = i + 5;
+            while j < b.len() && (b[j].is_ascii_uppercase() || b[j].is_ascii_digit() || b[j] == '_')
+            {
+                j += 1;
+            }
+            if j > i + 5 {
+                out.push(b[i..j].iter().collect());
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+pub fn run(ctx: &mut Ctx) {
+    let registry = ctx.ws.registry.clone();
+    let registry_path = ctx.ws.registry_path.clone();
+    let mut seen_knobs: BTreeSet<String> = BTreeSet::new();
+
+    for fi in 0..ctx.ws.files.len() {
+        let file = &ctx.ws.files[fi];
+        // The linter's own sources and fixtures name synthetic knobs on
+        // purpose; everything else in the workspace is scanned.
+        if file.path.starts_with("crates/wake-tidy/") {
+            continue;
+        }
+        let n = file.n_code();
+        let mut hits: Vec<(usize, String)> = Vec::new();
+        for i in 0..n {
+            let t = file.tok(i);
+            let TokenKind::Str(s) = &t.kind else { continue };
+            let names = knob_names(s);
+            if names.is_empty() {
+                continue;
+            }
+            for name in &names {
+                seen_knobs.insert(name.clone());
+                if !registry.contains_key(name) {
+                    hits.push((
+                        t.line,
+                        format!(
+                            "`{name}` is not in the knob registry ({registry_path}); \
+                             register it with its single resolver file"
+                        ),
+                    ));
+                }
+            }
+            // Is this literal the argument of an env read?
+            let is_env_read = i >= 2
+                && file.tok(i - 1).kind.is_punct('(')
+                && matches!(file.tok(i - 2).kind.ident(), Some("var") | Some("var_os"));
+            if !is_env_read || scopes::is_test_path(&file.path) || file.is_test_line(t.line) {
+                continue;
+            }
+            for name in &names {
+                if let Some((resolver, _)) = registry.get(name) {
+                    if &file.path != resolver {
+                        hits.push((
+                            t.line,
+                            format!(
+                                "`{name}` is read here but its registered resolver is \
+                                 `{resolver}`; knobs resolve in exactly one place (PR 4 contract)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for (line, msg) in hits {
+            ctx.report(fi, line, RULE, msg);
+        }
+    }
+
+    // Registry hygiene: stale entries and missing resolver files.
+    let file_paths: BTreeSet<&str> = ctx.ws.files.iter().map(|f| f.path.as_str()).collect();
+    for (name, (resolver, _)) in &registry {
+        if !seen_knobs.contains(name) {
+            ctx.report_raw(
+                &registry_path,
+                1,
+                RULE,
+                format!("registered knob `{name}` appears nowhere in the workspace; remove it"),
+            );
+        }
+        if !resolver.is_empty() && !file_paths.contains(resolver.as_str()) {
+            ctx.report_raw(
+                &registry_path,
+                1,
+                RULE,
+                format!("knob `{name}` names a resolver file that does not exist: `{resolver}`"),
+            );
+        }
+    }
+
+    // ROADMAP ↔ registry diff.
+    let roadmap_knobs: BTreeSet<String> = knob_names(&ctx.ws.roadmap).into_iter().collect();
+    for name in registry.keys() {
+        if !roadmap_knobs.contains(name) {
+            ctx.report_raw(
+                "ROADMAP.md",
+                1,
+                RULE,
+                format!("registered knob `{name}` is undocumented in ROADMAP.md"),
+            );
+        }
+    }
+    for name in &roadmap_knobs {
+        if !registry.contains_key(name) {
+            ctx.report_raw(
+                "ROADMAP.md",
+                1,
+                RULE,
+                format!("ROADMAP.md documents `{name}` but it is not in the knob registry"),
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! `hostile-len`: decode modules must use checked length arithmetic.
+//!
+//! Contract of origin: PR 5 hardened spill-chunk decoding (`checked_len`
+//! with a 1 GiB per-chunk cap, checked `rows × 8`) and PR 7 extended the
+//! promise to segment parsing — **hostile or corrupt length headers fail
+//! typed before any allocation**. The failure mode this guards is
+//! quiet: an unchecked `as usize` narrowing or a bare `+`/`*` on a
+//! length read from a file either wraps (decoding a wrong-but-plausible
+//! frame) or feeds an absurd size into `Vec::with_capacity` (instant
+//! OOM abort). In the decode files
+//! ([`crate::scopes::DECODE_FILES`]), outside test code, this rule
+//! flags:
+//!
+//! - `as usize` casts — narrowing a wire value must go through
+//!   `checked_len`/`try_from` (a cast of a just-validated or in-memory
+//!   quantity takes a `tidy-allow` naming the validation);
+//! - bare `+` or `*` where either operand's name looks length-typed
+//!   (`len`, `size`, `count`, `rows`, `bytes`, `offset`, `pos`) —
+//!   use `checked_add`/`checked_mul` or justify why overflow is
+//!   impossible.
+
+use super::Ctx;
+use crate::lexer::TokenKind;
+use crate::scopes;
+
+pub const RULE: &str = "hostile-len";
+
+const LEN_HINTS: &[&str] = &["len", "size", "count", "rows", "bytes", "offset", "pos"];
+
+fn is_len_ident(kind: &TokenKind) -> bool {
+    match kind {
+        TokenKind::Ident(s) => {
+            let lower = s.to_ascii_lowercase();
+            LEN_HINTS.iter().any(|h| lower.contains(h))
+        }
+        _ => false,
+    }
+}
+
+/// Token kinds that can end a value expression (left operand).
+fn ends_value(kind: &TokenKind) -> bool {
+    matches!(
+        kind,
+        TokenKind::Ident(_) | TokenKind::Num(_) | TokenKind::Punct(')') | TokenKind::Punct(']')
+    )
+}
+
+/// Token kinds that can start a value expression (right operand).
+fn starts_value(kind: &TokenKind) -> bool {
+    matches!(
+        kind,
+        TokenKind::Ident(_) | TokenKind::Num(_) | TokenKind::Punct('(')
+    )
+}
+
+pub fn run(ctx: &mut Ctx) {
+    for fi in 0..ctx.ws.files.len() {
+        let file = &ctx.ws.files[fi];
+        if !scopes::in_list(&file.path, scopes::DECODE_FILES) {
+            continue;
+        }
+        let n = file.n_code();
+        let mut hits: Vec<(usize, String)> = Vec::new();
+        for i in 0..n {
+            let t = file.tok(i);
+            if file.is_test_line(t.line) {
+                continue;
+            }
+            match &t.kind {
+                // `<expr> as usize`
+                TokenKind::Ident(kw)
+                    if kw == "as" && i + 1 < n && file.tok(i + 1).kind.ident() == Some("usize") =>
+                {
+                    hits.push((
+                        t.line,
+                        "`as usize` in a decode module; narrow through `checked_len`/`try_from` \
+                         so hostile headers fail typed"
+                            .to_string(),
+                    ));
+                }
+                // bare `+` / `*` touching a length-named binding
+                TokenKind::Punct(op @ ('+' | '*')) if i > 0 && i + 1 < n => {
+                    let prev = &file.tok(i - 1).kind;
+                    let next = &file.tok(i + 1).kind;
+                    // Skip compound assignment (`pos += n` is mutation,
+                    // not size computation feeding an allocation) and
+                    // anything that is not a binary value expression
+                    // (unary deref, `*const`, patterns).
+                    if next.is_punct('=') || !ends_value(prev) || !starts_value(next) {
+                        continue;
+                    }
+                    if is_len_ident(prev) || is_len_ident(next) {
+                        hits.push((
+                            t.line,
+                            format!(
+                                "bare `{op}` on a length-typed binding in a decode module; \
+                                 use `checked_add`/`checked_mul` (PR 5 contract)"
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (line, msg) in hits {
+            ctx.report(fi, line, RULE, msg);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! `panic-path`: no panics in designated I/O and shutdown modules.
+//!
+//! Contract of origin: PR 6 swept `unwrap`/`expect` off the spill I/O
+//! paths and made device failure a typed, recoverable error
+//! (`DataError::SpillUnavailable`); PR 9's serve front-end extends the
+//! promise to connection handling ("never a panic, never a hang").
+//! A single `unwrap` reintroduced on these paths turns a torn file or a
+//! poisoned lock into a dead worker thread, which the executors
+//! experience as a hung or leaking query. This rule freezes the sweep:
+//! in the files listed in [`crate::scopes::PANIC_PATH_FILES`], outside
+//! test code, the panicking constructs below need a `tidy-allow` with a
+//! justification naming the invariant that makes them unreachable.
+//!
+//! Flagged: `.unwrap()` / `.expect(` / `.unwrap_err()` / `.expect_err(`,
+//! `panic!` / `unreachable!` / `todo!` / `unimplemented!`, and
+//! indexing by an integer literal (`buf[0]` — a bounds panic in decode
+//! code is a hostile-input crash; use `get` or a checked split).
+
+use super::Ctx;
+use crate::lexer::TokenKind;
+use crate::scopes;
+
+pub const RULE: &str = "panic-path";
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(ctx: &mut Ctx) {
+    for fi in 0..ctx.ws.files.len() {
+        let file = &ctx.ws.files[fi];
+        if !scopes::in_list(&file.path, scopes::PANIC_PATH_FILES) {
+            continue;
+        }
+        let n = file.n_code();
+        let mut hits: Vec<(usize, String)> = Vec::new();
+        for i in 0..n {
+            let t = file.tok(i);
+            if file.is_test_line(t.line) {
+                continue;
+            }
+            match &t.kind {
+                TokenKind::Ident(name)
+                    if PANIC_METHODS.contains(&name.as_str())
+                        && i > 0
+                        && file.tok(i - 1).kind.is_punct('.')
+                        && i + 1 < n
+                        && file.tok(i + 1).kind.is_punct('(') =>
+                {
+                    hits.push((
+                        t.line,
+                        format!("`.{name}()` on an I/O path; return a typed error instead"),
+                    ));
+                }
+                TokenKind::Ident(name)
+                    if PANIC_MACROS.contains(&name.as_str())
+                        && i + 1 < n
+                        && file.tok(i + 1).kind.is_punct('!') =>
+                {
+                    hits.push((
+                        t.line,
+                        format!("`{name}!` on an I/O path; return a typed error instead"),
+                    ));
+                }
+                TokenKind::Punct('[')
+                    if i > 0
+                        && i + 2 < n
+                        && matches!(
+                            file.tok(i - 1).kind,
+                            TokenKind::Ident(_) | TokenKind::Punct(')') | TokenKind::Punct(']')
+                        )
+                        && matches!(file.tok(i + 1).kind, TokenKind::Num(_))
+                        && file.tok(i + 2).kind.is_punct(']') =>
+                {
+                    hits.push((
+                        t.line,
+                        "indexing by literal can panic on short input; use `get` or a checked split"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for (line, msg) in hits {
+            ctx.report(fi, line, RULE, msg);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! `typed-error`: library paths fail with typed errors, never strings
+//! or the process.
+//!
+//! Contract of origin: PR 6's recovery ladder only works because every
+//! failure on a library path is a `DataError` variant the executors can
+//! classify (retry? degrade? surface?). A `Box<dyn Error>`, a
+//! `Result<_, String>`, or a `.map_err(|e| e.to_string())` erases the
+//! classification; a `std::process::exit` takes the whole server down
+//! from a library frame. On library source (see
+//! [`crate::scopes::is_library_path`]), outside test code, this rule
+//! flags:
+//!
+//! - `Box<dyn Error>` / `Box<dyn std::error::Error>` in any type
+//!   position;
+//! - `Result<_, String>` — a stringly-typed error type;
+//! - `map_err(|e| e.to_string())` — discarding a typed error for its
+//!   message;
+//! - `process::exit` — libraries return, binaries exit.
+
+use super::Ctx;
+use crate::lexer::TokenKind;
+use crate::scopes;
+
+pub const RULE: &str = "typed-error";
+
+pub fn run(ctx: &mut Ctx) {
+    for fi in 0..ctx.ws.files.len() {
+        let file = &ctx.ws.files[fi];
+        if !scopes::is_library_path(&file.path) {
+            continue;
+        }
+        let n = file.n_code();
+        let mut hits: Vec<(usize, String)> = Vec::new();
+        for i in 0..n {
+            let t = file.tok(i);
+            if file.is_test_line(t.line) {
+                continue;
+            }
+            match &t.kind {
+                TokenKind::Ident(name) if name == "Box" => {
+                    if let Some(inner) = generic_args(file, i) {
+                        let has_dyn = inner.iter().any(|k| k.ident() == Some("dyn"));
+                        let has_error = inner.iter().any(|k| k.ident() == Some("Error"));
+                        if has_dyn && has_error {
+                            hits.push((
+                                t.line,
+                                "`Box<dyn Error>` erases the error type; use the crate's typed \
+                                 error enum (PR 6 contract)"
+                                    .to_string(),
+                            ));
+                        }
+                    }
+                }
+                TokenKind::Ident(name) if name == "Result" => {
+                    if let Some(inner) = generic_args(file, i) {
+                        if last_top_level_arg_is_string(&inner) {
+                            hits.push((
+                                t.line,
+                                "`Result<_, String>` is a stringly-typed error; use the crate's \
+                                 typed error enum"
+                                    .to_string(),
+                            ));
+                        }
+                    }
+                }
+                TokenKind::Ident(name) if name == "map_err" => {
+                    // map_err ( | x | x . to_string ( ) )
+                    let pat: Vec<&TokenKind> = (i + 1..(i + 11).min(n))
+                        .map(|k| &file.tok(k).kind)
+                        .collect();
+                    if pat.len() == 10
+                        && pat[0].is_punct('(')
+                        && pat[1].is_punct('|')
+                        && pat[2].ident().is_some()
+                        && pat[3].is_punct('|')
+                        && pat[4].ident() == pat[2].ident()
+                        && pat[5].is_punct('.')
+                        && pat[6].ident() == Some("to_string")
+                        && pat[7].is_punct('(')
+                        && pat[8].is_punct(')')
+                        && pat[9].is_punct(')')
+                    {
+                        hits.push((
+                            t.line,
+                            "`.map_err(|e| e.to_string())` discards the typed error; convert \
+                             into the crate's error enum instead"
+                                .to_string(),
+                        ));
+                    }
+                }
+                TokenKind::Ident(name)
+                    if name == "exit"
+                        && i >= 3
+                        && file.tok(i - 1).kind.is_punct(':')
+                        && file.tok(i - 2).kind.is_punct(':')
+                        && file.tok(i - 3).kind.ident() == Some("process") =>
+                {
+                    hits.push((
+                        t.line,
+                        "`process::exit` on a library path; return a typed error and let the \
+                         binary decide"
+                            .to_string(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for (line, msg) in hits {
+            ctx.report(fi, line, RULE, msg);
+        }
+    }
+}
+
+/// If the token after `i` opens a generic list (`<`), return the kinds
+/// inside it up to the matching `>` (flattened, nested args included).
+/// Returns None when `<` is absent (comparison operators never follow
+/// `Box`/`Result` idents directly in type position — and a false miss
+/// only skips the check).
+fn generic_args(file: &crate::SourceFile, i: usize) -> Option<Vec<&TokenKind>> {
+    let n = file.n_code();
+    if i + 1 >= n || !file.tok(i + 1).kind.is_punct('<') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut out = Vec::new();
+    for k in i + 1..n.min(i + 1 + 256) {
+        let kind = &file.tok(k).kind;
+        match kind {
+            TokenKind::Punct('<') => {
+                depth += 1;
+                if depth > 1 {
+                    out.push(kind);
+                }
+            }
+            TokenKind::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(out);
+                }
+                out.push(kind);
+            }
+            // `->` inside a generic (fn types): the `-` `>` pair would
+            // unbalance the scan; treat `>` preceded by `-` as part of
+            // the arrow.
+            _ => out.push(kind),
+        }
+    }
+    None
+}
+
+/// Is the last top-level generic argument exactly `String`?
+fn last_top_level_arg_is_string(inner: &[&TokenKind]) -> bool {
+    // Split on top-level commas.
+    let mut depth = 0usize;
+    let mut segs: Vec<Vec<&TokenKind>> = vec![Vec::new()];
+    for k in inner {
+        match k {
+            TokenKind::Punct('<') | TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                depth += 1;
+                segs.last_mut().expect("segs non-empty").push(k);
+            }
+            TokenKind::Punct('>') | TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth = depth.saturating_sub(1);
+                segs.last_mut().expect("segs non-empty").push(k);
+            }
+            TokenKind::Punct(',') if depth == 0 => segs.push(Vec::new()),
+            _ => segs.last_mut().expect("segs non-empty").push(k),
+        }
+    }
+    if segs.len() < 2 {
+        return false;
+    }
+    let last = segs.last().expect("segs non-empty");
+    last.len() == 1 && last[0].ident() == Some("String")
+}

@@ -1,0 +1,7 @@
+// Fixture: an unjustified Relaxed and an unjustified SeqCst.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+    c.store(0, Ordering::SeqCst);
+}

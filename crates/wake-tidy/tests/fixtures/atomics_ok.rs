@@ -1,0 +1,9 @@
+// Fixture: justification comments satisfy the rule.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    // relaxed: monotone counter; readers tolerate staleness
+    c.fetch_add(1, Ordering::Relaxed);
+    // seqcst: total order with the shutdown flag is load-bearing here
+    c.store(0, Ordering::SeqCst);
+}

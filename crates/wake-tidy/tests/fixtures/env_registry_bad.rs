@@ -1,0 +1,7 @@
+// Fixture: an unregistered knob literal plus a knob read outside its
+// registered resolver file.
+pub fn resolve() -> Option<String> {
+    let unregistered = std::env::var("WAKE_BOGUS_KNOB").ok();
+    let misplaced = std::env::var("WAKE_FIX_BUDGET").ok();
+    unregistered.or(misplaced)
+}

@@ -1,0 +1,5 @@
+// Fixture: the registered resolver reading its own knob is the one
+// sanctioned call site.
+pub fn resolve() -> Option<String> {
+    std::env::var("WAKE_FIX_BUDGET").ok()
+}

@@ -1,0 +1,6 @@
+// Fixture: unchecked narrowing and bare arithmetic on length values.
+pub fn decode(len: u64, count: usize) -> usize {
+    let n = len as usize;
+    let total = n + count;
+    total
+}

@@ -1,0 +1,5 @@
+// Fixture: checked narrowing and checked arithmetic stay quiet.
+pub fn decode(len: u64, count: usize) -> Option<usize> {
+    let n = usize::try_from(len).ok()?;
+    n.checked_add(count)
+}

@@ -1,0 +1,10 @@
+// Fixture: every panic vector the rule patrols, on an I/O path.
+pub fn read_all(buf: &[u8]) -> Vec<u8> {
+    let first = buf.first().unwrap();
+    let second = buf.get(1).expect("has two");
+    if buf.is_empty() {
+        panic!("empty");
+    }
+    let third = buf[2];
+    vec![*first, *second, third]
+}

@@ -1,0 +1,15 @@
+// Fixture: an allowlisted site and test-gated code stay quiet.
+pub fn read_all(buf: &[u8]) -> Vec<u8> {
+    // tidy-allow: panic-path: the caller validated a non-empty header
+    let first = buf.first().unwrap();
+    vec![*first]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u8> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: every typed-error violation the rule patrols.
+pub fn load() -> Result<(), Box<dyn std::error::Error>> {
+    let _ = std::fs::read("x").map_err(|e| e.to_string());
+    std::process::exit(1);
+}
+
+pub fn misparse() -> Result<u32, String> {
+    Err("nope".into())
+}

@@ -1,0 +1,12 @@
+// Fixture: typed enums end-to-end stay quiet.
+pub enum LoadError {
+    Truncated,
+    BadMagic,
+}
+
+pub fn load(bytes: &[u8]) -> Result<(), LoadError> {
+    if bytes.len() < 8 {
+        return Err(LoadError::Truncated);
+    }
+    Ok(())
+}

@@ -1,0 +1,11 @@
+// Fixture: one pub item the workspace uses, one it does not, and an
+// orphaned macro.
+pub fn unused_helper() -> u32 {
+    41
+}
+
+pub struct UsedThing;
+
+macro_rules! internal_only {
+    () => {};
+}

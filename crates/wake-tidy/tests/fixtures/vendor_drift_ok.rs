@@ -1,0 +1,5 @@
+// Fixture: a deliberate upstream-parity extra rides on an allow.
+// tidy-allow: vendor-drift: mirrors upstream fakelib::extra for API parity
+pub fn extra() -> u32 {
+    7
+}

@@ -1,0 +1,36 @@
+//! The live workspace must be finding-free. This test is how tier-1
+//! (`cargo test`) enforces the tidy contracts without anyone invoking
+//! the binary: a new `unwrap` in a patrol file, an unregistered knob,
+//! or a bare `Relaxed` fails the suite with the same rule/file/line
+//! message the CLI prints.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_finding_free() {
+    let root = wake_tidy::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let ws = wake_tidy::Workspace::load(&root).expect("load workspace");
+    let findings = ws.check();
+    assert!(
+        findings.is_empty(),
+        "wake-tidy found {} issue(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn roadmap_embeds_the_generated_knob_table() {
+    let root = wake_tidy::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let ws = wake_tidy::Workspace::load(&root).expect("load workspace");
+    let table = ws.knob_table();
+    assert!(
+        ws.roadmap.contains(&table),
+        "ROADMAP.md's knob table is out of date; regenerate it with \
+         `cargo run -p wake-tidy -- --knob-table` and paste the result"
+    );
+}

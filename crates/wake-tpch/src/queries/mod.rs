@@ -105,6 +105,7 @@ impl TpchDb {
                 let unique = std::path::Path::new(&dir).join(format!(
                     "tpch-{}-{}",
                     std::process::id(),
+                    // relaxed: suffix uniqueness needs only the RMW's atomicity, not ordering
                     NEXT.fetch_add(1, Ordering::Relaxed)
                 ));
                 Self::persisted(data, partitions, &unique)
